@@ -1,0 +1,184 @@
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildTools compiles the three commands once per test binary.
+var buildOnce sync.Once
+var toolDir string
+var buildErr error
+
+func tools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "velotools")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		toolDir = dir
+		for _, cmd := range []string{"velodrome", "velobench", "tracecheck"} {
+			out, err := exec.Command("go", "build", "-o", filepath.Join(dir, cmd), "./cmd/"+cmd).CombinedOutput()
+			if err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", cmd, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return toolDir
+}
+
+func runTool(t *testing.T, name string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(tools(t), name), args...)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v", name, args, err)
+	}
+	return string(out), code
+}
+
+func TestCLIVelodromeList(t *testing.T) {
+	out, code := runTool(t, "velodrome", "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, w := range []string{"elevator", "jigsaw", "raja"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("missing %s in listing", w)
+		}
+	}
+}
+
+func TestCLIVelodromeRun(t *testing.T) {
+	out, code := runTool(t, "velodrome", "-workload", "philo", "-stats")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"velodrome:", "Table.recordMeal", "graph: allocated="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIVelodromeBackends(t *testing.T) {
+	for _, be := range []string{"atomizer", "eraser", "hb", "fasttrack", "empty"} {
+		out, code := runTool(t, "velodrome", "-workload", "multiset", "-backend", be)
+		if code != 0 {
+			t.Errorf("backend %s: exit %d:\n%s", be, code, out)
+		}
+	}
+	if _, code := runTool(t, "velodrome", "-workload", "nope"); code != 2 {
+		t.Error("unknown workload should exit 2")
+	}
+	if _, code := runTool(t, "velodrome", "-workload", "philo", "-backend", "bogus"); code != 2 {
+		t.Error("unknown backend should exit 2")
+	}
+}
+
+func TestCLIRecordAndCheck(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"t.txt", "t.bin"} {
+		path := filepath.Join(dir, name)
+		out, code := runTool(t, "velodrome", "-workload", "raja", "-record", path)
+		if code != 0 {
+			t.Fatalf("record: exit %d:\n%s", code, out)
+		}
+		out, code = runTool(t, "tracecheck", path)
+		if code != 0 {
+			t.Fatalf("%s: raja must be serializable; exit %d:\n%s", name, code, out)
+		}
+		if !strings.Contains(out, "serializable") {
+			t.Errorf("unexpected output:\n%s", out)
+		}
+	}
+	// A violating workload round-trips to exit status 1.
+	path := filepath.Join(dir, "bad.bin")
+	runTool(t, "velodrome", "-workload", "multiset", "-record", path)
+	out, code := runTool(t, "tracecheck", "-q", path)
+	if code != 1 {
+		t.Fatalf("multiset trace must be non-serializable; exit %d:\n%s", code, out)
+	}
+}
+
+func TestCLITracecheckCorpus(t *testing.T) {
+	out, code := runTool(t, "tracecheck", "testdata/flag_handoff.txt")
+	if code != 0 || !strings.Contains(out, "serializable") {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	out, code = runTool(t, "tracecheck", "testdata/setadd.txt")
+	if code != 1 || !strings.Contains(out, "Set.add") {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if _, code := runTool(t, "tracecheck", "no-such-file"); code != 2 {
+		t.Error("missing file should exit 2")
+	}
+}
+
+func TestCLIVelodromeJSONAndDot(t *testing.T) {
+	out, code := runTool(t, "velodrome", "-workload", "multiset", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, `"method":"Multiset.`) {
+		t.Errorf("missing JSON warnings:\n%s", out)
+	}
+	dotPath := filepath.Join(t.TempDir(), "g.dot")
+	out, code = runTool(t, "velodrome", "-workload", "multiset", "-dot", dotPath)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	data, err := os.ReadFile(dotPath)
+	if err != nil || !strings.Contains(string(data), "digraph velodrome") {
+		t.Errorf("dot output missing: %v", err)
+	}
+}
+
+func TestCLIVelodromeDescribe(t *testing.T) {
+	out, code := runTool(t, "velodrome", "-workload", "colt", "-describe")
+	if code != 0 || !strings.Contains(out, "non-atomic(rare)") {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+}
+
+func TestCLIVelobench(t *testing.T) {
+	out, code := runTool(t, "velobench", "-table", "2", "-seeds", "1")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"Table 2", "jigsaw", "0 / 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if _, code := runTool(t, "velobench"); code != 2 {
+		t.Error("no arguments should exit 2 with usage")
+	}
+	if _, code := runTool(t, "velobench", "-table", "2", "-seeds", "x"); code != 2 {
+		t.Error("bad seeds should exit 2")
+	}
+}
+
+func TestCLIVelodromeParallel(t *testing.T) {
+	out, code := runTool(t, "velodrome", "-workload", "raja", "-parallel")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "velodrome: 0 warnings") {
+		t.Errorf("raja under real goroutines must stay clean:\n%s", out)
+	}
+}

@@ -1,0 +1,91 @@
+// Command tracecheck reads a trace — the one-operation-per-line text
+// format or the compact binary format, auto-detected — and decides
+// conflict-serializability with the online Velodrome analysis,
+// cross-checking the offline oracle:
+//
+//	tracecheck trace.txt
+//	tracecheck -          # read standard input
+//	tracecheck -dot out.dot trace.txt
+//
+// The trace syntax:
+//
+//	begin.Set.add(1)     thread 1 enters atomic block "Set.add"
+//	acq(1,m0)            thread 1 acquires lock m0
+//	rd(1,x3)  wr(2,x3)   reads and writes of shared variables
+//	rel(1,m0) end(1)     release; exit innermost block
+//	fork(1,t2) join(1,t2)
+//
+// Exit status: 0 serializable, 1 non-serializable, 2 usage/input error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/serial"
+	"repro/internal/trace"
+)
+
+func main() {
+	dotOut := flag.String("dot", "", "write error graphs (dot format) to this file")
+	engine := flag.String("engine", "optimized", "analysis engine: optimized or basic")
+	quiet := flag.Bool("q", false, "suppress warning details")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-dot out.dot] <trace file | ->")
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := trace.ReadAuto(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(2)
+	}
+	if err := trace.Validate(tr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck: ill-formed trace:", err)
+		os.Exit(2)
+	}
+
+	opts := core.Options{}
+	if *engine == "basic" {
+		opts.Engine = core.Basic
+	}
+	res := core.CheckTrace(tr, opts)
+	offline, _ := serial.Check(tr)
+	if offline != res.Serializable {
+		fmt.Fprintln(os.Stderr, "tracecheck: INTERNAL DISAGREEMENT between online and offline checkers")
+		os.Exit(2)
+	}
+	if res.Serializable {
+		fmt.Printf("serializable: %d operations, %d transactions allocated (max %d alive)\n",
+			len(tr), res.Stats.Allocated, res.Stats.MaxAlive)
+		return
+	}
+	fmt.Printf("NOT serializable: %d warnings over %d operations\n", len(res.Warnings), len(tr))
+	if !*quiet {
+		for _, w := range res.Warnings {
+			fmt.Println(w)
+		}
+	}
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(dot.RenderAll(res.Warnings)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(2)
+		}
+	}
+	os.Exit(1)
+}

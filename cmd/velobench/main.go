@@ -1,0 +1,126 @@
+// Command velobench regenerates the evaluation of the Velodrome paper
+// (PLDI 2008, Section 6) on the Go reproduction:
+//
+//	velobench -table 1             Table 1 (timings + graph statistics)
+//	velobench -table 2             Table 2 (Atomizer vs Velodrome warnings)
+//	velobench -table 2 -adversarial   ... with the adversarial scheduler
+//	velobench -replay              per-event analysis cost on recorded traces
+//	velobench -inject              the 30% → 70% defect-injection study
+//	velobench -policies            compare adversarial pause policies
+//	velobench -ablate              merge/GC design-choice ablation
+//	velobench -all                 everything
+//
+// Each table prints the paper's published numbers alongside the measured
+// ones. See EXPERIMENTS.md for the recorded comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exper"
+	"repro/internal/report"
+)
+
+func main() {
+	table := flag.Int("table", 0, "reproduce table 1 or 2")
+	replay := flag.Bool("replay", false, "measure per-event analysis cost on recorded traces")
+	inject := flag.Bool("inject", false, "run the defect-injection experiment")
+	policyStudy := flag.Bool("policies", false, "compare adversarial pause policies on the injection trials")
+	ablate := flag.Bool("ablate", false, "ablate the merge and GC design choices per benchmark")
+	coverage := flag.Bool("coverage", false, "cumulative warnings per run (most appear on the first run)")
+	all := flag.Bool("all", false, "run every experiment")
+	adversarial := flag.Bool("adversarial", false, "use the Atomizer-guided adversarial scheduler (table 2)")
+	scale := flag.Int("scale", 1, "workload scale multiplier")
+	timingScale := flag.Int("timing-scale", 20, "scale for table 1 timing runs")
+	specFiltered := flag.Bool("spec-filtered", false, "table 1: exempt known non-atomic methods first (the paper's configuration)")
+	seeds := flag.String("seeds", "1,2,3,4,5", "comma-separated scheduler seeds (the paper's five runs)")
+	detail := flag.Bool("detail", false, "list flagged methods per benchmark (table 2)")
+	flag.Parse()
+
+	seedList, err := parseSeeds(*seeds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "velobench:", err)
+		os.Exit(2)
+	}
+	ran := false
+	if *table == 1 || *all {
+		ran = true
+		var rows []exper.Table1Row
+		if *specFiltered {
+			fmt.Println("(known non-atomic methods exempted, as in the paper's measurement setup)")
+			rows = exper.Table1SpecFiltered(seedList[0], *timingScale)
+		} else {
+			rows = exper.Table1(seedList[0], *timingScale)
+		}
+		report.Table1(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *table == 2 || *all {
+		ran = true
+		rows := exper.Table2(seedList, *scale, *adversarial)
+		if *adversarial {
+			fmt.Println("(adversarial scheduling enabled)")
+		}
+		report.Table2(os.Stdout, rows)
+		if *detail {
+			fmt.Println()
+			report.MethodDetail(os.Stdout, rows)
+		}
+		fmt.Println()
+	}
+	if *replay || *all {
+		ran = true
+		rows := exper.Replay(seedList[0], *scale*10)
+		report.Replay(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *inject || *all {
+		ran = true
+		res := exper.Inject([]string{"elevator", "colt"}, seedList, *scale)
+		report.Inject(os.Stdout, res)
+		fmt.Println()
+	}
+	if *coverage || *all {
+		ran = true
+		report.Coverage(os.Stdout, exper.Coverage(seedList, *scale))
+		fmt.Println()
+	}
+	if *ablate || *all {
+		ran = true
+		rows := exper.Ablate(seedList[0], *scale*5)
+		report.Ablate(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *policyStudy || *all {
+		ran = true
+		res := exper.PolicyStudy([]string{"elevator", "colt"}, seedList, *scale)
+		report.Policies(os.Stdout, res)
+		fmt.Println()
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(part, "%d", &v); err != nil {
+			return nil, fmt.Errorf("bad seed %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no seeds given")
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+// Command velodrome runs one of the benchmark workloads under a chosen
+// dynamic analysis back-end and reports its warnings:
+//
+//	velodrome -workload elevator                    Velodrome (default)
+//	velodrome -workload jbb -backend atomizer       the Atomizer baseline
+//	velodrome -workload tsp -backend eraser         Eraser race detection
+//	velodrome -workload webl -backend hb            happens-before races
+//	velodrome -workload colt -adversarial           Atomizer-guided scheduling
+//	velodrome -workload raytracer -dot out.dot      write error graphs
+//	velodrome -list                                 list workloads
+//
+// Warnings from Velodrome are guaranteed violations of conflict-
+// serializability in the observed trace; the blamed method, when
+// assigned, is not self-serializable (Sections 3–4 of the paper).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/rr"
+	"repro/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "", "benchmark to run (see -list)")
+	backend := flag.String("backend", "velodrome", "analysis: velodrome, atomizer, eraser, hb, fasttrack, empty")
+	seed := flag.Int64("seed", 1, "scheduler seed")
+	scale := flag.Int("scale", 1, "workload scale multiplier")
+	adversarial := flag.Bool("adversarial", false, "enable Atomizer-guided adversarial scheduling")
+	dotOut := flag.String("dot", "", "write Velodrome error graphs (dot format) to this file")
+	record := flag.String("record", "", "write the event stream to this file (binary when it ends in .bin)")
+	list := flag.Bool("list", false, "list available workloads")
+	describe := flag.Bool("describe", false, "print the workload's method inventory and exit")
+	noMerge := flag.Bool("no-merge", false, "disable the merge optimization (Section 4.2)")
+	stats := flag.Bool("stats", false, "print happens-before graph statistics")
+	asJSON := flag.Bool("json", false, "emit velodrome warnings as JSON lines")
+	parallel := flag.Bool("parallel", false, "run on real goroutines instead of the deterministic scheduler")
+	flag.Parse()
+
+	if *list {
+		for _, w := range bench.All() {
+			fmt.Printf("%-11s %6d lines  %s\n", w.Name, w.JavaLines, w.Desc)
+		}
+		return
+	}
+	w := bench.ByName(*workload)
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "velodrome: unknown workload %q (use -list)\n", *workload)
+		os.Exit(2)
+	}
+	if *describe {
+		fmt.Print(w.Describe())
+		return
+	}
+
+	var be rr.Backend
+	var velo *rr.Velodrome
+	switch *backend {
+	case "velodrome":
+		velo = rr.NewVelodrome(core.Options{NoMerge: *noMerge})
+		be = velo
+	case "atomizer":
+		be = rr.NewAtomizer()
+	case "eraser":
+		be = rr.NewEraser()
+	case "hb":
+		be = rr.NewHB()
+	case "fasttrack":
+		be = rr.NewFastTrack()
+	case "empty":
+		be = &rr.Empty{}
+	default:
+		fmt.Fprintf(os.Stderr, "velodrome: unknown backend %q\n", *backend)
+		os.Exit(2)
+	}
+
+	opts := rr.Options{Seed: *seed, Backend: be, Record: *record != "", Parallel: *parallel}
+	if *adversarial {
+		adv := rr.NewAtomizerAdvisor()
+		opts.Backend = rr.Multi{be, adv}
+		opts.Advisor = adv
+		opts.ParkSteps = 40
+	}
+	rep := rr.Run(opts, func(t *rr.Thread) {
+		w.Body(t, bench.Params{Scale: *scale})
+	})
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "velodrome:", err)
+			os.Exit(1)
+		}
+		marshal := trace.Marshal
+		if strings.HasSuffix(*record, ".bin") {
+			marshal = trace.MarshalBinary
+		}
+		if err := marshal(f, rep.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, "velodrome:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("recorded %d events to %s\n", len(rep.Trace), *record)
+	}
+	if !*asJSON {
+		fmt.Printf("%s: %d threads, %d events, %d scheduling steps", w.Name, rep.Threads, rep.Events, rep.Steps)
+		if rep.Delays > 0 {
+			fmt.Printf(", %d adversarial delays", rep.Delays)
+		}
+		fmt.Println()
+	}
+	if rep.Deadlocked {
+		fmt.Println("run DEADLOCKED")
+	}
+	if rep.Truncated {
+		fmt.Println("run truncated by step limit")
+	}
+
+	switch b := be.(type) {
+	case *rr.Velodrome:
+		sums := core.Summarize(b.Warnings())
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			for _, s := range sums {
+				if err := enc.Encode(s.First.JSON()); err != nil {
+					fmt.Fprintln(os.Stderr, "velodrome:", err)
+					os.Exit(1)
+				}
+			}
+			return
+		}
+		fmt.Printf("velodrome: %d warnings across %d methods\n", len(b.Warnings()), len(sums))
+		for _, s := range sums {
+			fmt.Printf("[%d warnings, %d increasing]\n%s\n", s.Count, s.Increasing, s.First)
+		}
+		if *stats {
+			st := b.Checker.Stats()
+			fmt.Printf("graph: allocated=%d maxAlive=%d collected=%d merged=%d\n",
+				st.Allocated, st.MaxAlive, st.Collected, st.Merged)
+		}
+		if *dotOut != "" {
+			var firsts []*core.Warning
+			for _, s := range sums {
+				firsts = append(firsts, s.First)
+			}
+			if err := os.WriteFile(*dotOut, []byte(dot.RenderAll(firsts)), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "velodrome:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d error graphs to %s\n", len(firsts), *dotOut)
+		}
+	case *rr.Atomizer:
+		fmt.Printf("atomizer: %d warnings\n", len(b.Warnings()))
+		seen := map[string]bool{}
+		for _, warn := range b.Warnings() {
+			if m := string(warn.Label); !seen[m] {
+				seen[m] = true
+				fmt.Println(warn)
+			}
+		}
+	case *rr.Eraser:
+		fmt.Printf("eraser: %d potential races\n", len(b.Warnings()))
+		for _, warn := range b.Warnings() {
+			fmt.Println(warn)
+		}
+	case *rr.HB:
+		fmt.Printf("happens-before: %d races\n", len(b.Races()))
+		for _, r := range b.Races() {
+			fmt.Println(r)
+		}
+	case *rr.FastTrack:
+		fmt.Printf("fasttrack: %d racy variables\n", len(b.Races()))
+		for _, r := range b.Races() {
+			fmt.Println(r)
+		}
+	case *rr.Empty:
+		fmt.Printf("empty backend consumed %d events\n", b.Count)
+	}
+}

@@ -1,0 +1,91 @@
+// Adversarial scheduling (Section 5): a tight unsynchronized
+// read-modify-write that ordinary schedules almost never witness, hunted
+// with the Atomizer-guided scheduler:
+//
+//	go run ./examples/adversarial
+//
+// The program runs the same workload over many seeds, plain and
+// adversarial. The advisor watches the event stream with an embedded
+// Atomizer; when a thread is about to complete a suspicious racy RMW
+// inside an atomic block, the scheduler parks it so a conflicting write
+// can interleave — turning a potential violation into a concrete witness
+// Velodrome can report (with zero risk of a false alarm).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rr"
+)
+
+const (
+	seeds   = 30
+	workers = 2
+	updates = 2
+)
+
+// workload: each worker tightly increments a shared hit counter inside an
+// atomic block (window of a single scheduling point) amid heavier
+// unrelated work.
+func workload(t *rr.Thread) {
+	rt := t.Runtime()
+	hits := rt.NewVar("Cache.hits")
+	scratch := rt.NewVar("Worker.scratch")
+	var hs []*rr.Handle
+	for w := 0; w < workers; w++ {
+		hs = append(hs, t.Fork(func(c *rr.Thread) {
+			for i := 0; i < updates; i++ {
+				// Unrelated padding work dilutes the racy window.
+				for j := 0; j < 25; j++ {
+					scratch.Add(c, 1)
+				}
+				c.Atomic("Cache.recordHit", func() {
+					h := hits.Load(c)
+					hits.Store(c, h+1) // zero-slack RMW
+				})
+			}
+		}))
+	}
+	for _, h := range hs {
+		t.Join(h)
+	}
+}
+
+func detect(seed int64, adversarial bool) (bool, int) {
+	velo := rr.NewVelodrome(core.Options{})
+	opts := rr.Options{Seed: seed, Backend: velo}
+	if adversarial {
+		adv := rr.NewAtomizerAdvisor()
+		opts.Backend = rr.Multi{velo, adv}
+		opts.Advisor = adv
+		opts.ParkSteps = 40
+	}
+	rep := rr.Run(opts, workload)
+	for _, w := range velo.Warnings() {
+		if w.Method() == "Cache.recordHit" {
+			return true, rep.Delays
+		}
+	}
+	return false, rep.Delays
+}
+
+func main() {
+	plainHits, advHits, delays := 0, 0, 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		if ok, _ := detect(seed, false); ok {
+			plainHits++
+		}
+		if ok, d := detect(seed, true); ok {
+			advHits++
+			delays += d
+		}
+	}
+	fmt.Printf("tight racy RMW across %d seeds:\n", seeds)
+	fmt.Printf("  plain scheduling:       found in %2d/%d runs (%.0f%%)\n",
+		plainHits, seeds, 100*float64(plainHits)/seeds)
+	fmt.Printf("  adversarial scheduling: found in %2d/%d runs (%.0f%%), %d pauses total\n",
+		advHits, seeds, 100*float64(advHits)/seeds, delays)
+	fmt.Println("\nThe paper reports the same effect on injected defects: ~30% plain vs")
+	fmt.Println("~70% adversarial detection (Section 6); run `velobench -inject`.")
+}

@@ -1,0 +1,116 @@
+// A bank whose transfer is composed of two individually-locked account
+// updates — atomic by intent, not by construction:
+//
+//	go run ./examples/bank
+//
+// Velodrome catches the non-atomic transfer (money is conjured when a
+// concurrent audit reads between the withdraw and the deposit), and stays
+// silent on the fixed version that holds both account locks across the
+// whole transfer (two-phase locking).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rr"
+)
+
+type bank struct {
+	locks    []*rr.Mutex
+	balances []*rr.Var
+}
+
+func newBank(rt *rr.Runtime, accounts int, opening int64) *bank {
+	b := &bank{}
+	for i := 0; i < accounts; i++ {
+		b.locks = append(b.locks, rt.NewMutex(fmt.Sprintf("Account%d.lock", i)))
+		b.balances = append(b.balances, rt.NewVar(fmt.Sprintf("Account%d.balance", i)))
+	}
+	return b
+}
+
+// transferBroken locks each account separately: a concurrent audit can
+// observe the money in flight. NOT atomic.
+func (b *bank) transferBroken(t *rr.Thread, from, to int, amount int64) {
+	t.Atomic("Bank.transfer", func() {
+		b.locks[from].With(t, func() {
+			b.balances[from].Add(t, -amount)
+		})
+		t.Yield() // the in-flight window
+		t.Yield()
+		b.locks[to].With(t, func() {
+			b.balances[to].Add(t, amount)
+		})
+	})
+}
+
+// transferFixed holds both locks for the whole move (in account order, so
+// no deadlock): atomic under two-phase locking.
+func (b *bank) transferFixed(t *rr.Thread, from, to int, amount int64) {
+	lo, hi := from, to
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	t.Atomic("Bank.transferFixed", func() {
+		b.locks[lo].Lock(t)
+		b.locks[hi].Lock(t)
+		b.balances[from].Add(t, -amount)
+		b.balances[to].Add(t, amount)
+		b.locks[hi].Unlock(t)
+		b.locks[lo].Unlock(t)
+	})
+}
+
+// audit sums all balances under all locks: atomic.
+func (b *bank) audit(t *rr.Thread) int64 {
+	var total int64
+	t.Atomic("Bank.audit", func() {
+		for i := range b.locks {
+			b.locks[i].Lock(t)
+		}
+		for i := range b.balances {
+			total += b.balances[i].Load(t)
+		}
+		for i := len(b.locks) - 1; i >= 0; i-- {
+			b.locks[i].Unlock(t)
+		}
+	})
+	return total
+}
+
+func run(fixed bool) (warnings int, observed []int64) {
+	velo := rr.NewVelodrome(core.Options{})
+	rr.Run(rr.Options{Seed: 3, Backend: velo}, func(t *rr.Thread) {
+		rt := t.Runtime()
+		b := newBank(rt, 3, 100)
+		for i := range b.balances {
+			b.balances[i].Store(t, 100)
+		}
+		mover := t.Fork(func(c *rr.Thread) {
+			for i := 0; i < 6; i++ {
+				if fixed {
+					b.transferFixed(c, i%3, (i+1)%3, 10)
+				} else {
+					b.transferBroken(c, i%3, (i+1)%3, 10)
+				}
+			}
+		})
+		auditor := t.Fork(func(c *rr.Thread) {
+			for i := 0; i < 6; i++ {
+				observed = append(observed, b.audit(c))
+			}
+		})
+		t.Join(mover)
+		t.Join(auditor)
+	})
+	return len(velo.Warnings()), observed
+}
+
+func main() {
+	warnings, observed := run(false)
+	fmt.Printf("broken transfer: %d velodrome warnings; audit totals %v\n", warnings, observed)
+	fmt.Println("  (totals below 300 show the money in flight — the atomicity bug is real)")
+	warnings, observed = run(true)
+	fmt.Printf("fixed transfer:  %d velodrome warnings; audit totals %v\n", warnings, observed)
+}

@@ -1,0 +1,77 @@
+// Parallel mode: the same program under the deterministic seeded
+// scheduler and under real goroutines racing on the Go scheduler:
+//
+//	go run ./examples/parallel
+//
+// Both modes feed the identical analysis; the deterministic mode is what
+// the experiments use (reproducible interleavings), the parallel mode is
+// how RoadRunner actually deploys. Velodrome's guarantee is per observed
+// trace, so it holds under either scheduler: every warning below is a
+// real conflict-serializability violation of the run that produced it.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rr"
+)
+
+func workload(t *rr.Thread) {
+	rt := t.Runtime()
+	balance := rt.NewVar("Account.balance")
+	mu := rt.NewMutex("Account.lock")
+	var hs []*rr.Handle
+	for i := 0; i < 4; i++ {
+		hs = append(hs, t.Fork(func(c *rr.Thread) {
+			for j := 0; j < 10; j++ {
+				// deposit: properly locked — atomic.
+				c.Atomic("Account.deposit", func() {
+					mu.With(c, func() { balance.Add(c, 5) })
+				})
+				// applyFee: read outside the lock, write inside — not atomic.
+				c.Atomic("Account.applyFee", func() {
+					b := balance.Load(c)
+					mu.With(c, func() { balance.Store(c, b-1) })
+				})
+			}
+		}))
+	}
+	for _, h := range hs {
+		t.Join(h)
+	}
+}
+
+func run(parallel bool, seed int64) (methods map[string]bool, events int) {
+	velo := rr.NewVelodrome(core.Options{})
+	rep := rr.Run(rr.Options{Parallel: parallel, Seed: seed, Backend: velo}, workload)
+	methods = map[string]bool{}
+	for _, s := range core.Summarize(velo.Warnings()) {
+		if s.Method != "" {
+			methods[string(s.Method)] = true
+		}
+	}
+	return methods, rep.Events
+}
+
+func main() {
+	det, ev := run(false, 7)
+	fmt.Printf("deterministic (seed 7): %d events, blamed methods %v\n", ev, keys(det))
+	for i := 0; i < 3; i++ {
+		par, ev := run(true, 0)
+		fmt.Printf("parallel run %d:        %d events, blamed methods %v\n", i+1, ev, keys(par))
+	}
+	fmt.Println("\nAccount.deposit is never blamed (it is atomic in every schedule);")
+	fmt.Println("Account.applyFee is blamed whenever a schedule witnesses its stale write.")
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		out = append(out, "(none)")
+	}
+	return out
+}

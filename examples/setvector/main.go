@@ -1,0 +1,88 @@
+// The Set.add example from the paper's introduction, run as a live
+// program on the rr instrumentation substrate:
+//
+//	go run ./examples/setvector
+//
+// Set.add is race-free — the underlying Vector's contains and add are
+// individually synchronized — yet not atomic: another thread can insert
+// the same element between the membership check and the insert. Velodrome
+// observes two threads adding concurrently and reports exactly this, with
+// an error graph like the one in Section 5 of the paper.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/rr"
+)
+
+// set is a Set backed by a synchronized vector, as in the paper.
+type set struct {
+	lock  *rr.Mutex
+	elems *rr.Ref[[]int64]
+}
+
+func newSet(rt *rr.Runtime) *set {
+	return &set{
+		lock:  rt.NewMutex("Vector.lock"),
+		elems: rr.NewRef[[]int64](rt, "Vector.elems"),
+	}
+}
+
+// contains is Vector.contains: synchronized.
+func (s *set) contains(t *rr.Thread, x int64) bool {
+	found := false
+	s.lock.With(t, func() {
+		for _, e := range s.elems.Load(t) {
+			if e == x {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// add is Vector.add: synchronized.
+func (s *set) vectorAdd(t *rr.Thread, x int64) {
+	s.lock.With(t, func() {
+		s.elems.Update(t, func(es []int64) []int64 { return append(es, x) })
+	})
+}
+
+// setAdd is Set.add: atomic by intent, not by construction.
+func (s *set) setAdd(t *rr.Thread, x int64) {
+	t.Atomic("Set.add", func() {
+		if !s.contains(t, x) {
+			t.Yield() // invite the scheduler in, like a JIT-compiled gap
+			s.vectorAdd(t, x)
+		}
+	})
+}
+
+func main() {
+	for seed := int64(1); ; seed++ {
+		velo := rr.NewVelodrome(core.Options{})
+		var final []int64
+		rr.Run(rr.Options{Seed: seed, Backend: velo}, func(t *rr.Thread) {
+			s := newSet(t.Runtime())
+			h1 := t.Fork(func(c *rr.Thread) { s.setAdd(c, 7) })
+			h2 := t.Fork(func(c *rr.Thread) { s.setAdd(c, 7) })
+			t.Join(h1)
+			t.Join(h2)
+			final = s.elems.Load(t)
+		})
+		dup := len(final) > 1
+		if len(velo.Warnings()) == 0 {
+			fmt.Printf("seed %d: schedule was benign (set=%v), retrying...\n", seed, final)
+			continue
+		}
+		w := velo.Warnings()[0]
+		fmt.Printf("seed %d: duplicate inserted=%v, set=%v\n\n", seed, dup, final)
+		fmt.Println(w)
+		fmt.Printf("\nWarning: %s is not atomic — error graph (dot):\n\n", w.Method())
+		fmt.Println(dot.Render(w))
+		return
+	}
+}

@@ -1,0 +1,219 @@
+package atomizer
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func TestRacyRMWViolates(t *testing.T) {
+	x := trace.Var(0)
+	// Make x racy first (two unprotected writers), then run an atomic
+	// read-modify-write on it: rd is a non-mover (commit), wr is a second
+	// non-mover → violation.
+	tr := trace.Trace{
+		trace.Wr(1, x),
+		trace.Wr(2, x), // x becomes racy
+		trace.Beg(1, "inc"),
+		trace.Rd(1, x),
+		trace.Wr(1, x),
+		trace.Fin(1),
+	}
+	warns := CheckTrace(tr)
+	if len(warns) != 1 {
+		t.Fatalf("warnings = %v, want 1", warns)
+	}
+	if warns[0].Label != "inc" {
+		t.Errorf("label = %q, want inc", warns[0].Label)
+	}
+}
+
+func TestProperlyLockedBlockReduces(t *testing.T) {
+	x := trace.Var(0)
+	m := trace.Lock(0)
+	var tr trace.Trace
+	for _, tid := range []trace.Tid{1, 2} {
+		tr = append(tr,
+			trace.Beg(tid, "inc"),
+			trace.Acq(tid, m),
+			trace.Rd(tid, x),
+			trace.Wr(tid, x),
+			trace.Rel(tid, m),
+			trace.Fin(tid),
+		)
+	}
+	if warns := CheckTrace(tr); len(warns) != 0 {
+		t.Fatalf("properly locked block warned: %v", warns)
+	}
+}
+
+func TestAcquireAfterReleaseViolates(t *testing.T) {
+	// The Set.add pattern: acq/rel then acq again inside one atomic block
+	// breaks (right|both)* [non] (left|both)*.
+	m := trace.Lock(0)
+	x := trace.Var(0)
+	tr := trace.Trace{
+		trace.Beg(1, "Set.add"),
+		trace.Acq(1, m),
+		trace.Rd(1, x),
+		trace.Rel(1, m), // left-mover: commit
+		trace.Acq(1, m), // right-mover after commit → violation
+		trace.Wr(1, x),
+		trace.Rel(1, m),
+		trace.Fin(1),
+	}
+	warns := CheckTrace(tr)
+	if len(warns) != 1 {
+		t.Fatalf("warnings = %v, want 1", warns)
+	}
+	if warns[0].Op.Kind != trace.Acquire {
+		t.Errorf("violation at %v, want the second acquire", warns[0].Op)
+	}
+}
+
+// TestFalseAlarmOnFlagHandoff is the headline comparison: the flag-handoff
+// program of Section 2 is serializable in every trace (Velodrome quiet),
+// but the Atomizer's Eraser-based mover classification cannot see the
+// flag protocol and reports a violation.
+func TestFalseAlarmOnFlagHandoff(t *testing.T) {
+	x, b := trace.Var(0), trace.Var(1)
+	var tr trace.Trace
+	for round := 0; round < 3; round++ {
+		tr = append(tr,
+			trace.Beg(1, "inc1"),
+			trace.Rd(1, x), trace.Wr(1, x), trace.Wr(1, b),
+			trace.Fin(1),
+			trace.Rd(2, b),
+			trace.Beg(2, "inc2"),
+			trace.Rd(2, x), trace.Wr(2, x), trace.Wr(2, b),
+			trace.Fin(2),
+			trace.Rd(1, b),
+		)
+	}
+	atomizerWarns := CheckTrace(tr)
+	if len(atomizerWarns) == 0 {
+		t.Fatal("Atomizer should false-alarm on the flag handoff")
+	}
+	velodrome := core.CheckTrace(tr, core.Options{})
+	if !velodrome.Serializable {
+		t.Fatal("Velodrome must stay quiet on the serializable handoff")
+	}
+}
+
+// TestAtomizerGeneralizes shows the flip side: the Atomizer can flag a
+// defect from a benign interleaving where Velodrome (correctly, for the
+// observed trace) stays quiet — the coverage/precision trade-off of
+// Section 6.
+func TestAtomizerGeneralizes(t *testing.T) {
+	x := trace.Var(0)
+	// The racy RMW executes without an interleaved write this time.
+	tr := trace.Trace{
+		trace.Wr(2, x), // make x shared...
+		trace.Wr(1, x), // ...and racy
+		trace.Beg(1, "inc"),
+		trace.Rd(1, x),
+		trace.Wr(1, x),
+		trace.Fin(1),
+	}
+	if len(CheckTrace(tr)) == 0 {
+		t.Fatal("Atomizer should flag the racy RMW pattern")
+	}
+	if !core.CheckTrace(tr, core.Options{}).Serializable {
+		t.Fatal("the observed trace itself is serializable")
+	}
+}
+
+func TestWarnOncePerBlockInstance(t *testing.T) {
+	x, y := trace.Var(0), trace.Var(1)
+	tr := trace.Trace{
+		trace.Wr(1, x), trace.Wr(2, x), // x racy
+		trace.Wr(1, y), trace.Wr(2, y), // y racy
+		trace.Beg(1, "big"),
+		trace.Rd(1, x), // non-mover: commit
+		trace.Wr(1, x), // violation 1
+		trace.Wr(1, y), // would be violation again: suppressed
+		trace.Fin(1),
+		trace.Beg(1, "big"), // new instance may warn again
+		trace.Rd(1, x),
+		trace.Wr(1, x),
+		trace.Fin(1),
+	}
+	warns := CheckTrace(tr)
+	if len(warns) != 2 {
+		t.Fatalf("warnings = %d, want 2 (one per block instance)", len(warns))
+	}
+}
+
+func TestNestedBlocksTrackedIndependently(t *testing.T) {
+	x := trace.Var(0)
+	m := trace.Lock(0)
+	tr := trace.Trace{
+		trace.Beg(1, "outer"),
+		trace.Acq(1, m),
+		trace.Rd(1, x),
+		trace.Rel(1, m), // outer is now post-commit
+		trace.Beg(1, "inner"),
+		trace.Acq(1, m), // violation for outer only; inner still pre-commit
+		trace.Wr(1, x),
+		trace.Rel(1, m),
+		trace.Fin(1),
+		trace.Fin(1),
+	}
+	warns := CheckTrace(tr)
+	if len(warns) != 1 {
+		t.Fatalf("warnings = %v, want 1", warns)
+	}
+	if warns[0].Label != "outer" {
+		t.Errorf("violated block = %q, want outer", warns[0].Label)
+	}
+}
+
+func TestSuspicious(t *testing.T) {
+	c := New()
+	c.Step(trace.Wr(1, 0))
+	c.Step(trace.Wr(2, 0)) // x0 racy
+	if c.Suspicious(trace.Rd(1, 0)) {
+		t.Fatal("outside a block nothing is suspicious")
+	}
+	c.Step(trace.Beg(1, "inc"))
+	if c.Suspicious(trace.Rd(1, 0)) {
+		t.Fatal("first racy access (pre-commit) should not be suspicious")
+	}
+	c.Step(trace.Rd(1, 0)) // the racy read commits the block
+	if !c.Suspicious(trace.Wr(1, 0)) {
+		t.Fatal("the completing write of a racy RMW should be suspicious")
+	}
+	if c.Suspicious(trace.Rd(1, 9)) {
+		t.Fatal("non-racy variable should not be suspicious")
+	}
+	if c.Suspicious(trace.Acq(1, 0)) {
+		t.Fatal("only accesses are suspicious")
+	}
+	if c.InnermostLabel(1) != "inc" {
+		t.Fatalf("innermost label = %q", c.InnermostLabel(1))
+	}
+	if c.InnermostLabel(9) != "" {
+		t.Fatal("no label outside blocks")
+	}
+}
+
+func TestRacesExposed(t *testing.T) {
+	c := New()
+	c.Step(trace.Wr(1, 0))
+	c.Step(trace.Wr(2, 0))
+	if len(c.Races()) != 1 {
+		t.Fatalf("races = %v", c.Races())
+	}
+}
+
+func TestWarningString(t *testing.T) {
+	tr := trace.Trace{
+		trace.Wr(1, 0), trace.Wr(2, 0),
+		trace.Beg(1, "m"), trace.Rd(1, 0), trace.Wr(1, 0), trace.Fin(1),
+	}
+	warns := CheckTrace(tr)
+	if len(warns) == 0 || warns[0].String() == "" {
+		t.Fatal("missing warning rendering")
+	}
+}

@@ -1,0 +1,98 @@
+package atomizer
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// racyRMWBlock is the canonical violating block: make x racy first, then
+// an atomic read-modify-write on it.
+func racyRMWBlock(label trace.Label) trace.Trace {
+	x := trace.Var(0)
+	return trace.Trace{
+		trace.Wr(1, x),
+		trace.Wr(2, x),
+		trace.Beg(1, label),
+		trace.Rd(1, x),
+		trace.Wr(1, x),
+		trace.Fin(1),
+	}
+}
+
+// TestSpecSuppressesExemptedBlocks: SetSpec silences exactly the named
+// labels.
+func TestSpecSuppressesExemptedBlocks(t *testing.T) {
+	c := New()
+	c.SetSpec(map[trace.Label]bool{"noise": true})
+	for _, op := range racyRMWBlock("noise") {
+		c.Step(op)
+	}
+	if len(c.Warnings()) != 0 {
+		t.Fatalf("exempted block warned: %v", c.Warnings())
+	}
+	// A non-exempted block on the same (already racy) variable still warns.
+	for _, op := range racyRMWBlock("real")[2:] {
+		c.Step(op)
+	}
+	if len(c.Warnings()) != 1 || c.Warnings()[0].Label != "real" {
+		t.Fatalf("warnings = %v", c.Warnings())
+	}
+}
+
+// TestSpecNestedExemption: an exempted inner block never warns while the
+// enclosing checked block still does.
+func TestSpecNestedExemption(t *testing.T) {
+	x := trace.Var(0)
+	c := New()
+	c.SetSpec(map[trace.Label]bool{"inner": true})
+	tr := trace.Trace{
+		trace.Wr(1, x), trace.Wr(2, x), // x racy
+		trace.Beg(1, "outer"),
+		trace.Rd(1, x), // commit for outer
+		trace.Beg(1, "inner"),
+		// The next read would violate inner (post-commit) but inner is
+		// exempt; outer, already committed, IS violated here.
+		trace.Rd(1, x),
+		trace.Fin(1),
+		trace.Fin(1),
+	}
+	for _, op := range tr {
+		c.Step(op)
+	}
+	if len(c.Warnings()) != 1 || c.Warnings()[0].Label != "outer" {
+		t.Fatalf("warnings = %v, want exactly outer", c.Warnings())
+	}
+}
+
+// TestMoversOutsideBlocksIgnored: events outside any atomic block never
+// produce reduction warnings.
+func TestMoversOutsideBlocksIgnored(t *testing.T) {
+	x := trace.Var(0)
+	tr := trace.Trace{
+		trace.Wr(1, x), trace.Wr(2, x), // racy
+		trace.Rd(1, x), trace.Wr(1, x), // racy RMW, but no block open
+		trace.Acq(1, 0), trace.Rel(1, 0), trace.Acq(1, 0), trace.Rel(1, 0),
+	}
+	if warns := CheckTrace(tr); len(warns) != 0 {
+		t.Fatalf("warned outside blocks: %v", warns)
+	}
+}
+
+// TestReleaseThenBothMoverOK: (right|both)* [non] (left|both)* admits
+// both-movers after the commit point.
+func TestReleaseThenBothMoverOK(t *testing.T) {
+	x := trace.Var(0)
+	m := trace.Lock(0)
+	tr := trace.Trace{
+		trace.Beg(1, "ok"),
+		trace.Acq(1, m),
+		trace.Rd(1, x),  // race-free under m (exclusive anyway): both-mover
+		trace.Rel(1, m), // commit
+		trace.Rd(1, x),  // still exclusive to thread 1: both-mover, fine
+		trace.Fin(1),
+	}
+	if warns := CheckTrace(tr); len(warns) != 0 {
+		t.Fatalf("both-mover after commit warned: %v", warns)
+	}
+}

@@ -1,0 +1,175 @@
+// Package bench contains Go analogues of the fifteen benchmark programs
+// of the Velodrome evaluation (Section 6): elevator, hedc, tsp, sor, jbb,
+// mtrt, moldyn, montecarlo, raytracer, colt, philo, raja, multiset, webl
+// and jigsaw. Each workload is a small multithreaded program written
+// against the rr substrate, reproducing the synchronization idioms that
+// drive the paper's results: lock-protected state, unsynchronized
+// read-modify-write defects, check-then-act sequences, fork/join phases,
+// flag handoffs and barriers.
+//
+// Every atomic method carries a ground-truth label:
+//
+//   - Atomic: serializable in every schedule. Velodrome must never blame
+//     it (soundness); the Atomizer may still flag it when the method is
+//     synchronized by something Eraser cannot see (a false alarm).
+//   - NonAtomic: some schedules are non-serializable, with a window wide
+//     enough that ordinary seeds expose it.
+//   - NonAtomicRare: genuinely non-atomic, but the window is a single
+//     scheduling point, so plain runs usually miss it — the adversarial
+//     scheduler's quarry (Section 6's coverage experiments).
+//
+// The experiment harness counts tool warnings against these labels to
+// regenerate Table 2 and checks that Velodrome's false-alarm column is
+// identically zero.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rr"
+)
+
+// Truth is the ground-truth atomicity of a method.
+type Truth int
+
+// Ground-truth labels.
+const (
+	Atomic Truth = iota
+	NonAtomic
+	NonAtomicRare
+)
+
+// String returns the label used in reports.
+func (tr Truth) String() string {
+	switch tr {
+	case Atomic:
+		return "atomic"
+	case NonAtomic:
+		return "non-atomic"
+	case NonAtomicRare:
+		return "non-atomic(rare)"
+	}
+	return "?"
+}
+
+// Params tune one run of a workload.
+type Params struct {
+	// Scale multiplies the amount of work (default 1).
+	Scale int
+	// Disabled names sync points removed for defect injection (§6).
+	Disabled map[string]bool
+}
+
+func (p Params) scale() int {
+	if p.Scale <= 0 {
+		return 1
+	}
+	return p.Scale
+}
+
+// Guard executes body under m unless the named sync point has been
+// removed by defect injection.
+func (p Params) Guard(t *rr.Thread, m *rr.Mutex, name string, body func()) {
+	if p.Disabled[name] {
+		body()
+		return
+	}
+	m.With(t, body)
+}
+
+// Workload is one benchmark program analogue.
+type Workload struct {
+	// Name matches the paper's benchmark name.
+	Name string
+	// Desc is a one-line description.
+	Desc string
+	// JavaLines is the size of the Java original (Table 1, for reference).
+	JavaLines int
+	// Body runs the program on the main virtual thread.
+	Body func(t *rr.Thread, p Params)
+	// Truth maps each atomic method label to its ground truth.
+	Truth map[string]Truth
+	// SyncPoints lists removable contention-inducing sync statements.
+	SyncPoints []string
+	// InjectionPoints are the sync statements used by the defect-injection
+	// experiment of Section 6: each guards an otherwise-atomic method, so
+	// removing it plants exactly one fresh atomicity defect whose detection
+	// can be judged by whether the named method gets blamed.
+	InjectionPoints []Injection
+}
+
+// Injection names one removable sync statement and the atomic method it
+// protects.
+type Injection struct {
+	Point  string
+	Method string
+}
+
+// Methods returns the method labels sorted, for deterministic reports.
+func (w *Workload) Methods() []string {
+	out := make([]string, 0, len(w.Truth))
+	for m := range w.Truth {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var registry []*Workload
+
+func register(w *Workload) *Workload {
+	registry = append(registry, w)
+	return w
+}
+
+// All returns the workloads in the paper's Table 1 order.
+func All() []*Workload {
+	order := []string{
+		"elevator", "hedc", "tsp", "sor", "jbb", "mtrt", "moldyn",
+		"montecarlo", "raytracer", "colt", "philo", "raja", "multiset",
+		"webl", "jigsaw",
+	}
+	byName := map[string]*Workload{}
+	for _, w := range registry {
+		byName[w.Name] = w
+	}
+	out := make([]*Workload, 0, len(order))
+	for _, n := range order {
+		w, ok := byName[n]
+		if !ok {
+			panic(fmt.Sprintf("bench: workload %s not registered", n))
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// ByName returns the named workload or nil.
+func ByName(name string) *Workload {
+	for _, w := range registry {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// Describe renders the workload's method inventory with ground truth, for
+// tool output and documentation.
+func (w *Workload) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (Java original ~%d lines)\n", w.Name, w.Desc, w.JavaLines)
+	for _, m := range w.Methods() {
+		fmt.Fprintf(&b, "  %-28s %s\n", m, w.Truth[m])
+	}
+	if len(w.SyncPoints) > 0 {
+		fmt.Fprintf(&b, "  removable sync points: %d", len(w.SyncPoints))
+		if len(w.InjectionPoints) > 0 {
+			fmt.Fprintf(&b, " (%d injection targets)", len(w.InjectionPoints))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

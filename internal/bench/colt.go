@@ -1,0 +1,268 @@
+package bench
+
+import "repro/internal/rr"
+
+// colt is the analogue of CERN's Colt scientific computing library under
+// a multithreaded driver. Colt's descriptive-statistics objects cache
+// derived moments; many public methods refresh those caches with the same
+// split check-then-update idiom, which is why the paper's colt row has
+// the second-largest warning count (27 non-atomic methods, of which
+// Velodrome's single runs catch 20 and miss 7 whose update windows are a
+// single scheduling point). Two matrix reduction methods synchronized by
+// fork/join are Atomizer false alarms.
+
+const (
+	coltWorkers = 3
+	coltRounds  = 3
+)
+
+// coltEasyOps are cache-refresh methods with wide update windows: found
+// by plain Velodrome runs.
+var coltEasyOps = []struct {
+	name string
+	f    func(cur, x int64) int64
+}{
+	{"DynamicBin.addSum", func(c, x int64) int64 { return c + x }},
+	{"DynamicBin.addSumSq", func(c, x int64) int64 { return c + x*x }},
+	{"DynamicBin.addSumCb", func(c, x int64) int64 { return c + x*x%101 }},
+	{"DynamicBin.updateMin", func(c, x int64) int64 {
+		if x < c || c == 0 {
+			return x
+		}
+		return c
+	}},
+	{"DynamicBin.updateMax", func(c, x int64) int64 {
+		if x > c {
+			return x
+		}
+		return c
+	}},
+	{"DynamicBin.countNaN", func(c, x int64) int64 {
+		if x%13 == 0 {
+			return c + 1
+		}
+		return c
+	}},
+	{"Histogram1D.fill", func(c, x int64) int64 { return c + 1<<uint(x%8) }},
+	{"Histogram1D.overflow", func(c, x int64) int64 {
+		if x > 50 {
+			return c + 1
+		}
+		return c
+	}},
+	{"Histogram1D.underflow", func(c, x int64) int64 {
+		if x < 5 {
+			return c + 1
+		}
+		return c
+	}},
+	{"Quantile.estimate", func(c, x int64) int64 { return (c*3 + x) / 2 }},
+	{"Moments.mean", func(c, x int64) int64 { return (c + x) / 2 }},
+	{"Moments.variance", func(c, x int64) int64 { return c + (x-c)*(x-c)%53 }},
+	{"Moments.skew", func(c, x int64) int64 { return c ^ x<<2 }},
+	{"Moments.kurtosis", func(c, x int64) int64 { return c + x%19 }},
+	{"Formatter.width", func(c, x int64) int64 {
+		if x%10 > c {
+			return x % 10
+		}
+		return c
+	}},
+	{"Buffer.flushCount", func(c, x int64) int64 { return c + 1 }},
+	{"Sorting.swapCount", func(c, x int64) int64 { return c + x%5 }},
+	{"Partition.steps", func(c, x int64) int64 { return c + x%3 + 1 }},
+	{"Random.draws", func(c, x int64) int64 { return c + 1 + x%2*64 }},
+	{"Arithmetic.gcdCalls", func(c, x int64) int64 { return c + x%2 }},
+}
+
+// coltRareOps are cache refreshes whose read-write window is a single
+// scheduling point: the Atomizer flags them (racy RMW) but plain
+// Velodrome runs usually miss them — the paper's 7 missed methods.
+var coltRareOps = []string{
+	"DoubleMatrix.zSum",
+	"DoubleMatrix.cardinality",
+	"DoubleMatrix.normalize",
+	"Bin.refreshMean",
+	"Bin.refreshRMS",
+	"Bin.refreshVariance",
+	"Bin.refreshStdDev",
+}
+
+// coltLockedOps are properly synchronized library methods (Atomic); each
+// one's lock is a defect-injection target.
+var coltLockedOps = []string{
+	"Matrix.setQuick", "Matrix.getQuickCache", "Sequence.next",
+	"ObjectPool.borrow", "ObjectPool.release",
+}
+
+type coltSim struct {
+	rt          *rr.Runtime
+	easyCells   []*rr.Var
+	rareCells   []*rr.Var
+	lockedCells []*rr.Var
+	lockedLock  *rr.Mutex
+	shards      [][]*rr.Var // [worker][2] fork/join bait slots
+	p           Params
+}
+
+var coltBaits = []string{"Matrix2D.aggregate", "Matrix2D.assign"}
+
+func newColtSim(t *rr.Thread, p Params) *coltSim {
+	rt := t.Runtime()
+	s := &coltSim{rt: rt, p: p}
+	for _, op := range coltEasyOps {
+		s.easyCells = append(s.easyCells, rt.NewVar(op.name+".cache"))
+	}
+	for _, name := range coltRareOps {
+		s.rareCells = append(s.rareCells, rt.NewVar(name+".cache"))
+	}
+	s.lockedLock = rt.NewMutex("Colt.libLock")
+	for _, name := range coltLockedOps {
+		s.lockedCells = append(s.lockedCells, rt.NewVar(name+".cell"))
+	}
+	for w := 0; w < coltWorkers; w++ {
+		row := []*rr.Var{
+			rt.NewVar("Matrix2D.aggregate.shard"),
+			rt.NewVar("Matrix2D.assign.shard"),
+		}
+		s.shards = append(s.shards, row)
+	}
+	return s
+}
+
+// easyOp refreshes a cached statistic with a wide lock-free window:
+// NON-ATOMIC and readily exposed.
+func (s *coltSim) easyOp(t *rr.Thread, i int, x int64) {
+	op := coltEasyOps[i]
+	cell := s.easyCells[i]
+	t.Atomic(op.name, func() {
+		cur := cell.Load(t)
+		t.Yield()
+		t.Yield()
+		t.Yield()
+		cell.Store(t, op.f(cur, x))
+	})
+}
+
+// rareOp refreshes a cached statistic with a zero-slack window:
+// NON-ATOMIC but observed serializably on almost every plain run.
+func (s *coltSim) rareOp(t *rr.Thread, i int, x int64) {
+	cell := s.rareCells[i]
+	t.Atomic(coltRareOps[i], func() {
+		cur := cell.Load(t)
+		cell.Store(t, cur*7+x)
+	})
+}
+
+// lockedOp is a properly synchronized library method: ATOMIC while its
+// lock is in place; the defect-injection experiment removes the lock and
+// measures whether the resulting tight RMW gets caught.
+func (s *coltSim) lockedOp(t *rr.Thread, i int, x int64) {
+	name := coltLockedOps[i]
+	cell := s.lockedCells[i]
+	t.Atomic(name, func() {
+		s.p.Guard(t, s.lockedLock, "libLock@"+name, func() {
+			cur := cell.Load(t)
+			cell.Store(t, cur*3+x+1)
+		})
+	})
+}
+
+// baitOp is the fork/join-synchronized matrix reduction: ATOMIC, but an
+// Atomizer false alarm.
+func (s *coltSim) baitOp(t *rr.Thread, worker, which int, x int64) {
+	slot := s.shards[worker][which]
+	t.Atomic(coltBaits[which], func() {
+		acc := slot.Load(t)
+		slot.Store(t, acc+x)
+		chk := slot.Load(t)
+		slot.Store(t, chk)
+	})
+}
+
+var coltWorkload = register(&Workload{
+	Name:      "colt",
+	Desc:      "Colt scientific library under a concurrent driver",
+	JavaLines: 29000,
+	Truth: func() map[string]Truth {
+		truth := map[string]Truth{}
+		for _, op := range coltEasyOps {
+			truth[op.name] = NonAtomic
+		}
+		for _, name := range coltRareOps {
+			truth[name] = NonAtomicRare
+		}
+		for _, b := range coltBaits {
+			truth[b] = Atomic // fork/join bait: FA each
+		}
+		for _, name := range coltLockedOps {
+			truth[name] = Atomic
+		}
+		return truth
+	}(),
+	SyncPoints: func() []string {
+		var pts []string
+		for _, name := range coltLockedOps {
+			pts = append(pts, "libLock@"+name)
+		}
+		return pts
+	}(),
+	InjectionPoints: func() []Injection {
+		var pts []Injection
+		for _, name := range coltLockedOps {
+			pts = append(pts, Injection{Point: "libLock@" + name, Method: name})
+		}
+		return pts
+	}(),
+	Body: func(t *rr.Thread, p Params) {
+		s := newColtSim(t, p)
+		for _, c := range s.easyCells {
+			c.Store(t, 0)
+		}
+		for _, c := range s.rareCells {
+			c.Store(t, 0)
+		}
+		for _, c := range s.lockedCells {
+			c.Store(t, 0)
+		}
+		for _, row := range s.shards {
+			for _, slot := range row {
+				slot.Store(t, 0)
+			}
+		}
+		var hs []*rr.Handle
+		for w := 0; w < coltWorkers; w++ {
+			worker := w
+			hs = append(hs, t.Fork(func(c *rr.Thread) {
+				for r := 0; r < coltRounds*p.scale(); r++ {
+					x := int64(worker*37 + r*11 + 5)
+					for i := range coltEasyOps {
+						s.easyOp(c, i, x)
+					}
+					// Rare ops run on a stagger: zero-slack windows with
+					// little temporal overlap, so plain runs usually see
+					// them serializably (the paper's 7 missed methods).
+					if r%coltWorkers == worker || r%coltWorkers == (worker+1)%coltWorkers {
+						for i := range coltRareOps {
+							s.rareOp(c, i, x)
+						}
+					}
+					for i := range coltLockedOps {
+						s.lockedOp(c, i, x+int64(i))
+					}
+					s.baitOp(c, worker, r%2, x)
+				}
+			}))
+		}
+		for _, h := range hs {
+			t.Join(h)
+		}
+		// Reduce the shards after joining (bait's ordered second half).
+		total := int64(0)
+		for _, row := range s.shards {
+			for _, slot := range row {
+				total += slot.Load(t)
+			}
+		}
+		_ = total
+	},
+})

@@ -1,0 +1,289 @@
+package bench
+
+// This file holds the workloads' pure computational kernels: the domain
+// work the original Java benchmarks spend their cycles on. Everything
+// here is deterministic and side-effect free, and runs *between*
+// instrumented operations — so it contributes realistic compute without
+// perturbing the event stream (the analyses never see values, and the
+// deterministic scheduler only switches at events).
+
+import "math"
+
+// ---- Fixed-point 3D vectors (mtrt, raytracer, raja) ----
+
+// vec3 is a double-precision 3-vector.
+type vec3 struct{ x, y, z float64 }
+
+func (a vec3) add(b vec3) vec3      { return vec3{a.x + b.x, a.y + b.y, a.z + b.z} }
+func (a vec3) sub(b vec3) vec3      { return vec3{a.x - b.x, a.y - b.y, a.z - b.z} }
+func (a vec3) scale(k float64) vec3 { return vec3{a.x * k, a.y * k, a.z * k} }
+func (a vec3) dot(b vec3) float64   { return a.x*b.x + a.y*b.y + a.z*b.z }
+func (a vec3) norm() vec3 {
+	l := math.Sqrt(a.dot(a))
+	if l == 0 {
+		return a
+	}
+	return a.scale(1 / l)
+}
+
+// sphere is a scene primitive.
+type sphere struct {
+	center vec3
+	radius float64
+	albedo float64
+}
+
+// defaultScene is the shared read-only scene description.
+var defaultScene = []sphere{
+	{vec3{0, 0, -5}, 1.0, 0.8},
+	{vec3{2, 1, -6}, 1.5, 0.6},
+	{vec3{-2, -1, -4}, 0.7, 0.9},
+	{vec3{0, -101, -5}, 100, 0.5}, // floor
+}
+
+// intersect returns the nearest hit distance of a ray against the scene,
+// or +Inf. Standard quadratic ray-sphere test.
+func intersect(origin, dir vec3, scene []sphere) (float64, int) {
+	best := math.Inf(1)
+	hit := -1
+	for i, s := range scene {
+		oc := origin.sub(s.center)
+		b := oc.dot(dir)
+		c := oc.dot(oc) - s.radius*s.radius
+		disc := b*b - c
+		if disc < 0 {
+			continue
+		}
+		t := -b - math.Sqrt(disc)
+		if t > 1e-4 && t < best {
+			best = t
+			hit = i
+		}
+	}
+	return best, hit
+}
+
+// shadePixel traces one primary ray with a single diffuse bounce and a
+// hard shadow test toward a fixed light; returns an 8-bit luminance.
+func shadePixel(px, py, seed int64) int64 {
+	u := float64(px%64)/32 - 1
+	v := float64(py%64)/32 - 1
+	jitter := float64(seed%7) / 100
+	origin := vec3{0, 0, 0}
+	dir := vec3{u + jitter, v, -1}.norm()
+	t, hit := intersect(origin, dir, defaultScene)
+	if hit < 0 {
+		return 16 // sky
+	}
+	p := origin.add(dir.scale(t))
+	n := p.sub(defaultScene[hit].center).norm()
+	light := vec3{5, 8, 0}
+	toLight := light.sub(p).norm()
+	lum := defaultScene[hit].albedo * math.Max(0, n.dot(toLight))
+	// Shadow ray.
+	if d, h := intersect(p.add(n.scale(1e-3)), toLight, defaultScene); h >= 0 && d < 12 {
+		lum *= 0.2
+	}
+	return int64(math.Min(255, 40+200*lum))
+}
+
+// ---- Monte Carlo option pricing (montecarlo) ----
+
+// lcg64 advances the 64-bit MMIX linear congruential generator.
+func lcg64(x uint64) uint64 { return x*6364136223846793005 + 1442695040888963407 }
+
+// gaussian draws an approximately standard-normal variate from twelve
+// uniform draws (Irwin–Hall), returning the advanced RNG state.
+func gaussian(state uint64) (float64, uint64) {
+	sum := 0.0
+	for i := 0; i < 12; i++ {
+		state = lcg64(state)
+		sum += float64(state>>11) / float64(1<<53)
+	}
+	return sum - 6, state
+}
+
+// simulatePath prices one European option path under geometric Brownian
+// motion (the Java Grande kernel's shape) and returns an integer price.
+func simulatePath(seed int64) int64 {
+	const (
+		s0    = 100.0 // spot
+		mu    = 0.03  // drift
+		sigma = 0.25  // volatility
+		steps = 16
+		dt    = 1.0 / steps
+	)
+	state := uint64(seed)*2654435761 + 17
+	s := s0
+	for i := 0; i < steps; i++ {
+		var z float64
+		z, state = gaussian(state)
+		s *= math.Exp((mu-0.5*sigma*sigma)*dt + sigma*math.Sqrt(dt)*z)
+	}
+	if s < 1 {
+		s = 1
+	}
+	return int64(s)
+}
+
+// ---- HTML link extraction (webl) ----
+
+// synthPage renders a deterministic pseudo-HTML page for a page id.
+func synthPage(page int64) string {
+	x := uint64(page)*2654435761 + 1
+	out := "<html><body>"
+	for i := 0; i < 6; i++ {
+		x = lcg64(x)
+		switch x % 4 {
+		case 0:
+			out += "<p>astro data record</p>"
+		case 1:
+			out += "<a href=\"/page/" + itoa(int64(x>>40)%50) + "\">link</a>"
+		case 2:
+			out += "<div><a href='/page/" + itoa(int64(x>>33)%50) + "'>deep</a></div>"
+		case 3:
+			out += "<!-- comment " + itoa(int64(x%97)) + " -->"
+		}
+	}
+	return out + "</body></html>"
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// extractLinks tokenizes hrefs out of a pseudo-HTML page — a real little
+// scanner, handling both quote styles and ignoring comments.
+func extractLinks(page string) []int64 {
+	var links []int64
+	i := 0
+	for i < len(page) {
+		if page[i] != '<' {
+			i++
+			continue
+		}
+		if i+4 <= len(page) && page[i:i+4] == "<!--" {
+			end := indexFrom(page, "-->", i+4)
+			if end < 0 {
+				break
+			}
+			i = end + 3
+			continue
+		}
+		end := indexFrom(page, ">", i)
+		if end < 0 {
+			break
+		}
+		tag := page[i:end]
+		if h := indexFrom(tag, "href=", 0); h >= 0 && h+6 < len(tag) {
+			q := tag[h+5]
+			if q == '"' || q == '\'' {
+				close := indexFrom(tag, string(q), h+6)
+				if close > 0 {
+					url := tag[h+6 : close]
+					if n := indexFrom(url, "/page/", 0); n >= 0 {
+						links = append(links, atoi(url[n+6:]))
+					}
+				}
+			}
+		}
+		i = end + 1
+	}
+	return links
+}
+
+func indexFrom(s, sub string, from int) int {
+	for i := from; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func atoi(s string) int64 {
+	var n int64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n
+}
+
+// ---- HTTP request handling (jigsaw) ----
+
+// synthRequest renders a deterministic request line for a request id.
+func synthRequest(req int64) string {
+	paths := []string{"/", "/index.html", "/doc/spec.html", "/img/logo.png",
+		"/cgi/search?q=atomicity", "/admin/props", "/missing/page"}
+	methods := []string{"GET", "GET", "GET", "HEAD", "POST"}
+	x := uint64(req)*2654435761 + 101
+	m := methods[x%uint64(len(methods))]
+	p := paths[(x>>16)%uint64(len(paths))]
+	return m + " " + p + " HTTP/1.1\r\nHost: jigsaw.test\r\nConnection: keep-alive\r\n\r\n"
+}
+
+// parseRequest is a real request-line parser: method, path, version, and
+// a rough response size (a hash of the path modulating a base size).
+func parseRequest(raw string) (method, path string, size int64) {
+	sp1 := indexFrom(raw, " ", 0)
+	if sp1 < 0 {
+		return "", "", 400
+	}
+	method = raw[:sp1]
+	sp2 := indexFrom(raw, " ", sp1+1)
+	if sp2 < 0 {
+		return method, "", 400
+	}
+	path = raw[sp1+1 : sp2]
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(path); i++ {
+		h = (h ^ uint64(path[i])) * 1099511628211 // FNV-1a
+	}
+	size = int64(h % 4096)
+	if method == "HEAD" {
+		size = 0
+	}
+	return method, path, size
+}
+
+// ---- Astrophysics record synthesis (hedc) ----
+
+// fetchRecord simulates decoding a fixed-width archive record: parse a
+// synthetic line of instrument readings and integrate a light curve.
+func fetchRecord(id int64) int64 {
+	x := uint64(id)*2654435761 + 17
+	total := 0.0
+	phase := float64(id%360) * math.Pi / 180
+	for i := 0; i < 24; i++ {
+		x = lcg64(x)
+		noise := float64(x>>40)/float64(1<<24) - 0.5
+		total += math.Abs(math.Sin(phase+float64(i)/4)) + noise/50
+	}
+	v := int64(total * 40)
+	if v < 0 {
+		v = 0
+	}
+	return v % 1000
+}

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorOps(t *testing.T) {
+	a := vec3{1, 2, 3}
+	b := vec3{4, 5, 6}
+	if got := a.add(b); got != (vec3{5, 7, 9}) {
+		t.Errorf("add = %v", got)
+	}
+	if got := a.sub(b); got != (vec3{-3, -3, -3}) {
+		t.Errorf("sub = %v", got)
+	}
+	if got := a.dot(b); got != 32 {
+		t.Errorf("dot = %v", got)
+	}
+	n := vec3{3, 0, 4}.norm()
+	if math.Abs(n.dot(n)-1) > 1e-12 {
+		t.Errorf("norm not unit: %v", n)
+	}
+	z := vec3{}.norm()
+	if z != (vec3{}) {
+		t.Error("norm of zero vector must stay zero")
+	}
+}
+
+func TestIntersectHitsAndMisses(t *testing.T) {
+	// Straight down the -z axis: hits the first sphere at z=-5, r=1 → t=4.
+	d, hit := intersect(vec3{0, 0, 0}, vec3{0, 0, -1}, defaultScene)
+	if hit != 0 || math.Abs(d-4) > 1e-9 {
+		t.Errorf("axis ray: hit=%d d=%v, want sphere 0 at t≈4", hit, d)
+	}
+	// Straight up: nothing there.
+	if _, hit := intersect(vec3{0, 0, 0}, vec3{0, 1, 0}, defaultScene); hit != -1 {
+		t.Errorf("up ray hit %d, want miss", hit)
+	}
+}
+
+func TestShadePixelRangeAndDeterminism(t *testing.T) {
+	for px := int64(0); px < 64; px += 7 {
+		for py := int64(0); py < 64; py += 7 {
+			l := shadePixel(px, py, px*py)
+			if l < 0 || l > 255 {
+				t.Fatalf("luminance %d out of range at (%d,%d)", l, px, py)
+			}
+			if l != shadePixel(px, py, px*py) {
+				t.Fatal("shading not deterministic")
+			}
+		}
+	}
+	// The scene is not flat: some rays hit, some miss.
+	seen := map[int64]bool{}
+	for px := int64(0); px < 64; px++ {
+		seen[shadePixel(px, 32, 0)] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("image suspiciously flat: %d distinct luminances", len(seen))
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	state := uint64(12345)
+	n := 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		var z float64
+		z, state = gaussian(state)
+		sum += z
+		sumSq += z * z
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("variance = %v, want ≈1", variance)
+	}
+}
+
+func TestSimulatePathProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		p := simulatePath(seed)
+		return p >= 1 && p < 100000 && p == simulatePath(seed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Prices vary across seeds.
+	seen := map[int64]bool{}
+	for s := int64(0); s < 50; s++ {
+		seen[simulatePath(s)] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("only %d distinct prices over 50 seeds", len(seen))
+	}
+}
+
+func TestExtractLinks(t *testing.T) {
+	page := `<html><a href="/page/7">x</a><!-- <a href="/page/9">no</a> -->` +
+		`<div><a href='/page/12'>y</a></div><a href=/page/3>unquoted-skipped</a></html>`
+	links := extractLinks(page)
+	if len(links) != 2 || links[0] != 7 || links[1] != 12 {
+		t.Fatalf("links = %v, want [7 12]", links)
+	}
+	if got := extractLinks("no links here"); len(got) != 0 {
+		t.Errorf("plain text yielded %v", got)
+	}
+	if got := extractLinks("<!-- unterminated"); len(got) != 0 {
+		t.Errorf("unterminated comment yielded %v", got)
+	}
+}
+
+func TestSynthPageScans(t *testing.T) {
+	for id := int64(0); id < 40; id++ {
+		page := synthPage(id)
+		links := extractLinks(page)
+		for _, l := range links {
+			if l < 0 || l >= 50 {
+				t.Fatalf("page %d: link %d out of range", id, l)
+			}
+		}
+	}
+}
+
+func TestWeblCrawlAlwaysThreeLinks(t *testing.T) {
+	// The event-pattern invariant: every page yields exactly three links.
+	for id := int64(0); id < 300; id++ {
+		if got := len(weblCrawl(id)); got != 3 {
+			t.Fatalf("page %d: %d links, want 3 (event pattern would shift)", id, got)
+		}
+	}
+}
+
+func TestParseRequest(t *testing.T) {
+	m, p, size := parseRequest("GET /index.html HTTP/1.1\r\n\r\n")
+	if m != "GET" || p != "/index.html" {
+		t.Fatalf("parsed %q %q", m, p)
+	}
+	if size < 0 || size >= 4096 {
+		t.Fatalf("size %d out of range", size)
+	}
+	if _, _, s := parseRequest("HEAD /x HTTP/1.1\r\n\r\n"); s != 0 {
+		t.Errorf("HEAD size = %d, want 0", s)
+	}
+	if _, _, s := parseRequest("garbage"); s != 400 {
+		t.Errorf("malformed request size = %d, want 400", s)
+	}
+	// Same path, same size (the cache-key property).
+	_, _, s1 := parseRequest(synthRequest(5))
+	_, _, s2 := parseRequest(synthRequest(5))
+	if s1 != s2 {
+		t.Error("request parsing not deterministic")
+	}
+}
+
+func TestFetchRecordRange(t *testing.T) {
+	f := func(id int64) bool {
+		v := fetchRecord(id)
+		return v >= 0 && v < 1000 && v == fetchRecord(id)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItoaAtoi(t *testing.T) {
+	for _, n := range []int64{0, 1, 9, 10, 42, 12345, -7} {
+		s := itoa(n)
+		if n >= 0 && atoi(s) != n {
+			t.Errorf("atoi(itoa(%d)) = %d", n, atoi(s))
+		}
+	}
+	if itoa(-7) != "-7" {
+		t.Errorf("itoa(-7) = %q", itoa(-7))
+	}
+	if atoi("12x34") != 12 {
+		t.Errorf("atoi stops at non-digit: %d", atoi("12x34"))
+	}
+}

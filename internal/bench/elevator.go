@@ -1,0 +1,298 @@
+package bench
+
+import "repro/internal/rr"
+
+// elevator is the analogue of the discrete-event elevator simulator
+// (von Praun & Gross): a building with floors posting up/down calls, a
+// controller assigning calls, and elevator cabins serving them. The
+// non-atomic methods mirror the classic defects: claim/assign sequences
+// that check state in one critical section and act in another, and an
+// unsynchronized statistics counter.
+//
+// Ground truth: 5 non-atomic methods, 1 Atomizer false alarm
+// (Elevator.reportHome, synchronized by join ordering), matching the 5/1
+// row of Table 2.
+
+const (
+	elevFloors = 6
+	elevCabins = 3
+	elevRiders = 4
+	elevRides  = 3
+)
+
+type elevatorSim struct {
+	rt        *rr.Runtime
+	callsLock *rr.Mutex
+	calls     *rr.Ref[map[int64]bool] // floor -> call pending
+	pendingN  *rr.Var                 // count of pending calls
+	claimed   *rr.Var                 // bitmask of claimed floors
+	statsLock *rr.Mutex
+	served    *rr.Var // total rides served
+	distance  *rr.Var // total floors travelled (unsynchronized stat)
+	homeSlots []*rr.Var
+	shutdown  *rr.Var
+	p         Params
+}
+
+func newElevatorSim(t *rr.Thread, p Params) *elevatorSim {
+	rt := t.Runtime()
+	s := &elevatorSim{
+		rt:        rt,
+		callsLock: rt.NewMutex("Building.callsLock"),
+		calls:     rr.NewRef[map[int64]bool](rt, "Building.calls"),
+		pendingN:  rt.NewVar("Building.pendingN"),
+		claimed:   rt.NewVar("Building.claimed"),
+		statsLock: rt.NewMutex("Stats.lock"),
+		served:    rt.NewVar("Stats.served"),
+		distance:  rt.NewVar("Stats.distance"),
+		shutdown:  rt.NewVar("Building.shutdown"),
+		p:         p,
+	}
+	for i := 0; i < elevCabins; i++ {
+		s.homeSlots = append(s.homeSlots, rt.NewVar("Elevator.home"))
+	}
+	s.calls.Store(t, map[int64]bool{})
+	return s
+}
+
+// pressButton posts a call for a floor. Atomic: a single locked section.
+func (s *elevatorSim) pressButton(t *rr.Thread, floor int64) {
+	t.Atomic("Elevator.pressButton", func() {
+		s.p.Guard(t, s.callsLock, "callsLock@pressButton", func() {
+			s.calls.Update(t, func(m map[int64]bool) map[int64]bool {
+				if !m[floor] {
+					m[floor] = true
+					s.pendingN.Add(t, 1)
+				}
+				return m
+			})
+		})
+	})
+}
+
+// claimCall is NON-ATOMIC: it reads the pending count in one critical
+// section and removes a call in another, so two cabins can claim the same
+// call (the original simulator's known atomicity violation).
+func (s *elevatorSim) claimCall(t *rr.Thread, pos int64) (int64, bool) {
+	var floor int64 = -1
+	t.Atomic("Elevator.claimCall", func() {
+		var n int64
+		s.p.Guard(t, s.callsLock, "callsLock@claimCheck", func() {
+			n = s.pendingN.Load(t)
+		})
+		if n == 0 {
+			return
+		}
+		t.Yield() // the window: another cabin may claim first
+		t.Yield()
+		s.p.Guard(t, s.callsLock, "callsLock@claimTake", func() {
+			m := s.calls.Load(t)
+			floor = nearestCall(m, pos)
+			if floor >= 0 {
+				s.calls.Update(t, func(mm map[int64]bool) map[int64]bool {
+					delete(mm, floor)
+					return mm
+				})
+				s.pendingN.Add(t, -1)
+			}
+		})
+	})
+	return floor, floor >= 0
+}
+
+// nearestCall is the cabin's route planner (pure computation): the
+// closest pending floor, ties toward the lobby.
+func nearestCall(calls map[int64]bool, pos int64) int64 {
+	best, bestDist := int64(-1), int64(1<<30)
+	for f := int64(0); f < elevFloors; f++ {
+		if !calls[f] {
+			continue
+		}
+		d := f - pos
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist || (d == bestDist && f < best) {
+			best, bestDist = f, d
+		}
+	}
+	return best
+}
+
+// markClaimed is NON-ATOMIC: a lock-free bitmask read-modify-write.
+func (s *elevatorSim) markClaimed(t *rr.Thread, floor int64) {
+	t.Atomic("Elevator.markClaimed", func() {
+		bits := s.claimed.Load(t)
+		t.Yield()
+		t.Yield()
+		s.claimed.Store(t, bits|(1<<uint(floor)))
+	})
+}
+
+// recordRide is NON-ATOMIC: the served counter is locked but the distance
+// accumulator update is a second, separate critical section.
+func (s *elevatorSim) recordRide(t *rr.Thread, dist int64) {
+	t.Atomic("Stats.recordRide", func() {
+		s.p.Guard(t, s.statsLock, "statsLock@served", func() {
+			s.served.Add(t, 1)
+		})
+		t.Yield()
+		var d int64
+		s.p.Guard(t, s.statsLock, "statsLock@distRead", func() {
+			d = s.distance.Load(t)
+		})
+		t.Yield()
+		s.p.Guard(t, s.statsLock, "statsLock@distWrite", func() {
+			s.distance.Store(t, d+dist)
+		})
+	})
+}
+
+// peakLoad is NON-ATOMIC: max-update without holding the lock across
+// compare and store.
+func (s *elevatorSim) peakLoad(t *rr.Thread, peak *rr.Var, load int64) {
+	t.Atomic("Stats.peakLoad", func() {
+		cur := peak.Load(t)
+		if load > cur {
+			t.Yield()
+			t.Yield()
+			peak.Store(t, load)
+		}
+	})
+}
+
+// requestShutdown is NON-ATOMIC: check-then-set on the shutdown latch.
+func (s *elevatorSim) requestShutdown(t *rr.Thread) {
+	t.Atomic("Building.requestShutdown", func() {
+		gen := s.shutdown.Load(t)
+		t.Yield()
+		t.Yield()
+		if gen == 0 {
+			gen = 1
+		}
+		s.shutdown.Store(t, gen) // always writes: lost-update window
+	})
+}
+
+// loadStats is ATOMIC: a single locked section reading the statistics
+// and refreshing the load cache. Its sync point is a defect-injection
+// target: removing it turns the method into a tight racy RMW.
+func (s *elevatorSim) loadStats(t *rr.Thread, cache *rr.Var) {
+	t.Atomic("Building.loadStats", func() {
+		s.p.Guard(t, s.statsLock, "statsLock@loadStats", func() {
+			sv := s.served.Load(t)
+			d := s.distance.Load(t)
+			old := cache.Load(t)
+			cache.Store(t, old+sv+d)
+		})
+	})
+}
+
+// reportHome is ATOMIC but an Atomizer false alarm: each cabin reports
+// its final position into its own slot before the controller joins it, so
+// every conflict is ordered by the join edge — yet the slot looks racy to
+// Eraser and the two accesses become non-movers.
+func (s *elevatorSim) reportHome(t *rr.Thread, cabin int, floor int64) {
+	slot := s.homeSlots[cabin]
+	t.Atomic("Elevator.reportHome", func() {
+		old := slot.Load(t)
+		slot.Store(t, old+floor+1)
+		// The second round-trip makes the (now racy-looking) slot trip the
+		// Atomizer's post-commit non-mover check.
+		sum := slot.Load(t)
+		slot.Store(t, sum)
+	})
+}
+
+var elevatorWorkload = register(&Workload{
+	Name:      "elevator",
+	Desc:      "discrete event simulator for elevators",
+	JavaLines: 520,
+	Truth: map[string]Truth{
+		"Elevator.pressButton":     Atomic,
+		"Elevator.claimCall":       NonAtomic,
+		"Elevator.markClaimed":     NonAtomic,
+		"Stats.recordRide":         NonAtomic,
+		"Stats.peakLoad":           NonAtomic,
+		"Building.requestShutdown": NonAtomic,
+		"Elevator.reportHome":      Atomic, // Atomizer false alarm
+		"Building.loadStats":       Atomic,
+	},
+	SyncPoints: []string{
+		"callsLock@pressButton", "callsLock@claimCheck", "callsLock@claimTake",
+		"statsLock@served", "statsLock@distRead", "statsLock@distWrite",
+		"statsLock@loadStats",
+	},
+	InjectionPoints: []Injection{
+		{Point: "callsLock@pressButton", Method: "Elevator.pressButton"},
+		{Point: "statsLock@loadStats", Method: "Building.loadStats"},
+	},
+	Body: func(t *rr.Thread, p Params) {
+		s := newElevatorSim(t, p)
+		peak := s.rt.NewVar("Stats.peak")
+		loadCache := s.rt.NewVar("Building.loadCache")
+		for _, slot := range s.homeSlots {
+			slot.Store(t, 0) // controller initializes the report slots
+		}
+		// Riders press buttons.
+		riders := make([]*rr.Handle, 0, elevRiders)
+		for r := 0; r < elevRiders; r++ {
+			rider := r
+			riders = append(riders, t.Fork(func(c *rr.Thread) {
+				for i := 0; i < elevRides*p.scale(); i++ {
+					s.pressButton(c, int64((rider+i)%elevFloors))
+					s.peakLoad(c, peak, int64(rider+i))
+					if i == 0 {
+						s.loadStats(c, loadCache)
+					}
+				}
+				// Each rider requests shutdown when done; the last one
+				// wins, and the concurrent latch updates race.
+				s.requestShutdown(c)
+			}))
+		}
+		// Cabins serve calls until the building shuts down.
+		cabins := make([]*rr.Handle, 0, elevCabins)
+		for cId := 0; cId < elevCabins; cId++ {
+			cabin := cId
+			cabins = append(cabins, t.Fork(func(c *rr.Thread) {
+				pos := int64(0)
+				for {
+					floor, ok := s.claimCall(c, pos)
+					if ok {
+						s.markClaimed(c, floor)
+						dist := floor - pos
+						if dist < 0 {
+							dist = -dist
+						}
+						pos = floor
+						s.recordRide(c, dist)
+						continue
+					}
+					if s.shutdown.Load(c) != 0 {
+						break
+					}
+					c.Yield()
+				}
+				s.reportHome(c, cabin, pos)
+			}))
+		}
+		for _, h := range riders {
+			t.Join(h)
+		}
+		// Two concurrent shutdown requests race on the latch.
+		helper := t.Fork(func(c *rr.Thread) { s.requestShutdown(c) })
+		s.requestShutdown(t)
+		t.Join(helper)
+		for _, h := range cabins {
+			t.Join(h)
+		}
+		// Controller reads the home reports after joining: the other half
+		// of the reportHome bait.
+		total := int64(0)
+		for _, slot := range s.homeSlots {
+			total += slot.Load(t)
+		}
+		_ = total
+	},
+})

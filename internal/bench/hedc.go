@@ -1,0 +1,251 @@
+package bench
+
+import "repro/internal/rr"
+
+// hedc is the analogue of the HEDC warehouse for astrophysics data
+// (von Praun & Gross): a meta-crawler that fans a query out to several
+// web sources through a task pool and combines the results. The defects
+// mirror the original's: task-state check-then-act races in the pool and
+// an unsynchronized results combiner. Two methods are synchronized purely
+// by fork/join structure and trip the Atomizer.
+//
+// Ground truth: 6 non-atomic, 2 Atomizer false alarms (Table 2 row 6/2).
+
+const (
+	hedcSources = 4
+	hedcQueries = 3
+)
+
+type hedcSim struct {
+	rt         *rr.Runtime
+	tasks      *workQueue
+	taskState  *rr.Var // bitmask: task submitted
+	resultLock *rr.Mutex
+	results    *rr.Ref[[]int64]
+	resultN    *rr.Var
+	cacheLock  *rr.Mutex
+	cache      *rr.Ref[map[int64]int64]
+	cacheSize  *rr.Var
+	bytes      *rr.Var // unsynchronized I/O statistics
+	errors     *rr.Var
+	metaSlots  []*rr.Var
+	p          Params
+}
+
+func newHedcSim(t *rr.Thread, p Params) *hedcSim {
+	rt := t.Runtime()
+	s := &hedcSim{
+		rt:         rt,
+		tasks:      newWorkQueue(t, "Pool.tasks"),
+		taskState:  rt.NewVar("Pool.taskState"),
+		resultLock: rt.NewMutex("Meta.resultLock"),
+		results:    rr.NewRef[[]int64](rt, "Meta.results"),
+		resultN:    rt.NewVar("Meta.resultN"),
+		cacheLock:  rt.NewMutex("Cache.lock"),
+		cache:      rr.NewRef[map[int64]int64](rt, "Cache.entries"),
+		cacheSize:  rt.NewVar("Cache.size"),
+		bytes:      rt.NewVar("Stats.bytes"),
+		errors:     rt.NewVar("Stats.errors"),
+		p:          p,
+	}
+	s.cache.Store(t, map[int64]int64{})
+	for i := 0; i < hedcSources; i++ {
+		s.metaSlots = append(s.metaSlots, rt.NewVar("MetaSearch.slot"))
+	}
+	return s
+}
+
+// submitTask is NON-ATOMIC: it tests the submitted bitmask in one step
+// and sets it in another, so duplicate tasks can be enqueued.
+func (s *hedcSim) submitTask(t *rr.Thread, id int64) {
+	t.Atomic("Pool.submitTask", func() {
+		mask := s.taskState.Load(t)
+		if mask&(1<<uint(id%60)) == 0 {
+			t.Yield()
+			t.Yield()
+			s.taskState.Store(t, mask|(1<<uint(id%60)))
+			s.tasks.push(t, id)
+		}
+	})
+}
+
+// takeTask is NON-ATOMIC: size check and pop in separate critical
+// sections (the pool's classic defect).
+func (s *hedcSim) takeTask(t *rr.Thread) (int64, bool) {
+	var id int64
+	var ok bool
+	t.Atomic("Pool.takeTask", func() {
+		id, ok = s.tasks.unsafeSizeThenPop(t)
+	})
+	return id, ok
+}
+
+// fetch simulates retrieving a record from a web source: pure compute on
+// the task id plus an unsynchronized byte counter (NON-ATOMIC).
+func (s *hedcSim) fetch(t *rr.Thread, id int64) int64 {
+	payload := fetchRecord(id) // decode the archive record (pure compute)
+	t.Atomic("Source.fetch", func() {
+		b := s.bytes.Load(t)
+		t.Yield()
+		t.Yield()
+		s.bytes.Store(t, b+payload)
+	})
+	return payload
+}
+
+// cachePut is NON-ATOMIC: the entry insert and the size counter update
+// are separate critical sections, so size can diverge from the map.
+func (s *hedcSim) cachePut(t *rr.Thread, k, v int64) {
+	t.Atomic("Cache.put", func() {
+		var fresh bool
+		s.p.Guard(t, s.cacheLock, "cacheLock@put", func() {
+			s.cache.Update(t, func(m map[int64]int64) map[int64]int64 {
+				_, had := m[k]
+				fresh = !had
+				m[k] = v
+				return m
+			})
+		})
+		if fresh {
+			t.Yield()
+			s.p.Guard(t, s.cacheLock, "cacheLock@size", func() {
+				s.cacheSize.Add(t, 1)
+			})
+		}
+	})
+}
+
+// cacheGet is ATOMIC: one locked lookup.
+func (s *hedcSim) cacheGet(t *rr.Thread, k int64) (int64, bool) {
+	var v int64
+	var ok bool
+	t.Atomic("Cache.get", func() {
+		s.p.Guard(t, s.cacheLock, "cacheLock@get", func() {
+			m := s.cache.Load(t)
+			v, ok = m[k]
+		})
+	})
+	return v, ok
+}
+
+// combine is NON-ATOMIC: appending a result and bumping the count happen
+// in two separate critical sections.
+func (s *hedcSim) combine(t *rr.Thread, v int64) {
+	t.Atomic("Meta.combine", func() {
+		s.p.Guard(t, s.resultLock, "resultLock@append", func() {
+			s.results.Update(t, func(r []int64) []int64 { return append(r, v) })
+		})
+		t.Yield()
+		t.Yield()
+		s.p.Guard(t, s.resultLock, "resultLock@count", func() {
+			s.resultN.Add(t, 1)
+		})
+	})
+}
+
+// recordError is NON-ATOMIC: lock-free error counter RMW.
+func (s *hedcSim) recordError(t *rr.Thread) {
+	t.Atomic("Stats.recordError", func() {
+		e := s.errors.Load(t)
+		t.Yield()
+		t.Yield()
+		t.Yield()
+		s.errors.Store(t, e+1)
+	})
+}
+
+// metaCollect is ATOMIC but an Atomizer false alarm: each searcher writes
+// its private slot (ordered by fork/join), which Eraser misclassifies as
+// racy.
+func (s *hedcSim) metaCollect(t *rr.Thread, src int, v int64) {
+	slot := s.metaSlots[src]
+	t.Atomic("MetaSearch.collect", func() {
+		old := slot.Load(t)
+		slot.Store(t, old+v)
+		chk := slot.Load(t)
+		slot.Store(t, chk)
+	})
+}
+
+// metaDigest is the second false-alarm bait: the parent digests the slots
+// after joining — atomic, but the slots look racy.
+func (s *hedcSim) metaDigest(t *rr.Thread) int64 {
+	var sum int64
+	t.Atomic("MetaSearch.digest", func() {
+		for _, slot := range s.metaSlots {
+			sum += slot.Load(t)
+		}
+		s.metaSlots[0].Store(t, sum)
+		sum = s.metaSlots[0].Load(t)
+	})
+	return sum
+}
+
+var hedcWorkload = register(&Workload{
+	Name:      "hedc",
+	Desc:      "web-data meta-crawler for astrophysics sources",
+	JavaLines: 6400,
+	Truth: map[string]Truth{
+		"Pool.submitTask":    NonAtomic,
+		"Pool.takeTask":      NonAtomic,
+		"Source.fetch":       NonAtomic,
+		"Cache.put":          NonAtomic,
+		"Cache.get":          Atomic,
+		"Meta.combine":       NonAtomic,
+		"Stats.recordError":  NonAtomic,
+		"MetaSearch.collect": Atomic, // Atomizer false alarm
+		"MetaSearch.digest":  Atomic, // Atomizer false alarm
+	},
+	SyncPoints: []string{
+		"cacheLock@put", "cacheLock@size", "cacheLock@get",
+		"resultLock@append", "resultLock@count",
+	},
+	Body: func(t *rr.Thread, p Params) {
+		s := newHedcSim(t, p)
+		for _, slot := range s.metaSlots {
+			slot.Store(t, 0)
+		}
+		// Submitters enqueue query tasks.
+		subs := make([]*rr.Handle, 0, 2)
+		for q := 0; q < 2; q++ {
+			qq := q
+			subs = append(subs, t.Fork(func(c *rr.Thread) {
+				for i := 0; i < hedcQueries*p.scale(); i++ {
+					s.submitTask(c, int64(qq*16+i))
+				}
+			}))
+		}
+		// Source workers take tasks, fetch, cache and combine.
+		workers := make([]*rr.Handle, 0, hedcSources)
+		for w := 0; w < hedcSources; w++ {
+			src := w
+			workers = append(workers, t.Fork(func(c *rr.Thread) {
+				misses := int64(0)
+				for i := 0; i < 2*hedcQueries*p.scale(); i++ {
+					id, ok := s.takeTask(c)
+					if !ok {
+						c.Yield()
+						continue
+					}
+					if _, hit := s.cacheGet(c, id); !hit {
+						v := s.fetch(c, id)
+						s.cachePut(c, id, v)
+						s.combine(c, v)
+						misses++
+					}
+					if id%3 != 2 {
+						s.recordError(c)
+					}
+				}
+				s.metaCollect(c, src, misses)
+			}))
+		}
+		for _, h := range subs {
+			t.Join(h)
+		}
+		for _, h := range workers {
+			t.Join(h)
+		}
+		_ = s.metaDigest(t)
+	},
+})

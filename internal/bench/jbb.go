@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/rr"
+)
+
+// jbb is the analogue of the SPEC JBB2000 business-object simulator:
+// warehouse threads process a mix of transaction types (new-order,
+// payment, order-status, delivery, stock-level, ...) against per-warehouse
+// state, with company-wide roll-ups between fork/join phases.
+//
+// The paper's jbb row is dominated by Atomizer false alarms (5 real
+// warnings vs 42 false alarms) caused by fork/join synchronization and
+// imprecise race analysis. The analogue reproduces the shape: every
+// per-warehouse handler method is atomic (its state is owned between fork
+// and join) but looks racy to Eraser, while five company-wide methods are
+// genuinely non-atomic.
+
+const (
+	jbbWarehouses = 3
+	jbbOrders     = 4
+)
+
+// jbbHandlers are the per-warehouse transaction types; each becomes one
+// Atomizer-false-alarm method operating on the warehouse's own shard.
+var jbbHandlers = []struct {
+	name string
+	step func(cur, arg int64) int64
+}{
+	{"NewOrder", func(cur, arg int64) int64 { return cur + arg*3 + 1 }},
+	{"Payment", func(cur, arg int64) int64 { return cur + arg%17 }},
+	{"OrderStatus", func(cur, arg int64) int64 { return cur ^ (arg << 1) }},
+	{"Delivery", func(cur, arg int64) int64 { return cur + arg/2 + 2 }},
+	{"StockLevel", func(cur, arg int64) int64 { return cur + (arg*arg)%31 }},
+	{"CustomerReport", func(cur, arg int64) int64 { return cur*2 - arg }},
+	{"ItemLookup", func(cur, arg int64) int64 { return cur + arg%7 }},
+	{"PriceChange", func(cur, arg int64) int64 { return cur + arg*5%13 }},
+	{"Restock", func(cur, arg int64) int64 { return cur + arg + 11 }},
+	{"Audit", func(cur, arg int64) int64 { return cur ^ arg }},
+	{"BackOrder", func(cur, arg int64) int64 { return cur + 3*arg + 7 }},
+	{"Settlement", func(cur, arg int64) int64 { return cur + arg%29 }},
+}
+
+type jbbSim struct {
+	rt          *rr.Runtime
+	shards      [][]*rr.Var // [warehouse][handler] private accumulators
+	bookLock    *rr.Mutex
+	revenue     *rr.Var
+	orders      *rr.Var
+	nextOrderID *rr.Var
+	inventory   *rr.Var
+	auditFlag   *rr.Var
+	p           Params
+}
+
+func newJbbSim(t *rr.Thread, p Params) *jbbSim {
+	rt := t.Runtime()
+	s := &jbbSim{
+		rt:          rt,
+		bookLock:    rt.NewMutex("Company.bookLock"),
+		revenue:     rt.NewVar("Company.revenue"),
+		orders:      rt.NewVar("Company.orders"),
+		nextOrderID: rt.NewVar("Company.nextOrderID"),
+		inventory:   rt.NewVar("Company.inventory"),
+		auditFlag:   rt.NewVar("Company.auditFlag"),
+		p:           p,
+	}
+	for w := 0; w < jbbWarehouses; w++ {
+		var row []*rr.Var
+		for h := range jbbHandlers {
+			row = append(row, rt.NewVar(fmt.Sprintf("Warehouse%d.%s", w, jbbHandlers[h].name)))
+		}
+		s.shards = append(s.shards, row)
+	}
+	return s
+}
+
+// runHandler executes one per-warehouse transaction: ATOMIC (the shard is
+// owned by the warehouse thread between fork and join) but an Atomizer
+// false alarm, one per handler method.
+func (s *jbbSim) runHandler(t *rr.Thread, wh, handler int, arg int64) {
+	slot := s.shards[wh][handler]
+	h := jbbHandlers[handler]
+	t.Atomic("Warehouse."+h.name, func() {
+		cur := slot.Load(t)
+		slot.Store(t, h.step(cur, arg))
+		// Second round trip so the Atomizer's post-commit check trips once
+		// the slot looks racy.
+		chk := slot.Load(t)
+		slot.Store(t, chk)
+	})
+}
+
+// allocOrderID is NON-ATOMIC: the classic lock-free id allocator RMW.
+func (s *jbbSim) allocOrderID(t *rr.Thread) int64 {
+	var id int64
+	t.Atomic("Company.allocOrderID", func() {
+		id = s.nextOrderID.Load(t)
+		t.Yield()
+		t.Yield()
+		s.nextOrderID.Store(t, id+1)
+	})
+	return id
+}
+
+// postRevenue is NON-ATOMIC: read and write of the books in separate
+// critical sections.
+func (s *jbbSim) postRevenue(t *rr.Thread, amount int64) {
+	t.Atomic("Company.postRevenue", func() {
+		var r int64
+		s.p.Guard(t, s.bookLock, "bookLock@readRev", func() {
+			r = s.revenue.Load(t)
+		})
+		t.Yield()
+		t.Yield()
+		s.p.Guard(t, s.bookLock, "bookLock@writeRev", func() {
+			s.revenue.Store(t, r+amount)
+		})
+	})
+}
+
+// countOrder is NON-ATOMIC: lock-free order counter RMW.
+func (s *jbbSim) countOrder(t *rr.Thread) {
+	t.Atomic("Company.countOrder", func() {
+		n := s.orders.Load(t)
+		t.Yield()
+		t.Yield()
+		s.orders.Store(t, n+1)
+	})
+}
+
+// reserveStock is NON-ATOMIC: check-then-decrement of the inventory in
+// two critical sections (can oversell).
+func (s *jbbSim) reserveStock(t *rr.Thread, qty int64) bool {
+	ok := false
+	t.Atomic("Company.reserveStock", func() {
+		var inv int64
+		s.p.Guard(t, s.bookLock, "bookLock@checkInv", func() {
+			inv = s.inventory.Load(t)
+		})
+		if inv >= qty {
+			t.Yield()
+			t.Yield()
+			s.p.Guard(t, s.bookLock, "bookLock@takeInv", func() {
+				s.inventory.Store(t, inv-qty)
+			})
+			ok = true
+		}
+	})
+	return ok
+}
+
+// toggleAudit is NON-ATOMIC: lock-free flag RMW toggled by every
+// warehouse at phase end.
+func (s *jbbSim) toggleAudit(t *rr.Thread) {
+	t.Atomic("Company.toggleAudit", func() {
+		f := s.auditFlag.Load(t)
+		t.Yield()
+		t.Yield()
+		s.auditFlag.Store(t, 1-f)
+	})
+}
+
+var jbbWorkload = register(&Workload{
+	Name:      "jbb",
+	Desc:      "SPEC JBB2000-style business object simulator",
+	JavaLines: 36000,
+	Truth: func() map[string]Truth {
+		truth := map[string]Truth{
+			"Company.allocOrderID": NonAtomic,
+			"Company.postRevenue":  NonAtomic,
+			"Company.countOrder":   NonAtomic,
+			"Company.reserveStock": NonAtomic,
+			"Company.toggleAudit":  NonAtomic,
+		}
+		for _, h := range jbbHandlers {
+			truth["Warehouse."+h.name] = Atomic // fork/join bait: FA each
+		}
+		return truth
+	}(),
+	SyncPoints: []string{
+		"bookLock@readRev", "bookLock@writeRev",
+		"bookLock@checkInv", "bookLock@takeInv",
+	},
+	Body: func(t *rr.Thread, p Params) {
+		s := newJbbSim(t, p)
+		s.inventory.Store(t, 1000)
+		for _, row := range s.shards {
+			for _, slot := range row {
+				slot.Store(t, 0)
+			}
+		}
+		for phase := 0; phase < 2; phase++ {
+			var hs []*rr.Handle
+			for w := 0; w < jbbWarehouses; w++ {
+				wh := w
+				hs = append(hs, t.Fork(func(c *rr.Thread) {
+					for o := 0; o < jbbOrders*p.scale(); o++ {
+						id := s.allocOrderID(c)
+						// Stride so the three warehouses jointly cover every
+						// handler method each phase.
+						handler := (wh*jbbOrders + o) % len(jbbHandlers)
+						s.runHandler(c, wh, handler, id)
+						if s.reserveStock(c, int64(o%5+1)) {
+							s.postRevenue(c, id%97+1)
+							s.countOrder(c)
+						}
+					}
+					s.toggleAudit(c)
+				}))
+			}
+			for _, h := range hs {
+				t.Join(h)
+			}
+			// Company roll-up between phases: reads the shard slots the
+			// joined warehouses wrote — the other half of the bait.
+			total := int64(0)
+			for _, row := range s.shards {
+				for _, slot := range row {
+					total += slot.Load(t)
+				}
+			}
+			_ = total
+		}
+	},
+})

@@ -1,0 +1,300 @@
+package bench
+
+import "repro/internal/rr"
+
+// jigsaw is the analogue of the W3C Jigsaw web server configured to serve
+// a fixed number of pages to a crawler — the largest benchmark and the
+// largest warning count in Table 2 (55 non-atomic methods; Velodrome's
+// plain runs find 44 and miss 11, 6 of which the paper attributes to a
+// single mischaracterized method). The server's resource store,
+// connection manager, session table, logger and cache all update shared
+// counters with the same split check-then-update idiom; eleven of those
+// windows are zero-slack. Five per-worker accounting methods are
+// fork/join-synchronized Atomizer false alarms.
+
+const (
+	jigsawWorkers  = 4
+	jigsawRequests = 4
+)
+
+// jigsawOps are the wide-window non-atomic server methods, grouped the
+// way Jigsaw's subsystems are.
+var jigsawOps = []struct {
+	name string
+	f    func(cur, x int64) int64
+}{
+	// Resource store.
+	{"ResourceStore.loadCount", func(c, x int64) int64 { return c + 1 }},
+	{"ResourceStore.saveCount", func(c, x int64) int64 { return c + x%2 }},
+	{"ResourceStore.lruTouch", func(c, x int64) int64 { return (c + x) % 991 }},
+	{"ResourceStore.spaceUsed", func(c, x int64) int64 { return c + x%40 }},
+	{"ResourceStore.evictions", func(c, x int64) int64 {
+		if c > 30 {
+			return 0
+		}
+		return c + 1
+	}},
+	{"ResourceIndexer.entries", func(c, x int64) int64 { return c + x%3 }},
+	{"ResourceIndexer.rebuilds", func(c, x int64) int64 { return c + 1 }},
+	// HTTP connection management.
+	{"ConnManager.open", func(c, x int64) int64 { return c + 1 }},
+	{"ConnManager.close", func(c, x int64) int64 {
+		if c > 0 {
+			return c - 1
+		}
+		return c
+	}},
+	{"ConnManager.keepAlive", func(c, x int64) int64 { return c + x%2 }},
+	{"ConnManager.timeouts", func(c, x int64) int64 {
+		if x%7 == 0 {
+			return c + 1
+		}
+		return c
+	}},
+	{"ConnManager.peak", func(c, x int64) int64 {
+		if x%23 > c {
+			return x % 23
+		}
+		return c
+	}},
+	{"ClientPool.grow", func(c, x int64) int64 { return c + x%3 + 1 }},
+	{"ClientPool.shrink", func(c, x int64) int64 {
+		if c > 2 {
+			return c - 1
+		}
+		return c
+	}},
+	{"ClientPool.busy", func(c, x int64) int64 { return (c ^ x) % 127 }},
+	// Request pipeline.
+	{"HttpDaemon.requests", func(c, x int64) int64 { return c + 1 }},
+	{"HttpDaemon.bytesOut", func(c, x int64) int64 { return c + x%1400 }},
+	{"HttpDaemon.bytesIn", func(c, x int64) int64 { return c + x%300 }},
+	{"HttpDaemon.errors4xx", func(c, x int64) int64 {
+		if x%11 == 0 {
+			return c + 1
+		}
+		return c
+	}},
+	{"HttpDaemon.errors5xx", func(c, x int64) int64 {
+		if x%29 == 0 {
+			return c + 1
+		}
+		return c
+	}},
+	{"Pipeline.stages", func(c, x int64) int64 { return c + x%5 }},
+	{"Pipeline.flushes", func(c, x int64) int64 { return c + 1 }},
+	{"Negotiator.variants", func(c, x int64) int64 { return c + x%4 }},
+	{"AuthFilter.checks", func(c, x int64) int64 { return c + 1 }},
+	{"AuthFilter.denials", func(c, x int64) int64 {
+		if x%13 == 0 {
+			return c + 1
+		}
+		return c
+	}},
+	// Session and cookie handling.
+	{"SessionTable.create", func(c, x int64) int64 { return c + 1 }},
+	{"SessionTable.expire", func(c, x int64) int64 {
+		if c > 0 {
+			return c - 1
+		}
+		return c
+	}},
+	{"SessionTable.touch", func(c, x int64) int64 { return (c + x) % 509 }},
+	{"CookieJar.set", func(c, x int64) int64 { return c + x%2 + 1 }},
+	{"CookieJar.purge", func(c, x int64) int64 { return c / 2 }},
+	// Logging.
+	{"Logger.lines", func(c, x int64) int64 { return c + 1 }},
+	{"Logger.rotations", func(c, x int64) int64 {
+		if c%50 == 49 {
+			return c + 2
+		}
+		return c + 1
+	}},
+	{"Logger.dropped", func(c, x int64) int64 {
+		if x%17 == 0 {
+			return c + 1
+		}
+		return c
+	}},
+	{"AccessLog.referers", func(c, x int64) int64 { return c + x%6 }},
+	{"AccessLog.agents", func(c, x int64) int64 { return c + x%9 }},
+	// Cache.
+	{"CacheFilter.hits", func(c, x int64) int64 { return c + x%2 }},
+	{"CacheFilter.misses", func(c, x int64) int64 { return c + 1 - x%2 }},
+	{"CacheFilter.staleness", func(c, x int64) int64 { return (c*2 + x) % 211 }},
+	{"CacheSweeper.passes", func(c, x int64) int64 { return c + 1 }},
+	{"CacheSweeper.reclaimed", func(c, x int64) int64 { return c + x%32 }},
+	// Property/config handling.
+	{"PropertySet.reads", func(c, x int64) int64 { return c + 1 }},
+	{"PropertySet.writes", func(c, x int64) int64 { return c + x%2 }},
+	{"Checkpointer.saves", func(c, x int64) int64 { return c + 1 }},
+	{"Checkpointer.pending", func(c, x int64) int64 { return (c + x) % 61 }},
+}
+
+// jigsawRareOps are the zero-slack windows; the paper's 11 missed
+// methods (six of them the one "mischaracterized" method's variants).
+var jigsawRareOps = []string{
+	"ResourceStore.refCount",
+	"ResourceStore.refCount1", // the mischaracterized method's family
+	"ResourceStore.refCount2",
+	"ResourceStore.refCount3",
+	"ResourceStore.refCount4",
+	"ResourceStore.refCount5",
+	"ConnManager.idleScan",
+	"SessionTable.nonce",
+	"Logger.seq",
+	"CacheFilter.epoch",
+	"HttpDaemon.lastRequest",
+}
+
+// jigsawBaits are per-worker accounting methods synchronized by
+// fork/join: Atomizer false alarms.
+var jigsawBaits = []string{
+	"Worker.stats", "Worker.timing", "Worker.histogram",
+	"Worker.urlsSeen", "Worker.retired",
+}
+
+type jigsawSim struct {
+	rt        *rr.Runtime
+	lock      *rr.Mutex
+	opCells   []*rr.Var
+	rareCells []*rr.Var
+	shards    [][]*rr.Var
+	p         Params
+}
+
+func newJigsawSim(t *rr.Thread, p Params) *jigsawSim {
+	rt := t.Runtime()
+	s := &jigsawSim{rt: rt, lock: rt.NewMutex("Jigsaw.lock"), p: p}
+	for _, op := range jigsawOps {
+		s.opCells = append(s.opCells, rt.NewVar(op.name+".cell"))
+	}
+	for _, name := range jigsawRareOps {
+		s.rareCells = append(s.rareCells, rt.NewVar(name+".cell"))
+	}
+	for w := 0; w < jigsawWorkers; w++ {
+		var row []*rr.Var
+		for range jigsawBaits {
+			row = append(row, rt.NewVar("Worker.shard"))
+		}
+		s.shards = append(s.shards, row)
+	}
+	return s
+}
+
+// serverOp runs one wide-window method: locked read, unlocked decision,
+// locked write — NON-ATOMIC.
+func (s *jigsawSim) serverOp(t *rr.Thread, i int, x int64) {
+	op := jigsawOps[i]
+	cell := s.opCells[i]
+	t.Atomic(op.name, func() {
+		var cur int64
+		s.p.Guard(t, s.lock, "storeLock@read", func() {
+			cur = cell.Load(t)
+		})
+		t.Yield()
+		t.Yield()
+		s.p.Guard(t, s.lock, "storeLock@write", func() {
+			cell.Store(t, op.f(cur, x))
+		})
+	})
+}
+
+// rareOp runs one zero-slack method: NON-ATOMIC, rarely witnessed.
+func (s *jigsawSim) rareOp(t *rr.Thread, i int, x int64) {
+	cell := s.rareCells[i]
+	t.Atomic(jigsawRareOps[i], func() {
+		cur := cell.Load(t)
+		cell.Store(t, cur+x+1)
+	})
+}
+
+// workerAccount is the fork/join bait: ATOMIC, flagged by the Atomizer.
+func (s *jigsawSim) workerAccount(t *rr.Thread, worker, which int, x int64) {
+	slot := s.shards[worker][which]
+	t.Atomic(jigsawBaits[which], func() {
+		acc := slot.Load(t)
+		slot.Store(t, acc+x)
+		chk := slot.Load(t)
+		slot.Store(t, chk)
+	})
+}
+
+// jigsawServe synthesizes and parses one HTTP request (pure computation)
+// and returns its response size.
+func jigsawServe(req int64) int64 {
+	_, _, size := parseRequest(synthRequest(req))
+	return size
+}
+
+var jigsawWorkload = register(&Workload{
+	Name:      "jigsaw",
+	Desc:      "Jigsaw web server serving a fixed crawl",
+	JavaLines: 91100,
+	Truth: func() map[string]Truth {
+		truth := map[string]Truth{}
+		for _, op := range jigsawOps {
+			truth[op.name] = NonAtomic
+		}
+		for _, name := range jigsawRareOps {
+			truth[name] = NonAtomicRare
+		}
+		for _, b := range jigsawBaits {
+			truth[b] = Atomic
+		}
+		return truth
+	}(),
+	SyncPoints: []string{"storeLock@read", "storeLock@write"},
+	Body: func(t *rr.Thread, p Params) {
+		s := newJigsawSim(t, p)
+		for _, c := range s.opCells {
+			c.Store(t, 0)
+		}
+		for _, c := range s.rareCells {
+			c.Store(t, 0)
+		}
+		for _, row := range s.shards {
+			for _, slot := range row {
+				slot.Store(t, 0)
+			}
+		}
+		var hs []*rr.Handle
+		for w := 0; w < jigsawWorkers; w++ {
+			worker := w
+			hs = append(hs, t.Fork(func(c *rr.Thread) {
+				for r := 0; r < jigsawRequests*p.scale(); r++ {
+					req := int64(worker*1000 + r)
+					size := jigsawServe(req)
+					// Each request exercises a stripe of the server
+					// methods; every method is run by three of the four
+					// workers, keeping all cells contended.
+					for i := range jigsawOps {
+						if (i+r)%jigsawWorkers != worker {
+							s.serverOp(c, i, size+int64(i))
+						}
+						// Staggered zero-slack bursts in the first request:
+						// far enough apart that plain runs rarely witness
+						// them, close enough for an adversarial pause to
+						// bridge (the paper's 11 missed methods).
+						if r == 0 && i == worker*9 {
+							for j := range jigsawRareOps {
+								s.rareOp(c, j, req)
+							}
+						}
+					}
+					s.workerAccount(c, worker, (worker+r)%len(jigsawBaits), size)
+				}
+			}))
+		}
+		for _, h := range hs {
+			t.Join(h)
+		}
+		total := int64(0)
+		for _, row := range s.shards {
+			for _, slot := range row {
+				total += slot.Load(t)
+			}
+		}
+		_ = total
+	},
+})

@@ -1,0 +1,208 @@
+package bench
+
+import "repro/internal/rr"
+
+// moldyn is the analogue of the Java Grande molecular dynamics kernel:
+// barrier-phased velocity/position updates over particle partitions plus
+// a handful of global reductions (kinetic energy, virial, interaction
+// count, temperature scale) whose split critical sections are the four
+// genuinely non-atomic methods. Locks protect everything else, so there
+// are no Atomizer false alarms (Table 2 row 4/0).
+
+const (
+	moldynWorkers   = 3
+	moldynParticles = 6
+	moldynSteps     = 2
+)
+
+type moldynSim struct {
+	rt       *rr.Runtime
+	pos      *rr.Array // particle positions (a Java array: uninstrumented)
+	vel      *rr.Array // particle velocities (a Java array: uninstrumented)
+	sumLock  *rr.Mutex
+	kinetic  *rr.Var
+	virial   *rr.Var
+	interact *rr.Var
+	tscale   *rr.Var
+	p        Params
+}
+
+func newMoldynSim(t *rr.Thread, p Params) *moldynSim {
+	rt := t.Runtime()
+	s := &moldynSim{
+		rt:       rt,
+		sumLock:  rt.NewMutex("MolDyn.sumLock"),
+		kinetic:  rt.NewVar("MolDyn.kinetic"),
+		virial:   rt.NewVar("MolDyn.virial"),
+		interact: rt.NewVar("MolDyn.interact"),
+		tscale:   rt.NewVar("MolDyn.tscale"),
+		p:        p,
+	}
+	s.pos = rt.NewArray("Particle.pos", moldynParticles)
+	s.vel = rt.NewArray("Particle.vel", moldynParticles)
+	return s
+}
+
+// moveParticle advances one owned particle: a velocity-Verlet step with a
+// Lennard-Jones force from the (uninstrumented) position array — the Java
+// Grande kernel's actual physics. ATOMIC: owner-partitioned between
+// barriers, and the force loop reads the previous phase's positions.
+func (s *moldynSim) moveParticle(t *rr.Thread, i int, step int64) {
+	t.Atomic("MolDyn.moveParticle", func() {
+		v := s.vel.Load(t, i)
+		x := s.pos.Load(t, i)
+		// Gather neighbour positions (array loads: scheduling points,
+		// no events), then integrate — pure computation.
+		var neighbours []int64
+		for j := 0; j < moldynParticles; j++ {
+			if j != i {
+				neighbours = append(neighbours, s.pos.Load(t, j))
+			}
+		}
+		force := lennardJones(x, neighbours)
+		newV := (v + force) % 31
+		if newV < 0 {
+			newV = -newV
+		}
+		s.pos.Store(t, i, (x+newV+step)%997)
+		s.vel.Store(t, i, newV)
+	})
+}
+
+// lennardJones evaluates a discretized 1-D Lennard-Jones force sum: the
+// classic (σ/r)^12 − (σ/r)^6 shape on integer lattice distances.
+func lennardJones(x int64, neighbours []int64) int64 {
+	var force float64
+	for _, n := range neighbours {
+		r := float64(x - n)
+		if r == 0 {
+			r = 0.5
+		}
+		if r < 0 {
+			r = -r
+		}
+		r /= 40 // lattice spacing → reduced units
+		if r > 2.5 {
+			continue // cutoff radius
+		}
+		inv6 := 1 / (r * r * r * r * r * r)
+		mag := 24 * (2*inv6*inv6 - inv6) / r
+		if x < 0 {
+			mag = -mag
+		}
+		force += mag
+	}
+	if force > 15 {
+		force = 15
+	}
+	if force < -15 {
+		force = -15
+	}
+	return int64(force)
+}
+
+// addKinetic is NON-ATOMIC: the energy reduction reads and writes the
+// accumulator in separate critical sections.
+func (s *moldynSim) addKinetic(t *rr.Thread, e int64) {
+	t.Atomic("MolDyn.addKinetic", func() {
+		var k int64
+		s.p.Guard(t, s.sumLock, "sumLock@readK", func() {
+			k = s.kinetic.Load(t)
+		})
+		t.Yield()
+		t.Yield()
+		s.p.Guard(t, s.sumLock, "sumLock@writeK", func() {
+			s.kinetic.Store(t, k+e)
+		})
+	})
+}
+
+// addVirial is NON-ATOMIC: same split-reduction shape on the virial.
+func (s *moldynSim) addVirial(t *rr.Thread, v int64) {
+	t.Atomic("MolDyn.addVirial", func() {
+		var cur int64
+		s.p.Guard(t, s.sumLock, "sumLock@readV", func() {
+			cur = s.virial.Load(t)
+		})
+		t.Yield()
+		t.Yield()
+		s.p.Guard(t, s.sumLock, "sumLock@writeV", func() {
+			s.virial.Store(t, cur+v)
+		})
+	})
+}
+
+// countInteractions is NON-ATOMIC: lock-free interaction counter RMW.
+func (s *moldynSim) countInteractions(t *rr.Thread, n int64) {
+	t.Atomic("MolDyn.countInteractions", func() {
+		c := s.interact.Load(t)
+		t.Yield()
+		t.Yield()
+		s.interact.Store(t, c+n)
+	})
+}
+
+// scaleTemperature is NON-ATOMIC: reads the kinetic reduction and writes
+// the scale factor in separate critical sections (stale scale).
+func (s *moldynSim) scaleTemperature(t *rr.Thread) {
+	t.Atomic("MolDyn.scaleTemperature", func() {
+		var k int64
+		s.p.Guard(t, s.sumLock, "sumLock@readScale", func() {
+			k = s.kinetic.Load(t)
+		})
+		t.Yield()
+		t.Yield()
+		s.p.Guard(t, s.sumLock, "sumLock@writeScale", func() {
+			s.tscale.Store(t, k%7+1)
+			s.kinetic.Store(t, k/2)
+		})
+	})
+}
+
+var moldynWorkload = register(&Workload{
+	Name:      "moldyn",
+	Desc:      "Java Grande molecular dynamics kernel",
+	JavaLines: 1400,
+	Truth: map[string]Truth{
+		"MolDyn.moveParticle":      Atomic,
+		"MolDyn.addKinetic":        NonAtomic,
+		"MolDyn.addVirial":         NonAtomic,
+		"MolDyn.countInteractions": NonAtomic,
+		"MolDyn.scaleTemperature":  NonAtomic,
+	},
+	SyncPoints: []string{
+		"sumLock@readK", "sumLock@writeK", "sumLock@readV", "sumLock@writeV",
+		"sumLock@readScale", "sumLock@writeScale",
+	},
+	Body: func(t *rr.Thread, p Params) {
+		s := newMoldynSim(t, p)
+		for i := 0; i < s.pos.Len(); i++ {
+			s.pos.Store(t, i, int64(i*3))
+			s.vel.Store(t, i, int64(i+1))
+		}
+		bar := newBarrier(t, "MolDyn.barrier", moldynWorkers)
+		var hs []*rr.Handle
+		for w := 0; w < moldynWorkers; w++ {
+			worker := w
+			hs = append(hs, t.Fork(func(c *rr.Thread) {
+				for step := int64(0); step < int64(moldynSteps*p.scale()); step++ {
+					n := int64(0)
+					for i := worker; i < moldynParticles; i += moldynWorkers {
+						s.moveParticle(c, i, step)
+						n++
+					}
+					s.addKinetic(c, n*step+int64(worker))
+					s.addVirial(c, n+step)
+					s.countInteractions(c, n)
+					if worker == 0 {
+						s.scaleTemperature(c)
+					}
+					bar.await(c)
+				}
+			}))
+		}
+		for _, h := range hs {
+			t.Join(h)
+		}
+	},
+})

@@ -1,0 +1,190 @@
+package bench
+
+import "repro/internal/rr"
+
+// montecarlo is the analogue of the Java Grande Monte Carlo financial
+// simulation: worker threads price many independent paths and merge their
+// results into global aggregates. Path generation is pure computation —
+// the reason the paper's montecarlo row allocates 410,000 transactions
+// (one per tiny merge) and merging barely helps. The six flagged methods
+// are the genuinely non-atomic merge/statistics updates; locks are used
+// consistently elsewhere, so there are no Atomizer false alarms.
+
+const (
+	mcWorkers = 3
+	mcPaths   = 5
+)
+
+type mcSim struct {
+	rt        *rr.Runtime
+	aggLock   *rr.Mutex
+	sumPrice  *rr.Var
+	sumSq     *rr.Var
+	minPrice  *rr.Var
+	maxPrice  *rr.Var
+	pathCount *rr.Var
+	seedState *rr.Var // shared RNG state (lock-free: the classic defect)
+	p         Params
+}
+
+func newMcSim(t *rr.Thread, p Params) *mcSim {
+	rt := t.Runtime()
+	return &mcSim{
+		rt:        rt,
+		aggLock:   rt.NewMutex("Agg.lock"),
+		sumPrice:  rt.NewVar("Agg.sumPrice"),
+		sumSq:     rt.NewVar("Agg.sumSq"),
+		minPrice:  rt.NewVar("Agg.minPrice"),
+		maxPrice:  rt.NewVar("Agg.maxPrice"),
+		pathCount: rt.NewVar("Agg.pathCount"),
+		seedState: rt.NewVar("Rng.seedState"),
+		p:         p,
+	}
+}
+
+// nextSeed is NON-ATOMIC: the shared RNG state update is a lock-free RMW
+// (two workers can draw the same seed).
+func (s *mcSim) nextSeed(t *rr.Thread) int64 {
+	var seed int64
+	t.Atomic("Rng.nextSeed", func() {
+		seed = s.seedState.Load(t)
+		t.Yield()
+		t.Yield()
+		s.seedState.Store(t, seed*6364136223846793005+1442695040888963407)
+	})
+	return seed
+}
+
+// mcPrice prices one option path under geometric Brownian motion (pure
+// computation on the seed; see compute.go).
+func mcPrice(seed int64) int64 {
+	return simulatePath(seed)
+}
+
+// mergeSum is NON-ATOMIC: price sum read and written in separate
+// critical sections.
+func (s *mcSim) mergeSum(t *rr.Thread, price int64) {
+	t.Atomic("Agg.mergeSum", func() {
+		var sum int64
+		s.p.Guard(t, s.aggLock, "aggLock@readSum", func() {
+			sum = s.sumPrice.Load(t)
+		})
+		t.Yield()
+		t.Yield()
+		s.p.Guard(t, s.aggLock, "aggLock@writeSum", func() {
+			s.sumPrice.Store(t, sum+price)
+		})
+	})
+}
+
+// mergeSumSq is NON-ATOMIC: same split shape on the squared sum.
+func (s *mcSim) mergeSumSq(t *rr.Thread, price int64) {
+	t.Atomic("Agg.mergeSumSq", func() {
+		var sq int64
+		s.p.Guard(t, s.aggLock, "aggLock@readSq", func() {
+			sq = s.sumSq.Load(t)
+		})
+		t.Yield()
+		t.Yield()
+		s.p.Guard(t, s.aggLock, "aggLock@writeSq", func() {
+			s.sumSq.Store(t, sq+price*price)
+		})
+	})
+}
+
+// updateMin is NON-ATOMIC: lock-free min-update.
+func (s *mcSim) updateMin(t *rr.Thread, price int64) {
+	t.Atomic("Agg.updateMin", func() {
+		cur := s.minPrice.Load(t)
+		if cur != 0 && price >= cur {
+			price = cur
+		}
+		t.Yield()
+		t.Yield()
+		s.minPrice.Store(t, price) // always writes: lost-update window
+	})
+}
+
+// updateMax is NON-ATOMIC: lock-free max-update.
+func (s *mcSim) updateMax(t *rr.Thread, price int64) {
+	t.Atomic("Agg.updateMax", func() {
+		cur := s.maxPrice.Load(t)
+		if price < cur {
+			price = cur
+		}
+		t.Yield()
+		t.Yield()
+		s.maxPrice.Store(t, price) // always writes: lost-update window
+	})
+}
+
+// countPath is NON-ATOMIC: lock-free path counter RMW.
+func (s *mcSim) countPath(t *rr.Thread) {
+	t.Atomic("Agg.countPath", func() {
+		n := s.pathCount.Load(t)
+		t.Yield()
+		t.Yield()
+		s.pathCount.Store(t, n+1)
+	})
+}
+
+// readStats is NON-ATOMIC: it samples sum and count in separate critical
+// sections, so the average can mix epochs.
+func (s *mcSim) readStats(t *rr.Thread) (sum, n int64) {
+	t.Atomic("Agg.readStats", func() {
+		s.p.Guard(t, s.aggLock, "aggLock@statSum", func() {
+			sum = s.sumPrice.Load(t)
+		})
+		t.Yield()
+		t.Yield()
+		n = s.pathCount.Load(t)
+		// Re-read the sum: the two samples can straddle a merge.
+		s.p.Guard(t, s.aggLock, "aggLock@statSum2", func() {
+			sum = s.sumPrice.Load(t)
+		})
+	})
+	return sum, n
+}
+
+var montecarloWorkload = register(&Workload{
+	Name:      "montecarlo",
+	Desc:      "Java Grande Monte Carlo financial simulation",
+	JavaLines: 3600,
+	Truth: map[string]Truth{
+		"Rng.nextSeed":   NonAtomic,
+		"Agg.mergeSum":   NonAtomic,
+		"Agg.mergeSumSq": NonAtomic,
+		"Agg.updateMin":  NonAtomic,
+		"Agg.updateMax":  NonAtomic,
+		"Agg.countPath":  NonAtomic,
+		"Agg.readStats":  NonAtomic,
+	},
+	SyncPoints: []string{
+		"aggLock@readSum", "aggLock@writeSum", "aggLock@readSq",
+		"aggLock@writeSq", "aggLock@statSum", "aggLock@statSum2",
+	},
+	Body: func(t *rr.Thread, p Params) {
+		s := newMcSim(t, p)
+		s.seedState.Store(t, 42)
+		var hs []*rr.Handle
+		for w := 0; w < mcWorkers; w++ {
+			hs = append(hs, t.Fork(func(c *rr.Thread) {
+				for i := 0; i < mcPaths*p.scale(); i++ {
+					seed := s.nextSeed(c)
+					price := mcPrice(seed)
+					s.mergeSum(c, price)
+					s.mergeSumSq(c, price)
+					s.updateMin(c, price)
+					s.updateMax(c, price)
+					s.countPath(c)
+					if i%3 == 2 {
+						s.readStats(c)
+					}
+				}
+			}))
+		}
+		for _, h := range hs {
+			t.Join(h)
+		}
+	},
+})

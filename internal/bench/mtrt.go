@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/rr"
+)
+
+// mtrt is the analogue of the SPEC JVM98 multithreaded ray tracer: worker
+// threads render disjoint scanline bands of a scene. The paper reports
+// only 2 real warnings against 27 false alarms — the Atomizer cannot see
+// the fork/join structure and is confused by the heavily-used (and in the
+// original, uninstrumented) library code. The analogue gives each worker
+// a pipeline of per-band rendering stages (intersect, shade, texture,
+// clip, ...), all atomic under fork/join ownership yet racy-looking to
+// Eraser, plus two genuinely non-atomic progress counters.
+
+const (
+	mtrtWorkers = 3
+	mtrtBands   = 3
+)
+
+// mtrtStages are the per-band rendering stages; one Atomizer false alarm
+// each.
+var mtrtStages = []string{
+	"Intersect", "Shade", "Texture", "Clip", "Project",
+	"Sample", "Filter", "Compose", "Tonemap", "Emit",
+}
+
+type mtrtSim struct {
+	rt       *rr.Runtime
+	bands    [][]*rr.Var // [worker][stage] accumulators
+	progress *rr.Var     // scanlines completed (lock-free, shared)
+	rayCount *rr.Var     // rays cast (lock-free, shared)
+	scene    []*rr.Var   // read-only scene description
+	p        Params
+}
+
+func newMtrtSim(t *rr.Thread, p Params) *mtrtSim {
+	rt := t.Runtime()
+	s := &mtrtSim{
+		rt:       rt,
+		progress: rt.NewVar("Runner.progress"),
+		rayCount: rt.NewVar("Runner.rayCount"),
+		p:        p,
+	}
+	for w := 0; w < mtrtWorkers; w++ {
+		var row []*rr.Var
+		for _, st := range mtrtStages {
+			row = append(row, rt.NewVar(fmt.Sprintf("Band%d.%s", w, st)))
+		}
+		s.bands = append(s.bands, row)
+	}
+	for i := 0; i < 4; i++ {
+		s.scene = append(s.scene, rt.NewVar("Scene.obj"))
+	}
+	return s
+}
+
+// renderStage runs one pipeline stage on the worker's own band: ATOMIC
+// (fork/join ownership) but an Atomizer false alarm per stage method.
+func (s *mtrtSim) renderStage(t *rr.Thread, worker, stage int, ray int64) {
+	slot := s.bands[worker][stage]
+	t.Atomic("Band."+mtrtStages[stage], func() {
+		// Read the (read-shared, harmless) scene descriptor...
+		obj := s.scene[int(ray)%len(s.scene)].Load(t)
+		// ...trace and shade the ray (pure computation, no events)...
+		lum := shadePixel(ray, int64(stage), obj)
+		// ...and accumulate into the private band slot.
+		acc := slot.Load(t)
+		slot.Store(t, acc+lum)
+		chk := slot.Load(t)
+		slot.Store(t, chk)
+	})
+}
+
+// tickProgress is NON-ATOMIC: shared scanline counter RMW.
+func (s *mtrtSim) tickProgress(t *rr.Thread) {
+	t.Atomic("Runner.tickProgress", func() {
+		n := s.progress.Load(t)
+		t.Yield()
+		t.Yield()
+		s.progress.Store(t, n+1)
+	})
+}
+
+// addRays is NON-ATOMIC: shared ray counter RMW.
+func (s *mtrtSim) addRays(t *rr.Thread, n int64) {
+	t.Atomic("Runner.addRays", func() {
+		r := s.rayCount.Load(t)
+		t.Yield()
+		t.Yield()
+		s.rayCount.Store(t, r+n)
+	})
+}
+
+var mtrtWorkload = register(&Workload{
+	Name:      "mtrt",
+	Desc:      "SPEC JVM98-style multithreaded ray tracer",
+	JavaLines: 11000,
+	Truth: func() map[string]Truth {
+		truth := map[string]Truth{
+			"Runner.tickProgress": NonAtomic,
+			"Runner.addRays":      NonAtomic,
+		}
+		for _, st := range mtrtStages {
+			truth["Band."+st] = Atomic // fork/join bait: FA each
+		}
+		return truth
+	}(),
+	SyncPoints: nil, // mtrt's defects are lock-free; nothing to remove
+	Body: func(t *rr.Thread, p Params) {
+		s := newMtrtSim(t, p)
+		for i, sc := range s.scene {
+			sc.Store(t, int64(10+i))
+		}
+		for _, row := range s.bands {
+			for _, slot := range row {
+				slot.Store(t, 0)
+			}
+		}
+		var hs []*rr.Handle
+		for w := 0; w < mtrtWorkers; w++ {
+			worker := w
+			hs = append(hs, t.Fork(func(c *rr.Thread) {
+				for band := 0; band < mtrtBands*p.scale(); band++ {
+					for stage := range mtrtStages {
+						s.renderStage(c, worker, stage, int64(worker*100+band*10+stage))
+					}
+					s.tickProgress(c)
+					s.addRays(c, int64(band+1))
+				}
+			}))
+		}
+		for _, h := range hs {
+			t.Join(h)
+		}
+		// Final composite: the joined bands' accumulators are read by the
+		// runner (the other half of the fork/join bait).
+		total := int64(0)
+		for _, row := range s.bands {
+			for _, slot := range row {
+				total += slot.Load(t)
+			}
+		}
+		_ = total
+	},
+})

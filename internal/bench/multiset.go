@@ -1,0 +1,176 @@
+package bench
+
+import "repro/internal/rr"
+
+// multiset is the analogue of the basic multiset implementation from the
+// Goldilocks benchmarks: an array of per-element counters with
+// individually synchronized primitive operations composed into
+// non-atomic bulk methods. Most of the driver's accesses happen outside
+// any atomic block — which is why the paper's multiset row collapses from
+// 218,000 allocated transactions to 8 once merging is enabled: nearly
+// every unary transaction merges away.
+
+const (
+	msSlots   = 4
+	msWorkers = 3
+	msOps     = 4
+)
+
+type multisetSim struct {
+	rt    *rr.Runtime
+	locks []*rr.Mutex
+	count []*rr.Var
+	size  *rr.Var
+	peak  *rr.Var
+	p     Params
+}
+
+func newMultisetSim(t *rr.Thread, p Params) *multisetSim {
+	rt := t.Runtime()
+	s := &multisetSim{
+		rt:   rt,
+		size: rt.NewVar("Multiset.size"),
+		peak: rt.NewVar("Multiset.peak"),
+		p:    p,
+	}
+	for i := 0; i < msSlots; i++ {
+		s.locks = append(s.locks, rt.NewMutex("Multiset.slotLock"))
+		s.count = append(s.count, rt.NewVar("Multiset.count"))
+	}
+	return s
+}
+
+// add is NON-ATOMIC: the element insert and the global size update are
+// separate critical sections.
+func (s *multisetSim) add(t *rr.Thread, x int64) {
+	slot := int(x) % msSlots
+	t.Atomic("Multiset.add", func() {
+		s.p.Guard(t, s.locks[slot], "slotLock@add", func() {
+			c := s.count[slot].Load(t)
+			s.count[slot].Store(t, c+1)
+		})
+		t.Yield()
+		t.Yield()
+		s.size.Add(t, 1) // lock-free size update
+	})
+}
+
+// remove is NON-ATOMIC: check-then-decrement across two critical
+// sections.
+func (s *multisetSim) remove(t *rr.Thread, x int64) bool {
+	slot := int(x) % msSlots
+	ok := false
+	t.Atomic("Multiset.remove", func() {
+		var c int64
+		s.p.Guard(t, s.locks[slot], "slotLock@removeCheck", func() {
+			c = s.count[slot].Load(t)
+		})
+		if c > 0 {
+			t.Yield()
+			t.Yield()
+			s.p.Guard(t, s.locks[slot], "slotLock@removeTake", func() {
+				s.count[slot].Store(t, c-1)
+			})
+			s.size.Add(t, -1)
+			ok = true
+		}
+	})
+	return ok
+}
+
+// contains is NON-ATOMIC as specified in the original: it reads the slot
+// count and then the global size for a consistency check that can
+// observe a mixed state.
+func (s *multisetSim) contains(t *rr.Thread, x int64) bool {
+	slot := int(x) % msSlots
+	var c, n int64
+	t.Atomic("Multiset.contains", func() {
+		n = s.size.Load(t) // lock-free size snapshot first
+		t.Yield()
+		t.Yield()
+		s.p.Guard(t, s.locks[slot], "slotLock@contains", func() {
+			c = s.count[slot].Load(t)
+		})
+	})
+	return c > 0 && n >= c
+}
+
+// addAll is NON-ATOMIC: a bulk insert composed of individually-locked
+// adds.
+func (s *multisetSim) addAll(t *rr.Thread, xs []int64) {
+	t.Atomic("Multiset.addAll", func() {
+		for _, x := range xs {
+			slot := int(x) % msSlots
+			s.p.Guard(t, s.locks[slot], "slotLock@addAll", func() {
+				c := s.count[slot].Load(t)
+				s.count[slot].Store(t, c+1)
+			})
+			s.size.Add(t, 1)
+		}
+	})
+}
+
+// trackPeak is NON-ATOMIC: lock-free max-update of the peak size.
+func (s *multisetSim) trackPeak(t *rr.Thread) {
+	t.Atomic("Multiset.trackPeak", func() {
+		n := s.size.Load(t)
+		cur := s.peak.Load(t)
+		if n > cur {
+			t.Yield()
+			t.Yield()
+			s.peak.Store(t, n)
+		}
+	})
+}
+
+var multisetWorkload = register(&Workload{
+	Name:      "multiset",
+	Desc:      "basic multiset with composed locked primitives",
+	JavaLines: 300,
+	Truth: map[string]Truth{
+		"Multiset.add":       NonAtomic,
+		"Multiset.remove":    NonAtomic,
+		"Multiset.contains":  NonAtomic,
+		"Multiset.addAll":    NonAtomic,
+		"Multiset.trackPeak": NonAtomic,
+	},
+	SyncPoints: []string{
+		"slotLock@add", "slotLock@removeCheck", "slotLock@removeTake",
+		"slotLock@contains", "slotLock@addAll",
+	},
+	Body: func(t *rr.Thread, p Params) {
+		s := newMultisetSim(t, p)
+		var hs []*rr.Handle
+		for w := 0; w < msWorkers; w++ {
+			worker := int64(w)
+			hs = append(hs, t.Fork(func(c *rr.Thread) {
+				// The driver touches the multiset heavily outside any
+				// atomic block: these accesses become unary transactions
+				// and exercise the merge machinery — the reason the paper's
+				// multiset row collapses from 218,000 allocated nodes to 8
+				// once merging is on.
+				for i := int64(0); i < int64(12*msOps*p.scale()); i++ {
+					x := worker*3 + i
+					slot := int(x) % msSlots
+					s.locks[slot].With(c, func() {
+						v := s.count[slot].Load(c)
+						s.count[slot].Store(c, v)
+					})
+					s.size.Load(c)
+				}
+				for i := int64(0); i < int64(msOps*p.scale()); i++ {
+					x := worker*3 + i
+					s.add(c, x)
+					s.addAll(c, []int64{x + 1, x + 2})
+					if s.contains(c, x) {
+						s.remove(c, x)
+					}
+					s.trackPeak(c)
+				}
+			}))
+		}
+		for _, h := range hs {
+			t.Join(h)
+		}
+	},
+})

@@ -1,0 +1,185 @@
+package bench
+
+import "repro/internal/rr"
+
+// This file collects the synchronization idioms the workloads are built
+// from. Each helper is written against the rr API; the comments record
+// which analysis behaviour the idiom provokes.
+
+// wideRMW is a read-modify-write whose window is padded with yields: a
+// genuinely non-atomic method that ordinary seeds expose (NonAtomic).
+func wideRMW(t *rr.Thread, label string, v *rr.Var, delta int64) {
+	t.Atomic(label, func() {
+		x := v.Load(t)
+		t.Yield()
+		t.Yield()
+		t.Yield()
+		v.Store(t, x+delta)
+	})
+}
+
+// tightRMW is a read-modify-write with no scheduling slack between the
+// read and the write: non-atomic, but exposed only when the scheduler
+// preempts in a one-event window (NonAtomicRare). The Atomizer still
+// flags it from any run once the variable is racy.
+func tightRMW(t *rr.Thread, label string, v *rr.Var, delta int64) {
+	t.Atomic(label, func() {
+		x := v.Load(t)
+		v.Store(t, x+delta)
+	})
+}
+
+// checkThenAct is the Set.add idiom of the introduction: two individually
+// locked operations (a membership test and an insert) composed in one
+// atomic method. Non-atomic: another thread can slip between them.
+func checkThenAct(t *rr.Thread, label string, m *rr.Mutex, set *rr.Ref[map[int64]bool], x int64) {
+	t.Atomic(label, func() {
+		var present bool
+		m.With(t, func() { // Vector.contains
+			s := set.Load(t)
+			present = s != nil && s[x]
+		})
+		if !present {
+			m.With(t, func() { // Vector.add
+				set.Update(t, func(s map[int64]bool) map[int64]bool {
+					if s == nil {
+						s = map[int64]bool{}
+					}
+					s[x] = true
+					return s
+				})
+			})
+		}
+	})
+}
+
+// lockedMethod is a properly synchronized method: atomic under every
+// schedule and quiet under every tool.
+func lockedMethod(t *rr.Thread, label string, m *rr.Mutex, body func()) {
+	t.Atomic(label, func() {
+		m.With(t, body)
+	})
+}
+
+// shardWorker is the fork/join bait idiom: the worker accumulates into a
+// slot it owns exclusively between fork and join. Serializable in every
+// schedule (all conflicts are ordered by the fork and join edges), so
+// Velodrome stays quiet — but Eraser sees a write-shared, lock-free
+// variable, classifies the accesses as non-movers, and the Atomizer
+// reports a false alarm on the worker's method.
+func shardWorker(t *rr.Thread, label string, slot *rr.Var, rounds int) {
+	for i := 0; i < rounds; i++ {
+		t.Atomic(label, func() {
+			x := slot.Load(t)
+			slot.Store(t, x+int64(i+1))
+		})
+	}
+}
+
+// flagSection runs an atomic critical section protected by a flag-handoff
+// protocol (the volatile-variable program of Section 2): thread `me`
+// waits until flag == me, works on v, then passes the flag to `next`.
+// Serializable in every schedule; an Atomizer false alarm.
+func flagSection(t *rr.Thread, label string, flag, v *rr.Var, me, next int64, body func(cur int64) int64) {
+	t.Until(func() bool { return flag.Load(t) == me })
+	t.Atomic(label, func() {
+		x := v.Load(t)
+		v.Store(t, body(x))
+		flag.Store(t, next)
+	})
+}
+
+// barrier is a reusable lock-based cyclic barrier for n parties. Lock
+// discipline keeps Eraser happy, so barrier-based workloads (sor, moldyn)
+// produce no Atomizer false alarms, matching Table 2.
+type barrier struct {
+	m       *rr.Mutex
+	arrived *rr.Var
+	phase   *rr.Var
+	n       int64
+}
+
+func newBarrier(t *rr.Thread, name string, n int) *barrier {
+	rt := t.Runtime()
+	return &barrier{
+		m:       rt.NewMutex(name + ".lock"),
+		arrived: rt.NewVar(name + ".arrived"),
+		phase:   rt.NewVar(name + ".phase"),
+		n:       int64(n),
+	}
+}
+
+// await blocks until all n parties have arrived.
+func (b *barrier) await(t *rr.Thread) {
+	var myPhase int64
+	release := false
+	b.m.With(t, func() {
+		myPhase = b.phase.Load(t)
+		got := b.arrived.Add(t, 1)
+		if got == b.n {
+			b.arrived.Store(t, 0)
+			b.phase.Store(t, myPhase+1)
+			release = true
+		}
+	})
+	if release {
+		return
+	}
+	t.Until(func() bool {
+		var p int64
+		b.m.With(t, func() { p = b.phase.Load(t) })
+		return p != myPhase
+	})
+}
+
+// workQueue is a lock-protected FIFO of int64 items, the shape of the
+// task pools in hedc, tsp and jigsaw.
+type workQueue struct {
+	m     *rr.Mutex
+	items *rr.Ref[[]int64]
+	size  *rr.Var
+}
+
+func newWorkQueue(t *rr.Thread, name string) *workQueue {
+	rt := t.Runtime()
+	return &workQueue{
+		m:     rt.NewMutex(name + ".lock"),
+		items: rr.NewRef[[]int64](rt, name+".items"),
+		size:  rt.NewVar(name + ".size"),
+	}
+}
+
+// push appends an item under the queue lock.
+func (q *workQueue) push(t *rr.Thread, x int64) {
+	q.m.With(t, func() {
+		q.items.Update(t, func(s []int64) []int64 { return append(s, x) })
+		q.size.Add(t, 1)
+	})
+}
+
+// pop removes the head under the queue lock; ok is false when empty.
+func (q *workQueue) pop(t *rr.Thread) (x int64, ok bool) {
+	q.m.With(t, func() {
+		s := q.items.Load(t)
+		if len(s) == 0 {
+			return
+		}
+		x, ok = s[0], true
+		q.items.Store(t, s[1:])
+		q.size.Add(t, -1)
+	})
+	return x, ok
+}
+
+// unsafeSizeThenPop is the non-atomic variant: it checks the size without
+// holding the lock across the pop (check-then-act across two critical
+// sections).
+func (q *workQueue) unsafeSizeThenPop(t *rr.Thread) (x int64, ok bool) {
+	var n int64
+	q.m.With(t, func() { n = q.size.Load(t) })
+	if n == 0 {
+		return 0, false
+	}
+	t.Yield()
+	return q.pop(t)
+}

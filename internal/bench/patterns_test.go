@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rr"
+)
+
+// TestBarrierSynchronizes: no party leaves await until all have arrived,
+// across phases and seeds.
+func TestBarrierSynchronizes(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		violated := false
+		rep := rr.Run(rr.Options{Seed: seed}, func(th *rr.Thread) {
+			const parties, phases = 3, 4
+			bar := newBarrier(th, "b", parties)
+			arrived := make([]int, phases)
+			var hs []*rr.Handle
+			for w := 0; w < parties; w++ {
+				hs = append(hs, th.Fork(func(c *rr.Thread) {
+					for ph := 0; ph < phases; ph++ {
+						arrived[ph]++
+						bar.await(c)
+						// After await, everyone must have arrived at ph.
+						if arrived[ph] != parties {
+							violated = true
+						}
+					}
+				}))
+			}
+			for _, h := range hs {
+				th.Join(h)
+			}
+		})
+		if rep.Deadlocked || rep.Truncated {
+			t.Fatalf("seed %d: %+v", seed, rep)
+		}
+		if violated {
+			t.Fatalf("seed %d: a party left the barrier early", seed)
+		}
+	}
+}
+
+// TestWorkQueueFIFO: push/pop order with a single consumer.
+func TestWorkQueueFIFO(t *testing.T) {
+	rr.Run(rr.Options{Seed: 1}, func(th *rr.Thread) {
+		q := newWorkQueue(th, "q")
+		for i := int64(0); i < 5; i++ {
+			q.push(th, i*10)
+		}
+		for i := int64(0); i < 5; i++ {
+			x, ok := q.pop(th)
+			if !ok || x != i*10 {
+				t.Fatalf("pop %d = %d,%v", i, x, ok)
+			}
+		}
+		if _, ok := q.pop(th); ok {
+			t.Fatal("pop from empty queue succeeded")
+		}
+		if _, ok := q.unsafeSizeThenPop(th); ok {
+			t.Fatal("unsafe pop from empty queue succeeded")
+		}
+	})
+}
+
+// TestUnsafeSizeThenPopIsNonAtomic: the check-then-act queue pop, wrapped
+// atomic, is caught by Velodrome under contention.
+func TestUnsafeSizeThenPopIsNonAtomic(t *testing.T) {
+	found := false
+	for seed := int64(1); seed <= 40 && !found; seed++ {
+		velo := rr.NewVelodrome(core.Options{})
+		rr.Run(rr.Options{Seed: seed, Backend: velo}, func(th *rr.Thread) {
+			q := newWorkQueue(th, "q")
+			for i := int64(0); i < 6; i++ {
+				q.push(th, i)
+			}
+			var hs []*rr.Handle
+			for w := 0; w < 3; w++ {
+				hs = append(hs, th.Fork(func(c *rr.Thread) {
+					for {
+						c.Begin("Pool.take")
+						_, ok := q.unsafeSizeThenPop(c)
+						c.End()
+						if !ok {
+							return
+						}
+					}
+				}))
+			}
+			for _, h := range hs {
+				th.Join(h)
+			}
+		})
+		for _, w := range velo.Warnings() {
+			if w.Method() == "Pool.take" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("check-then-act pop never caught across 40 seeds")
+	}
+}
+
+// TestFlagSectionProtocol: the handoff helper preserves exclusivity and
+// stays quiet under Velodrome for every seed tried.
+func TestFlagSectionProtocol(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		velo := rr.NewVelodrome(core.Options{})
+		var final int64
+		rep := rr.Run(rr.Options{Seed: seed, Backend: velo}, func(th *rr.Thread) {
+			rt := th.Runtime()
+			flag := rt.NewVar("flag")
+			v := rt.NewVar("v")
+			flag.Store(th, 1)
+			mk := func(me, next int64, label string) func(*rr.Thread) {
+				return func(c *rr.Thread) {
+					for r := 0; r < 3; r++ {
+						flagSection(c, label, flag, v, me, next, func(cur int64) int64 {
+							return cur + me
+						})
+					}
+				}
+			}
+			h1 := th.Fork(mk(1, 2, "w1"))
+			h2 := th.Fork(mk(2, 1, "w2"))
+			th.Join(h1)
+			th.Join(h2)
+			final = v.Load(th)
+		})
+		if rep.Deadlocked || rep.Truncated {
+			t.Fatalf("seed %d: %+v", seed, rep)
+		}
+		if final != 9 { // 3 rounds of +1 and +2
+			t.Fatalf("seed %d: v = %d, want 9", seed, final)
+		}
+		if len(velo.Warnings()) != 0 {
+			t.Fatalf("seed %d: false alarm on the flag protocol:\n%s",
+				seed, velo.Warnings()[0])
+		}
+	}
+}
+
+// TestShardWorkerQuietUnderVelodrome: the fork/join bait in isolation.
+func TestShardWorkerQuietUnderVelodrome(t *testing.T) {
+	velo := rr.NewVelodrome(core.Options{})
+	atom := rr.NewAtomizer()
+	rr.Run(rr.Options{Seed: 4, Backend: rr.Multi{velo, atom}}, func(th *rr.Thread) {
+		slot := th.Runtime().NewVar("slot")
+		slot.Store(th, 0)
+		h := th.Fork(func(c *rr.Thread) {
+			shardWorker(c, "Worker.accumulate", slot, 3)
+		})
+		th.Join(h)
+		slot.Load(th)
+	})
+	if len(velo.Warnings()) != 0 {
+		t.Fatalf("velodrome false alarm: %s", velo.Warnings()[0])
+	}
+	if len(atom.Warnings()) == 0 {
+		t.Fatal("the bait should trip the Atomizer")
+	}
+}
+
+// TestPatternHelpersCaught: wideRMW is exposed quickly; tightRMW usually
+// is not (single seed).
+func TestPatternHelpersCaught(t *testing.T) {
+	run := func(f func(*rr.Thread, string, *rr.Var, int64), label string, seed int64) bool {
+		velo := rr.NewVelodrome(core.Options{})
+		rr.Run(rr.Options{Seed: seed, Backend: velo}, func(th *rr.Thread) {
+			rt := th.Runtime()
+			v := rt.NewVar("v")
+			scratch := rt.NewVar("scratch")
+			var hs []*rr.Handle
+			for w := 0; w < 2; w++ {
+				hs = append(hs, th.Fork(func(c *rr.Thread) {
+					for i := 0; i < 2; i++ {
+						// Padding work dilutes the contention so the window
+						// width is what decides detection.
+						for j := 0; j < 10; j++ {
+							scratch.Add(c, 1)
+						}
+						f(c, label, v, 1)
+					}
+				}))
+			}
+			for _, h := range hs {
+				th.Join(h)
+			}
+		})
+		for _, w := range velo.Warnings() {
+			if string(w.Method()) == label {
+				return true
+			}
+		}
+		return false
+	}
+	wideHits, tightHits := 0, 0
+	for seed := int64(1); seed <= 20; seed++ {
+		if run(wideRMW, "wide", seed) {
+			wideHits++
+		}
+		if run(tightRMW, "tight", seed) {
+			tightHits++
+		}
+	}
+	if wideHits < 8 {
+		t.Errorf("wide RMW caught on only %d/20 seeds", wideHits)
+	}
+	if tightHits >= wideHits {
+		t.Errorf("tight RMW (%d) should be harder to catch than wide (%d)", tightHits, wideHits)
+	}
+}

@@ -1,0 +1,106 @@
+package bench
+
+import "repro/internal/rr"
+
+// philo is the analogue of the dining-philosophers simulation used in the
+// Goldilocks paper (Elmas et al. 2007): philosophers acquire forks in a
+// global order (no deadlock) and record meal statistics. The two
+// genuinely non-atomic methods are the shared meal counter and the
+// "who ate last" tag, both lock-free RMWs (Table 2 row 2/0).
+
+const (
+	philoN     = 4
+	philoMeals = 3
+)
+
+type philoSim struct {
+	rt        *rr.Runtime
+	forks     []*rr.Mutex
+	plates    []*rr.Var
+	meals     *rr.Var
+	lastDiner *rr.Var
+	p         Params
+}
+
+func newPhiloSim(t *rr.Thread, p Params) *philoSim {
+	rt := t.Runtime()
+	s := &philoSim{
+		rt:        rt,
+		meals:     rt.NewVar("Table.meals"),
+		lastDiner: rt.NewVar("Table.lastDiner"),
+		p:         p,
+	}
+	for i := 0; i < philoN; i++ {
+		s.forks = append(s.forks, rt.NewMutex("Fork"))
+		s.plates = append(s.plates, rt.NewVar("Plate"))
+	}
+	return s
+}
+
+// eat picks up both forks in canonical order and eats: ATOMIC (fully
+// lock-protected).
+func (s *philoSim) eat(t *rr.Thread, me int) {
+	left, right := me, (me+1)%philoN
+	if left > right {
+		left, right = right, left
+	}
+	t.Atomic("Philosopher.eat", func() {
+		s.forks[left].Lock(t)
+		s.forks[right].Lock(t)
+		bites := s.plates[me].Load(t)
+		s.plates[me].Store(t, bites+1)
+		s.forks[right].Unlock(t)
+		s.forks[left].Unlock(t)
+	})
+}
+
+// recordMeal is NON-ATOMIC: lock-free meal counter RMW.
+func (s *philoSim) recordMeal(t *rr.Thread) {
+	t.Atomic("Table.recordMeal", func() {
+		n := s.meals.Load(t)
+		t.Yield()
+		t.Yield()
+		s.meals.Store(t, n+1)
+	})
+}
+
+// tagLastDiner is NON-ATOMIC: check-then-set of the last-diner tag.
+func (s *philoSim) tagLastDiner(t *rr.Thread, me int64) {
+	t.Atomic("Table.tagLastDiner", func() {
+		prev := s.lastDiner.Load(t)
+		if prev != me {
+			t.Yield()
+			t.Yield()
+			s.lastDiner.Store(t, me)
+		}
+	})
+}
+
+var philoWorkload = register(&Workload{
+	Name:      "philo",
+	Desc:      "dining philosophers simulation",
+	JavaLines: 84,
+	Truth: map[string]Truth{
+		"Philosopher.eat":    Atomic,
+		"Table.recordMeal":   NonAtomic,
+		"Table.tagLastDiner": NonAtomic,
+	},
+	SyncPoints: nil,
+	Body: func(t *rr.Thread, p Params) {
+		s := newPhiloSim(t, p)
+		var hs []*rr.Handle
+		for i := 0; i < philoN; i++ {
+			me := i
+			hs = append(hs, t.Fork(func(c *rr.Thread) {
+				for m := 0; m < philoMeals*p.scale(); m++ {
+					s.eat(c, me)
+					s.recordMeal(c)
+					s.tagLastDiner(c, int64(me))
+				}
+			}))
+		}
+		for _, h := range hs {
+			t.Join(h)
+		}
+	},
+})

@@ -1,0 +1,121 @@
+package bench
+
+import "repro/internal/rr"
+
+// raja is the analogue of the Raja ray tracer, the one benchmark in
+// Table 2 with zero warnings from both tools: every shared access is
+// consistently lock-protected and every atomic method is a single
+// critical section. It exists to demonstrate the quiet path end to end.
+
+const (
+	rajaWorkers = 3
+	rajaTiles   = 4
+)
+
+type rajaSim struct {
+	rt        *rr.Runtime
+	queueLock *rr.Mutex
+	nextTile  *rr.Var
+	statLock  *rr.Mutex
+	rendered  *rr.Var
+	luminance *rr.Var
+	p         Params
+}
+
+func newRajaSim(t *rr.Thread, p Params) *rajaSim {
+	rt := t.Runtime()
+	return &rajaSim{
+		rt:        rt,
+		queueLock: rt.NewMutex("Raja.queueLock"),
+		nextTile:  rt.NewVar("Raja.nextTile"),
+		statLock:  rt.NewMutex("Raja.statLock"),
+		rendered:  rt.NewVar("Raja.rendered"),
+		luminance: rt.NewVar("Raja.luminance"),
+		p:         p,
+	}
+}
+
+// claimTile atomically hands out the next tile id: ATOMIC (one critical
+// section around the whole read-increment).
+func (s *rajaSim) claimTile(t *rr.Thread, limit int64) (int64, bool) {
+	var tile int64
+	ok := false
+	t.Atomic("Raja.claimTile", func() {
+		s.queueLock.With(t, func() {
+			tile = s.nextTile.Load(t)
+			if tile < limit {
+				s.nextTile.Store(t, tile+1)
+				ok = true
+			}
+		})
+	})
+	return tile, ok
+}
+
+// rajaRender renders one tile: 16 primary rays through the shared scene
+// (pure computation on the tile id).
+func rajaRender(tile int64) int64 {
+	var lum int64
+	for i := int64(0); i < 16; i++ {
+		lum += shadePixel(tile*4+i%4, tile*4+i/4, i)
+	}
+	return lum / 16
+}
+
+// recordTile posts the tile's statistics: ATOMIC (both counters updated
+// in one critical section).
+func (s *rajaSim) recordTile(t *rr.Thread, lum int64) {
+	t.Atomic("Raja.recordTile", func() {
+		s.statLock.With(t, func() {
+			n := s.rendered.Load(t)
+			s.rendered.Store(t, n+1)
+			l := s.luminance.Load(t)
+			s.luminance.Store(t, l+lum)
+		})
+	})
+}
+
+// readImageStats samples the statistics: ATOMIC (single section).
+func (s *rajaSim) readImageStats(t *rr.Thread) (n, lum int64) {
+	t.Atomic("Raja.readImageStats", func() {
+		s.statLock.With(t, func() {
+			n = s.rendered.Load(t)
+			lum = s.luminance.Load(t)
+		})
+	})
+	return n, lum
+}
+
+var rajaWorkload = register(&Workload{
+	Name:      "raja",
+	Desc:      "Raja ray tracer (fully synchronized; zero warnings)",
+	JavaLines: 10000,
+	Truth: map[string]Truth{
+		"Raja.claimTile":      Atomic,
+		"Raja.recordTile":     Atomic,
+		"Raja.readImageStats": Atomic,
+	},
+	SyncPoints: nil,
+	Body: func(t *rr.Thread, p Params) {
+		s := newRajaSim(t, p)
+		limit := int64(rajaTiles * rajaWorkers * p.scale())
+		var hs []*rr.Handle
+		for w := 0; w < rajaWorkers; w++ {
+			hs = append(hs, t.Fork(func(c *rr.Thread) {
+				for {
+					tile, ok := s.claimTile(c, limit)
+					if !ok {
+						break
+					}
+					s.recordTile(c, rajaRender(tile))
+					if tile%4 == 0 {
+						s.readImageStats(c)
+					}
+				}
+			}))
+		}
+		for _, h := range hs {
+			t.Join(h)
+		}
+	},
+})

@@ -1,0 +1,129 @@
+package bench
+
+import "repro/internal/rr"
+
+// raytracer is the analogue of the Java Grande ray tracer. The paper's
+// row is the interesting one for coverage: of 2 genuinely non-atomic
+// methods the plain Velodrome finds only 1 — the other (a tight
+// checksum update) surfaces only under adversarial scheduling (Section 6
+// reports exactly this: "Velodrome found the second non-serial method in
+// raytracer" with scheduler adjustment). Three per-worker render methods
+// are fork/join-synchronized Atomizer false alarms.
+
+const (
+	rtWorkers   = 3
+	rtScanlines = 4
+)
+
+var rtStages = []string{"TraceRow", "ShadeRow", "BlendRow"}
+
+type raytracerSim struct {
+	rt       *rr.Runtime
+	rows     [][]*rr.Var // [worker][stage]
+	checksum *rr.Var     // image checksum (tight RMW: the rare defect)
+	lines    *rr.Var     // scanline counter (wide RMW: the easy defect)
+	p        Params
+}
+
+func newRaytracerSim(t *rr.Thread, p Params) *raytracerSim {
+	rt := t.Runtime()
+	s := &raytracerSim{
+		rt:       rt,
+		checksum: rt.NewVar("JGFRayTracer.checksum"),
+		lines:    rt.NewVar("JGFRayTracer.lines"),
+		p:        p,
+	}
+	for w := 0; w < rtWorkers; w++ {
+		var row []*rr.Var
+		for range rtStages {
+			row = append(row, rt.NewVar("RayTracer.row"))
+		}
+		s.rows = append(s.rows, row)
+	}
+	return s
+}
+
+// renderRow is ATOMIC (per-worker row slots owned between fork and join)
+// but an Atomizer false alarm for each stage method.
+func (s *raytracerSim) renderRow(t *rr.Thread, worker, stage int, y int64) {
+	slot := s.rows[worker][stage]
+	lum := shadePixel(y, int64(worker*8+stage), y%5) // pure compute
+	t.Atomic("RayTracer."+rtStages[stage], func() {
+		acc := slot.Load(t)
+		slot.Store(t, acc*31+lum)
+		chk := slot.Load(t)
+		slot.Store(t, chk)
+	})
+}
+
+// countLine is NON-ATOMIC with a wide window: found by plain Velodrome.
+func (s *raytracerSim) countLine(t *rr.Thread) {
+	t.Atomic("JGFRayTracer.countLine", func() {
+		n := s.lines.Load(t)
+		t.Yield()
+		t.Yield()
+		t.Yield()
+		s.lines.Store(t, n+1)
+	})
+}
+
+// addChecksum is NON-ATOMIC but the read-write window is a single
+// scheduling point: plain runs usually observe it serializably, and only
+// the adversarial scheduler reliably provokes a witness (the paper's
+// "second non-serial method in raytracer").
+func (s *raytracerSim) addChecksum(t *rr.Thread, v int64) {
+	t.Atomic("JGFRayTracer.addChecksum", func() {
+		c := s.checksum.Load(t)
+		s.checksum.Store(t, c+v)
+	})
+}
+
+var raytracerWorkload = register(&Workload{
+	Name:      "raytracer",
+	Desc:      "Java Grande ray tracer",
+	JavaLines: 18000,
+	Truth: func() map[string]Truth {
+		truth := map[string]Truth{
+			"JGFRayTracer.countLine":   NonAtomic,
+			"JGFRayTracer.addChecksum": NonAtomicRare,
+		}
+		for _, st := range rtStages {
+			truth["RayTracer."+st] = Atomic // fork/join bait: FA each
+		}
+		return truth
+	}(),
+	SyncPoints: nil,
+	Body: func(t *rr.Thread, p Params) {
+		s := newRaytracerSim(t, p)
+		for _, row := range s.rows {
+			for _, slot := range row {
+				slot.Store(t, 1)
+			}
+		}
+		var hs []*rr.Handle
+		for w := 0; w < rtWorkers; w++ {
+			worker := w
+			hs = append(hs, t.Fork(func(c *rr.Thread) {
+				for y := 0; y < rtScanlines*p.scale(); y++ {
+					for stage := range rtStages {
+						s.renderRow(c, worker, stage, int64(y))
+					}
+					s.countLine(c)
+					if y%rtWorkers == worker {
+						s.addChecksum(c, int64(worker*100+y))
+					}
+				}
+			}))
+		}
+		for _, h := range hs {
+			t.Join(h)
+		}
+		sum := int64(0)
+		for _, row := range s.rows {
+			for _, slot := range row {
+				sum += slot.Load(t)
+			}
+		}
+		_ = sum
+	},
+})

@@ -1,0 +1,182 @@
+package bench
+
+import "repro/internal/rr"
+
+// sor is the analogue of the successive over-relaxation kernel
+// (von Praun & Gross): worker threads sweep interleaved rows of a
+// double-buffered grid in lock-stepped phases separated by barriers.
+// Within a phase workers only read the previous buffer and write rows
+// they own, so every cross-thread conflict is ordered by a barrier and
+// the sweep methods are atomic in every schedule. The three non-atomic
+// methods are the residual reduction, the convergence check and the
+// iteration counter, each split across critical sections. The barrier is
+// lock-based, so — matching Table 2's 3/0 row — the Atomizer produces no
+// false alarms here.
+
+const (
+	sorWorkers = 3
+	sorRows    = 6
+	sorPhases  = 3
+)
+
+type sorSim struct {
+	rt        *rr.Runtime
+	cur       *rr.Array // previous-phase row values (read by anyone)
+	nxt       *rr.Array // next-phase row values (written by the owner)
+	resLock   *rr.Mutex
+	residual  *rr.Var
+	converged *rr.Var
+	iters     *rr.Var
+	p         Params
+}
+
+func newSorSim(t *rr.Thread, p Params) *sorSim {
+	rt := t.Runtime()
+	s := &sorSim{
+		rt:        rt,
+		resLock:   rt.NewMutex("Sor.resLock"),
+		residual:  rt.NewVar("Sor.residual"),
+		converged: rt.NewVar("Sor.converged"),
+		iters:     rt.NewVar("Sor.iters"),
+		p:         p,
+	}
+	// The grid is a Java array in the original, so — like the paper's
+	// prototype — its element accesses are not instrumented.
+	s.cur = rt.NewArray("Sor.cur", sorRows)
+	s.nxt = rt.NewArray("Sor.nxt", sorRows)
+	return s
+}
+
+// owner says which worker owns a row (block-cyclic distribution).
+func sorOwner(row int) int { return row % sorWorkers }
+
+// relaxRow computes the next value of one row from the previous buffer.
+// ATOMIC: neighbour reads hit the previous buffer (written before the
+// last barrier) and the write hits the owner's own next-buffer row.
+func (s *sorSim) relaxRow(t *rr.Thread, row int, phase int64) {
+	t.Atomic("Sor.relaxRow", func() {
+		self := s.cur.Load(t, row)
+		up, down := self, self
+		if row > 0 {
+			up = s.cur.Load(t, row-1)
+		}
+		if row < sorRows-1 {
+			down = s.cur.Load(t, row+1)
+		}
+		// Over-relaxation update x' = (1-ω)x + ω(avg of neighbours),
+		// in fixed point with ω = 1.25 (the Java Grande kernel's omega).
+		avg := (up + down) / 2
+		next := (self*(-25) + avg*125) / 100
+		s.nxt.Store(t, row, (next+phase+1000)%1000)
+	})
+}
+
+// publishRow copies the owner's next-buffer row into the shared buffer.
+// ATOMIC: only the owner touches these two cells between barriers.
+func (s *sorSim) publishRow(t *rr.Thread, row int) {
+	t.Atomic("Sor.publishRow", func() {
+		v := s.nxt.Load(t, row)
+		s.cur.Store(t, row, v)
+	})
+}
+
+// addResidual is NON-ATOMIC: the per-worker residual contribution is
+// read and added in two separate critical sections.
+func (s *sorSim) addResidual(t *rr.Thread, d int64) {
+	t.Atomic("Sor.addResidual", func() {
+		var r int64
+		s.p.Guard(t, s.resLock, "resLock@read", func() {
+			r = s.residual.Load(t)
+		})
+		t.Yield()
+		t.Yield()
+		s.p.Guard(t, s.resLock, "resLock@write", func() {
+			s.residual.Store(t, r+d)
+		})
+	})
+}
+
+// checkConverged is NON-ATOMIC: it reads the residual, decides, and then
+// resets the accumulator in a second critical section — contributions
+// added in between are silently dropped.
+func (s *sorSim) checkConverged(t *rr.Thread) {
+	t.Atomic("Sor.checkConverged", func() {
+		var r int64
+		s.p.Guard(t, s.resLock, "resLock@check", func() {
+			r = s.residual.Load(t)
+		})
+		t.Yield()
+		t.Yield()
+		if r%2 == 0 {
+			s.converged.Store(t, 1)
+		} else {
+			s.converged.Store(t, 0)
+		}
+		s.p.Guard(t, s.resLock, "resLock@reset", func() {
+			s.residual.Store(t, 0)
+		})
+	})
+}
+
+// bumpIter is NON-ATOMIC: lock-free iteration counter RMW.
+func (s *sorSim) bumpIter(t *rr.Thread) {
+	t.Atomic("Sor.bumpIter", func() {
+		n := s.iters.Load(t)
+		t.Yield()
+		t.Yield()
+		s.iters.Store(t, n+1)
+	})
+}
+
+var sorWorkload = register(&Workload{
+	Name:      "sor",
+	Desc:      "successive over-relaxation stencil kernel",
+	JavaLines: 690,
+	Truth: map[string]Truth{
+		"Sor.relaxRow":       Atomic,
+		"Sor.publishRow":     Atomic,
+		"Sor.addResidual":    NonAtomic,
+		"Sor.checkConverged": NonAtomic,
+		"Sor.bumpIter":       NonAtomic,
+	},
+	SyncPoints: []string{
+		"resLock@read", "resLock@write", "resLock@check", "resLock@reset",
+	},
+	Body: func(t *rr.Thread, p Params) {
+		s := newSorSim(t, p)
+		for i := 0; i < s.cur.Len(); i++ {
+			s.cur.Store(t, i, 1)
+			s.nxt.Store(t, i, 0)
+		}
+		relaxBar := newBarrier(t, "Sor.relaxBarrier", sorWorkers)
+		copyBar := newBarrier(t, "Sor.copyBarrier", sorWorkers)
+		var hs []*rr.Handle
+		for w := 0; w < sorWorkers; w++ {
+			worker := w
+			hs = append(hs, t.Fork(func(c *rr.Thread) {
+				for phase := int64(0); phase < int64(sorPhases*p.scale()); phase++ {
+					for row := 0; row < sorRows; row++ {
+						if sorOwner(row) == worker {
+							s.relaxRow(c, row, phase)
+						}
+					}
+					relaxBar.await(c) // all reads of cur done
+					for row := 0; row < sorRows; row++ {
+						if sorOwner(row) == worker {
+							s.publishRow(c, row)
+						}
+					}
+					s.addResidual(c, int64(worker)+phase)
+					if worker == 0 {
+						s.checkConverged(c)
+					}
+					s.bumpIter(c)
+					copyBar.await(c) // all writes of cur done
+				}
+			}))
+		}
+		for _, h := range hs {
+			t.Join(h)
+		}
+	},
+})

@@ -1,0 +1,233 @@
+package bench
+
+import "repro/internal/rr"
+
+// tsp is the analogue of the Traveling Salesman Problem solver
+// (von Praun & Gross): a branch-and-bound search where worker threads
+// expand partial tours from a shared queue and race to improve the global
+// minimum. Every shared update in the original is a separate tiny
+// critical section — the reason the paper's tsp row allocates more than a
+// million transactions and shows the largest slowdowns. All eight flagged
+// methods are genuinely non-atomic; there are no false-alarm baits
+// (Table 2 row 8/0).
+
+const (
+	tspCities  = 8
+	tspWorkers = 4
+)
+
+// tspDist is a fixed symmetric distance matrix (a small euclidean-ish
+// instance; the values only need to be deterministic).
+func tspDist(a, b int64) int64 {
+	if a == b {
+		return 0
+	}
+	d := (a*7 + b*13) % 23
+	if b < a {
+		d = (b*7 + a*13) % 23
+	}
+	return d + 1
+}
+
+type tspSim struct {
+	rt        *rr.Runtime
+	queue     *workQueue
+	boundLock *rr.Mutex
+	minBound  *rr.Var
+	bestTour  *rr.Ref[[]int64]
+	expanded  *rr.Var // nodes expanded (stat)
+	pruned    *rr.Var // branches pruned (stat)
+	improved  *rr.Var // number of bound improvements
+	touched   *rr.Var // bitmask of workers that improved the bound
+	depthHist *rr.Var // accumulated search depth
+	p         Params
+}
+
+func newTspSim(t *rr.Thread, p Params) *tspSim {
+	rt := t.Runtime()
+	s := &tspSim{
+		rt:        rt,
+		queue:     newWorkQueue(t, "Tsp.queue"),
+		boundLock: rt.NewMutex("Tsp.boundLock"),
+		minBound:  rt.NewVar("Tsp.minBound"),
+		bestTour:  rr.NewRef[[]int64](rt, "Tsp.bestTour"),
+		expanded:  rt.NewVar("Tsp.expanded"),
+		pruned:    rt.NewVar("Tsp.pruned"),
+		improved:  rt.NewVar("Tsp.improved"),
+		touched:   rt.NewVar("Tsp.touched"),
+		depthHist: rt.NewVar("Tsp.depthHist"),
+		p:         p,
+	}
+	return s
+}
+
+// readBound is NON-ATOMIC as used: it samples the bound in its own
+// critical section, so decisions based on it are stale (the original
+// solver's well-known benign-looking race).
+func (s *tspSim) readBound(t *rr.Thread) int64 {
+	var b int64
+	t.Atomic("Tsp.readBound", func() {
+		s.p.Guard(t, s.boundLock, "boundLock@read", func() {
+			b = s.minBound.Load(t)
+		})
+		t.Yield()
+		// A second sample in the same block can disagree with the first.
+		s.p.Guard(t, s.boundLock, "boundLock@read2", func() {
+			b = s.minBound.Load(t)
+		})
+	})
+	return b
+}
+
+// updateMin is NON-ATOMIC: compare in one critical section, store in
+// another — two workers can both "win" and the larger value can land
+// last.
+func (s *tspSim) updateMin(t *rr.Thread, tour []int64, length int64) {
+	t.Atomic("Tsp.updateMin", func() {
+		var cur int64
+		s.p.Guard(t, s.boundLock, "boundLock@cmp", func() {
+			cur = s.minBound.Load(t)
+		})
+		if cur == 0 || length < cur {
+			t.Yield()
+			t.Yield()
+			s.p.Guard(t, s.boundLock, "boundLock@set", func() {
+				s.minBound.Store(t, length)
+				s.bestTour.Store(t, tour)
+			})
+		}
+	})
+}
+
+// markImprover is NON-ATOMIC: lock-free bitmask RMW of which workers
+// improved the bound.
+func (s *tspSim) markImprover(t *rr.Thread, worker int64) {
+	t.Atomic("Tsp.markImprover", func() {
+		bits := s.touched.Load(t)
+		t.Yield()
+		t.Yield()
+		s.touched.Store(t, bits|(1<<uint(worker)))
+	})
+}
+
+// countImproved is NON-ATOMIC: lock-free counter RMW.
+func (s *tspSim) countImproved(t *rr.Thread) {
+	t.Atomic("Tsp.countImproved", func() {
+		n := s.improved.Load(t)
+		t.Yield()
+		t.Yield()
+		s.improved.Store(t, n+1)
+	})
+}
+
+// countExpanded is NON-ATOMIC: lock-free counter RMW.
+func (s *tspSim) countExpanded(t *rr.Thread) {
+	t.Atomic("Tsp.countExpanded", func() {
+		n := s.expanded.Load(t)
+		t.Yield()
+		s.expanded.Store(t, n+1)
+	})
+}
+
+// countPruned is NON-ATOMIC: lock-free counter RMW.
+func (s *tspSim) countPruned(t *rr.Thread) {
+	t.Atomic("Tsp.countPruned", func() {
+		n := s.pruned.Load(t)
+		t.Yield()
+		s.pruned.Store(t, n+1)
+	})
+}
+
+// accumulateDepth is NON-ATOMIC: lock-free accumulator RMW.
+func (s *tspSim) accumulateDepth(t *rr.Thread, d int64) {
+	t.Atomic("Tsp.accumulateDepth", func() {
+		h := s.depthHist.Load(t)
+		t.Yield()
+		s.depthHist.Store(t, h+d)
+	})
+}
+
+// getWork is NON-ATOMIC: the queue's size check and pop are separate
+// critical sections.
+func (s *tspSim) getWork(t *rr.Thread) (int64, bool) {
+	var id int64
+	var ok bool
+	t.Atomic("Tsp.getWork", func() {
+		id, ok = s.queue.unsafeSizeThenPop(t)
+	})
+	return id, ok
+}
+
+// tourOf decodes a seed into a candidate tour (a permutation prefix) and
+// returns the tour and its length; pure computation, no shared state.
+func tourOf(seed int64) ([]int64, int64) {
+	tour := make([]int64, 0, tspCities)
+	used := make([]bool, tspCities)
+	x := uint64(seed)*2654435761 + 11
+	for len(tour) < tspCities {
+		x = x*6364136223846793005 + 1442695040888963407
+		c := int64(x>>33) % tspCities
+		for used[c] {
+			c = (c + 1) % tspCities
+		}
+		used[c] = true
+		tour = append(tour, c)
+	}
+	total := int64(0)
+	for i := range tour {
+		total += tspDist(tour[i], tour[(i+1)%len(tour)])
+	}
+	return tour, total
+}
+
+var tspWorkload = register(&Workload{
+	Name:      "tsp",
+	Desc:      "branch-and-bound traveling salesman solver",
+	JavaLines: 700,
+	Truth: map[string]Truth{
+		"Tsp.readBound":       NonAtomic,
+		"Tsp.updateMin":       NonAtomic,
+		"Tsp.markImprover":    NonAtomic,
+		"Tsp.countImproved":   NonAtomic,
+		"Tsp.countExpanded":   NonAtomic,
+		"Tsp.countPruned":     NonAtomic,
+		"Tsp.accumulateDepth": NonAtomic,
+		"Tsp.getWork":         NonAtomic,
+	},
+	SyncPoints: []string{
+		"boundLock@read", "boundLock@read2", "boundLock@cmp", "boundLock@set",
+	},
+	Body: func(t *rr.Thread, p Params) {
+		s := newTspSim(t, p)
+		jobs := 10 * p.scale()
+		for i := 0; i < jobs; i++ {
+			s.queue.push(t, int64(i*37+5))
+		}
+		workers := make([]*rr.Handle, 0, tspWorkers)
+		for w := 0; w < tspWorkers; w++ {
+			worker := int64(w)
+			workers = append(workers, t.Fork(func(c *rr.Thread) {
+				for {
+					seed, ok := s.getWork(c)
+					if !ok {
+						break
+					}
+					tour, length := tourOf(seed)
+					s.countExpanded(c)
+					s.accumulateDepth(c, int64(len(tour)))
+					bound := s.readBound(c)
+					if bound != 0 && length >= bound+4 {
+						s.countPruned(c)
+						continue
+					}
+					s.updateMin(c, tour, length)
+					s.markImprover(c, worker)
+					s.countImproved(c)
+				}
+			}))
+		}
+		for _, h := range workers {
+			t.Join(h)
+		}
+	},
+})

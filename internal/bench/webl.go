@@ -1,0 +1,215 @@
+package bench
+
+import "repro/internal/rr"
+
+// webl is the analogue of the WebL scripting-language interpreter
+// configured as a simple web crawler (Kistler & Marais). The interpreter
+// keeps much of its global state — the value environment, the page
+// cache, the crawl frontier bookkeeping — in shared tables whose public
+// operations are composed of individually synchronized steps: the same
+// split idiom across many builtins, which is why the paper's webl row
+// reports 24 non-atomic methods (22 found, 2 missed). Two reducer
+// methods synchronized by fork/join are Atomizer false alarms.
+
+const (
+	weblCrawlers = 3
+	weblPages    = 3
+)
+
+// weblOps are interpreter builtins that refresh a shared table cell via a
+// locked read and a separate locked write: genuinely non-atomic with a
+// wide window.
+var weblOps = []struct {
+	name string
+	f    func(cur, x int64) int64
+}{
+	{"Env.defineVar", func(c, x int64) int64 { return c + x }},
+	{"Env.setVar", func(c, x int64) int64 { return c ^ x }},
+	{"Env.growScope", func(c, x int64) int64 { return c + 1 }},
+	{"Fun.register", func(c, x int64) int64 { return c + x%7 }},
+	{"Mod.load", func(c, x int64) int64 { return c + x%3 + 1 }},
+	{"Gc.tick", func(c, x int64) int64 { return c + 1 }},
+	{"Prof.hit", func(c, x int64) int64 { return c + x%5 }},
+	{"Str.concatCount", func(c, x int64) int64 { return c + x%11 }},
+	{"Frontier.push", func(c, x int64) int64 { return c + 1 }},
+	{"Frontier.popCount", func(c, x int64) int64 { return c + x%2 }},
+	{"Visited.mark", func(c, x int64) int64 { return c | 1<<uint(x%60) }},
+	{"Depth.track", func(c, x int64) int64 {
+		if x%9 > c {
+			return x % 9
+		}
+		return c
+	}},
+	{"Robots.cache", func(c, x int64) int64 { return c + x%4 }},
+	{"Links.count", func(c, x int64) int64 { return c + x%13 }},
+	{"Errors.count", func(c, x int64) int64 {
+		if x%5 == 0 {
+			return c + 1
+		}
+		return c
+	}},
+	{"Retry.enqueue", func(c, x int64) int64 { return c + x%2 + 1 }},
+	{"Host.throttle", func(c, x int64) int64 { return (c + x) % 97 }},
+	{"Page.store", func(c, x int64) int64 { return c + x }},
+	{"Page.evict", func(c, x int64) int64 {
+		if c > 0 {
+			return c - 1
+		}
+		return c
+	}},
+	{"Page.hitRate", func(c, x int64) int64 { return c + x%3 }},
+	{"Dom.nodeCount", func(c, x int64) int64 { return c + x%17 }},
+	{"Markup.pieces", func(c, x int64) int64 { return c + x%6 + 1 }},
+}
+
+// weblRareOps have zero-slack windows: the paper's 2 missed methods.
+var weblRareOps = []string{"Page.parseCache", "Str.internTable"}
+
+// weblBaits are fork/join-synchronized per-crawler reducers: Atomizer
+// false alarms.
+var weblBaits = []string{"Crawler.summarize", "Crawler.tally"}
+
+type weblSim struct {
+	rt        *rr.Runtime
+	lock      *rr.Mutex
+	opCells   []*rr.Var
+	rareCells []*rr.Var
+	shards    [][]*rr.Var
+	p         Params
+}
+
+func newWeblSim(t *rr.Thread, p Params) *weblSim {
+	rt := t.Runtime()
+	s := &weblSim{rt: rt, lock: rt.NewMutex("Interp.lock"), p: p}
+	for _, op := range weblOps {
+		s.opCells = append(s.opCells, rt.NewVar(op.name+".cell"))
+	}
+	for _, name := range weblRareOps {
+		s.rareCells = append(s.rareCells, rt.NewVar(name+".cell"))
+	}
+	for w := 0; w < weblCrawlers; w++ {
+		s.shards = append(s.shards, []*rr.Var{
+			rt.NewVar("Crawler.summary"),
+			rt.NewVar("Crawler.tally"),
+		})
+	}
+	return s
+}
+
+// builtin executes one interpreter builtin: locked read, unlocked think
+// time, locked write — NON-ATOMIC.
+func (s *weblSim) builtin(t *rr.Thread, i int, x int64) {
+	op := weblOps[i]
+	cell := s.opCells[i]
+	t.Atomic(op.name, func() {
+		var cur int64
+		s.p.Guard(t, s.lock, "interpLock@read", func() {
+			cur = cell.Load(t)
+		})
+		t.Yield()
+		t.Yield()
+		s.p.Guard(t, s.lock, "interpLock@write", func() {
+			cell.Store(t, op.f(cur, x))
+		})
+	})
+}
+
+// rareBuiltin is the zero-slack variant: NON-ATOMIC but rarely witnessed.
+func (s *weblSim) rareBuiltin(t *rr.Thread, i int, x int64) {
+	cell := s.rareCells[i]
+	t.Atomic(weblRareOps[i], func() {
+		cur := cell.Load(t)
+		cell.Store(t, cur*5+x)
+	})
+}
+
+// reduce is the fork/join bait: ATOMIC, flagged by the Atomizer.
+func (s *weblSim) reduce(t *rr.Thread, crawler, which int, x int64) {
+	slot := s.shards[crawler][which]
+	t.Atomic(weblBaits[which], func() {
+		acc := slot.Load(t)
+		slot.Store(t, acc+x)
+		chk := slot.Load(t)
+		slot.Store(t, chk)
+	})
+}
+
+// weblCrawl synthesizes a pseudo-HTML page for the id and scans it for
+// links (pure computation). The crawler follows exactly three links per
+// page, padding or truncating the scan result, so each page costs the
+// same number of instrumented operations.
+func weblCrawl(page int64) []int64 {
+	links := extractLinks(synthPage(page))
+	for len(links) < 3 {
+		links = append(links, (page*7+int64(len(links)))%50)
+	}
+	return links[:3]
+}
+
+var weblWorkload = register(&Workload{
+	Name:      "webl",
+	Desc:      "WebL interpreter running a web crawler",
+	JavaLines: 22300,
+	Truth: func() map[string]Truth {
+		truth := map[string]Truth{}
+		for _, op := range weblOps {
+			truth[op.name] = NonAtomic
+		}
+		for _, name := range weblRareOps {
+			truth[name] = NonAtomicRare
+		}
+		for _, b := range weblBaits {
+			truth[b] = Atomic
+		}
+		return truth
+	}(),
+	SyncPoints: []string{"interpLock@read", "interpLock@write"},
+	Body: func(t *rr.Thread, p Params) {
+		s := newWeblSim(t, p)
+		for _, c := range s.opCells {
+			c.Store(t, 0)
+		}
+		for _, c := range s.rareCells {
+			c.Store(t, 0)
+		}
+		for _, row := range s.shards {
+			for _, slot := range row {
+				slot.Store(t, 0)
+			}
+		}
+		var hs []*rr.Handle
+		for w := 0; w < weblCrawlers; w++ {
+			crawler := w
+			hs = append(hs, t.Fork(func(c *rr.Thread) {
+				for pg := 0; pg < weblPages*p.scale(); pg++ {
+					page := int64(crawler*100 + pg)
+					links := weblCrawl(page)
+					for li, link := range links {
+						// Each link visit runs a slice of the builtins; any
+						// given builtin is run by two of the three crawlers
+						// so every table stays contended.
+						for i := range weblOps {
+							if (i+li)%weblCrawlers != crawler {
+								s.builtin(c, i, link)
+							}
+						}
+					}
+					for i := range weblRareOps {
+						s.rareBuiltin(c, i, page)
+					}
+					s.reduce(c, crawler, pg%2, page)
+				}
+			}))
+		}
+		for _, h := range hs {
+			t.Join(h)
+		}
+		total := int64(0)
+		for _, row := range s.shards {
+			for _, slot := range row {
+				total += slot.Load(t)
+			}
+		}
+		_ = total
+	},
+})

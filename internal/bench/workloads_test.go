@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/rr"
+)
+
+// TestTspTourProperties: tours are permutations, lengths are positive and
+// consistent, and the generator is deterministic but not constant.
+func TestTspTourProperties(t *testing.T) {
+	lengths := map[int64]bool{}
+	for i := 0; i < 40; i++ {
+		seed := int64(i*37 + 5)
+		tour, length := tourOf(seed)
+		if len(tour) != tspCities {
+			t.Fatalf("seed %d: tour has %d cities", seed, len(tour))
+		}
+		seen := map[int64]bool{}
+		for _, c := range tour {
+			if c < 0 || c >= tspCities || seen[c] {
+				t.Fatalf("seed %d: tour %v is not a permutation", seed, tour)
+			}
+			seen[c] = true
+		}
+		var check int64
+		for j := range tour {
+			check += tspDist(tour[j], tour[(j+1)%len(tour)])
+		}
+		if check != length {
+			t.Fatalf("seed %d: length %d, recompute %d", seed, length, check)
+		}
+		if length <= 0 {
+			t.Fatalf("seed %d: non-positive length %d", seed, length)
+		}
+		tour2, l2 := tourOf(seed)
+		if l2 != length || tour2[0] != tour[0] {
+			t.Fatalf("seed %d: tourOf not deterministic", seed)
+		}
+		lengths[length] = true
+	}
+	if len(lengths) < 5 {
+		t.Errorf("only %d distinct tour lengths over 40 seeds; search would be trivial", len(lengths))
+	}
+}
+
+// TestTspDistMetricish: symmetric, zero on the diagonal, positive off it.
+func TestTspDistMetricish(t *testing.T) {
+	for a := int64(0); a < tspCities; a++ {
+		for b := int64(0); b < tspCities; b++ {
+			d := tspDist(a, b)
+			if a == b && d != 0 {
+				t.Fatalf("dist(%d,%d) = %d, want 0", a, b, d)
+			}
+			if a != b && d <= 0 {
+				t.Fatalf("dist(%d,%d) = %d, want > 0", a, b, d)
+			}
+			if d != tspDist(b, a) {
+				t.Fatalf("dist not symmetric at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+// TestJbbHandlersDistinct: the warehouse transaction types are genuinely
+// different functions, not renamed clones.
+func TestJbbHandlersDistinct(t *testing.T) {
+	type probe struct{ cur, arg int64 }
+	probes := []probe{{0, 1}, {10, 7}, {100, 23}, {7, 100}}
+	signatures := map[[4]int64]string{}
+	for _, h := range jbbHandlers {
+		var sig [4]int64
+		for i, p := range probes {
+			sig[i] = h.step(p.cur, p.arg)
+		}
+		if prev, dup := signatures[sig]; dup {
+			t.Errorf("handlers %s and %s behave identically on the probes", prev, h.name)
+		}
+		signatures[sig] = h.name
+	}
+}
+
+// TestColtOpsDistinct: same de-duplication check for the colt cache ops.
+func TestColtOpsDistinct(t *testing.T) {
+	type probe struct{ cur, x int64 }
+	probes := []probe{{0, 3}, {5, 12}, {40, 55}, {7, 8}, {101, 13}}
+	signatures := map[[5]int64]string{}
+	for _, op := range coltEasyOps {
+		var sig [5]int64
+		for i, p := range probes {
+			sig[i] = op.f(p.cur, p.x)
+		}
+		if prev, dup := signatures[sig]; dup {
+			t.Errorf("colt ops %s and %s behave identically on the probes", prev, op.name)
+		}
+		signatures[sig] = op.name
+	}
+}
+
+// TestRajaRenderStable: the fully synchronized benchmark's kernel.
+func TestRajaRenderStable(t *testing.T) {
+	seen := map[int64]bool{}
+	for tile := int64(0); tile < 12; tile++ {
+		v := rajaRender(tile)
+		if v != rajaRender(tile) {
+			t.Fatal("rajaRender not deterministic")
+		}
+		if v < 0 || v > 255 {
+			t.Fatalf("tile %d: luminance %d out of range", tile, v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Error("all tiles rendered identically")
+	}
+}
+
+// TestLennardJones: cutoff, symmetry of sign, and clamping.
+func TestLennardJones(t *testing.T) {
+	if f := lennardJones(500, []int64{0}); f != 0 {
+		t.Errorf("beyond cutoff force = %d, want 0", f)
+	}
+	near := lennardJones(10, []int64{11})
+	if near == 0 {
+		t.Error("adjacent particles should interact")
+	}
+	if f := lennardJones(10, []int64{10}); f < -15 || f > 15 {
+		t.Errorf("overlapping particles force %d not clamped", f)
+	}
+}
+
+// TestSorRelaxConverges: repeated sweeps of the pure update rule keep
+// values in range (fixed-point arithmetic does not blow up).
+func TestSorRelaxConverges(t *testing.T) {
+	rr.Run(rr.Options{Seed: 1}, func(th *rr.Thread) {
+		s := newSorSim(th, Params{})
+		for i := 0; i < s.cur.Len(); i++ {
+			s.cur.Store(th, i, int64(i*100))
+		}
+		for phase := int64(0); phase < 20; phase++ {
+			for row := 0; row < sorRows; row++ {
+				s.relaxRow(th, row, phase)
+			}
+			for row := 0; row < sorRows; row++ {
+				s.publishRow(th, row)
+			}
+		}
+		for i := 0; i < s.cur.Len(); i++ {
+			v := s.cur.Load(th, i)
+			if v < 0 || v >= 1000 {
+				t.Fatalf("row %d diverged to %d", i, v)
+			}
+		}
+	})
+}
+
+// TestElevatorServesAllCalls: run the simulator single-threaded-ish and
+// check the served counter matches the pressed buttons (the domain logic
+// is coherent when the races do not bite).
+func TestElevatorServesAllCalls(t *testing.T) {
+	rr.Run(rr.Options{Seed: 1}, func(th *rr.Thread) {
+		s := newElevatorSim(th, Params{})
+		for i := int64(0); i < 4; i++ {
+			s.pressButton(th, i)
+		}
+		served := 0
+		for {
+			floor, ok := s.claimCall(th, 0)
+			if !ok {
+				break
+			}
+			if floor < 0 || floor >= elevFloors {
+				t.Fatalf("claimed floor %d out of range", floor)
+			}
+			served++
+		}
+		if served != 4 {
+			t.Fatalf("served %d calls, pressed 4", served)
+		}
+	})
+}
+
+// TestMultisetSerialConsistency: with a single thread the multiset's size
+// matches its contents despite the (unexercised) races.
+func TestMultisetSerialConsistency(t *testing.T) {
+	rr.Run(rr.Options{Seed: 1}, func(th *rr.Thread) {
+		s := newMultisetSim(th, Params{})
+		for i := int64(0); i < 8; i++ {
+			s.add(th, i)
+		}
+		if !s.contains(th, 3) {
+			t.Error("added element missing")
+		}
+		if !s.remove(th, 3) {
+			t.Error("remove failed")
+		}
+		if n := s.size.Load(th); n != 7 {
+			t.Errorf("size = %d, want 7", n)
+		}
+	})
+}

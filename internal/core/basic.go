@@ -1,0 +1,170 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+func stepOf[K comparable](m map[K]graph.Step, k K) graph.Step {
+	if s, ok := m[k]; ok {
+		return s
+	}
+	return graph.None
+}
+
+// basicChecker is the initial analysis of Figure 2: one graph node per
+// transaction, non-transactional operations wrapped in unary transactions
+// by [INS OUTSIDE], no merging and no timestamps. It reports exactly the
+// same non-serializable traces as the optimized engine (invariant 1 of
+// DESIGN.md) but performs no blame assignment.
+//
+// Figure 2 predates nesting, so nested atomic blocks are flattened with a
+// per-thread stack of (possibly spec-exempted) markers: only the
+// outermost non-exempted begin allocates a transaction node.
+type basicChecker struct {
+	common
+	cur    map[trace.Tid]graph.Step               // C
+	blocks map[trace.Tid][]bool                   // open blocks: exempted?
+	l      map[trace.Tid]graph.Step               // L
+	u      map[trace.Lock]graph.Step              // U
+	r      map[trace.Var]map[trace.Tid]graph.Step // R
+	w      map[trace.Var]graph.Step               // W
+}
+
+func (c *basicChecker) init() {
+	if c.cur == nil {
+		c.cur = map[trace.Tid]graph.Step{}
+		c.blocks = map[trace.Tid][]bool{}
+		c.l = map[trace.Tid]graph.Step{}
+		c.u = map[trace.Lock]graph.Step{}
+		c.r = map[trace.Var]map[trace.Tid]graph.Step{}
+		c.w = map[trace.Var]graph.Step{}
+	}
+}
+
+// checkedDepth counts open non-exempted blocks of t.
+func (c *basicChecker) checkedDepth(t trace.Tid) int {
+	n := 0
+	for _, ig := range c.blocks[t] {
+		if !ig {
+			n++
+		}
+	}
+	return n
+}
+
+// Step implements Checker.
+func (c *basicChecker) Step(op trace.Op) *Warning {
+	c.init()
+	if c.done {
+		return nil
+	}
+	defer func() { c.idx++ }()
+	if op.Kind == trace.Fork || op.Kind == trace.Join {
+		var w *Warning
+		for _, sub := range (trace.Trace{op}).Desugar() {
+			if ww := c.step1(sub); ww != nil && w == nil {
+				w = ww
+			}
+		}
+		return w
+	}
+	return c.step1(op)
+}
+
+func (c *basicChecker) step1(op trace.Op) *Warning {
+	t := op.Thread
+	switch op.Kind {
+	case trace.Begin:
+		ignored := c.opts.Ignore[op.Label]
+		wasInside := c.checkedDepth(t) > 0
+		c.blocks[t] = append(c.blocks[t], ignored)
+		if !ignored && !wasInside {
+			c.enter(t, &TxnMeta{Thread: t, Label: op.Label, Start: c.idx}, op)
+		}
+		return nil
+	case trace.End:
+		bs := c.blocks[t]
+		popped := bs[len(bs)-1]
+		c.blocks[t] = bs[:len(bs)-1]
+		if !popped && c.checkedDepth(t) == 0 {
+			c.exit(t)
+		}
+		return nil
+	}
+	if c.checkedDepth(t) > 0 {
+		return c.action(op)
+	}
+	// [INS OUTSIDE]: wrap in a fresh unary transaction.
+	c.enter(t, &TxnMeta{Thread: t, Start: c.idx, Unary: true}, op)
+	w := c.action(op)
+	c.exit(t)
+	return w
+}
+
+// enter is [INS ENTER]: allocate a fresh node ordered after L(t).
+func (c *basicChecker) enter(t trace.Tid, meta *TxnMeta, op trace.Op) {
+	n := c.g.NewNode(true, meta)
+	c.g.AddEdge(stepOf(c.l, t), n, op) // fresh target: cannot close a cycle
+	c.cur[t] = n
+}
+
+// exit is [INS EXIT].
+func (c *basicChecker) exit(t trace.Tid) {
+	n := c.cur[t]
+	delete(c.cur, t)
+	c.l[t] = n
+	c.g.Finish(n)
+}
+
+// action applies [INS ACQUIRE/RELEASE/READ/WRITE] inside transaction C(t).
+func (c *basicChecker) action(op trace.Op) *Warning {
+	t := op.Thread
+	n := c.cur[t]
+	switch op.Kind {
+	case trace.Acquire:
+		if cyc := c.g.AddEdge(stepOf(c.u, op.Lock()), n, op); cyc != nil {
+			return c.violation(op, cyc)
+		}
+	case trace.Release:
+		c.u[op.Lock()] = n
+	case trace.Read:
+		x := op.Var()
+		cyc := c.g.AddEdge(stepOf(c.w, x), n, op)
+		m := c.r[x]
+		if m == nil {
+			m = map[trace.Tid]graph.Step{}
+			c.r[x] = m
+		}
+		m[t] = n
+		if cyc != nil {
+			return c.violation(op, cyc)
+		}
+	case trace.Write:
+		x := op.Var()
+		var cyc *graph.Cycle
+		for t2, rs := range c.r[x] {
+			if c.g.Resolve(rs) == graph.None {
+				delete(c.r[x], t2)
+				continue
+			}
+			if cy := c.g.AddEdge(rs, n, op); cy != nil && cyc == nil {
+				cyc = cy
+			}
+		}
+		if cy := c.g.AddEdge(stepOf(c.w, x), n, op); cy != nil && cyc == nil {
+			cyc = cy
+		}
+		c.w[x] = n
+		if cyc != nil {
+			return c.violation(op, cyc)
+		}
+	}
+	return nil
+}
+
+// violation records a warning. The basic engine has no timestamps, so no
+// blame is assigned (Section 4.3 is an extension of the optimized engine).
+func (c *basicChecker) violation(op trace.Op, cyc *graph.Cycle) *Warning {
+	return c.record(&Warning{OpIndex: c.idx, Op: op, Cycle: cyc})
+}

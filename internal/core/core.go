@@ -1,0 +1,209 @@
+// Package core implements the Velodrome dynamic atomicity analysis
+// (Flanagan, Freund, Yi — PLDI 2008): a sound and complete online checker
+// for conflict-serializability of observed traces.
+//
+// Two engines are provided. The Basic engine is the initial analysis of
+// Figure 2 (one graph node per transaction, non-transactional operations
+// wrapped in unary transactions via [INS OUTSIDE]). The Optimized engine is
+// the refined analysis of Figure 4: steps with per-operation timestamps,
+// nested atomic blocks, reference-counting garbage collection, node
+// merging for non-transactional operations, and blame assignment via
+// increasing cycles. Both engines report a warning if and only if the
+// observed trace is not conflict-serializable.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+// Engine selects the analysis variant.
+type Engine int
+
+// Engine variants.
+const (
+	// Optimized is the production analysis of Figure 4.
+	Optimized Engine = iota
+	// Basic is the initial analysis of Figure 2, kept for differential
+	// testing and for the "Without Merge" columns of Table 1.
+	Basic
+)
+
+// Options configure a Checker. The zero value is the paper's production
+// configuration: the optimized engine with merging and garbage collection.
+type Options struct {
+	Engine Engine
+	// NoMerge disables the merge optimization of Section 4.2; every
+	// non-transactional operation allocates its own unary node (the
+	// "Without Merge" configuration of Table 1).
+	NoMerge bool
+	// NoGC disables reference-counting garbage collection (Section 4.1).
+	// Only for differential testing; large traces exhaust the node pool.
+	NoGC bool
+	// FirstOnly stops analysis after the first warning, leaving the
+	// happens-before graph exactly as it was when the violation was found.
+	FirstOnly bool
+	// MaxWarnings bounds the number of recorded warnings (0 = 10000).
+	MaxWarnings int
+	// Ignore names atomic blocks exempted from checking (the paper's
+	// atomicity specification, Section 5: the tool takes "a specification
+	// of which methods in that program should be atomic"). An ignored
+	// outermost block starts no transaction — its operations run as unary
+	// transactions until a checked block opens — and an ignored nested
+	// block is never refuted. Table 1's timing configuration is exactly
+	// this: methods already found non-atomic are exempted, leaving "many
+	// small transactions rather than a few monolithic ones".
+	Ignore map[trace.Label]bool
+}
+
+// TxnMeta is the metadata attached to every transaction node, used in
+// error messages and dot graphs.
+type TxnMeta struct {
+	Thread trace.Tid
+	Label  trace.Label // outermost atomic block label; empty for unary
+	Start  int         // trace index of the transaction's first operation
+	Unary  bool
+}
+
+// String renders the transaction for error messages.
+func (m *TxnMeta) String() string {
+	if m == nil {
+		return "?"
+	}
+	if m.Unary {
+		return fmt.Sprintf("unary@%d(t%d)", m.Start, m.Thread)
+	}
+	if m.Label == "" {
+		return fmt.Sprintf("txn@%d(t%d)", m.Start, m.Thread)
+	}
+	return fmt.Sprintf("%s@%d(t%d)", m.Label, m.Start, m.Thread)
+}
+
+// Warning reports one observed conflict-serializability violation: a cycle
+// in the transactional happens-before graph.
+type Warning struct {
+	// OpIndex is the trace index of the operation that completed the cycle.
+	OpIndex int
+	// Op is that operation.
+	Op trace.Op
+	// Cycle is the offending happens-before cycle, starting at the
+	// completing transaction.
+	Cycle *graph.Cycle
+	// Increasing reports whether the cycle was increasing, in which case
+	// the completing transaction is provably not self-serializable.
+	Increasing bool
+	// Blamed is the transaction blamed for the violation (nil when blame
+	// could not be assigned to a single transaction, Section 4.3).
+	Blamed *TxnMeta
+	// Refuted lists the labels of the atomic blocks of the blamed
+	// transaction that contain both the root and target operations of the
+	// cycle, outermost first. Only those blocks are non-serializable;
+	// inner blocks that exclude the root operation are not refuted.
+	Refuted []trace.Label
+}
+
+// Method returns the outermost refuted atomic block label, or the blamed
+// transaction's label, or "" if blame was not assigned.
+func (w *Warning) Method() trace.Label {
+	if len(w.Refuted) > 0 {
+		return w.Refuted[0]
+	}
+	if w.Blamed != nil {
+		return w.Blamed.Label
+	}
+	return ""
+}
+
+// String renders a one-line summary followed by the cycle.
+func (w *Warning) String() string {
+	var b strings.Builder
+	if w.Blamed != nil {
+		fmt.Fprintf(&b, "warning: %s is not atomic (op %d: %s)", w.Blamed, w.OpIndex, w.Op)
+	} else {
+		fmt.Fprintf(&b, "warning: non-serializable trace, blame unassigned (op %d: %s)", w.OpIndex, w.Op)
+	}
+	for _, e := range w.Cycle.Edges {
+		from, _ := e.FromData.(*TxnMeta)
+		to, _ := e.ToData.(*TxnMeta)
+		fmt.Fprintf(&b, "\n  %s ⇒ %s via %s", from, to, e.Op)
+	}
+	return b.String()
+}
+
+// Checker is an online conflict-serializability analysis: feed it the
+// operations of a trace one at a time via Step.
+type Checker interface {
+	// Step processes one operation and returns a warning if the operation
+	// completed a happens-before cycle (nil otherwise). The cycle-closing
+	// edge is discarded so the graph stays acyclic and checking continues.
+	Step(op trace.Op) *Warning
+	// Warnings returns all warnings reported so far.
+	Warnings() []*Warning
+	// Stats returns node-allocation statistics of the underlying graph.
+	Stats() graph.Stats
+	// Graph exposes the underlying happens-before graph (for tools).
+	Graph() *graph.Graph
+}
+
+// New returns a Checker configured by opts.
+func New(opts Options) Checker {
+	if opts.MaxWarnings == 0 {
+		opts.MaxWarnings = 10000
+	}
+	g := graph.New()
+	g.SetGC(!opts.NoGC)
+	if opts.Engine == Basic {
+		return &basicChecker{common: common{g: g, opts: opts}}
+	}
+	return &optChecker{common: common{g: g, opts: opts}}
+}
+
+// Result is the outcome of checking a complete trace.
+type Result struct {
+	Serializable bool
+	Warnings     []*Warning
+	Stats        graph.Stats
+}
+
+// CheckTrace runs a fresh Checker over the whole trace.
+func CheckTrace(tr trace.Trace, opts Options) *Result {
+	c := New(opts)
+	for _, op := range tr {
+		c.Step(op)
+	}
+	return &Result{
+		Serializable: len(c.Warnings()) == 0,
+		Warnings:     c.Warnings(),
+		Stats:        c.Stats(),
+	}
+}
+
+// common holds state shared by both engines.
+type common struct {
+	g     *graph.Graph
+	opts  Options
+	warns []*Warning
+	idx   int // index of the operation being processed
+	done  bool
+}
+
+// Warnings implements Checker.
+func (c *common) Warnings() []*Warning { return c.warns }
+
+// Stats implements Checker.
+func (c *common) Stats() graph.Stats { return c.g.Stats() }
+
+// Graph implements Checker.
+func (c *common) Graph() *graph.Graph { return c.g }
+func (c *common) record(w *Warning) *Warning {
+	if len(c.warns) < c.opts.MaxWarnings {
+		c.warns = append(c.warns, w)
+	}
+	if c.opts.FirstOnly {
+		c.done = true
+	}
+	return w
+}

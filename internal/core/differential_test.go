@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sema"
+	"repro/internal/serial"
+	"repro/internal/trace"
+)
+
+// allConfigs are the engine configurations that must agree on every trace.
+var allConfigs = []Options{
+	{},
+	{NoMerge: true},
+	{NoGC: true},
+	{NoMerge: true, NoGC: true},
+	{Engine: Basic},
+	{Engine: Basic, NoGC: true},
+}
+
+// TestDifferentialRandomTraces is the central soundness/completeness
+// property test: on random feasible traces, every engine configuration
+// must agree with the offline graph oracle.
+func TestDifferentialRandomTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(20080607))
+	for i := 0; i < 400; i++ {
+		tr := sema.RandomTrace(rng, sema.DefaultGenConfig())
+		if err := trace.Validate(tr); err != nil {
+			t.Fatalf("generator produced ill-formed trace: %v", err)
+		}
+		want, _ := serial.Check(tr)
+		for _, opts := range allConfigs {
+			r := CheckTrace(tr, opts)
+			if r.Serializable != want {
+				t.Fatalf("iter %d opts %+v: got serializable=%v, oracle=%v\ntrace:\n%s",
+					i, opts, r.Serializable, want, tr)
+			}
+		}
+	}
+}
+
+// TestDifferentialSwapOracle cross-checks against the brute-force
+// equivalent-serial-trace search on tiny traces, which shares no theory
+// with the happens-before formulation.
+func TestDifferentialSwapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := sema.GenConfig{Threads: 2, OpsPerThd: 4, Vars: 2, Locks: 1, PAtomic: 0.7, PLock: 0.3}
+	for i := 0; i < 300; i++ {
+		tr := sema.RandomTrace(rng, cfg)
+		if len(tr) > 20 {
+			continue
+		}
+		want := serial.SwapCheck(tr)
+		oracle, _ := serial.Check(tr)
+		if oracle != want {
+			t.Fatalf("iter %d: graph oracle %v != swap oracle %v\ntrace:\n%s", i, oracle, want, tr)
+		}
+		r := CheckTrace(tr, Options{})
+		if r.Serializable != want {
+			t.Fatalf("iter %d: velodrome %v != swap oracle %v\ntrace:\n%s", i, r.Serializable, want, tr)
+		}
+	}
+}
+
+// TestMergeReducesAllocations verifies invariant 3 of DESIGN.md: merging
+// never increases allocation, and verdicts match.
+func TestMergeReducesAllocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := sema.DefaultGenConfig()
+	cfg.PAtomic = 0.3 // plenty of unary operations
+	for i := 0; i < 200; i++ {
+		tr := sema.RandomTrace(rng, cfg)
+		with := CheckTrace(tr, Options{})
+		without := CheckTrace(tr, Options{NoMerge: true})
+		if with.Serializable != without.Serializable {
+			t.Fatalf("iter %d: merge changed verdict\ntrace:\n%s", i, tr)
+		}
+		if with.Stats.Allocated > without.Stats.Allocated {
+			t.Fatalf("iter %d: merge increased allocations (%d > %d)",
+				i, with.Stats.Allocated, without.Stats.Allocated)
+		}
+	}
+}
+
+// TestGCKeepsVerdict verifies invariant 2: verdicts are identical with GC
+// on and off, and GC collects everything once all transactions finish on a
+// serializable trace.
+func TestGCKeepsVerdict(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		tr := sema.RandomTrace(rng, sema.DefaultGenConfig())
+		withGC := CheckTrace(tr, Options{})
+		without := CheckTrace(tr, Options{NoGC: true})
+		if withGC.Serializable != without.Serializable {
+			t.Fatalf("iter %d: GC changed verdict\ntrace:\n%s", i, tr)
+		}
+		if withGC.Serializable && withGC.Stats.Alive != 0 {
+			t.Fatalf("iter %d: %d nodes alive after serializable trace ended",
+				i, withGC.Stats.Alive)
+		}
+	}
+}
+
+// TestBlameIsNotSelfSerializable verifies invariant 5: on small traces,
+// any transaction blamed via an increasing cycle is confirmed
+// not-self-serializable by the brute-force oracle.
+func TestBlameIsNotSelfSerializable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	cfg := sema.GenConfig{Threads: 2, OpsPerThd: 5, Vars: 2, Locks: 1, PAtomic: 0.8, PLock: 0.2}
+	checked := 0
+	for i := 0; i < 500 && checked < 40; i++ {
+		tr := sema.RandomTrace(rng, cfg)
+		if len(tr) > 20 {
+			continue
+		}
+		r := CheckTrace(tr, Options{FirstOnly: true})
+		if r.Serializable || len(r.Warnings) == 0 {
+			continue
+		}
+		w := r.Warnings[0]
+		if w.Blamed == nil {
+			continue
+		}
+		// Identify the blamed transaction's id: the transaction containing
+		// the cycle-closing operation (it belongs to the completing node).
+		prefix := tr[:w.OpIndex+1]
+		txnOf, _ := serial.Transactions(prefix)
+		blamedTxn := txnOf[w.OpIndex]
+		if serial.SelfSerializable(prefix, blamedTxn) {
+			t.Fatalf("iter %d: blamed transaction %d is self-serializable\ntrace:\n%s",
+				i, blamedTxn, prefix)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d blame cases exercised; generator too tame", checked)
+	}
+}
+
+// TestQuickSerialPrograms uses testing/quick to check that any purely
+// serial interleaving (one thread at a time, whole transactions) is always
+// serializable.
+func TestQuickSerialPrograms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := sema.RandomProgram(rng, sema.DefaultGenConfig())
+		// Execute threads back to back: trivially serial.
+		var tr trace.Trace
+		for _, tid := range []trace.Tid{1, 2, 3} {
+			tr = append(tr, prog[tid]...)
+		}
+		if trace.Validate(tr) != nil {
+			return true // skip ill-formed corner (should not happen)
+		}
+		return CheckTrace(tr, Options{}).Serializable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPrefixMonotone: serializability is not monotone in general, but
+// warnings are: once a checker reports a violation at index i, the oracle
+// must agree that the prefix ending at i is non-serializable, and every
+// longer prefix stays non-serializable.
+func TestQuickPrefixMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := sema.RandomTrace(rng, sema.DefaultGenConfig())
+		r := CheckTrace(tr, Options{FirstOnly: true})
+		if r.Serializable {
+			return true
+		}
+		i := r.Warnings[0].OpIndex
+		ok1, _ := serial.Check(tr[:i+1])
+		ok2, _ := serial.Check(tr)
+		return !ok1 && !ok2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarningCounts ensures FirstOnly reports exactly one warning and the
+// default mode reports at least as many.
+func TestWarningCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		tr := sema.RandomTrace(rng, sema.DefaultGenConfig())
+		first := CheckTrace(tr, Options{FirstOnly: true})
+		all := CheckTrace(tr, Options{})
+		if first.Serializable != all.Serializable {
+			t.Fatalf("iter %d: FirstOnly changed verdict", i)
+		}
+		if !first.Serializable {
+			if len(first.Warnings) != 1 {
+				t.Fatalf("iter %d: FirstOnly reported %d warnings", i, len(first.Warnings))
+			}
+			if len(all.Warnings) < 1 {
+				t.Fatalf("iter %d: default mode lost the warning", i)
+			}
+			if all.Warnings[0].OpIndex != first.Warnings[0].OpIndex {
+				t.Fatalf("iter %d: first warning index differs", i)
+			}
+		}
+	}
+}

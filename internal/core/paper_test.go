@@ -1,0 +1,319 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// T is a tiny builder alias for readable trace literals.
+type ops = trace.Trace
+
+func check(t *testing.T, tr trace.Trace, opts Options) *Result {
+	t.Helper()
+	if err := trace.Validate(tr); err != nil {
+		t.Fatalf("ill-formed test trace: %v", err)
+	}
+	return CheckTrace(tr, opts)
+}
+
+func wantSerializable(t *testing.T, tr trace.Trace, want bool) *Result {
+	t.Helper()
+	var results []*Result
+	for _, opts := range []Options{
+		{},              // optimized, merge, GC
+		{NoMerge: true}, // optimized without merge
+		{NoGC: true},    // optimized without GC
+		{NoMerge: true, NoGC: true},
+		{Engine: Basic}, // Figure 2 engine
+		{Engine: Basic, NoGC: true},
+	} {
+		r := check(t, tr, opts)
+		if r.Serializable != want {
+			t.Errorf("opts %+v: serializable = %v, want %v\ntrace:\n%s",
+				opts, r.Serializable, want, tr)
+		}
+		results = append(results, r)
+	}
+	return results[0]
+}
+
+// TestRMWInterleavedWrite is the first example of Section 2: a
+// read-modify-write sequence interleaved with a write by another thread is
+// not serializable.
+func TestRMWInterleavedWrite(t *testing.T) {
+	x := trace.Var(0)
+	tr := ops{
+		trace.Beg(1, "inc"),
+		trace.Rd(1, x), // tmp = x
+		trace.Wr(2, x), // x = 0
+		trace.Wr(1, x), // x = tmp + 1
+		trace.Fin(1),
+	}
+	r := wantSerializable(t, tr, false)
+	if len(r.Warnings) == 0 {
+		t.Fatal("no warnings")
+	}
+	w := r.Warnings[0]
+	if !w.Increasing {
+		t.Error("cycle should be increasing")
+	}
+	if w.Blamed == nil || w.Blamed.Label != "inc" {
+		t.Errorf("blame = %v, want inc", w.Blamed)
+	}
+	if w.Method() != "inc" {
+		t.Errorf("Method() = %q, want inc", w.Method())
+	}
+}
+
+// TestRMWSerial is the same code without the interleaved write:
+// serializable.
+func TestRMWSerial(t *testing.T) {
+	x := trace.Var(0)
+	tr := ops{
+		trace.Beg(1, "inc"),
+		trace.Rd(1, x),
+		trace.Wr(1, x),
+		trace.Fin(1),
+		trace.Wr(2, x),
+	}
+	wantSerializable(t, tr, true)
+}
+
+// TestIntroTrace reproduces the trace diagram of Section 1: transactions
+// A (thread 1), B–B′ (thread 2) and C–C′ (thread 3) with A ⇒ B′ (release-
+// acquire on m), B′ ⇒ C′ (write-read on y) and C′ ⇒ A (write-read on x),
+// a cycle blamed on A.
+func TestIntroTrace(t *testing.T) {
+	x, y, z, s, u := trace.Var(0), trace.Var(1), trace.Var(2), trace.Var(3), trace.Var(4)
+	m := trace.Lock(0)
+	tr := ops{
+		trace.Beg(3, "C"),  // Thread 3: C begins
+		trace.Rd(3, x),     //   z = x (reads x)
+		trace.Wr(3, z),     //   z = x (writes z)
+		trace.Fin(3),       // C ends
+		trace.Beg(1, "A"),  // Thread 1: A begins
+		trace.Acq(1, m),    //   ... initial acquire so the release is well formed
+		trace.Rel(1, m),    //   rel(m)
+		trace.Beg(2, "B"),  // Thread 2: B
+		trace.Wr(2, z),     //   z = 0
+		trace.Fin(2),       // B ends
+		trace.Beg(2, "B'"), // B' begins
+		trace.Acq(2, m),    //   acq(m): A ⇒ B'
+		trace.Wr(2, y),     //   y = 1
+		trace.Rel(2, m),
+		trace.Fin(2),       // B' ends
+		trace.Beg(3, "C'"), // Thread 3: C' begins
+		trace.Rd(3, y),     //   reads y: B' ⇒ C'
+		trace.Wr(3, s),     //   s = 1
+		trace.Wr(3, u),     //   t = x stand-in target
+		trace.Wr(3, x),     //   writes x so that A's later read conflicts
+		trace.Fin(3),       // C' ends
+		trace.Rd(1, x),     // A: t = x — C' ⇒ A closes the cycle
+		trace.Fin(1),
+	}
+	r := wantSerializable(t, tr, false)
+	w := r.Warnings[0]
+	if w.Blamed == nil || w.Blamed.Label != "A" {
+		t.Errorf("blame = %v, want A", w.Blamed)
+	}
+	if !w.Increasing {
+		t.Error("intro cycle should be increasing")
+	}
+	// The cycle should have three transactions: A, B', C'.
+	if got := len(w.Cycle.Edges); got != 3 {
+		t.Errorf("cycle length = %d, want 3", got)
+	}
+}
+
+// TestFlagHandoff is the volatile-flag program of Section 2 on which the
+// Atomizer reports false alarms: two threads alternate exclusive access to
+// x via a flag variable b. Every trace it produces is serializable, so
+// Velodrome must stay quiet.
+func TestFlagHandoff(t *testing.T) {
+	x, b := trace.Var(0), trace.Var(1)
+	tr := ops{}
+	// Thread 1 runs its critical section, hands off via b, thread 2 runs,
+	// hands back, for a few rounds; the busy-wait reads are included.
+	for round := 0; round < 3; round++ {
+		tr = append(tr,
+			trace.Beg(1, "inc1"),
+			trace.Rd(1, x),
+			trace.Wr(1, x),
+			trace.Wr(1, b), // b = 2
+			trace.Fin(1),
+			trace.Rd(2, b), // while (b != 2) skip
+			trace.Beg(2, "inc2"),
+			trace.Rd(2, x),
+			trace.Wr(2, x),
+			trace.Wr(2, b), // b = 1
+			trace.Fin(2),
+			trace.Rd(1, b), // while (b != 1) skip
+		)
+	}
+	wantSerializable(t, tr, true)
+}
+
+// TestSetAdd is the Set.add example from the introduction: two threads
+// concurrently add to the same Set; contains/add are individually
+// synchronized but the composite is not atomic.
+func TestSetAdd(t *testing.T) {
+	elems := trace.Var(0)
+	m := trace.Lock(0)
+	add := func(t trace.Tid) ops {
+		return ops{
+			trace.Beg(t, "Set.add"),
+			trace.Acq(t, m), // Vector.contains
+			trace.Rd(t, elems),
+			trace.Rel(t, m),
+			trace.Acq(t, m), // Vector.add
+			trace.Rd(t, elems),
+			trace.Wr(t, elems),
+			trace.Rel(t, m),
+			trace.Fin(t),
+		}
+	}
+	// Interleave the two adds: t1 contains, t2 contains+add, t1 add.
+	a1, a2 := add(1), add(2)
+	tr := ops{}
+	tr = append(tr, a1[:4]...) // t1: begin, acq, rd, rel
+	tr = append(tr, a2...)     // t2: whole add
+	tr = append(tr, a1[4:]...) // t1: acq, rd, wr, rel, end
+	r := wantSerializable(t, tr, false)
+	w := r.Warnings[0]
+	if w.Method() != "Set.add" {
+		t.Errorf("blamed method = %q, want Set.add", w.Method())
+	}
+	if w.Blamed.Thread != 1 {
+		t.Errorf("blamed thread = %d, want 1", w.Blamed.Thread)
+	}
+}
+
+// TestNestedBlame reproduces the nested-blocks example of Section 4.3:
+// blocks p and q contain both the root (t = x) and target (x = t+1)
+// operations and are refuted; the innermost block r contains only the
+// target and is serializable.
+func TestNestedBlame(t *testing.T) {
+	x := trace.Var(0)
+	tr := ops{
+		trace.Beg(1, "p"),
+		trace.Beg(1, "q"),
+		trace.Rd(1, x), // 2: t = x
+		trace.Wr(2, x), // B: interleaved write
+		trace.Beg(1, "r"),
+		trace.Wr(1, x), // 4: x = t+1 — closes the cycle
+		trace.Fin(1),
+		trace.Fin(1),
+		trace.Fin(1),
+	}
+	r := check(t, tr, Options{})
+	if r.Serializable {
+		t.Fatal("trace should not be serializable")
+	}
+	w := r.Warnings[0]
+	if w.Blamed == nil || w.Blamed.Label != "p" {
+		t.Fatalf("blamed = %v, want outermost p", w.Blamed)
+	}
+	want := []trace.Label{"p", "q"}
+	if len(w.Refuted) != len(want) {
+		t.Fatalf("refuted = %v, want %v", w.Refuted, want)
+	}
+	for i := range want {
+		if w.Refuted[i] != want[i] {
+			t.Fatalf("refuted = %v, want %v", w.Refuted, want)
+		}
+	}
+}
+
+// TestSelfSerializablePair is the two-trace example of Section 4.3 where
+// both transactions of a non-serializable trace are individually
+// self-serializable: blame cannot be assigned to a single transaction, but
+// the violation must still be reported.
+func TestSelfSerializablePair(t *testing.T) {
+	x, y := trace.Var(0), trace.Var(1)
+	tr := ops{
+		trace.Beg(2, "E"),
+		trace.Rd(2, y), // E: v = y
+		trace.Beg(1, "D"),
+		trace.Wr(1, x), // D: x = 0
+		trace.Wr(2, x), // E: x = 1  (D ⇒ E on x? no: E writes after D)
+		trace.Fin(2),
+		trace.Wr(1, y), // D: y = 0 — closes E ⇒ D? and D ⇒ E
+		trace.Fin(1),
+	}
+	r := check(t, tr, Options{})
+	if r.Serializable {
+		t.Fatal("trace should not be serializable")
+	}
+}
+
+// TestNonTransactionalCycle checks that unary transactions participate in
+// cycles: a transaction interleaved with two ordered unary operations of
+// other threads.
+func TestNonTransactionalCycle(t *testing.T) {
+	x, y := trace.Var(0), trace.Var(1)
+	tr := ops{
+		trace.Beg(1, "A"),
+		trace.Wr(1, x),
+		trace.Rd(2, x), // unary u1: A ⇒ u1
+		trace.Wr(2, y), // unary u2: u1 ⇒ u2 (program order)
+		trace.Rd(1, y), // A: u2 ⇒ A closes the cycle
+		trace.Fin(1),
+	}
+	wantSerializable(t, tr, false)
+}
+
+// TestMergeIntoActiveNodeUnsound is the regression test for the merge
+// restriction documented in DESIGN.md: a unary read interleaved between
+// two writes of an active transaction. The literal Figure 3/4 merge would
+// fold the read into the writer's node and miss the cycle.
+func TestMergeIntoActiveNodeUnsound(t *testing.T) {
+	x := trace.Var(0)
+	tr := ops{
+		trace.Beg(1, "A"),
+		trace.Wr(1, x),
+		trace.Rd(2, x), // unary, between the two writes of A
+		trace.Wr(1, x),
+		trace.Fin(1),
+	}
+	wantSerializable(t, tr, false)
+}
+
+// TestUninstrumentedSubtrace checks the claim of Section 6: if a
+// subsequence of a trace is non-serializable, the full trace is too — so
+// dropping operations (uninstrumented libraries) can only lose warnings,
+// never create false alarms. Here the serializable superset stays quiet.
+func TestUninstrumentedSubtrace(t *testing.T) {
+	x, y := trace.Var(0), trace.Var(1)
+	full := ops{
+		trace.Beg(1, "A"),
+		trace.Rd(1, x),
+		trace.Wr(2, y), // unrelated op; dropping it must not matter
+		trace.Wr(1, x),
+		trace.Fin(1),
+	}
+	wantSerializable(t, full, true)
+	sub := append(ops{}, full[:2]...)
+	sub = append(sub, full[3:]...)
+	wantSerializable(t, sub, true)
+}
+
+// TestWarningStringRendering smoke-tests the human-readable forms.
+func TestWarningStringRendering(t *testing.T) {
+	x := trace.Var(0)
+	tr := ops{
+		trace.Beg(1, "inc"),
+		trace.Rd(1, x),
+		trace.Wr(2, x),
+		trace.Wr(1, x),
+		trace.Fin(1),
+	}
+	r := check(t, tr, Options{})
+	if len(r.Warnings) == 0 {
+		t.Fatal("no warnings")
+	}
+	s := r.Warnings[0].String()
+	if s == "" || len(s) < 20 {
+		t.Errorf("suspicious warning rendering: %q", s)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+// The analysis state components (L, U, R, W of Figures 2 and 4) are keyed
+// by thread, lock and variable ids. The rr substrate allocates those
+// densely from zero, so slice-backed tables beat maps by a wide margin on
+// the hot path (Section 5's "careful data-representation choices"). The
+// synthetic fork/join token variables of trace.Desugar live at a high
+// offset, so variable tables keep a small sparse overflow map.
+
+// stepTable maps a small dense integer id to a Step; missing entries are ⊥.
+type stepTable struct {
+	dense []graph.Step
+}
+
+func (t *stepTable) get(i int32) graph.Step {
+	if int(i) < len(t.dense) {
+		return t.dense[i]
+	}
+	return graph.None
+}
+
+func (t *stepTable) set(i int32, s graph.Step) {
+	for int(i) >= len(t.dense) {
+		t.dense = append(t.dense, graph.None)
+	}
+	t.dense[i] = s
+}
+
+// denseVarLimit bounds the slice-backed range of variable ids; the
+// fork/join tokens (≥ 1<<24) fall through to the sparse map.
+const denseVarLimit = 1 << 16
+
+// varTable maps variable ids to Steps with a sparse overflow.
+type varTable struct {
+	dense  []graph.Step
+	sparse map[trace.Var]graph.Step
+}
+
+func (t *varTable) get(x trace.Var) graph.Step {
+	if x >= 0 && x < denseVarLimit {
+		if int(x) < len(t.dense) {
+			return t.dense[x]
+		}
+		return graph.None
+	}
+	if s, ok := t.sparse[x]; ok {
+		return s
+	}
+	return graph.None
+}
+
+func (t *varTable) set(x trace.Var, s graph.Step) {
+	if x >= 0 && x < denseVarLimit {
+		for int(x) >= len(t.dense) {
+			t.dense = append(t.dense, graph.None)
+		}
+		t.dense[x] = s
+		return
+	}
+	if t.sparse == nil {
+		t.sparse = map[trace.Var]graph.Step{}
+	}
+	t.sparse[x] = s
+}
+
+// readTable is R: per variable, the last-read step of each thread
+// ([]Step indexed by tid), with the same sparse overflow for token vars.
+type readTable struct {
+	dense  [][]graph.Step
+	sparse map[trace.Var][]graph.Step
+}
+
+func (t *readTable) row(x trace.Var) []graph.Step {
+	if x >= 0 && x < denseVarLimit {
+		if int(x) < len(t.dense) {
+			return t.dense[x]
+		}
+		return nil
+	}
+	return t.sparse[x]
+}
+
+func (t *readTable) set(x trace.Var, tid trace.Tid, s graph.Step) {
+	var row []graph.Step
+	if x >= 0 && x < denseVarLimit {
+		for int(x) >= len(t.dense) {
+			t.dense = append(t.dense, nil)
+		}
+		row = t.dense[x]
+	} else {
+		if t.sparse == nil {
+			t.sparse = map[trace.Var][]graph.Step{}
+		}
+		row = t.sparse[x]
+	}
+	for int(tid) >= len(row) {
+		row = append(row, graph.None)
+	}
+	row[tid] = s
+	if x >= 0 && x < denseVarLimit {
+		t.dense[x] = row
+	} else {
+		t.sparse[x] = row
+	}
+}

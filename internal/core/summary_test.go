@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSummarize(t *testing.T) {
+	x, y := trace.Var(0), trace.Var(1)
+	c := New(Options{})
+	mk := func(label trace.Label, v trace.Var) {
+		c.Step(trace.Beg(1, label))
+		c.Step(trace.Rd(1, v))
+		c.Step(trace.Wr(2, v))
+		c.Step(trace.Wr(1, v))
+		c.Step(trace.Fin(1))
+	}
+	mk("alpha", x)
+	mk("beta", y)
+	mk("alpha", x) // second instance of alpha
+	sums := Summarize(c.Warnings())
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d, want 2", len(sums))
+	}
+	if sums[0].Method != "alpha" || sums[1].Method != "beta" {
+		t.Fatalf("order = %v, %v (want first-occurrence order)", sums[0].Method, sums[1].Method)
+	}
+	if sums[0].Count < 2 {
+		t.Errorf("alpha count = %d, want ≥ 2", sums[0].Count)
+	}
+	if sums[0].First.OpIndex > sums[1].First.OpIndex {
+		t.Error("First must be the earliest warning")
+	}
+	if sums[0].Increasing == 0 {
+		t.Error("RMW cycles should be increasing")
+	}
+	if got := Summarize(nil); len(got) != 0 {
+		t.Error("empty input must summarize to nothing")
+	}
+}
+
+func TestWarningJSON(t *testing.T) {
+	x := trace.Var(0)
+	c := New(Options{})
+	c.Step(trace.Beg(1, "inc"))
+	c.Step(trace.Rd(1, x))
+	c.Step(trace.Wr(2, x))
+	w := c.Step(trace.Wr(1, x))
+	if w == nil {
+		t.Fatal("expected warning")
+	}
+	j := w.JSON()
+	if j.Method != "inc" || !j.Increasing || len(j.Cycle) != 2 {
+		t.Fatalf("json view = %+v", j)
+	}
+	b, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"method":"inc"`, `"cycle":[`, `"refuted":["inc"]`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("missing %s in %s", want, b)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package dot renders Velodrome warnings as Graphviz error graphs in the
+// style of Section 5: one box per transaction on the cycle, each
+// happens-before edge labeled with the operation that generated it, the
+// cycle-closing edge dashed, and the blamed transaction outlined.
+package dot
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Render returns the dot source for one warning's error graph.
+func Render(w *core.Warning) string {
+	var b strings.Builder
+	b.WriteString("digraph velodrome {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+	title := "non-serializable cycle"
+	if w.Blamed != nil {
+		title = fmt.Sprintf("Warning: %s is not atomic", label(w.Blamed))
+	}
+	fmt.Fprintf(&b, "  label=%q;\n  labelloc=t;\n", title)
+
+	// Give each distinct node on the cycle a stable dot id.
+	ids := map[string]string{}
+	order := []string{}
+	name := func(data any) string {
+		key := metaKey(data)
+		if id, ok := ids[key]; ok {
+			return id
+		}
+		id := fmt.Sprintf("n%d", len(ids))
+		ids[key] = id
+		order = append(order, key)
+		attrs := fmt.Sprintf("label=%q", key)
+		if w.Blamed != nil && metaKey(w.Blamed) == key {
+			attrs += ", peripheries=2, style=bold"
+		}
+		fmt.Fprintf(&b, "  %s [%s];\n", id, attrs)
+		return id
+	}
+	for i, e := range w.Cycle.Edges {
+		from := name(e.FromData)
+		to := name(e.ToData)
+		style := ""
+		if i == len(w.Cycle.Edges)-1 {
+			style = ", style=dashed" // the cycle-closing edge
+		}
+		fmt.Fprintf(&b, "  %s -> %s [label=%q%s];\n", from, to, e.Op.String(), style)
+	}
+	_ = order
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func metaKey(data any) string {
+	if m, ok := data.(*core.TxnMeta); ok && m != nil {
+		return m.String()
+	}
+	return "?"
+}
+
+func label(m *core.TxnMeta) string {
+	if m.Label != "" {
+		return string(m.Label)
+	}
+	return m.String()
+}
+
+// RenderAll concatenates the error graphs of several warnings, each as its
+// own digraph.
+func RenderAll(warns []*core.Warning) string {
+	var b strings.Builder
+	for i, w := range warns {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(Render(w))
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func rmwWarning(t *testing.T) *core.Warning {
+	t.Helper()
+	x := trace.Var(0)
+	tr := trace.Trace{
+		trace.Beg(1, "Set.add"),
+		trace.Rd(1, x),
+		trace.Wr(2, x),
+		trace.Wr(1, x),
+		trace.Fin(1),
+	}
+	res := core.CheckTrace(tr, core.Options{})
+	if res.Serializable || len(res.Warnings) == 0 {
+		t.Fatal("expected a warning")
+	}
+	return res.Warnings[0]
+}
+
+func TestRenderStructure(t *testing.T) {
+	out := Render(rmwWarning(t))
+	for _, want := range []string{
+		"digraph velodrome",
+		"Warning: Set.add is not atomic", // title names the blamed method
+		"shape=box",                      // transactions are boxes
+		"peripheries=2",                  // the blamed box is outlined
+		"style=dashed",                   // the closing edge is dashed
+		"wr(2,x0)",                       // edges labeled with the operation
+		"wr(1,x0)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in rendering:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderDashedOnlyLastEdge(t *testing.T) {
+	out := Render(rmwWarning(t))
+	if got := strings.Count(out, "style=dashed"); got != 1 {
+		t.Errorf("dashed edges = %d, want exactly 1 (the cycle-closing edge)", got)
+	}
+}
+
+func TestRenderNodesDeduplicated(t *testing.T) {
+	// A cycle of length 2 has exactly 2 node declarations.
+	out := Render(rmwWarning(t))
+	if got := strings.Count(out, "label=\"Set.add"); got != 1 {
+		t.Errorf("Set.add boxes = %d, want 1", got)
+	}
+	if got := strings.Count(out, "label=\"unary"); got != 1 {
+		t.Errorf("unary boxes = %d, want 1", got)
+	}
+}
+
+func TestRenderWithoutBlame(t *testing.T) {
+	w := rmwWarning(t)
+	w.Blamed = nil
+	out := Render(w)
+	if !strings.Contains(out, "non-serializable cycle") {
+		t.Errorf("unblamed warnings need the generic title:\n%s", out)
+	}
+	if strings.Contains(out, "peripheries=2") {
+		t.Error("no box should be outlined without blame")
+	}
+}
+
+func TestRenderAll(t *testing.T) {
+	w := rmwWarning(t)
+	out := RenderAll([]*core.Warning{w, w})
+	if got := strings.Count(out, "digraph velodrome"); got != 2 {
+		t.Errorf("digraphs = %d, want 2", got)
+	}
+	if RenderAll(nil) != "" {
+		t.Error("empty input should render empty")
+	}
+}

@@ -1,0 +1,194 @@
+// Package eraser implements the Eraser LockSet race detection algorithm
+// (Savage et al. 1997): each shared variable moves through the state
+// machine Virgin → Exclusive → Shared / SharedModified while its candidate
+// lockset — the set of locks held on every access so far — is refined by
+// intersection. An empty lockset in a write-shared state is reported as a
+// (potential) race. Unlike the happens-before detector, Eraser is
+// incomplete: it does not understand fork/join or other non-lock
+// synchronization, which is exactly the imprecision that makes the
+// Atomizer produce false alarms (Section 2).
+package eraser
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// State is the per-variable Eraser state.
+type State int
+
+// Eraser per-variable states.
+const (
+	Virgin State = iota
+	Exclusive
+	Shared
+	SharedModified
+	Racy // reported; no further warnings for this variable
+)
+
+var stateNames = [...]string{"Virgin", "Exclusive", "Shared", "SharedModified", "Racy"}
+
+// String returns the state name.
+func (s State) String() string { return stateNames[s] }
+
+// LockSet is an immutable small set of locks. Intersections allocate only
+// when the result differs.
+type LockSet []trace.Lock
+
+// Has reports membership.
+func (ls LockSet) Has(m trace.Lock) bool {
+	for _, l := range ls {
+		if l == m {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersect returns ls ∩ other (aliasing ls when equal).
+func (ls LockSet) Intersect(other LockSet) LockSet {
+	out := ls[:0:0]
+	same := true
+	for _, l := range ls {
+		if other.Has(l) {
+			out = append(out, l)
+		} else {
+			same = false
+		}
+	}
+	if same {
+		return ls
+	}
+	return out
+}
+
+// Warning is a potential race reported by Eraser.
+type Warning struct {
+	Var     trace.Var
+	Op      trace.Op
+	OpIndex int
+}
+
+// String renders the warning for human consumption.
+func (w Warning) String() string {
+	return fmt.Sprintf("eraser: lockset of x%d empty at %s (op %d)", w.Var, w.Op, w.OpIndex)
+}
+
+type varInfo struct {
+	state State
+	owner trace.Tid
+	set   LockSet
+}
+
+// Detector is the online Eraser analysis. It also exposes the current
+// lockset classification, which the Atomizer consumes to classify
+// accesses as movers.
+type Detector struct {
+	held  map[trace.Tid]LockSet
+	vars  map[trace.Var]*varInfo
+	warns []Warning
+	idx   int
+}
+
+// New returns an empty detector.
+func New() *Detector {
+	return &Detector{
+		held: map[trace.Tid]LockSet{},
+		vars: map[trace.Var]*varInfo{},
+	}
+}
+
+// Warnings returns the warnings reported so far.
+func (d *Detector) Warnings() []Warning { return d.warns }
+
+// Held returns the locks currently held by thread t.
+func (d *Detector) Held(t trace.Tid) LockSet { return d.held[t] }
+
+// VarState returns the Eraser state of x (Virgin if never accessed).
+func (d *Detector) VarState(x trace.Var) State {
+	if v := d.vars[x]; v != nil {
+		return v.state
+	}
+	return Virgin
+}
+
+// Racy reports whether accesses to x are considered racy: its candidate
+// lockset is empty in a shared state. The Atomizer treats racy accesses as
+// non-movers.
+func (d *Detector) Racy(x trace.Var) bool {
+	v := d.vars[x]
+	return v != nil && v.state == Racy
+}
+
+// Step processes one operation; it returns a warning when a variable's
+// lockset first becomes empty in a write-shared state.
+func (d *Detector) Step(op trace.Op) *Warning {
+	defer func() { d.idx++ }()
+	t := op.Thread
+	switch op.Kind {
+	case trace.Acquire:
+		d.held[t] = append(append(LockSet{}, d.held[t]...), op.Lock())
+	case trace.Release:
+		held := d.held[t]
+		out := held[:0:0]
+		for _, l := range held {
+			if l != op.Lock() {
+				out = append(out, l)
+			}
+		}
+		d.held[t] = out
+	case trace.Read, trace.Write:
+		return d.access(op)
+	}
+	return nil
+}
+
+func (d *Detector) access(op trace.Op) *Warning {
+	t, x := op.Thread, op.Var()
+	v := d.vars[x]
+	if v == nil {
+		// Virgin → Exclusive on first access.
+		d.vars[x] = &varInfo{state: Exclusive, owner: t, set: nil}
+		return nil
+	}
+	switch v.state {
+	case Exclusive:
+		if v.owner == t {
+			return nil // still thread-local; lockset not yet refined
+		}
+		// Second thread: initialize the candidate set to the current
+		// holder's locks and move to Shared / SharedModified.
+		v.set = append(LockSet{}, d.held[t]...)
+		if op.Kind == trace.Write {
+			v.state = SharedModified
+		} else {
+			v.state = Shared
+		}
+	case Shared:
+		v.set = v.set.Intersect(d.held[t])
+		if op.Kind == trace.Write {
+			v.state = SharedModified
+		}
+	case SharedModified:
+		v.set = v.set.Intersect(d.held[t])
+	case Racy:
+		return nil
+	}
+	if v.state == SharedModified && len(v.set) == 0 {
+		v.state = Racy
+		w := Warning{Var: x, Op: op, OpIndex: d.idx}
+		d.warns = append(d.warns, w)
+		return &d.warns[len(d.warns)-1]
+	}
+	return nil
+}
+
+// CheckTrace runs a fresh detector over a whole trace.
+func CheckTrace(tr trace.Trace) []Warning {
+	d := New()
+	for _, op := range tr {
+		d.Step(op)
+	}
+	return d.Warnings()
+}

@@ -1,0 +1,150 @@
+package eraser
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestVirginToExclusive(t *testing.T) {
+	d := New()
+	d.Step(trace.Wr(1, 0))
+	if d.VarState(0) != Exclusive {
+		t.Fatalf("state = %v, want Exclusive", d.VarState(0))
+	}
+	// More accesses by the same thread keep it exclusive, lock or not.
+	d.Step(trace.Rd(1, 0))
+	d.Step(trace.Wr(1, 0))
+	if d.VarState(0) != Exclusive || len(d.Warnings()) != 0 {
+		t.Fatal("owner accesses must not change state or warn")
+	}
+}
+
+func TestSharedReadOnlyNeverWarns(t *testing.T) {
+	d := New()
+	d.Step(trace.Wr(1, 0)) // exclusive
+	d.Step(trace.Rd(2, 0)) // second thread read → Shared
+	if d.VarState(0) != Shared {
+		t.Fatalf("state = %v, want Shared", d.VarState(0))
+	}
+	d.Step(trace.Rd(3, 0))
+	if len(d.Warnings()) != 0 {
+		t.Fatal("read-shared data must not warn even without locks")
+	}
+}
+
+func TestUnprotectedSharedWriteWarns(t *testing.T) {
+	tr := trace.Trace{trace.Wr(1, 0), trace.Wr(2, 0)}
+	warns := CheckTrace(tr)
+	if len(warns) != 1 {
+		t.Fatalf("warnings = %v, want 1", warns)
+	}
+	if warns[0].Var != 0 || warns[0].OpIndex != 1 {
+		t.Errorf("warning = %+v", warns[0])
+	}
+}
+
+func TestConsistentLockingStaysQuiet(t *testing.T) {
+	var tr trace.Trace
+	for round := 0; round < 3; round++ {
+		for _, tid := range []trace.Tid{1, 2} {
+			tr = append(tr,
+				trace.Acq(tid, 0), trace.Rd(tid, 0), trace.Wr(tid, 0), trace.Rel(tid, 0))
+		}
+	}
+	if warns := CheckTrace(tr); len(warns) != 0 {
+		t.Fatalf("consistently locked variable warned: %v", warns)
+	}
+}
+
+func TestLockSetIntersection(t *testing.T) {
+	// Thread 1 uses locks {0,1}; thread 2 uses {1}; thread 3 uses {0}:
+	// the candidate set shrinks to {1} then to ∅ → warning.
+	tr := trace.Trace{
+		trace.Acq(1, 0), trace.Acq(1, 1), trace.Wr(1, 9), trace.Rel(1, 1), trace.Rel(1, 0),
+		trace.Acq(2, 1), trace.Wr(2, 9), trace.Rel(2, 1),
+		trace.Acq(3, 0), trace.Wr(3, 9), trace.Rel(3, 0),
+	}
+	warns := CheckTrace(tr)
+	if len(warns) != 1 {
+		t.Fatalf("warnings = %v, want exactly 1", warns)
+	}
+	if warns[0].Op.Thread != 3 {
+		t.Errorf("warning at %+v, want thread 3's access", warns[0])
+	}
+}
+
+func TestRacyIsSticky(t *testing.T) {
+	d := New()
+	d.Step(trace.Wr(1, 0))
+	d.Step(trace.Wr(2, 0)) // warns, → Racy
+	if !d.Racy(0) {
+		t.Fatal("variable should be racy")
+	}
+	d.Step(trace.Acq(1, 0))
+	d.Step(trace.Wr(1, 0))
+	d.Step(trace.Rel(1, 0))
+	if len(d.Warnings()) != 1 {
+		t.Fatal("racy variable must warn only once")
+	}
+	if !d.Racy(0) {
+		t.Fatal("racy state must be sticky")
+	}
+}
+
+func TestForkJoinNotUnderstood(t *testing.T) {
+	// The defining imprecision: fork/join ordering is invisible to Eraser,
+	// so a perfectly synchronized handoff still warns. (The hb detector
+	// stays quiet on the same trace.)
+	tr := trace.Trace{
+		trace.Wr(1, 0),
+		trace.ForkOp(1, 2),
+		trace.Wr(2, 0),
+		trace.JoinOp(1, 2),
+		trace.Wr(1, 0),
+	}
+	d := New()
+	for _, op := range tr {
+		if op.Kind == trace.Fork || op.Kind == trace.Join {
+			continue // Eraser has no rule for these
+		}
+		d.Step(op)
+	}
+	if len(d.Warnings()) != 1 {
+		t.Fatalf("expected a false alarm, got %v", d.Warnings())
+	}
+}
+
+func TestHeldTracksLocks(t *testing.T) {
+	d := New()
+	d.Step(trace.Acq(1, 3))
+	d.Step(trace.Acq(1, 5))
+	held := d.Held(1)
+	if len(held) != 2 || !held.Has(3) || !held.Has(5) {
+		t.Fatalf("held = %v", held)
+	}
+	d.Step(trace.Rel(1, 3))
+	held = d.Held(1)
+	if len(held) != 1 || !held.Has(5) {
+		t.Fatalf("held after release = %v", held)
+	}
+}
+
+func TestLockSetOps(t *testing.T) {
+	a := LockSet{1, 2, 3}
+	b := LockSet{2, 3, 4}
+	got := a.Intersect(b)
+	if len(got) != 2 || !got.Has(2) || !got.Has(3) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if same := a.Intersect(LockSet{1, 2, 3, 9}); len(same) != 3 {
+		t.Fatalf("superset intersect should keep all: %v", same)
+	}
+}
+
+func TestWarningString(t *testing.T) {
+	w := Warning{Var: 3, Op: trace.Wr(2, 3), OpIndex: 7}
+	if w.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

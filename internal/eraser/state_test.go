@@ -1,0 +1,96 @@
+package eraser
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sema"
+	"repro/internal/trace"
+)
+
+// TestStateMachineTransitions walks the Virgin → Exclusive → Shared →
+// SharedModified lattice explicitly.
+func TestStateMachineTransitions(t *testing.T) {
+	d := New()
+	x := trace.Var(0)
+	if d.VarState(x) != Virgin {
+		t.Fatal("unaccessed variable must be Virgin")
+	}
+	d.Step(trace.Rd(1, x))
+	if d.VarState(x) != Exclusive {
+		t.Fatal("first access → Exclusive")
+	}
+	d.Step(trace.Acq(2, 0))
+	d.Step(trace.Rd(2, x))
+	if d.VarState(x) != Shared {
+		t.Fatal("second thread read → Shared")
+	}
+	d.Step(trace.Wr(2, x))
+	if d.VarState(x) != SharedModified {
+		t.Fatalf("write in Shared → SharedModified, got %v", d.VarState(x))
+	}
+	d.Step(trace.Rel(2, 0))
+	// Candidate set is {m0}; a write under m0 keeps it.
+	d.Step(trace.Acq(1, 0))
+	d.Step(trace.Wr(1, x))
+	d.Step(trace.Rel(1, 0))
+	if len(d.Warnings()) != 0 {
+		t.Fatalf("consistent lock kept: %v", d.Warnings())
+	}
+	// A lock-free write empties the set.
+	d.Step(trace.Wr(1, x))
+	if d.VarState(x) != Racy || len(d.Warnings()) != 1 {
+		t.Fatalf("state %v, warnings %v", d.VarState(x), d.Warnings())
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		Virgin: "Virgin", Exclusive: "Exclusive", Shared: "Shared",
+		SharedModified: "SharedModified", Racy: "Racy",
+	} {
+		if s.String() != want {
+			t.Errorf("%d renders %q", s, s.String())
+		}
+	}
+}
+
+// TestEraserIsIncomplete: on random traces Eraser may warn where the
+// precise happens-before detector would not, but it must warn whenever
+// the variable is truly racy under consistent-lockset reasoning — here we
+// just assert it never panics and statistics stay consistent.
+func TestEraserRandomTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := sema.GenConfig{Threads: 4, OpsPerThd: 15, Vars: 4, Locks: 2, PAtomic: 0, PLock: 0.6}
+	for i := 0; i < 200; i++ {
+		tr := sema.RandomTrace(rng, cfg)
+		d := New()
+		for _, op := range tr {
+			d.Step(op)
+		}
+		// Warnings are per-variable: no duplicates.
+		seen := map[trace.Var]bool{}
+		for _, w := range d.Warnings() {
+			if seen[w.Var] {
+				t.Fatalf("iter %d: duplicate warning for x%d", i, w.Var)
+			}
+			seen[w.Var] = true
+			if d.VarState(w.Var) != Racy {
+				t.Fatalf("iter %d: warned variable not in Racy state", i)
+			}
+		}
+	}
+}
+
+// TestFullyLockedNeverWarns: the completeness direction Eraser does have —
+// consistently locked programs stay quiet.
+func TestFullyLockedNeverWarns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := sema.GenConfig{Threads: 4, OpsPerThd: 12, Vars: 1, Locks: 1, PAtomic: 0, PLock: 1.0}
+	for i := 0; i < 100; i++ {
+		tr := sema.RandomTrace(rng, cfg)
+		if ws := CheckTrace(tr); len(ws) != 0 {
+			t.Fatalf("iter %d: warned on a fully locked trace: %v\n%s", i, ws, tr)
+		}
+	}
+}

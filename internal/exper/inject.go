@@ -1,0 +1,86 @@
+package exper
+
+import (
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/rr"
+)
+
+// InjectResult summarizes the defect-injection experiment of Section 6
+// for one workload: each contention-inducing synchronized statement that
+// guards an otherwise-atomic method is removed in turn, the corrupted
+// program is run once per seed, and a trial counts as a detection when
+// Velodrome blames the now-unprotected method.
+type InjectResult struct {
+	Workload  string
+	Trials    int
+	PlainHits int // detections without scheduler adjustment
+	AdvHits   int // detections with the adversarial scheduler
+	PerPoint  []InjectTrial
+	PlainRate float64
+	AdvRate   float64
+}
+
+// InjectTrial is one (sync point × seed) trial.
+type InjectTrial struct {
+	Point    string
+	Method   string
+	Seed     int64
+	Plain    bool
+	Adversry bool
+}
+
+// Inject runs the experiment on the named workloads (the paper uses
+// elevator and colt).
+func Inject(names []string, seeds []int64, scale int) []InjectResult {
+	var out []InjectResult
+	for _, name := range names {
+		w := bench.ByName(name)
+		if w == nil || len(w.InjectionPoints) == 0 {
+			continue
+		}
+		res := InjectResult{Workload: name}
+		for _, inj := range w.InjectionPoints {
+			for _, seed := range seeds {
+				trial := InjectTrial{Point: inj.Point, Method: inj.Method, Seed: seed}
+				trial.Plain = injectedCaught(w, inj, seed, scale, false)
+				trial.Adversry = injectedCaught(w, inj, seed, scale, true)
+				res.Trials++
+				if trial.Plain {
+					res.PlainHits++
+				}
+				if trial.Adversry {
+					res.AdvHits++
+				}
+				res.PerPoint = append(res.PerPoint, trial)
+			}
+		}
+		if res.Trials > 0 {
+			res.PlainRate = float64(res.PlainHits) / float64(res.Trials)
+			res.AdvRate = float64(res.AdvHits) / float64(res.Trials)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// injectedCaught runs the corrupted program once and reports whether
+// Velodrome blamed the unprotected method.
+func injectedCaught(w *bench.Workload, inj bench.Injection, seed int64, scale int, adversarial bool) bool {
+	velo := rr.NewVelodrome(core.Options{})
+	opts := rr.Options{Seed: seed, Backend: velo}
+	if adversarial {
+		adv := rr.NewAtomizerAdvisor()
+		opts.Backend = rr.Multi{velo, adv}
+		opts.Advisor = adv
+		opts.ParkSteps = 40 // the analogue of the paper's 100 ms suspension
+	}
+	p := bench.Params{Scale: scale, Disabled: map[string]bool{inj.Point: true}}
+	rr.Run(opts, func(t *rr.Thread) { w.Body(t, p) })
+	for _, warn := range velo.Warnings() {
+		if string(warn.Method()) == inj.Method {
+			return true
+		}
+	}
+	return false
+}

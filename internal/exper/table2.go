@@ -1,0 +1,137 @@
+package exper
+
+import "repro/internal/bench"
+
+// Table2Row is one benchmark's warning counts in the shape of Table 2,
+// plus the paper's numbers for side-by-side comparison and the blame
+// statistic quoted in Section 6.
+type Table2Row struct {
+	Name string
+	// Measured over the seeds.
+	AtomizerNonSerial int
+	AtomizerFalse     int
+	VeloNonSerial     int
+	VeloFalse         int
+	Missed            int // Atomizer-found non-atomic methods Velodrome missed
+	// Blame assignment: fraction of Velodrome warnings with a blamed method.
+	VeloWarnings int
+	VeloBlamed   int
+	// Paper's published counts.
+	PaperAtomNS, PaperAtomFA, PaperVeloNS, PaperVeloFA, PaperMissed int
+	// Method sets for drill-down reporting.
+	VeloMethods, AtomMethods map[string]bool
+}
+
+// paperTable2 holds the published Table 2 (Atomizer NS, FA; Velodrome NS,
+// FA, Missed).
+var paperTable2 = map[string][5]int{
+	"elevator":   {5, 1, 5, 0, 0},
+	"hedc":       {6, 2, 6, 0, 0},
+	"tsp":        {8, 0, 8, 0, 0},
+	"sor":        {3, 0, 3, 0, 0},
+	"jbb":        {5, 42, 5, 0, 0},
+	"mtrt":       {2, 27, 2, 0, 0},
+	"moldyn":     {4, 0, 4, 0, 0},
+	"montecarlo": {6, 0, 6, 0, 0},
+	"raytracer":  {2, 3, 1, 0, 1},
+	"colt":       {27, 2, 20, 0, 7},
+	"philo":      {2, 0, 2, 0, 0},
+	"raja":       {0, 0, 0, 0, 0},
+	"multiset":   {5, 0, 5, 0, 0},
+	"webl":       {24, 2, 22, 0, 2},
+	"jigsaw":     {55, 5, 44, 0, 11},
+}
+
+// Table2 runs every workload over the seeds (all methods assumed atomic,
+// warnings deduplicated per distinct method across runs, exactly as the
+// paper counts them) and returns one row per benchmark plus a total row.
+func Table2(seeds []int64, scale int, adversarial bool) []Table2Row {
+	var rows []Table2Row
+	total := Table2Row{Name: "Total"}
+	for _, w := range bench.All() {
+		row := Table2Row{
+			Name:        w.Name,
+			VeloMethods: map[string]bool{},
+			AtomMethods: map[string]bool{},
+		}
+		for _, seed := range seeds {
+			res := RunBoth(w, seed, bench.Params{Scale: scale}, adversarial)
+			union(row.VeloMethods, res.VeloMethods)
+			union(row.AtomMethods, res.AtomMethods)
+			row.VeloWarnings += res.VeloWarnings
+			row.VeloBlamed += res.VeloBlamed
+		}
+		row.VeloNonSerial, row.VeloFalse, _ = Classify(w, row.VeloMethods)
+		var atomReal map[string]bool
+		row.AtomizerNonSerial, row.AtomizerFalse, atomReal = Classify(w, row.AtomMethods)
+		for m := range atomReal {
+			if !row.VeloMethods[m] {
+				row.Missed++
+			}
+		}
+		if p, ok := paperTable2[w.Name]; ok {
+			row.PaperAtomNS, row.PaperAtomFA = p[0], p[1]
+			row.PaperVeloNS, row.PaperVeloFA, row.PaperMissed = p[2], p[3], p[4]
+		}
+		total.AtomizerNonSerial += row.AtomizerNonSerial
+		total.AtomizerFalse += row.AtomizerFalse
+		total.VeloNonSerial += row.VeloNonSerial
+		total.VeloFalse += row.VeloFalse
+		total.Missed += row.Missed
+		total.VeloWarnings += row.VeloWarnings
+		total.VeloBlamed += row.VeloBlamed
+		total.PaperAtomNS += row.PaperAtomNS
+		total.PaperAtomFA += row.PaperAtomFA
+		total.PaperVeloNS += row.PaperVeloNS
+		total.PaperVeloFA += row.PaperVeloFA
+		total.PaperMissed += row.PaperMissed
+		rows = append(rows, row)
+	}
+	rows = append(rows, total)
+	return rows
+}
+
+// CoverageCurve measures cumulative distinct non-atomic methods found by
+// each tool as runs accumulate — the paper's observation that "for both
+// tools, the large majority of errors were reported on the first of the
+// five runs".
+type CoverageCurve struct {
+	Seeds []int64
+	// CumVelo[i] and CumAtom[i] count distinct real non-atomic methods
+	// found over seeds[0..i], summed across all benchmarks.
+	CumVelo, CumAtom []int
+}
+
+// Coverage computes the curve over the given seeds.
+func Coverage(seeds []int64, scale int) CoverageCurve {
+	curve := CoverageCurve{Seeds: seeds}
+	veloSeen := map[string]map[string]bool{}
+	atomSeen := map[string]map[string]bool{}
+	for _, w := range bench.All() {
+		veloSeen[w.Name] = map[string]bool{}
+		atomSeen[w.Name] = map[string]bool{}
+	}
+	for _, seed := range seeds {
+		for _, w := range bench.All() {
+			res := RunBoth(w, seed, bench.Params{Scale: scale}, false)
+			for m := range res.VeloMethods {
+				if truth, ok := w.Truth[m]; ok && truth != bench.Atomic {
+					veloSeen[w.Name][m] = true
+				}
+			}
+			for m := range res.AtomMethods {
+				if truth, ok := w.Truth[m]; ok && truth != bench.Atomic {
+					atomSeen[w.Name][m] = true
+				}
+			}
+		}
+		v, a := 0, 0
+		for _, w := range bench.All() {
+			v += len(veloSeen[w.Name])
+			a += len(atomSeen[w.Name])
+		}
+		curve.CumVelo = append(curve.CumVelo, v)
+		curve.CumAtom = append(curve.CumAtom, a)
+	}
+	return curve
+}

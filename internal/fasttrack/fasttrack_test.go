@@ -1,0 +1,144 @@
+package fasttrack
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hb"
+	"repro/internal/sema"
+	"repro/internal/trace"
+)
+
+func TestBasicRaces(t *testing.T) {
+	if races := CheckTrace(trace.Trace{trace.Wr(1, 0), trace.Wr(2, 0)}); len(races) != 1 ||
+		races[0].Kind != "write-write" {
+		t.Fatalf("races = %v", CheckTrace(trace.Trace{trace.Wr(1, 0), trace.Wr(2, 0)}))
+	}
+	if races := CheckTrace(trace.Trace{trace.Wr(1, 0), trace.Rd(2, 0)}); len(races) != 1 ||
+		races[0].Kind != "write-read" {
+		t.Fatalf("races = %v", races)
+	}
+	if races := CheckTrace(trace.Trace{trace.Rd(1, 0), trace.Wr(2, 0)}); len(races) != 1 ||
+		races[0].Kind != "read-write" {
+		t.Fatalf("races = %v", races)
+	}
+	if races := CheckTrace(trace.Trace{trace.Rd(1, 0), trace.Rd(2, 0)}); len(races) != 0 {
+		t.Fatalf("read-read raced: %v", races)
+	}
+}
+
+func TestLockAndForkOrdering(t *testing.T) {
+	ordered := trace.Trace{
+		trace.Acq(1, 0), trace.Wr(1, 5), trace.Rel(1, 0),
+		trace.Acq(2, 0), trace.Rd(2, 5), trace.Wr(2, 5), trace.Rel(2, 0),
+	}
+	if races := CheckTrace(ordered); len(races) != 0 {
+		t.Fatalf("lock-ordered accesses raced: %v", races)
+	}
+	fj := trace.Trace{
+		trace.Wr(1, 0), trace.ForkOp(1, 2), trace.Wr(2, 0),
+		trace.JoinOp(1, 2), trace.Rd(1, 0),
+	}
+	if races := CheckTrace(fj); len(races) != 0 {
+		t.Fatalf("fork/join-ordered accesses raced: %v", races)
+	}
+}
+
+// TestReadShareAndDeflate exercises the epoch → vector promotion and the
+// collapse back to epochs after an ordering write.
+func TestReadShareAndDeflate(t *testing.T) {
+	tr := trace.Trace{
+		trace.Rd(1, 0), // read epoch 1@...
+		trace.Rd(2, 0), // concurrent read: promote to vector
+		trace.Rd(3, 0), // three concurrent readers
+		// Orderings: everyone releases a lock the writer then acquires.
+		trace.Acq(1, 0), trace.Rel(1, 0),
+		trace.Acq(2, 0), trace.Rel(2, 0),
+		trace.Acq(3, 0), trace.Rel(3, 0),
+		trace.Acq(4, 0),
+		trace.Wr(4, 0), // ordered after all reads: no race, deflate
+		trace.Rel(4, 0),
+		trace.Rd(4, 0), // back on the epoch fast path
+	}
+	d := New()
+	for _, op := range tr {
+		if r := d.Step(op); r != nil {
+			t.Fatalf("unexpected race: %v", r)
+		}
+	}
+	s := d.vars[0]
+	if s.rv != nil {
+		t.Fatal("read vector not deflated after the ordering write")
+	}
+}
+
+// TestSharedReadsRaceWithWrite: a write unordered with ONE of several
+// readers must race.
+func TestSharedReadsRaceWithWrite(t *testing.T) {
+	tr := trace.Trace{
+		trace.Rd(1, 0),
+		trace.Rd(2, 0),
+		// Only reader 1 synchronizes with the writer.
+		trace.Acq(1, 0), trace.Rel(1, 0),
+		trace.Acq(3, 0),
+		trace.Wr(3, 0), // races with reader 2
+	}
+	races := CheckTrace(tr)
+	if len(races) != 1 || races[0].Kind != "read-write" {
+		t.Fatalf("races = %v", races)
+	}
+}
+
+// TestAgreesWithVectorClockDetector is the precision theorem of the
+// FastTrack paper checked empirically: on random traces, FastTrack and
+// the full vector-clock detector agree on which variables race and on
+// the first racing operation.
+func TestAgreesWithVectorClockDetector(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cfg := sema.GenConfig{Threads: 4, OpsPerThd: 12, Vars: 3, Locks: 2, PAtomic: 0, PLock: 0.45}
+	for iter := 0; iter < 400; iter++ {
+		tr := sema.RandomTrace(rng, cfg)
+		ft := CheckTrace(tr)
+		full := hb.CheckTrace(tr)
+		ftVars := map[trace.Var]int{}
+		for _, r := range ft {
+			if _, ok := ftVars[r.Var]; !ok {
+				ftVars[r.Var] = r.OpIndex
+			}
+		}
+		fullVars := map[trace.Var]int{}
+		for _, r := range full {
+			if _, ok := fullVars[r.Var]; !ok {
+				fullVars[r.Var] = r.OpIndex
+			}
+		}
+		if len(ftVars) != len(fullVars) {
+			t.Fatalf("iter %d: fasttrack racy vars %v, full VC %v\n%s", iter, ftVars, fullVars, tr)
+		}
+		for v, idx := range fullVars {
+			if ftVars[v] != idx {
+				t.Fatalf("iter %d: first race on x%d at %d (ft) vs %d (vc)\n%s",
+					iter, v, ftVars[v], idx, tr)
+			}
+		}
+	}
+}
+
+// TestOneReportPerVariable: the detector reports each variable once.
+func TestOneReportPerVariable(t *testing.T) {
+	tr := trace.Trace{
+		trace.Wr(1, 0), trace.Wr(2, 0), trace.Wr(1, 0), trace.Wr(2, 0),
+		trace.Wr(1, 1), trace.Wr(2, 1),
+	}
+	races := CheckTrace(tr)
+	if len(races) != 2 {
+		t.Fatalf("races = %v, want one per variable", races)
+	}
+}
+
+func TestRaceString(t *testing.T) {
+	races := CheckTrace(trace.Trace{trace.Wr(1, 7), trace.Wr(2, 7)})
+	if len(races) == 0 || races[0].String() == "" {
+		t.Fatal("missing rendering")
+	}
+}

@@ -1,0 +1,93 @@
+package graph
+
+// Ancestor tracking (Section 5): "For each node, we maintain a set of
+// ancestors of that node. This ancestor set allows us to immediately
+// detect when a cycle is about to be added to the graph", keeps the graph
+// acyclic for reference-counting GC, and makes the merge function's
+// happens-before queries O(1).
+//
+// Entries are stamped with the ancestor's incarnation (birth time) so
+// that collected-and-recycled nodes invalidate lazily: a stale entry is
+// simply skipped and compacted away on the next touch, with no eager
+// purge walk at collection time.
+
+// ancEntry records one ancestor node and the incarnation it referred to.
+type ancEntry struct {
+	id    NodeID
+	birth uint64
+}
+
+// liveEntry reports whether e still names the current incarnation.
+func (g *Graph) liveEntry(e ancEntry) bool {
+	nd := &g.nodes[e.id]
+	return nd.inUse && nd.birthTime == e.birth
+}
+
+// isAncestor reports whether node a (current incarnation) is an ancestor
+// of node b, compacting stale entries as a side effect.
+func (g *Graph) isAncestor(a, b NodeID) bool {
+	nd := &g.nodes[b]
+	out := nd.anc[:0]
+	found := false
+	for _, e := range nd.anc {
+		if !g.liveEntry(e) {
+			continue
+		}
+		out = append(out, e)
+		if e.id == a {
+			found = true
+		}
+	}
+	nd.anc = out
+	return found
+}
+
+// addAncestors merges entries into n's ancestor set and, when anything
+// new arrived, pushes the same entries to n's descendants. The graph is
+// acyclic, so the walk terminates; it prunes wherever a node already
+// knows every entry.
+func (g *Graph) addAncestors(n NodeID, entries []ancEntry) {
+	nd := &g.nodes[n]
+	added := false
+	for _, e := range entries {
+		if e.id == n {
+			continue // self-entries cannot arise on an acyclic graph
+		}
+		present := false
+		for _, have := range nd.anc {
+			if have == e {
+				present = true
+				break
+			}
+		}
+		if !present {
+			nd.anc = append(nd.anc, e)
+			added = true
+		}
+	}
+	if !added {
+		return
+	}
+	for _, e := range nd.out {
+		g.addAncestors(e.to, entries)
+	}
+}
+
+// ancestorsPlusSelf returns n's live ancestor entries plus n itself, for
+// propagation along a new outgoing edge. The returned slice is a reusable
+// graph-level buffer: callers must consume it before the next graph call.
+func (g *Graph) ancestorsPlusSelf(n NodeID) []ancEntry {
+	nd := &g.nodes[n]
+	out := g.ancScratch[:0]
+	keep := nd.anc[:0]
+	for _, e := range nd.anc {
+		if g.liveEntry(e) {
+			out = append(out, e)
+			keep = append(keep, e)
+		}
+	}
+	nd.anc = keep
+	out = append(out, ancEntry{id: n, birth: nd.birthTime})
+	g.ancScratch = out
+	return out
+}

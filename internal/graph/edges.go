@@ -1,0 +1,167 @@
+package graph
+
+import "repro/internal/trace"
+
+// CycleEdge is one happens-before edge on a detected cycle, annotated with
+// the timestamps of the operations at its tail and head (Section 4.3).
+type CycleEdge struct {
+	From, To         NodeID
+	FromData, ToData any
+	TailTime         uint64   // timestamp of the operation at the source
+	HeadTime         uint64   // timestamp of the operation at the destination
+	Op               trace.Op // the operation that generated the edge
+}
+
+// Cycle is a non-trivial cycle in the transactional happens-before graph,
+// discovered when an edge insertion would close it. Edges are listed in
+// happens-before order starting from the node that completed the cycle
+// (the destination of the rejected edge), so Edges[0].From is the
+// potentially blamed transaction D and Edges[len-1] is the rejected edge.
+type Cycle struct {
+	Edges []CycleEdge
+}
+
+// Completer returns the node that completed the cycle (the paper's D).
+func (c *Cycle) Completer() NodeID { return c.Edges[0].From }
+
+// CompleterData returns the metadata of the completing node.
+func (c *Cycle) CompleterData() any { return c.Edges[0].FromData }
+
+// Increasing reports whether the cycle is increasing (Section 4.3): for
+// every node m other than the completer, the timestamp on the incoming
+// edge to m is at most the timestamp on the outgoing edge from m. An
+// increasing cycle witnesses that the completing transaction is not
+// self-serializable, so blame can be assigned to it.
+func (c *Cycle) Increasing() bool {
+	n := len(c.Edges)
+	for i := 0; i < n; i++ {
+		in := c.Edges[i]
+		out := c.Edges[(i+1)%n]
+		if out.From == c.Completer() {
+			continue // the completer itself is exempt
+		}
+		if in.HeadTime > out.TailTime {
+			return false
+		}
+	}
+	return true
+}
+
+// RootTime returns the timestamp within the completing transaction of the
+// cycle's root operation — the operation whose edge leaves D. Together
+// with TargetTime it identifies which atomic blocks of D to refute.
+func (c *Cycle) RootTime() uint64 { return c.Edges[0].TailTime }
+
+// TargetTime returns the timestamp within the completing transaction of
+// the operation that closed the cycle.
+func (c *Cycle) TargetTime() uint64 { return c.Edges[len(c.Edges)-1].HeadTime }
+
+// AddEdge extends the happens-before relation with from ⇒ to (the paper's
+// H ⊕ {(from, to)}). Edges from or to ⊥ (including stale steps) and
+// self-edges are filtered out. If the edge would close a cycle, the cycle
+// is returned and the edge is NOT added, keeping the graph acyclic; the
+// caller reports the violation and continues.
+func (g *Graph) AddEdge(from, to Step, op trace.Op) *Cycle {
+	from, to = g.Resolve(from), g.Resolve(to)
+	if from == None || to == None || from.ID() == to.ID() {
+		return nil
+	}
+	src, dst := from.ID(), to.ID()
+	// O(1) cycle test via the ancestor sets; the DFS below runs only on
+	// the (rare) violation path, to extract the cycle for the report.
+	if g.isAncestor(dst, src) {
+		// to ⇒* from already holds; adding from ⇒ to would close a cycle.
+		path := g.findPath(dst, src)
+		if path == nil {
+			panic("graph: ancestor set claims a path the edges do not have")
+		}
+		edges := make([]CycleEdge, 0, len(path)+1)
+		for _, e := range path {
+			edges = append(edges, e)
+		}
+		edges = append(edges, CycleEdge{
+			From: src, To: dst,
+			FromData: g.nodes[src].data, ToData: g.nodes[dst].data,
+			TailTime: from.Time(), HeadTime: to.Time(),
+			Op: op,
+		})
+		return &Cycle{Edges: edges}
+	}
+	nd := &g.nodes[src]
+	for i := range nd.out {
+		if nd.out[i].to == dst {
+			// Replace timestamps: one edge per node pair (Section 4.3).
+			nd.out[i].tailTime = from.Time()
+			nd.out[i].headTime = to.Time()
+			nd.out[i].op = op
+			return nil
+		}
+	}
+	nd.out = append(nd.out, edge{to: dst, tailTime: from.Time(), headTime: to.Time(), op: op})
+	g.nodes[dst].in++
+	g.stats.Edges++
+	g.addAncestors(dst, g.ancestorsPlusSelf(src))
+	return nil
+}
+
+// HappensBeforeOrSame reports whether a's node reaches b's node in H*
+// (reflexive-transitive closure). Stale or ⊥ steps never happen-before
+// anything.
+func (g *Graph) HappensBeforeOrSame(a, b Step) bool {
+	a, b = g.Resolve(a), g.Resolve(b)
+	if a == None || b == None {
+		return false
+	}
+	if a.ID() == b.ID() {
+		return true
+	}
+	return g.isAncestor(a.ID(), b.ID())
+}
+
+// findPath returns the edges of some path src ⇒* dst, or nil if none.
+// The live graph is small (a few dozen nodes even on large benchmarks,
+// Table 1), so an iterative DFS per query is cheap.
+func (g *Graph) findPath(src, dst NodeID) []CycleEdge {
+	if src == dst {
+		return []CycleEdge{}
+	}
+	g.gen++
+	type frame struct {
+		id   NodeID
+		next int
+	}
+	stack := []frame{{id: src}}
+	g.nodes[src].visited = g.gen
+	var path []CycleEdge
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		nd := &g.nodes[f.id]
+		if f.next >= len(nd.out) {
+			stack = stack[:len(stack)-1]
+			if len(path) > 0 {
+				path = path[:len(path)-1]
+			}
+			continue
+		}
+		e := nd.out[f.next]
+		f.next++
+		path = append(path, CycleEdge{
+			From: f.id, To: e.to,
+			FromData: nd.data, ToData: g.nodes[e.to].data,
+			TailTime: e.tailTime, HeadTime: e.headTime,
+			Op: e.op,
+		})
+		if e.to == dst {
+			out := make([]CycleEdge, len(path))
+			copy(out, path)
+			return out
+		}
+		if g.nodes[e.to].visited != g.gen {
+			g.nodes[e.to].visited = g.gen
+			stack = append(stack, frame{id: e.to})
+		} else {
+			path = path[:len(path)-1]
+		}
+	}
+	return nil
+}

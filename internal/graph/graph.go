@@ -1,0 +1,332 @@
+// Package graph implements the transactional happens-before graph at the
+// heart of Velodrome (PLDI 2008, Sections 4 and 5).
+//
+// Nodes represent transactions. A Step is a 64-bit weak reference to a
+// particular operation within a transaction: the top 16 bits identify a
+// Node object in a recycling pool and the low 48 bits are a timestamp
+// within that node, exactly as in Section 5 of the paper. When a node is
+// garbage collected its timestamp watermark is remembered, so stale steps
+// held in the analysis state (L, U, R, W) dereference to ⊥ even after the
+// Node object has been recycled to represent a new transaction.
+//
+// The graph is kept acyclic at all times: an edge insertion that would
+// close a cycle is reported (with the full cycle and its per-edge head and
+// tail timestamps, for blame assignment) and the edge is discarded.
+// Finished nodes with no incoming edges can never lie on a future cycle
+// (Section 4.1) and are reference-count collected immediately, cascading
+// along their outgoing edges.
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// NodeID indexes the node pool. The zero-width of 16 bits matches the
+// paper's packed representation; a run needs more than 65535 simultaneously
+// live transactions only if garbage collection is disabled on a huge trace.
+type NodeID uint16
+
+// Step is a packed weak reference to (node, timestamp). The zero value is
+// not a valid step; use None for ⊥.
+type Step uint64
+
+// None is the ⊥ step: the absence of a transaction.
+const None Step = ^Step(0)
+
+const (
+	timeBits = 48
+	timeMask = (Step(1) << timeBits) - 1
+	maxNodes = 1 << 16
+)
+
+func pack(id NodeID, time uint64) Step {
+	return Step(id)<<timeBits | Step(time)&timeMask
+}
+
+// ID returns the node id encoded in the step. Only meaningful for live
+// steps; callers normally go through Graph.Resolve first.
+func (s Step) ID() NodeID { return NodeID(s >> timeBits) }
+
+// Time returns the timestamp encoded in the step.
+func (s Step) Time() uint64 { return uint64(s & timeMask) }
+
+// String renders the step as (n<id>, <time>), or ⊥ for None.
+func (s Step) String() string {
+	if s == None {
+		return "⊥"
+	}
+	return fmt.Sprintf("(n%d,%d)", s.ID(), s.Time())
+}
+
+// An edge records that the source node happens-before the destination
+// node, together with the timestamps of the operations at its tail
+// (source) and head (destination). At most one edge exists per ordered
+// node pair; re-insertion replaces the timestamps (the ⊕ operator of
+// Section 4.3).
+type edge struct {
+	to       NodeID
+	tailTime uint64
+	headTime uint64
+	op       trace.Op
+}
+
+type node struct {
+	inUse  bool
+	active bool // currently some thread's executing transaction
+	in     int  // number of incoming edges in H
+	// birthTime and curTime delimit the live timestamp range of the
+	// current incarnation; steps outside it are stale and read as ⊥.
+	birthTime uint64
+	curTime   uint64
+	out       []edge
+	anc       []ancEntry // ancestor set (Section 5), lazily compacted
+	visited   uint64     // DFS generation marker (cycle extraction only)
+	data      any        // client metadata, cleared on recycle
+}
+
+// Stats reports allocation behaviour, the quantities in the last four
+// columns of Table 1.
+type Stats struct {
+	Allocated int // total nodes ever allocated (both engines' "Allocated")
+	MaxAlive  int // peak simultaneously live nodes ("Max. Alive")
+	Alive     int // currently live nodes
+	Collected int // nodes garbage collected
+	Merged    int // merge calls satisfied without allocating
+	Edges     int // edges currently in H
+}
+
+// Graph is a transactional happens-before graph. It is not safe for
+// concurrent use; the Velodrome back-end serializes the event stream.
+type Graph struct {
+	nodes      []node
+	free       []NodeID
+	gen        uint64
+	noGC       bool
+	scratch    []Step     // Merge's reusable candidate buffer
+	ancScratch []ancEntry // ancestorsPlusSelf's reusable buffer
+	stats      Stats
+}
+
+// New returns an empty graph with garbage collection enabled.
+func New() *Graph { return &Graph{} }
+
+// SetGC enables or disables reference-counting garbage collection.
+// Disabling it is only useful for differential testing (invariant 2 of
+// DESIGN.md); large traces will exhaust the 16-bit node space.
+func (g *Graph) SetGC(on bool) { g.noGC = !on }
+
+// Stats returns a snapshot of allocation statistics.
+func (g *Graph) Stats() Stats { return g.stats }
+
+// Alive returns the number of currently live nodes.
+func (g *Graph) Alive() int { return g.stats.Alive }
+
+// NewNode allocates a fresh transaction node and returns its initial step.
+// active marks it as some thread's currently executing transaction, which
+// pins it against collection until Finish.
+func (g *Graph) NewNode(active bool, data any) Step {
+	var id NodeID
+	if n := len(g.free); n > 0 {
+		id = g.free[n-1]
+		g.free = g.free[:n-1]
+	} else {
+		if len(g.nodes) >= maxNodes {
+			panic("graph: node pool exhausted (65536 live nodes); enable GC")
+		}
+		g.nodes = append(g.nodes, node{})
+		id = NodeID(len(g.nodes) - 1)
+	}
+	nd := &g.nodes[id]
+	birth := nd.curTime + 1
+	*nd = node{
+		inUse:     true,
+		active:    active,
+		birthTime: birth,
+		curTime:   birth,
+		data:      data,
+	}
+	g.stats.Allocated++
+	g.stats.Alive++
+	if g.stats.Alive > g.stats.MaxAlive {
+		g.stats.MaxAlive = g.stats.Alive
+	}
+	return pack(id, birth)
+}
+
+// Resolve maps stale steps to None: a step whose node has been collected
+// (or recycled for a newer transaction) reads as ⊥, per Section 5.
+func (g *Graph) Resolve(s Step) Step {
+	if s == None {
+		return None
+	}
+	nd := &g.nodes[s.ID()]
+	if !nd.inUse || s.Time() < nd.birthTime || s.Time() > nd.curTime {
+		return None
+	}
+	return s
+}
+
+func (g *Graph) live(s Step) *node {
+	if s = g.Resolve(s); s == None {
+		return nil
+	}
+	return &g.nodes[s.ID()]
+}
+
+// Tick returns the step following s within the same transaction (the
+// paper's L(t)+1), advancing the node's timestamp. Tick of ⊥ or of a stale
+// step is ⊥.
+func (g *Graph) Tick(s Step) Step {
+	nd := g.live(s)
+	if nd == nil {
+		return None
+	}
+	nd.curTime++
+	return pack(s.ID(), nd.curTime)
+}
+
+// Data returns the client metadata attached to the step's node, or nil for
+// stale steps.
+func (g *Graph) Data(s Step) any {
+	if nd := g.live(s); nd != nil {
+		return nd.data
+	}
+	return nil
+}
+
+// Active reports whether the step's node is a currently executing
+// transaction.
+func (g *Graph) Active(s Step) bool {
+	nd := g.live(s)
+	return nd != nil && nd.active
+}
+
+// Finish marks the step's node as no longer executing ([INS2 EXIT]); if it
+// has no incoming edges it is collected immediately.
+func (g *Graph) Finish(s Step) {
+	nd := g.live(s)
+	if nd == nil {
+		return
+	}
+	nd.active = false
+	g.maybeCollect(s.ID())
+}
+
+// maybeCollect applies the GC rule of Section 4.1: a finished node with no
+// incoming edges is removed, cascading along its outgoing edges.
+func (g *Graph) maybeCollect(id NodeID) {
+	if g.noGC {
+		return
+	}
+	nd := &g.nodes[id]
+	if !nd.inUse || nd.active || nd.in > 0 {
+		return
+	}
+	out := nd.out
+	nd.inUse = false
+	nd.out = nil
+	nd.data = nil
+	g.stats.Alive--
+	g.stats.Collected++
+	g.stats.Edges -= len(out)
+	g.free = append(g.free, id)
+	for _, e := range out {
+		to := &g.nodes[e.to]
+		to.in--
+		g.maybeCollect(e.to)
+	}
+}
+
+// SetData attaches client metadata to the step's node (used by callers
+// that learn the metadata only after allocation, e.g. after Merge).
+func (g *Graph) SetData(s Step, v any) {
+	if nd := g.live(s); nd != nil {
+		nd.data = v
+	}
+}
+
+// DebugDot renders the current live graph in Graphviz dot form, for
+// inspecting the handful of nodes GC leaves alive at any moment.
+func (g *Graph) DebugDot() string {
+	var b strings.Builder
+	b.WriteString("digraph hbgraph {\n  node [shape=box];\n")
+	for id := range g.nodes {
+		nd := &g.nodes[id]
+		if !nd.inUse {
+			continue
+		}
+		label := fmt.Sprintf("n%d", id)
+		if nd.data != nil {
+			label = fmt.Sprintf("%v", nd.data)
+		}
+		style := ""
+		if nd.active {
+			style = ", style=bold"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q%s];\n", id, label, style)
+	}
+	for id := range g.nodes {
+		nd := &g.nodes[id]
+		if !nd.inUse {
+			continue
+		}
+		for _, e := range nd.out {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", id, e.to, e.op.String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// CheckInvariants verifies the internal consistency of the graph and
+// returns the first violation found (test hook):
+//
+//   - every in-degree equals the number of live edges pointing at the node;
+//   - the graph is acyclic;
+//   - every live ancestor entry corresponds to real edge reachability;
+//   - no finished node with zero in-degree survives while GC is on.
+func (g *Graph) CheckInvariants() error {
+	in := make([]int, len(g.nodes))
+	for id := range g.nodes {
+		nd := &g.nodes[id]
+		if !nd.inUse {
+			continue
+		}
+		for _, e := range nd.out {
+			if !g.nodes[e.to].inUse {
+				return fmt.Errorf("graph: edge n%d→n%d points at a collected node", id, e.to)
+			}
+			in[e.to]++
+		}
+	}
+	for id := range g.nodes {
+		nd := &g.nodes[id]
+		if !nd.inUse {
+			continue
+		}
+		if nd.in != in[id] {
+			return fmt.Errorf("graph: n%d in-degree %d, edges say %d", id, nd.in, in[id])
+		}
+		if !g.noGC && !nd.active && nd.in == 0 {
+			return fmt.Errorf("graph: n%d finished with no incoming edges but not collected", id)
+		}
+		for _, e := range nd.out {
+			// findPath is reflexive, so test reachability from successors.
+			if e.to == NodeID(id) || g.findPath(e.to, NodeID(id)) != nil {
+				return fmt.Errorf("graph: n%d lies on a cycle", id)
+			}
+		}
+		for _, e := range nd.anc {
+			if !g.liveEntry(e) {
+				continue // stale entries are legal; compacted lazily
+			}
+			if g.findPath(e.id, NodeID(id)) == nil {
+				return fmt.Errorf("graph: n%d claims ancestor n%d with no path", id, e.id)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+// Package hb is a precise happens-before data race detector in the
+// DJIT+ style, the "complete happens-before detector" that RoadRunner
+// ships alongside Eraser (Section 5). It reports a race exactly when two
+// conflicting accesses are unordered by the program's synchronization
+// (lock release→acquire edges, fork/join edges, and program order).
+package hb
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+// Race describes one detected data race.
+type Race struct {
+	OpIndex int       // index of the second (racing) access
+	Op      trace.Op  // the racing access
+	Var     trace.Var // the variable raced on
+	Prior   trace.Op  // a prior conflicting unordered access
+}
+
+// String renders the race for human consumption.
+func (r Race) String() string {
+	return fmt.Sprintf("race on x%d: %s unordered with earlier %s", r.Var, r.Op, r.Prior)
+}
+
+type varState struct {
+	// Last write epoch plus full clocks of last reads/writes per thread.
+	writes map[trace.Tid]uint64 // write time per thread (epoch per thread)
+	reads  map[trace.Tid]uint64
+	lastWr map[trace.Tid]trace.Op
+	lastRd map[trace.Tid]trace.Op
+}
+
+// Detector is an online happens-before race detector. Feed it operations
+// via Step; Begin/End are ignored (atomicity is Velodrome's business).
+type Detector struct {
+	clocks map[trace.Tid]*vc.Clock // C_t
+	locks  map[trace.Lock]*vc.Clock
+	vars   map[trace.Var]*varState
+	races  []Race
+	idx    int
+}
+
+// New returns an empty detector.
+func New() *Detector {
+	return &Detector{
+		clocks: map[trace.Tid]*vc.Clock{},
+		locks:  map[trace.Lock]*vc.Clock{},
+		vars:   map[trace.Var]*varState{},
+	}
+}
+
+// Races returns the races found so far.
+func (d *Detector) Races() []Race { return d.races }
+
+func (d *Detector) clock(t trace.Tid) *vc.Clock {
+	c := d.clocks[t]
+	if c == nil {
+		c = vc.New()
+		c.Tick(t) // thread starts at time 1 in its own component
+		d.clocks[t] = c
+	}
+	return c
+}
+
+func (d *Detector) state(x trace.Var) *varState {
+	s := d.vars[x]
+	if s == nil {
+		s = &varState{
+			writes: map[trace.Tid]uint64{},
+			reads:  map[trace.Tid]uint64{},
+			lastWr: map[trace.Tid]trace.Op{},
+			lastRd: map[trace.Tid]trace.Op{},
+		}
+		d.vars[x] = s
+	}
+	return s
+}
+
+// Step processes one operation and returns a race if op is the second of
+// an unordered conflicting pair (nil otherwise).
+func (d *Detector) Step(op trace.Op) *Race {
+	defer func() { d.idx++ }()
+	t := op.Thread
+	switch op.Kind {
+	case trace.Acquire:
+		if lc := d.locks[op.Lock()]; lc != nil {
+			d.clock(t).Join(lc)
+		}
+	case trace.Release:
+		d.locks[op.Lock()] = d.clock(t).Copy()
+		d.clock(t).Tick(t)
+	case trace.Fork:
+		u := op.Other()
+		d.clock(u).Join(d.clock(t))
+		d.clock(t).Tick(t)
+	case trace.Join:
+		u := op.Other()
+		d.clock(t).Join(d.clock(u))
+		d.clock(u).Tick(u)
+	case trace.Read:
+		return d.access(op, false)
+	case trace.Write:
+		return d.access(op, true)
+	}
+	return nil
+}
+
+func (d *Detector) access(op trace.Op, isWrite bool) *Race {
+	t, x := op.Thread, op.Var()
+	ct := d.clock(t)
+	s := d.state(x)
+	var racy *trace.Op
+	// A write races with any unordered prior read or write; a read races
+	// with any unordered prior write.
+	for u, tm := range s.writes {
+		if u != t && tm > ct.Get(u) {
+			prior := s.lastWr[u]
+			racy = &prior
+		}
+	}
+	if isWrite {
+		for u, tm := range s.reads {
+			if u != t && tm > ct.Get(u) {
+				prior := s.lastRd[u]
+				racy = &prior
+			}
+		}
+	}
+	now := ct.Get(t)
+	if isWrite {
+		s.writes[t] = now
+		s.lastWr[t] = op
+	} else {
+		s.reads[t] = now
+		s.lastRd[t] = op
+	}
+	ct.Tick(t)
+	if racy != nil {
+		r := Race{OpIndex: d.idx, Op: op, Var: x, Prior: *racy}
+		d.races = append(d.races, r)
+		return &d.races[len(d.races)-1]
+	}
+	return nil
+}
+
+// CheckTrace runs a fresh detector over a whole trace and returns the
+// races found.
+func CheckTrace(tr trace.Trace) []Race {
+	d := New()
+	for _, op := range tr {
+		d.Step(op)
+	}
+	return d.Races()
+}

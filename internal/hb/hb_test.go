@@ -1,0 +1,138 @@
+package hb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sema"
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+func TestUnsynchronizedWritesRace(t *testing.T) {
+	races := CheckTrace(trace.Trace{trace.Wr(1, 0), trace.Wr(2, 0)})
+	if len(races) != 1 {
+		t.Fatalf("races = %v, want 1", races)
+	}
+	if races[0].Var != 0 || races[0].Op.Thread != 2 {
+		t.Errorf("unexpected race %v", races[0])
+	}
+}
+
+func TestReadReadNoRace(t *testing.T) {
+	if races := CheckTrace(trace.Trace{trace.Rd(1, 0), trace.Rd(2, 0)}); len(races) != 0 {
+		t.Fatalf("read-read raced: %v", races)
+	}
+}
+
+func TestLockOrdering(t *testing.T) {
+	tr := trace.Trace{
+		trace.Acq(1, 0), trace.Wr(1, 5), trace.Rel(1, 0),
+		trace.Acq(2, 0), trace.Rd(2, 5), trace.Wr(2, 5), trace.Rel(2, 0),
+	}
+	if races := CheckTrace(tr); len(races) != 0 {
+		t.Fatalf("lock-ordered accesses raced: %v", races)
+	}
+}
+
+func TestLockNotOrderingDifferentLocks(t *testing.T) {
+	tr := trace.Trace{
+		trace.Acq(1, 0), trace.Wr(1, 5), trace.Rel(1, 0),
+		trace.Acq(2, 1), trace.Wr(2, 5), trace.Rel(2, 1),
+	}
+	if races := CheckTrace(tr); len(races) != 1 {
+		t.Fatalf("different locks must not order accesses: %v", races)
+	}
+}
+
+func TestForkJoinOrdering(t *testing.T) {
+	tr := trace.Trace{
+		trace.Wr(1, 0),
+		trace.ForkOp(1, 2),
+		trace.Wr(2, 0), // ordered after parent's write by fork
+		trace.JoinOp(1, 2),
+		trace.Rd(1, 0), // ordered after child's write by join
+	}
+	if races := CheckTrace(tr); len(races) != 0 {
+		t.Fatalf("fork/join-ordered accesses raced: %v", races)
+	}
+}
+
+func TestForkWithoutJoinRaces(t *testing.T) {
+	tr := trace.Trace{
+		trace.ForkOp(1, 2),
+		trace.Wr(2, 0),
+		trace.Wr(1, 0), // concurrent with the child's write
+	}
+	if races := CheckTrace(tr); len(races) != 1 {
+		t.Fatalf("expected one race, got %v", races)
+	}
+}
+
+// TestAgainstVectorClockOracle replays random traces through a naive
+// per-operation vector-clock construction and compares racy pairs.
+func TestAgainstVectorClockOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfg := sema.GenConfig{Threads: 3, OpsPerThd: 5, Vars: 2, Locks: 2, PAtomic: 0, PLock: 0.5}
+	for iter := 0; iter < 200; iter++ {
+		tr := sema.RandomTrace(rng, cfg)
+		got := len(CheckTrace(tr)) > 0
+		want := naiveHasRace(tr)
+		if got != want {
+			t.Fatalf("iter %d: detector %v, oracle %v\n%s", iter, got, want, tr)
+		}
+	}
+}
+
+// naiveHasRace computes a full clock per operation (O(n²) joins) and
+// checks all conflicting access pairs for concurrency.
+func naiveHasRace(tr trace.Trace) bool {
+	tr = tr.Desugar()
+	clocks := make([]*vc.Clock, len(tr))
+	threadClock := map[trace.Tid]*vc.Clock{}
+	lockClock := map[trace.Lock]*vc.Clock{}
+	get := func(t trace.Tid) *vc.Clock {
+		c := threadClock[t]
+		if c == nil {
+			c = vc.New()
+			threadClock[t] = c
+		}
+		return c
+	}
+	for i, op := range tr {
+		c := get(op.Thread)
+		if op.Kind == trace.Acquire {
+			c.Join(lockClock[op.Lock()])
+		}
+		c.Tick(op.Thread)
+		clocks[i] = c.Copy()
+		if op.Kind == trace.Release {
+			lockClock[op.Lock()] = c.Copy()
+		}
+	}
+	for j := 1; j < len(tr); j++ {
+		for i := 0; i < j; i++ {
+			a, b := tr[i], tr[j]
+			if a.Thread == b.Thread {
+				continue
+			}
+			confl := (a.Kind == trace.Write && (b.Kind == trace.Read || b.Kind == trace.Write) ||
+				b.Kind == trace.Write && a.Kind == trace.Read) && a.Target == b.Target
+			if confl && !clocks[i].LessEq(clocks[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestRaceString(t *testing.T) {
+	races := CheckTrace(trace.Trace{trace.Wr(1, 7), trace.Wr(2, 7)})
+	if len(races) == 0 {
+		t.Fatal("expected race")
+	}
+	s := races[0].String()
+	if s == "" {
+		t.Fatal("empty race rendering")
+	}
+}

@@ -1,0 +1,98 @@
+package rr
+
+// Channel is a bounded FIFO built from instrumented primitives (a lock, a
+// ring of cells, and cursor variables) — the queue idiom the server-style
+// benchmarks (hedc, jigsaw) are built around, packaged as part of the
+// substrate API. Every Send and Recv is a sequence of ordinary
+// instrumented operations, so the analyses see exactly the
+// synchronization a hand-written queue would exhibit. Send and Recv
+// block (cooperatively) when the channel is full or empty.
+type Channel struct {
+	mu    *Mutex
+	cells []*Var
+	head  *Var // next index to receive from
+	tail  *Var // next index to send to
+	size  *Var // current occupancy
+	cap   int64
+}
+
+// NewChannel registers a channel with the given capacity (≥1).
+func (rt *Runtime) NewChannel(name string, capacity int) *Channel {
+	if capacity < 1 {
+		capacity = 1
+	}
+	ch := &Channel{
+		mu:   rt.NewMutex(name + ".lock"),
+		head: rt.NewVar(name + ".head"),
+		tail: rt.NewVar(name + ".tail"),
+		size: rt.NewVar(name + ".size"),
+		cap:  int64(capacity),
+	}
+	for i := 0; i < capacity; i++ {
+		ch.cells = append(ch.cells, rt.NewVar(name+".cell"))
+	}
+	return ch
+}
+
+// TrySend appends x if the channel has room, reporting success. The
+// check-and-insert runs under one lock acquisition: atomic.
+func (ch *Channel) TrySend(t *Thread, x int64) bool {
+	ok := false
+	ch.mu.With(t, func() {
+		if ch.size.Load(t) < ch.cap {
+			tail := ch.tail.Load(t)
+			ch.cells[tail%ch.cap].Store(t, x)
+			ch.tail.Store(t, (tail+1)%ch.cap)
+			ch.size.Add(t, 1)
+			ok = true
+		}
+	})
+	return ok
+}
+
+// TryRecv removes the head element if present.
+func (ch *Channel) TryRecv(t *Thread) (int64, bool) {
+	var x int64
+	ok := false
+	ch.mu.With(t, func() {
+		if ch.size.Load(t) > 0 {
+			head := ch.head.Load(t)
+			x = ch.cells[head%ch.cap].Load(t)
+			ch.head.Store(t, (head+1)%ch.cap)
+			ch.size.Add(t, -1)
+			ok = true
+		}
+	})
+	return x, ok
+}
+
+// Send blocks (yielding) until the element is enqueued.
+//
+// Atomicity note: a blocking Send inside an atomic block is genuinely
+// NOT atomic once it actually waits — the unblocking Recv must interleave
+// between the failed attempt and the retry, which is a conflict cycle,
+// and Velodrome will (correctly) report it. This is the transactional-
+// memory rule that transactions must not wait; put the retry loop outside
+// the block and wrap TrySend instead.
+func (ch *Channel) Send(t *Thread, x int64) {
+	for !ch.TrySend(t, x) {
+		t.Yield()
+	}
+}
+
+// Recv blocks (yielding) until an element is available.
+func (ch *Channel) Recv(t *Thread) int64 {
+	for {
+		if x, ok := ch.TryRecv(t); ok {
+			return x
+		}
+		t.Yield()
+	}
+}
+
+// Len returns the current occupancy under the lock.
+func (ch *Channel) Len(t *Thread) int64 {
+	var n int64
+	ch.mu.With(t, func() { n = ch.size.Load(t) })
+	return n
+}

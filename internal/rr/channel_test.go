@@ -1,0 +1,191 @@
+package rr
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestChannelFIFO: items arrive in order through a single producer and
+// consumer, across seeds.
+func TestChannelFIFO(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		var got []int64
+		rep := Run(Options{Seed: seed, Record: true}, func(th *Thread) {
+			ch := th.Runtime().NewChannel("q", 3)
+			prod := th.Fork(func(c *Thread) {
+				for i := int64(1); i <= 8; i++ {
+					ch.Send(c, i)
+				}
+			})
+			cons := th.Fork(func(c *Thread) {
+				for i := 0; i < 8; i++ {
+					got = append(got, ch.Recv(c))
+				}
+			})
+			th.Join(prod)
+			th.Join(cons)
+		})
+		if rep.Deadlocked || rep.Truncated {
+			t.Fatalf("seed %d: bad run %+v", seed, rep)
+		}
+		for i, v := range got {
+			if v != int64(i+1) {
+				t.Fatalf("seed %d: got %v, want 1..8 in order", seed, got)
+			}
+		}
+		if err := trace.Validate(rep.Trace); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestChannelManyToMany: with several producers and consumers, every item
+// is delivered exactly once and Velodrome stays quiet (every channel
+// operation is one critical section — atomic).
+func TestChannelManyToMany(t *testing.T) {
+	velo := NewVelodrome(core.Options{})
+	seen := map[int64]int{}
+	Run(Options{Seed: 3, Backend: velo}, func(th *Thread) {
+		ch := th.Runtime().NewChannel("q", 2)
+		var producers, consumers []*Handle
+		for p := 0; p < 3; p++ {
+			base := int64(p * 100)
+			producers = append(producers, th.Fork(func(c *Thread) {
+				for i := int64(0); i < 5; i++ {
+					// The retry loop stays OUTSIDE the atomic block: only
+					// the non-blocking attempt is atomic (see Send's doc).
+					for {
+						ok := false
+						c.Atomic("Queue.send", func() {
+							ok = ch.TrySend(c, base+i)
+						})
+						if ok {
+							break
+						}
+						c.Yield()
+					}
+				}
+			}))
+		}
+		for cI := 0; cI < 3; cI++ {
+			consumers = append(consumers, th.Fork(func(c *Thread) {
+				for i := 0; i < 5; i++ {
+					for {
+						var v int64
+						ok := false
+						c.Atomic("Queue.recv", func() {
+							v, ok = ch.TryRecv(c)
+						})
+						if ok {
+							seen[v]++
+							break
+						}
+						c.Yield()
+					}
+				}
+			}))
+		}
+		for _, h := range producers {
+			th.Join(h)
+		}
+		for _, h := range consumers {
+			th.Join(h)
+		}
+	})
+	if len(seen) != 15 {
+		t.Fatalf("delivered %d distinct items, want 15", len(seen))
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d delivered %d times", v, n)
+		}
+	}
+	for _, w := range velo.Warnings() {
+		t.Fatalf("false alarm on an atomic channel operation:\n%s", w)
+	}
+}
+
+// TestChannelTryOps: non-blocking variants on a full/empty channel.
+func TestChannelTryOps(t *testing.T) {
+	Run(Options{Seed: 1}, func(th *Thread) {
+		ch := th.Runtime().NewChannel("q", 1)
+		if _, ok := ch.TryRecv(th); ok {
+			t.Error("recv from empty channel succeeded")
+		}
+		if !ch.TrySend(th, 42) {
+			t.Error("send to empty channel failed")
+		}
+		if ch.TrySend(th, 43) {
+			t.Error("send to full channel succeeded")
+		}
+		if n := ch.Len(th); n != 1 {
+			t.Errorf("len = %d", n)
+		}
+		if v, ok := ch.TryRecv(th); !ok || v != 42 {
+			t.Errorf("recv = %d, %v", v, ok)
+		}
+	})
+}
+
+// TestChannelParallel: the channel under real goroutines.
+func TestChannelParallel(t *testing.T) {
+	for iter := 0; iter < 5; iter++ {
+		total := int64(0)
+		rep := Run(Options{Parallel: true}, func(th *Thread) {
+			ch := th.Runtime().NewChannel("q", 4)
+			prod := th.Fork(func(c *Thread) {
+				for i := int64(1); i <= 20; i++ {
+					ch.Send(c, i)
+				}
+			})
+			cons := th.Fork(func(c *Thread) {
+				for i := 0; i < 20; i++ {
+					total += ch.Recv(c)
+				}
+			})
+			th.Join(prod)
+			th.Join(cons)
+		})
+		if rep.Truncated {
+			t.Fatal("truncated")
+		}
+		if total != 210 {
+			t.Fatalf("sum = %d, want 210", total)
+		}
+	}
+}
+
+// TestBlockingSendInsideAtomicIsNotAtomic pins the doc comment's claim:
+// once a Send actually waits inside an atomic block, the unblocking Recv
+// creates a conflict cycle and Velodrome reports the block.
+func TestBlockingSendInsideAtomicIsNotAtomic(t *testing.T) {
+	found := false
+	for seed := int64(1); seed <= 20 && !found; seed++ {
+		velo := NewVelodrome(core.Options{})
+		Run(Options{Seed: seed, Backend: velo}, func(th *Thread) {
+			ch := th.Runtime().NewChannel("q", 1)
+			prod := th.Fork(func(c *Thread) {
+				c.Atomic("Queue.blockingSend", func() {
+					ch.Send(c, 1)
+					ch.Send(c, 2) // must wait for the consumer
+				})
+			})
+			cons := th.Fork(func(c *Thread) {
+				ch.Recv(c)
+				ch.Recv(c)
+			})
+			th.Join(prod)
+			th.Join(cons)
+		})
+		for _, w := range velo.Warnings() {
+			if w.Method() == "Queue.blockingSend" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("a waiting Send inside an atomic block must be reported")
+	}
+}

@@ -1,0 +1,148 @@
+package rr
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Parallel mode runs virtual threads as real goroutines racing under the
+// Go scheduler, serializing only the instrumented operations through a
+// global lock — exactly how RoadRunner deploys on a JVM, where the
+// interleaving is the machine's, not a seed's. The deterministic mode
+// remains the default for the experiments, which need reproducible
+// "five runs"; parallel mode exists to check the analyses against real
+// nondeterminism (and is exercised by tests that run both).
+//
+// Limitations, documented: no deadlock detection (a deadlocked workload
+// hangs, as it would under RoadRunner), and Options.Seed is ignored.
+
+// pruntime is the parallel-mode extension of Runtime.
+type pruntime struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	wg      sync.WaitGroup
+	stopped bool
+}
+
+// runParallel executes main and every forked thread as goroutines.
+func (rt *Runtime) runParallel(main func(*Thread)) {
+	rt.par = &pruntime{}
+	rt.par.cond = sync.NewCond(&rt.par.mu)
+	rt.spawnParallel(main)
+	rt.par.wg.Wait()
+}
+
+func (rt *Runtime) spawnParallel(body func(*Thread)) *thread {
+	p := rt.par
+	rt.nextTid++
+	th := &thread{id: rt.nextTid}
+	rt.threads = append(rt.threads, th)
+	rt.report.Threads++
+	p.wg.Add(1)
+	api := &Thread{rt: rt, th: th}
+	go func() {
+		defer func() {
+			r := recover()
+			p.mu.Lock()
+			th.finished = true
+			if r != nil && rt.panicVal == nil {
+				rt.panicVal = r
+			}
+			p.mu.Unlock()
+			p.cond.Broadcast() // wake joiners
+			p.wg.Done()
+		}()
+		body(api)
+	}()
+	return th
+}
+
+// doParallel performs one instrumented operation under the global lock:
+// wait until the operation is enabled (lock free, join target finished),
+// honor an advisor delay, apply the state change, emit the event.
+func (t *Thread) doParallel(op trace.Op, action func(), finalize func() trace.Op) {
+	rt := t.rt
+	p := rt.par
+	p.mu.Lock()
+	for !rt.opEnabled(t.th, op) && !p.stopped {
+		p.cond.Wait()
+	}
+	if p.stopped {
+		p.mu.Unlock()
+		runtime.Goexit() // truncation: unwind through the deferred cleanup
+	}
+	if rt.opts.Advisor != nil {
+		if d := rt.opts.Advisor.Delay(op); d > 0 {
+			// The paper's 100 ms suspension, scaled by ParkSteps
+			// microseconds; the lock is dropped so other threads can
+			// provoke the witnessing interleaving meanwhile.
+			rt.report.Delays++
+			p.mu.Unlock()
+			time.Sleep(time.Duration(rt.opts.ParkSteps) * 50 * time.Microsecond)
+			p.mu.Lock()
+			for !rt.opEnabled(t.th, op) && !p.stopped {
+				p.cond.Wait()
+			}
+			if p.stopped {
+				p.mu.Unlock()
+				runtime.Goexit()
+			}
+		}
+	}
+	if action != nil {
+		action()
+	}
+	if finalize != nil {
+		op = finalize()
+	}
+	if op.Kind != yieldKind {
+		rt.emit(op)
+	}
+	rt.report.Steps++
+	if rt.report.Steps >= rt.opts.MaxSteps {
+		rt.report.Truncated = true
+		p.stopped = true
+	}
+	release := op.Kind == trace.Release || p.stopped
+	p.mu.Unlock()
+	if release {
+		p.cond.Broadcast() // wake acquire waiters (and everyone on stop)
+	}
+	// Give the Go scheduler a switch point per operation; without it a
+	// goroutine runs whole loops uninterrupted and the "parallel" run is
+	// nearly serial.
+	runtime.Gosched()
+}
+
+// registryLock guards the var/lock registries in parallel mode; the
+// deterministic scheduler already serializes everything.
+func (rt *Runtime) registryLock() {
+	if rt.par != nil {
+		rt.par.mu.Lock()
+	}
+}
+
+func (rt *Runtime) registryUnlock() {
+	if rt.par != nil {
+		rt.par.mu.Unlock()
+	}
+}
+
+// opEnabled is the parallel-mode counterpart of enabled(): may the thread
+// perform op right now? Caller holds the global lock.
+func (rt *Runtime) opEnabled(th *thread, op trace.Op) bool {
+	switch op.Kind {
+	case trace.Acquire:
+		if m := rt.lockByID(op.Lock()); m != nil && m.holder != 0 && m.holder != th.id {
+			return false
+		}
+	case trace.Join:
+		if tgt := rt.threadByID(op.Other()); tgt != nil && !tgt.finished {
+			return false
+		}
+	}
+	return true
+}

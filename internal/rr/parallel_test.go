@@ -1,0 +1,181 @@
+package rr
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serial"
+	"repro/internal/trace"
+)
+
+// TestParallelBasicRun: real goroutines, shared counter under a lock —
+// the final value proves mutual exclusion, the recorded trace must be
+// well formed, and Velodrome must stay quiet.
+func TestParallelBasicRun(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		velo := NewVelodrome(core.Options{})
+		var final int64
+		rep := Run(Options{Parallel: true, Backend: velo, Record: true}, func(th *Thread) {
+			rt := th.Runtime()
+			x := rt.NewVar("x")
+			m := rt.NewMutex("m")
+			var hs []*Handle
+			for i := 0; i < 4; i++ {
+				hs = append(hs, th.Fork(func(c *Thread) {
+					for j := 0; j < 25; j++ {
+						c.Atomic("inc", func() {
+							m.With(c, func() { x.Add(c, 1) })
+						})
+					}
+				}))
+			}
+			for _, h := range hs {
+				th.Join(h)
+			}
+			final = x.Load(th)
+		})
+		if final != 100 {
+			t.Fatalf("iter %d: counter = %d, want 100 (mutual exclusion broken)", iter, final)
+		}
+		if err := trace.Validate(rep.Trace); err != nil {
+			t.Fatalf("iter %d: invalid trace: %v", iter, err)
+		}
+		if len(velo.Warnings()) != 0 {
+			t.Fatalf("iter %d: false alarm on a properly locked counter:\n%v",
+				iter, velo.Warnings()[0])
+		}
+	}
+}
+
+// TestParallelAgreesWithOfflineOracle: whatever interleaving the Go
+// scheduler produces, the online verdict must match the offline oracle on
+// the recorded trace — completeness under real nondeterminism.
+func TestParallelAgreesWithOfflineOracle(t *testing.T) {
+	for iter := 0; iter < 25; iter++ {
+		velo := NewVelodrome(core.Options{})
+		rep := Run(Options{Parallel: true, Backend: velo, Record: true}, func(th *Thread) {
+			rt := th.Runtime()
+			x := rt.NewVar("x")
+			var hs []*Handle
+			for i := 0; i < 3; i++ {
+				hs = append(hs, th.Fork(func(c *Thread) {
+					for j := 0; j < 4; j++ {
+						c.Atomic("rmw", func() {
+							v := x.Load(c)
+							x.Store(c, v+1)
+						})
+					}
+				}))
+			}
+			for _, h := range hs {
+				th.Join(h)
+			}
+		})
+		online := len(velo.Warnings()) == 0
+		offline, _ := serial.Check(rep.Trace)
+		if online != offline {
+			t.Fatalf("iter %d: online serializable=%v offline=%v (%d events)",
+				iter, online, offline, len(rep.Trace))
+		}
+	}
+}
+
+// TestParallelReentrantLock: the re-entrant fast path under real
+// concurrency.
+func TestParallelReentrantLock(t *testing.T) {
+	rep := Run(Options{Parallel: true, Record: true}, func(th *Thread) {
+		m := th.Runtime().NewMutex("m")
+		var hs []*Handle
+		for i := 0; i < 3; i++ {
+			hs = append(hs, th.Fork(func(c *Thread) {
+				for j := 0; j < 10; j++ {
+					m.Lock(c)
+					m.Lock(c)
+					m.Unlock(c)
+					m.Unlock(c)
+				}
+			}))
+		}
+		for _, h := range hs {
+			th.Join(h)
+		}
+	})
+	if err := trace.Validate(rep.Trace); err != nil {
+		t.Fatalf("re-entrant filtering broke the trace: %v", err)
+	}
+}
+
+// TestParallelPanicPropagates: a panic on a worker goroutine must surface
+// through Run.
+func TestParallelPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(Options{Parallel: true}, func(th *Thread) {
+		h := th.Fork(func(c *Thread) {
+			panic("worker exploded")
+		})
+		th.Join(h)
+	})
+}
+
+// TestParallelTruncation: the step limit stops a runaway parallel run.
+func TestParallelTruncation(t *testing.T) {
+	rep := Run(Options{Parallel: true, MaxSteps: 500}, func(th *Thread) {
+		x := th.Runtime().NewVar("x")
+		var hs []*Handle
+		for i := 0; i < 2; i++ {
+			hs = append(hs, th.Fork(func(c *Thread) {
+				for {
+					x.Add(c, 1)
+				}
+			}))
+		}
+		for _, h := range hs {
+			th.Join(h)
+		}
+	})
+	if !rep.Truncated {
+		t.Fatal("runaway parallel run not truncated")
+	}
+}
+
+// TestParallelAdvisorDelays: the adversarial advisor works under real
+// concurrency (sleep-based delays).
+func TestParallelAdvisorDelays(t *testing.T) {
+	found := false
+	for iter := 0; iter < 10 && !found; iter++ {
+		velo := NewVelodrome(core.Options{})
+		adv := NewAtomizerAdvisor()
+		rep := Run(Options{Parallel: true, Backend: Multi{velo, adv}, Advisor: adv, ParkSteps: 20},
+			func(th *Thread) {
+				rt := th.Runtime()
+				x := rt.NewVar("x")
+				var hs []*Handle
+				for i := 0; i < 3; i++ {
+					hs = append(hs, th.Fork(func(c *Thread) {
+						for j := 0; j < 10; j++ {
+							c.Atomic("inc", func() {
+								v := x.Load(c)
+								x.Store(c, v+1)
+							})
+						}
+					}))
+				}
+				for _, h := range hs {
+					th.Join(h)
+				}
+			})
+		_ = rep
+		for _, w := range velo.Warnings() {
+			if w.Method() == "inc" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("adversarial parallel runs never witnessed the racy RMW")
+	}
+}

@@ -1,0 +1,367 @@
+// Package rr is this reproduction's stand-in for RoadRunner, the dynamic
+// analysis framework Velodrome is built on (Section 5). Go has no
+// load-time bytecode instrumentation, so — per the repro plan — programs
+// are written against wrapped synchronization primitives (Var, Mutex,
+// Atomic, Fork/Join) that emit one event per lock acquire/release, memory
+// read/write, and atomic block entry/exit. Events are delivered, already
+// serialized, to a pluggable analysis back-end.
+//
+// Threads are virtual: goroutines scheduled cooperatively, one at a time,
+// by a deterministic seeded scheduler. Every event is a scheduling point,
+// so a seed fully determines the interleaving — the experiments' "five
+// runs" are five seeds. The scheduler understands lock and join blocking,
+// detects deadlock, and supports the adversarial delay policy of
+// Section 5 through an Advisor.
+package rr
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+
+	"repro/internal/trace"
+)
+
+// Backend consumes the serialized event stream, like a RoadRunner
+// analysis back-end. Implementations need not be thread-safe: events
+// arrive from one goroutine at a time.
+type Backend interface {
+	Event(op trace.Op)
+}
+
+// Advisor lets an analysis steer the scheduler (adversarial scheduling,
+// Section 5): before each grant the scheduler asks whether to park the
+// thread that is about to perform op.
+type Advisor interface {
+	Delay(op trace.Op) int
+}
+
+// Options configure one execution.
+type Options struct {
+	// Seed determines the interleaving.
+	Seed int64
+	// Backend receives the event stream; nil runs uninstrumented (the
+	// "Base Time" configuration of Table 1).
+	Backend Backend
+	// Advisor, if non-nil, may delay threads (adversarial scheduling).
+	Advisor Advisor
+	// Record keeps the full trace in the report.
+	Record bool
+	// FilterThreadLocal suppresses events on variables so far touched by
+	// a single thread, as RoadRunner is "typically configured" to do
+	// (Section 5; slightly unsound, dramatically faster). Once a second
+	// thread touches a variable its events flow normally.
+	FilterThreadLocal bool
+	// MaxSteps bounds scheduling decisions (0 = 10,000,000); exceeded
+	// runs report Truncated.
+	MaxSteps int
+	// ParkSteps is how many scheduling decisions an advisor delay parks a
+	// thread for (default 20), the analogue of the paper's 100 ms
+	// suspension. In parallel mode it scales a real sleep instead.
+	ParkSteps int
+	// Parallel runs threads as real goroutines racing under the Go
+	// scheduler, serializing only the instrumented operations — how
+	// RoadRunner actually deploys. Seed is ignored; runs are
+	// nondeterministic; deadlocked workloads hang (no detection).
+	Parallel bool
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Trace      trace.Trace // recorded events (only when Options.Record)
+	Steps      int         // scheduling decisions taken
+	Events     int         // events delivered to the back-end
+	Threads    int         // threads created
+	Delays     int         // advisor-imposed parks
+	Deadlocked bool        // all live threads were blocked
+	Truncated  bool        // MaxSteps exceeded
+}
+
+type thread struct {
+	id       trace.Tid
+	resume   chan struct{}
+	pending  trace.Op // next operation; valid while !finished
+	action   func()   // state mutation to run when granted
+	finished bool
+	park     int  // scheduling decisions left parked
+	delayed  bool // pending op already delayed once; execute it next time
+}
+
+var debugCands func(n int, delayed bool)
+
+// Runtime owns the virtual threads, the shared-state registry and the
+// event pipe. Workloads reach it through *Thread.
+type Runtime struct {
+	opts     Options
+	rng      *rand.Rand
+	threads  []*thread
+	locks    []*Mutex
+	nextTid  trace.Tid
+	nextVar  trace.Var
+	varNames map[trace.Var]string
+	lockNms  map[trace.Lock]string
+	owner    map[trace.Var]trace.Tid // thread-local filter state
+	ctl      chan *thread
+	aborted  bool
+	panicVal any
+	par      *pruntime // set in parallel mode
+	report   Report
+}
+
+// Run executes main as virtual thread 1 under the options and returns the
+// report once every thread has finished (or on deadlock/truncation, after
+// tearing the remaining virtual threads down).
+func Run(opts Options, main func(*Thread)) *Report {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 10_000_000
+	}
+	if opts.ParkSteps == 0 {
+		opts.ParkSteps = 20
+	}
+	rt := &Runtime{
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		varNames: map[trace.Var]string{},
+		lockNms:  map[trace.Lock]string{},
+		owner:    map[trace.Var]trace.Tid{},
+		ctl:      make(chan *thread),
+	}
+	if opts.Parallel {
+		rt.runParallel(main)
+	} else {
+		rt.spawn(main)
+		rt.loop()
+		rt.teardown()
+	}
+	if rt.panicVal != nil {
+		panic(rt.panicVal) // propagate a virtual thread's panic to the caller
+	}
+	return &rt.report
+}
+
+// spawn creates a virtual thread. Its goroutine waits for an initial
+// grant, runs the body, and announces termination over ctl.
+func (rt *Runtime) spawn(body func(*Thread)) *thread {
+	rt.nextTid++
+	th := &thread{id: rt.nextTid, resume: make(chan struct{})}
+	rt.threads = append(rt.threads, th)
+	rt.report.Threads++
+	api := &Thread{rt: rt, th: th}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				// Surface the workload's panic through Run instead of
+				// killing the process from a helper goroutine.
+				if rt.panicVal == nil {
+					rt.panicVal = r
+				}
+				th.finished = true
+				rt.ctl <- th
+			}
+		}()
+		<-th.resume
+		if rt.aborted {
+			runtime.Goexit()
+		}
+		body(api)
+		th.finished = true
+		rt.ctl <- th
+	}()
+	return th
+}
+
+// loop is the scheduler: repeatedly pick an enabled thread, grant it one
+// operation, and wait for it to publish its next one.
+func (rt *Runtime) loop() {
+	live := 0
+	for _, th := range rt.threads {
+		rt.admit(th)
+		live++
+		if th.finished {
+			live--
+		}
+	}
+	for live > 0 {
+		if rt.panicVal != nil {
+			return
+		}
+		if rt.report.Steps >= rt.opts.MaxSteps {
+			rt.report.Truncated = true
+			return
+		}
+		cands := rt.enabled()
+		if len(cands) == 0 {
+			if rt.unparkAll() {
+				continue
+			}
+			rt.report.Deadlocked = true
+			return
+		}
+		th := cands[rt.rng.Intn(len(cands))]
+		rt.report.Steps++
+		if debugCands != nil {
+			debugCands(len(cands), th.delayed)
+		}
+		rt.tickParks()
+		// Consult the advisor unless the op was already delayed once or
+		// no other thread could use the pause to interleave.
+		if rt.opts.Advisor != nil && !th.delayed && len(cands) > 1 {
+			if d := rt.opts.Advisor.Delay(th.pending); d > 0 {
+				th.park = rt.opts.ParkSteps
+				th.delayed = true
+				rt.report.Delays++
+				continue
+			}
+		}
+		th.delayed = false
+		before := len(rt.threads)
+		th.resume <- struct{}{} // grant: thread performs one operation
+		<-rt.ctl                // thread publishes next op or finishes
+		if th.finished {
+			live--
+		}
+		for _, nw := range rt.threads[before:] {
+			rt.admit(nw)
+			live++
+			if nw.finished {
+				live--
+			}
+		}
+	}
+}
+
+// admit gives a fresh thread its initial free grant so it runs up to its
+// first operation (or completion) and publishes it.
+func (rt *Runtime) admit(th *thread) {
+	th.resume <- struct{}{}
+	<-rt.ctl
+}
+
+// teardown unblocks any still-parked goroutines after deadlock or
+// truncation so they exit instead of leaking.
+func (rt *Runtime) teardown() {
+	rt.aborted = true
+	for _, th := range rt.threads {
+		if !th.finished {
+			th.resume <- struct{}{}
+		}
+	}
+}
+
+// enabled returns the threads whose pending operation can execute now:
+// acquires need the lock free (or re-entrantly held), joins need the
+// target finished, parked threads wait out their delay.
+func (rt *Runtime) enabled() []*thread {
+	var out []*thread
+	for _, th := range rt.threads {
+		if th.finished || th.park > 0 {
+			continue
+		}
+		switch th.pending.Kind {
+		case trace.Acquire:
+			if m := rt.lockByID(th.pending.Lock()); m != nil &&
+				m.holder != 0 && m.holder != th.id {
+				continue
+			}
+		case trace.Join:
+			if tgt := rt.threadByID(th.pending.Other()); tgt != nil && !tgt.finished {
+				continue
+			}
+		}
+		out = append(out, th)
+	}
+	return out
+}
+
+func (rt *Runtime) tickParks() {
+	for _, th := range rt.threads {
+		if th.park > 0 {
+			th.park--
+		}
+	}
+}
+
+// unparkAll clears parks; reports whether any thread was parked.
+func (rt *Runtime) unparkAll() bool {
+	any := false
+	for _, th := range rt.threads {
+		if th.park > 0 {
+			th.park = 0
+			any = true
+		}
+	}
+	return any
+}
+
+func (rt *Runtime) lockByID(id trace.Lock) *Mutex {
+	if i := int(id); i >= 0 && i < len(rt.locks) {
+		return rt.locks[i]
+	}
+	return nil
+}
+
+func (rt *Runtime) threadByID(id trace.Tid) *thread {
+	if i := int(id) - 1; i >= 0 && i < len(rt.threads) {
+		return rt.threads[i]
+	}
+	return nil
+}
+
+// wakeConflicting releases parked threads whose pending operation
+// conflicts with the operation that just executed: the park exists to
+// provoke exactly such an interleaving, so once the conflicting operation
+// has landed there is nothing left to wait for. (The paper uses a fixed
+// 100 ms suspension; at our scales a fixed long park would serialize the
+// run instead, see DESIGN.md.)
+func (rt *Runtime) wakeConflicting(op trace.Op) {
+	for _, th := range rt.threads {
+		if th.park > 0 && trace.Conflicts(op, th.pending) {
+			th.park = 0
+		}
+	}
+}
+
+// emit delivers an event to the back-end, honoring the thread-local
+// filter, and records it if requested.
+func (rt *Runtime) emit(op trace.Op) {
+	if rt.opts.FilterThreadLocal && (op.Kind == trace.Read || op.Kind == trace.Write) {
+		x := op.Var()
+		own, seen := rt.owner[x]
+		switch {
+		case !seen:
+			rt.owner[x] = op.Thread
+			return // first toucher: filtered
+		case own == op.Thread:
+			return // still thread-local: filtered
+		case own != -1:
+			rt.owner[x] = -1 // shared from here on
+		}
+	}
+	rt.report.Events++
+	if rt.opts.Backend != nil {
+		rt.opts.Backend.Event(op)
+	}
+	if rt.opts.Record {
+		rt.report.Trace = append(rt.report.Trace, op)
+	}
+	rt.wakeConflicting(op)
+}
+
+// VarName returns the registered name of a variable id.
+func (rt *Runtime) VarName(x trace.Var) string {
+	if n, ok := rt.varNames[x]; ok {
+		return n
+	}
+	return fmt.Sprintf("x%d", x)
+}
+
+// LockName returns the registered name of a lock id.
+func (rt *Runtime) LockName(m trace.Lock) string {
+	if n, ok := rt.lockNms[m]; ok {
+		return n
+	}
+	return fmt.Sprintf("m%d", m)
+}
+
+// DebugCands installs a test hook observing each scheduling decision.
+func DebugCands(f func(n int, delayed bool)) { debugCands = f }

@@ -1,0 +1,130 @@
+package sema
+
+import "repro/internal/trace"
+
+// Interleavings enumerates every feasible trace of the program (every
+// maximal interleaving the [STD STEP] relation admits), invoking visit on
+// each; visit returning false stops the enumeration early. The number of
+// interleavings is exponential, so limit bounds how many are visited
+// (0 = no bound). It returns the number visited and whether enumeration
+// was exhaustive (neither stopped by visit nor by the limit; deadlocked
+// branches still count as exhaustively explored — their partial traces
+// are visited).
+//
+// This is a tiny model checker: workload idioms whose atomicity must hold
+// in *every* schedule (barrier phases, fork/join ownership, flag
+// handoffs) are validated against it in the tests.
+func Interleavings(p Program, limit int, visit func(tr trace.Trace) bool) (visited int, exhaustive bool) {
+	var tids []trace.Tid
+	for t := range p {
+		tids = append(tids, t)
+	}
+	for i := 1; i < len(tids); i++ {
+		for j := i; j > 0 && tids[j] < tids[j-1]; j-- {
+			tids[j], tids[j-1] = tids[j-1], tids[j]
+		}
+	}
+	total := 0
+	for _, ops := range p {
+		total += len(ops)
+	}
+	pc := map[trace.Tid]int{}
+	s := NewStore()
+	cur := make(trace.Trace, 0, total)
+	exhaustive = true
+
+	// Fork/join structure: a forked thread may not step before its fork
+	// executes; a join is enabled only once the target has finished.
+	type forkSite struct {
+		parent trace.Tid
+		index  int
+	}
+	forkedBy := map[trace.Tid]forkSite{}
+	for t, ops := range p {
+		for i, op := range ops {
+			if op.Kind == trace.Fork {
+				forkedBy[op.Other()] = forkSite{parent: t, index: i}
+			}
+		}
+	}
+	stepEnabled := func(t trace.Tid, op trace.Op) bool {
+		if fs, ok := forkedBy[t]; ok && pc[fs.parent] <= fs.index {
+			return false // not forked yet
+		}
+		if op.Kind == trace.Join {
+			u := op.Other()
+			return pc[u] >= len(p[u])
+		}
+		return s.Enabled(op)
+	}
+
+	var rec func() bool // false = stop everything
+	rec = func() bool {
+		if limit > 0 && visited >= limit {
+			exhaustive = false
+			return false
+		}
+		progressed := false
+		for _, t := range tids {
+			i := pc[t]
+			if i >= len(p[t]) {
+				continue
+			}
+			op := p[t][i]
+			if !stepEnabled(t, op) {
+				continue
+			}
+			progressed = true
+			// Apply.
+			var undo func()
+			switch op.Kind {
+			case trace.Acquire:
+				s.Locks[op.Lock()] = t
+				undo = func() { delete(s.Locks, op.Lock()) }
+			case trace.Release:
+				delete(s.Locks, op.Lock())
+				undo = func() { s.Locks[op.Lock()] = t }
+			default:
+				undo = func() {}
+			}
+			pc[t] = i + 1
+			cur = append(cur, op)
+			ok := rec()
+			cur = cur[:len(cur)-1]
+			pc[t] = i
+			undo()
+			if !ok {
+				return false
+			}
+		}
+		if !progressed {
+			// Maximal trace (complete or deadlocked prefix).
+			visited++
+			out := make(trace.Trace, len(cur))
+			copy(out, cur)
+			if !visit(out) {
+				exhaustive = false
+				return false
+			}
+		}
+		return true
+	}
+	rec()
+	return visited, exhaustive
+}
+
+// AllTraces reports whether every feasible trace of the program (up to
+// limit interleavings) satisfies pred; it returns the first failing
+// trace, and whether the enumeration covered everything.
+func AllTraces(p Program, limit int, pred func(trace.Trace) bool) (ok bool, witness trace.Trace, exhaustive bool) {
+	ok = true
+	_, exhaustive = Interleavings(p, limit, func(tr trace.Trace) bool {
+		if !pred(tr) {
+			ok = false
+			witness = tr
+			return false
+		}
+		return true
+	})
+	return ok, witness, exhaustive
+}

@@ -1,0 +1,214 @@
+package sema
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func serializable(tr trace.Trace) bool {
+	return core.CheckTrace(tr, core.Options{FirstOnly: true}).Serializable
+}
+
+// TestEnumerateCounts: two independent 2-op threads have C(4,2) = 6
+// interleavings.
+func TestEnumerateCounts(t *testing.T) {
+	p := Program{
+		1: {trace.Rd(1, 0), trace.Rd(1, 1)},
+		2: {trace.Rd(2, 2), trace.Rd(2, 3)},
+	}
+	n, exhaustive := Interleavings(p, 0, func(trace.Trace) bool { return true })
+	if n != 6 || !exhaustive {
+		t.Fatalf("visited %d (exhaustive=%v), want 6", n, exhaustive)
+	}
+}
+
+// TestEnumerateRespectsLocks: a fully locked pair of transactions has no
+// interleaving that splits a critical section across the other's.
+func TestEnumerateRespectsLocks(t *testing.T) {
+	mk := func(tid trace.Tid) []trace.Op {
+		return []trace.Op{
+			trace.Acq(tid, 0), trace.Rd(tid, 0), trace.Wr(tid, 0), trace.Rel(tid, 0),
+		}
+	}
+	p := Program{1: mk(1), 2: mk(2)}
+	_, exhaustive := Interleavings(p, 0, func(tr trace.Trace) bool {
+		if err := trace.Validate(tr); err != nil {
+			t.Fatalf("infeasible trace enumerated: %v", err)
+		}
+		return true
+	})
+	if !exhaustive {
+		t.Fatal("enumeration should be exhaustive")
+	}
+}
+
+// TestEnumerateRespectsForkJoin: a forked thread never steps before the
+// fork, a join never before the child finishes.
+func TestEnumerateRespectsForkJoin(t *testing.T) {
+	p := Program{
+		1: {trace.Wr(1, 0), trace.ForkOp(1, 2), trace.JoinOp(1, 2), trace.Rd(1, 0)},
+		2: {trace.Wr(2, 0)},
+	}
+	n, exhaustive := Interleavings(p, 0, func(tr trace.Trace) bool {
+		if err := trace.Validate(tr); err != nil {
+			t.Fatalf("infeasible trace: %v\n%s", err, tr)
+		}
+		return true
+	})
+	// The child's single op is pinned between fork and join: exactly one
+	// interleaving.
+	if n != 1 || !exhaustive {
+		t.Fatalf("visited %d (exhaustive=%v), want 1", n, exhaustive)
+	}
+}
+
+// TestModelCheckTwoPhaseLocking: the philosopher's eat (all locks held
+// across the whole transaction) is serializable in EVERY schedule — the
+// ground-truth claim behind the workloads' Atomic labels.
+func TestModelCheckTwoPhaseLocking(t *testing.T) {
+	mk := func(tid trace.Tid) []trace.Op {
+		return []trace.Op{
+			trace.Beg(tid, "eat"),
+			trace.Acq(tid, 0), trace.Acq(tid, 1),
+			trace.Rd(tid, 0), trace.Wr(tid, 0),
+			trace.Rel(tid, 1), trace.Rel(tid, 0),
+			trace.Fin(tid),
+		}
+	}
+	p := Program{1: mk(1), 2: mk(2)}
+	ok, witness, exhaustive := AllTraces(p, 0, serializable)
+	if !exhaustive {
+		t.Fatal("not exhaustive")
+	}
+	if !ok {
+		t.Fatalf("2PL transaction not serializable under:\n%s", witness)
+	}
+}
+
+// TestModelCheckForkJoinShard: the fork/join bait idiom of the workloads
+// — parent initializes a slot, child RMWs it, parent reads after join —
+// is serializable in EVERY schedule, so the Atomizer's warning on it is
+// provably a false alarm.
+func TestModelCheckForkJoinShard(t *testing.T) {
+	p := Program{
+		1: {
+			trace.Wr(1, 0), // parent init
+			trace.ForkOp(1, 2),
+			trace.JoinOp(1, 2),
+			trace.Rd(1, 0), // parent reduce
+		},
+		2: {
+			trace.Beg(2, "Worker.stats"),
+			trace.Rd(2, 0), trace.Wr(2, 0), // the "racy-looking" RMW
+			trace.Rd(2, 0), trace.Wr(2, 0),
+			trace.Fin(2),
+		},
+	}
+	ok, witness, exhaustive := AllTraces(p, 0, serializable)
+	if !exhaustive {
+		t.Fatal("not exhaustive")
+	}
+	if !ok {
+		t.Fatalf("fork/join shard idiom violated under:\n%s", witness)
+	}
+}
+
+// TestModelCheckBarrierPhases: the double-buffered stencil idiom (sor):
+// reads of the shared buffer in phase 1, barrier, owner writes in phase
+// 2. With the barrier modeled as fork/join (its ordering content), every
+// schedule is serializable.
+func TestModelCheckBarrierPhases(t *testing.T) {
+	p := Program{
+		1: { // coordinator: phase 1 runs children, then phase 2 writes
+			trace.ForkOp(1, 2), trace.ForkOp(1, 3),
+			trace.JoinOp(1, 2), trace.JoinOp(1, 3),
+			trace.Beg(1, "publish"), trace.Wr(1, 0), trace.Wr(1, 1), trace.Fin(1),
+		},
+		2: {trace.Beg(2, "relax"), trace.Rd(2, 0), trace.Rd(2, 1), trace.Wr(2, 2), trace.Fin(2)},
+		3: {trace.Beg(3, "relax"), trace.Rd(3, 0), trace.Rd(3, 1), trace.Wr(3, 3), trace.Fin(3)},
+	}
+	ok, witness, exhaustive := AllTraces(p, 0, serializable)
+	if !exhaustive {
+		t.Fatal("not exhaustive")
+	}
+	if !ok {
+		t.Fatalf("barrier-phase idiom violated under:\n%s", witness)
+	}
+}
+
+// TestModelCheckRMWHasViolation: the unprotected RMW idiom has at least
+// one non-serializable schedule (the NonAtomic ground truth), and the
+// witness is confirmed by the checker.
+func TestModelCheckRMWHasViolation(t *testing.T) {
+	mk := func(tid trace.Tid) []trace.Op {
+		return []trace.Op{
+			trace.Beg(tid, "inc"), trace.Rd(tid, 0), trace.Wr(tid, 0), trace.Fin(tid),
+		}
+	}
+	p := Program{1: mk(1), 2: mk(2)}
+	// The enumeration stops at the first witness, so exhaustive=false is
+	// expected on the failing side.
+	ok, witness, _ := AllTraces(p, 0, serializable)
+	if ok {
+		t.Fatal("unprotected RMW pair must have a non-serializable schedule")
+	}
+	if len(witness) == 0 {
+		t.Fatal("missing witness")
+	}
+}
+
+// TestModelCheckSplitLockTransfer: the bank example's broken transfer
+// (per-account locks taken separately) has a non-serializable schedule
+// against a locked audit; the fixed 2PL transfer does not.
+func TestModelCheckSplitLockTransfer(t *testing.T) {
+	audit := []trace.Op{
+		trace.Beg(3, "audit"),
+		trace.Acq(3, 0), trace.Acq(3, 1),
+		trace.Rd(3, 0), trace.Rd(3, 1),
+		trace.Rel(3, 1), trace.Rel(3, 0),
+		trace.Fin(3),
+	}
+	broken := Program{
+		1: {
+			trace.Beg(1, "transfer"),
+			trace.Acq(1, 0), trace.Rd(1, 0), trace.Wr(1, 0), trace.Rel(1, 0),
+			trace.Acq(1, 1), trace.Rd(1, 1), trace.Wr(1, 1), trace.Rel(1, 1),
+			trace.Fin(1),
+		},
+		3: audit,
+	}
+	if ok, _, _ := AllTraces(broken, 0, serializable); ok {
+		t.Fatal("split-lock transfer must have a violating schedule")
+	}
+	fixed := Program{
+		1: {
+			trace.Beg(1, "transfer"),
+			trace.Acq(1, 0), trace.Acq(1, 1),
+			trace.Rd(1, 0), trace.Wr(1, 0), trace.Rd(1, 1), trace.Wr(1, 1),
+			trace.Rel(1, 1), trace.Rel(1, 0),
+			trace.Fin(1),
+		},
+		3: audit,
+	}
+	ok, witness, exhaustive := AllTraces(fixed, 0, serializable)
+	if !exhaustive {
+		t.Fatal("not exhaustive")
+	}
+	if !ok {
+		t.Fatalf("2PL transfer violated under:\n%s", witness)
+	}
+}
+
+// TestEnumerateLimit stops at the bound.
+func TestEnumerateLimit(t *testing.T) {
+	p := Program{
+		1: {trace.Rd(1, 0), trace.Rd(1, 1), trace.Rd(1, 2)},
+		2: {trace.Rd(2, 3), trace.Rd(2, 4), trace.Rd(2, 5)},
+	}
+	n, exhaustive := Interleavings(p, 5, func(trace.Trace) bool { return true })
+	if n != 5 || exhaustive {
+		t.Fatalf("visited %d exhaustive=%v, want 5/false", n, exhaustive)
+	}
+}

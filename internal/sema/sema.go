@@ -1,0 +1,94 @@
+// Package sema gives the formal semantics of Section 2 an executable form:
+// a global store mapping variables to values and locks to holders, the
+// [ACT ...] transition rules for single operations, and the [STD STEP]
+// interleaving relation for whole programs. It also generates random
+// well-formed programs and feasible interleavings of them, which drive the
+// property-based differential tests of the analyses.
+package sema
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Value is the contents of a shared variable.
+type Value int64
+
+// NoHolder marks a free lock (the paper's ⊥ holder).
+const NoHolder trace.Tid = -1
+
+// GlobalStore is the shared state σ: variable values and lock holders.
+type GlobalStore struct {
+	Vars  map[trace.Var]Value
+	Locks map[trace.Lock]trace.Tid
+}
+
+// NewStore returns the initial store σ₀ (all variables zero, all locks free).
+func NewStore() *GlobalStore {
+	return &GlobalStore{
+		Vars:  map[trace.Var]Value{},
+		Locks: map[trace.Lock]trace.Tid{},
+	}
+}
+
+// Holder returns the thread holding lock m, or NoHolder.
+func (s *GlobalStore) Holder(m trace.Lock) trace.Tid {
+	if t, ok := s.Locks[m]; ok {
+		return t
+	}
+	return NoHolder
+}
+
+// Enabled reports whether operation a is applicable in the current store
+// (the premises of the [ACT ...] rules): an acquire requires the lock to
+// be free, a release requires the thread to hold it; all other operations
+// are always enabled.
+func (s *GlobalStore) Enabled(a trace.Op) bool {
+	switch a.Kind {
+	case trace.Acquire:
+		return s.Holder(a.Lock()) == NoHolder
+	case trace.Release:
+		return s.Holder(a.Lock()) == a.Thread
+	}
+	return true
+}
+
+// Apply performs operation a on the store, implementing [ACT READ],
+// [ACT WRITE], [ACT ACQUIRE], [ACT RELEASE] and [ACT OTHER]. For reads it
+// returns the value read; for writes the value written is the operation's
+// position stamp v. It returns an error if the operation is not enabled.
+func (s *GlobalStore) Apply(a trace.Op, v Value) (Value, error) {
+	if !s.Enabled(a) {
+		return 0, fmt.Errorf("sema: %s not enabled (lock holder %d)", a, s.Holder(a.Lock()))
+	}
+	switch a.Kind {
+	case trace.Read:
+		return s.Vars[a.Var()], nil // [ACT READ]: σ(x) = v
+	case trace.Write:
+		s.Vars[a.Var()] = v // [ACT WRITE]: σ[x := v]
+		return v, nil
+	case trace.Acquire:
+		s.Locks[a.Lock()] = a.Thread // [ACT ACQUIRE]: σ[m := t]
+	case trace.Release:
+		delete(s.Locks, a.Lock()) // [ACT RELEASE]: σ[m := ⊥]
+	}
+	return 0, nil // [ACT OTHER]
+}
+
+// Exec runs a whole trace from the initial state, returning the final
+// store, or an error at the first inapplicable operation. It is the
+// relation S₀ →ᵅ Sₙ restricted to the global store (local stores are the
+// threads' positions in the trace itself).
+func Exec(tr trace.Trace) (*GlobalStore, error) {
+	s := NewStore()
+	for i, a := range tr {
+		if a.Kind == trace.Fork || a.Kind == trace.Join {
+			continue // thread management; modeled by Desugar for analyses
+		}
+		if _, err := s.Apply(a, Value(i)); err != nil {
+			return nil, fmt.Errorf("op %d: %w", i, err)
+		}
+	}
+	return s, nil
+}

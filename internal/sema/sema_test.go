@@ -1,0 +1,151 @@
+package sema
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func TestStoreSemantics(t *testing.T) {
+	s := NewStore()
+	if !s.Enabled(trace.Acq(1, 0)) {
+		t.Fatal("free lock must be acquirable")
+	}
+	if _, err := s.Apply(trace.Acq(1, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Holder(0) != 1 {
+		t.Fatalf("holder = %d", s.Holder(0))
+	}
+	if s.Enabled(trace.Acq(2, 0)) {
+		t.Fatal("held lock must not be acquirable ([ACT ACQUIRE] premise)")
+	}
+	if s.Enabled(trace.Rel(2, 0)) {
+		t.Fatal("non-holder must not release ([ACT RELEASE] premise)")
+	}
+	if _, err := s.Apply(trace.Rel(1, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Holder(0) != NoHolder {
+		t.Fatal("lock should be free after release")
+	}
+}
+
+func TestReadSeesLastWrite(t *testing.T) {
+	s := NewStore()
+	if v, _ := s.Apply(trace.Rd(1, 5), 0); v != 0 {
+		t.Fatalf("initial read = %d, want 0", v)
+	}
+	s.Apply(trace.Wr(2, 5), 42)
+	if v, _ := s.Apply(trace.Rd(1, 5), 0); v != 42 {
+		t.Fatalf("read after write = %d, want 42", v)
+	}
+}
+
+func TestExecRejectsIllFormed(t *testing.T) {
+	_, err := Exec(trace.Trace{trace.Rel(1, 0)})
+	if err == nil {
+		t.Fatal("Exec must reject release of a free lock")
+	}
+}
+
+func TestExecFinalStore(t *testing.T) {
+	tr := trace.Trace{
+		trace.Acq(1, 0),
+		trace.Wr(1, 3), // value = index 1
+		trace.Rel(1, 0),
+		trace.Wr(2, 3), // value = index 3
+	}
+	s, err := Exec(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Vars[3] != 3 {
+		t.Fatalf("x3 = %d, want 3 (last write's stamp)", s.Vars[3])
+	}
+	if len(s.Locks) != 0 {
+		t.Fatal("all locks should be free at the end")
+	}
+}
+
+func TestInterleaveIsFeasibleAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		prog := RandomProgram(rng, DefaultGenConfig())
+		total := 0
+		for _, ops := range prog {
+			total += len(ops)
+		}
+		tr, ok := prog.Interleave(rng)
+		if !ok {
+			t.Fatalf("iter %d: deadlock in single-lock-at-a-time program", i)
+		}
+		if len(tr) != total {
+			t.Fatalf("iter %d: %d of %d ops scheduled", i, len(tr), total)
+		}
+		if err := trace.Validate(tr); err != nil {
+			t.Fatalf("iter %d: infeasible trace: %v", i, err)
+		}
+		if _, err := Exec(tr); err != nil {
+			t.Fatalf("iter %d: semantics reject generated trace: %v", i, err)
+		}
+	}
+}
+
+func TestInterleaveDeterministicForSeed(t *testing.T) {
+	p1 := RandomProgram(rand.New(rand.NewSource(9)), DefaultGenConfig())
+	p2 := RandomProgram(rand.New(rand.NewSource(9)), DefaultGenConfig())
+	t1, _ := p1.Interleave(rand.New(rand.NewSource(10)))
+	t2, _ := p2.Interleave(rand.New(rand.NewSource(10)))
+	if t1.String() != t2.String() {
+		t.Fatal("same seeds must reproduce the same trace")
+	}
+}
+
+func TestInterleaveReportsDeadlock(t *testing.T) {
+	// Classic lock-order inversion, forced by interleaving both first
+	// acquires before either second acquire can run.
+	prog := Program{
+		1: {trace.Acq(1, 0), trace.Acq(1, 1), trace.Rel(1, 1), trace.Rel(1, 0)},
+		2: {trace.Acq(2, 1), trace.Acq(2, 0), trace.Rel(2, 0), trace.Rel(2, 1)},
+	}
+	deadlocked := false
+	for seed := int64(0); seed < 50; seed++ {
+		if _, ok := prog.Interleave(rand.New(rand.NewSource(seed))); !ok {
+			deadlocked = true
+			break
+		}
+	}
+	if !deadlocked {
+		t.Fatal("deadlock never observed across 50 seeds")
+	}
+}
+
+func TestQuickGeneratedTracesAreWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := RandomTrace(rng, DefaultGenConfig())
+		return trace.Validate(tr) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := Program{
+		2: {trace.Rd(2, 0)},
+		1: {trace.Beg(1, "m"), trace.Fin(1)},
+	}
+	s := p.String()
+	if !strings.Contains(s, "thread 1:") || !strings.Contains(s, "begin.m(1)") ||
+		!strings.Contains(s, "thread 2:") {
+		t.Fatalf("rendering:\n%s", s)
+	}
+	if strings.Index(s, "thread 1:") > strings.Index(s, "thread 2:") {
+		t.Error("threads must render in id order")
+	}
+}

@@ -1,0 +1,115 @@
+package serial
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestCheckEmptyAndTrivial: edge inputs.
+func TestCheckEmptyAndTrivial(t *testing.T) {
+	if ok, cyc := Check(nil); !ok || cyc != nil {
+		t.Fatal("empty trace must be serializable")
+	}
+	if ok, _ := Check(trace.Trace{trace.Rd(1, 0)}); !ok {
+		t.Fatal("single op must be serializable")
+	}
+	if ok, _ := Check(trace.Trace{trace.Beg(1, "a"), trace.Fin(1)}); !ok {
+		t.Fatal("empty transaction must be serializable")
+	}
+}
+
+// TestCheckUnterminatedTransaction: a block still open at the end of the
+// trace is a transaction "up to the end of the trace" (Section 2).
+func TestCheckUnterminatedTransaction(t *testing.T) {
+	x := trace.Var(0)
+	tr := trace.Trace{
+		trace.Beg(1, "open"),
+		trace.Rd(1, x),
+		trace.Wr(2, x),
+		trace.Wr(1, x), // no end(1): still one transaction
+	}
+	if ok, _ := Check(tr); ok {
+		t.Fatal("open transaction's cycle missed")
+	}
+}
+
+// TestCheckThreeWayCycle: a cycle that needs three transactions — no
+// single pair conflicts in both directions.
+func TestCheckThreeWayCycle(t *testing.T) {
+	x, y, z := trace.Var(0), trace.Var(1), trace.Var(2)
+	tr := trace.Trace{
+		trace.Beg(1, "A"), trace.Beg(2, "B"), trace.Beg(3, "C"),
+		trace.Wr(1, x), // A writes x
+		trace.Rd(2, x), // A ⇒ B
+		trace.Wr(2, y), // B writes y
+		trace.Rd(3, y), // B ⇒ C
+		trace.Wr(3, z), // C writes z
+		trace.Rd(1, z), // C ⇒ A: cycle
+		trace.Fin(1), trace.Fin(2), trace.Fin(3),
+	}
+	ok, cyc := Check(tr)
+	if ok {
+		t.Fatal("three-way cycle missed")
+	}
+	if len(cyc) != 3 {
+		t.Fatalf("cycle witness %v, want 3 transactions", cyc)
+	}
+	// Removing the closing read breaks the cycle.
+	fixed := append(append(trace.Trace{}, tr[:8]...), tr[9:]...)
+	if ok, _ := Check(fixed); !ok {
+		t.Fatal("acyclic variant judged non-serializable")
+	}
+}
+
+// TestSwapCheckLockPairOrdering: two-phase-locked transactions pass, the
+// early-release variant fails — the swap search must distinguish them.
+func TestSwapCheckLockPairOrdering(t *testing.T) {
+	x, y := trace.Var(0), trace.Var(1)
+	m := trace.Lock(0)
+	earlyRelease := trace.Trace{
+		trace.Beg(1, "t"),
+		trace.Acq(1, m), trace.Rd(1, x), trace.Rel(1, m),
+		trace.Beg(2, "u"),
+		trace.Acq(2, m), trace.Wr(2, x), trace.Wr(2, y), trace.Rel(2, m),
+		trace.Fin(2),
+		trace.Acq(1, m), trace.Rd(1, y), trace.Rel(1, m),
+		trace.Fin(1),
+	}
+	if SwapCheck(earlyRelease) {
+		t.Fatal("early-release interleaving must not be serializable")
+	}
+}
+
+// TestSpanOracleWholeTrace: a span covering a thread's whole activity
+// reduces to its self-serializability.
+func TestSpanOracleWholeTrace(t *testing.T) {
+	x := trace.Var(0)
+	tr := trace.Trace{
+		trace.Rd(1, x),
+		trace.Wr(2, x),
+		trace.Wr(1, x),
+	}
+	if SpanSelfSerializable(tr, 1, 0, 2) {
+		t.Fatal("split RMW span must not be self-serializable")
+	}
+	if !SpanSelfSerializable(tr, 2, 1, 1) {
+		t.Fatal("single-op span is trivially self-serializable")
+	}
+	if !SpanSelfSerializable(tr, 1, 2, 2) {
+		t.Fatal("suffix span excluding the read is self-serializable")
+	}
+}
+
+// TestTransactionsUnterminated: ids stay consistent when blocks never
+// close.
+func TestTransactionsUnterminated(t *testing.T) {
+	tr := trace.Trace{
+		trace.Beg(1, "a"), trace.Rd(1, 0),
+		trace.Beg(2, "b"), trace.Rd(2, 0),
+	}
+	txnOf, n := Transactions(tr)
+	if n != 2 || txnOf[0] != txnOf[1] || txnOf[2] != txnOf[3] || txnOf[0] == txnOf[2] {
+		t.Fatalf("txnOf = %v (n=%d)", txnOf, n)
+	}
+}

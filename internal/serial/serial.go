@@ -1,0 +1,127 @@
+// Package serial provides offline reference checkers for
+// conflict-serializability, used as independent oracles to validate the
+// online Velodrome analysis (soundness and completeness, DESIGN.md
+// invariant 1).
+//
+// Two checkers are provided with deliberately different foundations:
+//
+//   - Check builds the complete transactional happens-before graph of the
+//     trace and looks for a cycle (the database-theory characterization the
+//     paper leverages, Bernstein et al. 1987).
+//
+//   - SwapCheck searches directly for an equivalent serial trace, i.e. a
+//     linear extension of the conflict order in which every transaction's
+//     operations are contiguous. It is exponential and only suitable for
+//     small traces, but shares no code or theory shortcut with Check.
+package serial
+
+import (
+	"repro/internal/trace"
+)
+
+// Transactions partitions the trace's operations into transactions:
+// each operation is assigned the (per-trace unique) id of the transaction
+// containing it. Outermost atomic blocks form one transaction each;
+// operations outside any block form unary transactions. The returned slice
+// is indexed by operation position; ids are dense starting at 0.
+func Transactions(tr trace.Trace) (txnOf []int, count int) {
+	txnOf = make([]int, len(tr))
+	depth := map[trace.Tid]int{}
+	cur := map[trace.Tid]int{}
+	next := 0
+	for i, op := range tr {
+		t := op.Thread
+		switch op.Kind {
+		case trace.Begin:
+			if depth[t] == 0 {
+				cur[t] = next
+				next++
+			}
+			depth[t]++
+			txnOf[i] = cur[t]
+		case trace.End:
+			txnOf[i] = cur[t]
+			depth[t]--
+		default:
+			if depth[t] > 0 {
+				txnOf[i] = cur[t]
+			} else {
+				txnOf[i] = next
+				next++
+			}
+		}
+	}
+	return txnOf, next
+}
+
+// Check reports whether the trace is conflict-serializable by building the
+// full transactional happens-before graph and testing it for acyclicity.
+// Fork/Join operations are desugared first. The returned witness is a list
+// of transaction ids forming a cycle (nil if serializable).
+func Check(tr trace.Trace) (serializable bool, cycle []int) {
+	tr = tr.Desugar()
+	txnOf, n := Transactions(tr)
+	adj := make([]map[int]bool, n)
+	edge := func(a, b int) {
+		if a == b {
+			return
+		}
+		if adj[a] == nil {
+			adj[a] = map[int]bool{}
+		}
+		adj[a][b] = true
+	}
+	for j := 1; j < len(tr); j++ {
+		for i := 0; i < j; i++ {
+			if trace.Conflicts(tr[i], tr[j]) {
+				edge(txnOf[i], txnOf[j])
+			}
+		}
+	}
+	// DFS cycle detection with color marking.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	parent := make([]int, n)
+	var cycleAt int = -1
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for v := range adj[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				cycleAt = v
+				parent[v] = u // close the cycle for extraction
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := 0; u < n; u++ {
+		if color[u] == white {
+			parent[u] = -1
+			if dfs(u) {
+				// Extract the cycle ending at cycleAt.
+				cyc := []int{cycleAt}
+				for v := parent[cycleAt]; v != cycleAt; v = parent[v] {
+					cyc = append(cyc, v)
+				}
+				// Reverse into happens-before order.
+				for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+					cyc[i], cyc[j] = cyc[j], cyc[i]
+				}
+				return false, cyc
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,189 @@
+package serial
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sema"
+	"repro/internal/trace"
+)
+
+func TestTransactionsPartition(t *testing.T) {
+	tr := trace.Trace{
+		trace.Beg(1, "a"), // txn 0
+		trace.Rd(1, 0),
+		trace.Wr(2, 0), // unary txn 1
+		trace.Beg(1, "b"),
+		trace.Wr(1, 1),
+		trace.Fin(1),
+		trace.Fin(1),
+		trace.Rd(1, 0),    // unary txn 2
+		trace.Beg(2, "c"), // txn 3
+		trace.Rd(2, 1),
+		trace.Fin(2),
+	}
+	txnOf, n := Transactions(tr)
+	want := []int{0, 0, 1, 0, 0, 0, 0, 2, 3, 3, 3}
+	if n != 4 {
+		t.Fatalf("count = %d, want 4", n)
+	}
+	for i := range want {
+		if txnOf[i] != want[i] {
+			t.Fatalf("txnOf = %v, want %v", txnOf, want)
+		}
+	}
+}
+
+func TestCheckSerialTrace(t *testing.T) {
+	tr := trace.Trace{
+		trace.Beg(1, "a"), trace.Rd(1, 0), trace.Wr(1, 0), trace.Fin(1),
+		trace.Beg(2, "b"), trace.Rd(2, 0), trace.Wr(2, 0), trace.Fin(2),
+	}
+	ok, cyc := Check(tr)
+	if !ok || cyc != nil {
+		t.Fatalf("serial trace judged non-serializable: %v", cyc)
+	}
+}
+
+func TestCheckNonSerializable(t *testing.T) {
+	x := trace.Var(0)
+	tr := trace.Trace{
+		trace.Beg(1, "inc"),
+		trace.Rd(1, x),
+		trace.Wr(2, x),
+		trace.Wr(1, x),
+		trace.Fin(1),
+	}
+	ok, cyc := Check(tr)
+	if ok {
+		t.Fatal("RMW with interleaved write must be non-serializable")
+	}
+	if len(cyc) < 2 {
+		t.Fatalf("cycle witness too short: %v", cyc)
+	}
+}
+
+func TestCheckDesugarsFork(t *testing.T) {
+	// Parent forks child inside an atomic block; child writes what the
+	// parent later reads in the same block. The fork ordering makes this a
+	// cycle: parent-block ⇒ child (fork token), child ⇒ parent-block (x).
+	x := trace.Var(0)
+	tr := trace.Trace{
+		trace.Beg(1, "spawnAndRead"),
+		trace.Wr(1, x),
+		trace.ForkOp(1, 2),
+		trace.Wr(2, x),
+		trace.Rd(1, x),
+		trace.Fin(1),
+	}
+	if ok, _ := Check(tr); ok {
+		t.Fatal("fork-ordered conflict must produce a cycle")
+	}
+}
+
+func TestSwapCheckAgreesOnPaperExamples(t *testing.T) {
+	x := trace.Var(0)
+	bad := trace.Trace{
+		trace.Beg(1, "inc"), trace.Rd(1, x), trace.Wr(2, x), trace.Wr(1, x), trace.Fin(1),
+	}
+	if SwapCheck(bad) {
+		t.Fatal("SwapCheck accepted a non-serializable trace")
+	}
+	good := trace.Trace{
+		trace.Beg(1, "inc"), trace.Rd(1, x), trace.Wr(1, x), trace.Fin(1), trace.Wr(2, x),
+	}
+	if !SwapCheck(good) {
+		t.Fatal("SwapCheck rejected a serializable trace")
+	}
+}
+
+func TestSwapCheckFindsNonAdjacentSerialization(t *testing.T) {
+	// Requires actually commuting operations: t2's accesses to y must be
+	// moved around t1's transaction.
+	x, y := trace.Var(0), trace.Var(1)
+	tr := trace.Trace{
+		trace.Beg(1, "a"),
+		trace.Rd(1, x),
+		trace.Wr(2, y), // commutes with everything in txn a
+		trace.Wr(1, x),
+		trace.Fin(1),
+		trace.Rd(2, y),
+	}
+	if !SwapCheck(tr) {
+		t.Fatal("trace is serializable by commuting the y accesses out")
+	}
+}
+
+func TestSwapCheckSizeLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on oversized trace")
+		}
+	}()
+	tr := make(trace.Trace, 30)
+	for i := range tr {
+		tr[i] = trace.Rd(1, 0)
+	}
+	SwapCheck(tr)
+}
+
+func TestSelfSerializableDistinction(t *testing.T) {
+	// Section 4.3's example: the combination of D' and E' is not
+	// serializable, but each is individually self-serializable.
+	x, y := trace.Var(0), trace.Var(1)
+	tr := trace.Trace{
+		trace.Beg(2, "E"),
+		trace.Rd(2, y),
+		trace.Beg(1, "D"),
+		trace.Wr(1, x),
+		trace.Wr(2, x),
+		trace.Fin(2),
+		trace.Wr(1, y),
+		trace.Fin(1),
+	}
+	if SwapCheck(tr) {
+		t.Fatal("combined trace must be non-serializable")
+	}
+	txnOf, n := Transactions(tr)
+	if n != 2 {
+		t.Fatalf("want 2 transactions, got %d (%v)", n, txnOf)
+	}
+	for txn := 0; txn < n; txn++ {
+		if !SelfSerializable(tr, txn) {
+			t.Errorf("transaction %d should be self-serializable", txn)
+		}
+	}
+}
+
+func TestSelfSerializableNegative(t *testing.T) {
+	x := trace.Var(0)
+	tr := trace.Trace{
+		trace.Beg(1, "inc"), trace.Rd(1, x), trace.Wr(2, x), trace.Wr(1, x), trace.Fin(1),
+	}
+	txnOf, _ := Transactions(tr)
+	incTxn := txnOf[0]
+	if SelfSerializable(tr, incTxn) {
+		t.Fatal("interrupted RMW transaction must not be self-serializable")
+	}
+	// The unary write of thread 2, however, is self-serializable (it is a
+	// single operation).
+	if !SelfSerializable(tr, txnOf[2]) {
+		t.Fatal("unary transactions are trivially self-serializable")
+	}
+}
+
+func TestOraclesAgreeOnRandomTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	cfg := sema.GenConfig{Threads: 2, OpsPerThd: 4, Vars: 2, Locks: 1, PAtomic: 0.6, PLock: 0.3}
+	for i := 0; i < 300; i++ {
+		tr := sema.RandomTrace(rng, cfg)
+		if len(tr) > 20 {
+			continue
+		}
+		g, _ := Check(tr)
+		s := SwapCheck(tr)
+		if g != s {
+			t.Fatalf("iter %d: graph oracle %v != swap oracle %v\n%s", i, g, s, tr)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package serial
+
+import (
+	"repro/internal/trace"
+)
+
+// maxSwapOps bounds the trace size SwapCheck and SelfSerializable accept;
+// the search is exponential in the worst case.
+const maxSwapOps = 24
+
+// SwapCheck reports whether the trace is conflict-serializable by
+// searching for an equivalent serial trace: a reordering that preserves
+// the relative order of every pair of conflicting operations and in which
+// each transaction's operations are contiguous. Equivalence under
+// reordering of adjacent commuting operations is exactly preservation of
+// the conflict order, so this is the definition of Section 2 executed
+// literally. It panics if the trace exceeds 24 operations.
+func SwapCheck(tr trace.Trace) bool {
+	tr = tr.Desugar()
+	if len(tr) > maxSwapOps {
+		panic("serial: SwapCheck trace too large")
+	}
+	txnOf, _ := Transactions(tr)
+	return search(tr, txnOf, serialAll{})
+}
+
+// SelfSerializable reports whether transaction txn (an id from
+// Transactions) is self-serializable in the trace: whether some equivalent
+// trace executes txn's operations contiguously, with no constraint on
+// other transactions (Section 4.3). It panics if the trace exceeds 24
+// operations.
+func SelfSerializable(tr trace.Trace, txn int) bool {
+	tr = tr.Desugar()
+	if len(tr) > maxSwapOps {
+		panic("serial: SelfSerializable trace too large")
+	}
+	txnOf, _ := Transactions(tr)
+	return search(tr, txnOf, serialOne{txn})
+}
+
+// A contiguity policy says which transactions must execute serially in the
+// reordered trace.
+type contiguity interface{ mustBeSerial(txn int) bool }
+
+type serialAll struct{}
+
+func (serialAll) mustBeSerial(int) bool { return true }
+
+type serialOne struct{ txn int }
+
+func (p serialOne) mustBeSerial(t int) bool { return t == p.txn }
+
+// search looks for a linear extension of the conflict order in which every
+// transaction selected by the policy is contiguous. It emits operations
+// one at a time: an operation is ready when all earlier conflicting
+// operations have been emitted; once a constrained transaction has started
+// and is incomplete, only its operations may be emitted. Memoization is on
+// the set of emitted operations (the frontier determines the future).
+func search(tr trace.Trace, txnOf []int, policy contiguity) bool {
+	n := len(tr)
+	// preds[j] = bitmask of earlier conflicting operations.
+	preds := make([]uint32, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if trace.Conflicts(tr[i], tr[j]) {
+				preds[j] |= 1 << i
+			}
+		}
+	}
+	// remaining[txn] = number of unemitted ops per transaction.
+	remaining := map[int]int{}
+	for _, t := range txnOf {
+		remaining[t]++
+	}
+	full := uint32(1)<<n - 1
+	type key struct {
+		emitted uint32
+		open    int // constrained transaction currently open, or -1
+	}
+	seen := map[key]bool{}
+	var rec func(emitted uint32, open int) bool
+	rec = func(emitted uint32, open int) bool {
+		if emitted == full {
+			return true
+		}
+		k := key{emitted, open}
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		for j := 0; j < n; j++ {
+			bit := uint32(1) << j
+			if emitted&bit != 0 || preds[j]&^emitted != 0 {
+				continue
+			}
+			txn := txnOf[j]
+			if open >= 0 && txn != open {
+				continue // must finish the open serial transaction first
+			}
+			nextOpen := open
+			if policy.mustBeSerial(txn) {
+				if remaining[txn] > 1 {
+					nextOpen = txn
+				} else {
+					nextOpen = -1
+				}
+			}
+			remaining[txn]--
+			ok := rec(emitted|bit, nextOpen)
+			remaining[txn]++
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, -1)
+}
+
+// SpanSelfSerializable reports whether the operations of thread th at
+// trace indices [lo, hi] can execute contiguously in some equivalent
+// trace — the self-serializability of one (possibly nested, possibly
+// still-open) atomic block's executed prefix, which is exactly what
+// Velodrome's blame assignment refutes (Section 4.3). It panics if the
+// trace exceeds 24 operations.
+func SpanSelfSerializable(tr trace.Trace, th trace.Tid, lo, hi int) bool {
+	tr = tr.Desugar()
+	if len(tr) > maxSwapOps {
+		panic("serial: SpanSelfSerializable trace too large")
+	}
+	unitOf := make([]int, len(tr))
+	next := 1
+	for i, op := range tr {
+		if op.Thread == th && i >= lo && i <= hi {
+			unitOf[i] = 0 // the span under test
+		} else {
+			unitOf[i] = next
+			next++
+		}
+	}
+	return search(tr, unitOf, serialOne{0})
+}

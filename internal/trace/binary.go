@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace encoding, for recording long executions where the text
+// format's size and parse cost matter (a multiset run at scale 100 is
+// about a million events). Layout:
+//
+//	magic "VTR1" (4 bytes)
+//	count uvarint
+//	per op: kind byte, thread uvarint, target uvarint (zig-zag),
+//	        label length uvarint + bytes (Begin only)
+//
+// Labels are interned: the high bit of the length marks a back-reference
+// to a previously seen label index, so repeated method names cost two
+// bytes after their first occurrence.
+
+var binaryMagic = [4]byte{'V', 'T', 'R', '1'}
+
+// MarshalBinary writes the trace in the binary format.
+func MarshalBinary(w io.Writer, tr Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(tr))); err != nil {
+		return err
+	}
+	labelIdx := map[Label]uint64{}
+	for _, op := range tr {
+		if err := bw.WriteByte(byte(op.Kind)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(op.Thread)); err != nil {
+			return err
+		}
+		// Zig-zag so negative targets (never produced, but legal in the
+		// struct) stay compact.
+		if err := putUvarint(uint64(uint32(op.Target))<<1 ^ uint64(uint32(op.Target)>>31)); err != nil {
+			return err
+		}
+		if op.Kind == Begin {
+			if idx, ok := labelIdx[op.Label]; ok {
+				if err := putUvarint(idx<<1 | 1); err != nil {
+					return err
+				}
+			} else {
+				labelIdx[op.Label] = uint64(len(labelIdx))
+				if err := putUvarint(uint64(len(op.Label)) << 1); err != nil {
+					return err
+				}
+				if _, err := bw.WriteString(string(op.Label)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// UnmarshalBinary reads a trace in the binary format.
+func UnmarshalBinary(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	const maxOps = 1 << 30
+	if count > maxOps {
+		return nil, fmt.Errorf("trace: implausible op count %d", count)
+	}
+	tr := make(Trace, 0, min(count, 1<<20))
+	var labels []Label
+	for i := uint64(0); i < count; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: op %d: %w", i, err)
+		}
+		if Kind(kind) > Join {
+			return nil, fmt.Errorf("trace: op %d: unknown kind %d", i, kind)
+		}
+		tid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: op %d thread: %w", i, err)
+		}
+		zz, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: op %d target: %w", i, err)
+		}
+		target := int32(uint32(zz>>1) ^ -uint32(zz&1))
+		op := Op{Kind: Kind(kind), Thread: Tid(tid), Target: target}
+		if op.Kind == Begin {
+			lv, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: op %d label: %w", i, err)
+			}
+			if lv&1 == 1 {
+				idx := lv >> 1
+				if idx >= uint64(len(labels)) {
+					return nil, fmt.Errorf("trace: op %d: label back-reference %d out of range", i, idx)
+				}
+				op.Label = labels[idx]
+			} else {
+				n := lv >> 1
+				if n > 4096 {
+					return nil, fmt.Errorf("trace: op %d: label length %d too large", i, n)
+				}
+				b := make([]byte, n)
+				if _, err := io.ReadFull(br, b); err != nil {
+					return nil, fmt.Errorf("trace: op %d label bytes: %w", i, err)
+				}
+				op.Label = Label(b)
+				labels = append(labels, op.Label)
+			}
+		}
+		tr = append(tr, op)
+	}
+	return tr, nil
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ReadAuto decodes a trace in either format, sniffing the binary magic.
+func ReadAuto(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err == nil && [4]byte(head) == binaryMagic {
+		return UnmarshalBinary(br)
+	}
+	return Unmarshal(br)
+}

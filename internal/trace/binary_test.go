@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() Trace {
+	return Trace{
+		Beg(1, "Set.add"), Acq(1, 0), Rd(1, 3), Rel(1, 0), Fin(1),
+		Beg(2, "Set.add"), Wr(2, 3), Fin(2), // repeated label: interned
+		ForkOp(1, 3), Wr(3, 1<<24+5), JoinOp(1, 3), // big target id
+		Beg(1, ""), Fin(1), // empty label
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := MarshalBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("length %d, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Errorf("op %d: %+v != %+v", i, got[i], tr[i])
+		}
+	}
+}
+
+func TestBinaryLabelInterning(t *testing.T) {
+	var many Trace
+	for i := 0; i < 500; i++ {
+		many = append(many, Beg(1, "a.rather.long.method.name"), Fin(1))
+	}
+	var buf bytes.Buffer
+	if err := MarshalBinary(&buf, many); err != nil {
+		t.Fatal(err)
+	}
+	// 1000 ops at ~4 bytes each plus ONE copy of the label.
+	if buf.Len() > 6000 {
+		t.Errorf("interning ineffective: %d bytes for 1000 ops", buf.Len())
+	}
+	got, err := UnmarshalBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[998].Label != "a.rather.long.method.name" {
+		t.Error("interned label lost")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("WRONGMAGIC"),
+		[]byte("VTR1"),                      // missing count
+		append([]byte("VTR1"), 0xFF, 0xFF),  // truncated varint... then EOF
+		append([]byte("VTR1"), 2, 99, 1, 0), // unknown kind 99
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalBinary(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: accepted garbage", i)
+		}
+	}
+}
+
+func TestBinaryRejectsBadBackref(t *testing.T) {
+	// One Begin op with a back-reference to label index 7 (never defined).
+	var buf bytes.Buffer
+	buf.WriteString("VTR1")
+	buf.WriteByte(1)              // count = 1
+	buf.WriteByte(byte(Begin))    // kind
+	buf.WriteByte(1)              // thread
+	buf.WriteByte(0)              // target zig-zag
+	buf.WriteByte(byte(7<<1 | 1)) // back-ref to 7
+	if _, err := UnmarshalBinary(&buf); err == nil {
+		t.Fatal("accepted out-of-range label back-reference")
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var tr Trace
+	for i := 0; i < 5000; i++ {
+		t1 := Tid(rng.Intn(8) + 1)
+		switch rng.Intn(4) {
+		case 0:
+			tr = append(tr, Rd(t1, Var(rng.Intn(100))))
+		case 1:
+			tr = append(tr, Wr(t1, Var(rng.Intn(100))))
+		case 2:
+			tr = append(tr, Beg(t1, "Some.method"))
+		case 3:
+			tr = append(tr, Fin(t1))
+		}
+	}
+	var bin, txt bytes.Buffer
+	if err := MarshalBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := Marshal(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len()*2 > txt.Len() {
+		t.Errorf("binary %d bytes not ≪ text %d bytes", bin.Len(), txt.Len())
+	}
+	got, err := UnmarshalBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != tr.String() {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func FuzzUnmarshalBinary(f *testing.F) {
+	var buf bytes.Buffer
+	_ = MarshalBinary(&buf, sampleTrace())
+	f.Add(buf.Bytes())
+	f.Add([]byte("VTR1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := UnmarshalBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-encode and re-decode stably.
+		var out bytes.Buffer
+		if err := MarshalBinary(&out, tr); err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := UnmarshalBinary(&out)
+		if err != nil || tr2.String() != tr.String() {
+			t.Fatalf("unstable round trip: %v", err)
+		}
+	})
+}
+
+func TestBinaryTextEquivalence(t *testing.T) {
+	tr := sampleTrace()
+	var bin bytes.Buffer
+	if err := MarshalBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := UnmarshalBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt strings.Builder
+	if err := Marshal(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+	fromTxt, err := Unmarshal(strings.NewReader(txt.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromBin.String() != fromTxt.String() {
+		t.Fatal("binary and text decoders disagree")
+	}
+}

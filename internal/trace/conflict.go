@@ -1,0 +1,38 @@
+package trace
+
+// Conflicts reports whether two operations conflict, per Section 2:
+//
+//  1. they access the same variable and at least one access is a write;
+//  2. they operate on the same lock; or
+//  3. they are performed by the same thread.
+//
+// Begin and End operations conflict only via rule 3. Fork and Join
+// operations additionally conflict with any operation of the other thread
+// they name (they induce the same ordering their Desugar expansion would).
+func Conflicts(a, b Op) bool {
+	if a.Thread == b.Thread {
+		return true
+	}
+	switch a.Kind {
+	case Read:
+		if b.Kind == Write && a.Target == b.Target {
+			return true
+		}
+	case Write:
+		if (b.Kind == Read || b.Kind == Write) && a.Target == b.Target {
+			return true
+		}
+	case Acquire, Release:
+		if (b.Kind == Acquire || b.Kind == Release) && a.Target == b.Target {
+			return true
+		}
+	}
+	// Fork/join order the named thread's operations.
+	if (a.Kind == Fork || a.Kind == Join) && a.Other() == b.Thread {
+		return true
+	}
+	if (b.Kind == Fork || b.Kind == Join) && b.Other() == a.Thread {
+		return true
+	}
+	return false
+}

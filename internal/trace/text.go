@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Marshal writes the trace in the textual format accepted by Unmarshal:
+// one operation per line, in the same syntax produced by Op.String.
+// Blank lines and lines starting with '#' are comments on input.
+func Marshal(w io.Writer, tr Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range tr {
+		if _, err := bw.WriteString(op.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Unmarshal parses the textual trace format: one operation per line, e.g.
+//
+//	begin.add(1)
+//	rd(1,x0)
+//	acq(1,m2)
+//	wr(1,x0)
+//	rel(1,m2)
+//	end(1)
+//	fork(1,t2)
+//
+// Blank lines and lines beginning with '#' are ignored.
+func Unmarshal(r io.Reader) (Trace, error) {
+	var tr Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		op, err := ParseOp(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		tr = append(tr, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// ParseOp parses a single operation in the syntax produced by Op.String.
+func ParseOp(s string) (Op, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Op{}, fmt.Errorf("malformed operation %q", s)
+	}
+	head, args := s[:open], s[open+1:len(s)-1]
+	label := Label("")
+	if dot := strings.IndexByte(head, '.'); dot >= 0 {
+		label = Label(head[dot+1:])
+		head = head[:dot]
+	}
+	parts := strings.Split(args, ",")
+	tid, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return Op{}, fmt.Errorf("malformed thread id in %q", s)
+	}
+	t := Tid(tid)
+	arg := func(prefix byte) (int32, error) {
+		if len(parts) != 2 {
+			return 0, fmt.Errorf("%s requires two arguments in %q", head, s)
+		}
+		a := strings.TrimSpace(parts[1])
+		if len(a) < 2 || a[0] != prefix {
+			return 0, fmt.Errorf("argument of %q must start with %q", s, prefix)
+		}
+		n, err := strconv.Atoi(a[1:])
+		if err != nil {
+			return 0, fmt.Errorf("malformed argument in %q", s)
+		}
+		return int32(n), nil
+	}
+	switch head {
+	case "rd", "wr":
+		x, err := arg('x')
+		if err != nil {
+			return Op{}, err
+		}
+		if head == "rd" {
+			return Rd(t, Var(x)), nil
+		}
+		return Wr(t, Var(x)), nil
+	case "acq", "rel":
+		m, err := arg('m')
+		if err != nil {
+			return Op{}, err
+		}
+		if head == "acq" {
+			return Acq(t, Lock(m)), nil
+		}
+		return Rel(t, Lock(m)), nil
+	case "begin":
+		return Beg(t, label), nil
+	case "end":
+		return Fin(t), nil
+	case "fork", "join":
+		u, err := arg('t')
+		if err != nil {
+			return Op{}, err
+		}
+		if head == "fork" {
+			return ForkOp(t, Tid(u)), nil
+		}
+		return JoinOp(t, Tid(u)), nil
+	}
+	return Op{}, fmt.Errorf("unknown operation %q", head)
+}

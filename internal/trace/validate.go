@@ -1,0 +1,89 @@
+package trace
+
+import "fmt"
+
+// A ValidationError reports the first ill-formed operation in a trace.
+type ValidationError struct {
+	Index int
+	Op    Op
+	Msg   string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("trace: op %d %s: %s", e.Index, e.Op, e.Msg)
+}
+
+// Validate checks that a trace is well formed:
+//
+//   - locks are acquired only when free and released only by their holder
+//     (re-entrant acquires must have been filtered out already, as
+//     RoadRunner does before handing events to a back-end);
+//   - End operations match an open atomic block of the same thread;
+//   - a forked thread has no earlier operations and is forked at most once;
+//   - a joined thread performs no operations after the join.
+//
+// Nested Begin operations are permitted (Section 4.3).
+func Validate(tr Trace) error {
+	holder := map[Lock]Tid{}
+	depth := map[Tid]int{}
+	started := map[Tid]bool{}
+	forked := map[Tid]bool{}
+	joined := map[Tid]bool{}
+	fail := func(i int, op Op, format string, args ...any) error {
+		return &ValidationError{Index: i, Op: op, Msg: fmt.Sprintf(format, args...)}
+	}
+	for i, op := range tr {
+		t := op.Thread
+		if joined[t] {
+			return fail(i, op, "thread %d acts after being joined", t)
+		}
+		started[t] = true
+		switch op.Kind {
+		case Acquire:
+			if h, held := holder[op.Lock()]; held {
+				return fail(i, op, "lock m%d already held by thread %d", op.Lock(), h)
+			}
+			holder[op.Lock()] = t
+		case Release:
+			h, held := holder[op.Lock()]
+			if !held {
+				return fail(i, op, "lock m%d not held", op.Lock())
+			}
+			if h != t {
+				return fail(i, op, "lock m%d held by thread %d, not %d", op.Lock(), h, t)
+			}
+			delete(holder, op.Lock())
+		case Begin:
+			depth[t]++
+		case End:
+			if depth[t] == 0 {
+				return fail(i, op, "end without matching begin")
+			}
+			depth[t]--
+		case Fork:
+			u := op.Other()
+			if u == t {
+				return fail(i, op, "thread forks itself")
+			}
+			if forked[u] {
+				return fail(i, op, "thread %d forked twice", u)
+			}
+			if started[u] {
+				return fail(i, op, "thread %d already ran before fork", u)
+			}
+			forked[u] = true
+		case Join:
+			u := op.Other()
+			if u == t {
+				return fail(i, op, "thread joins itself")
+			}
+			joined[u] = true
+		case Read, Write:
+			// Always well formed.
+		default:
+			return fail(i, op, "unknown kind")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+// Package vc implements vector clocks (Mattern 1988), the traditional
+// representation of the happens-before relation over individual
+// operations. Velodrome cannot use them for its transactional relation
+// (Section 1), but RoadRunner's precise happens-before race detector
+// (package hb) does.
+package vc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Clock is a vector clock: a map from thread to logical time. The zero
+// value is the all-zeros clock.
+type Clock struct {
+	times map[trace.Tid]uint64
+}
+
+// New returns an empty (all-zeros) clock.
+func New() *Clock { return &Clock{} }
+
+// Get returns the component for thread t.
+func (c *Clock) Get(t trace.Tid) uint64 {
+	if c == nil || c.times == nil {
+		return 0
+	}
+	return c.times[t]
+}
+
+// Set assigns the component for thread t.
+func (c *Clock) Set(t trace.Tid, v uint64) {
+	if c.times == nil {
+		c.times = map[trace.Tid]uint64{}
+	}
+	if v == 0 {
+		delete(c.times, t)
+		return
+	}
+	c.times[t] = v
+}
+
+// Tick increments thread t's component and returns the new value.
+func (c *Clock) Tick(t trace.Tid) uint64 {
+	v := c.Get(t) + 1
+	c.Set(t, v)
+	return v
+}
+
+// Join merges other into c pointwise (c := c ⊔ other).
+func (c *Clock) Join(other *Clock) {
+	if other == nil {
+		return
+	}
+	for t, v := range other.times {
+		if v > c.Get(t) {
+			c.Set(t, v)
+		}
+	}
+}
+
+// Copy returns an independent copy of c.
+func (c *Clock) Copy() *Clock {
+	out := New()
+	if c != nil {
+		for t, v := range c.times {
+			out.Set(t, v)
+		}
+	}
+	return out
+}
+
+// LessEq reports whether c ⊑ other pointwise (c happens-before-or-equals
+// other when c is an operation's clock snapshot).
+func (c *Clock) LessEq(other *Clock) bool {
+	if c == nil {
+		return true
+	}
+	for t, v := range c.times {
+		if v > other.Get(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether neither clock precedes the other.
+func (c *Clock) Concurrent(other *Clock) bool {
+	return !c.LessEq(other) && !other.LessEq(c)
+}
+
+// Epoch is the compact (thread, time) pair used for last-access tracking;
+// the c@t notation of the FastTrack lineage.
+type Epoch struct {
+	Thread trace.Tid
+	Time   uint64
+}
+
+// Zero reports whether the epoch is the initial "never accessed" value.
+func (e Epoch) Zero() bool { return e.Time == 0 }
+
+// HappensBefore reports whether the epoch's operation precedes the clock.
+func (e Epoch) HappensBefore(c *Clock) bool { return e.Time <= c.Get(e.Thread) }
+
+// String renders the clock as [t1:3 t2:7].
+func (c *Clock) String() string {
+	if c == nil || len(c.times) == 0 {
+		return "[]"
+	}
+	var ts []trace.Tid
+	for t := range c.times {
+		ts = append(ts, t)
+	}
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, t := range ts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "t%d:%d", t, c.times[t])
+	}
+	b.WriteByte(']')
+	return b.String()
+}

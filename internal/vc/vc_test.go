@@ -1,0 +1,125 @@
+package vc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func TestZeroClock(t *testing.T) {
+	c := New()
+	if c.Get(1) != 0 {
+		t.Fatal("fresh clock must be zero")
+	}
+	if c.String() != "[]" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestTickAndGet(t *testing.T) {
+	c := New()
+	if v := c.Tick(3); v != 1 {
+		t.Fatalf("first tick = %d", v)
+	}
+	if v := c.Tick(3); v != 2 {
+		t.Fatalf("second tick = %d", v)
+	}
+	if c.Get(4) != 0 {
+		t.Fatal("other components must stay zero")
+	}
+}
+
+func TestJoinPointwiseMax(t *testing.T) {
+	a, b := New(), New()
+	a.Set(1, 5)
+	a.Set(2, 1)
+	b.Set(2, 7)
+	b.Set(3, 2)
+	a.Join(b)
+	for tid, want := range map[trace.Tid]uint64{1: 5, 2: 7, 3: 2} {
+		if got := a.Get(tid); got != want {
+			t.Errorf("component %d = %d, want %d", tid, got, want)
+		}
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	a := New()
+	a.Set(1, 3)
+	b := a.Copy()
+	b.Set(1, 9)
+	if a.Get(1) != 3 {
+		t.Fatal("copy aliases original")
+	}
+}
+
+func TestLessEqAndConcurrent(t *testing.T) {
+	a, b := New(), New()
+	a.Set(1, 1)
+	b.Set(1, 2)
+	b.Set(2, 1)
+	if !a.LessEq(b) || b.LessEq(a) {
+		t.Fatal("a ⊑ b expected")
+	}
+	c := New()
+	c.Set(2, 5)
+	if !a.Concurrent(c) {
+		t.Fatal("a and c are concurrent")
+	}
+	if a.Concurrent(b) {
+		t.Fatal("ordered clocks are not concurrent")
+	}
+}
+
+func TestEpoch(t *testing.T) {
+	c := New()
+	c.Set(2, 4)
+	e := Epoch{Thread: 2, Time: 3}
+	if !e.HappensBefore(c) {
+		t.Fatal("epoch 3 ⊑ clock with t2:4")
+	}
+	e.Time = 5
+	if e.HappensBefore(c) {
+		t.Fatal("epoch 5 must not precede t2:4")
+	}
+	if (Epoch{}).Zero() != true {
+		t.Fatal("zero epoch")
+	}
+}
+
+func TestStringSorted(t *testing.T) {
+	c := New()
+	c.Set(2, 7)
+	c.Set(1, 3)
+	if got := c.String(); got != "[t1:3 t2:7]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestQuickJoinIsUpperBound(t *testing.T) {
+	f := func(xs, ys [4]uint8) bool {
+		a, b := New(), New()
+		for i, v := range xs {
+			a.Set(trace.Tid(i), uint64(v))
+		}
+		for i, v := range ys {
+			b.Set(trace.Tid(i), uint64(v))
+		}
+		j := a.Copy()
+		j.Join(b)
+		return a.LessEq(j) && b.LessEq(j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetZeroDeletes(t *testing.T) {
+	c := New()
+	c.Set(1, 3)
+	c.Set(1, 0)
+	if c.String() != "[]" {
+		t.Fatalf("zero component should be dropped: %s", c)
+	}
+}
