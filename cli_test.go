@@ -1,6 +1,10 @@
 package repro_test
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -170,6 +174,156 @@ func TestCLIVelobench(t *testing.T) {
 	}
 	if _, code := runTool(t, "velobench", "-table", "2", "-seeds", "x"); code != 2 {
 		t.Error("bad seeds should exit 2")
+	}
+}
+
+// TestCLIStatsJSONSnapshot checks that -stats -json replaces the human
+// graph table with one machine-readable obs snapshot object after the
+// JSON warning lines.
+func TestCLIStatsJSONSnapshot(t *testing.T) {
+	out, code := runTool(t, "velodrome", "-workload", "multiset", "-stats", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if strings.Contains(out, "graph: allocated=") {
+		t.Errorf("-json must suppress the human stats table:\n%s", out)
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	var last map[string]json.RawMessage
+	values := 0
+	for dec.More() {
+		if err := dec.Decode(&last); err != nil {
+			t.Fatalf("value %d: %v\n%s", values, err, out)
+		}
+		values++
+	}
+	if values < 2 {
+		t.Fatalf("want warning lines plus a snapshot, got %d JSON values", values)
+	}
+	for _, key := range []string{"counters", "gauges", "histograms"} {
+		if _, ok := last[key]; !ok {
+			t.Errorf("snapshot missing %q:\n%s", key, out)
+		}
+	}
+	var counters map[string]int64
+	if err := json.Unmarshal(last["counters"], &counters); err != nil {
+		t.Fatal(err)
+	}
+	if counters["velodrome_warnings_total"] == 0 {
+		t.Errorf("multiset should have recorded warnings: %v", counters)
+	}
+	if counters["rr_events_total"] == 0 {
+		t.Errorf("scheduler events should be counted: %v", counters)
+	}
+}
+
+// TestCLIMetricsServe runs a workload big enough to outlast an HTTP
+// round-trip and scrapes the live /metrics endpoint mid-run.
+func TestCLIMetricsServe(t *testing.T) {
+	cmd := exec.Command(filepath.Join(tools(t), "velodrome"),
+		"-workload", "philo", "-scale", "2000", "-metrics-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout = nil
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Wait()
+	line, err := bufio.NewReader(stderr).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading announce line: %v", err)
+	}
+	i := strings.Index(line, "http://")
+	if i < 0 {
+		t.Fatalf("no address announced: %q", line)
+	}
+	base := strings.TrimSpace(line[i:])
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "# TYPE rr_sched_steps_total counter") {
+		t.Errorf("unexpected exposition:\n%.500s", body)
+	}
+	if resp, err := http.Get(base + "/debug/pprof/cmdline"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("pprof status %d", resp.StatusCode)
+		}
+	} else {
+		t.Errorf("GET /debug/pprof/cmdline: %v", err)
+	}
+	go io.Copy(io.Discard, stderr)
+}
+
+// TestCLIProfileFlag covers -profile on velodrome and -obs-json plus
+// -profile on tracecheck (whose non-zero exits bypass defers).
+func TestCLIProfileFlag(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "cpu.pprof")
+	out, code := runTool(t, "velodrome", "-workload", "philo", "-profile", "cpu", "-profile-out", prof)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if fi, err := os.Stat(prof); err != nil || fi.Size() == 0 {
+		t.Errorf("cpu profile not written: %v", err)
+	}
+
+	prof2 := filepath.Join(dir, "mem.pprof")
+	out, code = runTool(t, "tracecheck", "-q", "-obs-json", "-profile", "mem", "-profile-out", prof2, "testdata/setadd.txt")
+	if code != 1 {
+		t.Fatalf("setadd must stay non-serializable; exit %d:\n%s", code, out)
+	}
+	if fi, err := os.Stat(prof2); err != nil || fi.Size() == 0 {
+		t.Errorf("mem profile not written on exit-1 path: %v", err)
+	}
+	if !strings.Contains(out, `"velodrome_warnings_total":3`) {
+		t.Errorf("-obs-json snapshot missing:\n%s", out)
+	}
+}
+
+// TestCLIVelobenchObsOut checks the -replay side artifact: a JSON
+// document of per-event-kind latency quantiles.
+func TestCLIVelobenchObsOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.json")
+	out, code := runTool(t, "velobench", "-replay", "-seeds", "1", "-obs-out", path)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "wrote per-event-kind latency quantiles") {
+		t.Errorf("missing obs-out notice:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Workloads []struct {
+			Name  string `json:"name"`
+			Kinds []struct {
+				Kind  string  `json:"kind"`
+				Count int64   `json:"count"`
+				P99Ns float64 `json:"p99_ns"`
+			} `json:"kinds"`
+		} `json:"workloads"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_obs.json malformed: %v", err)
+	}
+	if len(rep.Workloads) < 10 {
+		t.Fatalf("want all workloads, got %d", len(rep.Workloads))
+	}
+	for _, w := range rep.Workloads {
+		if len(w.Kinds) == 0 {
+			t.Errorf("%s: no kind summaries", w.Name)
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dot"
+	"repro/internal/obs"
 	"repro/internal/serial"
 	"repro/internal/trace"
 )
@@ -34,6 +35,9 @@ func main() {
 	dotOut := flag.String("dot", "", "write error graphs (dot format) to this file")
 	engine := flag.String("engine", "optimized", "analysis engine: optimized or basic")
 	quiet := flag.Bool("q", false, "suppress warning details")
+	profile := flag.String("profile", "", "write a pprof profile: cpu, mem or mutex")
+	profileOut := flag.String("profile-out", "", "profile output file (default <kind>.pprof)")
+	obsJSON := flag.Bool("obs-json", false, "emit the full obs snapshot (per-kind latencies, graph stats) as JSON on stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracecheck [-dot out.dot] <trace file | ->")
@@ -64,16 +68,46 @@ func main() {
 	if *engine == "basic" {
 		opts.Engine = core.Basic
 	}
+	reg := obs.NewRegistry()
+	if *obsJSON {
+		opts.Metrics = reg
+	}
+	var stopProf func() error
+	if *profile != "" {
+		path := *profileOut
+		if path == "" {
+			path = *profile + ".pprof"
+		}
+		stop, err := obs.StartProfile(*profile, path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(2)
+		}
+		stopProf = stop
+	}
+	// finish finalizes the profile and snapshot before exiting, since
+	// os.Exit skips deferred calls.
+	finish := func(code int) {
+		if stopProf != nil {
+			if err := stopProf(); err != nil {
+				fmt.Fprintln(os.Stderr, "tracecheck: profile:", err)
+			}
+		}
+		if *obsJSON {
+			reg.Snapshot().WriteJSON(os.Stderr)
+		}
+		os.Exit(code)
+	}
 	res := core.CheckTrace(tr, opts)
 	offline, _ := serial.Check(tr)
 	if offline != res.Serializable {
 		fmt.Fprintln(os.Stderr, "tracecheck: INTERNAL DISAGREEMENT between online and offline checkers")
-		os.Exit(2)
+		finish(2)
 	}
 	if res.Serializable {
 		fmt.Printf("serializable: %d operations, %d transactions allocated (max %d alive)\n",
 			len(tr), res.Stats.Allocated, res.Stats.MaxAlive)
-		return
+		finish(0)
 	}
 	fmt.Printf("NOT serializable: %d warnings over %d operations\n", len(res.Warnings), len(tr))
 	if !*quiet {
@@ -84,8 +118,8 @@ func main() {
 	if *dotOut != "" {
 		if err := os.WriteFile(*dotOut, []byte(dot.RenderAll(res.Warnings)), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "tracecheck:", err)
-			os.Exit(2)
+			finish(2)
 		}
 	}
-	os.Exit(1)
+	finish(1)
 }

@@ -21,6 +21,8 @@ import (
 	"strings"
 
 	"repro/internal/exper"
+	"repro/internal/obs"
+	"repro/internal/obs/obshttp"
 	"repro/internal/report"
 )
 
@@ -38,6 +40,10 @@ func main() {
 	specFiltered := flag.Bool("spec-filtered", false, "table 1: exempt known non-atomic methods first (the paper's configuration)")
 	seeds := flag.String("seeds", "1,2,3,4,5", "comma-separated scheduler seeds (the paper's five runs)")
 	detail := flag.Bool("detail", false, "list flagged methods per benchmark (table 2)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address while experiments run")
+	profile := flag.String("profile", "", "write a pprof profile: cpu, mem or mutex")
+	profileOut := flag.String("profile-out", "", "profile output file (default <kind>.pprof)")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "with -replay: write per-event-kind latency quantiles to this file (empty to disable)")
 	flag.Parse()
 
 	seedList, err := parseSeeds(*seeds)
@@ -45,9 +51,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "velobench:", err)
 		os.Exit(2)
 	}
+	// The experiments time freshly constructed engines, so they stay
+	// uninstrumented; the registry observes velobench itself and backs
+	// the optional live endpoint (whose main payload here is pprof).
+	reg := obs.NewRegistry()
+	experiments := reg.Counter("velobench_experiments_total")
+	if *metricsAddr != "" {
+		_, addr, err := obshttp.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "velobench:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "velobench: serving /metrics and /debug/pprof/ on http://%s\n", addr)
+	}
+	if *profile != "" {
+		path := *profileOut
+		if path == "" {
+			path = *profile + ".pprof"
+		}
+		stopProf, err := obs.StartProfile(*profile, path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "velobench:", err)
+			os.Exit(2)
+		}
+		defer func() {
+			if err := stopProf(); err != nil {
+				fmt.Fprintln(os.Stderr, "velobench: profile:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "velobench: wrote %s profile to %s\n", *profile, path)
+		}()
+	}
 	ran := false
+	mark := func() { ran = true; experiments.Inc() }
 	if *table == 1 || *all {
-		ran = true
+		mark()
 		var rows []exper.Table1Row
 		if *specFiltered {
 			fmt.Println("(known non-atomic methods exempted, as in the paper's measurement setup)")
@@ -59,7 +97,7 @@ func main() {
 		fmt.Println()
 	}
 	if *table == 2 || *all {
-		ran = true
+		mark()
 		rows := exper.Table2(seedList, *scale, *adversarial)
 		if *adversarial {
 			fmt.Println("(adversarial scheduling enabled)")
@@ -72,30 +110,47 @@ func main() {
 		fmt.Println()
 	}
 	if *replay || *all {
-		ran = true
+		mark()
 		rows := exper.Replay(seedList[0], *scale*10)
 		report.Replay(os.Stdout, rows)
 		fmt.Println()
+		if *obsOut != "" {
+			// Machine-readable per-event-kind latency quantiles — the
+			// perf-trajectory seed for future PRs (see EXPERIMENTS.md).
+			rep := exper.ReplayObs(seedList[0], *scale*10)
+			f, err := os.Create(*obsOut)
+			if err == nil {
+				err = rep.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "velobench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote per-event-kind latency quantiles to %s\n\n", *obsOut)
+		}
 	}
 	if *inject || *all {
-		ran = true
+		mark()
 		res := exper.Inject([]string{"elevator", "colt"}, seedList, *scale)
 		report.Inject(os.Stdout, res)
 		fmt.Println()
 	}
 	if *coverage || *all {
-		ran = true
+		mark()
 		report.Coverage(os.Stdout, exper.Coverage(seedList, *scale))
 		fmt.Println()
 	}
 	if *ablate || *all {
-		ran = true
+		mark()
 		rows := exper.Ablate(seedList[0], *scale*5)
 		report.Ablate(os.Stdout, rows)
 		fmt.Println()
 	}
 	if *policyStudy || *all {
-		ran = true
+		mark()
 		res := exper.PolicyStudy([]string{"elevator", "colt"}, seedList, *scale)
 		report.Policies(os.Stdout, res)
 		fmt.Println()

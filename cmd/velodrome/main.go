@@ -20,10 +20,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dot"
+	"repro/internal/obs"
+	"repro/internal/obs/obshttp"
 	"repro/internal/rr"
 	"repro/internal/trace"
 )
@@ -40,8 +43,12 @@ func main() {
 	describe := flag.Bool("describe", false, "print the workload's method inventory and exit")
 	noMerge := flag.Bool("no-merge", false, "disable the merge optimization (Section 4.2)")
 	stats := flag.Bool("stats", false, "print happens-before graph statistics")
-	asJSON := flag.Bool("json", false, "emit velodrome warnings as JSON lines")
+	asJSON := flag.Bool("json", false, "emit velodrome warnings as JSON lines (with -stats: one obs snapshot object)")
 	parallel := flag.Bool("parallel", false, "run on real goroutines instead of the deterministic scheduler")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text or ?format=json) and /debug/pprof/ on this address during the run")
+	heartbeat := flag.Duration("heartbeat", 0, "print a progress line (events/sec, live nodes, warnings) at this interval")
+	profile := flag.String("profile", "", "write a pprof profile: cpu, mem or mutex")
+	profileOut := flag.String("profile-out", "", "profile output file (default <kind>.pprof)")
 	flag.Parse()
 
 	if *list {
@@ -60,11 +67,48 @@ func main() {
 		return
 	}
 
+	// One registry observes the whole stack: the checker (per-kind step
+	// latencies, warnings), the happens-before graph (nodes, edges, GC)
+	// and the scheduler (steps, events, threads). A nil registry makes
+	// the engines skip the clock entirely, so it is attached only when
+	// the run is actually observed — an unobserved run costs exactly
+	// what it did before the instrumentation existed.
+	var reg *obs.Registry
+	if *metricsAddr != "" || *heartbeat > 0 || *stats {
+		reg = obs.NewRegistry()
+	}
+	if *metricsAddr != "" {
+		_, addr, err := obshttp.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "velodrome:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "velodrome: serving /metrics and /debug/pprof/ on http://%s\n", addr)
+	}
+	if *profile != "" {
+		path := *profileOut
+		if path == "" {
+			path = *profile + ".pprof"
+		}
+		stopProf, err := obs.StartProfile(*profile, path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "velodrome:", err)
+			os.Exit(2)
+		}
+		defer func() {
+			if err := stopProf(); err != nil {
+				fmt.Fprintln(os.Stderr, "velodrome: profile:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "velodrome: wrote %s profile to %s\n", *profile, path)
+		}()
+	}
+
 	var be rr.Backend
 	var velo *rr.Velodrome
 	switch *backend {
 	case "velodrome":
-		velo = rr.NewVelodrome(core.Options{NoMerge: *noMerge})
+		velo = rr.NewVelodrome(core.Options{NoMerge: *noMerge, Metrics: reg})
 		be = velo
 	case "atomizer":
 		be = rr.NewAtomizer()
@@ -81,12 +125,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := rr.Options{Seed: *seed, Backend: be, Record: *record != "", Parallel: *parallel}
+	opts := rr.Options{Seed: *seed, Backend: be, Record: *record != "", Parallel: *parallel, Metrics: reg}
 	if *adversarial {
 		adv := rr.NewAtomizerAdvisor()
 		opts.Backend = rr.Multi{be, adv}
 		opts.Advisor = adv
 		opts.ParkSteps = 40
+	}
+	if *heartbeat > 0 {
+		events := reg.Counter("rr_events_total")
+		alive := reg.Gauge("graph_nodes_alive")
+		warns := reg.Counter("velodrome_warnings_total")
+		rate := obs.NewRate(time.Now())
+		stopHB := obs.StartHeartbeat(os.Stderr, *heartbeat, func() string {
+			ev := events.Value()
+			return fmt.Sprintf("heartbeat: %d events (%.0f/s), %d live nodes, %d warnings",
+				ev, rate.Per(ev, time.Now()), alive.Value(), warns.Value())
+		})
+		defer stopHB()
 	}
 	rep := rr.Run(opts, func(t *rr.Thread) {
 		w.Body(t, bench.Params{Scale: *scale})
@@ -133,6 +189,15 @@ func main() {
 					os.Exit(1)
 				}
 			}
+			if *stats {
+				// -stats -json: the full obs snapshot as one JSON object
+				// (counters, gauges, latency histograms) in place of the
+				// human-readable graph table, for scraping tools.
+				if err := reg.Snapshot().WriteJSON(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, "velodrome:", err)
+					os.Exit(1)
+				}
+			}
 			return
 		}
 		fmt.Printf("velodrome: %d warnings across %d methods\n", len(b.Warnings()), len(sums))
@@ -141,8 +206,8 @@ func main() {
 		}
 		if *stats {
 			st := b.Checker.Stats()
-			fmt.Printf("graph: allocated=%d maxAlive=%d collected=%d merged=%d\n",
-				st.Allocated, st.MaxAlive, st.Collected, st.Merged)
+			fmt.Printf("graph: allocated=%d maxAlive=%d collected=%d merged=%d recycled=%d\n",
+				st.Allocated, st.MaxAlive, st.Collected, st.Merged, st.Recycled)
 		}
 		if *dotOut != "" {
 			var firsts []*core.Warning

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/graph"
 	"repro/internal/trace"
 )
@@ -55,6 +57,17 @@ func (c *basicChecker) checkedDepth(t trace.Tid) int {
 
 // Step implements Checker.
 func (c *basicChecker) Step(op trace.Op) *Warning {
+	if c.met == nil {
+		return c.step(op)
+	}
+	start := time.Now()
+	w := c.step(op)
+	c.met.observe(op, w, time.Since(start))
+	return w
+}
+
+// step is the uninstrumented Step body.
+func (c *basicChecker) step(op trace.Op) *Warning {
 	c.init()
 	if c.done {
 		return nil

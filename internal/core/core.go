@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -48,6 +49,12 @@ type Options struct {
 	FirstOnly bool
 	// MaxWarnings bounds the number of recorded warnings (0 = 10000).
 	MaxWarnings int
+	// Metrics, when non-nil, instruments the checker on the named
+	// registry: per-operation-kind step latency histograms and event
+	// counters, warning/blame outcome counters, and the underlying
+	// graph's allocation gauges (see internal/obs). Nil disables all
+	// instrumentation, including the timing calls on the hot path.
+	Metrics *obs.Registry
 	// Ignore names atomic blocks exempted from checking (the paper's
 	// atomicity specification, Section 5: the tool takes "a specification
 	// of which methods in that program should be atomic"). An ignored
@@ -155,10 +162,15 @@ func New(opts Options) Checker {
 	}
 	g := graph.New()
 	g.SetGC(!opts.NoGC)
-	if opts.Engine == Basic {
-		return &basicChecker{common: common{g: g, opts: opts}}
+	var met *checkerMetrics
+	if opts.Metrics != nil {
+		g.SetMetrics(opts.Metrics)
+		met = newCheckerMetrics(opts.Metrics)
 	}
-	return &optChecker{common: common{g: g, opts: opts}}
+	if opts.Engine == Basic {
+		return &basicChecker{common: common{g: g, opts: opts, met: met}}
+	}
+	return &optChecker{common: common{g: g, opts: opts, met: met}}
 }
 
 // Result is the outcome of checking a complete trace.
@@ -185,6 +197,7 @@ func CheckTrace(tr trace.Trace, opts Options) *Result {
 type common struct {
 	g     *graph.Graph
 	opts  Options
+	met   *checkerMetrics // nil when Options.Metrics is nil
 	warns []*Warning
 	idx   int // index of the operation being processed
 	done  bool

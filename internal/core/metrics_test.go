@@ -1,0 +1,145 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// setAdd is the paper's non-serializable Set.add interleaving.
+var setAdd = trace.Trace{
+	trace.Beg(1, "Set.add"),
+	trace.Rd(1, 0),
+	trace.Wr(2, 0),
+	trace.Wr(1, 0),
+	trace.Fin(1),
+}
+
+// TestMetricsPopulated: with Options.Metrics set, both engines account
+// every operation by kind, report their warnings on the registry, and
+// mirror the graph statistics onto gauges that agree with Stats().
+func TestMetricsPopulated(t *testing.T) {
+	for _, eng := range []Engine{Optimized, Basic} {
+		reg := obs.NewRegistry()
+		c := New(Options{Engine: eng, Metrics: reg})
+		for _, op := range setAdd {
+			c.Step(op)
+		}
+		snap := reg.Snapshot()
+		if got := snap.Counters[`velodrome_events_total{kind="rd"}`]; got != 1 {
+			t.Errorf("engine %v: rd events = %d, want 1", eng, got)
+		}
+		if got := snap.Counters[`velodrome_events_total{kind="wr"}`]; got != 2 {
+			t.Errorf("engine %v: wr events = %d, want 2", eng, got)
+		}
+		if got := snap.Counters["velodrome_warnings_total"]; got != 1 {
+			t.Errorf("engine %v: warnings = %d, want 1", eng, got)
+		}
+		h := snap.Histograms[`velodrome_step_ns{kind="wr"}`]
+		if h.Count != 2 {
+			t.Errorf("engine %v: wr latency samples = %d, want 2", eng, h.Count)
+		}
+		st := c.Stats()
+		if got := snap.Counters["graph_nodes_allocated_total"]; got != int64(st.Allocated) {
+			t.Errorf("engine %v: allocated gauge %d, stats %d", eng, got, st.Allocated)
+		}
+		if got := snap.Gauges["graph_nodes_alive"]; got != int64(st.Alive) {
+			t.Errorf("engine %v: alive gauge %d, stats %d", eng, got, st.Alive)
+		}
+		if got := snap.Gauges["graph_nodes_max_alive"]; got != int64(st.MaxAlive) {
+			t.Errorf("engine %v: max-alive gauge %d, stats %d", eng, got, st.MaxAlive)
+		}
+		if snap.Counters["graph_cycle_checks_total"] == 0 {
+			t.Errorf("engine %v: no cycle checks recorded", eng)
+		}
+		if got := snap.Counters["graph_cycles_detected_total"]; got != 1 {
+			t.Errorf("engine %v: cycles detected = %d, want 1", eng, got)
+		}
+	}
+}
+
+// TestMetricsBlameCounters: the optimized engine credits increasing
+// cycles, blame assignment and refuted blocks.
+func TestMetricsBlameCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Options{Metrics: reg})
+	for _, op := range setAdd {
+		c.Step(op)
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"velodrome_warnings_increasing_total",
+		"velodrome_blame_assigned_total",
+		"velodrome_blocks_refuted_total",
+	} {
+		if snap.Counters[name] != 1 {
+			t.Errorf("%s = %d, want 1", name, snap.Counters[name])
+		}
+	}
+}
+
+// TestMetricsOffByDefault: a zero-value Options checker registers
+// nothing and still works (the engines skip all timing).
+func TestMetricsOffByDefault(t *testing.T) {
+	res := CheckTrace(setAdd, Options{})
+	if res.Serializable {
+		t.Fatal("setAdd must be non-serializable")
+	}
+}
+
+// TestMetricsConcurrentScrape snapshots the registry from another
+// goroutine while the checker is stepping — the live-/metrics-endpoint
+// scenario — and is meant to run under -race (tier-1 recipe).
+func TestMetricsConcurrentScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Options{Metrics: reg})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				snap := reg.Snapshot()
+				snap.Prometheus()
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		for _, op := range setAdd {
+			c.Step(op)
+		}
+	}
+	close(done)
+	wg.Wait()
+	snap := reg.Snapshot()
+	if got := snap.Counters[`velodrome_events_total{kind="rd"}`]; got != 2000 {
+		t.Errorf("rd events = %d, want 2000", got)
+	}
+}
+
+// TestGraphRecycledStat: the pool-reuse counter sees GC'd nodes come
+// back from the free list.
+func TestGraphRecycledStat(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Options{NoMerge: true, Metrics: reg})
+	tr := trace.Trace{}
+	for i := 0; i < 10; i++ {
+		tr = append(tr, trace.Wr(1, 0)) // each wraps in a unary txn, GC'd at once
+	}
+	for _, op := range tr {
+		c.Step(op)
+	}
+	st := c.Stats()
+	if st.Recycled == 0 {
+		t.Fatalf("expected free-list reuse, stats: %+v", st)
+	}
+	if got := reg.Snapshot().Counters["graph_nodes_recycled_total"]; got != int64(st.Recycled) {
+		t.Errorf("recycled counter %d, stats %d", got, st.Recycled)
+	}
+}

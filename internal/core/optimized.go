@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/graph"
 	"repro/internal/trace"
 )
@@ -40,6 +42,17 @@ func (c *optChecker) setStack(t trace.Tid, fs []frame) {
 
 // Step implements Checker.
 func (c *optChecker) Step(op trace.Op) *Warning {
+	if c.met == nil {
+		return c.step(op)
+	}
+	start := time.Now()
+	w := c.step(op)
+	c.met.observe(op, w, time.Since(start))
+	return w
+}
+
+// step is the uninstrumented Step body.
+func (c *optChecker) step(op trace.Op) *Warning {
 	if c.done {
 		return nil
 	}

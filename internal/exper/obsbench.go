@@ -1,0 +1,98 @@
+package exper
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/rr"
+	"repro/internal/trace"
+)
+
+// KindLatency is the per-operation-kind analysis-latency summary of one
+// replayed workload: quantiles of the optimized engine's Step time in
+// nanoseconds, extracted from the obs histograms. This is the
+// machine-readable counterpart of Table 1's slowdown columns — the
+// per-event cost the paper's evaluation is built around — recorded as
+// BENCH_obs.json so later PRs can track the trajectory.
+type KindLatency struct {
+	Kind   string  `json:"kind"`
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P90Ns  float64 `json:"p90_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+// ObsWorkload is one workload's entry in the observability benchmark.
+type ObsWorkload struct {
+	Name     string        `json:"name"`
+	Events   int           `json:"events"`
+	Warnings int64         `json:"warnings"`
+	MaxAlive int64         `json:"graph_max_alive"`
+	Kinds    []KindLatency `json:"kinds"`
+}
+
+// ObsReport is the BENCH_obs.json document.
+type ObsReport struct {
+	Seed      int64         `json:"seed"`
+	Scale     int           `json:"scale"`
+	Workloads []ObsWorkload `json:"workloads"`
+}
+
+// ReplayObs records each benchmark's event stream once and replays it
+// through a metrics-instrumented optimized engine (no scheduler in the
+// loop, as in Replay), returning per-event-kind latency quantiles.
+func ReplayObs(seed int64, scale int) *ObsReport {
+	out := &ObsReport{Seed: seed, Scale: scale}
+	for _, w := range bench.All() {
+		rep := rr.Run(rr.Options{Seed: seed, Record: true}, func(t *rr.Thread) {
+			w.Body(t, bench.Params{Scale: scale})
+		})
+		reg := obs.NewRegistry()
+		velo := rr.NewVelodrome(core.Options{Metrics: reg})
+		for _, op := range rep.Trace {
+			velo.Event(op)
+		}
+		out.Workloads = append(out.Workloads, obsWorkload(w.Name, len(rep.Trace), reg.Snapshot()))
+	}
+	return out
+}
+
+// obsWorkload extracts the per-kind latency summary from a checker's
+// registry snapshot.
+func obsWorkload(name string, events int, snap obs.Snapshot) ObsWorkload {
+	w := ObsWorkload{
+		Name:     name,
+		Events:   events,
+		Warnings: snap.Counters["velodrome_warnings_total"],
+		MaxAlive: snap.Gauges["graph_nodes_max_alive"],
+	}
+	for k := trace.Read; k <= trace.Join; k++ {
+		h, ok := snap.Histograms[fmt.Sprintf("velodrome_step_ns{kind=%q}", k)]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		w.Kinds = append(w.Kinds, KindLatency{
+			Kind:   k.String(),
+			Count:  h.Count,
+			MeanNs: h.Mean(),
+			P50Ns:  h.P50,
+			P90Ns:  h.P90,
+			P99Ns:  h.P99,
+			MaxNs:  h.Max,
+		})
+	}
+	return w
+}
+
+// WriteJSON writes the report as one indented JSON object.
+func (r *ObsReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

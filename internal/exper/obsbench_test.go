@@ -1,0 +1,82 @@
+package exper
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// TestObsWorkloadShape drives a small instrumented check and verifies
+// the extracted per-kind summary and its JSON rendering, without the
+// cost of replaying real workloads.
+func TestObsWorkloadShape(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := core.New(core.Options{Metrics: reg})
+	tr := trace.Trace{
+		trace.Beg(1, "Set.add"),
+		trace.Rd(1, 0),
+		trace.Wr(2, 0),
+		trace.Wr(1, 0),
+		trace.Fin(1),
+	}
+	for _, op := range tr {
+		c.Step(op)
+	}
+	w := obsWorkload("toy", len(tr), reg.Snapshot())
+	if w.Name != "toy" || w.Events != 5 || w.Warnings != 1 {
+		t.Fatalf("workload summary: %+v", w)
+	}
+	byKind := map[string]KindLatency{}
+	for _, k := range w.Kinds {
+		byKind[k.Kind] = k
+	}
+	if byKind["rd"].Count != 1 || byKind["wr"].Count != 2 {
+		t.Errorf("kind counts: %+v", byKind)
+	}
+	if k, ok := byKind["acq"]; ok {
+		t.Errorf("zero-count kind should be omitted: %+v", k)
+	}
+	for _, k := range w.Kinds {
+		if k.MaxNs < 0 || k.P50Ns < 0 || k.P99Ns < float64(0) || k.MeanNs <= 0 {
+			t.Errorf("suspicious latencies for %s: %+v", k.Kind, k)
+		}
+	}
+
+	rep := &ObsReport{Seed: 1, Scale: 1, Workloads: []ObsWorkload{w}}
+	var b strings.Builder
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back ObsReport
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(back.Workloads) != 1 || back.Workloads[0].Name != "toy" {
+		t.Errorf("round-tripped report: %+v", back)
+	}
+}
+
+// TestReplayObsOneWorkload smoke-tests the full recording+replay path
+// on the cheapest workload set by running at scale 1 and checking every
+// workload produced events and kind summaries.
+func TestReplayObsOneWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay of all workloads in -short mode")
+	}
+	rep := ReplayObs(1, 1)
+	if len(rep.Workloads) == 0 {
+		t.Fatal("no workloads")
+	}
+	for _, w := range rep.Workloads {
+		if w.Events == 0 {
+			t.Errorf("%s: no events", w.Name)
+		}
+		if len(w.Kinds) == 0 {
+			t.Errorf("%s: no kind summaries", w.Name)
+		}
+	}
+}

@@ -67,6 +67,9 @@ func (g *Graph) AddEdge(from, to Step, op trace.Op) *Cycle {
 		return nil
 	}
 	src, dst := from.ID(), to.ID()
+	if g.met != nil {
+		g.met.cycleChecks.Inc()
+	}
 	// O(1) cycle test via the ancestor sets; the DFS below runs only on
 	// the (rare) violation path, to extract the cycle for the report.
 	if g.isAncestor(dst, src) {
@@ -85,6 +88,9 @@ func (g *Graph) AddEdge(from, to Step, op trace.Op) *Cycle {
 			TailTime: from.Time(), HeadTime: to.Time(),
 			Op: op,
 		})
+		if g.met != nil {
+			g.met.cyclesDetected.Inc()
+		}
 		return &Cycle{Edges: edges}
 	}
 	nd := &g.nodes[src]
@@ -100,6 +106,10 @@ func (g *Graph) AddEdge(from, to Step, op trace.Op) *Cycle {
 	nd.out = append(nd.out, edge{to: dst, tailTime: from.Time(), headTime: to.Time(), op: op})
 	g.nodes[dst].in++
 	g.stats.Edges++
+	if g.met != nil {
+		g.met.edgesAdded.Inc()
+		g.met.edges.Add(1)
+	}
 	g.addAncestors(dst, g.ancestorsPlusSelf(src))
 	return nil
 }

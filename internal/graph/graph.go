@@ -91,6 +91,7 @@ type node struct {
 // columns of Table 1.
 type Stats struct {
 	Allocated int // total nodes ever allocated (both engines' "Allocated")
+	Recycled  int // allocations served from the free list (pool reuse)
 	MaxAlive  int // peak simultaneously live nodes ("Max. Alive")
 	Alive     int // currently live nodes
 	Collected int // nodes garbage collected
@@ -108,6 +109,7 @@ type Graph struct {
 	scratch    []Step     // Merge's reusable candidate buffer
 	ancScratch []ancEntry // ancestorsPlusSelf's reusable buffer
 	stats      Stats
+	met        *metrics // optional obs mirror, see SetMetrics
 }
 
 // New returns an empty graph with garbage collection enabled.
@@ -132,6 +134,10 @@ func (g *Graph) NewNode(active bool, data any) Step {
 	if n := len(g.free); n > 0 {
 		id = g.free[n-1]
 		g.free = g.free[:n-1]
+		g.stats.Recycled++
+		if g.met != nil {
+			g.met.recycled.Inc()
+		}
 	} else {
 		if len(g.nodes) >= maxNodes {
 			panic("graph: node pool exhausted (65536 live nodes); enable GC")
@@ -152,6 +158,11 @@ func (g *Graph) NewNode(active bool, data any) Step {
 	g.stats.Alive++
 	if g.stats.Alive > g.stats.MaxAlive {
 		g.stats.MaxAlive = g.stats.Alive
+	}
+	if g.met != nil {
+		g.met.allocated.Inc()
+		g.met.alive.Add(1)
+		g.met.maxAlive.SetMax(int64(g.stats.MaxAlive))
 	}
 	return pack(id, birth)
 }
@@ -232,6 +243,11 @@ func (g *Graph) maybeCollect(id NodeID) {
 	g.stats.Alive--
 	g.stats.Collected++
 	g.stats.Edges -= len(out)
+	if g.met != nil {
+		g.met.collected.Inc()
+		g.met.alive.Add(-1)
+		g.met.edges.Add(int64(-len(out)))
+	}
 	g.free = append(g.free, id)
 	for _, e := range out {
 		to := &g.nodes[e.to]

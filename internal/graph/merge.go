@@ -48,6 +48,9 @@ func (g *Graph) Merge(preds []Step, op trace.Op, data any) Step {
 		}
 		if ok {
 			g.stats.Merged++
+			if g.met != nil {
+				g.met.merged.Inc()
+			}
 			return cand
 		}
 	}

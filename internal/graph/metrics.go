@@ -1,0 +1,48 @@
+package graph
+
+import "repro/internal/obs"
+
+// metrics mirrors the graph's allocation statistics onto an
+// obs.Registry so a live run can be scraped. The plain Stats struct
+// remains the single internal source of truth (and its API is
+// unchanged); when a registry is attached every mutation additionally
+// updates the corresponding instrument — each a single atomic add, so
+// the checker's hot path stays cheap and the gauges are safe to read
+// from a heartbeat or HTTP goroutine mid-run.
+type metrics struct {
+	allocated      *obs.Counter
+	recycled       *obs.Counter
+	collected      *obs.Counter
+	merged         *obs.Counter
+	cycleChecks    *obs.Counter
+	cyclesDetected *obs.Counter
+	edgesAdded     *obs.Counter
+	alive          *obs.Gauge
+	maxAlive       *obs.Gauge
+	edges          *obs.Gauge
+}
+
+// SetMetrics attaches (or, with nil, detaches) a registry. The gauges
+// are seeded from the current Stats so mid-run attachment starts
+// consistent; the counters count from attachment onward.
+func (g *Graph) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		g.met = nil
+		return
+	}
+	g.met = &metrics{
+		allocated:      r.Counter("graph_nodes_allocated_total"),
+		recycled:       r.Counter("graph_nodes_recycled_total"),
+		collected:      r.Counter("graph_nodes_collected_total"),
+		merged:         r.Counter("graph_merges_total"),
+		cycleChecks:    r.Counter("graph_cycle_checks_total"),
+		cyclesDetected: r.Counter("graph_cycles_detected_total"),
+		edgesAdded:     r.Counter("graph_edges_added_total"),
+		alive:          r.Gauge("graph_nodes_alive"),
+		maxAlive:       r.Gauge("graph_nodes_max_alive"),
+		edges:          r.Gauge("graph_edges_alive"),
+	}
+	g.met.alive.Set(int64(g.stats.Alive))
+	g.met.maxAlive.SetMax(int64(g.stats.MaxAlive))
+	g.met.edges.Set(int64(g.stats.Edges))
+}

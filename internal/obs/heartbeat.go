@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// StartHeartbeat writes line() to w every interval until the returned
+// stop function is called. stop waits for the goroutine to exit, so no
+// line is written after it returns. line runs on the heartbeat
+// goroutine: it must only read concurrency-safe state (obs instruments
+// qualify; engine internals do not).
+func StartHeartbeat(w io.Writer, interval time.Duration, line func() string) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				io.WriteString(w, line()+"\n")
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// Rate tracks an events-per-second figure between heartbeat ticks: each
+// call returns the per-second rate of the counter since the previous
+// call. Not safe for concurrent use; the single heartbeat goroutine is
+// the intended caller.
+type Rate struct {
+	last  int64
+	lastT time.Time
+}
+
+// Per returns the per-second rate of cur since the previous call (the
+// first call measures since NewRate).
+func (r *Rate) Per(cur int64, now time.Time) float64 {
+	dt := now.Sub(r.lastT).Seconds()
+	d := cur - r.last
+	r.last, r.lastT = cur, now
+	if dt <= 0 {
+		return 0
+	}
+	return float64(d) / dt
+}
+
+// NewRate returns a Rate anchored at now.
+func NewRate(now time.Time) *Rate { return &Rate{lastT: now} }

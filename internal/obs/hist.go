@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the number of finite histogram buckets. Bucket i counts
+// observations v with bound(i-1) < v <= bound(i) where bound(i) = 2^i,
+// so the finite range spans 1 ns .. 2^27 ns (~134 ms) — generous for
+// per-event analysis latencies, which Table 1's replay harness measures
+// in the tens-to-hundreds of nanoseconds. Larger observations land in a
+// +Inf overflow bucket; the exact maximum is tracked separately.
+const NumBuckets = 28
+
+// BucketBound returns the inclusive upper bound of finite bucket i.
+func BucketBound(i int) int64 { return 1 << i }
+
+// bucketOf returns the index of the bucket counting v, where
+// NumBuckets denotes the +Inf overflow bucket.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	// Smallest i with 2^i >= v.
+	i := bits.Len64(uint64(v - 1))
+	if i >= NumBuckets {
+		return NumBuckets
+	}
+	return i
+}
+
+// A Histogram is a fixed-bucket power-of-two latency histogram. Observe
+// is three atomic adds plus a CAS loop for the maximum; there is no
+// locking, so concurrent observers and snapshotters are safe (a
+// concurrent snapshot may be torn by at most the observations in
+// flight, which is harmless for monitoring).
+type Histogram struct {
+	counts [NumBuckets + 1]atomic.Int64 // last bucket is +Inf
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// Observe records one value (nanoseconds, by convention). Negative
+// values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// snapshot copies the histogram state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Sum: h.sum.Load(), Max: h.max.Load()}
+	s.Counts = make([]int64, NumBuckets+1)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a histogram, with the
+// standard quantiles precomputed for JSON consumers.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Max    int64   `json:"max"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+	Counts []int64 `json:"buckets"` // per-bucket (not cumulative); last is +Inf
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation within the containing bucket, the usual Prometheus
+// histogram_quantile estimate. The overflow bucket interpolates up to
+// the tracked maximum, and the estimate is clamped to it.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		lo, hi := 0.0, float64(BucketBound(i))
+		if i > 0 {
+			lo = float64(BucketBound(i - 1))
+		}
+		if i == len(s.Counts)-1 || hi > float64(s.Max) {
+			hi = float64(s.Max) // tighten with the exact maximum
+		}
+		if hi < lo {
+			hi = lo
+		}
+		est := lo + (hi-lo)*(rank-float64(cum))/float64(c)
+		return math.Min(est, float64(s.Max))
+	}
+	return float64(s.Max)
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHeartbeat(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	n := 0
+	stop := StartHeartbeat(w, time.Millisecond, func() string {
+		n++
+		return "tick"
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		lines := strings.Count(b.String(), "tick")
+		mu.Unlock()
+		if lines >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat never ticked 3 times")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	mu.Lock()
+	after := b.String()
+	mu.Unlock()
+	time.Sleep(5 * time.Millisecond)
+	mu.Lock()
+	if b.String() != after {
+		t.Error("heartbeat wrote after stop returned")
+	}
+	mu.Unlock()
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestRate(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	r := NewRate(t0)
+	if got := r.Per(500, t0.Add(time.Second)); got != 500 {
+		t.Errorf("rate = %v, want 500", got)
+	}
+	if got := r.Per(1500, t0.Add(3*time.Second)); got != 500 {
+		t.Errorf("rate = %v, want 500", got)
+	}
+	if got := r.Per(1500, t0.Add(3*time.Second)); got != 0 {
+		t.Errorf("zero-interval rate = %v, want 0", got)
+	}
+}
+
+func TestStartProfile(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"cpu", "mem", "mutex"} {
+		path := filepath.Join(dir, kind+".pprof")
+		stop, err := StartProfile(kind, path)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		// Generate a little work so the CPU profile has samples to write.
+		x := 0
+		for i := 0; i < 1_000_000; i++ {
+			x += i
+		}
+		_ = x
+		if err := stop(); err != nil {
+			t.Fatalf("stop %s: %v", kind, err)
+		}
+		if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+			t.Errorf("%s profile missing or empty: %v", kind, err)
+		}
+	}
+	if _, err := StartProfile("bogus", filepath.Join(dir, "x")); err == nil {
+		t.Error("bogus kind must error")
+	}
+}

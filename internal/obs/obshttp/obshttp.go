@@ -1,0 +1,70 @@
+// Package obshttp exposes an obs.Registry over HTTP: the /metrics
+// endpoint (Prometheus text or JSON) plus the standard net/http/pprof
+// profiles. It is a separate package so that binaries which only
+// record metrics — or don't observe at all — never link the HTTP
+// stack; only commands offering a -metrics-addr flag pay for it.
+package obshttp
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Handler returns an HTTP handler exposing the registry:
+//
+//	/metrics                Prometheus text (add ?format=json for JSON)
+//	/debug/pprof/...        the standard net/http/pprof profiles
+//	/                       a small index linking the above
+//
+// The pprof handlers are mounted explicitly so the handler works on any
+// mux without touching http.DefaultServeMux.
+func Handler(r *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(`<html><body><h1>velodrome observability</h1>
+<ul>
+<li><a href="/metrics">/metrics</a> (Prometheus text; <a href="/metrics?format=json">JSON</a>)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a></li>
+</ul></body></html>`))
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for Handler(r) on addr in a background
+// goroutine and returns the server and the bound address (useful with
+// ":0"). The caller owns shutdown; for the CLIs the server simply dies
+// with the process.
+func Serve(addr string, r *obs.Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,79 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestHandlerMetricsAndPprof(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("rr_events_total").Add(42)
+	r.Histogram(`velodrome_step_ns{kind="rd"}`).Observe(150)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "rr_events_total 42") {
+		t.Errorf("/metrics: %d\n%s", code, body)
+	}
+	if !strings.Contains(body, `velodrome_step_ns_bucket{kind="rd",le=`) {
+		t.Errorf("/metrics missing histogram buckets:\n%s", body)
+	}
+
+	code, body = get("/metrics?format=json")
+	if code != 200 {
+		t.Fatalf("/metrics?format=json: %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("JSON metrics: %v", err)
+	}
+	if snap.Counters["rr_events_total"] != 42 {
+		t.Errorf("JSON counters: %+v", snap.Counters)
+	}
+
+	if code, body = get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: %d", code)
+	}
+	if code, _ = get("/"); code != 200 {
+		t.Errorf("index: %d", code)
+	}
+	if code, _ = get("/nope"); code != 404 {
+		t.Errorf("unknown path: %d, want 404", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Gauge("graph_nodes_alive").Set(7)
+	srv, addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "graph_nodes_alive 7") {
+		t.Errorf("served metrics:\n%s", body)
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfile begins collecting the named profile and returns a stop
+// function that finalizes it into path. Supported kinds:
+//
+//	cpu    sampled CPU profile (pprof.StartCPUProfile)
+//	mem    heap profile written at stop, after a forced GC
+//	mutex  contended-mutex profile over the profiled window
+//
+// The stop function must be called exactly once (typically deferred in
+// main) and reports any write error.
+func StartProfile(kind, path string) (stop func() error, err error) {
+	switch kind {
+	case "cpu":
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		}, nil
+	case "mem":
+		return func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle live-object accounting
+			return pprof.Lookup("heap").WriteTo(f, 0)
+		}, nil
+	case "mutex":
+		runtime.SetMutexProfileFraction(1)
+		return func() error {
+			defer runtime.SetMutexProfileFraction(0)
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return pprof.Lookup("mutex").WriteTo(f, 0)
+		}, nil
+	default:
+		return nil, fmt.Errorf("obs: unknown profile kind %q (want cpu, mem or mutex)", kind)
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+// Maps are keyed by the full series name (base name plus baked-in
+// labels); renderings iterate in sorted order, so two snapshots of the
+// same state produce byte-identical output.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current value of every registered instrument.
+// Safe to call while the instruments are being updated.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(histograms)),
+	}
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range histograms {
+		s.Histograms[k] = h.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as one JSON object.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// splitSeries separates a series key into its base metric name and the
+// baked-in label body: `a_total{kind="rd"}` → ("a_total", `kind="rd"`).
+func splitSeries(key string) (name, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 && strings.HasSuffix(key, "}") {
+		return key[:i], key[i+1 : len(key)-1]
+	}
+	return key, ""
+}
+
+// series renders name{labels,extra...} with any empty parts omitted.
+func series(name, labels string, extra ...string) string {
+	parts := make([]string, 0, 1+len(extra))
+	if labels != "" {
+		parts = append(parts, labels)
+	}
+	parts = append(parts, extra...)
+	if len(parts) == 0 {
+		return name
+	}
+	return name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4). Histograms emit cumulative
+// _bucket series with `le` labels, plus _sum and _count. A # TYPE line
+// precedes the first series of each base metric name.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	typed := map[string]bool{}
+	typeLine := func(name, kind string) {
+		if !typed[name] {
+			typed[name] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+		}
+	}
+	for _, key := range sortedKeys(s.Counters) {
+		name, labels := splitSeries(key)
+		typeLine(name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", series(name, labels), s.Counters[key])
+	}
+	for _, key := range sortedKeys(s.Gauges) {
+		name, labels := splitSeries(key)
+		typeLine(name, "gauge")
+		fmt.Fprintf(&b, "%s %d\n", series(name, labels), s.Gauges[key])
+	}
+	for _, key := range sortedKeys(s.Histograms) {
+		name, labels := splitSeries(key)
+		h := s.Histograms[key]
+		typeLine(name, "histogram")
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			if c == 0 && i < len(h.Counts)-1 {
+				continue // sparse rendering; cumulative counts stay exact
+			}
+			le := "+Inf"
+			if i < len(h.Counts)-1 {
+				le = fmt.Sprintf("%d", BucketBound(i))
+			}
+			fmt.Fprintf(&b, "%s %d\n", series(name+"_bucket", labels, `le="`+le+`"`), cum)
+		}
+		fmt.Fprintf(&b, "%s %d\n", series(name+"_sum", labels), h.Sum)
+		fmt.Fprintf(&b, "%s %d\n", series(name+"_count", labels), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Prometheus returns the Prometheus text rendering as a string.
+func (s Snapshot) Prometheus() string {
+	var b strings.Builder
+	s.WritePrometheus(&b)
+	return b.String()
+}

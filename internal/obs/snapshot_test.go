@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition of a small
+// registry: sorted series, one # TYPE line per base metric, cumulative
+// histogram buckets with sparse zero-bucket elision, and labels baked
+// into series names merged with the le label.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("velodrome_warnings_total").Add(3)
+	r.Counter(`velodrome_events_total{kind="rd"}`).Add(10)
+	r.Counter(`velodrome_events_total{kind="wr"}`).Add(7)
+	r.Gauge("graph_nodes_alive").Set(5)
+	h := r.Histogram(`velodrome_step_ns{kind="rd"}`)
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(3)
+
+	const want = `# TYPE velodrome_events_total counter
+velodrome_events_total{kind="rd"} 10
+velodrome_events_total{kind="wr"} 7
+# TYPE velodrome_warnings_total counter
+velodrome_warnings_total 3
+# TYPE graph_nodes_alive gauge
+graph_nodes_alive 5
+# TYPE velodrome_step_ns histogram
+velodrome_step_ns_bucket{kind="rd",le="1"} 1
+velodrome_step_ns_bucket{kind="rd",le="4"} 3
+velodrome_step_ns_bucket{kind="rd",le="+Inf"} 3
+velodrome_step_ns_sum{kind="rd"} 7
+velodrome_step_ns_count{kind="rd"} 3
+`
+	got := r.Snapshot().Prometheus()
+	if got != want {
+		t.Errorf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSnapshotDeterminism: snapshots of unchanged state render
+// identically, and a snapshot is an immutable copy — later updates do
+// not leak into it.
+func TestSnapshotDeterminism(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"z_total", "a_total", "m_total"} {
+		r.Counter(n).Add(1)
+	}
+	r.Histogram("h_ns").Observe(42)
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if s1.Prometheus() != s2.Prometheus() {
+		t.Error("two snapshots of the same state differ")
+	}
+	frozen := s1.Prometheus()
+	r.Counter("a_total").Add(99)
+	r.Histogram("h_ns").Observe(7)
+	if s1.Prometheus() != frozen {
+		t.Error("snapshot mutated by later registry updates")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(2)
+	r.Gauge("g").Set(-4)
+	r.Histogram("h_ns").Observe(100)
+	var b strings.Builder
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("round-trip: %v\n%s", err, b.String())
+	}
+	if back.Counters["c_total"] != 2 || back.Gauges["g"] != -4 {
+		t.Errorf("bad values: %+v", back)
+	}
+	h := back.Histograms["h_ns"]
+	if h.Count != 1 || h.Max != 100 || h.P50 <= 0 {
+		t.Errorf("bad histogram: %+v", h)
+	}
+}
+
+func TestSplitSeries(t *testing.T) {
+	for _, c := range []struct{ in, name, labels string }{
+		{"plain_total", "plain_total", ""},
+		{`x{kind="rd"}`, "x", `kind="rd"`},
+		{`x{a="1",b="2"}`, "x", `a="1",b="2"`},
+	} {
+		n, l := splitSeries(c.in)
+		if n != c.name || l != c.labels {
+			t.Errorf("splitSeries(%q) = (%q, %q)", c.in, n, l)
+		}
+	}
+}

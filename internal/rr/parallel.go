@@ -41,6 +41,10 @@ func (rt *Runtime) spawnParallel(body func(*Thread)) *thread {
 	th := &thread{id: rt.nextTid}
 	rt.threads = append(rt.threads, th)
 	rt.report.Threads++
+	if rt.met != nil {
+		rt.met.threads.Inc()
+		rt.met.threadsLive.Add(1)
+	}
 	p.wg.Add(1)
 	api := &Thread{rt: rt, th: th}
 	go func() {
@@ -48,6 +52,9 @@ func (rt *Runtime) spawnParallel(body func(*Thread)) *thread {
 			r := recover()
 			p.mu.Lock()
 			th.finished = true
+			if rt.met != nil {
+				rt.met.threadsLive.Add(-1)
+			}
 			if r != nil && rt.panicVal == nil {
 				rt.panicVal = r
 			}
@@ -80,6 +87,9 @@ func (t *Thread) doParallel(op trace.Op, action func(), finalize func() trace.Op
 			// microseconds; the lock is dropped so other threads can
 			// provoke the witnessing interleaving meanwhile.
 			rt.report.Delays++
+			if rt.met != nil {
+				rt.met.delays.Inc()
+			}
 			p.mu.Unlock()
 			time.Sleep(time.Duration(rt.opts.ParkSteps) * 50 * time.Microsecond)
 			p.mu.Lock()
@@ -102,8 +112,14 @@ func (t *Thread) doParallel(op trace.Op, action func(), finalize func() trace.Op
 		rt.emit(op)
 	}
 	rt.report.Steps++
+	if rt.met != nil {
+		rt.met.steps.Inc()
+	}
 	if rt.report.Steps >= rt.opts.MaxSteps {
 		rt.report.Truncated = true
+		if rt.met != nil {
+			rt.met.truncations.Inc()
+		}
 		p.stopped = true
 	}
 	release := op.Kind == trace.Release || p.stopped

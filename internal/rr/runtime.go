@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -64,6 +65,34 @@ type Options struct {
 	// RoadRunner actually deploys. Seed is ignored; runs are
 	// nondeterministic; deadlocked workloads hang (no detection).
 	Parallel bool
+	// Metrics, when non-nil, mirrors the run's progress onto the
+	// registry (scheduling steps, events delivered, thread counts,
+	// advisor delays) so a heartbeat or /metrics scrape can watch a
+	// live run. Nil costs nothing.
+	Metrics *obs.Registry
+}
+
+// rrMetrics caches the runtime's instruments (see Options.Metrics).
+type rrMetrics struct {
+	steps       *obs.Counter
+	events      *obs.Counter
+	delays      *obs.Counter
+	threads     *obs.Counter
+	threadsLive *obs.Gauge
+	deadlocks   *obs.Counter
+	truncations *obs.Counter
+}
+
+func newRRMetrics(r *obs.Registry) *rrMetrics {
+	return &rrMetrics{
+		steps:       r.Counter("rr_sched_steps_total"),
+		events:      r.Counter("rr_events_total"),
+		delays:      r.Counter("rr_delays_total"),
+		threads:     r.Counter("rr_threads_total"),
+		threadsLive: r.Gauge("rr_threads_live"),
+		deadlocks:   r.Counter("rr_deadlocks_total"),
+		truncations: r.Counter("rr_truncations_total"),
+	}
 }
 
 // Report is the outcome of a run.
@@ -104,7 +133,8 @@ type Runtime struct {
 	ctl      chan *thread
 	aborted  bool
 	panicVal any
-	par      *pruntime // set in parallel mode
+	par      *pruntime  // set in parallel mode
+	met      *rrMetrics // nil when Options.Metrics is nil
 	report   Report
 }
 
@@ -126,6 +156,9 @@ func Run(opts Options, main func(*Thread)) *Report {
 		owner:    map[trace.Var]trace.Tid{},
 		ctl:      make(chan *thread),
 	}
+	if opts.Metrics != nil {
+		rt.met = newRRMetrics(opts.Metrics)
+	}
 	if opts.Parallel {
 		rt.runParallel(main)
 	} else {
@@ -146,6 +179,10 @@ func (rt *Runtime) spawn(body func(*Thread)) *thread {
 	th := &thread{id: rt.nextTid, resume: make(chan struct{})}
 	rt.threads = append(rt.threads, th)
 	rt.report.Threads++
+	if rt.met != nil {
+		rt.met.threads.Inc()
+		rt.met.threadsLive.Add(1)
+	}
 	api := &Thread{rt: rt, th: th}
 	go func() {
 		defer func() {
@@ -156,6 +193,9 @@ func (rt *Runtime) spawn(body func(*Thread)) *thread {
 					rt.panicVal = r
 				}
 				th.finished = true
+				if rt.met != nil {
+					rt.met.threadsLive.Add(-1)
+				}
 				rt.ctl <- th
 			}
 		}()
@@ -165,6 +205,9 @@ func (rt *Runtime) spawn(body func(*Thread)) *thread {
 		}
 		body(api)
 		th.finished = true
+		if rt.met != nil {
+			rt.met.threadsLive.Add(-1)
+		}
 		rt.ctl <- th
 	}()
 	return th
@@ -187,6 +230,9 @@ func (rt *Runtime) loop() {
 		}
 		if rt.report.Steps >= rt.opts.MaxSteps {
 			rt.report.Truncated = true
+			if rt.met != nil {
+				rt.met.truncations.Inc()
+			}
 			return
 		}
 		cands := rt.enabled()
@@ -195,10 +241,16 @@ func (rt *Runtime) loop() {
 				continue
 			}
 			rt.report.Deadlocked = true
+			if rt.met != nil {
+				rt.met.deadlocks.Inc()
+			}
 			return
 		}
 		th := cands[rt.rng.Intn(len(cands))]
 		rt.report.Steps++
+		if rt.met != nil {
+			rt.met.steps.Inc()
+		}
 		if debugCands != nil {
 			debugCands(len(cands), th.delayed)
 		}
@@ -210,6 +262,9 @@ func (rt *Runtime) loop() {
 				th.park = rt.opts.ParkSteps
 				th.delayed = true
 				rt.report.Delays++
+				if rt.met != nil {
+					rt.met.delays.Inc()
+				}
 				continue
 			}
 		}
@@ -338,6 +393,9 @@ func (rt *Runtime) emit(op trace.Op) {
 		}
 	}
 	rt.report.Events++
+	if rt.met != nil {
+		rt.met.events.Inc()
+	}
 	if rt.opts.Backend != nil {
 		rt.opts.Backend.Event(op)
 	}
