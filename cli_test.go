@@ -27,7 +27,7 @@ func tools(t *testing.T) string {
 			return
 		}
 		toolDir = dir
-		for _, cmd := range []string{"velodrome", "velobench", "tracecheck"} {
+		for _, cmd := range []string{"velodrome", "velobench", "tracecheck", "veloinstr"} {
 			out, err := exec.Command("go", "build", "-o", filepath.Join(dir, cmd), "./cmd/"+cmd).CombinedOutput()
 			if err != nil {
 				buildErr = err
@@ -334,5 +334,138 @@ func TestCLIVelodromeParallel(t *testing.T) {
 	}
 	if !strings.Contains(out, "velodrome: 0 warnings") {
 		t.Errorf("raja under real goroutines must stay clean:\n%s", out)
+	}
+}
+
+// runToolStdin is runTool with the contents of a file piped to stdin.
+func runToolStdin(t *testing.T, stdinPath, name string, args ...string) (string, int) {
+	t.Helper()
+	f, err := os.Open(stdinPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cmd := exec.Command(filepath.Join(tools(t), name), args...)
+	cmd.Stdin = f
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v", name, args, err)
+	}
+	return string(out), code
+}
+
+// TestCLIVeloinstrAnalyze checks the classification table: the bank
+// example must show a nonzero pruned set with the right classes.
+func TestCLIVeloinstrAnalyze(t *testing.T) {
+	out, code := runTool(t, "veloinstr", "-analyze", "examples/instr/bankbug")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"1 shared, 1 thread-local, 2 lock-protected",
+		"balance", "pruned (held: mu)",
+		"openingBalance", "thread-local",
+		"atomic blocks: [withdrawAll]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestCLIVeloinstrAnnotationLint checks -analyze's well-formedness
+// pass over //velo: directives on a fixture where every one is bad.
+func TestCLIVeloinstrAnnotationLint(t *testing.T) {
+	out, code := runTool(t, "veloinstr", "-analyze", "testdata/instr/badannot")
+	if code != 1 {
+		t.Fatalf("ill-formed annotations must exit 1; exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"unknown directive //velo:atomicc",
+		"malformed //velo:atomic label",
+		"must be in the doc comment of a function declaration",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Outside -analyze, bad annotations are an input error (exit 2).
+	if _, code := runTool(t, "veloinstr", "testdata/instr/badannot"); code != 2 {
+		t.Errorf("instrumenting badannot should exit 2, got %d", code)
+	}
+}
+
+// TestCLIVeloinstrRunBankbug is the headline end-to-end path: the
+// seeded atomicity bug must be reported by both engines with the serial
+// oracle agreeing, and the saved trace must round-trip through
+// tracecheck's new stdin mode with the same verdict.
+func TestCLIVeloinstrRunBankbug(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "bankbug.trace")
+	out, code := runTool(t, "veloinstr", "-run", "-trace", tracePath, "examples/instr/bankbug")
+	if code != 1 {
+		t.Fatalf("bankbug must be non-serializable; exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"NOT serializable",
+		"(basic); serial oracle confirms",
+		"withdrawAll",
+		"is not atomic",
+		"pruned",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	out, code = runToolStdin(t, tracePath, "tracecheck", "-q", "-in", "-")
+	if code != 1 || !strings.Contains(out, "NOT serializable") {
+		t.Fatalf("tracecheck -in - on the saved trace: exit %d:\n%s", code, out)
+	}
+}
+
+func TestCLIVeloinstrRunFixed(t *testing.T) {
+	out, code := runTool(t, "veloinstr", "-run", "examples/instr/bankfixed")
+	if code != 0 {
+		t.Fatalf("bankfixed must be serializable; exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "serializable: basic and optimized engines agree, serial oracle confirms") {
+		t.Errorf("missing agreement line:\n%s", out)
+	}
+}
+
+// TestCLIVeloinstrPruneSound is the empirical soundness check for the
+// redundant-event optimization: on every example, instrumenting with
+// and without pruning must yield the same verdict.
+func TestCLIVeloinstrPruneSound(t *testing.T) {
+	for _, ex := range []string{"bankbug", "bankfixed", "counter"} {
+		dir := "examples/instr/" + ex
+		outP, codeP := runTool(t, "veloinstr", "-run", dir)
+		outN, codeN := runTool(t, "veloinstr", "-run", "-noprune", dir)
+		if codeP == 2 || codeN == 2 {
+			t.Fatalf("%s: infrastructure error\npruned:\n%s\nnoprune:\n%s", ex, outP, outN)
+		}
+		if codeP != codeN {
+			t.Errorf("%s: pruning changed the verdict: pruned exit %d, noprune exit %d\npruned:\n%s\nnoprune:\n%s",
+				ex, codeP, codeN, outP, outN)
+		}
+		if !strings.Contains(outN, " 0 pruned)") {
+			t.Errorf("%s: -noprune must not prune:\n%s", ex, outN)
+		}
+	}
+}
+
+// TestCLIVeloinstrObsJSON checks that -run surfaces the front-end
+// metrics through the obs snapshot.
+func TestCLIVeloinstrObsJSON(t *testing.T) {
+	out, code := runTool(t, "veloinstr", "-run", "-obs-json", "examples/instr/counter")
+	if code != 1 {
+		t.Fatalf("counter must be non-serializable; exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{`"instr_vars_lock_protected":1`, `"instr_sites_pruned":`, `"instr_trace_ops":`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in obs snapshot:\n%s", want, out)
+		}
 	}
 }

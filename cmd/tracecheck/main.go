@@ -5,6 +5,7 @@
 //
 //	tracecheck trace.txt
 //	tracecheck -          # read standard input
+//	tracecheck -in -      # same, flag form (for pipelines)
 //	tracecheck -dot out.dot trace.txt
 //
 // The trace syntax:
@@ -38,14 +39,20 @@ func main() {
 	profile := flag.String("profile", "", "write a pprof profile: cpu, mem or mutex")
 	profileOut := flag.String("profile-out", "", "profile output file (default <kind>.pprof)")
 	obsJSON := flag.Bool("obs-json", false, "emit the full obs snapshot (per-kind latencies, graph stats) as JSON on stderr")
+	inFlag := flag.String("in", "", "trace input: a file name or - for standard input (alternative to the positional argument)")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-dot out.dot] <trace file | ->")
+	name := *inFlag
+	switch {
+	case name == "" && flag.NArg() == 1:
+		name = flag.Arg(0)
+	case name != "" && flag.NArg() == 0:
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-dot out.dot] [-in <file|->] [<trace file | ->]")
 		os.Exit(2)
 	}
 
 	var in io.Reader = os.Stdin
-	if name := flag.Arg(0); name != "-" {
+	if name != "-" {
 		f, err := os.Open(name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracecheck:", err)

@@ -1,0 +1,255 @@
+// Command veloinstr is the static-instrumentation front-end: it
+// type-checks a Go package, classifies its memory accesses with a
+// conservative shared-access analysis (pruning provably thread-local
+// and single-mutex-protected accesses, the paper's redundant-event
+// optimizations), rewrites the source to emit Velodrome trace events,
+// and optionally runs the result with the events piped straight into
+// the online engines and the offline serial oracle:
+//
+//	veloinstr -analyze examples/instr/bankbug      classification + annotation lint
+//	veloinstr examples/instr/bankbug               print instrumented source
+//	veloinstr -o /tmp/out examples/instr/bankbug   write instrumented package
+//	veloinstr -run examples/instr/bankbug          instrument, go run, check
+//
+// Atomicity specifications are //velo:atomic comments on function
+// declarations. -run exit status: 0 the observed trace is serializable,
+// 1 it is not (warnings printed), 2 infrastructure or analysis error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/instr"
+	"repro/internal/obs"
+	"repro/internal/serial"
+	"repro/internal/trace"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	analyze := flag.Bool("analyze", false, "print the access classification table and lint annotations, without rewriting")
+	doRun := flag.Bool("run", false, "instrument, build and run the package, checking the emitted trace online")
+	outDir := flag.String("o", "", "write the instrumented package to this directory")
+	noprune := flag.Bool("noprune", false, "emit events even for accesses the analysis proved redundant")
+	traceOut := flag.String("trace", "", "with -run: also save the collected trace to this file")
+	obsJSON := flag.Bool("obs-json", false, "with -run: emit the obs snapshot (instr + engine metrics) as JSON on stderr")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: veloinstr [-analyze | -run] [-o dir] [-noprune] <package dir>")
+		return 2
+	}
+	dir := flag.Arg(0)
+
+	pkg, err := instr.Load(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "veloinstr:", err)
+		return 2
+	}
+	dirs := instr.ScanDirectives(pkg)
+	an := instr.Analyze(pkg, dirs)
+	rep := instr.NewReport(pkg, dirs, an)
+
+	if *analyze {
+		rep.WriteTable(os.Stdout)
+		if len(dirs.Diags) > 0 {
+			return 1
+		}
+		return 0
+	}
+	if len(dirs.Diags) > 0 {
+		for _, d := range dirs.Diags {
+			fmt.Fprintln(os.Stderr, "veloinstr: annotation error:", d)
+		}
+		return 2
+	}
+
+	out, err := instr.Rewrite(pkg, dirs, an, instr.RewriteOptions{Prune: !*noprune})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "veloinstr:", err)
+		return 2
+	}
+
+	if !*doRun {
+		if *outDir != "" {
+			if err := writePackage(*outDir, out); err != nil {
+				fmt.Fprintln(os.Stderr, "veloinstr:", err)
+				return 2
+			}
+			fmt.Printf("wrote %d files to %s (%d access sites instrumented, %d pruned)\n",
+				len(out.Files)+2, *outDir, out.SitesEmitted, out.SitesPruned)
+			return 0
+		}
+		for _, name := range sortedNames(out.Files) {
+			fmt.Printf("// ---- %s ----\n%s\n", name, out.Files[name])
+		}
+		fmt.Printf("// ---- %s ----\n%s\n", instr.ShimFileName, out.Shim)
+		return 0
+	}
+
+	// -run: materialize, execute with the trace on an inherited pipe,
+	// and stream the events through both engines as they arrive.
+	runDir := *outDir
+	if runDir == "" {
+		tmp, err := os.MkdirTemp("", "veloinstr-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "veloinstr:", err)
+			return 2
+		}
+		defer os.RemoveAll(tmp)
+		runDir = tmp
+	}
+	if err := writePackage(runDir, out); err != nil {
+		fmt.Fprintln(os.Stderr, "veloinstr:", err)
+		return 2
+	}
+
+	reg := obs.NewRegistry()
+	rep.Record(reg)
+	reg.Gauge("instr_sites_emitted").Set(int64(out.SitesEmitted))
+	reg.Gauge("instr_sites_pruned").Set(int64(out.SitesPruned))
+
+	tr, runtimeComments, err := execAndCollect(runDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "veloinstr:", err)
+		return 2
+	}
+	if err := trace.Validate(tr); err != nil {
+		fmt.Fprintln(os.Stderr, "veloinstr: instrumentation produced an ill-formed trace:", err)
+		return 2
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "veloinstr:", err)
+			return 2
+		}
+		if err := trace.Marshal(f, tr); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "veloinstr:", err)
+			return 2
+		}
+	}
+
+	// Both engines walk the same trace; the offline oracle arbitrates.
+	basic := core.CheckTrace(tr, core.Options{Engine: core.Basic})
+	optOpts := core.Options{Engine: core.Optimized}
+	if *obsJSON {
+		optOpts.Metrics = reg
+	}
+	optimized := core.CheckTrace(tr, optOpts)
+	offline, _ := serial.Check(tr)
+
+	reg.Counter("instr_trace_ops").Add(int64(len(tr)))
+	if *obsJSON {
+		defer reg.Snapshot().WriteJSON(os.Stderr)
+	}
+
+	for _, c := range runtimeComments {
+		fmt.Println("#", c)
+	}
+	fmt.Printf("trace: %d operations (%d access sites instrumented, %d pruned)\n",
+		len(tr), out.SitesEmitted, out.SitesPruned)
+
+	if basic.Serializable != optimized.Serializable || offline != optimized.Serializable {
+		fmt.Fprintf(os.Stderr,
+			"veloinstr: INTERNAL DISAGREEMENT: basic=%v optimized=%v oracle=%v\n",
+			basic.Serializable, optimized.Serializable, offline)
+		return 2
+	}
+	if optimized.Serializable {
+		fmt.Println("serializable: basic and optimized engines agree, serial oracle confirms")
+		return 0
+	}
+	fmt.Printf("NOT serializable: %d warnings (optimized), %d (basic); serial oracle confirms\n",
+		len(optimized.Warnings), len(basic.Warnings))
+	for _, w := range optimized.Warnings {
+		fmt.Println(w)
+	}
+	return 1
+}
+
+// writePackage materializes the instrumented sources, the runtime shim
+// and a module file so the output builds standalone with `go run .`.
+func writePackage(dir string, out *instr.Output) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, src := range out.Files {
+		if err := os.WriteFile(filepath.Join(dir, name), src, 0o644); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, instr.ShimFileName), out.Shim, 0o644); err != nil {
+		return err
+	}
+	gomod := "module veloinstrumented\n\ngo 1.21\n"
+	return os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644)
+}
+
+// execAndCollect runs `go run .` in dir with the trace streamed over an
+// inherited pipe (fd 3, selected via VELO_TRACE), decoding events as
+// they arrive. It returns the complete trace and any runtime summary
+// comments (the "velo events emitted=..." trailer).
+func execAndCollect(dir string) (trace.Trace, []string, error) {
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		return nil, nil, err
+	}
+	cmd := exec.Command("go", "run", ".")
+	cmd.Dir = dir
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.ExtraFiles = []*os.File{pw} // becomes fd 3 in the child
+	cmd.Env = append(os.Environ(), "VELO_TRACE=fd:3")
+	if err := cmd.Start(); err != nil {
+		pr.Close()
+		pw.Close()
+		return nil, nil, err
+	}
+	pw.Close() // child holds the write end now
+
+	var tr trace.Trace
+	dec := trace.NewDecoder(pr)
+	var decErr error
+	for {
+		op, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			decErr = err
+			break
+		}
+		tr = append(tr, op)
+	}
+	io.Copy(io.Discard, pr) // drain after a decode error so the child can exit
+	pr.Close()
+	if err := cmd.Wait(); err != nil {
+		return nil, nil, fmt.Errorf("go run: %w", err)
+	}
+	if decErr != nil {
+		return nil, nil, fmt.Errorf("decoding trace: %w", decErr)
+	}
+	return tr, dec.Comments, nil
+}
+
+func sortedNames(m map[string][]byte) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

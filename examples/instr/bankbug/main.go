@@ -1,0 +1,82 @@
+// Bankbug is the paper's motivating bank example with a seeded
+// atomicity bug: withdrawAll is annotated atomic but reads the balance
+// in one critical section and writes it back in another, so a deposit
+// can slip between the two. Channel handshakes force that interleaving
+// deterministically (channels carry no trace events, so the violation
+// is observed purely through the shared-variable and lock operations).
+//
+// Pruning fodder for -analyze:
+//   - balance and transfers are only ever touched under mu / statsMu,
+//     so both are lock-protected and their accesses are pruned — the
+//     violation is still caught from the acq/rel events alone.
+//   - openingBalance is only touched by the main goroutine: thread-local.
+//   - lastAudit is written by the withdrawer and read by main without a
+//     common lock: genuinely shared, so its accesses are emitted.
+package main
+
+import "sync"
+
+var mu sync.Mutex
+
+var balance int
+
+var statsMu sync.Mutex
+
+var transfers int
+
+var openingBalance int
+
+var lastAudit int
+
+var step = make(chan struct{})
+
+func noteTransfer() {
+	statsMu.Lock()
+	transfers++
+	statsMu.Unlock()
+}
+
+func deposit(n int) {
+	mu.Lock()
+	balance += n
+	mu.Unlock()
+	noteTransfer()
+}
+
+// withdrawAll drains the account. The read of balance and the write
+// that zeroes it sit in different critical sections: not atomic.
+//
+//velo:atomic
+func withdrawAll() int {
+	mu.Lock()
+	n := balance
+	mu.Unlock()
+	step <- struct{}{} // handshake: balance read, let main deposit
+	<-step             // handshake: deposit done
+	mu.Lock()
+	balance -= n
+	mu.Unlock()
+	noteTransfer()
+	lastAudit = n
+	return n
+}
+
+func main() {
+	openingBalance = 100
+	mu.Lock()
+	balance = openingBalance
+	mu.Unlock()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		withdrawAll()
+	}()
+	<-step             // withdrawer has read the balance
+	deposit(50)        // slips between its read and its write
+	step <- struct{}{} // let the withdrawer finish
+	wg.Wait()
+	if lastAudit != openingBalance+50 {
+		println("lost update: audited", lastAudit)
+	}
+}

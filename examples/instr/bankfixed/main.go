@@ -1,0 +1,69 @@
+// Bankfixed is bankbug with the atomicity bug repaired: withdrawAll
+// holds mu across the whole read-modify-write, so every interleaving of
+// the deposit is serializable and veloinstr -run exits 0. The same
+// pruning structure as bankbug applies (balance and transfers are
+// lock-protected, openingBalance thread-local, lastAudit shared).
+package main
+
+import "sync"
+
+var mu sync.Mutex
+
+var balance int
+
+var statsMu sync.Mutex
+
+var transfers int
+
+var openingBalance int
+
+var lastAudit int
+
+var started = make(chan struct{})
+
+func noteTransfer() {
+	statsMu.Lock()
+	transfers++
+	statsMu.Unlock()
+}
+
+func deposit(n int) {
+	mu.Lock()
+	balance += n
+	mu.Unlock()
+	noteTransfer()
+}
+
+// withdrawAll drains the account inside a single critical section: the
+// read and the write cannot be separated by a concurrent deposit.
+//
+//velo:atomic
+func withdrawAll() int {
+	started <- struct{}{} // handshake: concurrent deposit may proceed
+	mu.Lock()
+	n := balance
+	balance -= n
+	mu.Unlock()
+	noteTransfer()
+	lastAudit = n
+	return n
+}
+
+func main() {
+	openingBalance = 100
+	mu.Lock()
+	balance = openingBalance
+	mu.Unlock()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		withdrawAll()
+	}()
+	<-started
+	deposit(50)
+	wg.Wait()
+	if lastAudit > openingBalance+50 {
+		println("impossible audit", lastAudit)
+	}
+}

@@ -1,0 +1,68 @@
+// Counter seeds a classic lost-update atomicity violation on an
+// unprotected shared counter: two atomic workers interleave their
+// read-compute-write sequences (forced deterministically by channel
+// ping-pong), so both engines report both workers non-serializable.
+//
+// Pruning fodder for -analyze:
+//   - total is always updated under tallyMu: lock-protected, pruned.
+//   - config is only touched by main before the fork: thread-local.
+//   - hits is read and written by both workers with no lock: shared.
+package main
+
+import "sync"
+
+var hits int
+
+var tallyMu sync.Mutex
+
+var total int
+
+var config int
+
+var toB = make(chan struct{})
+
+var toA = make(chan struct{})
+
+func tally() {
+	tallyMu.Lock()
+	total++
+	tallyMu.Unlock()
+}
+
+//velo:atomic
+func workA() {
+	h := hits         // read
+	toB <- struct{}{} // let B read too
+	<-toA             // wait for B's read
+	hits = h + 1      // write from a stale read
+	toB <- struct{}{} // let B write
+	tally()
+}
+
+//velo:atomic
+func workB() {
+	<-toB
+	h := hits // read, before A's write
+	toA <- struct{}{}
+	<-toB
+	hits = h + 2 // write, clobbering A's update
+	tally()
+}
+
+func main() {
+	config = 3
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		workA()
+	}()
+	go func() {
+		defer wg.Done()
+		workB()
+	}()
+	wg.Wait()
+	if hits != config {
+		println("lost update: hits =", hits)
+	}
+}

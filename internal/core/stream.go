@@ -1,0 +1,42 @@
+package core
+
+import (
+	"io"
+
+	"repro/internal/trace"
+)
+
+// CheckStream runs a fresh Checker over operations pulled from a
+// streaming decoder, without materializing the trace. This is the entry
+// point for instrumented-program pipelines (veloinstr -run) and for
+// checking traces too large to hold in memory; unlike CheckTrace it
+// cannot be cross-checked against the offline oracle, which needs the
+// full trace.
+//
+// It returns the result, the number of operations consumed, and the
+// first decode error (nil on clean EOF). Operations consumed before a
+// decode error are still reflected in the result.
+func CheckStream(d *trace.Decoder, opts Options) (*Result, int, error) {
+	c := New(opts)
+	n := 0
+	for {
+		op, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return result(c), n, err
+		}
+		c.Step(op)
+		n++
+	}
+	return result(c), n, nil
+}
+
+func result(c Checker) *Result {
+	return &Result{
+		Serializable: len(c.Warnings()) == 0,
+		Warnings:     c.Warnings(),
+		Stats:        c.Stats(),
+	}
+}

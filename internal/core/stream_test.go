@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestCheckStreamMatchesCheckTrace feeds the same trace through the
+// streaming and the in-memory entry points and requires identical
+// verdicts and warning counts, for both engines and both wire formats.
+func TestCheckStreamMatchesCheckTrace(t *testing.T) {
+	traces := map[string]trace.Trace{
+		"nonserializable": {
+			trace.Beg(1, "inc"),
+			trace.Rd(1, 0),
+			trace.Wr(2, 0),
+			trace.Wr(1, 0),
+			trace.Fin(1),
+		},
+		"serializable": {
+			trace.Beg(1, "inc"),
+			trace.Acq(1, 0),
+			trace.Rd(1, 0),
+			trace.Wr(1, 0),
+			trace.Rel(1, 0),
+			trace.Fin(1),
+			trace.Acq(2, 0),
+			trace.Rd(2, 0),
+			trace.Rel(2, 0),
+		},
+	}
+	for name, tr := range traces {
+		for _, eng := range []Engine{Optimized, Basic} {
+			opts := Options{Engine: eng}
+			want := CheckTrace(tr, opts)
+
+			var text, bin bytes.Buffer
+			if err := trace.Marshal(&text, tr); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.MarshalBinary(&bin, tr); err != nil {
+				t.Fatal(err)
+			}
+			for enc, data := range map[string][]byte{"text": text.Bytes(), "binary": bin.Bytes()} {
+				got, n, err := CheckStream(trace.NewDecoder(bytes.NewReader(data)), opts)
+				if err != nil {
+					t.Fatalf("%s/%v/%s: %v", name, eng, enc, err)
+				}
+				if n != len(tr) {
+					t.Errorf("%s/%v/%s: consumed %d ops, want %d", name, eng, enc, n, len(tr))
+				}
+				if got.Serializable != want.Serializable || len(got.Warnings) != len(want.Warnings) {
+					t.Errorf("%s/%v/%s: stream verdict (%v, %d warnings) != in-memory (%v, %d warnings)",
+						name, eng, enc, got.Serializable, len(got.Warnings), want.Serializable, len(want.Warnings))
+				}
+			}
+		}
+	}
+}
+
+// TestCheckStreamDecodeError checks that a malformed tail still returns
+// the partial result alongside the error.
+func TestCheckStreamDecodeError(t *testing.T) {
+	in := "rd(1,x0)\nwr(2,x0)\nnot an op\n"
+	res, n, err := CheckStream(trace.NewDecoder(strings.NewReader(in)), Options{})
+	if err == nil {
+		t.Fatal("want decode error")
+	}
+	if n != 2 {
+		t.Fatalf("consumed %d ops before error, want 2", n)
+	}
+	if res == nil || !res.Serializable {
+		t.Fatalf("partial result = %+v", res)
+	}
+}

@@ -1,0 +1,1125 @@
+package instr
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Shared-access analysis: a conservative, flow-light classification of
+// every candidate memory access in the package, mirroring the paper's
+// Section 5 redundant-event filters. Accesses that are provably
+// goroutine-local (the variable is never reachable from a go-launched
+// closure) are pruned like RoadRunner's thread-local filter; accesses
+// that always happen under one common dominating mutex are pruned like
+// its lock-protected filter — the conflict edges they would induce are
+// subsumed by the acquire/release edges of that mutex, so the checker's
+// verdict is unchanged (see DESIGN.md).
+//
+// The analysis errs toward instrumenting: anything aliased, escaping,
+// reached through a pointer, slice or map, or accessed from code that a
+// go statement can reach, stays instrumented.
+
+// Class is the verdict for one variable's accesses.
+type Class int
+
+// Classes, from "must instrument" to "safely pruned".
+const (
+	// ClassShared accesses are instrumented and emit rd/wr events.
+	ClassShared Class = iota
+	// ClassThreadLocal variables are never reachable from a go-launched
+	// function: their accesses are pruned.
+	ClassThreadLocal
+	// ClassLockProtected variables are accessed only while one common
+	// mutex is held: their accesses are pruned, the mutex's own
+	// acquire/release events subsume them.
+	ClassLockProtected
+)
+
+// String renders the class as printed in the -analyze table.
+func (c Class) String() string {
+	switch c {
+	case ClassThreadLocal:
+		return "thread-local"
+	case ClassLockProtected:
+		return "lock-protected"
+	default:
+		return "shared"
+	}
+}
+
+// VarInfo is one row of the classification table.
+type VarInfo struct {
+	Obj    *types.Var
+	Name   string
+	Kind   string // "pkg var", "captured local", "addressed local", "local ref"
+	Class  Class
+	Lock   string // dominating mutex path for ClassLockProtected
+	Reads  int    // candidate read sites
+	Writes int    // candidate write sites
+}
+
+// access is one candidate read or write site.
+type access struct {
+	lv     ast.Expr   // the lvalue expression
+	addr   ast.Expr   // expression whose address identifies the location (map elements fall back to the map variable); nil when opaque
+	root   *types.Var // leftmost base variable, nil when opaque
+	write  bool
+	deref  bool // reaches data through a pointer, slice or map
+	held   []string
+	fn     *funcInfo
+	action action
+	opaque bool
+}
+
+type action int
+
+const (
+	actionSkip action = iota // plain local, below the candidate bar
+	actionEmit
+	actionPrune
+)
+
+// stmtSites records the accesses attributed to one statement. The
+// rewriter emits pre before the statement, post after it, and loopEnd at
+// the end of a for-statement's body (covering condition/post accesses
+// re-evaluated each iteration).
+type stmtSites struct {
+	pre     []*access
+	post    []*access
+	loopEnd []*access
+}
+
+// funcInfo is one function body: a declaration or a literal.
+type funcInfo struct {
+	decl       *ast.FuncDecl
+	lit        *ast.FuncLit
+	parent     *funcInfo
+	goLaunched bool
+	escapes    bool // literal referenced outside an immediate call
+	concurrent bool
+	calls      []*types.Func
+}
+
+// Analysis is the classification result consumed by the rewriter and
+// the report.
+type Analysis struct {
+	P    *Package
+	Dirs *Directives
+
+	Vars   []*VarInfo // sorted by name
+	ByStmt map[ast.Stmt]*stmtSites
+	// GoStmts lists every go statement (the rewriter turns each into a
+	// fork + registered child).
+	GoStmts map[*ast.GoStmt]bool
+	// Opaque lists positions of candidate accesses that cannot be
+	// instrumented (lvalues containing calls or non-clonable syntax).
+	Opaque []string
+	// Unsupported lists uses of sync primitives the front-end does not
+	// model (e.g. RWMutex); their synchronization is invisible to the
+	// emitted trace.
+	Unsupported []string
+	// Mutexes and WaitGroups count declarations whose type mentions the
+	// corresponding sync primitive (rewritten to shim wrappers).
+	Mutexes    int
+	WaitGroups int
+
+	accesses []*access
+	varOf    map[*types.Var]*VarInfo
+}
+
+type builder struct {
+	a        *Analysis
+	p        *Package
+	queue    []litWork
+	captured map[*types.Var]bool
+	addrOf   map[*types.Var]bool
+	funcs    map[*types.Func]*funcInfo // named functions with bodies
+	allFns   []*funcInfo
+	goNamed  map[*types.Func]bool
+	refNamed map[*types.Func]bool
+	litInfo  map[*ast.FuncLit]*funcInfo
+}
+
+type litWork struct {
+	fi *funcInfo
+}
+
+// Analyze classifies every candidate access of the package.
+func Analyze(p *Package, dirs *Directives) *Analysis {
+	a := &Analysis{
+		P:      p,
+		Dirs:   dirs,
+		ByStmt: map[ast.Stmt]*stmtSites{},
+		GoStmts: map[*ast.GoStmt]bool{},
+		varOf:  map[*types.Var]*VarInfo{},
+	}
+	b := &builder{
+		a:        a,
+		p:        p,
+		captured: map[*types.Var]bool{},
+		addrOf:   map[*types.Var]bool{},
+		funcs:    map[*types.Func]*funcInfo{},
+		goNamed:  map[*types.Func]bool{},
+		refNamed: map[*types.Func]bool{},
+		litInfo:  map[*ast.FuncLit]*funcInfo{},
+	}
+	// Register named functions first so call edges resolve.
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				fi := &funcInfo{decl: fd}
+				b.funcs[fn] = fi
+				b.allFns = append(b.allFns, fi)
+			}
+		}
+	}
+	// Scan every declared body; literals are queued as discovered.
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			fi := b.funcs[fn]
+			if fi == nil {
+				continue
+			}
+			b.scanStmts(fi, fd.Body.List, map[string]bool{})
+		}
+	}
+	for len(b.queue) > 0 {
+		w := b.queue[0]
+		b.queue = b.queue[1:]
+		b.scanStmts(w.fi, w.fi.lit.Body.List, map[string]bool{})
+	}
+	b.countSyncDecls()
+	b.fixpoint()
+	b.classify()
+	return a
+}
+
+// ---- concurrency fixpoint ----
+
+func (b *builder) fixpoint() {
+	concNamed := map[*types.Func]bool{}
+	for fn := range b.goNamed {
+		concNamed[fn] = true
+	}
+	// A function whose value escapes may be invoked from any goroutine.
+	for fn := range b.refNamed {
+		concNamed[fn] = true
+	}
+	nonMain := b.p.Name != "main"
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range b.allFns {
+			c := fi.goLaunched || fi.escapes
+			if fi.parent != nil && fi.parent.concurrent {
+				c = true
+			}
+			if fi.decl != nil {
+				if nonMain {
+					// Any exported-or-not function of a library package
+					// may be called from arbitrary goroutines.
+					c = true
+				}
+				if fn, ok := b.p.Info.Defs[fi.decl.Name].(*types.Func); ok && concNamed[fn] {
+					c = true
+				}
+			}
+			if c && !fi.concurrent {
+				fi.concurrent = true
+				changed = true
+			}
+			if fi.concurrent {
+				for _, callee := range fi.calls {
+					if !concNamed[callee] {
+						concNamed[callee] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// ---- classification ----
+
+func (b *builder) classify() {
+	a := b.a
+	type varAgg struct {
+		info     *VarInfo
+		accesses []*access
+	}
+	agg := map[*types.Var]*varAgg{}
+	var order []*types.Var
+	for _, ac := range a.accesses {
+		if ac.opaque {
+			a.Opaque = append(a.Opaque, b.p.Position(ac.lv.Pos()))
+			continue
+		}
+		root := ac.root
+		if root == nil {
+			continue
+		}
+		if !b.candidate(ac) {
+			ac.action = actionSkip
+			continue
+		}
+		g := agg[root]
+		if g == nil {
+			g = &varAgg{info: &VarInfo{Obj: root, Name: root.Name(), Kind: b.varKind(ac)}}
+			agg[root] = g
+			order = append(order, root)
+		}
+		g.accesses = append(g.accesses, ac)
+		if ac.write {
+			g.info.Writes++
+		} else {
+			g.info.Reads++
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Name() != order[j].Name() {
+			return order[i].Name() < order[j].Name()
+		}
+		return order[i].Pos() < order[j].Pos()
+	})
+	for _, root := range order {
+		g := agg[root]
+		concurrent := false
+		for _, ac := range g.accesses {
+			if ac.fn.concurrent {
+				concurrent = true
+				break
+			}
+		}
+		switch {
+		case !concurrent:
+			g.info.Class = ClassThreadLocal
+		default:
+			if lock := commonLock(g.accesses); lock != "" {
+				g.info.Class = ClassLockProtected
+				g.info.Lock = lock
+			} else {
+				g.info.Class = ClassShared
+			}
+		}
+		act := actionPrune
+		if g.info.Class == ClassShared {
+			act = actionEmit
+		}
+		for _, ac := range g.accesses {
+			ac.action = act
+		}
+		a.Vars = append(a.Vars, g.info)
+		a.varOf[root] = g.info
+	}
+	sort.Strings(a.Opaque)
+	sort.Strings(a.Unsupported)
+}
+
+// candidate reports whether an access can involve more than one
+// goroutine at all: package-level variables, locals that are captured by
+// a closure or have their address taken, and anything reached through a
+// pointer, slice or map (whose referent may be aliased). Everything else
+// is a plain stack local — the analogue of a JVM stack slot, which
+// RoadRunner never instruments either.
+func (b *builder) candidate(ac *access) bool {
+	if ac.deref {
+		return true
+	}
+	root := ac.root
+	if root.Parent() == b.p.Pkg.Scope() {
+		return true
+	}
+	return b.captured[root] || b.addrOf[root]
+}
+
+func (b *builder) varKind(ac *access) string {
+	root := ac.root
+	switch {
+	case root.Parent() == b.p.Pkg.Scope():
+		return "pkg var"
+	case b.captured[root]:
+		return "captured local"
+	case b.addrOf[root]:
+		return "addressed local"
+	default:
+		return "local ref"
+	}
+}
+
+// commonLock intersects the held-lock sets of all accesses.
+func commonLock(accs []*access) string {
+	if len(accs) == 0 {
+		return ""
+	}
+	common := map[string]bool{}
+	for _, l := range accs[0].held {
+		common[l] = true
+	}
+	for _, ac := range accs[1:] {
+		cur := map[string]bool{}
+		for _, l := range ac.held {
+			if common[l] {
+				cur[l] = true
+			}
+		}
+		common = cur
+		if len(common) == 0 {
+			return ""
+		}
+	}
+	locks := make([]string, 0, len(common))
+	for l := range common {
+		locks = append(locks, l)
+	}
+	sort.Strings(locks)
+	return locks[0]
+}
+
+// ---- statement scanning ----
+
+func (b *builder) sites(s ast.Stmt) *stmtSites {
+	ss := b.a.ByStmt[s]
+	if ss == nil {
+		ss = &stmtSites{}
+		b.a.ByStmt[s] = ss
+	}
+	return ss
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func heldList(held map[string]bool) []string {
+	out := make([]string, 0, len(held))
+	for l := range held {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// scanStmts walks a statement list in order, tracking syntactically held
+// mutexes and recording candidate accesses per statement.
+func (b *builder) scanStmts(fi *funcInfo, list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		b.scanStmt(fi, s, held)
+	}
+}
+
+func (b *builder) scanStmt(fi *funcInfo, s ast.Stmt, held map[string]bool) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if path, locked, ok := b.lockOp(st.X); ok {
+			if locked {
+				if path != "" {
+					held[path] = true
+				}
+			} else if path != "" {
+				delete(held, path)
+			}
+			return
+		}
+		b.scanExpr(fi, s, pre, st.X, held)
+	case *ast.DeferStmt:
+		// "defer mu.Unlock()" keeps mu held for the rest of the body:
+		// there is no explicit Unlock statement to pop it, which is
+		// exactly the conservative reading we want.
+		if _, _, ok := b.lockOp(st.Call); ok {
+			return
+		}
+		b.scanExpr(fi, s, pre, st.Call, held)
+	case *ast.GoStmt:
+		b.a.GoStmts[st] = true
+		// Arguments are evaluated in the parent goroutine at the go
+		// statement; the callee body runs concurrently.
+		b.scanGoCall(fi, s, st.Call, held)
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			b.scanExpr(fi, s, pre, rhs, held)
+		}
+		for _, lhs := range st.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			if st.Tok == token.ASSIGN || st.Tok == token.DEFINE {
+				b.recordAccess(fi, s, post, lhs, true, held)
+				b.scanIndexParts(fi, s, lhs, held)
+			} else {
+				// Compound assignment reads then writes the lvalue.
+				b.recordAccess(fi, s, pre, lhs, false, held)
+				b.recordAccess(fi, s, post, lhs, true, held)
+				b.scanIndexParts(fi, s, lhs, held)
+			}
+		}
+	case *ast.IncDecStmt:
+		b.recordAccess(fi, s, pre, st.X, false, held)
+		b.recordAccess(fi, s, post, st.X, true, held)
+		b.scanIndexParts(fi, s, st.X, held)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			b.scanExpr(fi, s, pre, r, held)
+		}
+	case *ast.SendStmt:
+		b.scanExpr(fi, s, pre, st.Value, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.scanInit(fi, s, st.Init, held)
+		}
+		b.scanExpr(fi, s, pre, st.Cond, held)
+		b.scanStmts(fi, st.Body.List, copyHeld(held))
+		if st.Else != nil {
+			b.scanStmt(fi, st.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			b.scanInit(fi, s, st.Init, held)
+		}
+		inner := copyHeld(held)
+		if st.Cond != nil {
+			b.scanExprInto(fi, s, st.Cond, held, func(ss *stmtSites, ac *access) {
+				ss.pre = append(ss.pre, ac)
+				ss.loopEnd = append(ss.loopEnd, ac)
+			})
+		}
+		if st.Post != nil {
+			b.scanPostStmt(fi, s, st.Post, inner)
+		}
+		b.scanStmts(fi, st.Body.List, inner)
+	case *ast.RangeStmt:
+		b.scanExpr(fi, s, pre, st.X, held)
+		b.scanStmts(fi, st.Body.List, copyHeld(held))
+	case *ast.BlockStmt:
+		b.scanStmts(fi, st.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			b.scanInit(fi, s, st.Init, held)
+		}
+		if st.Tag != nil {
+			b.scanExpr(fi, s, pre, st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					b.scanExpr(fi, s, pre, e, held)
+				}
+				b.scanStmts(fi, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			b.scanInit(fi, s, st.Init, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				b.scanStmts(fi, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					b.scanStmt(fi, cc.Comm, copyHeld(held))
+				}
+				b.scanStmts(fi, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		b.scanStmt(fi, st.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						b.scanExpr(fi, s, pre, v, held)
+					}
+					for _, n := range vs.Names {
+						if n.Name != "_" {
+							b.recordAccess(fi, s, post, n, true, held)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanInit attributes an if/for/switch init statement's accesses to the
+// enclosing statement (the rewriter cannot insert between init and
+// cond; writes land slightly early, which is documented best-effort).
+func (b *builder) scanInit(fi *funcInfo, owner ast.Stmt, init ast.Stmt, held map[string]bool) {
+	switch st := init.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			b.scanExpr(fi, owner, pre, rhs, held)
+		}
+		for _, lhs := range st.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			b.recordAccess(fi, owner, pre, lhs, true, held)
+		}
+	case *ast.ExprStmt:
+		b.scanExpr(fi, owner, pre, st.X, held)
+	}
+}
+
+// scanPostStmt attributes a for-loop post statement's accesses to the
+// loop body's end.
+func (b *builder) scanPostStmt(fi *funcInfo, owner ast.Stmt, post ast.Stmt, held map[string]bool) {
+	record := func(ss *stmtSites, ac *access) { ss.loopEnd = append(ss.loopEnd, ac) }
+	switch st := post.(type) {
+	case *ast.IncDecStmt:
+		b.recordAccessInto(fi, owner, st.X, false, held, record)
+		b.recordAccessInto(fi, owner, st.X, true, held, record)
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			b.scanExprInto(fi, owner, rhs, held, record)
+		}
+		for _, lhs := range st.Lhs {
+			b.recordAccessInto(fi, owner, lhs, true, held, record)
+		}
+	}
+}
+
+type listKind int
+
+const (
+	pre listKind = iota
+	post
+)
+
+func (b *builder) addTo(s ast.Stmt, kind listKind, ac *access) {
+	ss := b.sites(s)
+	if kind == pre {
+		ss.pre = append(ss.pre, ac)
+	} else {
+		ss.post = append(ss.post, ac)
+	}
+}
+
+// ---- expression scanning ----
+
+// scanExpr records read accesses for every candidate lvalue in e.
+func (b *builder) scanExpr(fi *funcInfo, s ast.Stmt, kind listKind, e ast.Expr, held map[string]bool) {
+	b.scanExprInto(fi, s, e, held, func(ss *stmtSites, ac *access) {
+		if kind == pre {
+			ss.pre = append(ss.pre, ac)
+		} else {
+			ss.post = append(ss.post, ac)
+		}
+	})
+}
+
+func (b *builder) scanExprInto(fi *funcInfo, s ast.Stmt, e ast.Expr, held map[string]bool, record func(*stmtSites, *access)) {
+	switch ex := e.(type) {
+	case nil:
+	case *ast.Ident:
+		b.recordAccessInto(fi, s, ex, false, held, record)
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		b.recordAccessInto(fi, s, e.(ast.Expr), false, held, record)
+		b.scanIndexPartsInto(fi, s, e.(ast.Expr), held, record)
+	case *ast.ParenExpr:
+		b.scanExprInto(fi, s, ex.X, held, record)
+	case *ast.UnaryExpr:
+		if ex.Op == token.AND {
+			// &x: address taken, not a value read.
+			b.markAddrTaken(ex.X)
+			b.scanIndexPartsInto(fi, s, ex.X, held, record)
+			return
+		}
+		b.scanExprInto(fi, s, ex.X, held, record)
+	case *ast.BinaryExpr:
+		b.scanExprInto(fi, s, ex.X, held, record)
+		b.scanExprInto(fi, s, ex.Y, held, record)
+	case *ast.CallExpr:
+		b.scanCall(fi, s, ex, held, record, false)
+	case *ast.CompositeLit:
+		for _, el := range ex.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				b.scanExprInto(fi, s, kv.Value, held, record)
+				continue
+			}
+			b.scanExprInto(fi, s, el, held, record)
+		}
+	case *ast.FuncLit:
+		b.enterLit(fi, ex, false, false)
+	case *ast.TypeAssertExpr:
+		b.scanExprInto(fi, s, ex.X, held, record)
+	case *ast.SliceExpr:
+		b.scanExprInto(fi, s, ex.X, held, record)
+		b.scanExprInto(fi, s, ex.Low, held, record)
+		b.scanExprInto(fi, s, ex.High, held, record)
+		b.scanExprInto(fi, s, ex.Max, held, record)
+	case *ast.KeyValueExpr:
+		b.scanExprInto(fi, s, ex.Value, held, record)
+	}
+}
+
+// scanCall handles call expressions: same-package call edges, escaping
+// function references, go-launch marking, and argument reads.
+func (b *builder) scanCall(fi *funcInfo, s ast.Stmt, call *ast.CallExpr, held map[string]bool, record func(*stmtSites, *access), launched bool) {
+	// Conversions look like calls; treat the operand as a read.
+	if tv, ok := b.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		for _, arg := range call.Args {
+			b.scanExprInto(fi, s, arg, held, record)
+		}
+		return
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := b.p.Info.Uses[fun].(*types.Func); ok && fn.Pkg() == b.p.Pkg {
+			if launched {
+				b.goNamed[fn] = true
+			} else {
+				fi.calls = append(fi.calls, fn)
+			}
+		}
+	case *ast.FuncLit:
+		b.enterLit(fi, fun, launched, !launched)
+	case *ast.SelectorExpr:
+		if b.noteUnsupportedSync(fun) {
+			break
+		}
+		if sel, ok := b.p.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			// Method call: the receiver is not scanned as a data access
+			// (mutex/waitgroup calls are modeled by the shim wrappers;
+			// other method receivers are a documented blind spot), but
+			// index expressions inside it still evaluate in this thread.
+			b.scanIndexPartsInto(fi, s, fun.X, held, record)
+			if fn, ok := b.p.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() == b.p.Pkg && !launched {
+				fi.calls = append(fi.calls, fn)
+			}
+		} else {
+			// Package-qualified call (fmt.Println) or func-typed field.
+			b.scanExprInto(fi, s, fun.X, held, record)
+		}
+	default:
+		b.scanExprInto(fi, s, call.Fun, held, record)
+	}
+	for _, arg := range call.Args {
+		// A same-package function name passed as a value may be invoked
+		// from anywhere.
+		if id, ok := arg.(*ast.Ident); ok {
+			if fn, ok := b.p.Info.Uses[id].(*types.Func); ok && fn.Pkg() == b.p.Pkg {
+				b.refNamed[fn] = true
+				continue
+			}
+		}
+		b.scanExprInto(fi, s, arg, held, record)
+	}
+}
+
+func (b *builder) scanGoCall(fi *funcInfo, s ast.Stmt, call *ast.CallExpr, held map[string]bool) {
+	b.scanCall(fi, s, call, held, func(ss *stmtSites, ac *access) {
+		ss.pre = append(ss.pre, ac)
+	}, true)
+}
+
+func (b *builder) enterLit(parent *funcInfo, lit *ast.FuncLit, goLaunched, immediate bool) {
+	if b.litInfo[lit] != nil {
+		return
+	}
+	fi := &funcInfo{lit: lit, parent: parent, goLaunched: goLaunched, escapes: !goLaunched && !immediate}
+	b.litInfo[lit] = fi
+	b.allFns = append(b.allFns, fi)
+	b.queue = append(b.queue, litWork{fi: fi})
+	// Record captures: object uses inside the literal that are declared
+	// outside it.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := b.p.Info.Uses[id].(*types.Var)
+		if !ok || obj.Parent() == b.p.Pkg.Scope() || obj.Parent() == types.Universe {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			b.captured[obj] = true
+		}
+		return true
+	})
+}
+
+// scanIndexParts records reads occurring inside the index/base
+// sub-expressions of an lvalue (the lvalue itself is handled by its own
+// access record).
+func (b *builder) scanIndexParts(fi *funcInfo, s ast.Stmt, lv ast.Expr, held map[string]bool) {
+	b.scanIndexPartsInto(fi, s, lv, held, func(ss *stmtSites, ac *access) {
+		ss.pre = append(ss.pre, ac)
+	})
+}
+
+func (b *builder) scanIndexPartsInto(fi *funcInfo, s ast.Stmt, lv ast.Expr, held map[string]bool, record func(*stmtSites, *access)) {
+	switch ex := lv.(type) {
+	case *ast.IndexExpr:
+		b.scanExprInto(fi, s, ex.Index, held, record)
+		b.scanIndexPartsInto(fi, s, ex.X, held, record)
+	case *ast.SelectorExpr:
+		b.scanIndexPartsInto(fi, s, ex.X, held, record)
+	case *ast.StarExpr:
+		b.scanIndexPartsInto(fi, s, ex.X, held, record)
+	case *ast.ParenExpr:
+		b.scanIndexPartsInto(fi, s, ex.X, held, record)
+	}
+}
+
+func (b *builder) markAddrTaken(e ast.Expr) {
+	if root := b.rootVar(e); root != nil {
+		b.addrOf[root] = true
+	}
+}
+
+// recordAccess registers one candidate lvalue access on statement s.
+func (b *builder) recordAccess(fi *funcInfo, s ast.Stmt, kind listKind, lv ast.Expr, write bool, held map[string]bool) {
+	b.recordAccessInto(fi, s, lv, write, held, func(ss *stmtSites, ac *access) {
+		if kind == pre {
+			ss.pre = append(ss.pre, ac)
+		} else {
+			ss.post = append(ss.post, ac)
+		}
+	})
+}
+
+func (b *builder) recordAccessInto(fi *funcInfo, s ast.Stmt, lv ast.Expr, write bool, held map[string]bool, record func(*stmtSites, *access)) {
+	lv = unparen(lv)
+	root := b.rootVar(lv)
+	if root == nil {
+		if lvalueShape(lv) {
+			// A candidate-shaped lvalue rooted in a call or other
+			// non-variable expression: opaque, cannot re-evaluate safely.
+			ac := &access{lv: lv, write: write, opaque: true, fn: fi}
+			b.a.accesses = append(b.a.accesses, ac)
+		}
+		return
+	}
+	// Skip non-data roots: functions, channels, and the sync primitives
+	// (their synchronization is traced via acq/rel/join events instead).
+	switch t := root.Type().Underlying().(type) {
+	case *types.Signature, *types.Chan:
+		return
+	case *types.Named:
+		_ = t
+	}
+	if isSyncType(root.Type()) || containsSyncType(root.Type()) {
+		return
+	}
+	ac := &access{
+		lv:    lv,
+		root:  root,
+		write: write,
+		deref: b.derefShape(lv),
+		held:  heldList(held),
+		fn:    fi,
+	}
+	if clonable(lv) {
+		ac.addr = addrTarget(b.p, lv)
+		if ac.addr == nil {
+			ac.opaque = true
+		}
+	} else {
+		ac.opaque = true
+	}
+	b.a.accesses = append(b.a.accesses, ac)
+	record(b.sites(s), ac)
+}
+
+// rootVar walks to the leftmost identifier of an lvalue chain.
+func (b *builder) rootVar(e ast.Expr) *types.Var {
+	for {
+		switch ex := unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := b.p.Info.Uses[ex].(*types.Var); ok {
+				return v
+			}
+			if v, ok := b.p.Info.Defs[ex].(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			e = ex.X
+		case *ast.IndexExpr:
+			e = ex.X
+		case *ast.StarExpr:
+			e = ex.X
+		case *ast.SliceExpr:
+			e = ex.X
+		default:
+			return nil
+		}
+	}
+}
+
+// derefShape reports whether the lvalue reaches its data through a
+// pointer, slice or map — in which case the referent may be shared even
+// when the root variable is a plain local.
+func (b *builder) derefShape(lv ast.Expr) bool {
+	switch ex := unparen(lv).(type) {
+	case *ast.StarExpr:
+		return true
+	case *ast.IndexExpr:
+		switch b.exprType(ex.X).(type) {
+		case *types.Slice, *types.Map, *types.Pointer:
+			return true
+		}
+		return b.derefShape(ex.X)
+	case *ast.SelectorExpr:
+		if _, ok := b.exprType(ex.X).(*types.Pointer); ok {
+			return true
+		}
+		return b.derefShape(ex.X)
+	}
+	return false
+}
+
+func (b *builder) exprType(e ast.Expr) types.Type {
+	if tv, ok := b.p.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type.Underlying()
+	}
+	return types.Typ[types.Invalid]
+}
+
+// lvalueShape reports whether e looks like a memory access at all.
+func lvalueShape(e ast.Expr) bool {
+	switch unparen(e).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// clonable limits lvalues (and their sub-expressions) to syntax the
+// rewriter can safely duplicate into an emission call: re-evaluation
+// must be side-effect free.
+func clonable(e ast.Expr) bool {
+	switch ex := e.(type) {
+	case *ast.Ident, *ast.BasicLit:
+		return true
+	case *ast.SelectorExpr:
+		return clonable(ex.X)
+	case *ast.IndexExpr:
+		return clonable(ex.X) && clonable(ex.Index)
+	case *ast.StarExpr:
+		return clonable(ex.X)
+	case *ast.ParenExpr:
+		return clonable(ex.X)
+	case *ast.BinaryExpr:
+		return clonable(ex.X) && clonable(ex.Y)
+	case *ast.UnaryExpr:
+		return ex.Op != token.AND && clonable(ex.X)
+	}
+	return false
+}
+
+// addrTarget picks the expression whose address identifies the accessed
+// location: the lvalue itself when addressable, the base map variable
+// for (non-addressable) map elements. Returns nil when no stable
+// address exists.
+func addrTarget(p *Package, lv ast.Expr) ast.Expr {
+	if ix, ok := unparen(lv).(*ast.IndexExpr); ok {
+		if _, isMap := p.Info.Types[ix.X].Type.Underlying().(*types.Map); isMap {
+			return addrTarget(p, ix.X)
+		}
+	}
+	return lv
+}
+
+// ---- sync primitive detection ----
+
+// lockOp recognizes path.Lock() / path.Unlock() on a sync.Mutex and
+// returns its stable path ("" when the receiver is dynamic, e.g. an
+// index by a variable).
+func (b *builder) lockOp(e ast.Expr) (path string, locked, ok bool) {
+	call, isCall := unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", false, false
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "Unlock" && name != "TryLock" {
+		return "", false, false
+	}
+	if !b.isNamedSyncType(b.recvType(sel), "Mutex") {
+		return "", false, false
+	}
+	if name == "TryLock" {
+		// TryLock as a statement (result discarded) never happens in
+		// practice; as an expression it is not a balanced section.
+		return "", false, false
+	}
+	return stablePath(sel.X), name == "Lock", true
+}
+
+func (b *builder) recvType(sel *ast.SelectorExpr) types.Type {
+	if tv, ok := b.p.Info.Types[sel.X]; ok && tv.Type != nil {
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		return t
+	}
+	return types.Typ[types.Invalid]
+}
+
+func (b *builder) isNamedSyncType(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// noteUnsupportedSync records sync primitives whose synchronization the
+// front-end cannot translate into trace events.
+func (b *builder) noteUnsupportedSync(sel *ast.SelectorExpr) bool {
+	t := b.recvType(sel)
+	for _, name := range []string{"RWMutex", "Once", "Cond", "Pool", "Map"} {
+		if b.isNamedSyncType(t, name) {
+			b.a.Unsupported = append(b.a.Unsupported,
+				fmt.Sprintf("%s: sync.%s.%s (synchronization invisible to the trace)",
+					b.p.Position(sel.Pos()), name, sel.Sel.Name))
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncType reports sync.Mutex / sync.WaitGroup (possibly via pointer).
+func isSyncType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "WaitGroup"
+}
+
+// containsSyncType reports composite types built from the rewritten sync
+// primitives (e.g. []sync.Mutex), which are lock state, not data.
+func containsSyncType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isSyncType(u.Elem()) || containsSyncType(u.Elem())
+	case *types.Array:
+		return isSyncType(u.Elem()) || containsSyncType(u.Elem())
+	case *types.Pointer:
+		return isSyncType(u.Elem()) || containsSyncType(u.Elem())
+	}
+	return isSyncType(t)
+}
+
+// stablePath renders an lvalue as a protection identity when it is built
+// only from identifiers of package-level variables, field selections and
+// constant indices; "" otherwise.
+func stablePath(e ast.Expr) string {
+	switch ex := unparen(e).(type) {
+	case *ast.Ident:
+		return ex.Name
+	case *ast.SelectorExpr:
+		base := stablePath(ex.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + ex.Sel.Name
+	case *ast.IndexExpr:
+		base := stablePath(ex.X)
+		if base == "" {
+			return ""
+		}
+		if lit, ok := unparen(ex.Index).(*ast.BasicLit); ok && lit.Kind == token.INT {
+			return base + "[" + lit.Value + "]"
+		}
+		return ""
+	case *ast.UnaryExpr:
+		if ex.Op == token.AND {
+			return stablePath(ex.X)
+		}
+	}
+	return ""
+}
+
+// countSyncDecls counts declarations whose type mentions the rewritten
+// sync primitives, for the report.
+func (b *builder) countSyncDecls() {
+	seen := map[*types.Var]bool{}
+	for id, obj := range b.p.Info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || seen[v] || id.Name == "_" {
+			continue
+		}
+		seen[v] = true
+		t := v.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		check := func(t types.Type) {
+			if named, ok := t.(*types.Named); ok {
+				if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+					switch obj.Name() {
+					case "Mutex":
+						b.a.Mutexes++
+					case "WaitGroup":
+						b.a.WaitGroups++
+					}
+				}
+			}
+		}
+		check(t)
+		switch u := t.Underlying().(type) {
+		case *types.Slice:
+			check(u.Elem())
+		case *types.Array:
+			check(u.Elem())
+		}
+	}
+}
+
+// VarClass looks up the classification of a variable (tests).
+func (a *Analysis) VarClass(name string) (Class, bool) {
+	for _, v := range a.Vars {
+		if v.Name == name {
+			return v.Class, true
+		}
+	}
+	return 0, false
+}
+
+// stmtFor exposes per-statement sites to the rewriter.
+func (a *Analysis) stmtFor(s ast.Stmt) *stmtSites { return a.ByStmt[s] }

@@ -1,0 +1,136 @@
+package instr
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// The atomicity specification of Section 5 is given as //velo: comment
+// directives. The only directive today is
+//
+//	//velo:atomic [label]
+//
+// on a function declaration: the function body becomes an atomic block
+// (begin/end events), labeled by the function's name unless an explicit
+// label is given. Anything else spelled //velo: is a diagnostic —
+// -analyze doubles as the well-formedness linter for the annotation
+// language, so a typo cannot silently weaken the checked specification.
+
+const directivePrefix = "//velo:"
+
+// Diagnostic is one annotation well-formedness complaint.
+type Diagnostic struct {
+	Pos string // rendered position
+	Msg string
+}
+
+func (d Diagnostic) String() string { return d.Pos + ": " + d.Msg }
+
+// Directives is the parsed annotation set of a package.
+type Directives struct {
+	// Atomic maps annotated function declarations to their block label.
+	Atomic map[*ast.FuncDecl]string
+	// Diags lists ill-formed annotations, in source order.
+	Diags []Diagnostic
+}
+
+// ScanDirectives collects //velo: annotations and their diagnostics.
+func ScanDirectives(p *Package) *Directives {
+	d := &Directives{Atomic: map[*ast.FuncDecl]string{}}
+	// Comments consumed by a function declaration's doc group.
+	consumed := map[*ast.Comment]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				verb, arg, isDir := parseDirective(c.Text)
+				if !isDir {
+					continue
+				}
+				consumed[c] = true
+				if verb != "atomic" {
+					d.diag(p, c, "unknown directive //velo:%s (known: atomic)", verb)
+					continue
+				}
+				label := funcLabel(fd)
+				if arg != "" {
+					if strings.ContainsAny(arg, "() \t") {
+						d.diag(p, c, "malformed //velo:atomic label %q", arg)
+						continue
+					}
+					label = arg
+				}
+				if prev, dup := d.Atomic[fd]; dup {
+					d.diag(p, c, "duplicate //velo:atomic on %s (already labeled %q)", fd.Name.Name, prev)
+					continue
+				}
+				d.Atomic[fd] = label
+			}
+		}
+	}
+	// Any remaining //velo: comment is misplaced: attached to a
+	// non-function declaration, dangling inside a body, or free-floating.
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				verb, _, isDir := parseDirective(c.Text)
+				if !isDir || consumed[c] {
+					continue
+				}
+				if verb == "atomic" {
+					d.diag(p, c, "//velo:atomic must be in the doc comment of a function declaration")
+				} else {
+					d.diag(p, c, "unknown directive //velo:%s (known: atomic)", verb)
+				}
+			}
+		}
+	}
+	sortDiags(d.Diags)
+	return d
+}
+
+func (d *Directives) diag(p *Package, c *ast.Comment, format string, args ...any) {
+	d.Diags = append(d.Diags, Diagnostic{
+		Pos: p.Position(c.Pos()),
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// parseDirective splits "//velo:verb arg" into its parts. Only comments
+// in exact compiler-directive shape (no space after //) count.
+func parseDirective(text string) (verb, arg string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	verb, arg, _ = strings.Cut(rest, " ")
+	return verb, strings.TrimSpace(arg), true
+}
+
+// funcLabel names the atomic block of an annotated function: Recv.Name
+// for methods, plain Name otherwise (matching the paper's method-named
+// transactions in warnings, e.g. "Bank.transfer").
+func funcLabel(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}
+
+func sortDiags(ds []Diagnostic) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].Pos < ds[j-1].Pos; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}

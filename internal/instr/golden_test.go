@@ -1,0 +1,53 @@
+package instr
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGoldenExamples pins the instrumented output of every shipped
+// example, so rewriter changes show up as reviewable diffs. Regenerate
+// with: go test ./internal/instr -run Golden -update
+func TestGoldenExamples(t *testing.T) {
+	for _, name := range []string{"bankbug", "bankfixed", "counter"} {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("..", "..", "examples", "instr", name)
+			p, err := Load(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dirs := ScanDirectives(p)
+			a := Analyze(p, dirs)
+			out, err := Rewrite(p, dirs, a, RewriteOptions{Prune: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareGolden(t, filepath.Join("testdata", name+".golden"), out.Files["main.go"])
+		})
+	}
+	t.Run("shim", func(t *testing.T) {
+		compareGolden(t, filepath.Join("testdata", "shim.golden"), ShimSource("main"))
+	})
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("instrumented output drifted from %s (run with -update and review the diff)\n--- got ---\n%s", path, got)
+	}
+}

@@ -1,0 +1,121 @@
+// Package instr is the static instrumentation front-end: it turns real
+// Go programs into Velodrome traces, playing the role RoadRunner's
+// bytecode instrumentor plays in the paper (Section 5). The pipeline is
+//
+//	Load      — parse and type-check a target package (go/parser, go/types)
+//	Directives — collect //velo: annotations (atomic-block specification)
+//	Analyze   — conservative shared-access classification; provably
+//	            goroutine-local and single-mutex-protected accesses are
+//	            pruned, mirroring the paper's redundant-event filters
+//	Rewrite   — inject rd/wr/acq/rel/fork/join/begin/end emission calls
+//	            and a self-contained runtime shim that streams the
+//	            internal/trace text format
+//
+// Everything is standard library only: the type-checker resolves imports
+// with the source importer, so instrumented targets may import (a
+// reasonable subset of) the standard library but nothing else.
+package instr
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is a parsed and type-checked target package.
+type Package struct {
+	Dir   string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File // sorted by file name
+	Names []string    // base names, parallel to Files
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// Load parses and type-checks every non-test .go file in dir.
+func Load(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("instr: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return check(dir, fset, files, names)
+}
+
+// LoadSource parses and type-checks a single in-memory file (tests and
+// the fuzz target).
+func LoadSource(name string, src []byte) (*Package, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return check(".", fset, []*ast.File{f}, []string{name})
+}
+
+func check(dir string, fset *token.FileSet, files []*ast.File, names []string) (*Package, error) {
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+	}
+	info := newInfo()
+	pkgName := files[0].Name.Name
+	pkg, err := conf.Check(pkgName, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("instr: type-checking %s: %w", dir, err)
+	}
+	return &Package{
+		Dir:   dir,
+		Name:  pkgName,
+		Fset:  fset,
+		Files: files,
+		Names: names,
+		Pkg:   pkg,
+		Info:  info,
+	}, nil
+}
+
+// Position renders a node position relative to the package directory.
+func (p *Package) Position(pos token.Pos) string {
+	ps := p.Fset.Position(pos)
+	if rel, err := filepath.Rel(p.Dir, ps.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		ps.Filename = rel
+	}
+	return ps.String()
+}

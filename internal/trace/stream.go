@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// This file is the streaming half of the trace format: an Emitter that
+// writes operations one at a time (the emission API mirrored by the
+// runtime shim that veloinstr injects into instrumented programs) and a
+// Decoder that reads them back incrementally, so a checker can consume a
+// trace while the instrumented program is still producing it.
+
+// Emitter streams operations in the textual trace format. It is safe for
+// concurrent use: instrumented programs emit from many goroutines, and
+// serializing emission is what linearizes the observed trace.
+type Emitter struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	err     error
+	emitted int64
+}
+
+// NewEmitter returns an Emitter writing the text format to w.
+func NewEmitter(w io.Writer) *Emitter {
+	return &Emitter{bw: bufio.NewWriter(w)}
+}
+
+// Emit appends one operation. The first write error is retained and
+// reported by Flush/Err; later calls become no-ops.
+func (e *Emitter) Emit(op Op) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return
+	}
+	if _, err := e.bw.WriteString(op.String()); err != nil {
+		e.err = err
+		return
+	}
+	if err := e.bw.WriteByte('\n'); err != nil {
+		e.err = err
+		return
+	}
+	e.emitted++
+}
+
+// Comment appends a comment line ("# ..."), ignored by readers but kept
+// for human inspection and out-of-band metadata (newlines are replaced).
+func (e *Emitter) Comment(text string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return
+	}
+	text = strings.ReplaceAll(text, "\n", " ")
+	if _, err := fmt.Fprintf(e.bw, "# %s\n", text); err != nil {
+		e.err = err
+	}
+}
+
+// Emitted returns the number of operations emitted so far.
+func (e *Emitter) Emitted() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.emitted
+}
+
+// Err returns the first write error, if any.
+func (e *Emitter) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Flush flushes buffered output and returns the first error seen.
+func (e *Emitter) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return e.err
+	}
+	e.err = e.bw.Flush()
+	return e.err
+}
+
+// Decoder reads a trace one operation at a time, sniffing the binary
+// magic to pick the format — the streaming counterpart of ReadAuto.
+type Decoder struct {
+	br     *bufio.Reader
+	mode   int // 0 undecided, 1 text, 2 binary
+	lineno int
+
+	// binary state
+	remaining uint64
+	labels    []Label
+	binIndex  uint64
+
+	// Comments collects "#" comment lines seen in a text trace, in
+	// order. Instrumented programs use a trailing comment to report
+	// runtime counters (events emitted vs pruned) out of band.
+	Comments []string
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{br: bufio.NewReader(r)}
+}
+
+// Next returns the next operation, or io.EOF after the last one.
+func (d *Decoder) Next() (Op, error) {
+	if d.mode == 0 {
+		head, err := d.br.Peek(4)
+		if err == nil && [4]byte(head) == binaryMagic {
+			d.mode = 2
+			d.br.Discard(4)
+			count, err := binary.ReadUvarint(d.br)
+			if err != nil {
+				return Op{}, fmt.Errorf("trace: reading count: %w", err)
+			}
+			const maxOps = 1 << 30
+			if count > maxOps {
+				return Op{}, fmt.Errorf("trace: implausible op count %d", count)
+			}
+			d.remaining = count
+		} else {
+			d.mode = 1
+		}
+	}
+	if d.mode == 2 {
+		return d.nextBinary()
+	}
+	return d.nextText()
+}
+
+func (d *Decoder) nextText() (Op, error) {
+	for {
+		line, err := d.br.ReadString('\n')
+		if err != nil && (err != io.EOF || line == "") {
+			return Op{}, err
+		}
+		d.lineno++
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "":
+			// skip
+		case strings.HasPrefix(trimmed, "#"):
+			d.Comments = append(d.Comments, strings.TrimSpace(strings.TrimPrefix(trimmed, "#")))
+		default:
+			op, perr := ParseOp(trimmed)
+			if perr != nil {
+				return Op{}, fmt.Errorf("line %d: %w", d.lineno, perr)
+			}
+			return op, nil
+		}
+		if err == io.EOF {
+			return Op{}, io.EOF
+		}
+	}
+}
+
+func (d *Decoder) nextBinary() (Op, error) {
+	if d.remaining == 0 {
+		return Op{}, io.EOF
+	}
+	i := d.binIndex
+	kind, err := d.br.ReadByte()
+	if err != nil {
+		return Op{}, fmt.Errorf("trace: op %d: %w", i, err)
+	}
+	if Kind(kind) > Join {
+		return Op{}, fmt.Errorf("trace: op %d: unknown kind %d", i, kind)
+	}
+	tid, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return Op{}, fmt.Errorf("trace: op %d thread: %w", i, err)
+	}
+	zz, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return Op{}, fmt.Errorf("trace: op %d target: %w", i, err)
+	}
+	target := int32(uint32(zz>>1) ^ -uint32(zz&1))
+	op := Op{Kind: Kind(kind), Thread: Tid(tid), Target: target}
+	if op.Kind == Begin {
+		lv, err := binary.ReadUvarint(d.br)
+		if err != nil {
+			return Op{}, fmt.Errorf("trace: op %d label: %w", i, err)
+		}
+		if lv&1 == 1 {
+			idx := lv >> 1
+			if idx >= uint64(len(d.labels)) {
+				return Op{}, fmt.Errorf("trace: op %d: label back-reference %d out of range", i, idx)
+			}
+			op.Label = d.labels[idx]
+		} else {
+			n := lv >> 1
+			if n > 4096 {
+				return Op{}, fmt.Errorf("trace: op %d: label length %d too large", i, n)
+			}
+			b := make([]byte, n)
+			if _, err := io.ReadFull(d.br, b); err != nil {
+				return Op{}, fmt.Errorf("trace: op %d label bytes: %w", i, err)
+			}
+			op.Label = Label(b)
+			d.labels = append(d.labels, op.Label)
+		}
+	}
+	d.binIndex++
+	d.remaining--
+	return op, nil
+}
+
+// ReadAll drains the decoder into a Trace.
+func (d *Decoder) ReadAll() (Trace, error) {
+	var tr Trace
+	for {
+		op, err := d.Next()
+		if err == io.EOF {
+			return tr, nil
+		}
+		if err != nil {
+			return tr, err
+		}
+		tr = append(tr, op)
+	}
+}

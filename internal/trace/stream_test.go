@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func streamSampleTrace() Trace {
+	return Trace{
+		Beg(1, "Set.add"),
+		Acq(1, 0),
+		Rd(1, 3),
+		Wr(1, 3),
+		Rel(1, 0),
+		Fin(1),
+		ForkOp(1, 2),
+		Beg(2, "Set.add"),
+		Fin(2),
+		JoinOp(1, 2),
+	}
+}
+
+func TestEmitterRoundTrip(t *testing.T) {
+	tr := streamSampleTrace()
+	var buf bytes.Buffer
+	e := NewEmitter(&buf)
+	e.Comment("header")
+	for _, op := range tr {
+		e.Emit(op)
+	}
+	e.Comment("velo events emitted=10 pruned=3")
+	if err := e.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if got := e.Emitted(); got != int64(len(tr)) {
+		t.Fatalf("Emitted = %d, want %d", got, len(tr))
+	}
+
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	got, err := d.ReadAll()
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.String() != tr.String() {
+		t.Fatalf("round trip mismatch:\n%s\nwant:\n%s", got, tr)
+	}
+	if len(d.Comments) != 2 || d.Comments[1] != "velo events emitted=10 pruned=3" {
+		t.Fatalf("comments = %q", d.Comments)
+	}
+}
+
+func TestDecoderBinary(t *testing.T) {
+	tr := streamSampleTrace()
+	var buf bytes.Buffer
+	if err := MarshalBinary(&buf, tr); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	var got Trace
+	for {
+		op, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		got = append(got, op)
+	}
+	if got.String() != tr.String() {
+		t.Fatalf("binary stream mismatch:\n%s\nwant:\n%s", got, tr)
+	}
+	// A second Next after EOF stays EOF.
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next: %v", err)
+	}
+}
+
+func TestDecoderMatchesReadAuto(t *testing.T) {
+	// The streaming decoder and the one-shot reader must agree on both
+	// formats.
+	tr := streamSampleTrace()
+	var text, bin bytes.Buffer
+	if err := Marshal(&text, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := MarshalBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{"text": text.Bytes(), "binary": bin.Bytes()} {
+		auto, err := ReadAuto(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: ReadAuto: %v", name, err)
+		}
+		dec, err := NewDecoder(bytes.NewReader(data)).ReadAll()
+		if err != nil {
+			t.Fatalf("%s: Decoder: %v", name, err)
+		}
+		if auto.String() != dec.String() {
+			t.Fatalf("%s: decoder disagrees with ReadAuto", name)
+		}
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	if _, err := NewDecoder(strings.NewReader("bogus(1)\n")).ReadAll(); err == nil {
+		t.Fatal("want parse error")
+	}
+	// Truncated binary stream.
+	tr := streamSampleTrace()
+	var bin bytes.Buffer
+	if err := MarshalBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewDecoder(bytes.NewReader(bin.Bytes()[:bin.Len()-3])).ReadAll()
+	if err == nil {
+		t.Fatal("want truncation error")
+	}
+}
+
+func TestDecoderNoTrailingNewline(t *testing.T) {
+	got, err := NewDecoder(strings.NewReader("rd(1,x2)\nwr(2,x2)")).ReadAll()
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != 2 || got[1].String() != "wr(2,x2)" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestEmitterConcurrent hammers one Emitter from many goroutines: the
+// mutex must linearize emissions into a decodable trace with every
+// event present exactly once. Run under -race this also guards the
+// instrumentation shim's central design assumption (one global emit
+// lock) at the library layer.
+func TestEmitterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEmitter(&buf)
+	const threads, per = 8, 200
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(tid Tid) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				e.Emit(Rd(tid, Var(j)))
+			}
+		}(Tid(i))
+	}
+	wg.Wait()
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewDecoder(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != threads*per {
+		t.Fatalf("got %d ops, want %d", len(got), threads*per)
+	}
+	counts := map[Tid]int{}
+	for _, op := range got {
+		if op.Kind != Read {
+			t.Fatalf("unexpected op %v", op)
+		}
+		counts[op.Thread]++
+	}
+	for tid, n := range counts {
+		if n != per {
+			t.Fatalf("thread %d: %d ops, want %d", tid, n, per)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Badannot is a lint fixture: it type-checks fine but every //velo:
+// annotation in it is ill-formed, so veloinstr -analyze must exit 1
+// listing each one.
+package main
+
+//velo:atomicc
+func typo() {}
+
+//velo:atomic two words
+func badLabel() {}
+
+var counter int //velo:atomic
+
+func main() {
+	//velo:atomic
+	typo()
+	badLabel()
+	counter++
+}
