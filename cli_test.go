@@ -10,7 +10,9 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // buildTools compiles the three commands once per test binary.
@@ -27,7 +29,7 @@ func tools(t *testing.T) string {
 			return
 		}
 		toolDir = dir
-		for _, cmd := range []string{"velodrome", "velobench", "tracecheck", "veloinstr"} {
+		for _, cmd := range []string{"velodrome", "velobench", "tracecheck", "veloinstr", "velodromed"} {
 			out, err := exec.Command("go", "build", "-o", filepath.Join(dir, cmd), "./cmd/"+cmd).CombinedOutput()
 			if err != nil {
 				buildErr = err
@@ -240,17 +242,29 @@ func TestCLIMetricsServe(t *testing.T) {
 		t.Fatalf("no address announced: %q", line)
 	}
 	base := strings.TrimSpace(line[i:])
-	resp, err := http.Get(base + "/metrics")
-	if err != nil {
-		t.Fatalf("GET /metrics: %v", err)
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != 200 {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
-	if !strings.Contains(string(body), "# TYPE rr_sched_steps_total counter") {
-		t.Errorf("unexpected exposition:\n%.500s", body)
+	// The address is announced before the workload registers its
+	// instruments, so poll until the series shows up rather than racing
+	// the first scheduler step.
+	var body []byte
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if strings.Contains(string(body), "# TYPE rr_sched_steps_total counter") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("rr_sched_steps_total never appeared; last exposition:\n%.500s", body)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 	if resp, err := http.Get(base + "/debug/pprof/cmdline"); err == nil {
 		resp.Body.Close()
@@ -355,6 +369,125 @@ func runToolStdin(t *testing.T, stdinPath, name string, args ...string) (string,
 		t.Fatalf("%s %v: %v", name, args, err)
 	}
 	return string(out), code
+}
+
+// TestCLITracecheckEmptyInput is the regression for the silent-success
+// hole: an empty stream (crashed producer, misdirected pipe) must be an
+// input error, not exit 0 with "serializable".
+func TestCLITracecheckEmptyInput(t *testing.T) {
+	out, code := runToolStdin(t, os.DevNull, "tracecheck", "-in", "-")
+	if code != 2 {
+		t.Fatalf("empty stdin must exit 2, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "empty trace") {
+		t.Errorf("missing empty-trace diagnostic:\n%s", out)
+	}
+	// A comment-only trace is just as empty.
+	p := filepath.Join(t.TempDir(), "comments.txt")
+	if err := os.WriteFile(p, []byte("# velo events emitted=0 pruned=0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, code := runTool(t, "tracecheck", p); code != 2 || !strings.Contains(out, "empty trace") {
+		t.Errorf("comment-only trace: exit %d:\n%s", code, out)
+	}
+}
+
+// TestCLITracecheckTruncatedMagic checks that a binary trace cut inside
+// its 4-byte magic is reported as a format-level error naming the byte
+// offset, not as a "line 1" text parse error.
+func TestCLITracecheckTruncatedMagic(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "stub.bin")
+	if err := os.WriteFile(p, []byte("VT"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runTool(t, "tracecheck", p)
+	if code != 2 {
+		t.Fatalf("truncated magic must exit 2, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "truncated binary trace") || !strings.Contains(out, "byte offset 2") {
+		t.Errorf("missing format-level diagnostic:\n%s", out)
+	}
+	if strings.Contains(out, "line 1") {
+		t.Errorf("must not surface as a text parse error:\n%s", out)
+	}
+}
+
+// startVelodromed launches the daemon on an ephemeral port and returns
+// its address and a drain func asserting a clean SIGTERM shutdown.
+func startVelodromed(t *testing.T, extraArgs ...string) (string, func()) {
+	t.Helper()
+	args := append([]string{"-listen", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(filepath.Join(tools(t), "velodromed"), args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(stderr)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading announce line: %v", err)
+	}
+	i := strings.Index(line, "listening on ")
+	if i < 0 {
+		t.Fatalf("no listen address announced: %q", line)
+	}
+	addr := strings.TrimSpace(line[i+len("listening on "):])
+	go io.Copy(io.Discard, br)
+	return addr, func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("velodromed did not drain cleanly: %v", err)
+		}
+	}
+}
+
+// TestCLIVelodromedRoundTrip covers the daemon end to end: tracecheck
+// -server gets per-trace verdicts with the right exit codes, empty
+// streams come back malformed, and SIGTERM drains cleanly.
+func TestCLIVelodromedRoundTrip(t *testing.T) {
+	addr, drain := startVelodromed(t)
+	defer drain()
+
+	out, code := runTool(t, "tracecheck", "-server", addr, "testdata/flag_handoff.txt")
+	if code != 0 || !strings.Contains(out, "serializable") || !strings.Contains(out, addr) {
+		t.Fatalf("clean trace via daemon: exit %d:\n%s", code, out)
+	}
+	out, code = runTool(t, "tracecheck", "-server", addr, "testdata/setadd.txt")
+	if code != 1 || !strings.Contains(out, "NOT serializable") || !strings.Contains(out, "Set.add") {
+		t.Fatalf("buggy trace via daemon: exit %d:\n%s", code, out)
+	}
+	out, code = runToolStdin(t, os.DevNull, "tracecheck", "-server", addr, "-in", "-")
+	if code != 2 || !strings.Contains(out, "empty trace") {
+		t.Fatalf("empty stream via daemon: exit %d:\n%s", code, out)
+	}
+	// The basic engine is selectable per session.
+	out, code = runTool(t, "tracecheck", "-server", addr, "-engine", "basic", "testdata/setadd.txt")
+	if code != 1 || !strings.Contains(out, "checked by basic") {
+		t.Fatalf("basic engine via daemon: exit %d:\n%s", code, out)
+	}
+}
+
+// TestCLIVeloinstrRunServer streams an instrumented program's trace
+// straight to the daemon and relays its verdict.
+func TestCLIVeloinstrRunServer(t *testing.T) {
+	addr, drain := startVelodromed(t)
+	defer drain()
+	out, code := runTool(t, "veloinstr", "-run", "-server", addr, "examples/instr/bankbug")
+	if code != 1 {
+		t.Fatalf("bankbug via daemon must exit 1, got %d:\n%s", code, out)
+	}
+	for _, want := range []string{"NOT serializable", "withdrawAll", "checked by optimized at " + addr, "velo events emitted="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// -server without -run is a usage error.
+	if _, code := runTool(t, "veloinstr", "-server", addr, "examples/instr/bankbug"); code != 2 {
+		t.Errorf("-server without -run should exit 2, got %d", code)
+	}
 }
 
 // TestCLIVeloinstrAnalyze checks the classification table: the bank

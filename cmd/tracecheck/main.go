@@ -7,6 +7,7 @@
 //	tracecheck -          # read standard input
 //	tracecheck -in -      # same, flag form (for pipelines)
 //	tracecheck -dot out.dot trace.txt
+//	tracecheck -server 127.0.0.1:7764 trace.bin   # check via velodromed
 //
 // The trace syntax:
 //
@@ -17,6 +18,9 @@
 //	fork(1,t2) join(1,t2)
 //
 // Exit status: 0 serializable, 1 non-serializable, 2 usage/input error.
+// An empty input — zero operations, as produced by a crashed emitter or
+// a misdirected pipe — is an input error (exit 2), never a vacuous
+// "serializable".
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"repro/internal/dot"
 	"repro/internal/obs"
 	"repro/internal/serial"
+	"repro/internal/server"
 	"repro/internal/trace"
 )
 
@@ -40,6 +45,7 @@ func main() {
 	profileOut := flag.String("profile-out", "", "profile output file (default <kind>.pprof)")
 	obsJSON := flag.Bool("obs-json", false, "emit the full obs snapshot (per-kind latencies, graph stats) as JSON on stderr")
 	inFlag := flag.String("in", "", "trace input: a file name or - for standard input (alternative to the positional argument)")
+	serverAddr := flag.String("server", "", "check via a velodromed daemon at this address (host:port or unix:/path) instead of locally")
 	flag.Parse()
 	name := *inFlag
 	switch {
@@ -61,9 +67,42 @@ func main() {
 		defer f.Close()
 		in = f
 	}
+
+	if *serverAddr != "" {
+		// Client mode: stream the raw bytes to the daemon and relay its
+		// verdict, mapping statuses onto the local exit convention.
+		hdr := trace.SessionHeader{Engine: *engine}
+		v, err := server.CheckReader(*serverAddr, hdr, in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(2)
+		}
+		switch v.Status {
+		case trace.StatusOK:
+			if v.Serializable {
+				fmt.Printf("serializable: %d operations (checked by %s at %s)\n", v.Ops, v.Engine, *serverAddr)
+			} else {
+				fmt.Printf("NOT serializable: %d warnings over %d operations (checked by %s at %s)\n",
+					len(v.Warnings), v.Ops, v.Engine, *serverAddr)
+				if !*quiet {
+					for _, w := range v.Warnings {
+						fmt.Println(w)
+					}
+				}
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "tracecheck: server %s: %s: %s (%d ops consumed)\n", *serverAddr, v.Status, v.Error, v.Ops)
+		}
+		os.Exit(v.ExitCode())
+	}
+
 	tr, err := trace.ReadAuto(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(2)
+	}
+	if len(tr) == 0 {
+		fmt.Fprintln(os.Stderr, "tracecheck: empty trace: input contained 0 operations (crashed producer or misdirected pipe?)")
 		os.Exit(2)
 	}
 	if err := trace.Validate(tr); err != nil {

@@ -1,0 +1,121 @@
+// Command velodromed is the trace-ingestion daemon: a long-lived server
+// that accepts many concurrent trace sessions over TCP and Unix sockets,
+// runs one independent Velodrome engine per connection, and replies with
+// a structured JSON verdict.
+//
+//	velodromed -listen 127.0.0.1:7764
+//	velodromed -listen 127.0.0.1:7764 -unix /tmp/velo.sock -metrics-addr :8081
+//	veloinstr -run -server 127.0.0.1:7764 examples/instr/bankbug
+//	tracecheck -server 127.0.0.1:7764 trace.bin
+//
+// A session is one connection: a "VELOSESS/1" header line, the trace in
+// either wire format, a half-close, then one verdict line back (see
+// DESIGN.md, "The session protocol"). On SIGINT/SIGTERM the daemon
+// drains gracefully: it stops accepting, lets in-flight sessions finish
+// up to -drain-timeout, and emits their final verdicts before exiting.
+//
+// Exit status: 0 after a clean drain, 1 if draining timed out and
+// sessions were cut, 2 on startup errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/obshttp"
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	listen := flag.String("listen", "127.0.0.1:7764", "TCP listen address")
+	unixSock := flag.String("unix", "", "also listen on this Unix socket path")
+	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap; excess connections get a busy verdict")
+	idleTimeout := flag.Duration("idle-timeout", 30*time.Second, "per-read deadline: fail a session that goes this long without a byte")
+	sessionTimeout := flag.Duration("session-timeout", 0, "bound one session's total wall-clock time (0 = unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "on SIGINT/SIGTERM, let in-flight sessions finish this long before cutting them")
+	bufferOps := flag.Int("buffer-ops", 1024, "decoded ops buffered ahead of each session's engine (backpressure bound)")
+	engine := flag.String("engine", "optimized", "default analysis engine for sessions that name none: optimized or basic")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text or ?format=json) and /debug/pprof/ on this address")
+	quiet := flag.Bool("q", false, "suppress per-session log lines")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: velodromed [-listen addr] [-unix path] [flags]")
+		return 2
+	}
+
+	cfg := server.Config{
+		MaxSessions:    *maxSessions,
+		IdleTimeout:    *idleTimeout,
+		MaxSessionTime: *sessionTimeout,
+		BufferOps:      *bufferOps,
+		Metrics:        obs.NewRegistry(),
+	}
+	switch *engine {
+	case "optimized":
+	case "basic":
+		cfg.DefaultEngine = core.Basic
+	default:
+		fmt.Fprintf(os.Stderr, "velodromed: unknown engine %q\n", *engine)
+		return 2
+	}
+	logger := log.New(os.Stderr, "velodromed: ", log.LstdFlags)
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+
+	if *metricsAddr != "" {
+		_, addr, err := obshttp.Serve(*metricsAddr, cfg.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "velodromed:", err)
+			return 2
+		}
+		logger.Printf("serving /metrics and /debug/pprof/ on http://%s", addr)
+	}
+
+	s := server.New(cfg)
+	serveErrs := make(chan error, 2)
+	addrs := []string{*listen}
+	if *unixSock != "" {
+		addrs = append(addrs, "unix:"+*unixSock)
+	}
+	for _, addr := range addrs {
+		ln, err := server.Listen(addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "velodromed:", err)
+			return 2
+		}
+		logger.Printf("listening on %s", ln.Addr())
+		go func() { serveErrs <- s.Serve(ln) }()
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		logger.Printf("%s: draining (up to %v)", sig, *drainTimeout)
+	case err := <-serveErrs:
+		// A listener died outside shutdown: still drain what's running.
+		logger.Printf("listener failed: %v; draining", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		logger.Printf("drain timed out; in-flight sessions cut: %v", err)
+		return 1
+	}
+	logger.Printf("drained cleanly")
+	return 0
+}

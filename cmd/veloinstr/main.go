@@ -10,6 +10,7 @@
 //	veloinstr examples/instr/bankbug               print instrumented source
 //	veloinstr -o /tmp/out examples/instr/bankbug   write instrumented package
 //	veloinstr -run examples/instr/bankbug          instrument, go run, check
+//	veloinstr -run -server 127.0.0.1:7764 <pkg>    stream the trace to velodromed
 //
 // Atomicity specifications are //velo:atomic comments on function
 // declarations. -run exit status: 0 the observed trace is serializable,
@@ -24,11 +25,13 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/instr"
 	"repro/internal/obs"
 	"repro/internal/serial"
+	"repro/internal/server"
 	"repro/internal/trace"
 )
 
@@ -43,9 +46,14 @@ func run() int {
 	noprune := flag.Bool("noprune", false, "emit events even for accesses the analysis proved redundant")
 	traceOut := flag.String("trace", "", "with -run: also save the collected trace to this file")
 	obsJSON := flag.Bool("obs-json", false, "with -run: emit the obs snapshot (instr + engine metrics) as JSON on stderr")
+	serverAddr := flag.String("server", "", "with -run: stream the trace to a velodromed daemon at this address instead of checking locally")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: veloinstr [-analyze | -run] [-o dir] [-noprune] <package dir>")
+		fmt.Fprintln(os.Stderr, "usage: veloinstr [-analyze | -run] [-o dir] [-noprune] [-server addr] <package dir>")
+		return 2
+	}
+	if *serverAddr != "" && (!*doRun || *traceOut != "" || *obsJSON) {
+		fmt.Fprintln(os.Stderr, "veloinstr: -server requires -run and is incompatible with -trace and -obs-json")
 		return 2
 	}
 	dir := flag.Arg(0)
@@ -113,6 +121,10 @@ func run() int {
 		return 2
 	}
 
+	if *serverAddr != "" {
+		return runViaServer(runDir, *serverAddr, filepath.Base(dir), out)
+	}
+
 	reg := obs.NewRegistry()
 	rep.Record(reg)
 	reg.Gauge("instr_sites_emitted").Set(int64(out.SitesEmitted))
@@ -120,6 +132,17 @@ func run() int {
 
 	tr, runtimeComments, err := execAndCollect(runDir)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "veloinstr:", err)
+		return 2
+	}
+	if len(tr) == 0 {
+		fmt.Fprintln(os.Stderr, "veloinstr: empty trace: the instrumented program emitted 0 operations (crashed before its first event?)")
+		return 2
+	}
+	// Cross-check the shim's emission counter against what actually
+	// arrived: a producer that died after the pipe broke — or a pipe
+	// that dropped a suffix — must not be checked as a clean prefix.
+	if err := checkTrailer(runtimeComments, int64(len(tr))); err != nil {
 		fmt.Fprintln(os.Stderr, "veloinstr:", err)
 		return 2
 	}
@@ -178,6 +201,102 @@ func run() int {
 		fmt.Println(w)
 	}
 	return 1
+}
+
+// checkTrailer cross-checks the shim's end-of-run summary comment
+// ("velo events emitted=N pruned=M") against the operations actually
+// received. A missing trailer means the producer never reached
+// _velo_done; a count mismatch means events were lost in flight. Either
+// way the received trace is a truncated prefix and checking it would be
+// a silent false negative.
+func checkTrailer(comments []string, received int64) error {
+	for i := len(comments) - 1; i >= 0; i-- {
+		var emitted, pruned int64
+		if _, err := fmt.Sscanf(comments[i], "velo events emitted=%d pruned=%d", &emitted, &pruned); err == nil {
+			if emitted != received {
+				return fmt.Errorf("partial trace: producer emitted %d events but %d arrived", emitted, received)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("partial trace: runtime summary trailer missing (producer died before flushing?)")
+}
+
+// runViaServer executes the instrumented package with its trace pipe
+// streamed straight to a velodromed daemon, and relays the daemon's
+// verdict. The child's bytes flow through untouched — the daemon does
+// the decoding — so a multi-gigabyte run never materializes here.
+func runViaServer(dir, addr, name string, out *instr.Output) int {
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "veloinstr:", err)
+		return 2
+	}
+	cmd := exec.Command("go", "run", ".")
+	cmd.Dir = dir
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.ExtraFiles = []*os.File{pw} // becomes fd 3 in the child
+	cmd.Env = append(os.Environ(), "VELO_TRACE=fd:3")
+	if err := cmd.Start(); err != nil {
+		pr.Close()
+		pw.Close()
+		fmt.Fprintln(os.Stderr, "veloinstr:", err)
+		return 2
+	}
+	pw.Close() // child holds the write end now
+
+	hdr := trace.SessionHeader{Engine: "optimized", Name: sanitizeName(name)}
+	v, cerr := server.CheckReader(addr, hdr, pr)
+	io.Copy(io.Discard, pr) // drain if the daemon bailed early, so the child can exit
+	pr.Close()
+	werr := cmd.Wait()
+
+	// The child's own failure wins: a broken-pipe diagnostic from the
+	// shim (exit 3) means the daemon saw a truncated stream, whatever
+	// its verdict says.
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "veloinstr: go run: %v (partial trace streamed to %s)\n", werr, addr)
+		return 2
+	}
+	if cerr != nil {
+		fmt.Fprintln(os.Stderr, "veloinstr:", cerr)
+		return 2
+	}
+	if v.Status != trace.StatusOK {
+		fmt.Fprintf(os.Stderr, "veloinstr: server %s: %s: %s (%d ops consumed)\n", addr, v.Status, v.Error, v.Ops)
+		return 2
+	}
+	if err := checkTrailer(v.Comments, v.Ops); err != nil {
+		fmt.Fprintln(os.Stderr, "veloinstr:", err)
+		return 2
+	}
+	for _, c := range v.Comments {
+		fmt.Println("#", c)
+	}
+	fmt.Printf("trace: %d operations (%d access sites instrumented, %d pruned), checked by %s at %s\n",
+		v.Ops, out.SitesEmitted, out.SitesPruned, v.Engine, addr)
+	if v.Serializable {
+		fmt.Println("serializable")
+		return 0
+	}
+	fmt.Printf("NOT serializable: %d warnings\n", len(v.Warnings))
+	for _, w := range v.Warnings {
+		fmt.Println(w)
+	}
+	return 1
+}
+
+// sanitizeName makes a package-dir basename safe for the session
+// header's space- and '='-free name field.
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-' || r == '_' || r == '.':
+			return r
+		}
+		return '-'
+	}, s)
 }
 
 // writePackage materializes the instrumented sources, the runtime shim

@@ -1,10 +1,20 @@
 package core
 
 import (
+	"errors"
 	"io"
 
 	"repro/internal/trace"
 )
+
+// ErrEmptyStream reports a stream that reached EOF before yielding a
+// single operation. An empty stream is indistinguishable from a
+// producer that crashed before emitting (or a misdirected pipe), so it
+// is a malformed-input outcome, never a "serializable" verdict: an
+// instrumented program always emits at least one operation, and a
+// vacuous exit-0 here is exactly the silent-success hole that lets a
+// broken pipeline masquerade as a clean run.
+var ErrEmptyStream = errors.New("core: empty trace: stream ended before the first operation")
 
 // CheckStream runs a fresh Checker over operations pulled from a
 // streaming decoder, without materializing the trace. This is the entry
@@ -15,7 +25,9 @@ import (
 //
 // It returns the result, the number of operations consumed, and the
 // first decode error (nil on clean EOF). Operations consumed before a
-// decode error are still reflected in the result.
+// decode error are still reflected in the result. A stream that ends
+// before the first operation returns ErrEmptyStream: zero ops is a
+// malformed input, not a vacuously serializable trace.
 func CheckStream(d *trace.Decoder, opts Options) (*Result, int, error) {
 	c := New(opts)
 	n := 0
@@ -29,6 +41,9 @@ func CheckStream(d *trace.Decoder, opts Options) (*Result, int, error) {
 		}
 		c.Step(op)
 		n++
+	}
+	if n == 0 {
+		return result(c), 0, ErrEmptyStream
 	}
 	return result(c), n, nil
 }

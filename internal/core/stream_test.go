@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -57,6 +58,29 @@ func TestCheckStreamMatchesCheckTrace(t *testing.T) {
 						name, eng, enc, got.Serializable, len(got.Warnings), want.Serializable, len(want.Warnings))
 				}
 			}
+		}
+	}
+}
+
+// TestCheckStreamEmpty checks the zero-op regression: a stream that
+// dies before the first operation (crashed producer, empty pipe) must
+// be a distinct malformed-input outcome, not a clean serializable
+// verdict.
+func TestCheckStreamEmpty(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":        "",
+		"comment-only": "# a producer that wrote its trailer and nothing else\n",
+		"blank-lines":  "\n\n\n",
+	} {
+		res, n, err := CheckStream(trace.NewDecoder(strings.NewReader(in)), Options{})
+		if !errors.Is(err, ErrEmptyStream) {
+			t.Errorf("%s: err = %v, want ErrEmptyStream", name, err)
+		}
+		if n != 0 {
+			t.Errorf("%s: consumed %d ops, want 0", name, n)
+		}
+		if res == nil {
+			t.Errorf("%s: want a (vacuous) result alongside the error", name)
 		}
 	}
 }

@@ -1,0 +1,87 @@
+package instr
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// materialize writes an instrumented package plus shim and module file
+// into dir, mirroring what veloinstr -o does.
+func materialize(t *testing.T, dir string, out *Output) {
+	t.Helper()
+	for name, src := range out.Files {
+		if err := os.WriteFile(filepath.Join(dir, name), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, ShimFileName), out.Shim, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module veloinstrumented\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShimBrokenPipe kills the trace consumer mid-stream and requires
+// the instrumented producer to fail loudly: non-zero exit and a
+// partial-trace diagnostic on stderr. Before the shim retained write
+// errors, this scenario exited 0 and the consumer would happily check
+// (and bless) whatever prefix it had received.
+func TestShimBrokenPipe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs an instrumented program")
+	}
+	p, err := Load(filepath.Join("..", "..", "testdata", "instr", "spam"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := ScanDirectives(p)
+	out, err := Rewrite(p, dirs, Analyze(p, dirs), RewriteOptions{Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDir := t.TempDir()
+	materialize(t, runDir, out)
+
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", ".")
+	cmd.Dir = runDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	cmd.ExtraFiles = []*os.File{pw} // fd 3 in the child
+	cmd.Env = append(os.Environ(), "VELO_TRACE=fd:3")
+	if err := cmd.Start(); err != nil {
+		pr.Close()
+		pw.Close()
+		t.Fatal(err)
+	}
+	pw.Close()
+
+	// Play consumer for a moment, then die: the spam workload emits far
+	// more than the pipe capacity, so the producer is guaranteed to hit
+	// EPIPE on a later write.
+	if _, err := io.ReadFull(pr, make([]byte, 4096)); err != nil {
+		t.Fatalf("reading the stream prefix: %v", err)
+	}
+	pr.Close()
+
+	err = cmd.Wait()
+	if err == nil {
+		t.Fatalf("producer exited 0 after its consumer died mid-stream; stderr:\n%s", stderr.String())
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("go run: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "trace write error") ||
+		!strings.Contains(stderr.String(), "truncated prefix") {
+		t.Errorf("stderr must carry the partial-trace diagnostic, got:\n%s", stderr.String())
+	}
+}

@@ -1,0 +1,423 @@
+// Package server is the long-lived trace-ingestion daemon behind
+// cmd/velodromed: it accepts many concurrent trace sessions over TCP or
+// Unix sockets, runs one independent Velodrome engine per connection,
+// and replies with a structured verdict.
+//
+// One connection is one session is one engine. The analyses' state —
+// the transactional happens-before graph, last-access maps, per-thread
+// clocks — is all reachable from a single core.Checker, so sessions
+// share nothing and need no locks between them; isolation falls out of
+// construction rather than synchronization. The production concerns
+// live here instead: a session cap with load-shedding, per-read
+// deadlines so a hung client cannot pin a slot, bounded decode-ahead
+// with backpressure, panic isolation, and graceful drain.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// production default applied by New.
+type Config struct {
+	// MaxSessions caps concurrently running sessions. Connections
+	// beyond the cap are shed immediately: they receive a StatusBusy
+	// verdict and are closed without reading a single op, so a loaded
+	// daemon degrades by refusing work, not by queueing unboundedly.
+	// Default 64.
+	MaxSessions int
+	// IdleTimeout is the per-read deadline: the longest a session may
+	// go without delivering a byte before it is failed. This is what
+	// unpins slots held by hung or half-dead clients. Default 30s.
+	IdleTimeout time.Duration
+	// MaxSessionTime bounds one session's total wall-clock time,
+	// however chatty the client. 0 means unbounded.
+	MaxSessionTime time.Duration
+	// BufferOps is the capacity of the decoded-op channel between the
+	// decode and analysis goroutines of a session. When the engine
+	// falls behind, the channel fills, the decoder stops reading, and
+	// backpressure propagates to the client through the transport —
+	// memory per session stays bounded at BufferOps ops. Default 1024.
+	BufferOps int
+	// MaxWarnings caps the warning strings carried in one verdict
+	// (the engines record more internally). Default 16.
+	MaxWarnings int
+	// DefaultEngine is used when a session header names none.
+	DefaultEngine core.Engine
+	// Metrics, when non-nil, receives the daemon's instruments (see
+	// metrics.go for the names). Engines do not attach to it: the
+	// graph gauges assume one graph per registry, and seeding them
+	// from dozens of concurrent per-session graphs would corrupt the
+	// aggregate. Session-level throughput is recorded here instead.
+	Metrics *obs.Registry
+	// Logf, when non-nil, receives one line per noteworthy event
+	// (session end, shed, panic). Defaults to silent.
+	Logf func(format string, args ...any)
+
+	// stepHook, when non-nil, observes every op before it reaches the
+	// engine. Tests use it to inject per-session faults (e.g. a panic
+	// on a poisoned op) without a special wire format.
+	stepHook func(trace.Op)
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	if c.BufferOps <= 0 {
+		c.BufferOps = 1024
+	}
+	if c.MaxWarnings <= 0 {
+		c.MaxWarnings = 16
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Server accepts and checks trace sessions. Construct with New, feed it
+// listeners via Serve, stop it with Shutdown.
+type Server struct {
+	cfg Config
+	met *serverMetrics
+
+	slots chan struct{} // session-cap semaphore
+
+	mu        sync.Mutex
+	listeners map[net.Listener]bool
+	conns     map[net.Conn]bool
+	draining  bool
+
+	sessions sync.WaitGroup
+}
+
+// New returns a Server for cfg.
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	return &Server{
+		cfg:       cfg,
+		met:       newServerMetrics(cfg.Metrics),
+		slots:     make(chan struct{}, cfg.MaxSessions),
+		listeners: map[net.Listener]bool{},
+		conns:     map[net.Conn]bool{},
+	}
+}
+
+// ErrServerClosed is returned by Serve after Shutdown begins.
+var ErrServerClosed = errors.New("server: closed")
+
+// Listen opens a listener for addr in SplitAddr notation ("host:port"
+// for TCP, "unix:/path" or any path containing '/' for Unix sockets).
+// A stale Unix socket file from a dead daemon is removed first.
+func Listen(addr string) (net.Listener, error) {
+	network, address := SplitAddr(addr)
+	if network == "unix" {
+		if _, err := os.Stat(address); err == nil {
+			// Only unlink if nothing is accepting: a live daemon's
+			// socket must not be stolen out from under it.
+			if conn, err := net.DialTimeout("unix", address, 250*time.Millisecond); err == nil {
+				conn.Close()
+				return nil, fmt.Errorf("server: %s: address already in use", address)
+			}
+			os.Remove(address)
+		}
+	}
+	return net.Listen(network, address)
+}
+
+// SplitAddr maps one user-facing address string onto (network,
+// address): anything with a path separator or a "unix:" prefix is a
+// Unix socket, the rest is TCP.
+func SplitAddr(addr string) (network, address string) {
+	if rest, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return "unix", rest
+	}
+	if strings.Contains(addr, "/") {
+		return "unix", addr
+	}
+	return "tcp", addr
+}
+
+// Serve accepts sessions on ln until Shutdown. Each connection is
+// handled on its own goroutine; Serve itself blocks and always returns
+// a non-nil error (ErrServerClosed after a clean shutdown).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.listeners[ln] = true
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.met.accepted.Inc()
+
+		// Load shedding: claim a slot without blocking. A full daemon
+		// answers immediately and cheaply — the client learns "busy"
+		// instead of hanging in an invisible queue.
+		select {
+		case s.slots <- struct{}{}:
+		default:
+			s.met.shed.Inc()
+			s.cfg.Logf("session shed: %s (cap %d)", conn.RemoteAddr(), s.cfg.MaxSessions)
+			// Answer off the accept loop so a slow shed client cannot
+			// stall admission of sessions that would find a free slot.
+			go func(conn net.Conn) {
+				conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+				trace.WriteVerdict(conn, &trace.SessionVerdict{
+					Status: trace.StatusBusy,
+					Error:  fmt.Sprintf("session limit reached (%d active)", s.cfg.MaxSessions),
+				})
+				conn.Close()
+			}(conn)
+			continue
+		}
+
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.sessions.Add(1)
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				<-s.slots
+				s.sessions.Done()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := Listen(addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown drains the server: close the listeners (new connections are
+// refused by the OS), let in-flight sessions finish and emit their
+// verdicts, and only force-close connections when ctx expires. It
+// returns nil on a clean drain and ctx.Err() if connections had to be
+// killed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.sessions.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done // handlers exit promptly once their conns error
+		return ctx.Err()
+	}
+}
+
+// deadlineReader arms a fresh read deadline before every Read, so the
+// session dies IdleTimeout after the client last produced a byte (and
+// no later than the absolute session deadline), wherever in the
+// protocol it stalls.
+type deadlineReader struct {
+	conn     net.Conn
+	idle     time.Duration
+	absolute time.Time // zero = no session-wide bound
+}
+
+func (d *deadlineReader) Read(p []byte) (int, error) {
+	deadline := time.Now().Add(d.idle)
+	if !d.absolute.IsZero() && d.absolute.Before(deadline) {
+		deadline = d.absolute
+	}
+	d.conn.SetReadDeadline(deadline)
+	return d.conn.Read(p)
+}
+
+// handle runs one complete session: header, op stream, verdict.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	start := time.Now()
+	s.met.active.Add(1)
+	defer s.met.active.Add(-1)
+
+	dr := &deadlineReader{conn: conn, idle: s.cfg.IdleTimeout}
+	if s.cfg.MaxSessionTime > 0 {
+		dr.absolute = start.Add(s.cfg.MaxSessionTime)
+	}
+	v := s.run(bufio.NewReader(dr))
+
+	s.met.observeVerdict(v, time.Since(start))
+	s.cfg.Logf("session %s: status=%s ops=%d warnings=%d in %v",
+		conn.RemoteAddr(), v.Status, v.Ops, len(v.Warnings), time.Since(start).Round(time.Millisecond))
+
+	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if err := trace.WriteVerdict(conn, v); err != nil {
+		s.cfg.Logf("session %s: writing verdict: %v", conn.RemoteAddr(), err)
+	}
+}
+
+// run decodes and checks one session's stream, converting every failure
+// mode — bad header, malformed ops, engine panic — into a verdict. It
+// never lets a panic escape: one poisoned session must not take down
+// the daemon.
+func (s *Server) run(br *bufio.Reader) (v *trace.SessionVerdict) {
+	// ops and its drain are declared here so the recover path can unblock
+	// a decode goroutine stuck sending to a consumer that panicked away.
+	var ops chan trace.Op
+	defer func() {
+		if r := recover(); r != nil {
+			s.met.panics.Inc()
+			s.cfg.Logf("session panic: %v\n%s", r, debug.Stack())
+			if ops != nil {
+				go func() {
+					for range ops {
+					}
+				}()
+			}
+			v = &trace.SessionVerdict{
+				Status: trace.StatusError,
+				Error:  fmt.Sprintf("internal: session panicked: %v", r),
+			}
+		}
+	}()
+
+	hdr, err := trace.ReadSessionHeader(br)
+	if err != nil {
+		return &trace.SessionVerdict{Status: trace.StatusMalformed, Error: err.Error()}
+	}
+	opts := core.Options{Engine: s.cfg.DefaultEngine, MaxWarnings: s.cfg.MaxWarnings}
+	engineName := "optimized"
+	switch hdr.Engine {
+	case "":
+		if s.cfg.DefaultEngine == core.Basic {
+			engineName = "basic"
+		}
+	case "optimized":
+		opts.Engine = core.Optimized
+	case "basic":
+		opts.Engine = core.Basic
+		engineName = "basic"
+	default:
+		return &trace.SessionVerdict{
+			Status: trace.StatusMalformed,
+			Error:  fmt.Sprintf("unknown engine %q (want optimized or basic)", hdr.Engine),
+		}
+	}
+
+	dec := trace.NewDecoder(br)
+
+	// Decode ahead of the engine through a bounded channel: a full
+	// channel blocks the decoder, which stops reading the transport,
+	// which backpressures the client. decodeErr is buffered so the
+	// decoder goroutine can always exit, even if run is unwinding.
+	ops = make(chan trace.Op, s.cfg.BufferOps)
+	decodeErr := make(chan error, 1)
+	go func() {
+		defer close(ops)
+		for {
+			op, err := dec.Next()
+			if err == io.EOF {
+				decodeErr <- nil
+				return
+			}
+			if err != nil {
+				decodeErr <- err
+				return
+			}
+			ops <- op
+		}
+	}()
+
+	checker := core.New(opts)
+	var n int64
+	for op := range ops {
+		if s.cfg.stepHook != nil {
+			s.cfg.stepHook(op)
+		}
+		checker.Step(op)
+		n++
+		s.met.ops.Inc()
+	}
+	derr := <-decodeErr
+
+	v = &trace.SessionVerdict{
+		Engine:   engineName,
+		Ops:      n,
+		Comments: dec.Comments,
+	}
+	for _, w := range checker.Warnings() {
+		if len(v.Warnings) >= s.cfg.MaxWarnings {
+			break
+		}
+		v.Warnings = append(v.Warnings, w.String())
+	}
+	switch {
+	case derr != nil:
+		v.Status = trace.StatusMalformed
+		v.Error = derr.Error()
+	case n == 0:
+		// The zero-op hole, closed at the daemon too: an empty stream
+		// is a crashed producer, not a serializable program.
+		v.Status = trace.StatusMalformed
+		v.Error = core.ErrEmptyStream.Error()
+	default:
+		v.Status = trace.StatusOK
+		v.Serializable = len(checker.Warnings()) == 0
+	}
+	return v
+}

@@ -1,0 +1,417 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// startServer spins up a Server on a loopback TCP listener and returns
+// its address plus a shutdown func that fails the test on unclean drain.
+func startServer(t *testing.T, cfg Config) (*Server, string, func()) {
+	t.Helper()
+	s := New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ln) }()
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-served; err != ErrServerClosed {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	}
+	return s, ln.Addr().String(), stop
+}
+
+// cleanTrace is serializable; buggyTrace seeds the classic interleaved
+// read-write cycle so the engine must warn.
+func cleanTrace() trace.Trace {
+	return trace.Trace{
+		trace.Beg(1, "m"),
+		trace.Acq(1, 0), trace.Rd(1, 0), trace.Wr(1, 0), trace.Rel(1, 0),
+		trace.Fin(1),
+		trace.Acq(2, 0), trace.Rd(2, 0), trace.Rel(2, 0),
+	}
+}
+
+func buggyTrace() trace.Trace {
+	return trace.Trace{
+		trace.Beg(1, "inc"),
+		trace.Rd(1, 0),
+		trace.Wr(2, 0),
+		trace.Wr(1, 0),
+		trace.Fin(1),
+	}
+}
+
+// encode renders tr in the chosen wire format.
+func encode(t *testing.T, tr trace.Trace, binaryFmt bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	var err error
+	if binaryFmt {
+		err = trace.MarshalBinary(&buf, tr)
+	} else {
+		err = trace.Marshal(&buf, tr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestServerConcurrentSessions drives 36 concurrent sessions with mixed
+// clean / buggy / malformed / empty traces over both wire formats and
+// both engines, asserting per-session verdict isolation (every client
+// gets exactly the verdict for its own trace) and a clean drain.
+func TestServerConcurrentSessions(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, addr, stop := startServer(t, Config{MaxSessions: 64, Metrics: reg})
+
+	type want struct {
+		status       string
+		serializable bool
+	}
+	kinds := []struct {
+		name string
+		body func(i int) []byte
+		want want
+	}{
+		{"clean", func(i int) []byte { return encode(t, cleanTrace(), i%2 == 0) }, want{trace.StatusOK, true}},
+		{"buggy", func(i int) []byte { return encode(t, buggyTrace(), i%2 == 0) }, want{trace.StatusOK, false}},
+		{"malformed", func(i int) []byte { return []byte("rd(1,x0)\nthis is not an op\n") }, want{trace.StatusMalformed, false}},
+		{"empty", func(i int) []byte { return nil }, want{trace.StatusMalformed, false}},
+	}
+
+	const perKind = 9 // 4 kinds × 9 = 36 ≥ 32 concurrent sessions
+	var wg sync.WaitGroup
+	errs := make(chan error, perKind*len(kinds))
+	for k, kind := range kinds {
+		for i := 0; i < perKind; i++ {
+			wg.Add(1)
+			go func(k, i int, kind struct {
+				name string
+				body func(i int) []byte
+				want want
+			}) {
+				defer wg.Done()
+				engine := "optimized"
+				if i%3 == 0 {
+					engine = "basic"
+				}
+				hdr := trace.SessionHeader{Engine: engine, Name: fmt.Sprintf("%s-%d", kind.name, i)}
+				v, err := CheckReader(addr, hdr, bytes.NewReader(kind.body(i)))
+				if err != nil {
+					errs <- fmt.Errorf("%s-%d: %v", kind.name, i, err)
+					return
+				}
+				if v.Status != kind.want.status {
+					errs <- fmt.Errorf("%s-%d: status %q (err %q), want %q", kind.name, i, v.Status, v.Error, kind.want.status)
+					return
+				}
+				if v.Status == trace.StatusOK && v.Serializable != kind.want.serializable {
+					errs <- fmt.Errorf("%s-%d: serializable=%v, want %v", kind.name, i, v.Serializable, kind.want.serializable)
+					return
+				}
+				if v.Engine != engine {
+					errs <- fmt.Errorf("%s-%d: engine %q, want %q", kind.name, i, v.Engine, engine)
+				}
+				if kind.name == "buggy" && len(v.Warnings) == 0 {
+					errs <- fmt.Errorf("buggy-%d: no warnings in verdict", i)
+				}
+				if kind.name == "empty" && !strings.Contains(v.Error, "empty trace") {
+					errs <- fmt.Errorf("empty-%d: error %q does not name the empty stream", i, v.Error)
+				}
+			}(k, i, kind)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	stop()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["velodromed_sessions_accepted_total"]; got != perKind*int64(len(kinds)) {
+		t.Errorf("accepted = %d, want %d", got, perKind*len(kinds))
+	}
+	if got := snap.Counters[`velodromed_verdicts_total{status="ok"}`]; got != 2*perKind {
+		t.Errorf("ok verdicts = %d, want %d", got, 2*perKind)
+	}
+	if got := snap.Counters[`velodromed_verdicts_total{status="malformed"}`]; got != 2*perKind {
+		t.Errorf("malformed verdicts = %d, want %d", got, 2*perKind)
+	}
+	if got := snap.Counters["velodromed_serializable_total"]; got != perKind {
+		t.Errorf("serializable = %d, want %d", got, perKind)
+	}
+	if got := snap.Gauges["velodromed_sessions_active"]; got != 0 {
+		t.Errorf("active sessions after drain = %d, want 0", got)
+	}
+}
+
+// TestServerUnixSocket runs one session over a Unix socket, covering
+// SplitAddr, stale-socket handling and half-close on *net.UnixConn.
+func TestServerUnixSocket(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "velo.sock")
+	s := New(Config{})
+	ln, err := Listen(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		<-served
+	}()
+
+	v, err := CheckReader(sock, trace.SessionHeader{}, bytes.NewReader(encode(t, buggyTrace(), true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != trace.StatusOK || v.Serializable {
+		t.Errorf("verdict %+v, want non-serializable ok", v)
+	}
+	if network, _ := SplitAddr("unix:" + sock); network != "unix" {
+		t.Errorf("SplitAddr(unix:...) = %s", network)
+	}
+	if network, _ := SplitAddr("127.0.0.1:80"); network != "tcp" {
+		t.Errorf("SplitAddr(host:port) = %s", network)
+	}
+}
+
+// TestServerShedsLoad pins the only session slot with a deliberately
+// stalled client and asserts the next connection is shed with a busy
+// verdict instead of queueing.
+func TestServerShedsLoad(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, addr, stop := startServer(t, Config{MaxSessions: 1, Metrics: reg})
+
+	// Occupy the slot: send the header and one op, then stall.
+	slow, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := slow.Write(trace.SessionHeader{Name: "slow"}.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := slow.Write([]byte("rd(1,x0)\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Give the server a moment to admit the slow session.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().Gauges["velodromed_sessions_active"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow session never became active")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	v, err := CheckReader(addr, trace.SessionHeader{Name: "shed-me"},
+		bytes.NewReader(encode(t, cleanTrace(), false)))
+	if err != nil {
+		t.Fatalf("shed client: %v", err)
+	}
+	if v.Status != trace.StatusBusy {
+		t.Fatalf("verdict %+v, want busy", v)
+	}
+	if v.ExitCode() != 2 {
+		t.Errorf("busy exit code = %d, want 2", v.ExitCode())
+	}
+
+	// Release the slot; the slow session completes and the next client
+	// is served normally.
+	if _, err := slow.Write([]byte("wr(1,x0)\n")); err != nil {
+		t.Fatal(err)
+	}
+	slow.(*net.TCPConn).CloseWrite()
+	if v, err := trace.ReadVerdict(slow); err != nil || v.Status != trace.StatusOK {
+		t.Fatalf("slow session verdict %+v, err %v", v, err)
+	}
+	slow.Close()
+
+	v, err = CheckReader(addr, trace.SessionHeader{}, bytes.NewReader(encode(t, cleanTrace(), false)))
+	if err != nil || v.Status != trace.StatusOK {
+		t.Fatalf("post-shed session: %+v, err %v", v, err)
+	}
+	stop()
+	if got := reg.Snapshot().Counters["velodromed_sessions_shed_total"]; got != 1 {
+		t.Errorf("shed = %d, want 1", got)
+	}
+}
+
+// TestServerGracefulDrain starts sessions that are mid-stream when
+// Shutdown begins and asserts they still receive real verdicts while
+// new connections are refused.
+func TestServerGracefulDrain(t *testing.T) {
+	s, addr, _ := startServer(t, Config{MaxSessions: 8})
+
+	const n = 4
+	conns := make([]net.Conn, n)
+	for i := range conns {
+		conn, err := Dial(addr, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = conn
+		if _, err := conn.Write(trace.SessionHeader{Name: fmt.Sprintf("drain-%d", i)}.Encode()); err != nil {
+			t.Fatal(err)
+		}
+		// First half of a buggy trace: the session is mid-flight.
+		if _, err := conn.Write([]byte("begin.inc(1)\nrd(1,x0)\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// New connections must be refused once the listener is down. The
+	// close races with our dial, so allow a beat.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 250*time.Millisecond)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting during drain")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// In-flight sessions finish their streams and still get verdicts.
+	for i, conn := range conns {
+		if _, err := conn.Write([]byte("wr(2,x0)\nwr(1,x0)\nend(1)\n")); err != nil {
+			t.Fatalf("conn %d: finishing stream during drain: %v", i, err)
+		}
+		conn.(*net.TCPConn).CloseWrite()
+		v, err := trace.ReadVerdict(conn)
+		if err != nil {
+			t.Fatalf("conn %d: verdict during drain: %v", i, err)
+		}
+		if v.Status != trace.StatusOK || v.Serializable {
+			t.Errorf("conn %d: verdict %+v, want non-serializable ok", i, v)
+		}
+		conn.Close()
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("drain was not clean: %v", err)
+	}
+}
+
+// TestServerPanicIsolation poisons one session via the step hook and
+// asserts it gets an error verdict while a concurrent healthy session
+// and the daemon itself are untouched.
+func TestServerPanicIsolation(t *testing.T) {
+	reg := obs.NewRegistry()
+	const poison = 66_666
+	_, addr, stop := startServer(t, Config{MaxSessions: 8, Metrics: reg, stepHook: func(op trace.Op) {
+		if op.Kind == trace.Write && op.Target == poison {
+			panic("poisoned op")
+		}
+	}})
+
+	poisoned := trace.Trace{trace.Rd(1, 0), trace.Wr(1, poison), trace.Wr(1, 0)}
+	v, err := CheckReader(addr, trace.SessionHeader{Name: "poisoned"},
+		bytes.NewReader(encode(t, poisoned, false)))
+	if err != nil {
+		t.Fatalf("poisoned session: %v", err)
+	}
+	if v.Status != trace.StatusError || !strings.Contains(v.Error, "panicked") {
+		t.Fatalf("verdict %+v, want error/panic", v)
+	}
+
+	// The daemon survives and keeps serving.
+	v, err = CheckReader(addr, trace.SessionHeader{}, bytes.NewReader(encode(t, cleanTrace(), true)))
+	if err != nil || v.Status != trace.StatusOK || !v.Serializable {
+		t.Fatalf("session after panic: %+v, err %v", v, err)
+	}
+	stop()
+	if got := reg.Snapshot().Counters["velodromed_session_panics_total"]; got != 1 {
+		t.Errorf("panics = %d, want 1", got)
+	}
+}
+
+// TestServerIdleTimeout connects, sends half a session, and stalls: the
+// read deadline must fail the session rather than pin its slot forever.
+func TestServerIdleTimeout(t *testing.T) {
+	_, addr, stop := startServer(t, Config{MaxSessions: 2, IdleTimeout: 100 * time.Millisecond})
+	defer stop()
+
+	conn, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write(trace.SessionHeader{Name: "hung"}.Encode())
+	conn.Write([]byte("rd(1,x0)\n"))
+	// No more bytes, no half-close: a hung client.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	v, err := trace.ReadVerdict(conn)
+	if err != nil {
+		t.Fatalf("want a timeout verdict, got transport error %v", err)
+	}
+	if v.Status != trace.StatusMalformed {
+		t.Errorf("verdict %+v, want malformed (timeout)", v)
+	}
+	if v.Ops != 1 {
+		t.Errorf("ops = %d, want the 1 op consumed before the stall", v.Ops)
+	}
+}
+
+// TestServerZeroOpSession is the wire-level regression for the
+// silent-success hole: a connection that opens a session and dies
+// immediately must yield a malformed verdict, exit code 2.
+func TestServerZeroOpSession(t *testing.T) {
+	_, addr, stop := startServer(t, Config{})
+	defer stop()
+	v, err := CheckReader(addr, trace.SessionHeader{}, bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != trace.StatusMalformed || !strings.Contains(v.Error, "empty trace") || v.ExitCode() != 2 {
+		t.Errorf("verdict %+v (exit %d), want malformed/empty/2", v, v.ExitCode())
+	}
+}
+
+// TestServerTruncatedBinarySession streams a binary trace cut inside
+// the magic and mid-ops; both must come back malformed, never ok.
+func TestServerTruncatedBinarySession(t *testing.T) {
+	_, addr, stop := startServer(t, Config{})
+	defer stop()
+	full := encode(t, cleanTrace(), true)
+	for _, cut := range []int{2, len(full) / 2, len(full) - 1} {
+		v, err := CheckReader(addr, trace.SessionHeader{}, bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if v.Status != trace.StatusMalformed {
+			t.Errorf("cut %d: verdict %+v, want malformed", cut, v)
+		}
+	}
+}

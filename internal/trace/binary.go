@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -143,10 +144,31 @@ func min(a, b uint64) uint64 {
 	return b
 }
 
+// truncatedMagic reports a format-level error when a stream ended
+// mid-way through the binary magic: head is a short Peek result that is
+// a non-empty proper prefix of "VTR1". Without this check the sniff in
+// ReadAuto and Decoder.Next would fall through to text mode and a
+// 2-byte stub of a binary trace would surface as a baffling "line 1"
+// parse error — or, worse, as an empty-but-clean text trace.
+func truncatedMagic(head []byte) error {
+	if len(head) == 0 || len(head) >= len(binaryMagic) {
+		return nil
+	}
+	if !bytes.HasPrefix(binaryMagic[:], head) {
+		return nil
+	}
+	return fmt.Errorf("trace: truncated binary trace: stream ended at byte offset %d, inside the %q magic header", len(head), binaryMagic)
+}
+
 // ReadAuto decodes a trace in either format, sniffing the binary magic.
 func ReadAuto(r io.Reader) (Trace, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(4)
+	if err != nil {
+		if merr := truncatedMagic(head); merr != nil {
+			return nil, merr
+		}
+	}
 	if err == nil && [4]byte(head) == binaryMagic {
 		return UnmarshalBinary(br)
 	}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Session protocol: the framing velodromed speaks with its clients. A
+// session is one connection carrying one trace:
+//
+//	client → server   one header line: "VELOSESS/1 engine=optimized name=run7\n"
+//	client → server   the operation stream, text or binary (Decoder sniffs),
+//	                  terminated by half-closing the write side
+//	server → client   one JSON verdict line, then the connection closes
+//
+// The op stream reuses the existing encodings unchanged, so anything
+// that can produce a trace file can speak to the daemon by prepending
+// one line. The header is text even when the ops are binary: the
+// Decoder's magic sniff happens after the first newline, so the two
+// layers never ambiguate.
+
+// SessionMagic is the first token of a session header line.
+const SessionMagic = "VELOSESS/1"
+
+// SessionHeader carries per-session options, sent by the client before
+// the operation stream.
+type SessionHeader struct {
+	// Engine selects the analysis variant: "optimized", "basic", or ""
+	// for the server's default.
+	Engine string
+	// Name optionally labels the session for logs and diagnostics. It
+	// may not contain spaces, '=' or control characters.
+	Name string
+}
+
+// Encode renders the header as its one-line wire form.
+func (h SessionHeader) Encode() []byte {
+	var b strings.Builder
+	b.WriteString(SessionMagic)
+	if h.Engine != "" {
+		b.WriteString(" engine=")
+		b.WriteString(h.Engine)
+	}
+	if h.Name != "" {
+		b.WriteString(" name=")
+		b.WriteString(h.Name)
+	}
+	b.WriteByte('\n')
+	return []byte(b.String())
+}
+
+// Validate checks the header's field syntax (the server additionally
+// checks that Engine names a known engine).
+func (h SessionHeader) Validate() error {
+	for _, f := range []struct{ key, v string }{{"engine", h.Engine}, {"name", h.Name}} {
+		if strings.ContainsAny(f.v, " \t\r\n=") {
+			return fmt.Errorf("trace: session header %s=%q: spaces, '=' and control characters are not allowed", f.key, f.v)
+		}
+	}
+	return nil
+}
+
+// ReadSessionHeader parses the header line from br, leaving the reader
+// positioned at the first byte of the operation stream. Unknown keys
+// are ignored so the header can grow without breaking old servers.
+func ReadSessionHeader(br *bufio.Reader) (SessionHeader, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return SessionHeader{}, fmt.Errorf("trace: reading session header: %w", err)
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 || fields[0] != SessionMagic {
+		return SessionHeader{}, fmt.Errorf("trace: not a session header (want %q first)", SessionMagic)
+	}
+	var h SessionHeader
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return SessionHeader{}, fmt.Errorf("trace: malformed session header field %q", f)
+		}
+		switch key {
+		case "engine":
+			h.Engine = val
+		case "name":
+			h.Name = val
+		}
+	}
+	return h, nil
+}
+
+// Verdict statuses.
+const (
+	// StatusOK: the stream decoded cleanly and was checked; consult
+	// Serializable and Warnings.
+	StatusOK = "ok"
+	// StatusMalformed: the stream was empty, truncated or syntactically
+	// invalid. Ops counts the operations consumed before the error, and
+	// any warnings found in that prefix are still reported.
+	StatusMalformed = "malformed"
+	// StatusBusy: the server shed the session at its concurrency cap
+	// before reading any ops; retry later or against another instance.
+	StatusBusy = "busy"
+	// StatusError: the server failed internally (e.g. a panic isolated
+	// to this session); the trace may or may not have a defect.
+	StatusError = "error"
+)
+
+// SessionVerdict is the server's one-line JSON reply.
+type SessionVerdict struct {
+	Status       string   `json:"status"`
+	Engine       string   `json:"engine,omitempty"`
+	Serializable bool     `json:"serializable"`
+	Ops          int64    `json:"ops"`
+	Warnings     []string `json:"warnings,omitempty"`
+	// Comments are the "#" comment lines seen in a text stream, in
+	// order — instrumented programs report their emission counters this
+	// way, and clients cross-check them against Ops.
+	Comments []string `json:"comments,omitempty"`
+	Error    string   `json:"error,omitempty"`
+}
+
+// WriteVerdict writes v as one JSON line.
+func WriteVerdict(w io.Writer, v *SessionVerdict) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadVerdict reads one JSON verdict line.
+func ReadVerdict(r io.Reader) (*SessionVerdict, error) {
+	line, err := bufio.NewReader(r).ReadString('\n')
+	if line == "" && err != nil {
+		return nil, fmt.Errorf("trace: reading verdict: %w", err)
+	}
+	var v SessionVerdict
+	if err := json.Unmarshal([]byte(line), &v); err != nil {
+		return nil, fmt.Errorf("trace: malformed verdict %q: %v", strings.TrimSpace(line), err)
+	}
+	return &v, nil
+}
+
+// ExitCode maps a verdict onto the process exit-status convention the
+// CLIs share: 0 serializable, 1 non-serializable, 2 anything that
+// prevented a full check (malformed stream, shed session, server
+// error). A partial non-serializable prefix still exits 2 — the stream
+// was not fully checked, and silent success on truncation is exactly
+// the failure mode this code path exists to prevent.
+func (v *SessionVerdict) ExitCode() int {
+	switch {
+	case v.Status == StatusOK && v.Serializable:
+		return 0
+	case v.Status == StatusOK:
+		return 1
+	default:
+		return 2
+	}
+}

@@ -115,6 +115,11 @@ func NewDecoder(r io.Reader) *Decoder {
 func (d *Decoder) Next() (Op, error) {
 	if d.mode == 0 {
 		head, err := d.br.Peek(4)
+		if err != nil {
+			if merr := truncatedMagic(head); merr != nil {
+				return Op{}, merr
+			}
+		}
 		if err == nil && [4]byte(head) == binaryMagic {
 			d.mode = 2
 			d.br.Discard(4)

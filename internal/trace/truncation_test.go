@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// truncCorpus is a small trace exercising every encoder feature that
+// matters for truncation: labels (fresh and back-referenced), every
+// field width, and enough ops that cuts land on every kind of boundary.
+func truncCorpus() Trace {
+	return Trace{
+		Beg(1, "Set.add"),
+		Acq(1, 0),
+		Rd(1, 3),
+		Wr(1, 3),
+		Rel(1, 0),
+		Fin(1),
+		ForkOp(1, 2),
+		Beg(2, "Set.add"), // label back-reference
+		Wr(2, 3),
+		Fin(2),
+		JoinOp(1, 2),
+	}
+}
+
+// decodeAll drains a Decoder, returning the ops and the terminal error
+// (nil only on clean EOF).
+func decodeAll(data []byte) (Trace, error) {
+	dec := NewDecoder(bytes.NewReader(data))
+	var tr Trace
+	for {
+		op, err := dec.Next()
+		if err == io.EOF {
+			return tr, nil
+		}
+		if err != nil {
+			return tr, err
+		}
+		tr = append(tr, op)
+	}
+}
+
+// TestBinaryTruncationCorpus cuts a valid binary trace at every prefix
+// length and requires that no cut decodes as a clean success: the
+// binary format's up-front count makes every truncation detectable, and
+// silently returning a prefix would hand the checker an incomplete
+// trace with a plausible verdict.
+func TestBinaryTruncationCorpus(t *testing.T) {
+	var buf bytes.Buffer
+	full := truncCorpus()
+	if err := MarshalBinary(&buf, full); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Sanity: the uncut encoding round-trips.
+	tr, err := decodeAll(data)
+	if err != nil || len(tr) != len(full) {
+		t.Fatalf("full decode: %d ops, err %v", len(tr), err)
+	}
+
+	for cut := 0; cut < len(data); cut++ {
+		tr, err := decodeAll(data[:cut])
+		if cut == 0 {
+			// The empty stream decodes as zero text ops; rejecting it
+			// is CheckStream's job (ErrEmptyStream), tested in core.
+			if err != nil || len(tr) != 0 {
+				t.Errorf("cut 0: want clean empty decode, got %d ops, err %v", len(tr), err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("cut at byte %d of %d: decoded %d ops with no error; truncation must not look like success",
+				cut, len(data), len(tr))
+			continue
+		}
+		if cut < 4 && !strings.Contains(err.Error(), "truncated binary trace") {
+			t.Errorf("cut at byte %d (inside magic): want a truncated-header error naming the offset, got: %v", cut, err)
+		}
+		if cut < 4 && !strings.Contains(err.Error(), "byte offset") {
+			t.Errorf("cut at byte %d: error must name the byte offset: %v", cut, err)
+		}
+	}
+
+	// The same cuts through ReadAuto: the one-shot reader shares the
+	// sniff and must agree.
+	for cut := 1; cut < 4; cut++ {
+		if _, err := ReadAuto(bytes.NewReader(data[:cut])); err == nil ||
+			!strings.Contains(err.Error(), "truncated binary trace") {
+			t.Errorf("ReadAuto cut %d: want truncated-header error, got %v", cut, err)
+		}
+	}
+}
+
+// TestTruncatedMagicNotText makes sure ordinary short text inputs that
+// merely share a first byte with nothing are unaffected, and that a
+// true magic prefix is the only trigger.
+func TestTruncatedMagicNotText(t *testing.T) {
+	// "V" alone is a magic prefix → format error, not a line-1 parse error.
+	_, err := decodeAll([]byte("V"))
+	if err == nil || !strings.Contains(err.Error(), "truncated binary trace") {
+		t.Errorf("lone magic prefix: got %v", err)
+	}
+	// A short comment-only text trace is not a magic prefix and stays a
+	// clean (empty) text decode.
+	tr, err := decodeAll([]byte("#x\n"))
+	if err != nil || len(tr) != 0 {
+		t.Errorf("comment-only: %d ops, err %v", len(tr), err)
+	}
+	// A short real op decodes fine even though it is under 4 bytes... no
+	// op is that short, but a 3-byte non-prefix input must still reach
+	// the text parser and fail there, not as a truncated header.
+	_, err = decodeAll([]byte("xyz"))
+	if err == nil || strings.Contains(err.Error(), "truncated binary trace") {
+		t.Errorf("non-magic short input must fall through to text parsing: %v", err)
+	}
+}

@@ -1,0 +1,31 @@
+// Spam emits a high-volume trace: two goroutines hammer a shared
+// variable long enough to overflow any pipe buffer between the
+// instrumented program and its consumer. Tests use it to kill the
+// consumer mid-stream and assert the producer fails loudly instead of
+// exiting 0 over a truncated trace.
+package main
+
+import "sync"
+
+var shared int
+
+func hammer() {
+	for i := 0; i < 20000; i++ {
+		h := shared
+		shared = h + 1
+	}
+}
+
+func main() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		hammer()
+	}()
+	go func() {
+		defer wg.Done()
+		hammer()
+	}()
+	wg.Wait()
+}
