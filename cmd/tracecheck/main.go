@@ -44,6 +44,7 @@ func main() {
 	profile := flag.String("profile", "", "write a pprof profile: cpu, mem or mutex")
 	profileOut := flag.String("profile-out", "", "profile output file (default <kind>.pprof)")
 	obsJSON := flag.Bool("obs-json", false, "emit the full obs snapshot (per-kind latencies, graph stats) as JSON on stderr")
+	noFilter := flag.Bool("nofilter", false, "disable the redundant-event fast path (Section 5 filtering)")
 	inFlag := flag.String("in", "", "trace input: a file name or - for standard input (alternative to the positional argument)")
 	serverAddr := flag.String("server", "", "check via a velodromed daemon at this address (host:port or unix:/path) instead of locally")
 	flag.Parse()
@@ -110,7 +111,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := core.Options{}
+	opts := core.Options{NoFilter: *noFilter}
 	if *engine == "basic" {
 		opts.Engine = core.Basic
 	}

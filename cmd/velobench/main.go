@@ -5,6 +5,7 @@
 //	velobench -table 2             Table 2 (Atomizer vs Velodrome warnings)
 //	velobench -table 2 -adversarial   ... with the adversarial scheduler
 //	velobench -replay              per-event analysis cost on recorded traces
+//	velobench -baseline            filter on/off hot-path baseline → BENCH_core.json
 //	velobench -inject              the 30% → 70% defect-injection study
 //	velobench -policies            compare adversarial pause policies
 //	velobench -ablate              merge/GC design-choice ablation
@@ -29,6 +30,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "reproduce table 1 or 2")
 	replay := flag.Bool("replay", false, "measure per-event analysis cost on recorded traces")
+	baseline := flag.Bool("baseline", false, "replay the workload suite through both engines, filter on and off")
 	inject := flag.Bool("inject", false, "run the defect-injection experiment")
 	policyStudy := flag.Bool("policies", false, "compare adversarial pause policies on the injection trials")
 	ablate := flag.Bool("ablate", false, "ablate the merge and GC design choices per benchmark")
@@ -44,6 +46,7 @@ func main() {
 	profile := flag.String("profile", "", "write a pprof profile: cpu, mem or mutex")
 	profileOut := flag.String("profile-out", "", "profile output file (default <kind>.pprof)")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "with -replay: write per-event-kind latency quantiles to this file (empty to disable)")
+	baselineOut := flag.String("baseline-out", "BENCH_core.json", "with -baseline: write the filter baseline to this file (empty to disable)")
 	flag.Parse()
 
 	seedList, err := parseSeeds(*seeds)
@@ -130,6 +133,26 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote per-event-kind latency quantiles to %s\n\n", *obsOut)
+		}
+	}
+	if *baseline || *all {
+		mark()
+		rep := exper.Baseline(seedList[0], *scale*10)
+		report.Baseline(os.Stdout, rep)
+		fmt.Println()
+		if *baselineOut != "" {
+			f, err := os.Create(*baselineOut)
+			if err == nil {
+				err = rep.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "velobench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote filter baseline to %s\n\n", *baselineOut)
 		}
 	}
 	if *inject || *all {

@@ -42,6 +42,7 @@ func main() {
 	list := flag.Bool("list", false, "list available workloads")
 	describe := flag.Bool("describe", false, "print the workload's method inventory and exit")
 	noMerge := flag.Bool("no-merge", false, "disable the merge optimization (Section 4.2)")
+	noFilter := flag.Bool("nofilter", false, "disable the redundant-event fast path (Section 5 filtering)")
 	stats := flag.Bool("stats", false, "print happens-before graph statistics")
 	asJSON := flag.Bool("json", false, "emit velodrome warnings as JSON lines (with -stats: one obs snapshot object)")
 	parallel := flag.Bool("parallel", false, "run on real goroutines instead of the deterministic scheduler")
@@ -108,7 +109,7 @@ func main() {
 	var velo *rr.Velodrome
 	switch *backend {
 	case "velodrome":
-		velo = rr.NewVelodrome(core.Options{NoMerge: *noMerge, Metrics: reg})
+		velo = rr.NewVelodrome(core.Options{NoMerge: *noMerge, NoFilter: *noFilter, Metrics: reg})
 		be = velo
 	case "atomizer":
 		be = rr.NewAtomizer()
@@ -208,6 +209,8 @@ func main() {
 			st := b.Checker.Stats()
 			fmt.Printf("graph: allocated=%d maxAlive=%d collected=%d merged=%d recycled=%d\n",
 				st.Allocated, st.MaxAlive, st.Collected, st.Merged, st.Recycled)
+			fmt.Printf("filter: events=%d edgeMemoHits=%d\n",
+				b.Checker.Filtered(), st.FilteredEdges)
 		}
 		if *dotOut != "" {
 			var firsts []*core.Warning

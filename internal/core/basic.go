@@ -106,6 +106,10 @@ func (c *basicChecker) step1(op trace.Op) *Warning {
 		return nil
 	}
 	if c.checkedDepth(t) > 0 {
+		if !c.opts.NoFilter && c.filterInside(op) {
+			c.filterHit()
+			return nil
+		}
 		return c.action(op)
 	}
 	// [INS OUTSIDE]: wrap in a fresh unary transaction.

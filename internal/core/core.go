@@ -44,6 +44,15 @@ type Options struct {
 	// NoGC disables reference-counting garbage collection (Section 4.1).
 	// Only for differential testing; large traces exhaust the node pool.
 	NoGC bool
+	// NoFilter disables the FilterRedundant fast path (on by default):
+	// before touching the graph, an access is compared against the stored
+	// W(x)/R(x,t) steps, and one that provably cannot add a happens-before
+	// edge — nor shift any later cycle or blame verdict — is discarded
+	// after a few integer comparisons, skipping merge, edge insertion and
+	// cycle detection (Section 5's dynamic redundant-event filtering; see
+	// DESIGN.md for the redundancy argument). Disabling is only for
+	// differential testing and for the filter-off benchmark columns.
+	NoFilter bool
 	// FirstOnly stops analysis after the first warning, leaving the
 	// happens-before graph exactly as it was when the violation was found.
 	FirstOnly bool
@@ -151,6 +160,9 @@ type Checker interface {
 	Warnings() []*Warning
 	// Stats returns node-allocation statistics of the underlying graph.
 	Stats() graph.Stats
+	// Filtered returns the number of operations discarded by the
+	// redundant-event fast path (always 0 under Options.NoFilter).
+	Filtered() int64
 	// Graph exposes the underlying happens-before graph (for tools).
 	Graph() *graph.Graph
 }
@@ -162,6 +174,7 @@ func New(opts Options) Checker {
 	}
 	g := graph.New()
 	g.SetGC(!opts.NoGC)
+	g.SetMemo(!opts.NoFilter)
 	var met *checkerMetrics
 	if opts.Metrics != nil {
 		g.SetMetrics(opts.Metrics)
@@ -178,6 +191,10 @@ type Result struct {
 	Serializable bool
 	Warnings     []*Warning
 	Stats        graph.Stats
+	// Filtered counts operations discarded by the redundant-event fast
+	// path (Section 5); Stats.FilteredEdges separately counts edge
+	// re-insertions served by the graph's last-edge memo.
+	Filtered int64
 }
 
 // CheckTrace runs a fresh Checker over the whole trace.
@@ -190,17 +207,19 @@ func CheckTrace(tr trace.Trace, opts Options) *Result {
 		Serializable: len(c.Warnings()) == 0,
 		Warnings:     c.Warnings(),
 		Stats:        c.Stats(),
+		Filtered:     c.Filtered(),
 	}
 }
 
 // common holds state shared by both engines.
 type common struct {
-	g     *graph.Graph
-	opts  Options
-	met   *checkerMetrics // nil when Options.Metrics is nil
-	warns []*Warning
-	idx   int // index of the operation being processed
-	done  bool
+	g        *graph.Graph
+	opts     Options
+	met      *checkerMetrics // nil when Options.Metrics is nil
+	warns    []*Warning
+	idx      int // index of the operation being processed
+	filtered int64
+	done     bool
 }
 
 // Warnings implements Checker.
@@ -208,6 +227,18 @@ func (c *common) Warnings() []*Warning { return c.warns }
 
 // Stats implements Checker.
 func (c *common) Stats() graph.Stats { return c.g.Stats() }
+
+// Filtered implements Checker.
+func (c *common) Filtered() int64 { return c.filtered }
+
+// filterHit counts one operation discarded by the redundant-event fast
+// path.
+func (c *common) filterHit() {
+	c.filtered++
+	if c.met != nil {
+		c.met.filtered.Inc()
+	}
+}
 
 // Graph implements Checker.
 func (c *common) Graph() *graph.Graph { return c.g }

@@ -13,10 +13,13 @@ import (
 // allConfigs are the engine configurations that must agree on every trace.
 var allConfigs = []Options{
 	{},
+	{NoFilter: true},
 	{NoMerge: true},
 	{NoGC: true},
+	{NoFilter: true, NoGC: true},
 	{NoMerge: true, NoGC: true},
 	{Engine: Basic},
+	{Engine: Basic, NoFilter: true},
 	{Engine: Basic, NoGC: true},
 }
 

@@ -21,6 +21,7 @@ type checkerMetrics struct {
 	incr     *obs.Counter      // warnings with an increasing cycle
 	blamed   *obs.Counter      // warnings with blame assigned (Section 4.3)
 	refuted  *obs.Counter      // atomic-block labels refuted across warnings
+	filtered *obs.Counter      // ops discarded by the redundant-event fast path
 }
 
 func newCheckerMetrics(r *obs.Registry) *checkerMetrics {
@@ -29,6 +30,7 @@ func newCheckerMetrics(r *obs.Registry) *checkerMetrics {
 		incr:     r.Counter("velodrome_warnings_increasing_total"),
 		blamed:   r.Counter("velodrome_blame_assigned_total"),
 		refuted:  r.Counter("velodrome_blocks_refuted_total"),
+		filtered: r.Counter("core_events_filtered_total"),
 	}
 	for k := trace.Read; k <= trace.Join; k++ {
 		m.stepNs[k] = r.Histogram(fmt.Sprintf("velodrome_step_ns{kind=%q}", k))

@@ -19,10 +19,12 @@ type frame struct {
 type optChecker struct {
 	common
 	c     [][]frame // C: open atomic blocks per thread
+	d     []int32   // open non-ignored blocks per thread (checkedDepth, maintained)
 	l     stepTable // L: last step of each thread
 	u     stepTable // U: last release of each lock
 	r     readTable // R: last read of each variable per thread
 	w     varTable  // W: last write of each variable
+	fc    []fcEntry // per-variable filter decision cache
 	preds []graph.Step
 }
 
@@ -38,6 +40,23 @@ func (c *optChecker) setStack(t trace.Tid, fs []frame) {
 		c.c = append(c.c, nil)
 	}
 	c.c[t] = fs
+}
+
+// depth returns the number of open non-ignored blocks of t. It mirrors
+// checkedDepth(c.stack(t)) but is maintained incrementally at Begin/End
+// so the per-event hot path needs no frame-stack scan.
+func (c *optChecker) depth(t trace.Tid) int32 {
+	if int(t) < len(c.d) {
+		return c.d[t]
+	}
+	return 0
+}
+
+func (c *optChecker) addDepth(t trace.Tid, delta int32) {
+	for int(t) >= len(c.d) {
+		c.d = append(c.d, 0)
+	}
+	c.d[t] += delta
 }
 
 // Step implements Checker.
@@ -84,11 +103,14 @@ func checkedDepth(stack []frame) int {
 
 func (c *optChecker) step1(op trace.Op) *Warning {
 	t := op.Thread
-	stack := c.stack(t)
-	inside := checkedDepth(stack) > 0
+	inside := c.depth(t) > 0
 	switch op.Kind {
 	case trace.Begin:
+		stack := c.stack(t)
 		ignored := c.opts.Ignore[op.Label]
+		if !ignored {
+			c.addDepth(t, 1)
+		}
 		if inside || ignored {
 			// [INS2 RE-ENTER] for nested blocks; exempted blocks push a
 			// marker frame but never start or extend a transaction.
@@ -112,9 +134,13 @@ func (c *optChecker) step1(op trace.Op) *Warning {
 
 	case trace.End:
 		// [INS2 EXIT]: pop the innermost block.
+		stack := c.stack(t)
 		n := len(stack) - 1
 		popped := stack[n]
 		c.setStack(t, stack[:n])
+		if !popped.ignored {
+			c.addDepth(t, -1)
+		}
 		if inside {
 			s := c.g.Tick(c.l.get(int32(t)))
 			c.l.set(int32(t), s)
@@ -126,6 +152,17 @@ func (c *optChecker) step1(op trace.Op) *Warning {
 	}
 
 	if inside {
+		if !c.opts.NoFilter {
+			if c.filterFast(op) {
+				c.filterHit()
+				return nil
+			}
+			if c.filterInside(op) {
+				c.cacheStore(op)
+				c.filterHit()
+				return nil
+			}
+		}
 		return c.insideOp(op)
 	}
 	if c.opts.NoMerge {
@@ -133,7 +170,7 @@ func (c *optChecker) step1(op trace.Op) *Warning {
 		meta := &TxnMeta{Thread: t, Start: c.idx, Unary: true}
 		s := c.g.NewNode(true, meta)
 		c.g.AddEdge(c.l.get(int32(t)), s, op)
-		c.setStack(t, append(stack, frame{"", s.Time(), false}))
+		c.setStack(t, append(c.stack(t), frame{"", s.Time(), false}))
 		c.l.set(int32(t), s)
 		w := c.insideOp(op)
 		s = c.g.Tick(c.l.get(int32(t)))
@@ -142,6 +179,17 @@ func (c *optChecker) step1(op trace.Op) *Warning {
 		c.l.set(int32(t), s)
 		c.g.Finish(s)
 		return w
+	}
+	if !c.opts.NoFilter {
+		if c.filterFast(op) {
+			c.filterHit()
+			return nil
+		}
+		if c.filterOutside(op) {
+			c.cacheStore(op)
+			c.filterHit()
+			return nil
+		}
 	}
 	return c.outsideOp(op)
 }

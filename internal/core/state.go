@@ -12,6 +12,19 @@ import (
 // synthetic fork/join token variables of trace.Desugar live at a high
 // offset, so variable tables keep a small sparse overflow map.
 
+// growSteps extends s to length n in a single grow — the
+// append(s, make(...)...) form compiles to one copy-free slice
+// extension — then fills the new tail with ⊥ (which is ^0, not the
+// zero value).
+func growSteps(s []graph.Step, n int) []graph.Step {
+	old := len(s)
+	s = append(s, make([]graph.Step, n-old)...)
+	for i := old; i < n; i++ {
+		s[i] = graph.None
+	}
+	return s
+}
+
 // stepTable maps a small dense integer id to a Step; missing entries are ⊥.
 type stepTable struct {
 	dense []graph.Step
@@ -25,8 +38,8 @@ func (t *stepTable) get(i int32) graph.Step {
 }
 
 func (t *stepTable) set(i int32, s graph.Step) {
-	for int(i) >= len(t.dense) {
-		t.dense = append(t.dense, graph.None)
+	if int(i) >= len(t.dense) {
+		t.dense = growSteps(t.dense, int(i)+1)
 	}
 	t.dense[i] = s
 }
@@ -56,8 +69,8 @@ func (t *varTable) get(x trace.Var) graph.Step {
 
 func (t *varTable) set(x trace.Var, s graph.Step) {
 	if x >= 0 && x < denseVarLimit {
-		for int(x) >= len(t.dense) {
-			t.dense = append(t.dense, graph.None)
+		if int(x) >= len(t.dense) {
+			t.dense = growSteps(t.dense, int(x)+1)
 		}
 		t.dense[x] = s
 		return
@@ -70,9 +83,21 @@ func (t *varTable) set(x trace.Var, s graph.Step) {
 
 // readTable is R: per variable, the last-read step of each thread
 // ([]Step indexed by tid), with the same sparse overflow for token vars.
+// Each dense row carries a version counter bumped on every store, so the
+// filter cache can detect "some thread read x since I last validated"
+// with one integer compare instead of rescanning the row.
 type readTable struct {
 	dense  [][]graph.Step
+	vers   []uint32
 	sparse map[trace.Var][]graph.Step
+}
+
+// ver returns the version of R[x]'s dense row (0 until first store).
+func (t *readTable) ver(x trace.Var) uint32 {
+	if int(x) < len(t.vers) {
+		return t.vers[x]
+	}
+	return 0
 }
 
 func (t *readTable) row(x trace.Var) []graph.Step {
@@ -85,11 +110,20 @@ func (t *readTable) row(x trace.Var) []graph.Step {
 	return t.sparse[x]
 }
 
+// get returns R[x][tid], or ⊥ when absent.
+func (t *readTable) get(x trace.Var, tid trace.Tid) graph.Step {
+	row := t.row(x)
+	if int(tid) < len(row) {
+		return row[tid]
+	}
+	return graph.None
+}
+
 func (t *readTable) set(x trace.Var, tid trace.Tid, s graph.Step) {
 	var row []graph.Step
 	if x >= 0 && x < denseVarLimit {
-		for int(x) >= len(t.dense) {
-			t.dense = append(t.dense, nil)
+		if int(x) >= len(t.dense) {
+			t.dense = append(t.dense, make([][]graph.Step, int(x)+1-len(t.dense))...)
 		}
 		row = t.dense[x]
 	} else {
@@ -98,12 +132,16 @@ func (t *readTable) set(x trace.Var, tid trace.Tid, s graph.Step) {
 		}
 		row = t.sparse[x]
 	}
-	for int(tid) >= len(row) {
-		row = append(row, graph.None)
+	if int(tid) >= len(row) {
+		row = growSteps(row, int(tid)+1)
 	}
 	row[tid] = s
 	if x >= 0 && x < denseVarLimit {
 		t.dense[x] = row
+		if int(x) >= len(t.vers) {
+			t.vers = append(t.vers, make([]uint32, int(x)+1-len(t.vers))...)
+		}
+		t.vers[x]++
 	} else {
 		t.sparse[x] = row
 	}

@@ -1,0 +1,122 @@
+package exper
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/rr"
+	"repro/internal/serial"
+	"repro/internal/trace"
+)
+
+// corpusTraces records every bench workload (the Table 1/2 suite plus
+// the hot-loop redundancy group) at a fixed seed and scale.
+func corpusTraces(scale int) map[string]trace.Trace {
+	out := map[string]trace.Trace{}
+	for _, w := range append(bench.All(), bench.Hot()...) {
+		w := w
+		rep := rr.Run(rr.Options{Seed: 1, Record: true}, func(t *rr.Thread) {
+			w.Body(t, bench.Params{Scale: scale})
+		})
+		out[w.Name] = rep.Trace
+	}
+	return out
+}
+
+func warnKey(w *core.Warning) string {
+	blamed := ""
+	if w.Blamed != nil {
+		blamed = string(w.Blamed.Label)
+	}
+	return fmt.Sprintf("%d/%v/%s/%v", w.OpIndex, w.Increasing, blamed, w.Refuted)
+}
+
+// TestFilterMatrixOnBenchCorpus is the corpus half of the filter
+// soundness argument: on every workload trace, {Basic, Optimized} ×
+// {filter on, off} agree with the offline serial oracle on the verdict,
+// and each engine's filtered run reproduces its unfiltered warnings —
+// same operations, same increasing flags, same blame — exactly.
+func TestFilterMatrixOnBenchCorpus(t *testing.T) {
+	scale := 4
+	if testing.Short() {
+		scale = 2
+	}
+	for name, tr := range corpusTraces(scale) {
+		want, _ := serial.Check(tr)
+		for _, engine := range []core.Engine{core.Optimized, core.Basic} {
+			off := core.CheckTrace(tr, core.Options{Engine: engine, NoFilter: true})
+			on := core.CheckTrace(tr, core.Options{Engine: engine})
+			if off.Filtered != 0 {
+				t.Fatalf("%s engine %v: NoFilter run filtered %d events", name, engine, off.Filtered)
+			}
+			if on.Serializable != want || off.Serializable != want {
+				t.Fatalf("%s engine %v: serializable on=%v off=%v oracle=%v",
+					name, engine, on.Serializable, off.Serializable, want)
+			}
+			if len(on.Warnings) != len(off.Warnings) {
+				t.Fatalf("%s engine %v: %d warnings with filter, %d without",
+					name, engine, len(on.Warnings), len(off.Warnings))
+			}
+			for i := range on.Warnings {
+				if got, wantK := warnKey(on.Warnings[i]), warnKey(off.Warnings[i]); got != wantK {
+					t.Fatalf("%s engine %v warning %d: filter-on %s != filter-off %s",
+						name, engine, i, got, wantK)
+				}
+			}
+		}
+	}
+}
+
+// TestFilterRegressionGuard compares the live engine against the floors
+// the committed BENCH_core.json baseline established: the hot-loop
+// workloads must keep filtering the bulk of their events, and the
+// filter-on steady state must stay allocation-lean. Timing is
+// deliberately not asserted — wall-clock floors are what flake on
+// shared machines; the filtered share and allocation rate are the
+// deterministic proxies the speedup rests on.
+func TestFilterRegressionGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regression guard needs full-scale traces")
+	}
+	floors := map[string]float64{ // filtered%, well under the committed values
+		"spinread":  80,
+		"scanloop":  70,
+		"rmwloop":   80,
+		"pollqueue": 80,
+		"logbuffer": 80,
+		"servermix": 70,
+		// Two Table 1 reproductions whose idioms filter substantially:
+		// their floors guard the paper-workload regime too.
+		"sor":      25,
+		"multiset": 35,
+	}
+	const maxAllocsPerEvent = 0.15 // committed hot-loop values are ~0.02
+	traces := corpusTraces(10)
+	for name, floor := range floors {
+		tr := traces[name]
+		if len(tr) == 0 {
+			t.Fatalf("%s: empty corpus trace", name)
+		}
+		res := core.CheckTrace(tr, core.Options{})
+		pct := 100 * float64(res.Filtered) / float64(len(tr))
+		if pct < floor {
+			t.Errorf("%s: filtered %.1f%% of %d events, floor %.0f%%", name, pct, len(tr), floor)
+		}
+	}
+	// Allocation guard on the flagship loop workload.
+	tr := traces["rmwloop"]
+	const reps = 3
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < reps; i++ {
+		core.CheckTrace(tr, core.Options{})
+	}
+	runtime.ReadMemStats(&after)
+	perEvent := float64(after.Mallocs-before.Mallocs) / float64(reps) / float64(len(tr))
+	if perEvent > maxAllocsPerEvent {
+		t.Errorf("rmwloop: %.3f allocs/event with filter on, threshold %.2f", perEvent, maxAllocsPerEvent)
+	}
+}

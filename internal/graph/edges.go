@@ -67,6 +67,28 @@ func (g *Graph) AddEdge(from, to Step, op trace.Op) *Cycle {
 		return nil
 	}
 	src, dst := from.ID(), to.ID()
+	nd := &g.nodes[src]
+	// Last-edge memo: if this (src,dst) pair is exactly the edge we
+	// appended or refreshed last time from src, the edge is already in H
+	// and the graph is acyclic, so re-inserting it cannot close a cycle —
+	// refresh the timestamps (⊕) and skip the ancestor check and the
+	// edge-table scan entirely. Unfiltered loops hit this path on nearly
+	// every iteration.
+	if !g.noMemo && nd.memoIdx >= 0 && nd.memoTo == dst &&
+		int(nd.memoIdx) < len(nd.out) && nd.out[nd.memoIdx].to == dst {
+		e := &nd.out[nd.memoIdx]
+		e.tailTime = from.Time()
+		e.headTime = to.Time()
+		e.op = op
+		if h := to.Time(); h > g.nodes[dst].lastInHead {
+			g.nodes[dst].lastInHead = h
+		}
+		g.stats.FilteredEdges++
+		if g.met != nil {
+			g.met.memoHits.Inc()
+		}
+		return nil
+	}
 	if g.met != nil {
 		g.met.cycleChecks.Inc()
 	}
@@ -93,18 +115,25 @@ func (g *Graph) AddEdge(from, to Step, op trace.Op) *Cycle {
 		}
 		return &Cycle{Edges: edges}
 	}
-	nd := &g.nodes[src]
 	for i := range nd.out {
 		if nd.out[i].to == dst {
 			// Replace timestamps: one edge per node pair (Section 4.3).
 			nd.out[i].tailTime = from.Time()
 			nd.out[i].headTime = to.Time()
 			nd.out[i].op = op
+			nd.memoTo, nd.memoIdx = dst, int32(i)
+			if h := to.Time(); h > g.nodes[dst].lastInHead {
+				g.nodes[dst].lastInHead = h
+			}
 			return nil
 		}
 	}
 	nd.out = append(nd.out, edge{to: dst, tailTime: from.Time(), headTime: to.Time(), op: op})
+	nd.memoTo, nd.memoIdx = dst, int32(len(nd.out)-1)
 	g.nodes[dst].in++
+	if h := to.Time(); h > g.nodes[dst].lastInHead {
+		g.nodes[dst].lastInHead = h
+	}
 	g.stats.Edges++
 	if g.met != nil {
 		g.met.edgesAdded.Inc()

@@ -85,6 +85,18 @@ type node struct {
 	anc       []ancEntry // ancestor set (Section 5), lazily compacted
 	visited   uint64     // DFS generation marker (cycle extraction only)
 	data      any        // client metadata, cleared on recycle
+	// lastInHead is the largest head timestamp among the edges inserted
+	// into this incarnation (0 if none yet). Heads of later insertions
+	// are strictly larger than earlier operation timestamps within the
+	// node, so lastInHead ≤ s.Time() proves no cross-thread ordering has
+	// arrived since step s — the §5 redundancy precondition.
+	lastInHead uint64
+	// memoTo/memoIdx remember the out-edge most recently appended or
+	// refreshed from this node, so tight unfiltered loops that re-insert
+	// the same (src,dst) pair dedupe in O(1) before the ancestor check
+	// and the edge-table scan. memoIdx < 0 means no memo.
+	memoTo  NodeID
+	memoIdx int32
 }
 
 // Stats reports allocation behaviour, the quantities in the last four
@@ -97,6 +109,11 @@ type Stats struct {
 	Collected int // nodes garbage collected
 	Merged    int // merge calls satisfied without allocating
 	Edges     int // edges currently in H
+	// FilteredEdges counts AddEdge calls satisfied by the per-node
+	// last-edge memo: the (src,dst) pair matched the previous insertion,
+	// so only the timestamps were refreshed (the ⊕ of Section 4.3) with
+	// no ancestor-set work.
+	FilteredEdges int
 }
 
 // Graph is a transactional happens-before graph. It is not safe for
@@ -106,6 +123,7 @@ type Graph struct {
 	free       []NodeID
 	gen        uint64
 	noGC       bool
+	noMemo     bool
 	scratch    []Step     // Merge's reusable candidate buffer
 	ancScratch []ancEntry // ancestorsPlusSelf's reusable buffer
 	stats      Stats
@@ -119,6 +137,12 @@ func New() *Graph { return &Graph{} }
 // Disabling it is only useful for differential testing (invariant 2 of
 // DESIGN.md); large traces will exhaust the 16-bit node space.
 func (g *Graph) SetGC(on bool) { g.noGC = !on }
+
+// SetMemo enables or disables the last-edge memo in AddEdge. It is part
+// of the redundant-event filtering layer and is toggled together with
+// the engines' FilterRedundant option, so the filter-off benchmark
+// columns measure the true unfiltered baseline.
+func (g *Graph) SetMemo(on bool) { g.noMemo = !on }
 
 // Stats returns a snapshot of allocation statistics.
 func (g *Graph) Stats() Stats { return g.stats }
@@ -153,6 +177,7 @@ func (g *Graph) NewNode(active bool, data any) Step {
 		birthTime: birth,
 		curTime:   birth,
 		data:      data,
+		memoIdx:   -1,
 	}
 	g.stats.Allocated++
 	g.stats.Alive++
@@ -213,6 +238,40 @@ func (g *Graph) Data(s Step) any {
 func (g *Graph) Active(s Step) bool {
 	nd := g.live(s)
 	return nd != nil && nd.active
+}
+
+// Reusable reports whether s resolves to a live, finished node — the
+// precondition under which Merge returns a candidate as-is instead of
+// allocating. The engines' redundant-event fast path uses it to prove a
+// merge call would be the identity on L(t).
+func (g *Graph) Reusable(s Step) bool {
+	nd := g.live(s)
+	return nd != nil && !nd.active
+}
+
+// NoNewerIncoming reports whether s is live and no happens-before edge
+// has arrived at its node with a head timestamp later than s. Edge heads
+// carry the destination's operation timestamp at insertion, which only
+// moves forward, so this is the §5 "no newer cross-thread access"
+// check in one comparison.
+func (g *Graph) NoNewerIncoming(s Step) bool {
+	nd := g.live(s)
+	return nd != nil && nd.lastInHead <= s.Time()
+}
+
+// LastEdgeMatches reports whether the edge most recently inserted from
+// src's node already links src's exact operation (same tail timestamp)
+// to dst's node. When it holds, re-inserting src ⇒ dst would be a pure
+// head/op refresh of an edge already in H — it can close no cycle and
+// change no tail — which is what lets the engines' fast path skip
+// repeated cross-thread conflict edges entirely.
+func (g *Graph) LastEdgeMatches(src, dst Step) bool {
+	nd := g.live(src)
+	if nd == nil || nd.memoIdx < 0 || nd.memoTo != dst.ID() {
+		return false
+	}
+	e := &nd.out[nd.memoIdx]
+	return e.to == dst.ID() && e.tailTime == src.Time()
 }
 
 // Finish marks the step's node as no longer executing ([INS2 EXIT]); if it
@@ -341,6 +400,16 @@ func (g *Graph) CheckInvariants() error {
 			}
 			if g.findPath(e.id, NodeID(id)) == nil {
 				return fmt.Errorf("graph: n%d claims ancestor n%d with no path", id, e.id)
+			}
+		}
+		if nd.memoIdx >= 0 {
+			if int(nd.memoIdx) >= len(nd.out) || nd.out[nd.memoIdx].to != nd.memoTo {
+				return fmt.Errorf("graph: n%d edge memo (→n%d at %d) does not match its out-edges", id, nd.memoTo, nd.memoIdx)
+			}
+		}
+		for _, e := range nd.out {
+			if e.headTime > g.nodes[e.to].lastInHead {
+				return fmt.Errorf("graph: edge n%d→n%d head %d above n%d's lastInHead %d", id, e.to, e.headTime, e.to, g.nodes[e.to].lastInHead)
 			}
 		}
 	}

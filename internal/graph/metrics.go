@@ -17,6 +17,7 @@ type metrics struct {
 	cycleChecks    *obs.Counter
 	cyclesDetected *obs.Counter
 	edgesAdded     *obs.Counter
+	memoHits       *obs.Counter
 	alive          *obs.Gauge
 	maxAlive       *obs.Gauge
 	edges          *obs.Gauge
@@ -38,6 +39,7 @@ func (g *Graph) SetMetrics(r *obs.Registry) {
 		cycleChecks:    r.Counter("graph_cycle_checks_total"),
 		cyclesDetected: r.Counter("graph_cycles_detected_total"),
 		edgesAdded:     r.Counter("graph_edges_added_total"),
+		memoHits:       r.Counter("graph_edges_memo_hits_total"),
 		alive:          r.Gauge("graph_nodes_alive"),
 		maxAlive:       r.Gauge("graph_nodes_max_alive"),
 		edges:          r.Gauge("graph_edges_alive"),

@@ -222,3 +222,23 @@ func Coverage(w io.Writer, c exper.CoverageCurve) {
 			fmt.Sprintf("%d", c.CumAtom[i]))
 	}
 }
+
+// Baseline renders the hot-path filter baseline (the human-readable
+// companion of BENCH_core.json).
+func Baseline(w io.Writer, rep *exper.BaselineReport) {
+	fmt.Fprintln(w, "Baseline: per-event analysis cost, redundant-event filter on vs off")
+	fmt.Fprintln(w, "(optimized engine; allocs = steady-state allocations per event)")
+	fmt.Fprintln(w)
+	widths := []int{11, 8, 9, 9, 8, 9, 9, 10}
+	writeRow(w, widths, "Program", "Events", "on ns", "off ns", "speedup", "on alloc", "off alloc", "filtered%")
+	for _, r := range rep.Rows {
+		writeRow(w, widths, r.Workload,
+			fmt.Sprintf("%d", r.Events),
+			fmt.Sprintf("%.1f", r.FilterOn.NsPerEvent),
+			fmt.Sprintf("%.1f", r.FilterOff.NsPerEvent),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.3f", r.FilterOn.AllocsPerEvent),
+			fmt.Sprintf("%.3f", r.FilterOff.AllocsPerEvent),
+			fmt.Sprintf("%.1f", r.FilterOn.FilteredPct))
+	}
+}

@@ -400,6 +400,12 @@ func (s *Server) run(br *bufio.Reader) (v *trace.SessionVerdict) {
 		Ops:      n,
 		Comments: dec.Comments,
 	}
+	if f, m := checker.Filtered(), checker.Stats().FilteredEdges; f > 0 || m > 0 {
+		v.Metrics = map[string]int64{
+			"core_events_filtered_total":  f,
+			"graph_edges_memo_hits_total": int64(m),
+		}
+	}
 	for _, w := range checker.Warnings() {
 		if len(v.Warnings) >= s.cfg.MaxWarnings {
 			break

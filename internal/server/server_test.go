@@ -415,3 +415,33 @@ func TestServerTruncatedBinarySession(t *testing.T) {
 		}
 	}
 }
+
+// TestVerdictFilterMetrics asserts a session's verdict carries the
+// engine's redundant-event counters: a transaction re-reading one
+// variable in a loop must report filtered events (and the basic-engine
+// path must report them too, since both engines share the fast path).
+func TestVerdictFilterMetrics(t *testing.T) {
+	_, addr, stop := startServer(t, Config{})
+	defer stop()
+
+	var tr trace.Trace
+	tr = append(tr, trace.Wr(2, 0), trace.Beg(1, "loop"))
+	for i := 0; i < 10; i++ {
+		tr = append(tr, trace.Rd(1, 0))
+	}
+	tr = append(tr, trace.Fin(1))
+
+	for _, engine := range []string{"optimized", "basic"} {
+		v, err := CheckReader(addr, trace.SessionHeader{Engine: engine}, bytes.NewReader(encode(t, tr, false)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status != trace.StatusOK || !v.Serializable {
+			t.Fatalf("engine %s: verdict %+v, want serializable ok", engine, v)
+		}
+		if got := v.Metrics["core_events_filtered_total"]; got < 8 {
+			t.Errorf("engine %s: core_events_filtered_total = %d, want >= 8 (metrics: %v)",
+				engine, got, v.Metrics)
+		}
+	}
+}

@@ -119,7 +119,12 @@ type SessionVerdict struct {
 	// order — instrumented programs report their emission counters this
 	// way, and clients cross-check them against Ops.
 	Comments []string `json:"comments,omitempty"`
-	Error    string   `json:"error,omitempty"`
+	// Metrics carries per-session engine counters (same names as the
+	// daemon-wide /metrics gauges): core_events_filtered_total and
+	// graph_edges_memo_hits_total report how much of the stream the
+	// redundant-event fast path discarded.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+	Error   string           `json:"error,omitempty"`
 }
 
 // WriteVerdict writes v as one JSON line.

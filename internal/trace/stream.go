@@ -90,10 +90,18 @@ func (e *Emitter) Flush() error {
 
 // Decoder reads a trace one operation at a time, sniffing the binary
 // magic to pick the format — the streaming counterpart of ReadAuto.
+// The text path is allocation-free in steady state: lines are parsed in
+// place from the read buffer (spilling into a reused side buffer only
+// when a line straddles a buffer boundary) and Begin labels are interned
+// so each distinct label is copied out of the buffer exactly once.
 type Decoder struct {
 	br     *bufio.Reader
 	mode   int // 0 undecided, 1 text, 2 binary
 	lineno int
+
+	// text state
+	lineBuf []byte           // spill buffer for lines longer than br's buffer
+	intern  map[string]Label // Begin-label dedup (keeps ops off the read buffer)
 
 	// binary state
 	remaining uint64
@@ -106,9 +114,13 @@ type Decoder struct {
 	Comments []string
 }
 
+// decoderBufSize is sized so that batched reads amortize the syscall per
+// buffer fill across a few thousand typical (8-16 byte) trace lines.
+const decoderBufSize = 64 * 1024
+
 // NewDecoder returns a Decoder reading from r.
 func NewDecoder(r io.Reader) *Decoder {
-	return &Decoder{br: bufio.NewReader(r)}
+	return &Decoder{br: bufio.NewReaderSize(r, decoderBufSize)}
 }
 
 // Next returns the next operation, or io.EOF after the last one.
@@ -142,21 +154,42 @@ func (d *Decoder) Next() (Op, error) {
 	return d.nextText()
 }
 
-func (d *Decoder) nextText() (Op, error) {
+// readLine returns the next line (without requiring the trailing
+// newline on the final one). The returned slice aliases either the
+// bufio buffer or d.lineBuf and is only valid until the next call.
+func (d *Decoder) readLine() ([]byte, error) {
+	d.lineBuf = d.lineBuf[:0]
 	for {
-		line, err := d.br.ReadString('\n')
-		if err != nil && (err != io.EOF || line == "") {
+		frag, err := d.br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			d.lineBuf = append(d.lineBuf, frag...)
+			continue
+		}
+		if len(d.lineBuf) == 0 {
+			return frag, err // common case: the line sits in the read buffer
+		}
+		return append(d.lineBuf, frag...), err
+	}
+}
+
+func (d *Decoder) nextText() (Op, error) {
+	if d.intern == nil {
+		d.intern = make(map[string]Label)
+	}
+	for {
+		line, err := d.readLine()
+		if err != nil && (err != io.EOF || len(line) == 0) {
 			return Op{}, err
 		}
 		d.lineno++
-		trimmed := strings.TrimSpace(line)
+		trimmed := trimSpaceBytes(line)
 		switch {
-		case trimmed == "":
+		case len(trimmed) == 0:
 			// skip
-		case strings.HasPrefix(trimmed, "#"):
-			d.Comments = append(d.Comments, strings.TrimSpace(strings.TrimPrefix(trimmed, "#")))
+		case trimmed[0] == '#':
+			d.Comments = append(d.Comments, string(trimSpaceBytes(trimmed[1:])))
 		default:
-			op, perr := ParseOp(trimmed)
+			op, perr := parseOpBytes(trimmed, d.intern)
 			if perr != nil {
 				return Op{}, fmt.Errorf("line %d: %w", d.lineno, perr)
 			}

@@ -2,9 +2,9 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
-	"strconv"
 	"strings"
 )
 
@@ -60,43 +60,109 @@ func Unmarshal(r io.Reader) (Trace, error) {
 
 // ParseOp parses a single operation in the syntax produced by Op.String.
 func ParseOp(s string) (Op, error) {
-	open := strings.IndexByte(s, '(')
-	if open < 0 || !strings.HasSuffix(s, ")") {
+	return parseOpBytes([]byte(s), nil)
+}
+
+// asciiSpace matches the characters unicode.IsSpace treats as ASCII
+// whitespace — trace lines are pure ASCII, so byte-level trimming is exact.
+func asciiSpace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
+}
+
+func trimSpaceBytes(b []byte) []byte {
+	for len(b) > 0 && asciiSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && asciiSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// parseIntBytes is strconv.Atoi restricted to the id magnitudes a trace
+// can carry, operating on bytes so the streaming decoder never converts
+// a line to a string.
+func parseIntBytes(b []byte) (int, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		b = b[1:]
+		if len(b) == 0 {
+			return 0, false
+		}
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<40 {
+			return 0, false
+		}
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// parseOpBytes is the allocation-free core of ParseOp. The input may be a
+// reused read buffer, so anything retained past the call (only Begin
+// labels) is copied out; intern, when non-nil, deduplicates those copies
+// so a steady-state stream of repeated labels allocates nothing. Error
+// paths allocate freely — they terminate the stream.
+func parseOpBytes(s []byte, intern map[string]Label) (Op, error) {
+	open := bytes.IndexByte(s, '(')
+	if open < 0 || len(s) == 0 || s[len(s)-1] != ')' {
 		return Op{}, fmt.Errorf("malformed operation %q", s)
 	}
 	head, args := s[:open], s[open+1:len(s)-1]
-	label := Label("")
-	if dot := strings.IndexByte(head, '.'); dot >= 0 {
-		label = Label(head[dot+1:])
+	var labelBytes []byte
+	if dot := bytes.IndexByte(head, '.'); dot >= 0 {
+		labelBytes = head[dot+1:]
 		head = head[:dot]
 	}
-	parts := strings.Split(args, ",")
-	tid, err := strconv.Atoi(strings.TrimSpace(parts[0]))
-	if err != nil {
+	first := args
+	var second []byte
+	hasSecond := false
+	if comma := bytes.IndexByte(args, ','); comma >= 0 {
+		first, second = args[:comma], args[comma+1:]
+		hasSecond = true
+	}
+	tid, ok := parseIntBytes(trimSpaceBytes(first))
+	if !ok {
 		return Op{}, fmt.Errorf("malformed thread id in %q", s)
 	}
 	t := Tid(tid)
 	arg := func(prefix byte) (int32, error) {
-		if len(parts) != 2 {
+		if !hasSecond || bytes.IndexByte(second, ',') >= 0 {
 			return 0, fmt.Errorf("%s requires two arguments in %q", head, s)
 		}
-		a := strings.TrimSpace(parts[1])
+		a := trimSpaceBytes(second)
 		if len(a) < 2 || a[0] != prefix {
 			return 0, fmt.Errorf("argument of %q must start with %q", s, prefix)
 		}
-		n, err := strconv.Atoi(a[1:])
-		if err != nil {
+		n, ok := parseIntBytes(a[1:])
+		if !ok {
 			return 0, fmt.Errorf("malformed argument in %q", s)
 		}
 		return int32(n), nil
 	}
-	switch head {
+	switch string(head) { // conversion in switch: no allocation
 	case "rd", "wr":
 		x, err := arg('x')
 		if err != nil {
 			return Op{}, err
 		}
-		if head == "rd" {
+		if head[0] == 'r' {
 			return Rd(t, Var(x)), nil
 		}
 		return Wr(t, Var(x)), nil
@@ -105,11 +171,22 @@ func ParseOp(s string) (Op, error) {
 		if err != nil {
 			return Op{}, err
 		}
-		if head == "acq" {
+		if head[0] == 'a' {
 			return Acq(t, Lock(m)), nil
 		}
 		return Rel(t, Lock(m)), nil
 	case "begin":
+		label := Label("")
+		if len(labelBytes) > 0 {
+			if l, ok := intern[string(labelBytes)]; ok { // no-alloc lookup
+				label = l
+			} else {
+				label = Label(labelBytes) // copy: s may be a reused buffer
+				if intern != nil {
+					intern[string(label)] = label
+				}
+			}
+		}
 		return Beg(t, label), nil
 	case "end":
 		return Fin(t), nil
@@ -118,7 +195,7 @@ func ParseOp(s string) (Op, error) {
 		if err != nil {
 			return Op{}, err
 		}
-		if head == "fork" {
+		if head[0] == 'f' {
 			return ForkOp(t, Tid(u)), nil
 		}
 		return JoinOp(t, Tid(u)), nil
