@@ -425,16 +425,27 @@ func startVelodromed(t *testing.T, extraArgs ...string) (string, func()) {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
+	// The daemon logs via slog; scan for the structured listen record
+	// (other records, e.g. the metrics announce, may precede it).
 	br := bufio.NewReader(stderr)
-	line, err := br.ReadString('\n')
-	if err != nil {
-		t.Fatalf("reading announce line: %v", err)
+	var addr string
+	for addr == "" {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading announce line: %v", err)
+		}
+		if !strings.Contains(line, "msg=listening") {
+			continue
+		}
+		i := strings.Index(line, "addr=")
+		if i < 0 {
+			t.Fatalf("listen record without addr attr: %q", line)
+		}
+		addr = strings.TrimSpace(line[i+len("addr="):])
+		if j := strings.IndexByte(addr, ' '); j >= 0 {
+			addr = addr[:j]
+		}
 	}
-	i := strings.Index(line, "listening on ")
-	if i < 0 {
-		t.Fatalf("no listen address announced: %q", line)
-	}
-	addr := strings.TrimSpace(line[i+len("listening on "):])
 	go io.Copy(io.Discard, br)
 	return addr, func() {
 		cmd.Process.Signal(syscall.SIGTERM)
@@ -455,9 +466,19 @@ func TestCLIVelodromedRoundTrip(t *testing.T) {
 	if code != 0 || !strings.Contains(out, "serializable") || !strings.Contains(out, addr) {
 		t.Fatalf("clean trace via daemon: exit %d:\n%s", code, out)
 	}
+	// The verdict line names the daemon-side session and its duration.
+	if !strings.Contains(out, "session s") || !strings.Contains(out, "ms)") {
+		t.Fatalf("verdict line missing session id/duration:\n%s", out)
+	}
 	out, code = runTool(t, "tracecheck", "-server", addr, "testdata/setadd.txt")
 	if code != 1 || !strings.Contains(out, "NOT serializable") || !strings.Contains(out, "Set.add") {
 		t.Fatalf("buggy trace via daemon: exit %d:\n%s", code, out)
+	}
+	// -explain requests forensics for the session: the relayed verdict
+	// carries a provenance report per warning.
+	out, code = runTool(t, "tracecheck", "-server", addr, "-explain", "testdata/setadd.txt")
+	if code != 1 || !strings.Contains(out, "provenance:") || !strings.Contains(out, "cycle edges:") {
+		t.Fatalf("-explain via daemon: exit %d:\n%s", code, out)
 	}
 	out, code = runToolStdin(t, os.DevNull, "tracecheck", "-server", addr, "-in", "-")
 	if code != 2 || !strings.Contains(out, "empty trace") {
@@ -467,6 +488,100 @@ func TestCLIVelodromedRoundTrip(t *testing.T) {
 	out, code = runTool(t, "tracecheck", "-server", addr, "-engine", "basic", "testdata/setadd.txt")
 	if code != 1 || !strings.Contains(out, "checked by basic") {
 		t.Fatalf("basic engine via daemon: exit %d:\n%s", code, out)
+	}
+}
+
+// TestCLITracecheckExplain covers the local forensics path: -explain
+// prints a provenance report per warning and -forensics -dot writes the
+// provenance rendering with trace spans and access pairs.
+func TestCLITracecheckExplain(t *testing.T) {
+	out, code := runTool(t, "tracecheck", "-explain", "testdata/setadd.txt")
+	if code != 1 {
+		t.Fatalf("setadd must stay non-serializable; exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"provenance:", "transactions:", "cycle edges:", "flight recorder", "← blamed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in -explain output:\n%s", want, out)
+		}
+	}
+	dotPath := filepath.Join(t.TempDir(), "g.dot")
+	out, code = runTool(t, "tracecheck", "-q", "-forensics", "-dot", dotPath, "testdata/setadd.txt")
+	if code != 1 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	data, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph velodrome") || !strings.Contains(string(data), "ops ") {
+		t.Errorf("forensic dot rendering missing trace spans:\n%s", data)
+	}
+}
+
+// TestCLIVelodromedDebugEndpoint scrapes the daemon's live /debug/velo
+// session listing in both renderings.
+func TestCLIVelodromedDebugEndpoint(t *testing.T) {
+	cmd := exec.Command(filepath.Join(tools(t), "velodromed"),
+		"-listen", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("velodromed did not drain cleanly: %v", err)
+		}
+	}()
+	// Wait for the trace listener too: the signal handler is installed
+	// after it, and the deferred SIGTERM must not beat it.
+	br := bufio.NewReader(stderr)
+	var base string
+	listening := false
+	for base == "" || !listening {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading metrics announce: %v", err)
+		}
+		if i := strings.Index(line, "url=http://"); i >= 0 {
+			base = strings.TrimSpace(line[i+len("url="):])
+			if j := strings.IndexByte(base, ' '); j >= 0 {
+				base = base[:j]
+			}
+		}
+		if strings.Contains(line, "msg=listening") {
+			listening = true
+		}
+	}
+	go io.Copy(io.Discard, br)
+
+	resp, err := http.Get(base + "/debug/velo")
+	if err != nil {
+		t.Fatalf("GET /debug/velo: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "velodromed sessions") {
+		t.Errorf("HTML listing: status %d body:\n%s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(base + "/debug/velo?format=json")
+	if err != nil {
+		t.Fatalf("GET /debug/velo?format=json: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var state struct {
+		Active      int `json:"active"`
+		MaxSessions int `json:"maxSessions"`
+	}
+	if err := json.Unmarshal(body, &state); err != nil {
+		t.Fatalf("JSON listing did not decode: %v\n%s", err, body)
+	}
+	if state.MaxSessions == 0 {
+		t.Errorf("maxSessions missing from %s", body)
 	}
 }
 

@@ -28,9 +28,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dot"
+	"repro/internal/forensic"
 	"repro/internal/obs"
 	"repro/internal/serial"
 	"repro/internal/server"
@@ -41,13 +43,22 @@ func main() {
 	dotOut := flag.String("dot", "", "write error graphs (dot format) to this file")
 	engine := flag.String("engine", "optimized", "analysis engine: optimized or basic")
 	quiet := flag.Bool("q", false, "suppress warning details")
-	profile := flag.String("profile", "", "write a pprof profile: cpu, mem or mutex")
-	profileOut := flag.String("profile-out", "", "profile output file (default <kind>.pprof)")
 	obsJSON := flag.Bool("obs-json", false, "emit the full obs snapshot (per-kind latencies, graph stats) as JSON on stderr")
 	noFilter := flag.Bool("nofilter", false, "disable the redundant-event fast path (Section 5 filtering)")
+	forensics := flag.Bool("forensics", false, "enable the event flight recorder (provenance reports on warnings)")
+	explain := flag.Bool("explain", false, "print a provenance report per warning (implies -forensics; works in -server mode too)")
 	inFlag := flag.String("in", "", "trace input: a file name or - for standard input (alternative to the positional argument)")
 	serverAddr := flag.String("server", "", "check via a velodromed daemon at this address (host:port or unix:/path) instead of locally")
+	var oflags obs.CLIFlags
+	oflags.Register(flag.CommandLine, obs.FlagProfile)
 	flag.Parse()
+	if *explain {
+		*forensics = true
+	}
+	if _, err := oflags.Logger(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(2)
+	}
 	name := *inFlag
 	switch {
 	case name == "" && flag.NArg() == 1:
@@ -72,7 +83,7 @@ func main() {
 	if *serverAddr != "" {
 		// Client mode: stream the raw bytes to the daemon and relay its
 		// verdict, mapping statuses onto the local exit convention.
-		hdr := trace.SessionHeader{Engine: *engine}
+		hdr := trace.SessionHeader{Engine: *engine, Forensics: *forensics}
 		v, err := server.CheckReader(*serverAddr, hdr, in)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracecheck:", err)
@@ -81,13 +92,19 @@ func main() {
 		switch v.Status {
 		case trace.StatusOK:
 			if v.Serializable {
-				fmt.Printf("serializable: %d operations (checked by %s at %s)\n", v.Ops, v.Engine, *serverAddr)
+				fmt.Printf("serializable: %d operations (checked by %s at %s; session %s in %dms)\n",
+					v.Ops, v.Engine, *serverAddr, v.Session, v.DurationMs)
 			} else {
-				fmt.Printf("NOT serializable: %d warnings over %d operations (checked by %s at %s)\n",
-					len(v.Warnings), v.Ops, v.Engine, *serverAddr)
+				fmt.Printf("NOT serializable: %d warnings over %d operations (checked by %s at %s; session %s in %dms)\n",
+					len(v.Warnings), v.Ops, v.Engine, *serverAddr, v.Session, v.DurationMs)
 				if !*quiet {
-					for _, w := range v.Warnings {
+					for i, w := range v.Warnings {
 						fmt.Println(w)
+						if *explain && i < len(v.Reports) {
+							if rep, err := forensic.ParseReport(v.Reports[i]); err == nil {
+								rep.WriteText(os.Stdout)
+							}
+						}
 					}
 				}
 			}
@@ -111,7 +128,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := core.Options{NoFilter: *noFilter}
+	opts := core.Options{NoFilter: *noFilter, Forensics: *forensics}
 	if *engine == "basic" {
 		opts.Engine = core.Basic
 	}
@@ -119,26 +136,16 @@ func main() {
 	if *obsJSON {
 		opts.Metrics = reg
 	}
-	var stopProf func() error
-	if *profile != "" {
-		path := *profileOut
-		if path == "" {
-			path = *profile + ".pprof"
-		}
-		stop, err := obs.StartProfile(*profile, path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracecheck:", err)
-			os.Exit(2)
-		}
-		stopProf = stop
+	stopProf, _, err := oflags.StartProfile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(2)
 	}
 	// finish finalizes the profile and snapshot before exiting, since
 	// os.Exit skips deferred calls.
 	finish := func(code int) {
-		if stopProf != nil {
-			if err := stopProf(); err != nil {
-				fmt.Fprintln(os.Stderr, "tracecheck: profile:", err)
-			}
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck: profile:", err)
 		}
 		if *obsJSON {
 			reg.Snapshot().WriteJSON(os.Stderr)
@@ -160,10 +167,28 @@ func main() {
 	if !*quiet {
 		for _, w := range res.Warnings {
 			fmt.Println(w)
+			if rep := w.Forensics(); *explain && rep != nil {
+				rep.WriteText(os.Stdout)
+			}
 		}
 	}
 	if *dotOut != "" {
-		if err := os.WriteFile(*dotOut, []byte(dot.RenderAll(res.Warnings)), 0o644); err != nil {
+		out := dot.RenderAll(res.Warnings)
+		if *forensics {
+			var b strings.Builder
+			for i, w := range res.Warnings {
+				if i > 0 {
+					b.WriteByte('\n')
+				}
+				if rep := w.Forensics(); rep != nil {
+					b.WriteString(dot.RenderReport(rep))
+				} else {
+					b.WriteString(dot.Render(w))
+				}
+			}
+			out = b.String()
+		}
+		if err := os.WriteFile(*dotOut, []byte(out), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "tracecheck:", err)
 			finish(2)
 		}

@@ -42,12 +42,16 @@ func main() {
 	specFiltered := flag.Bool("spec-filtered", false, "table 1: exempt known non-atomic methods first (the paper's configuration)")
 	seeds := flag.String("seeds", "1,2,3,4,5", "comma-separated scheduler seeds (the paper's five runs)")
 	detail := flag.Bool("detail", false, "list flagged methods per benchmark (table 2)")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address while experiments run")
-	profile := flag.String("profile", "", "write a pprof profile: cpu, mem or mutex")
-	profileOut := flag.String("profile-out", "", "profile output file (default <kind>.pprof)")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "with -replay: write per-event-kind latency quantiles to this file (empty to disable)")
 	baselineOut := flag.String("baseline-out", "BENCH_core.json", "with -baseline: write the filter baseline to this file (empty to disable)")
+	var oflags obs.CLIFlags
+	oflags.Register(flag.CommandLine, obs.FlagMetrics|obs.FlagProfile)
 	flag.Parse()
+	logger, err := oflags.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "velobench:", err)
+		os.Exit(2)
+	}
 
 	seedList, err := parseSeeds(*seeds)
 	if err != nil {
@@ -59,32 +63,28 @@ func main() {
 	// the optional live endpoint (whose main payload here is pprof).
 	reg := obs.NewRegistry()
 	experiments := reg.Counter("velobench_experiments_total")
-	if *metricsAddr != "" {
-		_, addr, err := obshttp.Serve(*metricsAddr, reg)
+	if oflags.MetricsAddr != "" {
+		_, addr, err := obshttp.Serve(oflags.MetricsAddr, reg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "velobench:", err)
+			logger.Error("metrics server failed", "error", err)
 			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "velobench: serving /metrics and /debug/pprof/ on http://%s\n", addr)
+		logger.Info("serving metrics", "url", "http://"+addr.String())
 	}
-	if *profile != "" {
-		path := *profileOut
-		if path == "" {
-			path = *profile + ".pprof"
-		}
-		stopProf, err := obs.StartProfile(*profile, path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "velobench:", err)
-			os.Exit(2)
-		}
-		defer func() {
-			if err := stopProf(); err != nil {
-				fmt.Fprintln(os.Stderr, "velobench: profile:", err)
-				return
-			}
-			fmt.Fprintf(os.Stderr, "velobench: wrote %s profile to %s\n", *profile, path)
-		}()
+	stopProf, profPath, err := oflags.StartProfile()
+	if err != nil {
+		logger.Error("profile failed", "error", err)
+		os.Exit(2)
 	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			logger.Error("profile failed", "error", err)
+			return
+		}
+		if profPath != "" {
+			logger.Info("wrote profile", "kind", oflags.Profile, "path", profPath)
+		}
+	}()
 	ran := false
 	mark := func() { ran = true; experiments.Inc() }
 	if *table == 1 || *all {

@@ -46,11 +46,19 @@ func main() {
 	stats := flag.Bool("stats", false, "print happens-before graph statistics")
 	asJSON := flag.Bool("json", false, "emit velodrome warnings as JSON lines (with -stats: one obs snapshot object)")
 	parallel := flag.Bool("parallel", false, "run on real goroutines instead of the deterministic scheduler")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text or ?format=json) and /debug/pprof/ on this address during the run")
-	heartbeat := flag.Duration("heartbeat", 0, "print a progress line (events/sec, live nodes, warnings) at this interval")
-	profile := flag.String("profile", "", "write a pprof profile: cpu, mem or mutex")
-	profileOut := flag.String("profile-out", "", "profile output file (default <kind>.pprof)")
+	forensics := flag.Bool("forensics", false, "enable the event flight recorder (provenance reports on warnings)")
+	explain := flag.Bool("explain", false, "print a provenance report per warning (implies -forensics)")
+	var oflags obs.CLIFlags
+	oflags.Register(flag.CommandLine, obs.FlagMetrics|obs.FlagProfile|obs.FlagHeartbeat)
 	flag.Parse()
+	logger, err := oflags.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "velodrome:", err)
+		os.Exit(2)
+	}
+	if *explain {
+		*forensics = true
+	}
 
 	if *list {
 		for _, w := range bench.All() {
@@ -75,41 +83,37 @@ func main() {
 	// the run is actually observed — an unobserved run costs exactly
 	// what it did before the instrumentation existed.
 	var reg *obs.Registry
-	if *metricsAddr != "" || *heartbeat > 0 || *stats {
+	if oflags.MetricsAddr != "" || oflags.Heartbeat > 0 || *stats {
 		reg = obs.NewRegistry()
 	}
-	if *metricsAddr != "" {
-		_, addr, err := obshttp.Serve(*metricsAddr, reg)
+	if oflags.MetricsAddr != "" {
+		_, addr, err := obshttp.Serve(oflags.MetricsAddr, reg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "velodrome:", err)
+			logger.Error("metrics server failed", "error", err)
 			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "velodrome: serving /metrics and /debug/pprof/ on http://%s\n", addr)
+		logger.Info("serving metrics", "url", "http://"+addr.String())
 	}
-	if *profile != "" {
-		path := *profileOut
-		if path == "" {
-			path = *profile + ".pprof"
-		}
-		stopProf, err := obs.StartProfile(*profile, path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "velodrome:", err)
-			os.Exit(2)
-		}
-		defer func() {
-			if err := stopProf(); err != nil {
-				fmt.Fprintln(os.Stderr, "velodrome: profile:", err)
-				return
-			}
-			fmt.Fprintf(os.Stderr, "velodrome: wrote %s profile to %s\n", *profile, path)
-		}()
+	stopProf, profPath, err := oflags.StartProfile()
+	if err != nil {
+		logger.Error("profile failed", "error", err)
+		os.Exit(2)
 	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			logger.Error("profile failed", "error", err)
+			return
+		}
+		if profPath != "" {
+			logger.Info("wrote profile", "kind", oflags.Profile, "path", profPath)
+		}
+	}()
 
 	var be rr.Backend
 	var velo *rr.Velodrome
 	switch *backend {
 	case "velodrome":
-		velo = rr.NewVelodrome(core.Options{NoMerge: *noMerge, NoFilter: *noFilter, Metrics: reg})
+		velo = rr.NewVelodrome(core.Options{NoMerge: *noMerge, NoFilter: *noFilter, Metrics: reg, Forensics: *forensics})
 		be = velo
 	case "atomizer":
 		be = rr.NewAtomizer()
@@ -133,12 +137,12 @@ func main() {
 		opts.Advisor = adv
 		opts.ParkSteps = 40
 	}
-	if *heartbeat > 0 {
+	if oflags.Heartbeat > 0 {
 		events := reg.Counter("rr_events_total")
 		alive := reg.Gauge("graph_nodes_alive")
 		warns := reg.Counter("velodrome_warnings_total")
 		rate := obs.NewRate(time.Now())
-		stopHB := obs.StartHeartbeat(os.Stderr, *heartbeat, func() string {
+		stopHB := obs.StartHeartbeat(os.Stderr, oflags.Heartbeat, func() string {
 			ev := events.Value()
 			return fmt.Sprintf("heartbeat: %d events (%.0f/s), %d live nodes, %d warnings",
 				ev, rate.Per(ev, time.Now()), alive.Value(), warns.Value())
@@ -189,6 +193,12 @@ func main() {
 					fmt.Fprintln(os.Stderr, "velodrome:", err)
 					os.Exit(1)
 				}
+				if rep := s.First.Forensics(); *explain && rep != nil {
+					if err := enc.Encode(rep); err != nil {
+						fmt.Fprintln(os.Stderr, "velodrome:", err)
+						os.Exit(1)
+					}
+				}
 			}
 			if *stats {
 				// -stats -json: the full obs snapshot as one JSON object
@@ -204,6 +214,9 @@ func main() {
 		fmt.Printf("velodrome: %d warnings across %d methods\n", len(b.Warnings()), len(sums))
 		for _, s := range sums {
 			fmt.Printf("[%d warnings, %d increasing]\n%s\n", s.Count, s.Increasing, s.First)
+			if rep := s.First.Forensics(); *explain && rep != nil {
+				rep.WriteText(os.Stdout)
+			}
 		}
 		if *stats {
 			st := b.Checker.Stats()
@@ -217,7 +230,24 @@ func main() {
 			for _, s := range sums {
 				firsts = append(firsts, s.First)
 			}
-			if err := os.WriteFile(*dotOut, []byte(dot.RenderAll(firsts)), 0o644); err != nil {
+			out := dot.RenderAll(firsts)
+			if *forensics {
+				// With the recorder on, the provenance rendering carries
+				// trace spans and access pairs the plain one cannot.
+				var b strings.Builder
+				for i, w := range firsts {
+					if i > 0 {
+						b.WriteByte('\n')
+					}
+					if rep := w.Forensics(); rep != nil {
+						b.WriteString(dot.RenderReport(rep))
+					} else {
+						b.WriteString(dot.Render(w))
+					}
+				}
+				out = b.String()
+			}
+			if err := os.WriteFile(*dotOut, []byte(out), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "velodrome:", err)
 				os.Exit(1)
 			}

@@ -14,6 +14,11 @@
 // drains gracefully: it stops accepting, lets in-flight sessions finish
 // up to -drain-timeout, and emits their final verdicts before exiting.
 //
+// Logs are structured (log/slog): text lines by default, JSON objects
+// under -log-json. With -metrics-addr set, /debug/velo on the metrics
+// mux lists the live sessions (id, engine, ops, graph size, filter hit
+// rate, last warning) as HTML or JSON.
+//
 // Exit status: 0 after a clean drain, 1 if draining timed out and
 // sessions were cut, 2 on startup errors.
 package main
@@ -22,7 +27,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,11 +51,17 @@ func run() int {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "on SIGINT/SIGTERM, let in-flight sessions finish this long before cutting them")
 	bufferOps := flag.Int("buffer-ops", 1024, "decoded ops buffered ahead of each session's engine (backpressure bound)")
 	engine := flag.String("engine", "optimized", "default analysis engine for sessions that name none: optimized or basic")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text or ?format=json) and /debug/pprof/ on this address")
 	quiet := flag.Bool("q", false, "suppress per-session log lines")
+	var oflags obs.CLIFlags
+	oflags.Register(flag.CommandLine, obs.FlagMetrics)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: velodromed [-listen addr] [-unix path] [flags]")
+		return 2
+	}
+	logger, err := oflags.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "velodromed:", err)
 		return 2
 	}
 
@@ -67,24 +77,31 @@ func run() int {
 	case "basic":
 		cfg.DefaultEngine = core.Basic
 	default:
-		fmt.Fprintf(os.Stderr, "velodromed: unknown engine %q\n", *engine)
+		fmt.Fprintln(os.Stderr, "velodromed: unknown engine", *engine)
 		return 2
 	}
-	logger := log.New(os.Stderr, "velodromed: ", log.LstdFlags)
 	if !*quiet {
-		cfg.Logf = logger.Printf
-	}
-
-	if *metricsAddr != "" {
-		_, addr, err := obshttp.Serve(*metricsAddr, cfg.Metrics)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "velodromed:", err)
-			return 2
-		}
-		logger.Printf("serving /metrics and /debug/pprof/ on http://%s", addr)
+		cfg.Logger = logger // nil stays silent for per-session records
 	}
 
 	s := server.New(cfg)
+	if oflags.MetricsAddr != "" {
+		_, addr, err := obshttp.Serve(oflags.MetricsAddr, cfg.Metrics,
+			obshttp.Mount{Pattern: "/debug/velo", Handler: s.DebugHandler()})
+		if err != nil {
+			logger.Error("metrics server failed", "error", err)
+			return 2
+		}
+		logger.Info("serving metrics", "url", "http://"+addr.String(),
+			"endpoints", "/metrics /debug/pprof/ /debug/velo")
+	}
+
+	// Catch signals before announcing any listener: a supervisor that
+	// reacts to the announce by sending SIGTERM must hit the drain path,
+	// never the default disposition.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
 	serveErrs := make(chan error, 2)
 	addrs := []string{*listen}
 	if *unixSock != "" {
@@ -93,29 +110,27 @@ func run() int {
 	for _, addr := range addrs {
 		ln, err := server.Listen(addr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "velodromed:", err)
+			logger.Error("listen failed", "addr", addr, "error", err)
 			return 2
 		}
-		logger.Printf("listening on %s", ln.Addr())
+		logger.Info("listening", "addr", ln.Addr().String())
 		go func() { serveErrs <- s.Serve(ln) }()
 	}
 
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigs:
-		logger.Printf("%s: draining (up to %v)", sig, *drainTimeout)
+		logger.Info("draining", "signal", sig.String(), "timeout", drainTimeout.String())
 	case err := <-serveErrs:
 		// A listener died outside shutdown: still drain what's running.
-		logger.Printf("listener failed: %v; draining", err)
+		logger.Error("listener failed; draining", "error", err)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := s.Shutdown(ctx); err != nil {
-		logger.Printf("drain timed out; in-flight sessions cut: %v", err)
+		logger.Warn("drain timed out; in-flight sessions cut", "error", err)
 		return 1
 	}
-	logger.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 	return 0
 }

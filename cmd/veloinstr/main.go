@@ -47,7 +47,13 @@ func run() int {
 	traceOut := flag.String("trace", "", "with -run: also save the collected trace to this file")
 	obsJSON := flag.Bool("obs-json", false, "with -run: emit the obs snapshot (instr + engine metrics) as JSON on stderr")
 	serverAddr := flag.String("server", "", "with -run: stream the trace to a velodromed daemon at this address instead of checking locally")
+	var oflags obs.CLIFlags
+	oflags.Register(flag.CommandLine, 0)
 	flag.Parse()
+	if _, err := oflags.Logger(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "veloinstr:", err)
+		return 2
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: veloinstr [-analyze | -run] [-o dir] [-noprune] [-server addr] <package dir>")
 		return 2
@@ -274,8 +280,8 @@ func runViaServer(dir, addr, name string, out *instr.Output) int {
 	for _, c := range v.Comments {
 		fmt.Println("#", c)
 	}
-	fmt.Printf("trace: %d operations (%d access sites instrumented, %d pruned), checked by %s at %s\n",
-		v.Ops, out.SitesEmitted, out.SitesPruned, v.Engine, addr)
+	fmt.Printf("trace: %d operations (%d access sites instrumented, %d pruned), checked by %s at %s (session %s in %dms)\n",
+		v.Ops, out.SitesEmitted, out.SitesPruned, v.Engine, addr, v.Session, v.DurationMs)
 	if v.Serializable {
 		fmt.Println("serializable")
 		return 0

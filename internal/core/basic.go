@@ -25,12 +25,13 @@ func stepOf[K comparable](m map[K]graph.Step, k K) graph.Step {
 // outermost non-exempted begin allocates a transaction node.
 type basicChecker struct {
 	common
-	cur    map[trace.Tid]graph.Step               // C
-	blocks map[trace.Tid][]bool                   // open blocks: exempted?
-	l      map[trace.Tid]graph.Step               // L
-	u      map[trace.Lock]graph.Step              // U
-	r      map[trace.Var]map[trace.Tid]graph.Step // R
-	w      map[trace.Var]graph.Step               // W
+	cur     map[trace.Tid]graph.Step               // C
+	blocks  map[trace.Tid][]bool                   // open blocks: exempted?
+	l       map[trace.Tid]graph.Step               // L
+	u       map[trace.Lock]graph.Step              // U
+	r       map[trace.Var]map[trace.Tid]graph.Step // R
+	w       map[trace.Var]graph.Step               // W
+	curMeta map[trace.Tid]*TxnMeta                 // forensics: open txn metadata
 }
 
 func (c *basicChecker) init() {
@@ -41,6 +42,7 @@ func (c *basicChecker) init() {
 		c.u = map[trace.Lock]graph.Step{}
 		c.r = map[trace.Var]map[trace.Tid]graph.Step{}
 		c.w = map[trace.Var]graph.Step{}
+		c.curMeta = map[trace.Tid]*TxnMeta{}
 	}
 }
 
@@ -86,6 +88,7 @@ func (c *basicChecker) step(op trace.Op) *Warning {
 }
 
 func (c *basicChecker) step1(op trace.Op) *Warning {
+	c.noteOp(op)
 	t := op.Thread
 	switch op.Kind {
 	case trace.Begin:
@@ -93,7 +96,7 @@ func (c *basicChecker) step1(op trace.Op) *Warning {
 		wasInside := c.checkedDepth(t) > 0
 		c.blocks[t] = append(c.blocks[t], ignored)
 		if !ignored && !wasInside {
-			c.enter(t, &TxnMeta{Thread: t, Label: op.Label, Start: c.idx}, op)
+			c.enter(t, &TxnMeta{Thread: t, Label: op.Label, Start: c.idx, End: -1}, op)
 		}
 		return nil
 	case trace.End:
@@ -113,7 +116,7 @@ func (c *basicChecker) step1(op trace.Op) *Warning {
 		return c.action(op)
 	}
 	// [INS OUTSIDE]: wrap in a fresh unary transaction.
-	c.enter(t, &TxnMeta{Thread: t, Start: c.idx, Unary: true}, op)
+	c.enter(t, &TxnMeta{Thread: t, Start: c.idx, Unary: true, End: -1}, op)
 	w := c.action(op)
 	c.exit(t)
 	return w
@@ -122,7 +125,12 @@ func (c *basicChecker) step1(op trace.Op) *Warning {
 // enter is [INS ENTER]: allocate a fresh node ordered after L(t).
 func (c *basicChecker) enter(t trace.Tid, meta *TxnMeta, op trace.Op) {
 	n := c.g.NewNode(true, meta)
-	c.g.AddEdge(stepOf(c.l, t), n, op) // fresh target: cannot close a cycle
+	if c.rec == nil {
+		c.g.AddEdge(stepOf(c.l, t), n, op) // fresh target: cannot close a cycle
+	} else {
+		c.g.AddEdgeP(stepOf(c.l, t), n, op, c.poProv())
+		c.curMeta[t] = meta
+	}
 	c.cur[t] = n
 }
 
@@ -132,6 +140,12 @@ func (c *basicChecker) exit(t trace.Tid) {
 	delete(c.cur, t)
 	c.l[t] = n
 	c.g.Finish(n)
+	if c.rec != nil {
+		if m := c.curMeta[t]; m != nil {
+			m.End = c.idx
+			delete(c.curMeta, t)
+		}
+	}
 }
 
 // action applies [INS ACQUIRE/RELEASE/READ/WRITE] inside transaction C(t).
@@ -140,20 +154,33 @@ func (c *basicChecker) action(op trace.Op) *Warning {
 	n := c.cur[t]
 	switch op.Kind {
 	case trace.Acquire:
-		if cyc := c.g.AddEdge(stepOf(c.u, op.Lock()), n, op); cyc != nil {
+		var cyc *graph.Cycle
+		if c.rec == nil {
+			cyc = c.g.AddEdge(stepOf(c.u, op.Lock()), n, op)
+		} else {
+			cyc = c.g.AddEdgeP(stepOf(c.u, op.Lock()), n, op, c.tailProv(c.rec.LastRelease(op.Lock())))
+		}
+		if cyc != nil {
 			return c.violation(op, cyc)
 		}
 	case trace.Release:
 		c.u[op.Lock()] = n
+		c.access(op)
 	case trace.Read:
 		x := op.Var()
-		cyc := c.g.AddEdge(stepOf(c.w, x), n, op)
+		var cyc *graph.Cycle
+		if c.rec == nil {
+			cyc = c.g.AddEdge(stepOf(c.w, x), n, op)
+		} else {
+			cyc = c.g.AddEdgeP(stepOf(c.w, x), n, op, c.tailProv(c.rec.LastWrite(x)))
+		}
 		m := c.r[x]
 		if m == nil {
 			m = map[trace.Tid]graph.Step{}
 			c.r[x] = m
 		}
 		m[t] = n
+		c.access(op)
 		if cyc != nil {
 			return c.violation(op, cyc)
 		}
@@ -165,14 +192,27 @@ func (c *basicChecker) action(op trace.Op) *Warning {
 				delete(c.r[x], t2)
 				continue
 			}
-			if cy := c.g.AddEdge(rs, n, op); cy != nil && cyc == nil {
+			var cy *graph.Cycle
+			if c.rec == nil {
+				cy = c.g.AddEdge(rs, n, op)
+			} else {
+				cy = c.g.AddEdgeP(rs, n, op, c.tailProv(c.rec.LastRead(x, t2)))
+			}
+			if cy != nil && cyc == nil {
 				cyc = cy
 			}
 		}
-		if cy := c.g.AddEdge(stepOf(c.w, x), n, op); cy != nil && cyc == nil {
+		var cy *graph.Cycle
+		if c.rec == nil {
+			cy = c.g.AddEdge(stepOf(c.w, x), n, op)
+		} else {
+			cy = c.g.AddEdgeP(stepOf(c.w, x), n, op, c.tailProv(c.rec.LastWrite(x)))
+		}
+		if cy != nil && cyc == nil {
 			cyc = cy
 		}
 		c.w[x] = n
+		c.access(op)
 		if cyc != nil {
 			return c.violation(op, cyc)
 		}

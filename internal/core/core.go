@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/forensic"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -58,6 +59,16 @@ type Options struct {
 	FirstOnly bool
 	// MaxWarnings bounds the number of recorded warnings (0 = 10000).
 	MaxWarnings int
+	// Forensics enables the warning-forensics layer (internal/forensic):
+	// a bounded per-thread event flight recorder plus access-pair
+	// provenance on every happens-before edge, so each warning carries a
+	// provenance report (Warning.Forensics) naming the exact accesses
+	// behind every cycle edge. Off by default: the default path stays
+	// zero-overhead and verdicts are identical either way.
+	Forensics bool
+	// ForensicWindow is the per-thread flight-recorder depth
+	// (forensic.DefaultWindow when 0). Ignored unless Forensics is set.
+	ForensicWindow int
 	// Metrics, when non-nil, instruments the checker on the named
 	// registry: per-operation-kind step latency histograms and event
 	// counters, warning/blame outcome counters, and the underlying
@@ -81,7 +92,12 @@ type TxnMeta struct {
 	Thread trace.Tid
 	Label  trace.Label // outermost atomic block label; empty for unary
 	Start  int         // trace index of the transaction's first operation
-	Unary  bool
+	// End is the trace index of the transaction's final end marker, or -1
+	// while the transaction is open. It is maintained only under
+	// Options.Forensics (and for single-operation unary transactions,
+	// whose span is known at creation); it never affects verdicts.
+	End   int
+	Unary bool
 }
 
 // String renders the transaction for error messages.
@@ -119,7 +135,16 @@ type Warning struct {
 	// cycle, outermost first. Only those blocks are non-serializable;
 	// inner blocks that exclude the root operation are not refuted.
 	Refuted []trace.Label
+
+	// report is the provenance report assembled at warning time under
+	// Options.Forensics (nil otherwise). It must be built eagerly: the
+	// flight-recorder windows advance as checking continues.
+	report *forensic.Report
 }
+
+// Forensics returns the warning's provenance report, or nil when the
+// checker ran without Options.Forensics.
+func (w *Warning) Forensics() *forensic.Report { return w.report }
 
 // Method returns the outermost refuted atomic block label, or the blamed
 // transaction's label, or "" if blame was not assigned.
@@ -180,10 +205,14 @@ func New(opts Options) Checker {
 		g.SetMetrics(opts.Metrics)
 		met = newCheckerMetrics(opts.Metrics)
 	}
-	if opts.Engine == Basic {
-		return &basicChecker{common: common{g: g, opts: opts, met: met}}
+	var rec *forensic.Recorder
+	if opts.Forensics {
+		rec = forensic.NewRecorder(opts.ForensicWindow)
 	}
-	return &optChecker{common: common{g: g, opts: opts, met: met}}
+	if opts.Engine == Basic {
+		return &basicChecker{common: common{g: g, opts: opts, met: met, rec: rec}}
+	}
+	return &optChecker{common: common{g: g, opts: opts, met: met, rec: rec}}
 }
 
 // Result is the outcome of checking a complete trace.
@@ -215,7 +244,8 @@ func CheckTrace(tr trace.Trace, opts Options) *Result {
 type common struct {
 	g        *graph.Graph
 	opts     Options
-	met      *checkerMetrics // nil when Options.Metrics is nil
+	met      *checkerMetrics    // nil when Options.Metrics is nil
+	rec      *forensic.Recorder // nil when Options.Forensics is off
 	warns    []*Warning
 	idx      int // index of the operation being processed
 	filtered int64
@@ -243,6 +273,10 @@ func (c *common) filterHit() {
 // Graph implements Checker.
 func (c *common) Graph() *graph.Graph { return c.g }
 func (c *common) record(w *Warning) *Warning {
+	if c.rec != nil {
+		// Eager: the flight-recorder windows are only valid right now.
+		w.report = c.buildReport(w)
+	}
 	if len(c.warns) < c.opts.MaxWarnings {
 		c.warns = append(c.warns, w)
 	}

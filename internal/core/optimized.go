@@ -26,6 +26,18 @@ type optChecker struct {
 	w     varTable  // W: last write of each variable
 	fc    []fcEntry // per-variable filter decision cache
 	preds []graph.Step
+	// Forensics-only state: a reusable provenance buffer parallel to
+	// preds, and the open transaction's metadata per thread so its End
+	// position can be stamped at exit.
+	provBuf  []graph.EdgeProv
+	openMeta []*TxnMeta
+}
+
+func (c *optChecker) setOpenMeta(t trace.Tid, m *TxnMeta) {
+	for int(t) >= len(c.openMeta) {
+		c.openMeta = append(c.openMeta, nil)
+	}
+	c.openMeta[t] = m
 }
 
 func (c *optChecker) stack(t trace.Tid) []frame {
@@ -102,6 +114,7 @@ func checkedDepth(stack []frame) int {
 }
 
 func (c *optChecker) step1(op trace.Op) *Warning {
+	c.noteOp(op) // flight recorder sees every operation, even filtered ones
 	t := op.Thread
 	inside := c.depth(t) > 0
 	switch op.Kind {
@@ -125,9 +138,14 @@ func (c *optChecker) step1(op trace.Op) *Warning {
 		}
 		// [INS2 ENTER]: fresh transaction node, ordered after the
 		// thread's previous transaction.
-		meta := &TxnMeta{Thread: t, Label: op.Label, Start: c.idx}
+		meta := &TxnMeta{Thread: t, Label: op.Label, Start: c.idx, End: -1}
 		s := c.g.NewNode(true, meta)
-		c.g.AddEdge(c.l.get(int32(t)), s, op) // fresh target: cannot close a cycle
+		if c.rec == nil {
+			c.g.AddEdge(c.l.get(int32(t)), s, op) // fresh target: cannot close a cycle
+		} else {
+			c.g.AddEdgeP(c.l.get(int32(t)), s, op, c.poProv())
+			c.setOpenMeta(t, meta)
+		}
 		c.setStack(t, append(stack, frame{op.Label, s.Time(), false}))
 		c.l.set(int32(t), s)
 		return nil
@@ -146,6 +164,10 @@ func (c *optChecker) step1(op trace.Op) *Warning {
 			c.l.set(int32(t), s)
 			if !popped.ignored && checkedDepth(stack[:n]) == 0 {
 				c.g.Finish(s)
+				if c.rec != nil && int(t) < len(c.openMeta) && c.openMeta[t] != nil {
+					c.openMeta[t].End = c.idx
+					c.openMeta[t] = nil
+				}
 			}
 		}
 		return nil
@@ -167,9 +189,13 @@ func (c *optChecker) step1(op trace.Op) *Warning {
 	}
 	if c.opts.NoMerge {
 		// [INS OUTSIDE]: wrap the operation in its own unary transaction.
-		meta := &TxnMeta{Thread: t, Start: c.idx, Unary: true}
+		meta := &TxnMeta{Thread: t, Start: c.idx, Unary: true, End: c.idx}
 		s := c.g.NewNode(true, meta)
-		c.g.AddEdge(c.l.get(int32(t)), s, op)
+		if c.rec == nil {
+			c.g.AddEdge(c.l.get(int32(t)), s, op)
+		} else {
+			c.g.AddEdgeP(c.l.get(int32(t)), s, op, c.poProv())
+		}
 		c.setStack(t, append(c.stack(t), frame{"", s.Time(), false}))
 		c.l.set(int32(t), s)
 		w := c.insideOp(op)
@@ -186,6 +212,9 @@ func (c *optChecker) step1(op trace.Op) *Warning {
 			return nil
 		}
 		if c.filterOutside(op) {
+			// The fast path performed the table stores itself, so the
+			// provenance tables must advance with them.
+			c.access(op)
 			c.cacheStore(op)
 			c.filterHit()
 			return nil
@@ -201,15 +230,28 @@ func (c *optChecker) insideOp(op trace.Op) *Warning {
 	c.l.set(int32(t), s)
 	switch op.Kind {
 	case trace.Acquire:
-		if cyc := c.g.AddEdge(c.u.get(op.Target), s, op); cyc != nil {
+		var cyc *graph.Cycle
+		if c.rec == nil {
+			cyc = c.g.AddEdge(c.u.get(op.Target), s, op)
+		} else {
+			cyc = c.g.AddEdgeP(c.u.get(op.Target), s, op, c.tailProv(c.rec.LastRelease(op.Lock())))
+		}
+		if cyc != nil {
 			return c.violation(op, cyc)
 		}
 	case trace.Release:
 		c.u.set(op.Target, s)
+		c.access(op)
 	case trace.Read:
 		x := op.Var()
-		cyc := c.g.AddEdge(c.w.get(x), s, op)
+		var cyc *graph.Cycle
+		if c.rec == nil {
+			cyc = c.g.AddEdge(c.w.get(x), s, op)
+		} else {
+			cyc = c.g.AddEdgeP(c.w.get(x), s, op, c.tailProv(c.rec.LastWrite(x)))
+		}
 		c.r.set(x, t, s)
+		c.access(op)
 		if cyc != nil {
 			return c.violation(op, cyc)
 		}
@@ -229,11 +271,19 @@ func (c *optChecker) insideOp(op trace.Op) *Warning {
 				cyc = cy
 			}
 		}
-		for _, rs := range c.r.row(x) {
-			keep(c.g.AddEdge(rs, s, op))
+		if c.rec == nil {
+			for _, rs := range c.r.row(x) {
+				keep(c.g.AddEdge(rs, s, op))
+			}
+			keep(c.g.AddEdge(c.w.get(x), s, op))
+		} else {
+			for t2, rs := range c.r.row(x) {
+				keep(c.g.AddEdgeP(rs, s, op, c.tailProv(c.rec.LastRead(x, trace.Tid(t2)))))
+			}
+			keep(c.g.AddEdgeP(c.w.get(x), s, op, c.tailProv(c.rec.LastWrite(x))))
 		}
-		keep(c.g.AddEdge(c.w.get(x), s, op))
 		c.w.set(x, s)
+		c.access(op)
 		if cyc != nil {
 			return c.violation(op, cyc)
 		}
@@ -247,38 +297,65 @@ func (c *optChecker) outsideOp(op trace.Op) *Warning {
 	t := op.Thread
 	switch op.Kind {
 	case trace.Acquire:
-		s := c.merge(op, c.l.get(int32(t)), c.u.get(op.Target))
+		preds := append(c.preds[:0], c.l.get(int32(t)), c.u.get(op.Target))
+		var provs []graph.EdgeProv
+		if c.rec != nil {
+			provs = append(c.provBuf[:0], c.poProv(), c.tailProv(c.rec.LastRelease(op.Lock())))
+			c.provBuf = provs[:0]
+		}
+		s := c.merge(op, preds, provs)
+		c.preds = preds[:0]
 		c.l.set(int32(t), s)
 	case trace.Release:
 		s := c.g.Tick(c.l.get(int32(t)))
 		c.l.set(int32(t), s)
 		c.u.set(op.Target, s)
+		c.access(op)
 	case trace.Read:
 		x := op.Var()
-		s := c.merge(op, c.l.get(int32(t)), c.w.get(x))
+		preds := append(c.preds[:0], c.l.get(int32(t)), c.w.get(x))
+		var provs []graph.EdgeProv
+		if c.rec != nil {
+			provs = append(c.provBuf[:0], c.poProv(), c.tailProv(c.rec.LastWrite(x)))
+			c.provBuf = provs[:0]
+		}
+		s := c.merge(op, preds, provs)
+		c.preds = preds[:0]
 		c.r.set(x, t, s)
 		c.l.set(int32(t), s)
+		c.access(op)
 	case trace.Write:
 		x := op.Var()
 		// L(t) first so merge prefers reusing the thread's own last node.
 		preds := append(c.preds[:0], c.l.get(int32(t)))
 		preds = append(preds, c.r.row(x)...)
 		preds = append(preds, c.w.get(x))
-		s := c.merge(op, preds...)
+		var provs []graph.EdgeProv
+		if c.rec != nil {
+			provs = append(c.provBuf[:0], c.poProv())
+			for t2 := range c.r.row(x) {
+				provs = append(provs, c.tailProv(c.rec.LastRead(x, trace.Tid(t2))))
+			}
+			provs = append(provs, c.tailProv(c.rec.LastWrite(x)))
+			c.provBuf = provs[:0]
+		}
+		s := c.merge(op, preds, provs)
 		c.preds = preds[:0]
 		c.w.set(x, s)
 		c.l.set(int32(t), s)
+		c.access(op)
 	}
 	return nil
 }
 
-// merge wraps graph.Merge, attaching unary-transaction metadata only when
-// a node was actually allocated.
-func (c *optChecker) merge(op trace.Op, preds ...graph.Step) graph.Step {
+// merge wraps graph.MergeP, attaching unary-transaction metadata only
+// when a node was actually allocated. provs, non-nil only under
+// forensics, annotates the edge from each predecessor.
+func (c *optChecker) merge(op trace.Op, preds []graph.Step, provs []graph.EdgeProv) graph.Step {
 	before := c.g.Stats().Allocated
-	s := c.g.Merge(preds, op, nil)
+	s := c.g.MergeP(preds, op, nil, provs)
 	if c.g.Stats().Allocated != before {
-		c.g.SetData(s, &TxnMeta{Thread: op.Thread, Start: c.idx, Unary: true})
+		c.g.SetData(s, &TxnMeta{Thread: op.Thread, Start: c.idx, Unary: true, End: c.idx})
 	}
 	return s
 }

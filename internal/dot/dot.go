@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/forensic"
 )
 
 // Render returns the dot source for one warning's error graph.
@@ -79,5 +80,52 @@ func RenderAll(warns []*core.Warning) string {
 		}
 		b.WriteString(Render(w))
 	}
+	return b.String()
+}
+
+// RenderReport renders a forensic provenance report as a dot error graph.
+// Unlike Render it draws from the report's plain data, so clients that
+// only hold a velodromed verdict (not the live graph) can produce the
+// same picture: each transaction box carries its trace span, conflict
+// edges are labeled with the contended variable and the recorded access
+// pair, and the cycle-closing edge is dashed.
+func RenderReport(rep *forensic.Report) string {
+	var b strings.Builder
+	b.WriteString("digraph velodrome {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+	title := fmt.Sprintf("non-serializable cycle at op %d: %s", rep.OpIndex, rep.Op)
+	if rep.Blamed != "" {
+		title = fmt.Sprintf("Warning: %s is not atomic (op %d: %s)", rep.Blamed, rep.OpIndex, rep.Op)
+	}
+	fmt.Fprintf(&b, "  label=%q;\n  labelloc=t;\n", title)
+	for i, t := range rep.Txns {
+		span := fmt.Sprintf("ops %d..%d", t.Start, t.End)
+		if t.End < 0 {
+			span = fmt.Sprintf("ops %d.. (open)", t.Start)
+		}
+		attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%s\n%s", t.Name, span))
+		if t.Blamed {
+			attrs += ", peripheries=2, style=bold"
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", i, attrs)
+	}
+	for _, e := range rep.Edges {
+		var label string
+		switch {
+		case e.Kind == "program-order":
+			label = fmt.Sprintf("po(t%d)", e.Head.Thread)
+		case e.Tail != nil:
+			label = fmt.Sprintf("%s: %s@%d ⇒ %s@%d", e.Conflict, e.Tail.Op, e.Tail.Index, e.Head.Op, e.Head.Index)
+		default:
+			label = fmt.Sprintf("%s: %s@%d", e.Conflict, e.Head.Op, e.Head.Index)
+		}
+		style := ""
+		if e.Closing {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q%s];\n", e.From, e.To, label, style)
+	}
+	b.WriteString("}\n")
 	return b.String()
 }

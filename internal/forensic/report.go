@@ -1,0 +1,186 @@
+package forensic
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Report is the provenance report assembled for one warning: the cycle's
+// transactions with their trace positions, every inter-transaction edge
+// annotated with the conflicting variable or lock and the access pair
+// that created it, and the flight-recorder window of each involved
+// thread. It is plain data — JSON round-trippable, so the velodromed
+// verdict can carry it across the wire and clients re-render it.
+type Report struct {
+	// OpIndex and Op identify the operation that completed the cycle.
+	OpIndex int64  `json:"opIndex"`
+	Op      string `json:"op"`
+	// Blamed names the non-serializable transaction when blame was
+	// assigned (Section 4.3), Increasing whether the cycle proves it.
+	Blamed     string   `json:"blamed,omitempty"`
+	Increasing bool     `json:"increasing"`
+	Refuted    []string `json:"refuted,omitempty"`
+	// Txns are the distinct transactions on the cycle; Edges reference
+	// them by index.
+	Txns  []Txn  `json:"txns"`
+	Edges []Edge `json:"edges"`
+	// Threads are the involved threads' flight-recorder windows at the
+	// moment the warning fired (newest last). Empty when the recorder
+	// window was zero.
+	Threads []ThreadWindow `json:"threads,omitempty"`
+}
+
+// Txn is one transaction on the cycle.
+type Txn struct {
+	// Name is the engine's rendering, e.g. "Set.add@17(t2)" or "unary@40(t1)".
+	Name   string `json:"name"`
+	Thread int32  `json:"thread"`
+	Label  string `json:"label,omitempty"`
+	// Start is the trace index of the transaction's first operation; End
+	// that of its end marker, or -1 if it was still open (or was a merged
+	// unary transaction) when the warning fired.
+	Start   int64 `json:"start"`
+	End     int64 `json:"end"`
+	Unary   bool  `json:"unary,omitempty"`
+	Blamed  bool  `json:"blamedTxn,omitempty"`
+	Unknown bool  `json:"unknown,omitempty"` // node had no metadata
+}
+
+// Edge is one happens-before edge of the cycle.
+type Edge struct {
+	From int `json:"from"` // index into Txns
+	To   int `json:"to"`
+	// Kind is "conflict" for a cross-thread conflict edge,
+	// "program-order" for a thread-successor edge.
+	Kind string `json:"kind"`
+	// Conflict names the contended variable or lock ("x3", "m0",
+	// "fork-token(t2)"); empty for program-order edges.
+	Conflict string `json:"conflict,omitempty"`
+	// Head is the access that inserted the edge; Tail the earlier
+	// conflicting access it was drawn from (absent when not recorded).
+	Head AccessJSON  `json:"head"`
+	Tail *AccessJSON `json:"tail,omitempty"`
+	// TailTime and HeadTime are the per-transaction operation timestamps
+	// carried on the edge (the graph's Section 4.3 metadata).
+	TailTime uint64 `json:"tailTime"`
+	HeadTime uint64 `json:"headTime"`
+	// Closing marks the cycle-closing edge (the rejected insertion).
+	Closing bool `json:"closing,omitempty"`
+}
+
+// AccessJSON is one end of an edge's access pair.
+type AccessJSON struct {
+	Index  int64  `json:"index"` // trace position
+	Op     string `json:"op"`
+	Thread int32  `json:"thread"`
+}
+
+// ThreadWindow is one thread's flight-recorder contents.
+type ThreadWindow struct {
+	Thread int32      `json:"thread"`
+	Ops    []WindowOp `json:"ops"`
+}
+
+// WindowOp is one retained operation.
+type WindowOp struct {
+	Index int64  `json:"index"`
+	Op    string `json:"op"`
+}
+
+// ConflictTarget renders the contended resource of a conflict-edge
+// operation: the shared variable for reads/writes, the lock for
+// acquire/release, and the synthetic fork/join token variables by their
+// meaning.
+func ConflictTarget(op trace.Op) string {
+	switch op.Kind {
+	case trace.Read, trace.Write:
+		if other, join, ok := trace.TokenVar(op.Var()); ok {
+			if join {
+				return fmt.Sprintf("join-token(t%d)", other)
+			}
+			return fmt.Sprintf("fork-token(t%d)", other)
+		}
+		return fmt.Sprintf("x%d", op.Target)
+	case trace.Acquire, trace.Release:
+		return fmt.Sprintf("m%d", op.Target)
+	}
+	return ""
+}
+
+// MarshalJSONLine renders the report as one compact JSON line.
+func (r *Report) MarshalJSONLine() ([]byte, error) { return json.Marshal(r) }
+
+// ParseReport decodes a report previously marshaled to JSON (e.g. out of
+// a velodromed verdict).
+func ParseReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("forensic: malformed report: %w", err)
+	}
+	return &r, nil
+}
+
+// WriteText renders the human-readable report.
+func (r *Report) WriteText(w io.Writer) error {
+	var b strings.Builder
+	if r.Blamed != "" {
+		fmt.Fprintf(&b, "provenance: %s is not atomic — cycle completed by op %d: %s\n", r.Blamed, r.OpIndex, r.Op)
+	} else {
+		fmt.Fprintf(&b, "provenance: non-serializable cycle completed by op %d: %s\n", r.OpIndex, r.Op)
+	}
+	if len(r.Refuted) > 0 {
+		fmt.Fprintf(&b, "  refuted atomic blocks: %s\n", strings.Join(r.Refuted, ", "))
+	}
+	b.WriteString("  transactions:\n")
+	for i, t := range r.Txns {
+		span := fmt.Sprintf("ops %d..%d", t.Start, t.End)
+		if t.End < 0 {
+			span = fmt.Sprintf("ops %d.. (open)", t.Start)
+		}
+		mark := ""
+		if t.Blamed {
+			mark = "  ← blamed"
+		}
+		fmt.Fprintf(&b, "    [%d] %s  thread t%d  %s%s\n", i, t.Name, t.Thread, span, mark)
+	}
+	b.WriteString("  cycle edges:\n")
+	for _, e := range r.Edges {
+		arrow := "⇒"
+		if e.Closing {
+			arrow = "⇒(closing)"
+		}
+		switch {
+		case e.Kind == "program-order":
+			fmt.Fprintf(&b, "    [%d] %s [%d]  program order (t%d)\n", e.From, arrow, e.To, e.Head.Thread)
+		case e.Tail != nil:
+			fmt.Fprintf(&b, "    [%d] %s [%d]  on %s: %s@%d ⇒ %s@%d\n",
+				e.From, arrow, e.To, e.Conflict, e.Tail.Op, e.Tail.Index, e.Head.Op, e.Head.Index)
+		default:
+			fmt.Fprintf(&b, "    [%d] %s [%d]  on %s: ? ⇒ %s@%d\n",
+				e.From, arrow, e.To, e.Conflict, e.Head.Op, e.Head.Index)
+		}
+	}
+	if len(r.Threads) > 0 {
+		b.WriteString("  flight recorder (per thread, oldest first):\n")
+		for _, tw := range r.Threads {
+			fmt.Fprintf(&b, "    t%d:", tw.Thread)
+			for _, op := range tw.Ops {
+				fmt.Fprintf(&b, " %s@%d", op.Op, op.Index)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the report as WriteText does.
+func (r *Report) String() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}

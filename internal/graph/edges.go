@@ -2,6 +2,28 @@ package graph
 
 import "repro/internal/trace"
 
+// EdgeProv is the access-pair provenance of a happens-before edge: which
+// trace operations created it. The head access is the operation whose
+// Step insertion added (or refreshed) the edge; the tail access is the
+// earlier conflicting operation in the source transaction whose stored
+// step (W(x), R(x,t) or U(m)) the edge was drawn from. Provenance is
+// populated only when forensics is enabled — the zero value means "not
+// recorded" and costs nothing on the default path.
+type EdgeProv struct {
+	// HeadIdx is the trace index of the operation that inserted the edge.
+	HeadIdx int64
+	// TailIdx is the trace index of the conflicting access at the tail.
+	TailIdx int64
+	// TailOp is that access. Valid only when HasTail is set: program-order
+	// edges and edges recorded with forensics off carry no tail access.
+	TailOp  trace.Op
+	HasTail bool
+	// Program marks a program-order edge (thread-successor ordering, the
+	// L(t) ⇒ s edges of [INS ENTER]/merge), as opposed to a cross-thread
+	// conflict edge.
+	Program bool
+}
+
 // CycleEdge is one happens-before edge on a detected cycle, annotated with
 // the timestamps of the operations at its tail and head (Section 4.3).
 type CycleEdge struct {
@@ -10,6 +32,7 @@ type CycleEdge struct {
 	TailTime         uint64   // timestamp of the operation at the source
 	HeadTime         uint64   // timestamp of the operation at the destination
 	Op               trace.Op // the operation that generated the edge
+	Prov             EdgeProv // access-pair provenance (forensics only)
 }
 
 // Cycle is a non-trivial cycle in the transactional happens-before graph,
@@ -62,6 +85,14 @@ func (c *Cycle) TargetTime() uint64 { return c.Edges[len(c.Edges)-1].HeadTime }
 // is returned and the edge is NOT added, keeping the graph acyclic; the
 // caller reports the violation and continues.
 func (g *Graph) AddEdge(from, to Step, op trace.Op) *Cycle {
+	return g.AddEdgeP(from, to, op, EdgeProv{})
+}
+
+// AddEdgeP is AddEdge carrying access-pair provenance for the edge. The
+// forensics-enabled engines use it; prov rides along on the edge (and is
+// refreshed with the timestamps under ⊕) so a later cycle report can name
+// the exact accesses that created each edge.
+func (g *Graph) AddEdgeP(from, to Step, op trace.Op, prov EdgeProv) *Cycle {
 	from, to = g.Resolve(from), g.Resolve(to)
 	if from == None || to == None || from.ID() == to.ID() {
 		return nil
@@ -80,6 +111,7 @@ func (g *Graph) AddEdge(from, to Step, op trace.Op) *Cycle {
 		e.tailTime = from.Time()
 		e.headTime = to.Time()
 		e.op = op
+		e.prov = prov
 		if h := to.Time(); h > g.nodes[dst].lastInHead {
 			g.nodes[dst].lastInHead = h
 		}
@@ -108,7 +140,7 @@ func (g *Graph) AddEdge(from, to Step, op trace.Op) *Cycle {
 			From: src, To: dst,
 			FromData: g.nodes[src].data, ToData: g.nodes[dst].data,
 			TailTime: from.Time(), HeadTime: to.Time(),
-			Op: op,
+			Op: op, Prov: prov,
 		})
 		if g.met != nil {
 			g.met.cyclesDetected.Inc()
@@ -121,6 +153,7 @@ func (g *Graph) AddEdge(from, to Step, op trace.Op) *Cycle {
 			nd.out[i].tailTime = from.Time()
 			nd.out[i].headTime = to.Time()
 			nd.out[i].op = op
+			nd.out[i].prov = prov
 			nd.memoTo, nd.memoIdx = dst, int32(i)
 			if h := to.Time(); h > g.nodes[dst].lastInHead {
 				g.nodes[dst].lastInHead = h
@@ -128,7 +161,7 @@ func (g *Graph) AddEdge(from, to Step, op trace.Op) *Cycle {
 			return nil
 		}
 	}
-	nd.out = append(nd.out, edge{to: dst, tailTime: from.Time(), headTime: to.Time(), op: op})
+	nd.out = append(nd.out, edge{to: dst, tailTime: from.Time(), headTime: to.Time(), op: op, prov: prov})
 	nd.memoTo, nd.memoIdx = dst, int32(len(nd.out)-1)
 	g.nodes[dst].in++
 	if h := to.Time(); h > g.nodes[dst].lastInHead {
@@ -188,7 +221,7 @@ func (g *Graph) findPath(src, dst NodeID) []CycleEdge {
 			From: f.id, To: e.to,
 			FromData: nd.data, ToData: g.nodes[e.to].data,
 			TailTime: e.tailTime, HeadTime: e.headTime,
-			Op: e.op,
+			Op: e.op, Prov: e.prov,
 		})
 		if e.to == dst {
 			out := make([]CycleEdge, len(path))

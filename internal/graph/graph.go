@@ -71,6 +71,7 @@ type edge struct {
 	tailTime uint64
 	headTime uint64
 	op       trace.Op
+	prov     EdgeProv // access-pair provenance; zero unless forensics is on
 }
 
 type node struct {
@@ -124,8 +125,9 @@ type Graph struct {
 	gen        uint64
 	noGC       bool
 	noMemo     bool
-	scratch    []Step     // Merge's reusable candidate buffer
-	ancScratch []ancEntry // ancestorsPlusSelf's reusable buffer
+	scratch     []Step     // Merge's reusable candidate buffer
+	provScratch []EdgeProv // MergeP's reusable provenance buffer
+	ancScratch  []ancEntry // ancestorsPlusSelf's reusable buffer
 	stats      Stats
 	met        *metrics // optional obs mirror, see SetMetrics
 }

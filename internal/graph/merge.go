@@ -25,13 +25,26 @@ import "repro/internal/trace"
 // Candidates earlier in preds are preferred, so callers pass L(t) first.
 // data is attached to a freshly allocated node, if any.
 func (g *Graph) Merge(preds []Step, op trace.Op, data any) Step {
+	return g.MergeP(preds, op, data, nil)
+}
+
+// MergeP is Merge carrying per-predecessor access-pair provenance:
+// provs[i], when provs is non-nil, annotates the edge drawn from preds[i]
+// into a freshly allocated node. The forensics-enabled engines use it so
+// even the edges into merged unary transactions name their accesses.
+func (g *Graph) MergeP(preds []Step, op trace.Op, data any, provs []EdgeProv) Step {
 	live := g.scratch[:0] // reused buffer; callers do not retain it
-	for _, s := range preds {
+	liveProv := g.provScratch[:0]
+	for i, s := range preds {
 		if s = g.Resolve(s); s != None {
 			live = append(live, s)
+			if provs != nil {
+				liveProv = append(liveProv, provs[i])
+			}
 		}
 	}
 	g.scratch = live[:0]
+	g.provScratch = liveProv[:0]
 	if len(live) == 0 {
 		return None
 	}
@@ -55,10 +68,14 @@ func (g *Graph) Merge(preds []Step, op trace.Op, data any) Step {
 		}
 	}
 	s := g.NewNode(false, data)
-	for _, p := range live {
+	for i, p := range live {
+		var prov EdgeProv
+		if i < len(liveProv) {
+			prov = liveProv[i]
+		}
 		// Edges into a brand-new node with no outgoing edges can never
 		// close a cycle.
-		if c := g.AddEdge(p, s, op); c != nil {
+		if c := g.AddEdgeP(p, s, op, prov); c != nil {
 			panic("graph: impossible cycle through fresh merge node")
 		}
 	}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"time"
+)
+
+// Flags selects which observability flags a command registers. The
+// structured-logging flags (-log-level, -log-json) are always
+// registered: every command logs.
+type Flags uint
+
+const (
+	// FlagMetrics registers -metrics-addr.
+	FlagMetrics Flags = 1 << iota
+	// FlagProfile registers -profile and -profile-out.
+	FlagProfile
+	// FlagHeartbeat registers -heartbeat.
+	FlagHeartbeat
+)
+
+// CLIFlags is the observability flag bundle shared by the velodrome
+// commands. Each binary used to replicate this plumbing; Register wires
+// the selected flags onto a FlagSet and the accessors below turn the
+// parsed values into a logger, a profile session, and so on.
+type CLIFlags struct {
+	MetricsAddr string
+	Heartbeat   time.Duration
+	Profile     string
+	ProfileOut  string
+	LogLevel    string
+	LogJSON     bool
+}
+
+// Register declares the selected flags (plus the always-present -log-*
+// pair) on fs with the shared names and help strings.
+func (c *CLIFlags) Register(fs *flag.FlagSet, which Flags) {
+	if which&FlagMetrics != 0 {
+		fs.StringVar(&c.MetricsAddr, "metrics-addr", "",
+			"serve /metrics (Prometheus text or ?format=json) and /debug/pprof/ on this address")
+	}
+	if which&FlagProfile != 0 {
+		fs.StringVar(&c.Profile, "profile", "", "write a pprof profile: cpu, mem or mutex")
+		fs.StringVar(&c.ProfileOut, "profile-out", "", "profile output file (default <kind>.pprof)")
+	}
+	if which&FlagHeartbeat != 0 {
+		fs.DurationVar(&c.Heartbeat, "heartbeat", 0,
+			"print a progress line (events/sec, live nodes, warnings) at this interval")
+	}
+	fs.StringVar(&c.LogLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	fs.BoolVar(&c.LogJSON, "log-json", false, "emit log lines as JSON objects")
+}
+
+// Logger builds the command's structured logger on w per the -log-*
+// flags: a text handler by default, JSON under -log-json, filtering
+// below the -log-level threshold. An unknown level is an error (the
+// commands exit 2 on it, like any other bad flag).
+func (c *CLIFlags) Logger(w io.Writer) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(c.LogLevel)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", c.LogLevel)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	if c.LogJSON {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h), nil
+}
+
+// StartProfile begins the profile requested by -profile (a no-op stop
+// and empty path when the flag is unset) and returns the resolved
+// output path alongside the stop function.
+func (c *CLIFlags) StartProfile() (stop func() error, path string, err error) {
+	if c.Profile == "" {
+		return func() error { return nil }, "", nil
+	}
+	path = c.ProfileOut
+	if path == "" {
+		path = c.Profile + ".pprof"
+	}
+	stop, err = StartProfile(c.Profile, path)
+	return stop, path, err
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestCLIFlagsRegister(t *testing.T) {
+	var c CLIFlags
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c.Register(fs, FlagMetrics|FlagProfile|FlagHeartbeat)
+	err := fs.Parse([]string{
+		"-metrics-addr", ":0", "-profile", "cpu", "-heartbeat", "5s",
+		"-log-level", "debug", "-log-json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MetricsAddr != ":0" || c.Profile != "cpu" || c.Heartbeat.Seconds() != 5 ||
+		c.LogLevel != "debug" || !c.LogJSON {
+		t.Errorf("parsed flags: %+v", c)
+	}
+
+	// A command that opts out of a flag must not register it.
+	var c2 CLIFlags
+	fs2 := flag.NewFlagSet("t2", flag.ContinueOnError)
+	fs2.SetOutput(io.Discard)
+	c2.Register(fs2, 0)
+	if err := fs2.Parse([]string{"-metrics-addr", ":0"}); err == nil {
+		t.Error("unselected -metrics-addr was accepted")
+	}
+	fs3 := flag.NewFlagSet("t3", flag.ContinueOnError)
+	var c3 CLIFlags
+	c3.Register(fs3, 0)
+	if err := fs3.Parse([]string{"-log-level", "warn"}); err != nil {
+		t.Errorf("-log-level must always be registered: %v", err)
+	}
+}
+
+func TestCLIFlagsLogger(t *testing.T) {
+	var buf bytes.Buffer
+	c := CLIFlags{LogLevel: "warn"}
+	lg, err := c.Logger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hidden")
+	lg.Warn("shown", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") || !strings.Contains(out, "k=v") {
+		t.Errorf("text logger output: %q", out)
+	}
+
+	buf.Reset()
+	c = CLIFlags{LogLevel: "info", LogJSON: true}
+	lg, err = c.Logger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("json line", "n", 3)
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("JSON logger emitted %q: %v", buf.String(), err)
+	}
+	if obj["msg"] != "json line" || obj["n"] != float64(3) {
+		t.Errorf("JSON log object: %v", obj)
+	}
+
+	if _, err := (&CLIFlags{LogLevel: "loud"}).Logger(io.Discard); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func TestCLIFlagsStartProfileUnset(t *testing.T) {
+	var c CLIFlags
+	stop, path, err := c.StartProfile()
+	if err != nil || path != "" {
+		t.Fatalf("unset profile: path=%q err=%v", path, err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("no-op stop: %v", err)
+	}
+}

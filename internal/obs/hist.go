@@ -106,8 +106,14 @@ func (s HistogramSnapshot) Mean() float64 {
 // interpolation within the containing bucket, the usual Prometheus
 // histogram_quantile estimate. The overflow bucket interpolates up to
 // the tracked maximum, and the estimate is clamped to it.
+//
+// The result is always a finite, non-negative number — never NaN or
+// ±Inf — even for snapshots decoded from JSON with missing or
+// inconsistent fields (empty bucket slice, zero or negative Max with
+// counts only in the overflow bucket): encoding/json rejects those
+// values, and /metrics consumers chart whatever this returns.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 || math.IsNaN(q) {
+	if s.Count <= 0 || len(s.Counts) == 0 || math.IsNaN(q) {
 		return 0
 	}
 	if q < 0 {
@@ -116,10 +122,14 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
+	max := float64(s.Max)
+	if max < 0 {
+		max = 0
+	}
 	rank := q * float64(s.Count)
 	var cum int64
 	for i, c := range s.Counts {
-		if c == 0 {
+		if c <= 0 {
 			continue
 		}
 		if float64(cum+c) < rank {
@@ -130,14 +140,17 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 		if i > 0 {
 			lo = float64(BucketBound(i - 1))
 		}
-		if i == len(s.Counts)-1 || hi > float64(s.Max) {
-			hi = float64(s.Max) // tighten with the exact maximum
+		if i == len(s.Counts)-1 || hi > max {
+			hi = max // tighten with the exact maximum
 		}
 		if hi < lo {
+			// Overflow-only (or Max-less) snapshot: the bucket has no
+			// finite upper bound to interpolate toward, so report its
+			// lower bound capped by the tracked maximum.
 			hi = lo
 		}
 		est := lo + (hi-lo)*(rank-float64(cum))/float64(c)
-		return math.Min(est, float64(s.Max))
+		return math.Min(est, max)
 	}
-	return float64(s.Max)
+	return max
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"sync"
 	"testing"
 )
@@ -85,6 +86,46 @@ func TestHistogramEmpty(t *testing.T) {
 	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Count != 0 {
 		t.Errorf("empty histogram: %+v", s)
 	}
+}
+
+// TestQuantileNeverNaN pins the JSON-consumer contract: Quantile returns
+// a finite, non-negative value for every snapshot it can be handed —
+// live, empty, overflow-only, or decoded from inconsistent JSON.
+func TestQuantileNeverNaN(t *testing.T) {
+	finite := func(name string, s HistogramSnapshot) {
+		t.Helper()
+		for _, q := range []float64{0, 0.5, 0.99, 1, -1, 2, math.NaN(), math.Inf(1), math.Inf(-1)} {
+			v := s.Quantile(q)
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Errorf("%s: Quantile(%v) = %v, want finite non-negative", name, q, v)
+			}
+		}
+	}
+
+	finite("empty", HistogramSnapshot{})
+
+	// Single observation past the finite range: only the +Inf overflow
+	// bucket is populated.
+	var h Histogram
+	h.Observe(1 << 40)
+	s := h.snapshot()
+	finite("single overflow", s)
+	if p := s.Quantile(0.5); p <= float64(BucketBound(NumBuckets-1)) || p > 1<<40 {
+		t.Errorf("overflow-only p50 = %v, want in (2^%d, 2^40]", p, NumBuckets-1)
+	}
+	if p := s.Quantile(1); p != 1<<40 {
+		t.Errorf("overflow-only p100 = %v, want the max (%d)", p, int64(1)<<40)
+	}
+
+	// Snapshots a JSON consumer could construct: counts without a
+	// matching Count, an overflow count with no Max, a negative Max,
+	// and a Count with no buckets at all.
+	over := make([]int64, NumBuckets+1)
+	over[NumBuckets] = 7
+	finite("overflow without max", HistogramSnapshot{Count: 7, Counts: over})
+	finite("negative max", HistogramSnapshot{Count: 7, Max: -5, Counts: over})
+	finite("count without buckets", HistogramSnapshot{Count: 3, Max: 100})
+	finite("negative count", HistogramSnapshot{Count: -3, Max: 100, Counts: over})
 }
 
 // TestConcurrentObserve exercises the lock-free paths under -race (see

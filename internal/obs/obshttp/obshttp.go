@@ -6,6 +6,8 @@
 package obshttp
 
 import (
+	"fmt"
+	"html"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -14,15 +16,22 @@ import (
 	"repro/internal/obs"
 )
 
+// A Mount adds an extra endpoint to Handler's mux, listed on the index
+// page under its pattern. velodromed uses this for /debug/velo.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler returns an HTTP handler exposing the registry:
 //
 //	/metrics                Prometheus text (add ?format=json for JSON)
 //	/debug/pprof/...        the standard net/http/pprof profiles
 //	/                       a small index linking the above
 //
-// The pprof handlers are mounted explicitly so the handler works on any
-// mux without touching http.DefaultServeMux.
-func Handler(r *obs.Registry) http.Handler {
+// plus any extra mounts. The pprof handlers are mounted explicitly so
+// the handler works on any mux without touching http.DefaultServeMux.
+func Handler(r *obs.Registry, extra ...Mount) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		snap := r.Snapshot()
@@ -40,17 +49,24 @@ func Handler(r *obs.Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, m := range extra {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		w.Write([]byte(`<html><body><h1>velodrome observability</h1>
+		fmt.Fprint(w, `<html><body><h1>velodrome observability</h1>
 <ul>
 <li><a href="/metrics">/metrics</a> (Prometheus text; <a href="/metrics?format=json">JSON</a>)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a></li>
-</ul></body></html>`))
+`)
+		for _, m := range extra {
+			fmt.Fprintf(w, `<li><a href=%q>%s</a></li>`+"\n", m.Pattern, html.EscapeString(m.Pattern))
+		}
+		fmt.Fprint(w, `</ul></body></html>`)
 	})
 	return mux
 }
@@ -59,12 +75,12 @@ func Handler(r *obs.Registry) http.Handler {
 // goroutine and returns the server and the bound address (useful with
 // ":0"). The caller owns shutdown; for the CLIs the server simply dies
 // with the process.
-func Serve(addr string, r *obs.Registry) (*http.Server, net.Addr, error) {
+func Serve(addr string, r *obs.Registry, extra ...Mount) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := &http.Server{Handler: Handler(r, extra...)}
 	go srv.Serve(ln)
 	return srv, ln.Addr(), nil
 }

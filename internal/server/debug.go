@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// sessionStats is the lock-free per-session publisher behind /debug/velo.
+// The session goroutine stores into the atomics as it works (every op for
+// the cheap counters, every statsEvery ops for the graph snapshot); the
+// debug handler only loads. No field is read-modify-written by more than
+// one goroutine, so plain atomic stores suffice — a reader may see a
+// slightly torn view across fields, which is fine for introspection.
+type sessionStats struct {
+	id      string
+	remote  string
+	started time.Time
+
+	engine      atomic.Pointer[string] // nil until the header is parsed
+	forensics   atomic.Bool
+	ops         atomic.Int64
+	filtered    atomic.Int64
+	nodes       atomic.Int64
+	edges       atomic.Int64
+	warnings    atomic.Int64
+	lastWarning atomic.Pointer[string]
+}
+
+// statsEvery is how many ops pass between graph-stat refreshes on the
+// publisher: frequent enough that /debug/velo tracks a live session,
+// rare enough to stay off the per-op path.
+const statsEvery = 1024
+
+// publishEngine refreshes the graph-derived gauges from the session's
+// checker. Only ever called from the session goroutine that owns the
+// checker — the checker itself is not safe for concurrent use.
+func (st *sessionStats) publishEngine(c core.Checker) {
+	gs := c.Stats()
+	st.nodes.Store(int64(gs.Alive))
+	st.edges.Store(int64(gs.Edges))
+	st.filtered.Store(c.Filtered())
+}
+
+func (st *sessionStats) noteWarning(s string) {
+	st.warnings.Add(1)
+	// Only the first line — a warning renders its whole cycle.
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	st.lastWarning.Store(&s)
+}
+
+// SessionInfo is one active session's row in the /debug/velo listing.
+type SessionInfo struct {
+	Session    string  `json:"session"`
+	Remote     string  `json:"remote"`
+	Engine     string  `json:"engine,omitempty"`
+	Forensics  bool    `json:"forensics,omitempty"`
+	AgeSeconds float64 `json:"ageSeconds"`
+	Ops        int64   `json:"ops"`
+	Filtered   int64   `json:"filtered"`
+	// FilterHitRate is Filtered/Ops — the fraction of the stream the
+	// redundant-event fast path discarded so far.
+	FilterHitRate float64 `json:"filterHitRate"`
+	GraphNodes    int64   `json:"graphNodes"`
+	GraphEdges    int64   `json:"graphEdges"`
+	Warnings      int64   `json:"warnings"`
+	LastWarning   string  `json:"lastWarning,omitempty"`
+}
+
+// DebugState is the full /debug/velo document.
+type DebugState struct {
+	Active      int           `json:"active"`
+	MaxSessions int           `json:"maxSessions"`
+	Draining    bool          `json:"draining"`
+	Sessions    []SessionInfo `json:"sessions"`
+}
+
+// DebugState snapshots the active sessions.
+func (s *Server) DebugState() DebugState {
+	st := DebugState{MaxSessions: s.cfg.MaxSessions}
+	s.mu.Lock()
+	st.Draining = s.draining
+	s.mu.Unlock()
+	s.active.Range(func(_, v any) bool {
+		ss := v.(*sessionStats)
+		info := SessionInfo{
+			Session:    ss.id,
+			Remote:     ss.remote,
+			Forensics:  ss.forensics.Load(),
+			AgeSeconds: time.Since(ss.started).Seconds(),
+			Ops:        ss.ops.Load(),
+			Filtered:   ss.filtered.Load(),
+			GraphNodes: ss.nodes.Load(),
+			GraphEdges: ss.edges.Load(),
+			Warnings:   ss.warnings.Load(),
+		}
+		if e := ss.engine.Load(); e != nil {
+			info.Engine = *e
+		}
+		if w := ss.lastWarning.Load(); w != nil {
+			info.LastWarning = *w
+		}
+		if info.Ops > 0 {
+			info.FilterHitRate = float64(info.Filtered) / float64(info.Ops)
+		}
+		st.Sessions = append(st.Sessions, info)
+		return true
+	})
+	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].Session < st.Sessions[j].Session })
+	st.Active = len(st.Sessions)
+	return st
+}
+
+// DebugHandler serves the live session listing: JSON under
+// ?format=json (or an Accept: application/json header), a minimal HTML
+// table otherwise. Mount it on the daemon's metrics mux as /debug/velo.
+func (s *Server) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		state := s.DebugState()
+		if req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(state)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, `<html><body><h1>velodromed sessions</h1>
+<p>%d active / %d max`, state.Active, state.MaxSessions)
+		if state.Draining {
+			fmt.Fprint(w, " (draining)")
+		}
+		fmt.Fprint(w, ` — <a href="/debug/velo?format=json">JSON</a></p>
+<table border="1" cellpadding="4">
+<tr><th>session</th><th>remote</th><th>engine</th><th>age</th><th>ops</th><th>filter hit</th><th>nodes</th><th>edges</th><th>warnings</th><th>last warning</th></tr>
+`)
+		for _, info := range state.Sessions {
+			engine := info.Engine
+			if info.Forensics {
+				engine += " +forensics"
+			}
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%.1fs</td><td>%d</td><td>%.1f%%</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td></tr>\n",
+				html.EscapeString(info.Session), html.EscapeString(info.Remote), html.EscapeString(engine),
+				info.AgeSeconds, info.Ops, 100*info.FilterHitRate,
+				info.GraphNodes, info.GraphEdges, info.Warnings, html.EscapeString(info.LastWarning))
+		}
+		fmt.Fprint(w, "</table></body></html>\n")
+	})
+}

@@ -1,0 +1,240 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/forensic"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// getDebugState scrapes the JSON rendering of /debug/velo.
+func getDebugState(t *testing.T, url string) DebugState {
+	t.Helper()
+	resp, err := http.Get(url + "?format=json")
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var state DebugState
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatalf("decoding debug state: %v", err)
+	}
+	return state
+}
+
+// TestDebugVeloLiveSessions holds two sessions open mid-stream — one
+// with a warning already recorded, one with forensics requested — and
+// asserts the /debug/velo listing tracks them live: ids, engines, op
+// counts, warning summaries, and the forensics marker.
+func TestDebugVeloLiveSessions(t *testing.T) {
+	s, addr, stop := startServer(t, Config{MaxSessions: 8, Metrics: obs.NewRegistry()})
+	web := httptest.NewServer(s.DebugHandler())
+	defer web.Close()
+
+	// Session one: a complete buggy cycle, held open so it stays active.
+	warm, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	warm.Write(trace.SessionHeader{Engine: "optimized", Name: "warm"}.Encode())
+	warm.Write([]byte("begin.inc(1)\nrd(1,x0)\nwr(2,x0)\nwr(1,x0)\n"))
+
+	// Session two: basic engine with the flight recorder on.
+	cold, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	cold.Write(trace.SessionHeader{Engine: "basic", Forensics: true, Name: "cold"}.Encode())
+	cold.Write([]byte("rd(1,x0)\nwr(1,x0)\n"))
+
+	// The sessions are admitted and stepped asynchronously; poll until
+	// the listing reflects both.
+	var state DebugState
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		state = getDebugState(t, web.URL)
+		warmed := false
+		forensicsOn := false
+		for _, info := range state.Sessions {
+			if info.Engine == "optimized" && info.Warnings >= 1 && info.Ops >= 4 {
+				warmed = true
+			}
+			if info.Engine == "basic" && info.Forensics && info.Ops >= 2 {
+				forensicsOn = true
+			}
+		}
+		if state.Active == 2 && warmed && forensicsOn {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("listing never converged: %+v", state)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if state.MaxSessions != 8 || state.Draining {
+		t.Errorf("state header = %+v, want max 8, not draining", state)
+	}
+	for _, info := range state.Sessions {
+		if !strings.HasPrefix(info.Session, "s") || info.Remote == "" {
+			t.Errorf("session row missing identity: %+v", info)
+		}
+		if info.Engine == "optimized" {
+			if !strings.Contains(info.LastWarning, "inc") {
+				t.Errorf("last warning %q does not name the blamed block", info.LastWarning)
+			}
+			if strings.Contains(info.LastWarning, "\n") {
+				t.Errorf("last warning must be one line: %q", info.LastWarning)
+			}
+		}
+	}
+
+	// The HTML rendering carries the same sessions plus the forensics tag.
+	resp, err := http.Get(web.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"velodromed sessions", "2 active / 8 max", "basic +forensics", "optimized"} {
+		if !strings.Contains(string(html), want) {
+			t.Errorf("HTML listing missing %q:\n%s", want, html)
+		}
+	}
+
+	// Both sessions finish normally and leave the listing.
+	for _, conn := range []net.Conn{warm, cold} {
+		conn.Write([]byte("end(1)\n"))
+		conn.(*net.TCPConn).CloseWrite()
+		if _, err := trace.ReadVerdict(conn); err != nil {
+			t.Fatalf("final verdict: %v", err)
+		}
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for getDebugState(t, web.URL).Active != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sessions never left the listing")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+}
+
+// TestDebugVeloConcurrent is the race exercise: many checking sessions
+// (half with forensics) run while scrapers hammer /debug/velo, so the
+// publisher's stores and the handler's loads overlap constantly. Run
+// under -race. It also pins the verdict contract: session ids are
+// unique, durations set, and forensics verdicts carry one parseable
+// provenance report per warning.
+func TestDebugVeloConcurrent(t *testing.T) {
+	s, addr, stop := startServer(t, Config{MaxSessions: 32, Metrics: obs.NewRegistry()})
+	web := httptest.NewServer(s.DebugHandler())
+	defer web.Close()
+
+	done := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				state := getDebugState(t, web.URL)
+				if state.Active > 32 {
+					t.Errorf("listing exceeds the session cap: %d", state.Active)
+				}
+				resp, err := http.Get(web.URL) // HTML path too
+				if err != nil {
+					t.Errorf("GET html: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	const sessions = 24
+	verdicts := make(chan *trace.SessionVerdict, sessions)
+	var clients sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		clients.Add(1)
+		go func(i int) {
+			defer clients.Done()
+			buggy := i%2 == 0
+			body := cleanTrace()
+			if buggy {
+				body = buggyTrace()
+			}
+			hdr := trace.SessionHeader{Name: fmt.Sprintf("c%d", i), Forensics: i%3 == 0}
+			v, err := CheckReader(addr, hdr, bytes.NewReader(encode(t, body, i%2 == 1)))
+			if err != nil {
+				t.Errorf("session %d: %v", i, err)
+				return
+			}
+			if v.Status != trace.StatusOK {
+				t.Errorf("session %d: verdict %+v", i, v)
+				return
+			}
+			if buggy == v.Serializable {
+				t.Errorf("session %d: serializable=%v for buggy=%v", i, v.Serializable, buggy)
+			}
+			if v.DurationMs < 0 || !strings.HasPrefix(v.Session, "s") {
+				t.Errorf("session %d: verdict identity %q/%dms", i, v.Session, v.DurationMs)
+			}
+			if hdr.Forensics {
+				if len(v.Reports) != len(v.Warnings) {
+					t.Errorf("session %d: %d reports for %d warnings", i, len(v.Reports), len(v.Warnings))
+				}
+				for j, raw := range v.Reports {
+					rep, err := forensic.ParseReport(raw)
+					if err != nil {
+						t.Errorf("session %d report %d: %v", i, j, err)
+						continue
+					}
+					if len(rep.Txns) == 0 || len(rep.Edges) == 0 {
+						t.Errorf("session %d report %d: empty provenance %+v", i, j, rep)
+					}
+				}
+			} else if len(v.Reports) != 0 {
+				t.Errorf("session %d: %d reports without forensics", i, len(v.Reports))
+			}
+			verdicts <- v
+		}(i)
+	}
+	clients.Wait()
+	close(done)
+	scrapers.Wait()
+	close(verdicts)
+
+	ids := map[string]bool{}
+	for v := range verdicts {
+		if ids[v.Session] {
+			t.Errorf("duplicate session id %s", v.Session)
+		}
+		ids[v.Session] = true
+	}
+	stop()
+	if state := s.DebugState(); state.Active != 0 || !state.Draining {
+		t.Errorf("post-drain state %+v, want empty and draining", state)
+	}
+}

@@ -16,14 +16,17 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -64,9 +67,10 @@ type Config struct {
 	// from dozens of concurrent per-session graphs would corrupt the
 	// aggregate. Session-level throughput is recorded here instead.
 	Metrics *obs.Registry
-	// Logf, when non-nil, receives one line per noteworthy event
-	// (session end, shed, panic). Defaults to silent.
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives one structured record per
+	// noteworthy event (session end, shed, panic), each carrying the
+	// session id and remote address. Defaults to silent.
+	Logger *slog.Logger
 
 	// stepHook, when non-nil, observes every op before it reaches the
 	// engine. Tests use it to inject per-session faults (e.g. a panic
@@ -87,8 +91,8 @@ func (c *Config) applyDefaults() {
 	if c.MaxWarnings <= 0 {
 		c.MaxWarnings = 16
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 }
 
@@ -99,6 +103,9 @@ type Server struct {
 	met *serverMetrics
 
 	slots chan struct{} // session-cap semaphore
+
+	seq    atomic.Int64 // session id source
+	active sync.Map     // session id → *sessionStats, for /debug/velo
 
 	mu        sync.Mutex
 	listeners map[net.Listener]bool
@@ -197,7 +204,8 @@ func (s *Server) Serve(ln net.Listener) error {
 		case s.slots <- struct{}{}:
 		default:
 			s.met.shed.Inc()
-			s.cfg.Logf("session shed: %s (cap %d)", conn.RemoteAddr(), s.cfg.MaxSessions)
+			s.cfg.Logger.Warn("session shed",
+				"remote", conn.RemoteAddr().String(), "cap", s.cfg.MaxSessions)
 			// Answer off the accept loop so a slow shed client cannot
 			// stall admission of sessions that would find a free slot.
 			go func(conn net.Conn) {
@@ -295,19 +303,32 @@ func (s *Server) handle(conn net.Conn) {
 	s.met.active.Add(1)
 	defer s.met.active.Add(-1)
 
+	st := &sessionStats{
+		id:      fmt.Sprintf("s%d", s.seq.Add(1)),
+		remote:  conn.RemoteAddr().String(),
+		started: start,
+	}
+	s.active.Store(st.id, st)
+	defer s.active.Delete(st.id)
+	logger := s.cfg.Logger.With("session", st.id, "remote", st.remote)
+
 	dr := &deadlineReader{conn: conn, idle: s.cfg.IdleTimeout}
 	if s.cfg.MaxSessionTime > 0 {
 		dr.absolute = start.Add(s.cfg.MaxSessionTime)
 	}
-	v := s.run(bufio.NewReader(dr))
+	v := s.run(bufio.NewReader(dr), st, logger)
 
-	s.met.observeVerdict(v, time.Since(start))
-	s.cfg.Logf("session %s: status=%s ops=%d warnings=%d in %v",
-		conn.RemoteAddr(), v.Status, v.Ops, len(v.Warnings), time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	v.Session = st.id
+	v.DurationMs = elapsed.Milliseconds()
+	s.met.observeVerdict(v, elapsed)
+	logger.Info("session complete",
+		"engine", v.Engine, "status", v.Status, "ops", v.Ops,
+		"warnings", len(v.Warnings), "duration", elapsed.Round(time.Millisecond).String())
 
 	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
 	if err := trace.WriteVerdict(conn, v); err != nil {
-		s.cfg.Logf("session %s: writing verdict: %v", conn.RemoteAddr(), err)
+		logger.Warn("writing verdict failed", "error", err)
 	}
 }
 
@@ -315,14 +336,14 @@ func (s *Server) handle(conn net.Conn) {
 // mode — bad header, malformed ops, engine panic — into a verdict. It
 // never lets a panic escape: one poisoned session must not take down
 // the daemon.
-func (s *Server) run(br *bufio.Reader) (v *trace.SessionVerdict) {
+func (s *Server) run(br *bufio.Reader, st *sessionStats, logger *slog.Logger) (v *trace.SessionVerdict) {
 	// ops and its drain are declared here so the recover path can unblock
 	// a decode goroutine stuck sending to a consumer that panicked away.
 	var ops chan trace.Op
 	defer func() {
 		if r := recover(); r != nil {
 			s.met.panics.Inc()
-			s.cfg.Logf("session panic: %v\n%s", r, debug.Stack())
+			logger.Error("session panic", "panic", fmt.Sprint(r), "stack", string(debug.Stack()))
 			if ops != nil {
 				go func() {
 					for range ops {
@@ -340,7 +361,7 @@ func (s *Server) run(br *bufio.Reader) (v *trace.SessionVerdict) {
 	if err != nil {
 		return &trace.SessionVerdict{Status: trace.StatusMalformed, Error: err.Error()}
 	}
-	opts := core.Options{Engine: s.cfg.DefaultEngine, MaxWarnings: s.cfg.MaxWarnings}
+	opts := core.Options{Engine: s.cfg.DefaultEngine, MaxWarnings: s.cfg.MaxWarnings, Forensics: hdr.Forensics}
 	engineName := "optimized"
 	switch hdr.Engine {
 	case "":
@@ -358,6 +379,8 @@ func (s *Server) run(br *bufio.Reader) (v *trace.SessionVerdict) {
 			Error:  fmt.Sprintf("unknown engine %q (want optimized or basic)", hdr.Engine),
 		}
 	}
+	st.engine.Store(&engineName)
+	st.forensics.Store(hdr.Forensics)
 
 	dec := trace.NewDecoder(br)
 
@@ -389,10 +412,17 @@ func (s *Server) run(br *bufio.Reader) (v *trace.SessionVerdict) {
 		if s.cfg.stepHook != nil {
 			s.cfg.stepHook(op)
 		}
-		checker.Step(op)
+		if w := checker.Step(op); w != nil {
+			st.noteWarning(w.String())
+		}
 		n++
 		s.met.ops.Inc()
+		st.ops.Store(n)
+		if n%statsEvery == 0 {
+			st.publishEngine(checker)
+		}
 	}
+	st.publishEngine(checker)
 	derr := <-decodeErr
 
 	v = &trace.SessionVerdict{
@@ -411,6 +441,13 @@ func (s *Server) run(br *bufio.Reader) (v *trace.SessionVerdict) {
 			break
 		}
 		v.Warnings = append(v.Warnings, w.String())
+		if rep := w.Forensics(); rep != nil {
+			line, merr := rep.MarshalJSONLine()
+			if merr != nil {
+				line = []byte("null") // keep Reports aligned with Warnings
+			}
+			v.Reports = append(v.Reports, json.RawMessage(line))
+		}
 	}
 	switch {
 	case derr != nil:

@@ -34,6 +34,10 @@ type SessionHeader struct {
 	// Name optionally labels the session for logs and diagnostics. It
 	// may not contain spaces, '=' or control characters.
 	Name string
+	// Forensics asks the server to run the engine with the event flight
+	// recorder enabled and attach a provenance report per warning to the
+	// verdict. Off by default: forensics costs per-op recording.
+	Forensics bool
 }
 
 // Encode renders the header as its one-line wire form.
@@ -47,6 +51,9 @@ func (h SessionHeader) Encode() []byte {
 	if h.Name != "" {
 		b.WriteString(" name=")
 		b.WriteString(h.Name)
+	}
+	if h.Forensics {
+		b.WriteString(" forensics=1")
 	}
 	b.WriteByte('\n')
 	return []byte(b.String())
@@ -86,6 +93,8 @@ func ReadSessionHeader(br *bufio.Reader) (SessionHeader, error) {
 			h.Engine = val
 		case "name":
 			h.Name = val
+		case "forensics":
+			h.Forensics = val == "1" || val == "true"
 		}
 	}
 	return h, nil
@@ -110,11 +119,23 @@ const (
 
 // SessionVerdict is the server's one-line JSON reply.
 type SessionVerdict struct {
-	Status       string   `json:"status"`
+	Status string `json:"status"`
+	// Session is the server-assigned session id ("s17"), echoed so a
+	// client can correlate its verdict with the daemon's logs and the
+	// /debug/velo listing. Empty for connections shed before admission.
+	Session      string   `json:"session,omitempty"`
 	Engine       string   `json:"engine,omitempty"`
 	Serializable bool     `json:"serializable"`
 	Ops          int64    `json:"ops"`
-	Warnings     []string `json:"warnings,omitempty"`
+	// DurationMs is the server-side wall-clock time of the session in
+	// milliseconds, header to verdict.
+	DurationMs int64    `json:"durationMs"`
+	Warnings   []string `json:"warnings,omitempty"`
+	// Reports carries one forensic provenance report per entry of
+	// Warnings (same order) when the header requested forensics. Each is
+	// a raw forensic.Report JSON object; this package keeps it opaque so
+	// the wire format does not depend on the engine packages.
+	Reports []json.RawMessage `json:"reports,omitempty"`
 	// Comments are the "#" comment lines seen in a text stream, in
 	// order — instrumented programs report their emission counters this
 	// way, and clients cross-check them against Ops.

@@ -177,6 +177,18 @@ func (tr Trace) Threads() []Tid {
 // non-negative ids.
 const forkVarBase = 1 << 24
 
+// TokenVar reports whether x is one of Desugar's synthetic fork/join
+// token variables, and if so which thread it orders and whether it is the
+// join (vs. fork) token. Diagnostic renderers use it to print token
+// accesses by their meaning instead of as a raw variable id.
+func TokenVar(x Var) (other Tid, join bool, ok bool) {
+	if x < forkVarBase {
+		return 0, false, false
+	}
+	off := int32(x - forkVarBase)
+	return Tid(off / 2), off%2 == 1, true
+}
+
 // Desugar rewrites Fork and Join operations into conflicting accesses on a
 // synthetic per-thread token variable, following footnote 2 of the paper:
 // fork(t,u) becomes wr(t, tok_u) and the spawned thread's first event is
