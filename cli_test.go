@@ -13,6 +13,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/span"
 )
 
 // buildTools compiles the three commands once per test binary.
@@ -701,6 +703,216 @@ func TestCLIVeloinstrPruneSound(t *testing.T) {
 		if !strings.Contains(outN, " 0 pruned)") {
 			t.Errorf("%s: -noprune must not prune:\n%s", ex, outN)
 		}
+	}
+}
+
+// TestCLITracecheckTraceOut records a filter-heavy workload, checks it
+// locally with -trace-out, and asserts the exported file is valid
+// Chrome trace-event JSON with the pipeline's decode → check →
+// filter/graph nesting. -trace-out with -server is a usage error: the
+// daemon traces its own sessions.
+func TestCLITracecheckTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "multiset.bin")
+	if out, code := runTool(t, "velodrome", "-workload", "multiset", "-record", tracePath); code != 0 {
+		t.Fatalf("record: exit %d:\n%s", code, out)
+	}
+	outPath := filepath.Join(dir, "pipeline.trace.json")
+	out, code := runTool(t, "tracecheck", "-q", "-trace-out", outPath, tracePath)
+	if code != 1 {
+		t.Fatalf("multiset must stay non-serializable; exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "wrote pipeline trace to "+outPath) {
+		t.Errorf("missing trace-out notice:\n%s", out)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := span.ValidateChrome(data)
+	if err != nil || n == 0 {
+		t.Fatalf("exported trace invalid (%d spans): %v", n, err)
+	}
+	for _, nest := range [][2]string{
+		{"decode", "session"},
+		{"check", "session"},
+		{"filter", "check"},
+		{"graph", "check"},
+	} {
+		if !span.FindSpan(data, nest[0], nest[1]) {
+			t.Errorf("trace missing %q nested under %q", nest[0], nest[1])
+		}
+	}
+	if out, code := runTool(t, "tracecheck", "-trace-out", outPath, "-server", "127.0.0.1:1", tracePath); code != 2 ||
+		!strings.Contains(out, "-trace-out only applies to local checking") {
+		t.Errorf("-trace-out with -server: exit %d:\n%s", code, out)
+	}
+}
+
+// TestCLIVelodromedSessionHistory drives the daemon's whole
+// observability surface over HTTP: velo_build_info on /metrics, the
+// verdict history on /api/sessions (list, per-id, 404), the /debug/velo
+// recent table with its per-session drill-down, the per-stage span
+// metrics in verdicts, and the -trace-dir Chrome export.
+func TestCLIVelodromedSessionHistory(t *testing.T) {
+	traceDir := t.TempDir()
+	cmd := exec.Command(filepath.Join(tools(t), "velodromed"),
+		"-listen", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0", "-trace-dir", traceDir)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("velodromed did not drain cleanly: %v", err)
+		}
+	}()
+	// Collect both announces: the metrics URL and the trace listener.
+	br := bufio.NewReader(stderr)
+	var base, addr string
+	for base == "" || addr == "" {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading announces: %v", err)
+		}
+		if i := strings.Index(line, "url=http://"); i >= 0 {
+			base = strings.TrimSpace(line[i+len("url="):])
+			if j := strings.IndexByte(base, ' '); j >= 0 {
+				base = base[:j]
+			}
+		}
+		if strings.Contains(line, "msg=listening") {
+			if i := strings.Index(line, "addr="); i >= 0 {
+				addr = strings.TrimSpace(line[i+len("addr="):])
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
+			}
+		}
+	}
+	go io.Copy(io.Discard, br)
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	if _, body := get("/metrics"); !strings.Contains(string(body), "velo_build_info{") ||
+		!strings.Contains(string(body), "velo_process_start_time_seconds") {
+		t.Errorf("/metrics missing build info:\n%.800s", body)
+	}
+
+	// One forensics session: its history record must carry the warning
+	// digest, span summary, provenance report and trace file.
+	out, code := runTool(t, "tracecheck", "-server", addr, "-explain", "testdata/setadd.txt")
+	if code != 1 {
+		t.Fatalf("setadd via daemon: exit %d:\n%s", code, out)
+	}
+
+	code, body := get("/api/sessions")
+	if code != 200 {
+		t.Fatalf("/api/sessions: status %d", code)
+	}
+	var page struct {
+		Total    int64 `json:"total"`
+		Sessions []struct {
+			Session      string `json:"session"`
+			Serializable bool   `json:"serializable"`
+			Warnings     []string
+			Spans        *struct {
+				Stages map[string]struct {
+					Count int64 `json:"count"`
+					Ns    int64 `json:"ns"`
+				} `json:"stages"`
+			} `json:"spans"`
+			TraceFile string `json:"traceFile"`
+		} `json:"sessions"`
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatalf("session list: %v\n%s", err, body)
+	}
+	if page.Total != 1 || len(page.Sessions) != 1 {
+		t.Fatalf("list %s, want exactly the one session", body)
+	}
+	rec := page.Sessions[0]
+	if rec.Serializable || len(rec.Warnings) == 0 || !strings.Contains(rec.Warnings[0], "Set.add") {
+		t.Errorf("record %+v, want a Set.add warning digest", rec)
+	}
+	if rec.Spans == nil || rec.Spans.Stages["decode"].Ns <= 0 || rec.Spans.Stages["graph"].Ns <= 0 {
+		t.Errorf("record missing stage rollup: %s", body)
+	}
+	if code, body := get("/api/sessions/" + rec.Session); code != 200 ||
+		!strings.Contains(string(body), `"reports"`) {
+		t.Errorf("per-id record: status %d\n%s", code, body)
+	}
+	if code, _ := get("/api/sessions/s999"); code != 404 {
+		t.Errorf("unknown session: status %d, want 404", code)
+	}
+
+	// The exported per-session timeline is valid Chrome trace JSON.
+	if !strings.HasPrefix(rec.TraceFile, traceDir) {
+		t.Fatalf("trace file %q not under -trace-dir %q", rec.TraceFile, traceDir)
+	}
+	data, err := os.ReadFile(rec.TraceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := span.ValidateChrome(data); err != nil || n == 0 {
+		t.Fatalf("session trace invalid (%d spans): %v", n, err)
+	}
+	if !span.FindSpan(data, "decode", "session") || !span.FindSpan(data, "verdict", "session") {
+		t.Errorf("session trace missing pipeline nesting:\n%s", data)
+	}
+
+	// The dashboard lists the session and drills into its warning + DOT.
+	code, body = get("/debug/velo")
+	if code != 200 || !strings.Contains(string(body), "?session="+rec.Session) {
+		t.Errorf("dashboard missing recent session: status %d\n%s", code, body)
+	}
+	code, body = get("/debug/velo?session=" + rec.Session)
+	if code != 200 {
+		t.Fatalf("drill-down: status %d", code)
+	}
+	for _, want := range []string{rec.Session, "Set.add", "digraph velodrome", "decode", "graph"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("drill-down missing %q:\n%s", want, body)
+		}
+	}
+	if code, _ = get("/debug/velo?session=s999"); code != 404 {
+		t.Errorf("drill-down for unknown session: status %d, want 404", code)
+	}
+}
+
+// TestCLIVelobenchTraceOut checks the experiment timeline export: one
+// span per experiment under the velobench root.
+func TestCLIVelobenchTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.trace.json")
+	out, code := runTool(t, "velobench", "-table", "2", "-seeds", "1", "-trace-out", path)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "wrote experiment timeline to "+path) {
+		t.Errorf("missing timeline notice:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := span.ValidateChrome(data); err != nil || n == 0 {
+		t.Fatalf("timeline invalid (%d spans): %v", n, err)
+	}
+	if !span.FindSpan(data, "table2", "velobench") {
+		t.Errorf("timeline missing table2 under velobench:\n%s", data)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serial"
 	"repro/internal/server"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -49,6 +50,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print a provenance report per warning (implies -forensics; works in -server mode too)")
 	inFlag := flag.String("in", "", "trace input: a file name or - for standard input (alternative to the positional argument)")
 	serverAddr := flag.String("server", "", "check via a velodromed daemon at this address (host:port or unix:/path) instead of locally")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event timeline of the local pipeline (decode, check, oracle, dot) to this file")
 	var oflags obs.CLIFlags
 	oflags.Register(flag.CommandLine, obs.FlagProfile)
 	flag.Parse()
@@ -81,6 +83,10 @@ func main() {
 	}
 
 	if *serverAddr != "" {
+		if *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "tracecheck: -trace-out only applies to local checking (the daemon traces sessions itself; see velodromed -trace-dir)")
+			os.Exit(2)
+		}
 		// Client mode: stream the raw bytes to the daemon and relay its
 		// verdict, mapping statuses onto the local exit convention.
 		hdr := trace.SessionHeader{Engine: *engine, Forensics: *forensics}
@@ -114,6 +120,21 @@ func main() {
 		os.Exit(v.ExitCode())
 	}
 
+	// The pipeline tracer (nil when -trace-out is unset, and then every
+	// span call below is an inert pointer test — the traced and untraced
+	// paths run the same code).
+	var tracer *span.Tracer
+	var sb *span.Buf
+	var root span.SpanID
+	if *traceOut != "" {
+		tracer = span.New()
+		sb = tracer.Buffer("tracecheck")
+		root = sb.Start("session", 0)
+		sb.AttrStr(root, "input", name)
+		sb.AttrStr(root, "engine", *engine)
+	}
+
+	loadStart := tracer.Now()
 	tr, err := trace.ReadAuto(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
@@ -127,8 +148,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracecheck: ill-formed trace:", err)
 		os.Exit(2)
 	}
+	if sb != nil {
+		sb.AddStage(span.StageDecode, tracer.Now()-loadStart)
+		id := sb.Emit("decode", root, loadStart, tracer.Now())
+		sb.AttrInt(id, "ops", int64(len(tr)))
+	}
 
-	opts := core.Options{NoFilter: *noFilter, Forensics: *forensics}
+	opts := core.Options{NoFilter: *noFilter, Forensics: *forensics, Spans: sb}
 	if *engine == "basic" {
 		opts.Engine = core.Basic
 	}
@@ -141,8 +167,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
 		os.Exit(2)
 	}
-	// finish finalizes the profile and snapshot before exiting, since
-	// os.Exit skips deferred calls.
+	// finish finalizes the profile, snapshot and pipeline trace before
+	// exiting, since os.Exit skips deferred calls.
 	finish := func(code int) {
 		if err := stopProf(); err != nil {
 			fmt.Fprintln(os.Stderr, "tracecheck: profile:", err)
@@ -150,10 +176,33 @@ func main() {
 		if *obsJSON {
 			reg.Snapshot().WriteJSON(os.Stderr)
 		}
+		if tracer != nil {
+			sb.End(root)
+			sb.Flush()
+			if err := tracer.WriteChromeFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "tracecheck: trace-out:", err)
+				if code == 0 {
+					code = 2
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "tracecheck: wrote pipeline trace to %s\n", *traceOut)
+			}
+		}
 		os.Exit(code)
 	}
+	checkStart := tracer.Now()
 	res := core.CheckTrace(tr, opts)
+	if sb != nil {
+		now := tracer.Now()
+		chk := sb.Emit("check", root, checkStart, now)
+		sb.AttrInt(chk, "ops", int64(len(tr)))
+		sb.AttrInt(chk, "warnings", int64(len(res.Warnings)))
+		sb.EmitStages(chk, checkStart, now, nil,
+			span.StageFilter, span.StageGraph, span.StageForensics)
+	}
+	oracleStart := tracer.Now()
 	offline, _ := serial.Check(tr)
+	sb.Emit("oracle", root, oracleStart, tracer.Now())
 	if offline != res.Serializable {
 		fmt.Fprintln(os.Stderr, "tracecheck: INTERNAL DISAGREEMENT between online and offline checkers")
 		finish(2)
@@ -173,6 +222,7 @@ func main() {
 		}
 	}
 	if *dotOut != "" {
+		dotStart := tracer.Now()
 		out := dot.RenderAll(res.Warnings)
 		if *forensics {
 			var b strings.Builder
@@ -192,6 +242,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tracecheck:", err)
 			finish(2)
 		}
+		sb.Emit("dot", root, dotStart, tracer.Now())
 	}
 	finish(1)
 }

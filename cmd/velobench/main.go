@@ -25,6 +25,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
 	"repro/internal/report"
+	"repro/internal/span"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 	detail := flag.Bool("detail", false, "list flagged methods per benchmark (table 2)")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "with -replay: write per-event-kind latency quantiles to this file (empty to disable)")
 	baselineOut := flag.String("baseline-out", "BENCH_core.json", "with -baseline: write the filter baseline to this file (empty to disable)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event timeline with one span per experiment to this file")
 	var oflags obs.CLIFlags
 	oflags.Register(flag.CommandLine, obs.FlagMetrics|obs.FlagProfile)
 	flag.Parse()
@@ -85,10 +87,27 @@ func main() {
 			logger.Info("wrote profile", "kind", oflags.Profile, "path", profPath)
 		}
 	}()
+	// The experiment tracer: inert (nil) without -trace-out. Each
+	// experiment becomes one span on the exported timeline.
+	var tracer *span.Tracer
+	var sb *span.Buf
+	var root span.SpanID
+	if *traceOut != "" {
+		tracer = span.New()
+		sb = tracer.Buffer("velobench")
+		root = sb.Start("velobench", 0)
+	}
 	ran := false
-	mark := func() { ran = true; experiments.Inc() }
+	// mark opens one experiment: it flips the ran flag, counts the
+	// experiment, and returns a closure that closes its span.
+	mark := func(name string) func() {
+		ran = true
+		experiments.Inc()
+		id := sb.Start(name, root)
+		return func() { sb.End(id) }
+	}
 	if *table == 1 || *all {
-		mark()
+		done := mark("table1")
 		var rows []exper.Table1Row
 		if *specFiltered {
 			fmt.Println("(known non-atomic methods exempted, as in the paper's measurement setup)")
@@ -98,9 +117,10 @@ func main() {
 		}
 		report.Table1(os.Stdout, rows)
 		fmt.Println()
+		done()
 	}
 	if *table == 2 || *all {
-		mark()
+		done := mark("table2")
 		rows := exper.Table2(seedList, *scale, *adversarial)
 		if *adversarial {
 			fmt.Println("(adversarial scheduling enabled)")
@@ -111,9 +131,10 @@ func main() {
 			report.MethodDetail(os.Stdout, rows)
 		}
 		fmt.Println()
+		done()
 	}
 	if *replay || *all {
-		mark()
+		done := mark("replay")
 		rows := exper.Replay(seedList[0], *scale*10)
 		report.Replay(os.Stdout, rows)
 		fmt.Println()
@@ -134,9 +155,10 @@ func main() {
 			}
 			fmt.Printf("wrote per-event-kind latency quantiles to %s\n\n", *obsOut)
 		}
+		done()
 	}
 	if *baseline || *all {
-		mark()
+		done := mark("baseline")
 		rep := exper.Baseline(seedList[0], *scale*10)
 		report.Baseline(os.Stdout, rep)
 		fmt.Println()
@@ -154,33 +176,47 @@ func main() {
 			}
 			fmt.Printf("wrote filter baseline to %s\n\n", *baselineOut)
 		}
+		done()
 	}
 	if *inject || *all {
-		mark()
+		done := mark("inject")
 		res := exper.Inject([]string{"elevator", "colt"}, seedList, *scale)
 		report.Inject(os.Stdout, res)
 		fmt.Println()
+		done()
 	}
 	if *coverage || *all {
-		mark()
+		done := mark("coverage")
 		report.Coverage(os.Stdout, exper.Coverage(seedList, *scale))
 		fmt.Println()
+		done()
 	}
 	if *ablate || *all {
-		mark()
+		done := mark("ablate")
 		rows := exper.Ablate(seedList[0], *scale*5)
 		report.Ablate(os.Stdout, rows)
 		fmt.Println()
+		done()
 	}
 	if *policyStudy || *all {
-		mark()
+		done := mark("policies")
 		res := exper.PolicyStudy([]string{"elevator", "colt"}, seedList, *scale)
 		report.Policies(os.Stdout, res)
 		fmt.Println()
+		done()
 	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if tracer != nil {
+		sb.End(root)
+		sb.Flush()
+		if err := tracer.WriteChromeFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "velobench: trace-out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote experiment timeline to %s\n", *traceOut)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
 	"repro/internal/rr"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -48,6 +49,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run on real goroutines instead of the deterministic scheduler")
 	forensics := flag.Bool("forensics", false, "enable the event flight recorder (provenance reports on warnings)")
 	explain := flag.Bool("explain", false, "print a provenance report per warning (implies -forensics)")
+	traceOut := flag.String("trace-out", "", "with -backend velodrome: write a Chrome trace-event timeline of the run (check, filter, graph stages) to this file")
 	var oflags obs.CLIFlags
 	oflags.Register(flag.CommandLine, obs.FlagMetrics|obs.FlagProfile|obs.FlagHeartbeat)
 	flag.Parse()
@@ -109,11 +111,28 @@ func main() {
 		}
 	}()
 
+	// The pipeline tracer: inert (nil) without -trace-out, so the traced
+	// and untraced paths run identical code. The scheduler serializes
+	// backend calls, so one buffer serves the whole run.
+	var tracer *span.Tracer
+	var sbuf *span.Buf
+	var root span.SpanID
+	if *traceOut != "" {
+		if *backend != "velodrome" {
+			fmt.Fprintln(os.Stderr, "velodrome: -trace-out requires -backend velodrome")
+			os.Exit(2)
+		}
+		tracer = span.New()
+		sbuf = tracer.Buffer("velodrome")
+		root = sbuf.Start("run", 0)
+		sbuf.AttrStr(root, "workload", w.Name)
+	}
+
 	var be rr.Backend
 	var velo *rr.Velodrome
 	switch *backend {
 	case "velodrome":
-		velo = rr.NewVelodrome(core.Options{NoMerge: *noMerge, NoFilter: *noFilter, Metrics: reg, Forensics: *forensics})
+		velo = rr.NewVelodrome(core.Options{NoMerge: *noMerge, NoFilter: *noFilter, Metrics: reg, Forensics: *forensics, Spans: sbuf})
 		be = velo
 	case "atomizer":
 		be = rr.NewAtomizer()
@@ -149,9 +168,26 @@ func main() {
 		})
 		defer stopHB()
 	}
+	checkStart := tracer.Now()
 	rep := rr.Run(opts, func(t *rr.Thread) {
 		w.Body(t, bench.Params{Scale: *scale})
 	})
+	if sbuf != nil {
+		// rr.Run has returned, so every backend Step (and its AddStage
+		// bookkeeping) is sequenced before this point.
+		now := tracer.Now()
+		chk := sbuf.Emit("check", root, checkStart, now)
+		sbuf.AttrInt(chk, "events", int64(rep.Events))
+		sbuf.EmitStages(chk, checkStart, now, nil,
+			span.StageFilter, span.StageGraph, span.StageForensics)
+		sbuf.End(root)
+		sbuf.Flush()
+		if err := tracer.WriteChromeFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "velodrome: trace-out:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "velodrome: wrote pipeline trace to %s\n", *traceOut)
+	}
 	if *record != "" {
 		f, err := os.Create(*record)
 		if err != nil {

@@ -51,6 +51,9 @@ func run() int {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "on SIGINT/SIGTERM, let in-flight sessions finish this long before cutting them")
 	bufferOps := flag.Int("buffer-ops", 1024, "decoded ops buffered ahead of each session's engine (backpressure bound)")
 	engine := flag.String("engine", "optimized", "default analysis engine for sessions that name none: optimized or basic")
+	spanTrace := flag.Bool("span-trace", true, "trace each session's pipeline stages (decode/filter/graph/forensics); summaries land in verdicts, /api/sessions and /debug/velo")
+	traceDir := flag.String("trace-dir", "", "write each session's full span timeline as <dir>/<session>.trace.json (Chrome trace-event format)")
+	history := flag.Int("history", server.DefaultHistorySize, "completed sessions retained for /api/sessions and the /debug/velo dashboard")
 	quiet := flag.Bool("q", false, "suppress per-session log lines")
 	var oflags obs.CLIFlags
 	oflags.Register(flag.CommandLine, obs.FlagMetrics)
@@ -71,6 +74,19 @@ func run() int {
 		MaxSessionTime: *sessionTimeout,
 		BufferOps:      *bufferOps,
 		Metrics:        obs.NewRegistry(),
+		NoSpans:        !*spanTrace,
+		TraceDir:       *traceDir,
+		HistorySize:    *history,
+	}
+	if *traceDir != "" {
+		if !*spanTrace {
+			fmt.Fprintln(os.Stderr, "velodromed: -trace-dir requires -span-trace")
+			return 2
+		}
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "velodromed:", err)
+			return 2
+		}
 	}
 	switch *engine {
 	case "optimized":
@@ -87,13 +103,14 @@ func run() int {
 	s := server.New(cfg)
 	if oflags.MetricsAddr != "" {
 		_, addr, err := obshttp.Serve(oflags.MetricsAddr, cfg.Metrics,
-			obshttp.Mount{Pattern: "/debug/velo", Handler: s.DebugHandler()})
+			obshttp.Mount{Pattern: "/debug/velo", Handler: s.DebugHandler()},
+			obshttp.Mount{Pattern: "/api/sessions/", Handler: s.History().APIHandler()})
 		if err != nil {
 			logger.Error("metrics server failed", "error", err)
 			return 2
 		}
 		logger.Info("serving metrics", "url", "http://"+addr.String(),
-			"endpoints", "/metrics /debug/pprof/ /debug/velo")
+			"endpoints", "/metrics /debug/pprof/ /debug/velo /api/sessions")
 	}
 
 	// Catch signals before announcing any listener: a supervisor that

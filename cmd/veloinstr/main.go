@@ -32,6 +32,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serial"
 	"repro/internal/server"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -45,6 +46,7 @@ func run() int {
 	outDir := flag.String("o", "", "write the instrumented package to this directory")
 	noprune := flag.Bool("noprune", false, "emit events even for accesses the analysis proved redundant")
 	traceOut := flag.String("trace", "", "with -run: also save the collected trace to this file")
+	spanOut := flag.String("trace-out", "", "with -run: write a Chrome trace-event timeline of the pipeline (instrument, execute, check, oracle) to this file")
 	obsJSON := flag.Bool("obs-json", false, "with -run: emit the obs snapshot (instr + engine metrics) as JSON on stderr")
 	serverAddr := flag.String("server", "", "with -run: stream the trace to a velodromed daemon at this address instead of checking locally")
 	var oflags obs.CLIFlags
@@ -58,12 +60,29 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "usage: veloinstr [-analyze | -run] [-o dir] [-noprune] [-server addr] <package dir>")
 		return 2
 	}
-	if *serverAddr != "" && (!*doRun || *traceOut != "" || *obsJSON) {
-		fmt.Fprintln(os.Stderr, "veloinstr: -server requires -run and is incompatible with -trace and -obs-json")
+	if *serverAddr != "" && (!*doRun || *traceOut != "" || *obsJSON || *spanOut != "") {
+		fmt.Fprintln(os.Stderr, "veloinstr: -server requires -run and is incompatible with -trace, -trace-out and -obs-json")
+		return 2
+	}
+	if *spanOut != "" && !*doRun {
+		fmt.Fprintln(os.Stderr, "veloinstr: -trace-out requires -run")
 		return 2
 	}
 	dir := flag.Arg(0)
 
+	// The pipeline tracer: inert (nil) without -trace-out, so both paths
+	// run the same code.
+	var tracer *span.Tracer
+	var sb *span.Buf
+	var root span.SpanID
+	if *spanOut != "" {
+		tracer = span.New()
+		sb = tracer.Buffer("veloinstr")
+		root = sb.Start("run", 0)
+		sb.AttrStr(root, "package", dir)
+	}
+
+	instStart := tracer.Now()
 	pkg, err := instr.Load(dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "veloinstr:", err)
@@ -92,6 +111,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "veloinstr:", err)
 		return 2
 	}
+	sb.Emit("instrument", root, instStart, tracer.Now())
 
 	if !*doRun {
 		if *outDir != "" {
@@ -136,10 +156,15 @@ func run() int {
 	reg.Gauge("instr_sites_emitted").Set(int64(out.SitesEmitted))
 	reg.Gauge("instr_sites_pruned").Set(int64(out.SitesPruned))
 
+	execStart := tracer.Now()
 	tr, runtimeComments, err := execAndCollect(runDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "veloinstr:", err)
 		return 2
+	}
+	if sb != nil {
+		id := sb.Emit("execute", root, execStart, tracer.Now())
+		sb.AttrInt(id, "ops", int64(len(tr)))
 	}
 	if len(tr) == 0 {
 		fmt.Fprintln(os.Stderr, "veloinstr: empty trace: the instrumented program emitted 0 operations (crashed before its first event?)")
@@ -172,13 +197,33 @@ func run() int {
 	}
 
 	// Both engines walk the same trace; the offline oracle arbitrates.
+	basicStart := tracer.Now()
 	basic := core.CheckTrace(tr, core.Options{Engine: core.Basic})
-	optOpts := core.Options{Engine: core.Optimized}
+	sb.Emit("check:basic", root, basicStart, tracer.Now())
+	optOpts := core.Options{Engine: core.Optimized, Spans: sb}
 	if *obsJSON {
 		optOpts.Metrics = reg
 	}
+	optStart := tracer.Now()
 	optimized := core.CheckTrace(tr, optOpts)
+	if sb != nil {
+		now := tracer.Now()
+		chk := sb.Emit("check:optimized", root, optStart, now)
+		sb.AttrInt(chk, "ops", int64(len(tr)))
+		sb.EmitStages(chk, optStart, now, nil, span.StageFilter, span.StageGraph)
+	}
+	oracleStart := tracer.Now()
 	offline, _ := serial.Check(tr)
+	sb.Emit("oracle", root, oracleStart, tracer.Now())
+	if tracer != nil {
+		sb.End(root)
+		sb.Flush()
+		if err := tracer.WriteChromeFile(*spanOut); err != nil {
+			fmt.Fprintln(os.Stderr, "veloinstr: trace-out:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "veloinstr: wrote pipeline trace to %s\n", *spanOut)
+	}
 
 	reg.Counter("instr_trace_ops").Add(int64(len(tr)))
 	if *obsJSON {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -59,12 +60,20 @@ func (c *basicChecker) checkedDepth(t trace.Tid) int {
 
 // Step implements Checker.
 func (c *basicChecker) Step(op trace.Op) *Warning {
-	if c.met == nil {
+	if c.met == nil && c.opts.Spans == nil {
 		return c.step(op)
 	}
 	start := time.Now()
+	filteredBefore := c.filtered
+	forensicBefore := c.opts.Spans.StageNs(span.StageForensics)
 	w := c.step(op)
-	c.met.observe(op, w, time.Since(start))
+	d := time.Since(start)
+	if c.met != nil {
+		c.met.observe(op, w, d)
+	}
+	if c.opts.Spans != nil {
+		c.spanStep(d, filteredBefore, forensicBefore)
+	}
 	return w
 }
 

@@ -15,10 +15,12 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/forensic"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -75,6 +77,14 @@ type Options struct {
 	// graph's allocation gauges (see internal/obs). Nil disables all
 	// instrumentation, including the timing calls on the hot path.
 	Metrics *obs.Registry
+	// Spans, when non-nil, attributes each Step's latency to the span
+	// tracer's filter/graph/forensics stage accumulators and records a
+	// marker span per warning (see internal/span). The buffer must be
+	// owned by the goroutine calling Step. Nil — the default — keeps the
+	// hot path free of clock reads, exactly like a nil Metrics registry;
+	// spans never read or write engine state, so verdicts, warning
+	// positions and blame are bit-identical with tracing on or off.
+	Spans *span.Buf
 	// Ignore names atomic blocks exempted from checking (the paper's
 	// atomicity specification, Section 5: the tool takes "a specification
 	// of which methods in that program should be atomic"). An ignored
@@ -272,10 +282,43 @@ func (c *common) filterHit() {
 
 // Graph implements Checker.
 func (c *common) Graph() *graph.Graph { return c.g }
+
+// spanStep attributes one completed Step to the filter or graph stage,
+// excluding any nanoseconds record separately booked to forensics
+// assembly during the same call.
+func (c *common) spanStep(d time.Duration, filteredBefore, forensicNsBefore int64) {
+	b := c.opts.Spans
+	ns := int64(d) - (b.StageNs(span.StageForensics) - forensicNsBefore)
+	if ns < 0 {
+		ns = 0
+	}
+	if c.filtered != filteredBefore {
+		b.AddStage(span.StageFilter, ns)
+	} else {
+		b.AddStage(span.StageGraph, ns)
+	}
+}
+
 func (c *common) record(w *Warning) *Warning {
 	if c.rec != nil {
 		// Eager: the flight-recorder windows are only valid right now.
-		w.report = c.buildReport(w)
+		if b := c.opts.Spans; b != nil {
+			t0 := time.Now()
+			w.report = c.buildReport(w)
+			b.AddStage(span.StageForensics, int64(time.Since(t0)))
+		} else {
+			w.report = c.buildReport(w)
+		}
+	}
+	if b := c.opts.Spans; b != nil {
+		// A zero-length marker makes the warning findable on the
+		// timeline amid the batch spans the drivers emit.
+		id := b.Start("warning", 0)
+		b.AttrInt(id, "op", int64(w.OpIndex))
+		if w.Blamed != nil {
+			b.AttrStr(id, "blamed", w.Blamed.String())
+		}
+		b.End(id)
 	}
 	if len(c.warns) < c.opts.MaxWarnings {
 		c.warns = append(c.warns, w)

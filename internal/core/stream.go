@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"io"
+	"time"
 
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -30,9 +32,20 @@ var ErrEmptyStream = errors.New("core: empty trace: stream ended before the firs
 // malformed input, not a vacuously serializable trace.
 func CheckStream(d *trace.Decoder, opts Options) (*Result, int, error) {
 	c := New(opts)
+	sp := opts.Spans
 	n := 0
 	for {
-		op, err := d.Next()
+		var op trace.Op
+		var err error
+		if sp == nil {
+			op, err = d.Next()
+		} else {
+			// Decode-stage attribution happens here, outside the decoder,
+			// so its zero-allocation steady state is untouched.
+			t0 := time.Now()
+			op, err = d.Next()
+			sp.AddStage(span.StageDecode, int64(time.Since(t0)))
+		}
 		if err == io.EOF {
 			break
 		}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// processStart is captured once at process init so every registry
+// reports the same start time, however late it is constructed.
+var processStart = time.Now()
+
+// RegisterBuildInfo publishes the build-identity instruments on r:
+//
+//	velo_build_info{version=...,goversion=...,engines=...}  always 1
+//	velo_process_start_time_seconds                         unix seconds
+//
+// version is the main module's version from the embedded build info
+// ("(devel)" for a plain `go build`), engines the comma-separated
+// analysis engines the binary ships. The info-gauge-set-to-1 idiom is
+// Prometheus's: the interesting values ride in the labels, and uptime
+// falls out of time() - velo_process_start_time_seconds. Safe to call
+// more than once (instruments are identity-mapped by name) and a no-op
+// on a nil registry.
+func RegisterBuildInfo(r *Registry, engines string) {
+	if r == nil {
+		return
+	}
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	r.Gauge(fmt.Sprintf("velo_build_info{version=%q,goversion=%q,engines=%q}",
+		version, runtime.Version(), engines)).Set(1)
+	r.Gauge("velo_process_start_time_seconds").Set(processStart.Unix())
+}

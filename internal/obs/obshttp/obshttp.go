@@ -32,6 +32,9 @@ type Mount struct {
 // plus any extra mounts. The pprof handlers are mounted explicitly so
 // the handler works on any mux without touching http.DefaultServeMux.
 func Handler(r *obs.Registry, extra ...Mount) http.Handler {
+	// Every metrics endpoint self-identifies: build version, Go version,
+	// the engines this binary ships, and the process start time.
+	obs.RegisterBuildInfo(r, "optimized,basic")
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		snap := r.Snapshot()
@@ -51,6 +54,12 @@ func Handler(r *obs.Registry, extra ...Mount) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	for _, m := range extra {
 		mux.Handle(m.Pattern, m.Handler)
+		// For subtree mounts, serve the bare path directly too: the
+		// mux would otherwise answer `curl host/api/sessions` with an
+		// empty-bodied 301 that non-following clients never resolve.
+		if p := strings.TrimSuffix(m.Pattern, "/"); p != m.Pattern && p != "" {
+			mux.Handle(p, m.Handler)
+		}
 	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {

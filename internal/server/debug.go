@@ -11,6 +11,10 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/forensic"
+	"repro/internal/span"
+	"repro/internal/trace"
 )
 
 // sessionStats is the lock-free per-session publisher behind /debug/velo.
@@ -82,6 +86,9 @@ type DebugState struct {
 	MaxSessions int           `json:"maxSessions"`
 	Draining    bool          `json:"draining"`
 	Sessions    []SessionInfo `json:"sessions"`
+	// Recent is the completed-session history (newest first), the same
+	// records /api/sessions serves.
+	Recent []SessionRecord `json:"recent,omitempty"`
 }
 
 // DebugState snapshots the active sessions.
@@ -117,12 +124,21 @@ func (s *Server) DebugState() DebugState {
 	})
 	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].Session < st.Sessions[j].Session })
 	st.Active = len(st.Sessions)
+	st.Recent = s.hist.Recent(debugRecent, 0)
 	return st
 }
 
-// DebugHandler serves the live session listing: JSON under
-// ?format=json (or an Accept: application/json header), a minimal HTML
-// table otherwise. Mount it on the daemon's metrics mux as /debug/velo.
+// debugRecent is how many completed sessions the dashboard shows; the
+// full ring is available under /api/sessions.
+const debugRecent = 20
+
+// DebugHandler serves the /debug/velo dashboard: JSON under
+// ?format=json (or an Accept: application/json header), HTML otherwise.
+// The HTML view lists active sessions live, recently completed sessions
+// with per-stage latency bars from their span summaries, and — under
+// ?session=<id> — one session's drill-down with its warnings and the
+// DOT provenance of each forensic report rendered inline. Mount it on
+// the daemon's metrics mux as /debug/velo.
 func (s *Server) DebugHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		state := s.DebugState()
@@ -135,12 +151,18 @@ func (s *Server) DebugHandler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprintf(w, `<html><body><h1>velodromed sessions</h1>
+		if id := req.URL.Query().Get("session"); id != "" {
+			s.writeSessionPage(w, id)
+			return
+		}
+		fmt.Fprint(w, debugCSS)
+		fmt.Fprintf(w, `<h1>velodromed sessions</h1>
 <p>%d active / %d max`, state.Active, state.MaxSessions)
 		if state.Draining {
 			fmt.Fprint(w, " (draining)")
 		}
-		fmt.Fprint(w, ` — <a href="/debug/velo?format=json">JSON</a></p>
+		fmt.Fprint(w, ` — <a href="/debug/velo?format=json">JSON</a> · <a href="/api/sessions">/api/sessions</a></p>
+<h2>active</h2>
 <table border="1" cellpadding="4">
 <tr><th>session</th><th>remote</th><th>engine</th><th>age</th><th>ops</th><th>filter hit</th><th>nodes</th><th>edges</th><th>warnings</th><th>last warning</th></tr>
 `)
@@ -154,6 +176,151 @@ func (s *Server) DebugHandler() http.Handler {
 				info.AgeSeconds, info.Ops, 100*info.FilterHitRate,
 				info.GraphNodes, info.GraphEdges, info.Warnings, html.EscapeString(info.LastWarning))
 		}
-		fmt.Fprint(w, "</table></body></html>\n")
+		fmt.Fprint(w, "</table>\n<h2>recent</h2>\n")
+		if len(state.Recent) == 0 {
+			fmt.Fprint(w, "<p>no completed sessions yet</p>\n")
+		} else {
+			fmt.Fprint(w, `<table border="1" cellpadding="4">
+<tr><th>session</th><th>engine</th><th>status</th><th>verdict</th><th>ops</th><th>duration</th><th>stages</th><th>warnings</th></tr>
+`)
+			for _, rec := range state.Recent {
+				verdict := "—"
+				if rec.Status == trace.StatusOK {
+					if rec.Serializable {
+						verdict = "serializable"
+					} else {
+						verdict = "NOT serializable"
+					}
+				}
+				fmt.Fprintf(w, `<tr><td><a href="/debug/velo?session=%s">%s</a></td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%dms</td><td>%s</td><td>%d</td></tr>`+"\n",
+					html.EscapeString(rec.Session), html.EscapeString(rec.Session),
+					html.EscapeString(rec.Engine), html.EscapeString(rec.Status), verdict,
+					rec.Ops, rec.DurationMs, stageBar(rec.Spans), len(rec.Warnings))
+			}
+			fmt.Fprint(w, "</table>\n")
+		}
+		fmt.Fprint(w, "</body></html>\n")
 	})
+}
+
+// debugCSS opens every dashboard page: the stage-bar palette matches the
+// legend order decode/filter/graph/forensics/other.
+const debugCSS = `<html><head><style>
+body { font-family: sans-serif; margin: 1.5em; }
+table { border-collapse: collapse; }
+.bar { display: inline-flex; width: 160px; height: 12px; background: #eee; vertical-align: middle; }
+.bar span { display: inline-block; height: 100%; }
+.st-decode { background: #4c78a8; } .st-filter { background: #f58518; }
+.st-graph { background: #54a24b; } .st-forensics { background: #b279a2; }
+.st-other { background: #bbb; }
+pre { background: #f6f6f6; padding: 0.8em; overflow-x: auto; }
+</style></head><body>`
+
+// stageBar renders a session's span summary as one proportional bar.
+func stageBar(sum *span.Summary) string {
+	if sum == nil || len(sum.Stages) == 0 {
+		return ""
+	}
+	type seg struct {
+		class string
+		ns    int64
+	}
+	segs := []seg{
+		{"st-decode", sum.StageNs(span.StageDecode)},
+		{"st-filter", sum.StageNs(span.StageFilter)},
+		{"st-graph", sum.StageNs(span.StageGraph)},
+		{"st-forensics", sum.StageNs(span.StageForensics)},
+		{"st-other", sum.StageNs(span.StageHeader) + sum.StageNs(span.StageVerdict)},
+	}
+	var total int64
+	for _, sg := range segs {
+		total += sg.ns
+	}
+	if total == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(`<span class="bar">`)
+	for _, sg := range segs {
+		if sg.ns == 0 {
+			continue
+		}
+		pct := 100 * float64(sg.ns) / float64(total)
+		name := strings.TrimPrefix(sg.class, "st-")
+		fmt.Fprintf(&b, `<span class=%q style="width:%.1f%%" title="%s %.2fms"></span>`,
+			sg.class, pct, name, float64(sg.ns)/1e6)
+	}
+	b.WriteString(`</span>`)
+	return b.String()
+}
+
+// writeSessionPage renders one completed session's drill-down.
+func (s *Server) writeSessionPage(w http.ResponseWriter, id string) {
+	rec, ok := s.hist.Get(id)
+	if !ok {
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, debugCSS)
+		fmt.Fprintf(w, `<h1>session %s</h1><p>not in history (completed sessions are retained in a bounded ring) — <a href="/debug/velo">back</a></p></body></html>`,
+			html.EscapeString(id))
+		return
+	}
+	fmt.Fprint(w, debugCSS)
+	verdict := rec.Status
+	if rec.Status == trace.StatusOK {
+		if rec.Serializable {
+			verdict = "serializable"
+		} else {
+			verdict = "NOT serializable"
+		}
+	}
+	fmt.Fprintf(w, `<h1>session %s</h1>
+<p><a href="/debug/velo">back</a> · <a href="/api/sessions/%s">JSON</a></p>
+<table border="1" cellpadding="4">
+<tr><th>engine</th><td>%s</td></tr>
+<tr><th>verdict</th><td>%s</td></tr>
+<tr><th>ops</th><td>%d (%d filtered)</td></tr>
+<tr><th>graph</th><td>%d nodes, %d edges</td></tr>
+<tr><th>started</th><td>%s</td></tr>
+<tr><th>duration</th><td>%dms</td></tr>
+`,
+		html.EscapeString(rec.Session), html.EscapeString(rec.Session),
+		html.EscapeString(rec.Engine), verdict,
+		rec.Ops, rec.Filtered, rec.GraphNodes, rec.GraphEdges,
+		rec.Started.Format(time.RFC3339), rec.DurationMs)
+	if rec.Error != "" {
+		fmt.Fprintf(w, "<tr><th>error</th><td>%s</td></tr>\n", html.EscapeString(rec.Error))
+	}
+	if rec.TraceFile != "" {
+		fmt.Fprintf(w, "<tr><th>trace file</th><td>%s</td></tr>\n", html.EscapeString(rec.TraceFile))
+	}
+	fmt.Fprint(w, "</table>\n")
+
+	if rec.Spans != nil && len(rec.Spans.Stages) > 0 {
+		fmt.Fprintf(w, "<h2>stages</h2>\n<p>%s</p>\n<table border=\"1\" cellpadding=\"4\">\n<tr><th>stage</th><th>hits</th><th>time</th></tr>\n", stageBar(rec.Spans))
+		for st := span.Stage(0); st < span.NumStages; st++ {
+			m, ok := rec.Spans.Stages[st.String()]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td><td>%.3fms</td></tr>\n", st, m.Count, float64(m.Ns)/1e6)
+		}
+		fmt.Fprint(w, "</table>\n")
+	}
+
+	if len(rec.Warnings) > 0 {
+		fmt.Fprint(w, "<h2>warnings</h2>\n<ol>\n")
+		for _, warn := range rec.Warnings {
+			fmt.Fprintf(w, "<li>%s</li>\n", html.EscapeString(warn))
+		}
+		fmt.Fprint(w, "</ol>\n")
+	}
+	for i, raw := range rec.Reports {
+		rep, err := forensic.ParseReport(raw)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "<h2>provenance %d</h2>\n<pre>%s</pre>\n", i+1,
+			html.EscapeString(dot.RenderReport(rep)))
+	}
+	fmt.Fprint(w, "</body></html>\n")
 }

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/span"
+)
+
+// SessionRecord is one completed session retained in the history ring:
+// the verdict essentials plus the span summary and forensic reports, so
+// /api/sessions and the /debug/velo drill-down can answer "what happened
+// to session s17" after the connection is long gone.
+type SessionRecord struct {
+	Session      string    `json:"session"`
+	Remote       string    `json:"remote"`
+	Engine       string    `json:"engine,omitempty"`
+	Forensics    bool      `json:"forensics,omitempty"`
+	Status       string    `json:"status"`
+	Serializable bool      `json:"serializable"`
+	Ops          int64     `json:"ops"`
+	Filtered     int64     `json:"filtered"`
+	GraphNodes   int64     `json:"graphNodes"`
+	GraphEdges   int64     `json:"graphEdges"`
+	Started      time.Time `json:"started"`
+	DurationMs   int64     `json:"durationMs"`
+	// Warnings holds one-line digests (a full warning renders its whole
+	// cycle; the wire verdict carries those, history keeps the headlines).
+	Warnings []string `json:"warnings,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	// Spans is the session's per-stage latency rollup (nil when the
+	// daemon ran with spans disabled).
+	Spans *span.Summary `json:"spans,omitempty"`
+	// TraceFile is the exported Chrome trace-event file for this session,
+	// when the daemon was started with a trace directory.
+	TraceFile string `json:"traceFile,omitempty"`
+	// Reports carries the forensic provenance reports (same order as the
+	// verdict's), kept raw so history stays engine-agnostic.
+	Reports []json.RawMessage `json:"reports,omitempty"`
+}
+
+// History is a bounded ring of completed sessions, newest overwriting
+// oldest. Writers are session goroutines, readers are HTTP handlers; a
+// single mutex suffices — sessions complete at human rates, not op rates.
+type History struct {
+	mu    sync.Mutex
+	recs  []SessionRecord // ring storage, len == cap once full
+	size  int             // capacity
+	next  int             // ring write cursor
+	total int64           // sessions ever recorded
+}
+
+// NewHistory returns a ring retaining the last size sessions (a
+// non-positive size keeps DefaultHistorySize).
+func NewHistory(size int) *History {
+	if size <= 0 {
+		size = DefaultHistorySize
+	}
+	return &History{size: size}
+}
+
+// DefaultHistorySize is the retained-session count when Config.HistorySize
+// is unset.
+const DefaultHistorySize = 128
+
+// Add records one completed session.
+func (h *History) Add(rec SessionRecord) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.recs) < h.size {
+		h.recs = append(h.recs, rec)
+	} else {
+		h.recs[h.next] = rec
+	}
+	h.next = (h.next + 1) % h.size
+	h.total++
+}
+
+// Recent returns up to limit records, newest first, skipping offset.
+func (h *History) Recent(limit, offset int) []SessionRecord {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.recs)
+	out := make([]SessionRecord, 0, min(limit, n))
+	for i := 1 + offset; i <= n && len(out) < limit; i++ {
+		// next-1 is the newest; walk backwards through the ring.
+		out = append(out, h.recs[((h.next-i)%n+n)%n])
+	}
+	return out
+}
+
+// Get returns the retained record for a session id.
+func (h *History) Get(id string) (SessionRecord, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.recs {
+		if h.recs[i].Session == id {
+			return h.recs[i], true
+		}
+	}
+	return SessionRecord{}, false
+}
+
+// Len returns the number of retained records; Total the number ever
+// recorded (Total - Len have been evicted).
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.recs)
+}
+
+// Total returns the number of sessions ever recorded.
+func (h *History) Total() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// sessionList is the /api/sessions response envelope.
+type sessionList struct {
+	// Total counts sessions ever completed; Retained how many the ring
+	// still holds; Count how many this page carries.
+	Total    int64           `json:"total"`
+	Retained int             `json:"retained"`
+	Count    int             `json:"count"`
+	Sessions []SessionRecord `json:"sessions"`
+}
+
+// apiLimits bound /api/sessions pagination.
+const (
+	apiDefaultLimit = 50
+	apiMaxLimit     = 1000
+)
+
+// APIHandler serves the verdict-history JSON API:
+//
+//	/api/sessions            the retained sessions, newest first
+//	  ?limit=N               page size (default 50, max 1000)
+//	  ?offset=N              skip the newest N
+//	/api/sessions/{id}       one session's full record, 404 if evicted
+//
+// Mount it at "/api/sessions/" (the pattern the daemon uses); the
+// handler itself routes on the path suffix after that prefix.
+func (h *History) APIHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rest := strings.TrimPrefix(req.URL.Path, "/api/sessions")
+		rest = strings.Trim(rest, "/")
+		w.Header().Set("Content-Type", "application/json")
+		if rest == "" {
+			limit, ok := queryInt(w, req, "limit", apiDefaultLimit)
+			if !ok {
+				return
+			}
+			offset, ok := queryInt(w, req, "offset", 0)
+			if !ok {
+				return
+			}
+			if limit < 1 {
+				limit = 1
+			}
+			if limit > apiMaxLimit {
+				limit = apiMaxLimit
+			}
+			if offset < 0 {
+				httpError(w, http.StatusBadRequest, "offset must be >= 0")
+				return
+			}
+			recs := h.Recent(limit, offset)
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(sessionList{
+				Total:    h.Total(),
+				Retained: h.Len(),
+				Count:    len(recs),
+				Sessions: recs,
+			})
+			return
+		}
+		if strings.Contains(rest, "/") {
+			httpError(w, http.StatusNotFound, "not found")
+			return
+		}
+		rec, ok := h.Get(rest)
+		if !ok {
+			httpError(w, http.StatusNotFound, "session "+rest+" not in history (completed sessions are retained in a bounded ring)")
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rec)
+	})
+}
+
+// queryInt parses an optional integer query parameter, answering 400
+// (and returning ok=false) on anything non-numeric.
+func queryInt(w http.ResponseWriter, req *http.Request, key string, def int) (int, bool) {
+	raw := req.URL.Query().Get(key)
+	if raw == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, key+" must be an integer")
+		return 0, false
+	}
+	return n, true
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,331 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/span"
+	"repro/internal/trace"
+)
+
+// TestHistoryRing covers the ring mechanics directly: fill past
+// capacity, read newest-first with offsets, look up by id, and keep the
+// ever-recorded total distinct from the retained count.
+func TestHistoryRing(t *testing.T) {
+	h := NewHistory(4)
+	for i := 0; i < 7; i++ {
+		h.Add(SessionRecord{Session: fmt.Sprintf("s%d", i), Ops: int64(i)})
+	}
+	if h.Len() != 4 || h.Total() != 7 {
+		t.Fatalf("len=%d total=%d, want 4 retained of 7", h.Len(), h.Total())
+	}
+	recent := h.Recent(10, 0)
+	if len(recent) != 4 {
+		t.Fatalf("Recent(10,0) returned %d records", len(recent))
+	}
+	for i, want := range []string{"s6", "s5", "s4", "s3"} {
+		if recent[i].Session != want {
+			t.Errorf("recent[%d] = %s, want %s", i, recent[i].Session, want)
+		}
+	}
+	if page := h.Recent(2, 1); len(page) != 2 || page[0].Session != "s5" || page[1].Session != "s4" {
+		t.Errorf("Recent(2,1) = %+v, want s5,s4", page)
+	}
+	if page := h.Recent(10, 10); len(page) != 0 {
+		t.Errorf("offset past the ring returned %d records", len(page))
+	}
+	if rec, ok := h.Get("s5"); !ok || rec.Ops != 5 {
+		t.Errorf("Get(s5) = %+v, %v", rec, ok)
+	}
+	if _, ok := h.Get("s0"); ok {
+		t.Error("s0 was evicted but Get still finds it")
+	}
+	// A fresh ring answers empty, not nil-panics.
+	if got := NewHistory(0).Recent(5, 0); len(got) != 0 {
+		t.Errorf("empty history Recent = %+v", got)
+	}
+}
+
+// TestSessionsAPI exercises the JSON API against a hand-filled history:
+// envelope fields, pagination clamps, parameter validation, per-id
+// lookup and the 404s.
+func TestSessionsAPI(t *testing.T) {
+	h := NewHistory(8)
+	for i := 0; i < 12; i++ {
+		h.Add(SessionRecord{Session: fmt.Sprintf("s%d", i), Status: trace.StatusOK, Ops: int64(10 * i)})
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/api/sessions/", h.APIHandler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+	list := func(path string) sessionList {
+		t.Helper()
+		code, body := get(path)
+		if code != 200 {
+			t.Fatalf("GET %s: status %d\n%s", path, code, body)
+		}
+		var out sessionList
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("GET %s: %v\n%s", path, err, body)
+		}
+		return out
+	}
+
+	// The bare path (the mux 301-redirects /api/sessions to the subtree).
+	for _, path := range []string{"/api/sessions", "/api/sessions/"} {
+		got := list(path)
+		if got.Total != 12 || got.Retained != 8 || got.Count != 8 {
+			t.Errorf("%s: envelope %+v, want total=12 retained=8 count=8", path, got)
+		}
+		if got.Sessions[0].Session != "s11" {
+			t.Errorf("%s: newest first violated: %s", path, got.Sessions[0].Session)
+		}
+	}
+	if got := list("/api/sessions?limit=2&offset=1"); got.Count != 2 ||
+		got.Sessions[0].Session != "s10" || got.Sessions[1].Session != "s9" {
+		t.Errorf("limit=2 offset=1: %+v", got.Sessions)
+	}
+	// Out-of-range limits clamp instead of erroring.
+	if got := list("/api/sessions?limit=0"); got.Count != 1 {
+		t.Errorf("limit=0 should clamp to 1, got count %d", got.Count)
+	}
+	if got := list("/api/sessions?limit=999999"); got.Count != 8 {
+		t.Errorf("huge limit should serve the whole ring, got count %d", got.Count)
+	}
+	// Malformed parameters are 400s with a JSON error body.
+	for _, path := range []string{"/api/sessions?limit=abc", "/api/sessions?offset=-1", "/api/sessions?offset=x"} {
+		code, body := get(path)
+		if code != 400 {
+			t.Errorf("%s: status %d, want 400", path, code)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body %s", path, body)
+		}
+	}
+
+	code, body := get("/api/sessions/s9")
+	if code != 200 {
+		t.Fatalf("per-id lookup: status %d", code)
+	}
+	var rec SessionRecord
+	if err := json.Unmarshal(body, &rec); err != nil || rec.Ops != 90 {
+		t.Errorf("per-id record %s: %v", body, err)
+	}
+	if code, _ := get("/api/sessions/s0"); code != 404 {
+		t.Errorf("evicted session: status %d, want 404", code)
+	}
+	if code, _ := get("/api/sessions/s9/extra"); code != 404 {
+		t.Errorf("nested path: status %d, want 404", code)
+	}
+}
+
+// TestServerHistorySpansAndTraceDir is the per-session observability
+// round trip: a session checked with tracing on must (1) carry
+// span_<stage>_ns metrics in its verdict, (2) land in the history with
+// a span summary, and (3) leave a loadable Chrome trace-event file in
+// the trace directory with the decode span nested under the session.
+func TestServerHistorySpansAndTraceDir(t *testing.T) {
+	dir := t.TempDir()
+	s, addr, stop := startServer(t, Config{Metrics: obs.NewRegistry(), TraceDir: dir})
+	defer stop()
+
+	v, err := CheckReader(addr, trace.SessionHeader{Engine: "basic", Name: "traced"},
+		bytes.NewReader(encode(t, buggyTrace(), false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != trace.StatusOK || v.Serializable {
+		t.Fatalf("verdict %+v, want non-serializable ok", v)
+	}
+	for _, key := range []string{"span_decode_ns", "span_graph_ns", "span_verdict_ns"} {
+		if v.Metrics[key] <= 0 {
+			t.Errorf("verdict metric %s = %d, want > 0 (metrics: %v)", key, v.Metrics[key], v.Metrics)
+		}
+	}
+
+	rec, ok := s.History().Get(v.Session)
+	if !ok {
+		t.Fatalf("session %s not in history", v.Session)
+	}
+	if rec.Engine != "basic" || rec.Serializable || rec.Ops != 5 || len(rec.Warnings) != 1 {
+		t.Errorf("history record %+v", rec)
+	}
+	if strings.Contains(rec.Warnings[0], "\n") {
+		t.Errorf("history warning digest must be one line: %q", rec.Warnings[0])
+	}
+	if rec.Spans == nil || rec.Spans.Stages["graph"].Ns <= 0 {
+		t.Errorf("history record missing span summary: %+v", rec.Spans)
+	}
+
+	if rec.TraceFile == "" {
+		t.Fatal("record has no trace file despite TraceDir")
+	}
+	data, err := os.ReadFile(rec.TraceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := span.ValidateChrome(data); err != nil || n == 0 {
+		t.Fatalf("trace file invalid (%d events): %v", n, err)
+	}
+	for _, nest := range [][2]string{{"session", ""}, {"decode", "session"}, {"verdict", "session"}} {
+		if !span.FindSpan(data, nest[0], nest[1]) {
+			t.Errorf("trace file missing %q under %q:\n%s", nest[0], nest[1], data)
+		}
+	}
+}
+
+// TestServerNoSpans checks the disabled path end to end: no span
+// metrics in verdicts, no summaries in history, no trace files.
+func TestServerNoSpans(t *testing.T) {
+	s, addr, stop := startServer(t, Config{NoSpans: true})
+	defer stop()
+	v, err := CheckReader(addr, trace.SessionHeader{}, bytes.NewReader(encode(t, cleanTrace(), true)))
+	if err != nil || v.Status != trace.StatusOK {
+		t.Fatalf("verdict %+v, err %v", v, err)
+	}
+	for key := range v.Metrics {
+		if strings.HasPrefix(key, "span_") {
+			t.Errorf("span metric %s present with spans disabled", key)
+		}
+	}
+	rec, ok := s.History().Get(v.Session)
+	if !ok {
+		t.Fatal("session missing from history")
+	}
+	if rec.Spans != nil || rec.TraceFile != "" {
+		t.Errorf("record carries tracing artifacts with spans disabled: %+v", rec)
+	}
+}
+
+// TestHistoryAndDashboardConcurrent is the race exercise for the new
+// surfaces: concurrent sessions write spans and history records while
+// scrapers hammer /api/sessions (list and per-id) and /debug/velo
+// (JSON, HTML, and the per-session drill-down). Run under -race.
+func TestHistoryAndDashboardConcurrent(t *testing.T) {
+	s, addr, stop := startServer(t, Config{MaxSessions: 32, Metrics: obs.NewRegistry(), HistorySize: 16})
+	api := httptest.NewServer(s.History().APIHandler())
+	defer api.Close()
+	web := httptest.NewServer(s.DebugHandler())
+	defer web.Close()
+
+	done := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(api.URL + "/api/sessions?limit=5")
+				if err != nil {
+					t.Errorf("GET /api/sessions: %v", err)
+					return
+				}
+				var page sessionList
+				json.NewDecoder(resp.Body).Decode(&page)
+				resp.Body.Close()
+				// Drill into whatever the page surfaced: per-id API and
+				// the dashboard's session view, racing later evictions.
+				for _, rec := range page.Sessions {
+					for _, url := range []string{
+						api.URL + "/api/sessions/" + rec.Session,
+						web.URL + "?session=" + rec.Session,
+					} {
+						resp, err := http.Get(url)
+						if err != nil {
+							t.Errorf("GET %s: %v", url, err)
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+				resp, err = http.Get(web.URL) // dashboard HTML with recent table
+				if err != nil {
+					t.Errorf("GET dashboard: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	const sessions = 24
+	var clients sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		clients.Add(1)
+		go func(i int) {
+			defer clients.Done()
+			body := cleanTrace()
+			if i%2 == 0 {
+				body = buggyTrace()
+			}
+			hdr := trace.SessionHeader{Name: fmt.Sprintf("h%d", i), Forensics: i%3 == 0}
+			v, err := CheckReader(addr, hdr, bytes.NewReader(encode(t, body, i%2 == 1)))
+			if err != nil {
+				t.Errorf("session %d: %v", i, err)
+				return
+			}
+			if v.Status != trace.StatusOK {
+				t.Errorf("session %d: verdict %+v", i, v)
+			}
+		}(i)
+	}
+	clients.Wait()
+	close(done)
+	scrapers.Wait()
+
+	h := s.History()
+	if h.Total() != sessions || h.Len() != 16 {
+		t.Errorf("history total=%d len=%d, want %d/16", h.Total(), h.Len(), sessions)
+	}
+	for _, rec := range h.Recent(16, 0) {
+		if rec.Spans == nil || rec.Spans.Stages["graph"].Ns <= 0 {
+			t.Errorf("session %s retained without span summary: %+v", rec.Session, rec.Spans)
+		}
+	}
+	// The dashboard's recent table names retained sessions.
+	resp, err := http.Get(web.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	newest := h.Recent(1, 0)[0].Session
+	if !strings.Contains(string(html), "?session="+newest) {
+		t.Errorf("dashboard missing drill-down link for %s:\n%s", newest, html)
+	}
+	stop()
+	// Draining must not lose the last verdicts from history.
+	deadline := time.Now().Add(time.Second)
+	for h.Total() != sessions && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"log/slog"
 	"net"
 	"os"
+	"path/filepath"
 	"runtime/debug"
 	"strings"
 	"sync"
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -67,6 +69,21 @@ type Config struct {
 	// from dozens of concurrent per-session graphs would corrupt the
 	// aggregate. Session-level throughput is recorded here instead.
 	Metrics *obs.Registry
+	// NoSpans disables per-session span tracing. By default every
+	// session carries a lightweight tracer (see internal/span) whose
+	// per-stage rollup lands in the verdict's metrics block, the
+	// history ring and /debug/velo; spans never influence verdicts, so
+	// this knob only exists to shave the last few percent off a daemon
+	// that is purely in the checking business.
+	NoSpans bool
+	// TraceDir, when set, writes each session's full span timeline as
+	// a Chrome trace-event JSON file <TraceDir>/<session>.trace.json,
+	// loadable in chrome://tracing or Perfetto. Off by default; the
+	// per-stage summaries are retained regardless.
+	TraceDir string
+	// HistorySize caps the completed-session history ring behind
+	// /api/sessions and the /debug/velo dashboard. Default 128.
+	HistorySize int
 	// Logger, when non-nil, receives one structured record per
 	// noteworthy event (session end, shed, panic), each carrying the
 	// session id and remote address. Defaults to silent.
@@ -99,8 +116,9 @@ func (c *Config) applyDefaults() {
 // Server accepts and checks trace sessions. Construct with New, feed it
 // listeners via Serve, stop it with Shutdown.
 type Server struct {
-	cfg Config
-	met *serverMetrics
+	cfg  Config
+	met  *serverMetrics
+	hist *History
 
 	slots chan struct{} // session-cap semaphore
 
@@ -121,11 +139,16 @@ func New(cfg Config) *Server {
 	return &Server{
 		cfg:       cfg,
 		met:       newServerMetrics(cfg.Metrics),
+		hist:      NewHistory(cfg.HistorySize),
 		slots:     make(chan struct{}, cfg.MaxSessions),
 		listeners: map[net.Listener]bool{},
 		conns:     map[net.Conn]bool{},
 	}
 }
+
+// History exposes the completed-session ring (mount History().APIHandler
+// at /api/sessions/ next to DebugHandler).
+func (s *Server) History() *History { return s.hist }
 
 // ErrServerClosed is returned by Serve after Shutdown begins.
 var ErrServerClosed = errors.New("server: closed")
@@ -316,15 +339,73 @@ func (s *Server) handle(conn net.Conn) {
 	if s.cfg.MaxSessionTime > 0 {
 		dr.absolute = start.Add(s.cfg.MaxSessionTime)
 	}
-	v := s.run(bufio.NewReader(dr), st, logger)
+	var tr *span.Tracer
+	if !s.cfg.NoSpans {
+		tr = span.New()
+	}
+	v := s.run(bufio.NewReader(dr), st, logger, tr)
 
 	elapsed := time.Since(start)
 	v.Session = st.id
 	v.DurationMs = elapsed.Milliseconds()
+	// The engine and decoder have quiesced (run returned), so the span
+	// rollup is safe to read; it rides in the verdict's metrics block as
+	// span_<stage>_ns so clients see where their session's time went.
+	// After a recovered panic (StatusError) the decode goroutine may
+	// still be draining and writing to its buffer, so the tracer is left
+	// untouched for that path.
+	var sum *span.Summary
+	if v.Status != trace.StatusError {
+		sum = tr.Summary()
+	}
+	if sum != nil && len(sum.Stages) > 0 {
+		if v.Metrics == nil {
+			v.Metrics = map[string]int64{}
+		}
+		for name, m := range sum.Stages {
+			v.Metrics["span_"+name+"_ns"] = m.Ns
+		}
+	}
 	s.met.observeVerdict(v, elapsed)
 	logger.Info("session complete",
 		"engine", v.Engine, "status", v.Status, "ops", v.Ops,
 		"warnings", len(v.Warnings), "duration", elapsed.Round(time.Millisecond).String())
+
+	rec := SessionRecord{
+		Session:      st.id,
+		Remote:       st.remote,
+		Forensics:    st.forensics.Load(),
+		Status:       v.Status,
+		Serializable: v.Serializable,
+		Ops:          v.Ops,
+		Filtered:     st.filtered.Load(),
+		GraphNodes:   st.nodes.Load(),
+		GraphEdges:   st.edges.Load(),
+		Started:      start,
+		DurationMs:   v.DurationMs,
+		Error:        v.Error,
+		Spans:        sum,
+		Reports:      v.Reports,
+	}
+	if e := st.engine.Load(); e != nil {
+		rec.Engine = *e
+	}
+	for _, w := range v.Warnings {
+		// History keeps one-line digests; the verdict carries the cycles.
+		if i := strings.IndexByte(w, '\n'); i >= 0 {
+			w = w[:i]
+		}
+		rec.Warnings = append(rec.Warnings, w)
+	}
+	if s.cfg.TraceDir != "" && tr != nil && v.Status != trace.StatusError {
+		path := filepath.Join(s.cfg.TraceDir, st.id+".trace.json")
+		if err := tr.WriteChromeFile(path); err != nil {
+			logger.Warn("writing session trace failed", "path", path, "error", err)
+		} else {
+			rec.TraceFile = path
+		}
+	}
+	s.hist.Add(rec)
 
 	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
 	if err := trace.WriteVerdict(conn, v); err != nil {
@@ -336,7 +417,7 @@ func (s *Server) handle(conn net.Conn) {
 // mode — bad header, malformed ops, engine panic — into a verdict. It
 // never lets a panic escape: one poisoned session must not take down
 // the daemon.
-func (s *Server) run(br *bufio.Reader, st *sessionStats, logger *slog.Logger) (v *trace.SessionVerdict) {
+func (s *Server) run(br *bufio.Reader, st *sessionStats, logger *slog.Logger, tr *span.Tracer) (v *trace.SessionVerdict) {
 	// ops and its drain are declared here so the recover path can unblock
 	// a decode goroutine stuck sending to a consumer that panicked away.
 	var ops chan trace.Op
@@ -357,11 +438,25 @@ func (s *Server) run(br *bufio.Reader, st *sessionStats, logger *slog.Logger) (v
 		}
 	}()
 
+	// sb is the session goroutine's span buffer: the root span, the
+	// header/verdict stages, and — via core.Options.Spans — the engine's
+	// filter/graph/forensics attribution. The decode goroutine gets its
+	// own buffer below; both are inert when tracing is off (nil tracer).
+	sb := tr.Buffer("session")
+	root := sb.Start("session", 0)
+	sb.AttrStr(root, "session", st.id)
+
+	hdrStart := tr.Now()
 	hdr, err := trace.ReadSessionHeader(br)
+	if hid := sb.Emit("header", root, hdrStart, tr.Now()); hid != 0 {
+		sb.AddStage(span.StageHeader, tr.Now()-hdrStart)
+	}
 	if err != nil {
+		sb.End(root)
+		sb.Flush()
 		return &trace.SessionVerdict{Status: trace.StatusMalformed, Error: err.Error()}
 	}
-	opts := core.Options{Engine: s.cfg.DefaultEngine, MaxWarnings: s.cfg.MaxWarnings, Forensics: hdr.Forensics}
+	opts := core.Options{Engine: s.cfg.DefaultEngine, MaxWarnings: s.cfg.MaxWarnings, Forensics: hdr.Forensics, Spans: sb}
 	engineName := "optimized"
 	switch hdr.Engine {
 	case "":
@@ -374,6 +469,8 @@ func (s *Server) run(br *bufio.Reader, st *sessionStats, logger *slog.Logger) (v
 		opts.Engine = core.Basic
 		engineName = "basic"
 	default:
+		sb.End(root)
+		sb.Flush()
 		return &trace.SessionVerdict{
 			Status: trace.StatusMalformed,
 			Error:  fmt.Sprintf("unknown engine %q (want optimized or basic)", hdr.Engine),
@@ -381,6 +478,7 @@ func (s *Server) run(br *bufio.Reader, st *sessionStats, logger *slog.Logger) (v
 	}
 	st.engine.Store(&engineName)
 	st.forensics.Store(hdr.Forensics)
+	sb.AttrStr(root, "engine", engineName)
 
 	dec := trace.NewDecoder(br)
 
@@ -392,15 +490,41 @@ func (s *Server) run(br *bufio.Reader, st *sessionStats, logger *slog.Logger) (v
 	decodeErr := make(chan error, 1)
 	go func() {
 		defer close(ops)
+		// The decode goroutine owns its span buffer; its final Flush
+		// happens before the decodeErr send, which the session goroutine
+		// receives before reading the tracer — the ordinary
+		// happens-before of the channels covers the span data too.
+		db := tr.Buffer("decode")
+		batchStart := tr.Now()
+		var decoded int64
+		finish := func(err error) {
+			if decoded%statsEvery != 0 {
+				id := db.Emit("decode", root, batchStart, tr.Now())
+				db.AttrInt(id, "ops", decoded%statsEvery)
+			}
+			db.Flush()
+			decodeErr <- err
+		}
 		for {
+			t0 := tr.Now()
 			op, err := dec.Next()
+			db.AddStage(span.StageDecode, tr.Now()-t0)
 			if err == io.EOF {
-				decodeErr <- nil
+				finish(nil)
 				return
 			}
 			if err != nil {
-				decodeErr <- err
+				finish(err)
 				return
+			}
+			if db != nil {
+				decoded++
+				if decoded%statsEvery == 0 {
+					now := tr.Now()
+					id := db.Emit("decode", root, batchStart, now)
+					db.AttrInt(id, "ops", statsEvery)
+					batchStart = now
+				}
 			}
 			ops <- op
 		}
@@ -408,6 +532,23 @@ func (s *Server) run(br *bufio.Reader, st *sessionStats, logger *slog.Logger) (v
 
 	checker := core.New(opts)
 	var n int64
+	batchStart := tr.Now()
+	var prevStages [span.NumStages]int64
+	// emitBatch materializes the last statsEvery ops as one "check" span
+	// with filter/graph/forensics children sized by the engine's stage
+	// accumulators since the previous batch — the nesting the exported
+	// timeline shows under each session.
+	emitBatch := func(batchOps int64) {
+		if sb == nil || batchOps == 0 {
+			return
+		}
+		now := tr.Now()
+		id := sb.Emit("check", root, batchStart, now)
+		sb.AttrInt(id, "ops", batchOps)
+		sb.EmitStages(id, batchStart, now, &prevStages,
+			span.StageFilter, span.StageGraph, span.StageForensics)
+		batchStart = now
+	}
 	for op := range ops {
 		if s.cfg.stepHook != nil {
 			s.cfg.stepHook(op)
@@ -420,11 +561,14 @@ func (s *Server) run(br *bufio.Reader, st *sessionStats, logger *slog.Logger) (v
 		st.ops.Store(n)
 		if n%statsEvery == 0 {
 			st.publishEngine(checker)
+			emitBatch(statsEvery)
 		}
 	}
 	st.publishEngine(checker)
+	emitBatch(n % statsEvery)
 	derr := <-decodeErr
 
+	verdictStart := tr.Now()
 	v = &trace.SessionVerdict{
 		Engine:   engineName,
 		Ops:      n,
@@ -462,5 +606,11 @@ func (s *Server) run(br *bufio.Reader, st *sessionStats, logger *slog.Logger) (v
 		v.Status = trace.StatusOK
 		v.Serializable = len(checker.Warnings()) == 0
 	}
+	if vid := sb.Emit("verdict", root, verdictStart, tr.Now()); vid != 0 {
+		sb.AddStage(span.StageVerdict, tr.Now()-verdictStart)
+		sb.AttrStr(vid, "status", v.Status)
+	}
+	sb.End(root)
+	sb.Flush()
 	return v
 }

@@ -1,0 +1,42 @@
+// Command chktrace validates a Chrome trace-event JSON file emitted by
+// -trace-out (or the daemon's -trace-dir) against the schema subset the
+// span package guarantees: well-formed JSON, monotonic timestamps, and
+// matched, properly nested B/E pairs. CI runs it over a corpus trace
+// before uploading the file as a workflow artifact.
+//
+//	go run ./internal/span/chktrace trace.json [more.json ...]
+//
+// Exit status: 0 all files valid, 1 any violation, 2 usage/IO error.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/span"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: chktrace <trace.json> [...]")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chktrace:", err)
+			os.Exit(2)
+		}
+		n, err := span.ValidateChrome(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chktrace: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: ok (%d spans)\n", path, n)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
