@@ -3,6 +3,7 @@ package repro_test
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"io"
 	"net/http"
 	"os"
@@ -17,7 +18,11 @@ import (
 	"repro/internal/span"
 )
 
-// buildTools compiles the three commands once per test binary.
+// -update-velovet rewrites the testdata/velovet golden files from the
+// current velovet output instead of diffing against them.
+var updateVelovet = flag.Bool("update-velovet", false, "rewrite testdata/velovet golden files")
+
+// buildTools compiles every command once per test binary.
 var buildOnce sync.Once
 var toolDir string
 var buildErr error
@@ -31,7 +36,7 @@ func tools(t *testing.T) string {
 			return
 		}
 		toolDir = dir
-		for _, cmd := range []string{"velodrome", "velobench", "tracecheck", "veloinstr", "velodromed"} {
+		for _, cmd := range []string{"velodrome", "velobench", "tracecheck", "veloinstr", "velodromed", "velovet"} {
 			out, err := exec.Command("go", "build", "-o", filepath.Join(dir, cmd), "./cmd/"+cmd).CombinedOutput()
 			if err != nil {
 				buildErr = err
@@ -608,21 +613,101 @@ func TestCLIVeloinstrRunServer(t *testing.T) {
 }
 
 // TestCLIVeloinstrAnalyze checks the classification table: the bank
-// example must show a nonzero pruned set with the right classes.
+// example must show a nonzero pruned set with the right classes, and
+// the pass diagnostics must flag the seeded split transaction (which
+// makes -analyze exit 1, vet-style).
 func TestCLIVeloinstrAnalyze(t *testing.T) {
 	out, code := runTool(t, "veloinstr", "-analyze", "examples/instr/bankbug")
-	if code != 0 {
-		t.Fatalf("exit %d:\n%s", code, out)
+	if code != 1 {
+		t.Fatalf("bankbug has a velo-split finding, want exit 1; exit %d:\n%s", code, out)
 	}
 	for _, want := range []string{
 		"1 shared, 1 thread-local, 2 lock-protected",
 		"balance", "pruned (held: mu)",
 		"openingBalance", "thread-local",
 		"atomic blocks: [withdrawAll]",
+		"[velo-split]",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in:\n%s", want, out)
 		}
+	}
+	// The fixed variant has no findings (suggestions don't count).
+	out, code = runTool(t, "veloinstr", "-analyze", "examples/instr/bankfixed")
+	if code != 0 {
+		t.Fatalf("bankfixed must be finding-free; exit %d:\n%s", code, out)
+	}
+}
+
+// TestCLIVeloinstrAnalyzeJSON checks the machine-readable report: the
+// velovet diagnostic schema wrapped with the classification rows.
+func TestCLIVeloinstrAnalyzeJSON(t *testing.T) {
+	out, code := runTool(t, "veloinstr", "-analyze", "-json", "examples/instr/auditbug")
+	if code != 1 {
+		t.Fatalf("auditbug findings must exit 1; exit %d:\n%s", code, out)
+	}
+	var rep struct {
+		Package string `json:"package"`
+		Vars    []struct {
+			Name      string `json:"name"`
+			Class     string `json:"class"`
+			Lock      string `json:"lock"`
+			Interproc bool   `json:"interprocedural"`
+		} `json:"vars"`
+		Diagnostics []struct {
+			Pos      string `json:"pos"`
+			Severity string `json:"severity"`
+			Code     string `json:"code"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out)
+	}
+	ledger := false
+	for _, v := range rep.Vars {
+		if v.Name == "ledger" {
+			ledger = true
+			if v.Class != "lock-protected" || v.Lock != "mu" || !v.Interproc {
+				t.Errorf("ledger must be interprocedurally lock-protected: %+v", v)
+			}
+		}
+	}
+	if !ledger {
+		t.Errorf("ledger row missing: %s", out)
+	}
+	codes := map[string]bool{}
+	for _, d := range rep.Diagnostics {
+		codes[d.Code] = true
+		if d.Pos == "" || d.Severity == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+	for _, want := range []string{"velo-split", "velo-interproc"} {
+		if !codes[want] {
+			t.Errorf("missing %s diagnostic in %v", want, codes)
+		}
+	}
+	// -json without -analyze is a usage error.
+	if _, code := runTool(t, "veloinstr", "-json", "examples/instr/auditbug"); code != 2 {
+		t.Errorf("-json without -analyze should exit 2, got %d", code)
+	}
+}
+
+// TestCLIVeloinstrIntra checks that -intra disables the interprocedural
+// entry-lock inference: the audit ledger (mutated only by helpers that
+// never lock) degrades from lock-protected to shared.
+func TestCLIVeloinstrIntra(t *testing.T) {
+	out, _ := runTool(t, "veloinstr", "-analyze", "examples/instr/auditfixed")
+	if !strings.Contains(out, "pruned (held: mu, interprocedural)") {
+		t.Fatalf("default analysis must prove ledger lock-protected:\n%s", out)
+	}
+	outIntra, _ := runTool(t, "veloinstr", "-analyze", "-intra", "examples/instr/auditfixed")
+	if strings.Contains(outIntra, "interprocedural") {
+		t.Errorf("-intra must not report interprocedural facts:\n%s", outIntra)
+	}
+	if !strings.Contains(outIntra, "2 shared") {
+		t.Errorf("-intra must classify ledger shared:\n%s", outIntra)
 	}
 }
 
@@ -685,11 +770,32 @@ func TestCLIVeloinstrRunFixed(t *testing.T) {
 	}
 }
 
+// warningLabels extracts the set of atomicity-violation labels (the
+// "<label>@" prefix of each warning line) from a -run transcript, so
+// differential tests compare which functions were blamed rather than
+// operation indices, which legitimately shift when pruning changes the
+// trace.
+func warningLabels(out string) map[string]bool {
+	labels := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		rest, ok := strings.CutPrefix(line, "warning: ")
+		if !ok {
+			continue
+		}
+		if label, _, ok := strings.Cut(rest, "@"); ok {
+			labels[label] = true
+		}
+	}
+	return labels
+}
+
 // TestCLIVeloinstrPruneSound is the empirical soundness check for the
-// redundant-event optimization: on every example, instrumenting with
-// and without pruning must yield the same verdict.
+// redundant-event optimization: on every example — including the audit
+// pair, where the interprocedural fixpoint does the pruning — the
+// instrumented run with and without pruning must yield the same verdict
+// and blame the same atomic functions.
 func TestCLIVeloinstrPruneSound(t *testing.T) {
-	for _, ex := range []string{"bankbug", "bankfixed", "counter"} {
+	for _, ex := range []string{"bankbug", "bankfixed", "counter", "auditbug", "auditfixed"} {
 		dir := "examples/instr/" + ex
 		outP, codeP := runTool(t, "veloinstr", "-run", dir)
 		outN, codeN := runTool(t, "veloinstr", "-run", "-noprune", dir)
@@ -703,6 +809,35 @@ func TestCLIVeloinstrPruneSound(t *testing.T) {
 		if !strings.Contains(outN, " 0 pruned)") {
 			t.Errorf("%s: -noprune must not prune:\n%s", ex, outN)
 		}
+		lp, ln := warningLabels(outP), warningLabels(outN)
+		if len(lp) != len(ln) {
+			t.Errorf("%s: pruning changed the blamed set: %v vs %v", ex, lp, ln)
+		}
+		for l := range lp {
+			if !ln[l] {
+				t.Errorf("%s: pruned run blames %s, noprune run does not", ex, l)
+			}
+		}
+	}
+}
+
+// TestCLIVeloinstrRunAudit is the dynamic half of the interprocedural
+// pruning story: auditbug's violation must still be caught with the
+// ledger accesses pruned (the lock events alone carry the cycle), and
+// auditfixed must stay clean.
+func TestCLIVeloinstrRunAudit(t *testing.T) {
+	out, code := runTool(t, "veloinstr", "-run", "examples/instr/auditbug")
+	if code != 1 {
+		t.Fatalf("auditbug must be non-serializable; exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"NOT serializable", "reconcile", "is not atomic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	out, code = runTool(t, "veloinstr", "-run", "examples/instr/auditfixed")
+	if code != 0 {
+		t.Fatalf("auditfixed must be serializable; exit %d:\n%s", code, out)
 	}
 }
 
@@ -927,5 +1062,122 @@ func TestCLIVeloinstrObsJSON(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in obs snapshot:\n%s", want, out)
 		}
+	}
+}
+
+// TestCLIVelovetGolden pins the full (-all) velovet rendering over
+// every example package against golden files, and checks the vet-style
+// exit code: 1 where a seeded bug yields an error- or warning-severity
+// finding, 0 where only advisory diagnostics remain. Regenerate with
+//
+//	go test -run CLIVelovetGolden -update-velovet .
+func TestCLIVelovetGolden(t *testing.T) {
+	wantExit := map[string]int{
+		"bankbug":    1, // velo-split
+		"bankfixed":  0,
+		"counter":    1, // velo-lockset
+		"auditbug":   1, // velo-split
+		"auditfixed": 0,
+	}
+	for _, ex := range []string{"bankbug", "bankfixed", "counter", "auditbug", "auditfixed"} {
+		out, code := runTool(t, "velovet", "-all", "examples/instr/"+ex)
+		if code != wantExit[ex] {
+			t.Errorf("%s: exit %d, want %d:\n%s", ex, code, wantExit[ex], out)
+		}
+		golden := filepath.Join("testdata", "velovet", ex+".golden")
+		if *updateVelovet {
+			if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%s (regenerate with -update-velovet): %v", ex, err)
+		}
+		if out != string(want) {
+			t.Errorf("%s: velovet output diverged from %s\n-- got --\n%s-- want --\n%s", ex, golden, out, want)
+		}
+	}
+}
+
+// TestCLIVelovetBasics covers the remaining CLI surface: finding-only
+// default output, multi-package -json, the -codes catalog, directive
+// errors, and usage errors.
+func TestCLIVelovetBasics(t *testing.T) {
+	// Default mode shows findings only: the fixed bank example has just
+	// advisory diagnostics, so it prints nothing and exits 0.
+	out, code := runTool(t, "velovet", "examples/instr/bankfixed")
+	if code != 0 || strings.TrimSpace(out) != "" {
+		t.Errorf("bankfixed default mode: exit %d output:\n%s", code, out)
+	}
+	// Findings render with the package dir prefixed so they're clickable.
+	out, code = runTool(t, "velovet", "examples/instr/counter")
+	if code != 1 || !strings.Contains(out, "examples/instr/counter/main.go:") ||
+		!strings.Contains(out, "[velo-lockset]") {
+		t.Errorf("counter default mode: exit %d output:\n%s", code, out)
+	}
+	if strings.Contains(out, "suggestion:") {
+		t.Errorf("default mode must hide suggestions:\n%s", out)
+	}
+
+	// -json over several packages yields one object per package.
+	out, code = runTool(t, "velovet", "-json", "-all", "examples/instr/bankbug", "examples/instr/auditfixed")
+	if code != 1 {
+		t.Fatalf("bankbug finding must drive a multi-package run to exit 1; exit %d:\n%s", code, out)
+	}
+	var results []struct {
+		Package     string `json:"package"`
+		Diagnostics []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("-json output: %v\n%s", err, out)
+	}
+	if len(results) != 2 || results[0].Package != "examples/instr/bankbug" {
+		t.Fatalf("want 2 package objects, got %+v", results)
+	}
+	codes := map[string]bool{}
+	for _, r := range results {
+		for _, d := range r.Diagnostics {
+			codes[d.Code] = true
+		}
+	}
+	for _, want := range []string{"velo-split", "velo-interproc", "velo-atomic-suggest"} {
+		if !codes[want] {
+			t.Errorf("missing %s across packages: %v", want, codes)
+		}
+	}
+
+	// -codes documents every diagnostic code and every pass.
+	out, code = runTool(t, "velovet", "-codes")
+	if code != 0 {
+		t.Fatalf("-codes: exit %d", code)
+	}
+	for _, want := range []string{
+		"velo-directive", "velo-value-recv", "velo-atomic-empty", "velo-nested-atomic",
+		"velo-interproc", "velo-lockset", "velo-check-act", "velo-rmw",
+		"velo-split", "velo-defer-loop", "velo-atomic-suggest",
+		"passes:", "lockset", "suggest",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-codes missing %q:\n%s", want, out)
+		}
+	}
+
+	// Ill-formed directives are error-severity findings.
+	out, code = runTool(t, "velovet", "testdata/instr/badannot")
+	if code != 1 || !strings.Contains(out, "[velo-directive]") {
+		t.Errorf("badannot: exit %d output:\n%s", code, out)
+	}
+
+	// Usage and load errors exit 2.
+	if _, code := runTool(t, "velovet"); code != 2 {
+		t.Errorf("no arguments should exit 2, got %d", code)
+	}
+	if _, code := runTool(t, "velovet", "no/such/dir"); code != 2 {
+		t.Errorf("missing package should exit 2, got %d", code)
 	}
 }

@@ -6,15 +6,21 @@
 // and optionally runs the result with the events piped straight into
 // the online engines and the offline serial oracle:
 //
-//	veloinstr -analyze examples/instr/bankbug      classification + annotation lint
+//	veloinstr -analyze examples/instr/bankbug      classification + velovet diagnostics
+//	veloinstr -analyze -json <pkg>                 same, machine-readable (velovet schema)
+//	veloinstr -analyze -intra <pkg>                disable interprocedural lock inference
 //	veloinstr examples/instr/bankbug               print instrumented source
 //	veloinstr -o /tmp/out examples/instr/bankbug   write instrumented package
 //	veloinstr -run examples/instr/bankbug          instrument, go run, check
 //	veloinstr -run -server 127.0.0.1:7764 <pkg>    stream the trace to velodromed
 //
 // Atomicity specifications are //velo:atomic comments on function
-// declarations. -run exit status: 0 the observed trace is serializable,
-// 1 it is not (warnings printed), 2 infrastructure or analysis error.
+// declarations.
+//
+// Exit status, both modes: 0 clean (serializable trace / no static
+// findings), 1 findings (a non-serializable trace / error- or
+// warning-severity diagnostics), 2 usage, infrastructure or
+// type-checking error.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/instr"
 	"repro/internal/obs"
@@ -41,7 +48,9 @@ func main() {
 }
 
 func run() int {
-	analyze := flag.Bool("analyze", false, "print the access classification table and lint annotations, without rewriting")
+	analyze := flag.Bool("analyze", false, "print the access classification table and velovet diagnostics, without rewriting")
+	jsonOut := flag.Bool("json", false, "with -analyze: emit the report as JSON (velovet diagnostic schema)")
+	intra := flag.Bool("intra", false, "disable interprocedural entry-lock inference (classify each function in isolation)")
 	doRun := flag.Bool("run", false, "instrument, build and run the package, checking the emitted trace online")
 	outDir := flag.String("o", "", "write the instrumented package to this directory")
 	noprune := flag.Bool("noprune", false, "emit events even for accesses the analysis proved redundant")
@@ -57,7 +66,7 @@ func run() int {
 		return 2
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: veloinstr [-analyze | -run] [-o dir] [-noprune] [-server addr] <package dir>")
+		fmt.Fprintln(os.Stderr, "usage: veloinstr [-analyze [-json] | -run] [-intra] [-o dir] [-noprune] [-server addr] <package dir>")
 		return 2
 	}
 	if *serverAddr != "" && (!*doRun || *traceOut != "" || *obsJSON || *spanOut != "") {
@@ -66,6 +75,10 @@ func run() int {
 	}
 	if *spanOut != "" && !*doRun {
 		fmt.Fprintln(os.Stderr, "veloinstr: -trace-out requires -run")
+		return 2
+	}
+	if *jsonOut && !*analyze {
+		fmt.Fprintln(os.Stderr, "veloinstr: -json requires -analyze")
 		return 2
 	}
 	dir := flag.Arg(0)
@@ -89,20 +102,36 @@ func run() int {
 		return 2
 	}
 	dirs := instr.ScanDirectives(pkg)
-	an := instr.Analyze(pkg, dirs)
+	opts := analysis.DefaultOptions()
+	opts.Interprocedural = !*intra
+	an := instr.AnalyzeOpts(pkg, dirs, opts)
 	rep := instr.NewReport(pkg, dirs, an)
 
 	if *analyze {
-		rep.WriteTable(os.Stdout)
-		if len(dirs.Diags) > 0 {
+		if *jsonOut {
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "veloinstr:", err)
+				return 2
+			}
+		} else {
+			rep.WriteTable(os.Stdout)
+		}
+		if rep.FindingCount() > 0 {
 			return 1
 		}
 		return 0
 	}
-	if len(dirs.Diags) > 0 {
-		for _, d := range dirs.Diags {
+	// Error-severity diagnostics (malformed directives) make the atomicity
+	// spec unreliable, so instrumentation refuses to proceed; warnings and
+	// suggestions are -analyze's business and don't block a rewrite.
+	blocked := false
+	for _, d := range dirs.Diags {
+		if d.Severity == analysis.SevError {
 			fmt.Fprintln(os.Stderr, "veloinstr: annotation error:", d)
+			blocked = true
 		}
+	}
+	if blocked {
 		return 2
 	}
 

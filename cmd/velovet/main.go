@@ -1,0 +1,139 @@
+// Command velovet is the standalone static atomicity analyzer: it runs
+// the internal/analysis pass suite — directive lint, interprocedural
+// lock inference, static lockset (Eraser) checking, atomicity smells,
+// and //velo:atomic suggestions — over one or more package directories
+// and reports structured diagnostics, vet-style.
+//
+//	velovet examples/instr/bankbug             findings (errors + warnings)
+//	velovet -all examples/instr/bankbug        also info and suggestions
+//	velovet -json ./pkg1 ./pkg2                machine-readable diagnostics
+//	velovet -codes                             list every diagnostic code
+//	velovet -intra ./pkg                       disable interprocedural inference
+//
+// velovet needs no annotations to be useful — the lockset and smell
+// passes run on any package — but //velo:atomic specifications unlock
+// the transaction-oriented passes, and the same analysis drives
+// veloinstr's event pruning, so a velovet-clean package instruments
+// identically to how it reads.
+//
+// Exit status: 0 no findings, 1 at least one error- or warning-severity
+// diagnostic, 2 usage or load/type-checking error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// pkgResult is one element of the -json output array: the schema is the
+// same Diagnostic encoding veloinstr -analyze -json embeds.
+type pkgResult struct {
+	Package     string                `json:"package"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("velovet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (one object per package)")
+	all := fs.Bool("all", false, "show info- and suggestion-severity diagnostics, not just findings")
+	codes := fs.Bool("codes", false, "list every diagnostic code with its severity and meaning, then exit")
+	intra := fs.Bool("intra", false, "disable interprocedural entry-lock inference (classify each function in isolation)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: velovet [-json] [-all] [-codes] [-intra] <package dir> ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *codes {
+		writeCatalog(stdout)
+		return 0
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	opts := analysis.DefaultOptions()
+	opts.Interprocedural = !*intra
+
+	findings := 0
+	var results []pkgResult
+	for _, dir := range fs.Args() {
+		pkg, err := analysis.Load(dir)
+		if err != nil {
+			fmt.Fprintln(stderr, "velovet:", err)
+			return 2
+		}
+		dirs := analysis.ScanDirectives(pkg)
+		facts := analysis.BuildFacts(pkg, dirs, opts)
+		diags := analysis.RunPasses(pkg, dirs, facts)
+		findings += analysis.CountFindings(diags)
+
+		if *jsonOut {
+			shown := diags
+			if !*all {
+				shown = onlyFindings(diags)
+			}
+			if shown == nil {
+				shown = []analysis.Diagnostic{}
+			}
+			results = append(results, pkgResult{Package: dir, Diagnostics: shown})
+			continue
+		}
+		prefix := dir + string(os.PathSeparator)
+		for _, d := range diags {
+			if !*all && !d.Severity.IsFinding() {
+				continue
+			}
+			fmt.Fprintln(stdout, d.Render(prefix))
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(stderr, "velovet:", err)
+			return 2
+		}
+	}
+	if findings > 0 {
+		return 1
+	}
+	return 0
+}
+
+// onlyFindings filters to error- and warning-severity diagnostics.
+func onlyFindings(ds []analysis.Diagnostic) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range ds {
+		if d.Severity.IsFinding() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// writeCatalog prints the diagnostic-code reference (-codes).
+func writeCatalog(w *os.File) {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "CODE\tSEVERITY\tMEANING")
+	for _, c := range analysis.Catalog() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", c.Code, c.Severity, c.Doc)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "\npasses:")
+	for _, p := range analysis.Passes() {
+		fmt.Fprintf(w, "  %-12s %s\n", p.Name, p.Doc)
+	}
+}

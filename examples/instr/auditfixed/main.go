@@ -1,0 +1,84 @@
+// Auditfixed is auditbug with the atomicity bug repaired: reconcile
+// snapshots the drift and applies the correction inside a single
+// critical section, so no credit can intervene and every interleaving
+// is serializable (veloinstr -run exits 0). The pruning structure is
+// the same as auditbug — in particular ledger is still only provably
+// lock-protected by the interprocedural entry-lock analysis, because
+// credit and debit never touch mu themselves.
+package main
+
+import "sync"
+
+// target is the balance the reconciler drives the ledger back to.
+const target = 100
+
+var mu sync.Mutex
+
+var ledger int
+
+var auditMu sync.Mutex
+
+var audits int
+
+var openingLedger int
+
+var lastReconciled int
+
+var started = make(chan struct{})
+
+// credit adds to the ledger. Callers must hold mu — the lock never
+// appears in this function, so proving the access protected takes the
+// interprocedural entry-lock analysis.
+func credit(n int) {
+	ledger += n
+}
+
+// debit removes from the ledger. Same locking contract as credit.
+func debit(n int) {
+	ledger -= n
+}
+
+func recordAudit() {
+	auditMu.Lock()
+	audits++
+	auditMu.Unlock()
+}
+
+// reconcile snapshots and corrects the drift in one critical section:
+// the concurrent credit lands wholly before or wholly after it.
+//
+//velo:atomic
+func reconcile() {
+	started <- struct{}{} // handshake: concurrent credit may proceed
+	mu.Lock()
+	drift := ledger - target
+	debit(drift)
+	mu.Unlock()
+	recordAudit()
+	lastReconciled = drift
+}
+
+func main() {
+	openingLedger = target
+	mu.Lock()
+	credit(openingLedger)
+	mu.Unlock()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		reconcile()
+	}()
+	<-started
+	mu.Lock()
+	credit(25)
+	mu.Unlock()
+	wg.Wait()
+	recordAudit()
+	mu.Lock()
+	final := ledger
+	mu.Unlock()
+	if final != openingLedger && final != openingLedger+25 {
+		println("impossible ledger:", final, "drift was", lastReconciled)
+	}
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a Diagnostic. Findings — the severities that flip a
+// vet-style exit code to 1 — are SevError and SevWarning; SevInfo and
+// SevSuggestion are advisory and only shown on request.
+type Severity int
+
+// Severities, most severe first.
+const (
+	SevError Severity = iota
+	SevWarning
+	SevInfo
+	SevSuggestion
+)
+
+var severityNames = [...]string{"error", "warning", "info", "suggestion"}
+
+// String returns the lowercase severity name used in renderings and JSON.
+func (s Severity) String() string {
+	if s < 0 || int(s) >= len(severityNames) {
+		return "unknown"
+	}
+	return severityNames[s]
+}
+
+// MarshalJSON encodes the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for i, n := range severityNames {
+		if n == name {
+			*s = Severity(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("analysis: unknown severity %q", name)
+}
+
+// IsFinding reports whether the severity counts toward a non-zero exit
+// code (errors and warnings do; info and suggestions do not).
+func (s Severity) IsFinding() bool { return s <= SevWarning }
+
+// RelatedPos points at a secondary location that explains a Diagnostic
+// (the matching re-acquire of a split transaction, the read of a
+// check-then-act pair, the call sites a lock fact propagated through).
+type RelatedPos struct {
+	Pos     string `json:"pos"`
+	Message string `json:"message"`
+}
+
+// Diagnostic is one structured result of a static-analysis pass:
+// position, severity, a stable machine-readable code, a human message,
+// and optional related positions. The JSON encoding is the schema shared
+// by `velovet -json` and `veloinstr -analyze -json`.
+type Diagnostic struct {
+	Pos      string       `json:"pos"` // package-relative file:line:col
+	Severity Severity     `json:"severity"`
+	Code     string       `json:"code"`
+	Message  string       `json:"message"`
+	Related  []RelatedPos `json:"related,omitempty"`
+
+	// sort key, filled by newDiag; zero-valued diagnostics sort by the
+	// rendered Pos string instead.
+	file      string
+	line, col int
+}
+
+// newDiag builds a Diagnostic anchored at pos with a structured sort key.
+func newDiag(p *Package, pos token.Pos, sev Severity, code, format string, args ...any) Diagnostic {
+	ps := p.Fset.Position(pos)
+	return Diagnostic{
+		Pos:      p.Position(pos),
+		Severity: sev,
+		Code:     code,
+		Message:  fmt.Sprintf(format, args...),
+		file:     ps.Filename,
+		line:     ps.Line,
+		col:      ps.Column,
+	}
+}
+
+// related appends a secondary position.
+func (d *Diagnostic) related(p *Package, pos token.Pos, format string, args ...any) {
+	d.Related = append(d.Related, RelatedPos{
+		Pos:     p.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// String renders "pos: message" (the historical annotation-lint shape;
+// velovet renders richer lines itself).
+func (d Diagnostic) String() string { return d.Pos + ": " + d.Message }
+
+// Render prints the full vet-style line, prefixing every position with
+// prefix (velovet passes the package directory so lines are clickable
+// from the invocation directory):
+//
+//	dir/main.go:12:2: warning: message [code]
+//	    dir/main.go:14:2: related message
+func (d Diagnostic) Render(prefix string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s: %s: %s [%s]", prefix, d.Pos, d.Severity, d.Message, d.Code)
+	for _, r := range d.Related {
+		fmt.Fprintf(&b, "\n    %s%s: %s", prefix, r.Pos, r.Message)
+	}
+	return b.String()
+}
+
+// sortDiagnostics orders by file, line, column, then code, then message,
+// so pass output is deterministic and stable under concatenation.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := &ds[i], &ds[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// CountFindings reports how many diagnostics are findings (error or
+// warning severity).
+func CountFindings(ds []Diagnostic) int {
+	n := 0
+	for _, d := range ds {
+		if d.Severity.IsFinding() {
+			n++
+		}
+	}
+	return n
+}

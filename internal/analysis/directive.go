@@ -1,7 +1,6 @@
-package instr
+package analysis
 
 import (
-	"fmt"
 	"go/ast"
 	"strings"
 )
@@ -19,19 +18,13 @@ import (
 
 const directivePrefix = "//velo:"
 
-// Diagnostic is one annotation well-formedness complaint.
-type Diagnostic struct {
-	Pos string // rendered position
-	Msg string
-}
-
-func (d Diagnostic) String() string { return d.Pos + ": " + d.Msg }
-
 // Directives is the parsed annotation set of a package.
 type Directives struct {
 	// Atomic maps annotated function declarations to their block label.
 	Atomic map[*ast.FuncDecl]string
-	// Diags lists ill-formed annotations, in source order.
+	// Diags lists ill-formed annotations, in source order. They carry
+	// code "velo-directive" at SevError: an unparseable specification
+	// must block instrumentation, not weaken it silently.
 	Diags []Diagnostic
 }
 
@@ -89,15 +82,12 @@ func ScanDirectives(p *Package) *Directives {
 			}
 		}
 	}
-	sortDiags(d.Diags)
+	sortDiagnostics(d.Diags)
 	return d
 }
 
 func (d *Directives) diag(p *Package, c *ast.Comment, format string, args ...any) {
-	d.Diags = append(d.Diags, Diagnostic{
-		Pos: p.Position(c.Pos()),
-		Msg: fmt.Sprintf(format, args...),
-	})
+	d.Diags = append(d.Diags, newDiag(p, c.Pos(), SevError, "velo-directive", format, args...))
 }
 
 // parseDirective splits "//velo:verb arg" into its parts. Only comments
@@ -113,24 +103,31 @@ func parseDirective(text string) (verb, arg string, ok bool) {
 
 // funcLabel names the atomic block of an annotated function: Recv.Name
 // for methods, plain Name otherwise (matching the paper's method-named
-// transactions in warnings, e.g. "Bank.transfer").
+// transactions in warnings, e.g. "Bank.transfer"). Receiver type syntax
+// is unwrapped structurally, so value receivers, parenthesized forms and
+// generic receivers ((c *Cache[K]) or c Counter) all label correctly.
 func funcLabel(fd *ast.FuncDecl) string {
 	if fd.Recv != nil && len(fd.Recv.List) == 1 {
-		t := fd.Recv.List[0].Type
-		if star, ok := t.(*ast.StarExpr); ok {
-			t = star.X
-		}
-		if id, ok := t.(*ast.Ident); ok {
-			return id.Name + "." + fd.Name.Name
+		if name := recvTypeName(fd.Recv.List[0].Type); name != "" {
+			return name + "." + fd.Name.Name
 		}
 	}
 	return fd.Name.Name
 }
 
-func sortDiags(ds []Diagnostic) {
-	for i := 1; i < len(ds); i++ {
-		for j := i; j > 0 && ds[j].Pos < ds[j-1].Pos; j-- {
-			ds[j], ds[j-1] = ds[j-1], ds[j]
-		}
+// recvTypeName extracts the base type name from receiver syntax.
+func recvTypeName(t ast.Expr) string {
+	switch ex := t.(type) {
+	case *ast.Ident:
+		return ex.Name
+	case *ast.StarExpr:
+		return recvTypeName(ex.X)
+	case *ast.ParenExpr:
+		return recvTypeName(ex.X)
+	case *ast.IndexExpr: // generic receiver with one type parameter
+		return recvTypeName(ex.X)
+	case *ast.IndexListExpr: // generic receiver with several type parameters
+		return recvTypeName(ex.X)
 	}
+	return ""
 }

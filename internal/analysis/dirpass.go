@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// The directives pass: the well-formedness diagnostics collected by
+// ScanDirectives, plus placement lints that need the access facts —
+// value-receiver atomic methods that mutate the receiver copy, atomic
+// functions with transitively nothing to check, and atomic functions
+// calling other atomic functions (legal, transactions nest per §4.3 of
+// the trace model, but worth surfacing: the inner boundaries are
+// subsumed by the outer transaction).
+
+func runDirectivePass(ctx *passCtx) []Diagnostic {
+	var out []Diagnostic
+	out = append(out, ctx.dirs.Diags...)
+
+	// Deterministic order over the annotated declarations.
+	decls := make([]*ast.FuncDecl, 0, len(ctx.dirs.Atomic))
+	for fd := range ctx.dirs.Atomic {
+		decls = append(decls, fd)
+	}
+	sort.Slice(decls, func(i, j int) bool { return decls[i].Pos() < decls[j].Pos() })
+
+	for _, fd := range decls {
+		fi := ctx.facts.FuncOf(fd)
+		if fi == nil {
+			continue
+		}
+		if d := valueReceiverDiag(ctx, fd, fi); d != nil {
+			out = append(out, *d)
+		}
+		if d := emptyAtomicDiag(ctx, fd, fi); d != nil {
+			out = append(out, *d)
+		}
+		out = append(out, nestedAtomicDiags(ctx, fd)...)
+	}
+	return out
+}
+
+// valueReceiverDiag warns when an atomic method has a value receiver and
+// writes receiver fields: those writes mutate a copy, so the "atomic"
+// update is invisible to every other goroutine no matter what the
+// checker says.
+func valueReceiverDiag(ctx *passCtx, fd *ast.FuncDecl, fi *FuncInfo) *Diagnostic {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		if p, ok := t.(*ast.ParenExpr); ok {
+			t = p.X
+			continue
+		}
+		break
+	}
+	if _, ptr := t.(*ast.StarExpr); ptr {
+		return nil
+	}
+	if len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	recv, _ := ctx.p.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	if recv == nil {
+		return nil
+	}
+	for _, ac := range fi.Accesses {
+		if ac.Write && ac.Root == recv && !ac.Deref {
+			d := newDiag(ctx.p, fd.Pos(), SevWarning, "velo-value-recv",
+				"//velo:atomic on value-receiver method %s: the body writes fields of a receiver copy, so the update never reaches shared state", funcLabel(fd))
+			d.related(ctx.p, ac.Lv.Pos(), "receiver field written here")
+			return &d
+		}
+	}
+	return nil
+}
+
+// emptyAtomicDiag warns when an atomic function — including the
+// literals it contains and the same-package functions it calls — has no
+// candidate shared accesses, no lock operations, and no forks: the
+// annotation produces an empty transaction that checks nothing, which
+// almost always means the directive is on the wrong function.
+func emptyAtomicDiag(ctx *passCtx, fd *ast.FuncDecl, fi *FuncInfo) *Diagnostic {
+	seen := map[*FuncInfo]bool{}
+	queue := []*FuncInfo{fi}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		if f == nil || seen[f] {
+			continue
+		}
+		seen[f] = true
+		for _, ac := range f.Accesses {
+			if ac.Action != ActionSkip {
+				return nil
+			}
+		}
+		if len(f.LockOps) > 0 {
+			return nil
+		}
+		for _, callee := range f.Calls {
+			queue = append(queue, ctx.facts.FuncOfObj(callee))
+		}
+		for _, other := range ctx.facts.Funcs {
+			if other.Parent == f {
+				queue = append(queue, other)
+			}
+		}
+	}
+	// Forks inside the body still make the transaction meaningful (its
+	// fork/join events order the children).
+	hasGo := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			hasGo = true
+			return false
+		}
+		return true
+	})
+	if hasGo {
+		return nil
+	}
+	d := newDiag(ctx.p, fd.Pos(), SevWarning, "velo-atomic-empty",
+		"//velo:atomic on %s has no effect: the function (and everything it calls) performs no shared accesses, lock operations or forks", funcLabel(fd))
+	return &d
+}
+
+// nestedAtomicDiags notes direct calls from one atomic function to
+// another. Nested Begin/End pairs are legal in the trace model — the
+// outer transaction subsumes the inner one — so this is informational.
+func nestedAtomicDiags(ctx *passCtx, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := ctx.p.Info.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() != ctx.p.Pkg {
+			return true
+		}
+		callee := ctx.facts.FuncOfObj(fn)
+		if callee == nil || callee.Decl == nil {
+			return true
+		}
+		if _, atomic := ctx.dirs.Atomic[callee.Decl]; atomic {
+			d := newDiag(ctx.p, call.Pos(), SevInfo, "velo-nested-atomic",
+				"atomic function %s calls atomic function %s: the inner transaction is subsumed by the outer one", funcLabel(fd), funcLabel(callee.Decl))
+			d.related(ctx.p, callee.Decl.Pos(), "%s declared atomic here", funcLabel(callee.Decl))
+			out = append(out, d)
+		}
+		return true
+	})
+	return out
+}

@@ -1,4 +1,4 @@
-package instr
+package analysis
 
 import (
 	"fmt"
@@ -8,7 +8,7 @@ import (
 	"sort"
 )
 
-// Shared-access analysis: a conservative, flow-light classification of
+// Shared-access facts: a conservative, flow-light classification of
 // every candidate memory access in the package, mirroring the paper's
 // Section 5 redundant-event filters. Accesses that are provably
 // goroutine-local (the variable is never reachable from a go-launched
@@ -20,7 +20,10 @@ import (
 //
 // The analysis errs toward instrumenting: anything aliased, escaping,
 // reached through a pointer, slice or map, or accessed from code that a
-// go statement can reach, stays instrumented.
+// go statement can reach, stays instrumented. The interprocedural half
+// (interproc.go) additionally propagates dominating-mutex facts through
+// same-package call edges, so strictly more accesses can be pruned than
+// the syntactic per-function analysis alone.
 
 // Class is the verdict for one variable's accesses.
 type Class int
@@ -59,61 +62,119 @@ type VarInfo struct {
 	Lock   string // dominating mutex path for ClassLockProtected
 	Reads  int    // candidate read sites
 	Writes int    // candidate write sites
+	// Interproc marks a ClassLockProtected variable whose dominating
+	// mutex was established only by the interprocedural call-graph
+	// propagation — the syntactic analysis alone would classify it
+	// shared.
+	Interproc bool
+	// Accs are the candidate accesses aggregated into this row, in scan
+	// order (passes sort by position as needed).
+	Accs []*Access
 }
 
-// access is one candidate read or write site.
-type access struct {
-	lv     ast.Expr   // the lvalue expression
-	addr   ast.Expr   // expression whose address identifies the location (map elements fall back to the map variable); nil when opaque
-	root   *types.Var // leftmost base variable, nil when opaque
-	write  bool
-	deref  bool // reaches data through a pointer, slice or map
-	held   []string
-	fn     *funcInfo
-	action action
-	opaque bool
+// Access is one candidate read or write site.
+type Access struct {
+	Lv    ast.Expr   // the lvalue expression
+	Addr  ast.Expr   // expression whose address identifies the location (map elements fall back to the map variable); nil when opaque
+	Root  *types.Var // leftmost base variable, nil when opaque
+	Write bool
+	Deref bool // reaches data through a pointer, slice or map
+	// SynHeld is the syntactically held lock set at the access; Held
+	// additionally includes the enclosing function's interprocedural
+	// entry set (equal to SynHeld when that inference is disabled).
+	SynHeld []string
+	Held    []string
+	Fn      *FuncInfo
+	Stmt    ast.Stmt // statement the access is attributed to
+	RMW     bool     // half of a compound assignment or ++/--
+	Action  Action
+	Opaque  bool
 }
 
-type action int
+// Action is the rewriter's decision for one access.
+type Action int
 
+// Actions.
 const (
-	actionSkip action = iota // plain local, below the candidate bar
-	actionEmit
-	actionPrune
+	ActionSkip Action = iota // plain local, below the candidate bar
+	ActionEmit
+	ActionPrune
 )
 
-// stmtSites records the accesses attributed to one statement. The
-// rewriter emits pre before the statement, post after it, and loopEnd at
+// StmtSites records the accesses attributed to one statement. The
+// rewriter emits Pre before the statement, Post after it, and LoopEnd at
 // the end of a for-statement's body (covering condition/post accesses
 // re-evaluated each iteration).
-type stmtSites struct {
-	pre     []*access
-	post    []*access
-	loopEnd []*access
+type StmtSites struct {
+	Pre     []*Access
+	Post    []*Access
+	LoopEnd []*Access
 }
 
-// funcInfo is one function body: a declaration or a literal.
-type funcInfo struct {
-	decl       *ast.FuncDecl
-	lit        *ast.FuncLit
-	parent     *funcInfo
-	goLaunched bool
-	escapes    bool // literal referenced outside an immediate call
-	concurrent bool
-	calls      []*types.Func
+// FuncInfo is one function body: a declaration or a literal.
+type FuncInfo struct {
+	Decl       *ast.FuncDecl
+	Lit        *ast.FuncLit
+	Parent     *FuncInfo
+	GoLaunched bool
+	Escapes    bool // literal referenced outside an immediate call
+	Concurrent bool
+	Calls      []*types.Func
+	// LockOps is the source-order sequence of syntactic mutex operations
+	// in this body (the smell and inference passes read it).
+	LockOps []LockOp
+	// Accesses are the candidate accesses recorded in this body.
+	Accesses []*Access
+	// Entry is the interprocedural entry lock set: package-level mutex
+	// paths held at every reachable call site (nil when the function is
+	// an analysis root or the inference is disabled).
+	Entry []string
 }
 
-// Analysis is the classification result consumed by the rewriter and
-// the report.
-type Analysis struct {
+// Name renders the function for diagnostics.
+func (fi *FuncInfo) Name() string {
+	if fi.Decl != nil {
+		return funcLabel(fi.Decl)
+	}
+	return "func literal"
+}
+
+// LockOp is one syntactic sync.Mutex operation in a function body.
+type LockOp struct {
+	Path     string // stable protection path, "" when dynamic
+	PkgLevel bool   // rooted at a package-level variable
+	Lock     bool   // Lock (true) or Unlock (false)
+	Deferred bool   // defer mu.Unlock()
+	Pos      token.Pos
+}
+
+// Options configure fact construction.
+type Options struct {
+	// Interprocedural enables the call-graph entry-lock fixpoint
+	// (interproc.go). Off, classification is the purely syntactic
+	// per-function analysis, kept selectable for the before/after
+	// pruning measurements.
+	Interprocedural bool
+}
+
+// DefaultOptions enable everything.
+func DefaultOptions() Options { return Options{Interprocedural: true} }
+
+// Facts is the classification result consumed by the rewriter and the
+// diagnostic passes.
+type Facts struct {
 	P    *Package
 	Dirs *Directives
+	Opts Options
 
 	Vars   []*VarInfo // sorted by name
-	ByStmt map[ast.Stmt]*stmtSites
+	ByStmt map[ast.Stmt]*StmtSites
 	// GoStmts lists every go statement (the rewriter turns each into a
 	// fork + registered child).
 	GoStmts map[*ast.GoStmt]bool
+	// Funcs lists every scanned function body: declarations in file
+	// order, then literals in discovery order.
+	Funcs []*FuncInfo
 	// Opaque lists positions of candidate accesses that cannot be
 	// instrumented (lvalues containing calls or non-clonable syntax).
 	Opaque []string
@@ -126,45 +187,86 @@ type Analysis struct {
 	Mutexes    int
 	WaitGroups int
 
-	accesses []*access
+	accesses []*Access
 	varOf    map[*types.Var]*VarInfo
+	declOf   map[*ast.FuncDecl]*FuncInfo
+	fnOf     map[*types.Func]*FuncInfo
 }
 
+// StmtFor exposes per-statement sites to the rewriter.
+func (a *Facts) StmtFor(s ast.Stmt) *StmtSites { return a.ByStmt[s] }
+
+// FuncOf looks up the FuncInfo of a function declaration.
+func (a *Facts) FuncOf(fd *ast.FuncDecl) *FuncInfo { return a.declOf[fd] }
+
+// FuncOfObj looks up the FuncInfo of a named function object.
+func (a *Facts) FuncOfObj(fn *types.Func) *FuncInfo { return a.fnOf[fn] }
+
+// VarOf looks up the classification row of a variable object.
+func (a *Facts) VarOf(v *types.Var) *VarInfo { return a.varOf[v] }
+
 type builder struct {
-	a        *Analysis
+	a        *Facts
 	p        *Package
+	opts     Options
 	queue    []litWork
 	captured map[*types.Var]bool
 	addrOf   map[*types.Var]bool
-	funcs    map[*types.Func]*funcInfo // named functions with bodies
-	allFns   []*funcInfo
+	funcs    map[*types.Func]*FuncInfo // named functions with bodies
+	allFns   []*FuncInfo
 	goNamed  map[*types.Func]bool
 	refNamed map[*types.Func]bool
-	litInfo  map[*ast.FuncLit]*funcInfo
+	litInfo  map[*ast.FuncLit]*FuncInfo
+
+	// callSites feed the interprocedural entry-lock fixpoint.
+	callSites []callSite
+	inDefer   bool
+	inRMW     bool
 }
 
 type litWork struct {
-	fi *funcInfo
+	fi *FuncInfo
 }
 
-// Analyze classifies every candidate access of the package.
-func Analyze(p *Package, dirs *Directives) *Analysis {
-	a := &Analysis{
-		P:      p,
-		Dirs:   dirs,
-		ByStmt: map[ast.Stmt]*stmtSites{},
+// callSite is one direct same-package invocation: of a named function
+// (fn) or of an immediately-invoked literal (lit).
+type callSite struct {
+	fn     *types.Func
+	lit    *FuncInfo
+	caller *FuncInfo
+	// held is the set of package-level mutex paths syntactically held at
+	// the call; nil for call sites inside deferred expressions, which
+	// run at function exit where the held set is unknowable.
+	held []string
+}
+
+// Analyze classifies every candidate access of the package with the
+// default options.
+func Analyze(p *Package, dirs *Directives) *Facts {
+	return BuildFacts(p, dirs, DefaultOptions())
+}
+
+// BuildFacts classifies every candidate access of the package.
+func BuildFacts(p *Package, dirs *Directives, opts Options) *Facts {
+	a := &Facts{
+		P:       p,
+		Dirs:    dirs,
+		Opts:    opts,
+		ByStmt:  map[ast.Stmt]*StmtSites{},
 		GoStmts: map[*ast.GoStmt]bool{},
-		varOf:  map[*types.Var]*VarInfo{},
+		varOf:   map[*types.Var]*VarInfo{},
+		declOf:  map[*ast.FuncDecl]*FuncInfo{},
 	}
 	b := &builder{
 		a:        a,
 		p:        p,
+		opts:     opts,
 		captured: map[*types.Var]bool{},
 		addrOf:   map[*types.Var]bool{},
-		funcs:    map[*types.Func]*funcInfo{},
+		funcs:    map[*types.Func]*FuncInfo{},
 		goNamed:  map[*types.Func]bool{},
 		refNamed: map[*types.Func]bool{},
-		litInfo:  map[*ast.FuncLit]*funcInfo{},
+		litInfo:  map[*ast.FuncLit]*FuncInfo{},
 	}
 	// Register named functions first so call edges resolve.
 	for _, f := range p.Files {
@@ -174,10 +276,30 @@ func Analyze(p *Package, dirs *Directives) *Analysis {
 				continue
 			}
 			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
-				fi := &funcInfo{decl: fd}
+				fi := &FuncInfo{Decl: fd}
 				b.funcs[fn] = fi
 				b.allFns = append(b.allFns, fi)
+				a.declOf[fd] = fi
 			}
+		}
+	}
+	// A function referenced from a package-level initializer expression
+	// (var handler = helper) escapes before main even runs: it may be
+	// invoked from any goroutine, with any lock state.
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if fn, ok := p.Info.Uses[id].(*types.Func); ok && fn.Pkg() == p.Pkg {
+						b.refNamed[fn] = true
+					}
+				}
+				return true
+			})
 		}
 	}
 	// Scan every declared body; literals are queued as discovered.
@@ -198,11 +320,14 @@ func Analyze(p *Package, dirs *Directives) *Analysis {
 	for len(b.queue) > 0 {
 		w := b.queue[0]
 		b.queue = b.queue[1:]
-		b.scanStmts(w.fi, w.fi.lit.Body.List, map[string]bool{})
+		b.scanStmts(w.fi, w.fi.Lit.Body.List, map[string]bool{})
 	}
 	b.countSyncDecls()
 	b.fixpoint()
+	b.lockFixpoint()
 	b.classify()
+	a.Funcs = b.allFns
+	a.fnOf = b.funcs
 	return a
 }
 
@@ -221,26 +346,26 @@ func (b *builder) fixpoint() {
 	for changed := true; changed; {
 		changed = false
 		for _, fi := range b.allFns {
-			c := fi.goLaunched || fi.escapes
-			if fi.parent != nil && fi.parent.concurrent {
+			c := fi.GoLaunched || fi.Escapes
+			if fi.Parent != nil && fi.Parent.Concurrent {
 				c = true
 			}
-			if fi.decl != nil {
+			if fi.Decl != nil {
 				if nonMain {
 					// Any exported-or-not function of a library package
 					// may be called from arbitrary goroutines.
 					c = true
 				}
-				if fn, ok := b.p.Info.Defs[fi.decl.Name].(*types.Func); ok && concNamed[fn] {
+				if fn, ok := b.p.Info.Defs[fi.Decl.Name].(*types.Func); ok && concNamed[fn] {
 					c = true
 				}
 			}
-			if c && !fi.concurrent {
-				fi.concurrent = true
+			if c && !fi.Concurrent {
+				fi.Concurrent = true
 				changed = true
 			}
-			if fi.concurrent {
-				for _, callee := range fi.calls {
+			if fi.Concurrent {
+				for _, callee := range fi.Calls {
 					if !concNamed[callee] {
 						concNamed[callee] = true
 						changed = true
@@ -255,36 +380,32 @@ func (b *builder) fixpoint() {
 
 func (b *builder) classify() {
 	a := b.a
-	type varAgg struct {
-		info     *VarInfo
-		accesses []*access
-	}
-	agg := map[*types.Var]*varAgg{}
+	agg := map[*types.Var]*VarInfo{}
 	var order []*types.Var
 	for _, ac := range a.accesses {
-		if ac.opaque {
-			a.Opaque = append(a.Opaque, b.p.Position(ac.lv.Pos()))
+		if ac.Opaque {
+			a.Opaque = append(a.Opaque, b.p.Position(ac.Lv.Pos()))
 			continue
 		}
-		root := ac.root
+		root := ac.Root
 		if root == nil {
 			continue
 		}
 		if !b.candidate(ac) {
-			ac.action = actionSkip
+			ac.Action = ActionSkip
 			continue
 		}
 		g := agg[root]
 		if g == nil {
-			g = &varAgg{info: &VarInfo{Obj: root, Name: root.Name(), Kind: b.varKind(ac)}}
+			g = &VarInfo{Obj: root, Name: root.Name(), Kind: b.varKind(ac)}
 			agg[root] = g
 			order = append(order, root)
 		}
-		g.accesses = append(g.accesses, ac)
-		if ac.write {
-			g.info.Writes++
+		g.Accs = append(g.Accs, ac)
+		if ac.Write {
+			g.Writes++
 		} else {
-			g.info.Reads++
+			g.Reads++
 		}
 	}
 	sort.Slice(order, func(i, j int) bool {
@@ -296,32 +417,35 @@ func (b *builder) classify() {
 	for _, root := range order {
 		g := agg[root]
 		concurrent := false
-		for _, ac := range g.accesses {
-			if ac.fn.concurrent {
+		for _, ac := range g.Accs {
+			if ac.Fn.Concurrent {
 				concurrent = true
 				break
 			}
 		}
 		switch {
 		case !concurrent:
-			g.info.Class = ClassThreadLocal
+			g.Class = ClassThreadLocal
 		default:
-			if lock := commonLock(g.accesses); lock != "" {
-				g.info.Class = ClassLockProtected
-				g.info.Lock = lock
+			if lock := commonLock(g.Accs, fullHeld); lock != "" {
+				g.Class = ClassLockProtected
+				g.Lock = lock
+				if commonLock(g.Accs, synHeld) == "" {
+					g.Interproc = true
+				}
 			} else {
-				g.info.Class = ClassShared
+				g.Class = ClassShared
 			}
 		}
-		act := actionPrune
-		if g.info.Class == ClassShared {
-			act = actionEmit
+		act := ActionPrune
+		if g.Class == ClassShared {
+			act = ActionEmit
 		}
-		for _, ac := range g.accesses {
-			ac.action = act
+		for _, ac := range g.Accs {
+			ac.Action = act
 		}
-		a.Vars = append(a.Vars, g.info)
-		a.varOf[root] = g.info
+		a.Vars = append(a.Vars, g)
+		a.varOf[root] = g
 	}
 	sort.Strings(a.Opaque)
 	sort.Strings(a.Unsupported)
@@ -333,19 +457,19 @@ func (b *builder) classify() {
 // pointer, slice or map (whose referent may be aliased). Everything else
 // is a plain stack local — the analogue of a JVM stack slot, which
 // RoadRunner never instruments either.
-func (b *builder) candidate(ac *access) bool {
-	if ac.deref {
+func (b *builder) candidate(ac *Access) bool {
+	if ac.Deref {
 		return true
 	}
-	root := ac.root
+	root := ac.Root
 	if root.Parent() == b.p.Pkg.Scope() {
 		return true
 	}
 	return b.captured[root] || b.addrOf[root]
 }
 
-func (b *builder) varKind(ac *access) string {
-	root := ac.root
+func (b *builder) varKind(ac *Access) string {
+	root := ac.Root
 	switch {
 	case root.Parent() == b.p.Pkg.Scope():
 		return "pkg var"
@@ -358,18 +482,25 @@ func (b *builder) varKind(ac *access) string {
 	}
 }
 
+// heldView selects which held set of an access a lockset computation
+// uses: the full (interprocedural) one or the syntactic one.
+type heldView func(*Access) []string
+
+func fullHeld(ac *Access) []string { return ac.Held }
+func synHeld(ac *Access) []string  { return ac.SynHeld }
+
 // commonLock intersects the held-lock sets of all accesses.
-func commonLock(accs []*access) string {
+func commonLock(accs []*Access, view heldView) string {
 	if len(accs) == 0 {
 		return ""
 	}
 	common := map[string]bool{}
-	for _, l := range accs[0].held {
+	for _, l := range view(accs[0]) {
 		common[l] = true
 	}
 	for _, ac := range accs[1:] {
 		cur := map[string]bool{}
-		for _, l := range ac.held {
+		for _, l := range view(ac) {
 			if common[l] {
 				cur[l] = true
 			}
@@ -389,15 +520,18 @@ func commonLock(accs []*access) string {
 
 // ---- statement scanning ----
 
-func (b *builder) sites(s ast.Stmt) *stmtSites {
+func (b *builder) sites(s ast.Stmt) *StmtSites {
 	ss := b.a.ByStmt[s]
 	if ss == nil {
-		ss = &stmtSites{}
+		ss = &StmtSites{}
 		b.a.ByStmt[s] = ss
 	}
 	return ss
 }
 
+// The held map carries the syntactically held mutex paths; the value
+// records whether the path is rooted at a package-level variable (only
+// those are meaningful across a call edge).
 func copyHeld(held map[string]bool) map[string]bool {
 	c := make(map[string]bool, len(held))
 	for k, v := range held {
@@ -415,21 +549,38 @@ func heldList(held map[string]bool) []string {
 	return out
 }
 
+// pkgHeld filters held down to package-level lock paths, the only ones
+// whose identity survives a call edge.
+func (b *builder) pkgHeld(held map[string]bool) []string {
+	if b.inDefer {
+		return nil
+	}
+	out := []string{}
+	for l, pkgLevel := range held {
+		if pkgLevel {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // scanStmts walks a statement list in order, tracking syntactically held
 // mutexes and recording candidate accesses per statement.
-func (b *builder) scanStmts(fi *funcInfo, list []ast.Stmt, held map[string]bool) {
+func (b *builder) scanStmts(fi *FuncInfo, list []ast.Stmt, held map[string]bool) {
 	for _, s := range list {
 		b.scanStmt(fi, s, held)
 	}
 }
 
-func (b *builder) scanStmt(fi *funcInfo, s ast.Stmt, held map[string]bool) {
+func (b *builder) scanStmt(fi *FuncInfo, s ast.Stmt, held map[string]bool) {
 	switch st := s.(type) {
 	case *ast.ExprStmt:
-		if path, locked, ok := b.lockOp(st.X); ok {
+		if path, pkgLevel, locked, ok := b.lockOp(st.X); ok {
+			fi.LockOps = append(fi.LockOps, LockOp{Path: path, PkgLevel: pkgLevel, Lock: locked, Pos: st.Pos()})
 			if locked {
 				if path != "" {
-					held[path] = true
+					held[path] = pkgLevel
 				}
 			} else if path != "" {
 				delete(held, path)
@@ -441,10 +592,14 @@ func (b *builder) scanStmt(fi *funcInfo, s ast.Stmt, held map[string]bool) {
 		// "defer mu.Unlock()" keeps mu held for the rest of the body:
 		// there is no explicit Unlock statement to pop it, which is
 		// exactly the conservative reading we want.
-		if _, _, ok := b.lockOp(st.Call); ok {
+		if path, pkgLevel, _, ok := b.lockOp(st.Call); ok {
+			fi.LockOps = append(fi.LockOps, LockOp{Path: path, PkgLevel: pkgLevel, Lock: false, Deferred: true, Pos: st.Pos()})
 			return
 		}
+		wasDefer := b.inDefer
+		b.inDefer = true
 		b.scanExpr(fi, s, pre, st.Call, held)
+		b.inDefer = wasDefer
 	case *ast.GoStmt:
 		b.a.GoStmts[st] = true
 		// Arguments are evaluated in the parent goroutine at the go
@@ -463,14 +618,20 @@ func (b *builder) scanStmt(fi *funcInfo, s ast.Stmt, held map[string]bool) {
 				b.scanIndexParts(fi, s, lhs, held)
 			} else {
 				// Compound assignment reads then writes the lvalue.
+				wasRMW := b.inRMW
+				b.inRMW = true
 				b.recordAccess(fi, s, pre, lhs, false, held)
 				b.recordAccess(fi, s, post, lhs, true, held)
+				b.inRMW = wasRMW
 				b.scanIndexParts(fi, s, lhs, held)
 			}
 		}
 	case *ast.IncDecStmt:
+		wasRMW := b.inRMW
+		b.inRMW = true
 		b.recordAccess(fi, s, pre, st.X, false, held)
 		b.recordAccess(fi, s, post, st.X, true, held)
+		b.inRMW = wasRMW
 		b.scanIndexParts(fi, s, st.X, held)
 	case *ast.ReturnStmt:
 		for _, r := range st.Results {
@@ -493,9 +654,9 @@ func (b *builder) scanStmt(fi *funcInfo, s ast.Stmt, held map[string]bool) {
 		}
 		inner := copyHeld(held)
 		if st.Cond != nil {
-			b.scanExprInto(fi, s, st.Cond, held, func(ss *stmtSites, ac *access) {
-				ss.pre = append(ss.pre, ac)
-				ss.loopEnd = append(ss.loopEnd, ac)
+			b.scanExprInto(fi, s, st.Cond, held, func(ss *StmtSites, ac *Access) {
+				ss.Pre = append(ss.Pre, ac)
+				ss.LoopEnd = append(ss.LoopEnd, ac)
 			})
 		}
 		if st.Post != nil {
@@ -563,7 +724,7 @@ func (b *builder) scanStmt(fi *funcInfo, s ast.Stmt, held map[string]bool) {
 // scanInit attributes an if/for/switch init statement's accesses to the
 // enclosing statement (the rewriter cannot insert between init and
 // cond; writes land slightly early, which is documented best-effort).
-func (b *builder) scanInit(fi *funcInfo, owner ast.Stmt, init ast.Stmt, held map[string]bool) {
+func (b *builder) scanInit(fi *FuncInfo, owner ast.Stmt, init ast.Stmt, held map[string]bool) {
 	switch st := init.(type) {
 	case *ast.AssignStmt:
 		for _, rhs := range st.Rhs {
@@ -582,12 +743,15 @@ func (b *builder) scanInit(fi *funcInfo, owner ast.Stmt, init ast.Stmt, held map
 
 // scanPostStmt attributes a for-loop post statement's accesses to the
 // loop body's end.
-func (b *builder) scanPostStmt(fi *funcInfo, owner ast.Stmt, post ast.Stmt, held map[string]bool) {
-	record := func(ss *stmtSites, ac *access) { ss.loopEnd = append(ss.loopEnd, ac) }
-	switch st := post.(type) {
+func (b *builder) scanPostStmt(fi *FuncInfo, owner ast.Stmt, postStmt ast.Stmt, held map[string]bool) {
+	record := func(ss *StmtSites, ac *Access) { ss.LoopEnd = append(ss.LoopEnd, ac) }
+	switch st := postStmt.(type) {
 	case *ast.IncDecStmt:
+		wasRMW := b.inRMW
+		b.inRMW = true
 		b.recordAccessInto(fi, owner, st.X, false, held, record)
 		b.recordAccessInto(fi, owner, st.X, true, held, record)
+		b.inRMW = wasRMW
 	case *ast.AssignStmt:
 		for _, rhs := range st.Rhs {
 			b.scanExprInto(fi, owner, rhs, held, record)
@@ -605,32 +769,31 @@ const (
 	post
 )
 
-func (b *builder) addTo(s ast.Stmt, kind listKind, ac *access) {
-	ss := b.sites(s)
-	if kind == pre {
-		ss.pre = append(ss.pre, ac)
-	} else {
-		ss.post = append(ss.post, ac)
-	}
-}
-
 // ---- expression scanning ----
 
 // scanExpr records read accesses for every candidate lvalue in e.
-func (b *builder) scanExpr(fi *funcInfo, s ast.Stmt, kind listKind, e ast.Expr, held map[string]bool) {
-	b.scanExprInto(fi, s, e, held, func(ss *stmtSites, ac *access) {
+func (b *builder) scanExpr(fi *FuncInfo, s ast.Stmt, kind listKind, e ast.Expr, held map[string]bool) {
+	b.scanExprInto(fi, s, e, held, func(ss *StmtSites, ac *Access) {
 		if kind == pre {
-			ss.pre = append(ss.pre, ac)
+			ss.Pre = append(ss.Pre, ac)
 		} else {
-			ss.post = append(ss.post, ac)
+			ss.Post = append(ss.Post, ac)
 		}
 	})
 }
 
-func (b *builder) scanExprInto(fi *funcInfo, s ast.Stmt, e ast.Expr, held map[string]bool, record func(*stmtSites, *access)) {
+func (b *builder) scanExprInto(fi *FuncInfo, s ast.Stmt, e ast.Expr, held map[string]bool, record func(*StmtSites, *Access)) {
 	switch ex := e.(type) {
 	case nil:
 	case *ast.Ident:
+		// A same-package function named outside call position escapes:
+		// it may be invoked from any goroutine with any lock state. This
+		// covers arguments (go run(h)), assignments (h := helper), and
+		// composite-literal fields.
+		if fn, ok := b.p.Info.Uses[ex].(*types.Func); ok && fn.Pkg() == b.p.Pkg {
+			b.refNamed[fn] = true
+			return
+		}
 		b.recordAccessInto(fi, s, ex, false, held, record)
 	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
 		b.recordAccessInto(fi, s, e.(ast.Expr), false, held, record)
@@ -659,7 +822,7 @@ func (b *builder) scanExprInto(fi *funcInfo, s ast.Stmt, e ast.Expr, held map[st
 			b.scanExprInto(fi, s, el, held, record)
 		}
 	case *ast.FuncLit:
-		b.enterLit(fi, ex, false, false)
+		b.enterLit(fi, ex, false, false, held)
 	case *ast.TypeAssertExpr:
 		b.scanExprInto(fi, s, ex.X, held, record)
 	case *ast.SliceExpr:
@@ -674,7 +837,7 @@ func (b *builder) scanExprInto(fi *funcInfo, s ast.Stmt, e ast.Expr, held map[st
 
 // scanCall handles call expressions: same-package call edges, escaping
 // function references, go-launch marking, and argument reads.
-func (b *builder) scanCall(fi *funcInfo, s ast.Stmt, call *ast.CallExpr, held map[string]bool, record func(*stmtSites, *access), launched bool) {
+func (b *builder) scanCall(fi *FuncInfo, s ast.Stmt, call *ast.CallExpr, held map[string]bool, record func(*StmtSites, *Access), launched bool) {
 	// Conversions look like calls; treat the operand as a read.
 	if tv, ok := b.p.Info.Types[call.Fun]; ok && tv.IsType() {
 		for _, arg := range call.Args {
@@ -688,11 +851,12 @@ func (b *builder) scanCall(fi *funcInfo, s ast.Stmt, call *ast.CallExpr, held ma
 			if launched {
 				b.goNamed[fn] = true
 			} else {
-				fi.calls = append(fi.calls, fn)
+				fi.Calls = append(fi.Calls, fn)
+				b.callSites = append(b.callSites, callSite{fn: fn, caller: fi, held: b.pkgHeld(held)})
 			}
 		}
 	case *ast.FuncLit:
-		b.enterLit(fi, fun, launched, !launched)
+		b.enterLit(fi, fun, launched, !launched, held)
 	case *ast.SelectorExpr:
 		if b.noteUnsupportedSync(fun) {
 			break
@@ -704,7 +868,10 @@ func (b *builder) scanCall(fi *funcInfo, s ast.Stmt, call *ast.CallExpr, held ma
 			// index expressions inside it still evaluate in this thread.
 			b.scanIndexPartsInto(fi, s, fun.X, held, record)
 			if fn, ok := b.p.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() == b.p.Pkg && !launched {
-				fi.calls = append(fi.calls, fn)
+				fi.Calls = append(fi.Calls, fn)
+				// No callSite: methods stay interprocedural roots — they
+				// may also be reached through interface dispatch or
+				// method values, invisibly to this syntactic scan.
 			}
 		} else {
 			// Package-qualified call (fmt.Println) or func-typed field.
@@ -714,32 +881,29 @@ func (b *builder) scanCall(fi *funcInfo, s ast.Stmt, call *ast.CallExpr, held ma
 		b.scanExprInto(fi, s, call.Fun, held, record)
 	}
 	for _, arg := range call.Args {
-		// A same-package function name passed as a value may be invoked
-		// from anywhere.
-		if id, ok := arg.(*ast.Ident); ok {
-			if fn, ok := b.p.Info.Uses[id].(*types.Func); ok && fn.Pkg() == b.p.Pkg {
-				b.refNamed[fn] = true
-				continue
-			}
-		}
 		b.scanExprInto(fi, s, arg, held, record)
 	}
 }
 
-func (b *builder) scanGoCall(fi *funcInfo, s ast.Stmt, call *ast.CallExpr, held map[string]bool) {
-	b.scanCall(fi, s, call, held, func(ss *stmtSites, ac *access) {
-		ss.pre = append(ss.pre, ac)
+func (b *builder) scanGoCall(fi *FuncInfo, s ast.Stmt, call *ast.CallExpr, held map[string]bool) {
+	b.scanCall(fi, s, call, held, func(ss *StmtSites, ac *Access) {
+		ss.Pre = append(ss.Pre, ac)
 	}, true)
 }
 
-func (b *builder) enterLit(parent *funcInfo, lit *ast.FuncLit, goLaunched, immediate bool) {
+func (b *builder) enterLit(parent *FuncInfo, lit *ast.FuncLit, goLaunched, immediate bool, held map[string]bool) {
 	if b.litInfo[lit] != nil {
 		return
 	}
-	fi := &funcInfo{lit: lit, parent: parent, goLaunched: goLaunched, escapes: !goLaunched && !immediate}
+	fi := &FuncInfo{Lit: lit, Parent: parent, GoLaunched: goLaunched, Escapes: !goLaunched && !immediate}
 	b.litInfo[lit] = fi
 	b.allFns = append(b.allFns, fi)
 	b.queue = append(b.queue, litWork{fi: fi})
+	if immediate && !goLaunched {
+		// An immediately-invoked literal runs synchronously at the call
+		// point: it inherits the caller's held locks like a direct call.
+		b.callSites = append(b.callSites, callSite{lit: fi, caller: parent, held: b.pkgHeld(held)})
+	}
 	// Record captures: object uses inside the literal that are declared
 	// outside it.
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
@@ -761,13 +925,13 @@ func (b *builder) enterLit(parent *funcInfo, lit *ast.FuncLit, goLaunched, immed
 // scanIndexParts records reads occurring inside the index/base
 // sub-expressions of an lvalue (the lvalue itself is handled by its own
 // access record).
-func (b *builder) scanIndexParts(fi *funcInfo, s ast.Stmt, lv ast.Expr, held map[string]bool) {
-	b.scanIndexPartsInto(fi, s, lv, held, func(ss *stmtSites, ac *access) {
-		ss.pre = append(ss.pre, ac)
+func (b *builder) scanIndexParts(fi *FuncInfo, s ast.Stmt, lv ast.Expr, held map[string]bool) {
+	b.scanIndexPartsInto(fi, s, lv, held, func(ss *StmtSites, ac *Access) {
+		ss.Pre = append(ss.Pre, ac)
 	})
 }
 
-func (b *builder) scanIndexPartsInto(fi *funcInfo, s ast.Stmt, lv ast.Expr, held map[string]bool, record func(*stmtSites, *access)) {
+func (b *builder) scanIndexPartsInto(fi *FuncInfo, s ast.Stmt, lv ast.Expr, held map[string]bool, record func(*StmtSites, *Access)) {
 	switch ex := lv.(type) {
 	case *ast.IndexExpr:
 		b.scanExprInto(fi, s, ex.Index, held, record)
@@ -782,30 +946,30 @@ func (b *builder) scanIndexPartsInto(fi *funcInfo, s ast.Stmt, lv ast.Expr, held
 }
 
 func (b *builder) markAddrTaken(e ast.Expr) {
-	if root := b.rootVar(e); root != nil {
+	if root := b.p.RootVar(e); root != nil {
 		b.addrOf[root] = true
 	}
 }
 
 // recordAccess registers one candidate lvalue access on statement s.
-func (b *builder) recordAccess(fi *funcInfo, s ast.Stmt, kind listKind, lv ast.Expr, write bool, held map[string]bool) {
-	b.recordAccessInto(fi, s, lv, write, held, func(ss *stmtSites, ac *access) {
+func (b *builder) recordAccess(fi *FuncInfo, s ast.Stmt, kind listKind, lv ast.Expr, write bool, held map[string]bool) {
+	b.recordAccessInto(fi, s, lv, write, held, func(ss *StmtSites, ac *Access) {
 		if kind == pre {
-			ss.pre = append(ss.pre, ac)
+			ss.Pre = append(ss.Pre, ac)
 		} else {
-			ss.post = append(ss.post, ac)
+			ss.Post = append(ss.Post, ac)
 		}
 	})
 }
 
-func (b *builder) recordAccessInto(fi *funcInfo, s ast.Stmt, lv ast.Expr, write bool, held map[string]bool, record func(*stmtSites, *access)) {
+func (b *builder) recordAccessInto(fi *FuncInfo, s ast.Stmt, lv ast.Expr, write bool, held map[string]bool, record func(*StmtSites, *Access)) {
 	lv = unparen(lv)
-	root := b.rootVar(lv)
+	root := b.p.RootVar(lv)
 	if root == nil {
 		if lvalueShape(lv) {
 			// A candidate-shaped lvalue rooted in a call or other
 			// non-variable expression: opaque, cannot re-evaluate safely.
-			ac := &access{lv: lv, write: write, opaque: true, fn: fi}
+			ac := &Access{Lv: lv, Write: write, Opaque: true, Fn: fi, Stmt: s}
 			b.a.accesses = append(b.a.accesses, ac)
 		}
 		return
@@ -821,35 +985,38 @@ func (b *builder) recordAccessInto(fi *funcInfo, s ast.Stmt, lv ast.Expr, write 
 	if isSyncType(root.Type()) || containsSyncType(root.Type()) {
 		return
 	}
-	ac := &access{
-		lv:    lv,
-		root:  root,
-		write: write,
-		deref: b.derefShape(lv),
-		held:  heldList(held),
-		fn:    fi,
+	ac := &Access{
+		Lv:      lv,
+		Root:    root,
+		Write:   write,
+		Deref:   b.derefShape(lv),
+		SynHeld: heldList(held),
+		Fn:      fi,
+		Stmt:    s,
+		RMW:     b.inRMW,
 	}
 	if clonable(lv) {
-		ac.addr = addrTarget(b.p, lv)
-		if ac.addr == nil {
-			ac.opaque = true
+		ac.Addr = addrTarget(b.p, lv)
+		if ac.Addr == nil {
+			ac.Opaque = true
 		}
 	} else {
-		ac.opaque = true
+		ac.Opaque = true
 	}
 	b.a.accesses = append(b.a.accesses, ac)
+	fi.Accesses = append(fi.Accesses, ac)
 	record(b.sites(s), ac)
 }
 
-// rootVar walks to the leftmost identifier of an lvalue chain.
-func (b *builder) rootVar(e ast.Expr) *types.Var {
+// RootVar walks to the leftmost identifier of an lvalue chain.
+func (p *Package) RootVar(e ast.Expr) *types.Var {
 	for {
 		switch ex := unparen(e).(type) {
 		case *ast.Ident:
-			if v, ok := b.p.Info.Uses[ex].(*types.Var); ok {
+			if v, ok := p.Info.Uses[ex].(*types.Var); ok {
 				return v
 			}
-			if v, ok := b.p.Info.Defs[ex].(*types.Var); ok {
+			if v, ok := p.Info.Defs[ex].(*types.Var); ok {
 				return v
 			}
 			return nil
@@ -953,45 +1120,54 @@ func addrTarget(p *Package, lv ast.Expr) ast.Expr {
 
 // ---- sync primitive detection ----
 
-// lockOp recognizes path.Lock() / path.Unlock() on a sync.Mutex and
-// returns its stable path ("" when the receiver is dynamic, e.g. an
-// index by a variable).
-func (b *builder) lockOp(e ast.Expr) (path string, locked, ok bool) {
+func (b *builder) lockOp(e ast.Expr) (path string, pkgLevel, locked, ok bool) {
+	return LockCall(b.p, e)
+}
+
+// LockCall recognizes a path.Lock() / path.Unlock() call on a sync.Mutex
+// and returns its stable path ("" when the receiver is dynamic, e.g. an
+// index by a variable) plus whether the path is rooted at a
+// package-level variable. Exported so the smell passes can walk raw AST
+// outside the fact builder.
+func LockCall(p *Package, e ast.Expr) (path string, pkgLevel, locked, ok bool) {
 	call, isCall := unparen(e).(*ast.CallExpr)
 	if !isCall {
-		return "", false, false
+		return "", false, false, false
 	}
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel || len(call.Args) != 0 {
-		return "", false, false
+		return "", false, false, false
 	}
 	name := sel.Sel.Name
 	if name != "Lock" && name != "Unlock" && name != "TryLock" {
-		return "", false, false
+		return "", false, false, false
 	}
-	if !b.isNamedSyncType(b.recvType(sel), "Mutex") {
-		return "", false, false
+	if !isNamedSyncType(recvType(p, sel), "Mutex") {
+		return "", false, false, false
 	}
 	if name == "TryLock" {
 		// TryLock as a statement (result discarded) never happens in
 		// practice; as an expression it is not a balanced section.
-		return "", false, false
+		return "", false, false, false
 	}
-	return stablePath(sel.X), name == "Lock", true
+	if root := p.RootVar(sel.X); root != nil && root.Parent() == p.Pkg.Scope() {
+		pkgLevel = true
+	}
+	return stablePath(sel.X), pkgLevel, name == "Lock", true
 }
 
-func (b *builder) recvType(sel *ast.SelectorExpr) types.Type {
-	if tv, ok := b.p.Info.Types[sel.X]; ok && tv.Type != nil {
+func recvType(p *Package, sel *ast.SelectorExpr) types.Type {
+	if tv, ok := p.Info.Types[sel.X]; ok && tv.Type != nil {
 		t := tv.Type
-		if p, ok := t.(*types.Pointer); ok {
-			t = p.Elem()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
 		}
 		return t
 	}
 	return types.Typ[types.Invalid]
 }
 
-func (b *builder) isNamedSyncType(t types.Type, name string) bool {
+func isNamedSyncType(t types.Type, name string) bool {
 	named, ok := t.(*types.Named)
 	if !ok {
 		return false
@@ -1003,9 +1179,9 @@ func (b *builder) isNamedSyncType(t types.Type, name string) bool {
 // noteUnsupportedSync records sync primitives whose synchronization the
 // front-end cannot translate into trace events.
 func (b *builder) noteUnsupportedSync(sel *ast.SelectorExpr) bool {
-	t := b.recvType(sel)
+	t := recvType(b.p, sel)
 	for _, name := range []string{"RWMutex", "Once", "Cond", "Pool", "Map"} {
-		if b.isNamedSyncType(t, name) {
+		if isNamedSyncType(t, name) {
 			b.a.Unsupported = append(b.a.Unsupported,
 				fmt.Sprintf("%s: sync.%s.%s (synchronization invisible to the trace)",
 					b.p.Position(sel.Pos()), name, sel.Sel.Name))
@@ -1112,7 +1288,7 @@ func (b *builder) countSyncDecls() {
 }
 
 // VarClass looks up the classification of a variable (tests).
-func (a *Analysis) VarClass(name string) (Class, bool) {
+func (a *Facts) VarClass(name string) (Class, bool) {
 	for _, v := range a.Vars {
 		if v.Name == name {
 			return v.Class, true
@@ -1120,6 +1296,3 @@ func (a *Analysis) VarClass(name string) (Class, bool) {
 	}
 	return 0, false
 }
-
-// stmtFor exposes per-statement sites to the rewriter.
-func (a *Analysis) stmtFor(s ast.Stmt) *stmtSites { return a.ByStmt[s] }

@@ -1,20 +1,4 @@
-// Package instr is the static instrumentation front-end: it turns real
-// Go programs into Velodrome traces, playing the role RoadRunner's
-// bytecode instrumentor plays in the paper (Section 5). The pipeline is
-//
-//	Load      — parse and type-check a target package (go/parser, go/types)
-//	Directives — collect //velo: annotations (atomic-block specification)
-//	Analyze   — conservative shared-access classification; provably
-//	            goroutine-local and single-mutex-protected accesses are
-//	            pruned, mirroring the paper's redundant-event filters
-//	Rewrite   — inject rd/wr/acq/rel/fork/join/begin/end emission calls
-//	            and a self-contained runtime shim that streams the
-//	            internal/trace text format
-//
-// Everything is standard library only: the type-checker resolves imports
-// with the source importer, so instrumented targets may import (a
-// reasonable subset of) the standard library but nothing else.
-package instr
+package analysis
 
 import (
 	"fmt"
@@ -65,7 +49,7 @@ func Load(dir string) (*Package, error) {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		return nil, fmt.Errorf("instr: no Go files in %s", dir)
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
 	fset := token.NewFileSet()
 	var files []*ast.File
@@ -76,7 +60,7 @@ func Load(dir string) (*Package, error) {
 		}
 		files = append(files, f)
 	}
-	return check(dir, fset, files, names)
+	return Check(dir, fset, files, names)
 }
 
 // LoadSource parses and type-checks a single in-memory file (tests and
@@ -87,10 +71,12 @@ func LoadSource(name string, src []byte) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	return check(".", fset, []*ast.File{f}, []string{name})
+	return Check(".", fset, []*ast.File{f}, []string{name})
 }
 
-func check(dir string, fset *token.FileSet, files []*ast.File, names []string) (*Package, error) {
+// Check type-checks already-parsed files into a Package (exported for
+// tests that re-parse rewritten output).
+func Check(dir string, fset *token.FileSet, files []*ast.File, names []string) (*Package, error) {
 	conf := types.Config{
 		Importer: importer.ForCompiler(fset, "source", nil),
 	}
@@ -98,7 +84,7 @@ func check(dir string, fset *token.FileSet, files []*ast.File, names []string) (
 	pkgName := files[0].Name.Name
 	pkg, err := conf.Check(pkgName, fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("instr: type-checking %s: %w", dir, err)
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", dir, err)
 	}
 	return &Package{
 		Dir:   dir,

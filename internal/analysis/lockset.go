@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+)
+
+// The lockset pass: a static rendition of Eraser's consistency check,
+// using the same vocabulary as the dynamic internal/eraser engine. A
+// shared variable whose concurrent accesses (accesses from functions a
+// go statement can reach) include a write and share no common lock is
+// accessed under inconsistent locksets: every interleaving of two such
+// accesses is a potential data race, and for Velodrome every conflict
+// edge the pair induces lands in the transaction graph unordered.
+//
+// The pass deliberately looks only at the concurrent subset and
+// requires at least two accesses there: a variable written once by main
+// before any fork and read later under a lock is initialization
+// hand-off, not inconsistency (the dynamic Eraser's virgin/exclusive
+// states make the same allowance).
+
+func runLocksetPass(ctx *passCtx) []Diagnostic {
+	var out []Diagnostic
+	for _, v := range ctx.facts.Vars {
+		if v.Class != ClassShared {
+			continue
+		}
+		var conc []*Access
+		for _, ac := range v.Accs {
+			if ac.Fn.Concurrent {
+				conc = append(conc, ac)
+			}
+		}
+		if len(conc) < 2 {
+			continue
+		}
+		writes := 0
+		for _, ac := range conc {
+			if ac.Write {
+				writes++
+			}
+		}
+		if writes == 0 {
+			continue
+		}
+		if commonLock(conc, fullHeld) != "" {
+			// Consistently locked in concurrent code; the variable is
+			// shared only because of unlocked accesses from
+			// non-concurrent code (pre-fork setup), which cannot race.
+			continue
+		}
+		reads := len(conc) - writes
+		d := newDiag(ctx.p, v.Obj.Pos(), SevWarning, "velo-lockset",
+			"shared variable %s is accessed concurrently under inconsistent locksets (%d reads, %d writes in go-reachable code, no common lock)",
+			v.Name, reads, writes)
+		for _, ac := range representativeAccesses(conc) {
+			kind := "read"
+			if ac.Write {
+				kind = "write"
+			}
+			if len(ac.Held) == 0 {
+				d.related(ctx.p, ac.Lv.Pos(), "unlocked %s in %s", kind, ac.Fn.Name())
+			} else {
+				d.related(ctx.p, ac.Lv.Pos(), "%s in %s holding {%s}", kind, ac.Fn.Name(), joinLocks(ac.Held))
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// representativeAccesses picks at most one access per enclosing
+// function, in position order, so related lists stay short on
+// loop-heavy code.
+func representativeAccesses(accs []*Access) []*Access {
+	byFn := map[*FuncInfo]*Access{}
+	var fns []*FuncInfo
+	for _, ac := range accs {
+		if prev, ok := byFn[ac.Fn]; !ok {
+			byFn[ac.Fn] = ac
+			fns = append(fns, ac.Fn)
+		} else if ac.Write && !prev.Write {
+			byFn[ac.Fn] = ac // prefer showing the write
+		}
+	}
+	out := make([]*Access, 0, len(fns))
+	for _, fn := range fns {
+		out = append(out, byFn[fn])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lv.Pos() < out[j].Lv.Pos() })
+	if len(out) > 4 {
+		out = out[:4]
+	}
+	return out
+}
+
+func joinLocks(locks []string) string {
+	s := ""
+	for i, l := range locks {
+		if i > 0 {
+			s += ", "
+		}
+		s += l
+	}
+	return s
+}
+
+// runInterprocPass surfaces what the entry-lock fixpoint proved: each
+// variable that is lock-protected only interprocedurally gets an info
+// diagnostic naming the functions whose entry sets supplied the lock.
+// This is the static-pruning win made visible (and measurable — the
+// EXPERIMENTS table counts these sites).
+func runInterprocPass(ctx *passCtx) []Diagnostic {
+	var out []Diagnostic
+	for _, v := range ctx.facts.Vars {
+		if !v.Interproc || v.Class != ClassLockProtected {
+			continue
+		}
+		extra := 0
+		fns := map[*FuncInfo]bool{}
+		var order []*FuncInfo
+		for _, ac := range v.Accs {
+			if containsLock(ac.SynHeld, v.Lock) {
+				continue
+			}
+			extra++
+			if !fns[ac.Fn] {
+				fns[ac.Fn] = true
+				order = append(order, ac.Fn)
+			}
+		}
+		d := newDiag(ctx.p, v.Obj.Pos(), SevInfo, "velo-interproc",
+			"%s is protected by %s only through interprocedural entry locks: %d access(es) are pruned beyond the syntactic analysis",
+			v.Name, v.Lock, extra)
+		sort.Slice(order, func(i, j int) bool { return funcPos(order[i]) < funcPos(order[j]) })
+		for _, fn := range order {
+			d.related(ctx.p, funcPos(fn), "%s is always entered holding %s", fn.Name(), v.Lock)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func containsLock(locks []string, l string) bool {
+	for _, x := range locks {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+func funcPos(fi *FuncInfo) token.Pos {
+	if fi.Decl != nil {
+		return fi.Decl.Pos()
+	}
+	return fi.Lit.Pos()
+}

@@ -1,0 +1,104 @@
+package analysis
+
+// The velovet pass registry. Each pass is a named, composable unit that
+// inspects the type-checked package plus the shared-access facts and
+// emits structured Diagnostics. `velovet` runs all of them; `veloinstr
+// -analyze` runs them after printing its classification table; the
+// rewriter consumes only the facts (pruning decisions), so the passes
+// can warn freely without perturbing instrumentation.
+
+// A Pass is one named analysis over a package.
+type Pass struct {
+	Name string
+	Doc  string
+	run  func(*passCtx) []Diagnostic
+}
+
+type passCtx struct {
+	p     *Package
+	dirs  *Directives
+	facts *Facts
+}
+
+// CodeInfo describes one diagnostic code for `velovet -codes`.
+type CodeInfo struct {
+	Code     string
+	Severity Severity
+	Doc      string
+}
+
+// Passes returns the registered passes in execution order.
+func Passes() []Pass {
+	return []Pass{
+		{
+			Name: "directives",
+			Doc:  "well-formedness of //velo: annotations, plus directive placement lints (value receivers, nested atomic functions, annotations with nothing to check)",
+			run:  runDirectivePass,
+		},
+		{
+			Name: "interproc",
+			Doc:  "reports variables proven lock-protected only by the interprocedural entry-lock propagation (the extra pruning the call-graph fixpoint buys)",
+			run:  runInterprocPass,
+		},
+		{
+			Name: "lockset",
+			Doc:  "static Eraser: shared variables accessed concurrently under inconsistent locksets",
+			run:  runLocksetPass,
+		},
+		{
+			Name: "smells",
+			Doc:  "atomicity smells: check-then-act, unlocked read-modify-write, split transactions inside //velo:atomic, defer-unlock in a loop",
+			run:  runSmellPass,
+		},
+		{
+			Name: "suggest",
+			Doc:  "suggests //velo:atomic for functions whose shared accesses form a two-phase-locked region",
+			run:  runSuggestPass,
+		},
+	}
+}
+
+// Catalog lists every diagnostic code the passes can emit.
+func Catalog() []CodeInfo {
+	return []CodeInfo{
+		{"velo-directive", SevError, "ill-formed //velo: annotation (unknown verb, malformed label, misplaced or duplicated directive)"},
+		{"velo-value-recv", SevWarning, "//velo:atomic on a value-receiver method: the body mutates a copy of the receiver"},
+		{"velo-atomic-empty", SevWarning, "//velo:atomic on a function with no shared accesses, lock operations or forks — the annotation checks nothing"},
+		{"velo-nested-atomic", SevInfo, "an atomic function calls another atomic function; transactions nest per the trace model (§4.3), inner boundaries are subsumed"},
+		{"velo-interproc", SevInfo, "variable is lock-protected only via interprocedural entry-lock propagation"},
+		{"velo-lockset", SevWarning, "shared variable accessed concurrently under inconsistent locksets (static Eraser)"},
+		{"velo-check-act", SevWarning, "a shared variable is read, then written later in the same function with no common lock and no atomic region"},
+		{"velo-rmw", SevWarning, "read-modify-write of a shared variable outside any lock or atomic region"},
+		{"velo-split", SevWarning, "an atomic function releases and re-acquires a mutex, splitting the intended transaction"},
+		{"velo-defer-loop", SevWarning, "deferred Unlock inside a loop runs at function exit, not per iteration"},
+		{"velo-atomic-suggest", SevSuggestion, "function is two-phase locked; annotating it //velo:atomic lets the dynamic checker verify it"},
+	}
+}
+
+// RunPasses executes every registered pass and returns the merged,
+// position-sorted diagnostics.
+func RunPasses(p *Package, dirs *Directives, facts *Facts) []Diagnostic {
+	ctx := &passCtx{p: p, dirs: dirs, facts: facts}
+	var out []Diagnostic
+	for _, pass := range Passes() {
+		out = append(out, pass.run(ctx)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// inAtomic reports whether code in fi executes inside a //velo:atomic
+// transaction: the enclosing declaration is annotated and no goroutine
+// boundary (go-launched or escaping literal) intervenes.
+func (ctx *passCtx) inAtomic(fi *FuncInfo) bool {
+	for f := fi; f != nil; f = f.Parent {
+		if f.Decl != nil {
+			_, ok := ctx.dirs.Atomic[f.Decl]
+			return ok
+		}
+		if f.GoLaunched || f.Escapes {
+			return false
+		}
+	}
+	return false
+}

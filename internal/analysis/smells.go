@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// The smells pass: syntactic shapes that are not violations by
+// themselves but correlate so strongly with atomicity bugs that the
+// paper's motivating examples are all instances of one of them.
+//
+//   - split transaction: a //velo:atomic function releases a mutex and
+//     re-acquires it, turning one intended transaction into two critical
+//     sections with a window in between — the exact shape of the
+//     StringBuffer.append bug in the paper's introduction.
+//   - check-then-act: a shared variable is read (the check) and written
+//     later in the same function (the act) with no common lock across
+//     both and no atomic annotation to make the checker verify the span.
+//   - unlocked read-modify-write: x++ / x += n on a shared variable with
+//     no lock held and no enclosing atomic region; the load and store
+//     can interleave with any other access.
+//   - defer-unlock in a loop: defer runs at function exit, so a deferred
+//     Unlock inside a loop deadlocks the second iteration (or, with
+//     TryLock shapes, silently extends the critical section).
+
+func runSmellPass(ctx *passCtx) []Diagnostic {
+	var out []Diagnostic
+	out = append(out, splitTransactionDiags(ctx)...)
+	out = append(out, checkThenActDiags(ctx)...)
+	out = append(out, rmwDiags(ctx)...)
+	out = append(out, deferLoopDiags(ctx)...)
+	return out
+}
+
+// splitTransactionDiags flags unlock-then-relock of the same mutex path
+// inside an atomic function.
+func splitTransactionDiags(ctx *passCtx) []Diagnostic {
+	var out []Diagnostic
+	decls := make([]*ast.FuncDecl, 0, len(ctx.dirs.Atomic))
+	for fd := range ctx.dirs.Atomic {
+		decls = append(decls, fd)
+	}
+	sort.Slice(decls, func(i, j int) bool { return decls[i].Pos() < decls[j].Pos() })
+	for _, fd := range decls {
+		fi := ctx.facts.FuncOf(fd)
+		if fi == nil {
+			continue
+		}
+		flagged := map[string]bool{}
+		for i, op := range fi.LockOps {
+			if op.Lock || op.Deferred || op.Path == "" || flagged[op.Path] {
+				continue
+			}
+			for _, later := range fi.LockOps[i+1:] {
+				if later.Lock && later.Path == op.Path {
+					d := newDiag(ctx.p, op.Pos, SevWarning, "velo-split",
+						"atomic function %s unlocks %s and re-acquires it: the transaction is split into two critical sections",
+						funcLabel(fd), op.Path)
+					d.related(ctx.p, later.Pos, "%s re-acquired here", op.Path)
+					out = append(out, d)
+					flagged[op.Path] = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkThenActDiags flags a read of a shared variable followed by a
+// later write in the same concurrent function when no single lock
+// covers both and no atomic region spans them.
+func checkThenActDiags(ctx *passCtx) []Diagnostic {
+	var out []Diagnostic
+	for _, v := range ctx.facts.Vars {
+		if v.Class != ClassShared {
+			continue
+		}
+		// Group accesses per function, in scan (≈ source) order.
+		byFn := map[*FuncInfo][]*Access{}
+		var fns []*FuncInfo
+		for _, ac := range v.Accs {
+			if _, ok := byFn[ac.Fn]; !ok {
+				fns = append(fns, ac.Fn)
+			}
+			byFn[ac.Fn] = append(byFn[ac.Fn], ac)
+		}
+		sort.Slice(fns, func(i, j int) bool { return funcPos(fns[i]) < funcPos(fns[j]) })
+		for _, fn := range fns {
+			if !fn.Concurrent || ctx.inAtomic(fn) {
+				continue
+			}
+			accs := byFn[fn]
+			sort.SliceStable(accs, func(i, j int) bool { return accs[i].Lv.Pos() < accs[j].Lv.Pos() })
+			done := false
+			for i, rd := range accs {
+				if rd.Write || rd.RMW || done {
+					continue
+				}
+				for _, wr := range accs[i+1:] {
+					if !wr.Write || wr.RMW || wr.Stmt == rd.Stmt {
+						continue
+					}
+					if commonLock([]*Access{rd, wr}, fullHeld) != "" {
+						continue
+					}
+					d := newDiag(ctx.p, rd.Lv.Pos(), SevWarning, "velo-check-act",
+						"%s reads shared variable %s, then writes it with no common lock: the check-then-act span is not atomic (annotate //velo:atomic or widen the critical section)",
+						fn.Name(), v.Name)
+					d.related(ctx.p, wr.Lv.Pos(), "%s written here", v.Name)
+					out = append(out, d)
+					done = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// rmwDiags flags compound assignments and ++/-- on shared variables
+// performed by concurrent code with no lock held and no atomic region.
+func rmwDiags(ctx *passCtx) []Diagnostic {
+	var out []Diagnostic
+	for _, v := range ctx.facts.Vars {
+		if v.Class != ClassShared {
+			continue
+		}
+		seenStmt := map[ast.Stmt]bool{}
+		for _, ac := range v.Accs {
+			if !ac.RMW || !ac.Write || seenStmt[ac.Stmt] {
+				continue
+			}
+			if !ac.Fn.Concurrent || ctx.inAtomic(ac.Fn) {
+				continue
+			}
+			if len(ac.Held) > 0 {
+				continue
+			}
+			seenStmt[ac.Stmt] = true
+			out = append(out, newDiag(ctx.p, ac.Lv.Pos(), SevWarning, "velo-rmw",
+				"read-modify-write of shared variable %s in %s without any lock: the load and store can interleave with concurrent accesses",
+				v.Name, ac.Fn.Name()))
+		}
+	}
+	return out
+}
+
+// deferLoopDiags flags `defer mu.Unlock()` syntactically inside a
+// for/range body: defers run at function exit, not per iteration, so
+// the second iteration re-locks a mutex that will not be released until
+// the function returns.
+func deferLoopDiags(ctx *passCtx) []Diagnostic {
+	var out []Diagnostic
+	// inLoop walks a subtree; loopDepth counts enclosing for/range
+	// bodies within the current function (function literals reset it).
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		ast.Inspect(n, func(child ast.Node) bool {
+			switch st := child.(type) {
+			case *ast.FuncLit:
+				walk(st.Body, 0)
+				return false
+			case *ast.ForStmt:
+				if st.Init != nil {
+					walk(st.Init, loopDepth)
+				}
+				if st.Cond != nil {
+					walk(st.Cond, loopDepth)
+				}
+				if st.Post != nil {
+					walk(st.Post, loopDepth)
+				}
+				walk(st.Body, loopDepth+1)
+				return false
+			case *ast.RangeStmt:
+				if st.X != nil {
+					walk(st.X, loopDepth)
+				}
+				walk(st.Body, loopDepth+1)
+				return false
+			case *ast.DeferStmt:
+				if loopDepth > 0 {
+					if path, _, isLock, ok := LockCall(ctx.p, st.Call); ok && !isLock {
+						name := path
+						if name == "" {
+							name = "a mutex"
+						}
+						out = append(out, newDiag(ctx.p, st.Pos(), SevWarning, "velo-defer-loop",
+							"deferred unlock of %s inside a loop runs at function exit, not per iteration", name))
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range ctx.p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				walk(fd.Body, 0)
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import "sort"
+
+// The suggest pass: atomic-annotation inference. A function whose mutex
+// operations are two-phase (every Lock precedes every non-deferred
+// Unlock — one growing phase, one shrinking phase) and whose candidate
+// accesses are all performed under a lock or provably thread-local is,
+// by Lipton's reduction argument (the theory Velodrome §2 builds on),
+// atomic as written: annotating it //velo:atomic costs nothing today and
+// makes the dynamic checker guard it against future edits that break the
+// discipline. The pass prints exactly that suggestion.
+
+func runSuggestPass(ctx *passCtx) []Diagnostic {
+	var out []Diagnostic
+	for _, fi := range ctx.facts.Funcs {
+		fd := fi.Decl
+		if fd == nil {
+			continue
+		}
+		if fd.Name.Name == "main" || fd.Name.Name == "init" {
+			continue
+		}
+		if _, already := ctx.dirs.Atomic[fd]; already {
+			continue
+		}
+		if !twoPhase(fi.LockOps) {
+			continue
+		}
+		protected := 0
+		clean := true
+		for _, ac := range fi.Accesses {
+			if ac.Action == ActionSkip {
+				continue
+			}
+			v := ctx.facts.VarOf(ac.Root)
+			if v != nil && v.Class == ClassThreadLocal {
+				continue
+			}
+			if len(ac.Held) == 0 {
+				clean = false
+				break
+			}
+			protected++
+		}
+		if !clean || protected == 0 {
+			continue
+		}
+		locks := lockNames(fi.LockOps)
+		d := newDiag(ctx.p, fd.Pos(), SevSuggestion, "velo-atomic-suggest",
+			"%s is two-phase locked (%s) with all %d shared accesses protected: annotate it //velo:atomic so the checker verifies it stays that way",
+			funcLabel(fd), joinLocks(locks), protected)
+		out = append(out, d)
+	}
+	return out
+}
+
+// twoPhase reports whether the op sequence has at least one Lock and
+// never acquires after a non-deferred release (deferred unlocks run at
+// exit, the canonical shrinking phase).
+func twoPhase(ops []LockOp) bool {
+	locks := 0
+	released := false
+	for _, op := range ops {
+		if op.Deferred {
+			continue
+		}
+		if op.Lock {
+			if released {
+				return false
+			}
+			locks++
+		} else {
+			released = true
+		}
+	}
+	return locks > 0
+}
+
+// lockNames collects the distinct stable paths acquired by ops.
+func lockNames(ops []LockOp) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, op := range ops {
+		if !op.Lock || op.Path == "" || seen[op.Path] {
+			continue
+		}
+		seen[op.Path] = true
+		out = append(out, op.Path)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -6,6 +6,8 @@ import (
 	"go/token"
 	"strconv"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 // FuzzInstrument asserts the rewriter's core contract on arbitrary
@@ -134,7 +136,7 @@ func reparseFuzz(t *testing.T, out *Output) {
 	}
 	files = append(files, sf)
 	names = append(names, ShimFileName)
-	if _, err := check(".", fset, files, names); err != nil {
+	if _, err := analysis.Check(".", fset, files, names); err != nil {
 		t.Fatalf("instrumented output does not type-check: %v\n%s", err, out.Files["fuzz.go"])
 	}
 }

@@ -14,7 +14,7 @@ var update = flag.Bool("update", false, "rewrite the golden files")
 // example, so rewriter changes show up as reviewable diffs. Regenerate
 // with: go test ./internal/instr -run Golden -update
 func TestGoldenExamples(t *testing.T) {
-	for _, name := range []string{"bankbug", "bankfixed", "counter"} {
+	for _, name := range []string{"bankbug", "bankfixed", "counter", "auditbug", "auditfixed"} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("..", "..", "examples", "instr", name)
 			p, err := Load(dir)

@@ -6,6 +6,8 @@ import (
 	"go/token"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 // load type-checks src and runs the full front half of the pipeline.
@@ -194,7 +196,7 @@ func reparse(t *testing.T, out *Output) *Package {
 	}
 	files = append(files, f)
 	names = append(names, ShimFileName)
-	p, err := check(".", fset, files, names)
+	p, err := analysis.Check(".", fset, files, names)
 	if err != nil {
 		t.Fatalf("instrumented output does not type-check: %v", err)
 	}

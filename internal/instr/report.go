@@ -1,11 +1,13 @@
 package instr
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"text/tabwriter"
 
+	"repro/internal/analysis"
 	"repro/internal/obs"
 )
 
@@ -19,16 +21,22 @@ type Report struct {
 	Shared        int
 	ThreadLocal   int
 	LockProtected int
+	// Interproc counts variables proven lock-protected only by the
+	// interprocedural entry-lock propagation.
+	Interproc int
 
 	AtomicBlocks []string // labels, sorted
 	Mutexes      int
 	WaitGroups   int
 	Opaque       []string
 	Unsupported  []string
-	Diags        []Diagnostic
+	// Findings are the diagnostics of every velovet pass (directive
+	// lint, lockset, smells, suggestions), position-sorted.
+	Findings []Diagnostic
 }
 
-// NewReport assembles the report from the analysis results.
+// NewReport assembles the report from the analysis results and runs the
+// diagnostic passes.
 func NewReport(p *Package, dirs *Directives, a *Analysis) *Report {
 	r := &Report{
 		Package:     p.Name,
@@ -37,7 +45,7 @@ func NewReport(p *Package, dirs *Directives, a *Analysis) *Report {
 		WaitGroups:  a.WaitGroups,
 		Opaque:      a.Opaque,
 		Unsupported: a.Unsupported,
-		Diags:       dirs.Diags,
+		Findings:    analysis.RunPasses(p, dirs, a),
 	}
 	for _, v := range a.Vars {
 		switch v.Class {
@@ -47,6 +55,9 @@ func NewReport(p *Package, dirs *Directives, a *Analysis) *Report {
 			r.ThreadLocal++
 		case ClassLockProtected:
 			r.LockProtected++
+		}
+		if v.Interproc {
+			r.Interproc++
 		}
 	}
 	for _, label := range dirs.Atomic {
@@ -60,7 +71,12 @@ func NewReport(p *Package, dirs *Directives, a *Analysis) *Report {
 // elided (the paper's redundant-event optimizations).
 func (r *Report) Pruned() int { return r.ThreadLocal + r.LockProtected }
 
-// WriteTable prints the classification table and annotation summary.
+// FindingCount reports how many diagnostics are error- or
+// warning-severity (the set that flips -analyze's exit code to 1).
+func (r *Report) FindingCount() int { return analysis.CountFindings(r.Findings) }
+
+// WriteTable prints the classification table, annotation summary and
+// pass diagnostics.
 func (r *Report) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "package %s: %d candidate variables (%d shared, %d thread-local, %d lock-protected)\n",
 		r.Package, len(r.Vars), r.Shared, r.ThreadLocal, r.LockProtected)
@@ -73,6 +89,9 @@ func (r *Report) WriteTable(w io.Writer) {
 			note = "pruned"
 		case ClassLockProtected:
 			note = "pruned (held: " + v.Lock + ")"
+			if v.Interproc {
+				note = "pruned (held: " + v.Lock + ", interprocedural)"
+			}
 		}
 		fmt.Fprintf(tw, "  %s\t%s\t%s\t%d\t%d\t%s\n",
 			v.Name, v.Kind, v.Class, v.Reads, v.Writes, note)
@@ -90,9 +109,49 @@ func (r *Report) WriteTable(w io.Writer) {
 	for _, s := range r.Unsupported {
 		fmt.Fprintf(w, "warning: %s\n", s)
 	}
-	for _, d := range r.Diags {
-		fmt.Fprintf(w, "annotation error: %s\n", d)
+	for _, d := range r.Findings {
+		fmt.Fprintln(w, d.Render(""))
 	}
+}
+
+// jsonVar is the machine-readable row of the classification table.
+type jsonVar struct {
+	Name      string `json:"name"`
+	Kind      string `json:"kind"`
+	Class     string `json:"class"`
+	Lock      string `json:"lock,omitempty"`
+	Reads     int    `json:"reads"`
+	Writes    int    `json:"writes"`
+	Interproc bool   `json:"interprocedural,omitempty"`
+}
+
+// WriteJSON emits the report in the same Diagnostic schema velovet
+// uses, wrapped with the classification table.
+func (r *Report) WriteJSON(w io.Writer) error {
+	vars := make([]jsonVar, 0, len(r.Vars))
+	for _, v := range r.Vars {
+		vars = append(vars, jsonVar{
+			Name:      v.Name,
+			Kind:      v.Kind,
+			Class:     v.Class.String(),
+			Lock:      v.Lock,
+			Reads:     v.Reads,
+			Writes:    v.Writes,
+			Interproc: v.Interproc,
+		})
+	}
+	diags := r.Findings
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Package      string       `json:"package"`
+		Vars         []jsonVar    `json:"vars"`
+		AtomicBlocks []string     `json:"atomic_blocks,omitempty"`
+		Diagnostics  []Diagnostic `json:"diagnostics"`
+	}{r.Package, vars, r.AtomicBlocks, diags})
 }
 
 // Record mirrors the report into an observability registry under the
@@ -105,9 +164,11 @@ func (r *Report) Record(reg *obs.Registry) {
 	reg.Gauge("instr_vars_shared").Set(int64(r.Shared))
 	reg.Gauge("instr_vars_thread_local").Set(int64(r.ThreadLocal))
 	reg.Gauge("instr_vars_lock_protected").Set(int64(r.LockProtected))
+	reg.Gauge("instr_vars_interproc").Set(int64(r.Interproc))
 	reg.Gauge("instr_atomic_blocks").Set(int64(len(r.AtomicBlocks)))
 	reg.Gauge("instr_sync_mutexes").Set(int64(r.Mutexes))
 	reg.Gauge("instr_sync_waitgroups").Set(int64(r.WaitGroups))
 	reg.Gauge("instr_opaque_accesses").Set(int64(len(r.Opaque)))
 	reg.Gauge("instr_unsupported_sync").Set(int64(len(r.Unsupported)))
+	reg.Gauge("instr_findings").Set(int64(r.FindingCount()))
 }
