@@ -734,9 +734,9 @@ func TestCLIVeloinstrAnnotationLint(t *testing.T) {
 }
 
 // TestCLIVeloinstrRunBankbug is the headline end-to-end path: the
-// seeded atomicity bug must be reported by both engines with the serial
-// oracle agreeing, and the saved trace must round-trip through
-// tracecheck's new stdin mode with the same verdict.
+// seeded atomicity bug must be reported by every registered engine with
+// the serial oracle agreeing, and the saved trace must round-trip
+// through tracecheck's new stdin mode with the same verdict.
 func TestCLIVeloinstrRunBankbug(t *testing.T) {
 	tracePath := filepath.Join(t.TempDir(), "bankbug.trace")
 	out, code := runTool(t, "veloinstr", "-run", "-trace", tracePath, "examples/instr/bankbug")
@@ -745,7 +745,7 @@ func TestCLIVeloinstrRunBankbug(t *testing.T) {
 	}
 	for _, want := range []string{
 		"NOT serializable",
-		"(basic); serial oracle confirms",
+		"optimized, basic, aerodrome engines and serial oracle agree",
 		"withdrawAll",
 		"is not atomic",
 		"pruned",
@@ -765,7 +765,7 @@ func TestCLIVeloinstrRunFixed(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("bankfixed must be serializable; exit %d:\n%s", code, out)
 	}
-	if !strings.Contains(out, "serializable: basic and optimized engines agree, serial oracle confirms") {
+	if !strings.Contains(out, "serializable: optimized, basic, aerodrome engines agree, serial oracle confirms") {
 		t.Errorf("missing agreement line:\n%s", out)
 	}
 }

@@ -42,7 +42,7 @@ import (
 
 func main() {
 	dotOut := flag.String("dot", "", "write error graphs (dot format) to this file")
-	engine := flag.String("engine", "optimized", "analysis engine: optimized or basic")
+	engine := flag.String("engine", "optimized", "analysis engine: "+core.EngineNames())
 	quiet := flag.Bool("q", false, "suppress warning details")
 	obsJSON := flag.Bool("obs-json", false, "emit the full obs snapshot (per-kind latencies, graph stats) as JSON on stderr")
 	noFilter := flag.Bool("nofilter", false, "disable the redundant-event fast path (Section 5 filtering)")
@@ -56,6 +56,11 @@ func main() {
 	flag.Parse()
 	if *explain {
 		*forensics = true
+	}
+	einfo, ok := core.EngineByName(*engine)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracecheck: unknown engine %q (want %s)\n", *engine, core.EngineNames())
+		os.Exit(2)
 	}
 	if _, err := oflags.Logger(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
@@ -89,7 +94,7 @@ func main() {
 		}
 		// Client mode: stream the raw bytes to the daemon and relay its
 		// verdict, mapping statuses onto the local exit convention.
-		hdr := trace.SessionHeader{Engine: *engine, Forensics: *forensics}
+		hdr := trace.SessionHeader{Engine: einfo.Name, Forensics: *forensics}
 		v, err := server.CheckReader(*serverAddr, hdr, in)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracecheck:", err)
@@ -131,7 +136,7 @@ func main() {
 		sb = tracer.Buffer("tracecheck")
 		root = sb.Start("session", 0)
 		sb.AttrStr(root, "input", name)
-		sb.AttrStr(root, "engine", *engine)
+		sb.AttrStr(root, "engine", einfo.Name)
 	}
 
 	loadStart := tracer.Now()
@@ -154,10 +159,7 @@ func main() {
 		sb.AttrInt(id, "ops", int64(len(tr)))
 	}
 
-	opts := core.Options{NoFilter: *noFilter, Forensics: *forensics, Spans: sb}
-	if *engine == "basic" {
-		opts.Engine = core.Basic
-	}
+	opts := core.Options{Engine: einfo.Engine, NoFilter: *noFilter, Forensics: *forensics, Spans: sb}
 	reg := obs.NewRegistry()
 	if *obsJSON {
 		opts.Metrics = reg

@@ -6,6 +6,7 @@
 //	velobench -table 2 -adversarial   ... with the adversarial scheduler
 //	velobench -replay              per-event analysis cost on recorded traces
 //	velobench -baseline            filter on/off hot-path baseline → BENCH_core.json
+//	velobench -smoke               every engine's verdicts on the loop regime; exit 1 on drift
 //	velobench -inject              the 30% → 70% defect-injection study
 //	velobench -policies            compare adversarial pause policies
 //	velobench -ablate              merge/GC design-choice ablation
@@ -21,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/exper"
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
@@ -32,6 +34,7 @@ func main() {
 	table := flag.Int("table", 0, "reproduce table 1 or 2")
 	replay := flag.Bool("replay", false, "measure per-event analysis cost on recorded traces")
 	baseline := flag.Bool("baseline", false, "replay the workload suite through both engines, filter on and off")
+	smoke := flag.Bool("smoke", false, "cross-check every registered engine's verdicts on the loop-regime family; exit 1 on drift")
 	inject := flag.Bool("inject", false, "run the defect-injection experiment")
 	policyStudy := flag.Bool("policies", false, "compare adversarial pause policies on the injection trials")
 	ablate := flag.Bool("ablate", false, "ablate the merge and GC design choices per benchmark")
@@ -177,6 +180,27 @@ func main() {
 			fmt.Printf("wrote filter baseline to %s\n\n", *baselineOut)
 		}
 		done()
+	}
+	if *smoke || *all {
+		done := mark("smoke")
+		rows := exper.Smoke(seedList[0], *scale*10)
+		var engineCols []string
+		for _, info := range core.Engines() {
+			engineCols = append(engineCols, info.Name)
+		}
+		report.Smoke(os.Stdout, rows, engineCols)
+		fmt.Println()
+		drift := false
+		for _, r := range rows {
+			if r.Drift != "" {
+				fmt.Fprintf(os.Stderr, "velobench: engine drift on %s: %s\n", r.Workload, r.Drift)
+				drift = true
+			}
+		}
+		done()
+		if drift {
+			os.Exit(1)
+		}
 	}
 	if *inject || *all {
 		done := mark("inject")

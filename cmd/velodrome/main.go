@@ -35,6 +35,7 @@ import (
 func main() {
 	workload := flag.String("workload", "", "benchmark to run (see -list)")
 	backend := flag.String("backend", "velodrome", "analysis: velodrome, atomizer, eraser, hb, fasttrack, empty")
+	engine := flag.String("engine", "optimized", "with -backend velodrome: the core engine, one of "+core.EngineNames())
 	seed := flag.Int64("seed", 1, "scheduler seed")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	adversarial := flag.Bool("adversarial", false, "enable Atomizer-guided adversarial scheduling")
@@ -128,11 +129,17 @@ func main() {
 		sbuf.AttrStr(root, "workload", w.Name)
 	}
 
+	einfo, ok := core.EngineByName(*engine)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "velodrome: unknown engine %q (want %s)\n", *engine, core.EngineNames())
+		os.Exit(2)
+	}
+
 	var be rr.Backend
 	var velo *rr.Velodrome
 	switch *backend {
 	case "velodrome":
-		velo = rr.NewVelodrome(core.Options{NoMerge: *noMerge, NoFilter: *noFilter, Metrics: reg, Forensics: *forensics, Spans: sbuf})
+		velo = rr.NewVelodrome(core.Options{Engine: einfo.Engine, NoMerge: *noMerge, NoFilter: *noFilter, Metrics: reg, Forensics: *forensics, Spans: sbuf})
 		be = velo
 	case "atomizer":
 		be = rr.NewAtomizer()

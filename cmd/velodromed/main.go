@@ -50,7 +50,7 @@ func run() int {
 	sessionTimeout := flag.Duration("session-timeout", 0, "bound one session's total wall-clock time (0 = unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "on SIGINT/SIGTERM, let in-flight sessions finish this long before cutting them")
 	bufferOps := flag.Int("buffer-ops", 1024, "decoded ops buffered ahead of each session's engine (backpressure bound)")
-	engine := flag.String("engine", "optimized", "default analysis engine for sessions that name none: optimized or basic")
+	engine := flag.String("engine", "optimized", "default analysis engine for sessions that name none: "+core.EngineNames())
 	spanTrace := flag.Bool("span-trace", true, "trace each session's pipeline stages (decode/filter/graph/forensics); summaries land in verdicts, /api/sessions and /debug/velo")
 	traceDir := flag.String("trace-dir", "", "write each session's full span timeline as <dir>/<session>.trace.json (Chrome trace-event format)")
 	history := flag.Int("history", server.DefaultHistorySize, "completed sessions retained for /api/sessions and the /debug/velo dashboard")
@@ -88,14 +88,12 @@ func run() int {
 			return 2
 		}
 	}
-	switch *engine {
-	case "optimized":
-	case "basic":
-		cfg.DefaultEngine = core.Basic
-	default:
-		fmt.Fprintln(os.Stderr, "velodromed: unknown engine", *engine)
+	einfo, ok := core.EngineByName(*engine)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "velodromed: unknown engine %q (want %s)\n", *engine, core.EngineNames())
 		return 2
 	}
+	cfg.DefaultEngine = einfo.Engine
 	if !*quiet {
 		cfg.Logger = logger // nil stays silent for per-session records
 	}

@@ -225,22 +225,30 @@ func run() int {
 		}
 	}
 
-	// Both engines walk the same trace; the offline oracle arbitrates.
-	basicStart := tracer.Now()
-	basic := core.CheckTrace(tr, core.Options{Engine: core.Basic})
-	sb.Emit("check:basic", root, basicStart, tracer.Now())
-	optOpts := core.Options{Engine: core.Optimized, Spans: sb}
-	if *obsJSON {
-		optOpts.Metrics = reg
+	// Every registered engine walks the same trace; the offline oracle
+	// arbitrates. The optimized run carries the span/metrics hooks (it
+	// is the production engine whose pipeline the timeline is for).
+	results := make(map[string]*core.Result, len(core.Engines()))
+	for _, info := range core.Engines() {
+		eopts := core.Options{Engine: info.Engine}
+		if info.Engine == core.Optimized {
+			eopts.Spans = sb
+			if *obsJSON {
+				eopts.Metrics = reg
+			}
+		}
+		engStart := tracer.Now()
+		results[info.Name] = core.CheckTrace(tr, eopts)
+		if sb != nil {
+			now := tracer.Now()
+			chk := sb.Emit("check:"+info.Name, root, engStart, now)
+			sb.AttrInt(chk, "ops", int64(len(tr)))
+			if info.Engine == core.Optimized {
+				sb.EmitStages(chk, engStart, now, nil, span.StageFilter, span.StageGraph)
+			}
+		}
 	}
-	optStart := tracer.Now()
-	optimized := core.CheckTrace(tr, optOpts)
-	if sb != nil {
-		now := tracer.Now()
-		chk := sb.Emit("check:optimized", root, optStart, now)
-		sb.AttrInt(chk, "ops", int64(len(tr)))
-		sb.EmitStages(chk, optStart, now, nil, span.StageFilter, span.StageGraph)
-	}
+	optimized := results["optimized"]
 	oracleStart := tracer.Now()
 	offline, _ := serial.Check(tr)
 	sb.Emit("oracle", root, oracleStart, tracer.Now())
@@ -265,18 +273,20 @@ func run() int {
 	fmt.Printf("trace: %d operations (%d access sites instrumented, %d pruned)\n",
 		len(tr), out.SitesEmitted, out.SitesPruned)
 
-	if basic.Serializable != optimized.Serializable || offline != optimized.Serializable {
-		fmt.Fprintf(os.Stderr,
-			"veloinstr: INTERNAL DISAGREEMENT: basic=%v optimized=%v oracle=%v\n",
-			basic.Serializable, optimized.Serializable, offline)
-		return 2
+	for name, res := range results {
+		if res.Serializable != offline {
+			fmt.Fprintf(os.Stderr,
+				"veloinstr: INTERNAL DISAGREEMENT: %s=%v oracle=%v\n",
+				name, res.Serializable, offline)
+			return 2
+		}
 	}
 	if optimized.Serializable {
-		fmt.Println("serializable: basic and optimized engines agree, serial oracle confirms")
+		fmt.Printf("serializable: %s engines agree, serial oracle confirms\n", core.EngineNames())
 		return 0
 	}
-	fmt.Printf("NOT serializable: %d warnings (optimized), %d (basic); serial oracle confirms\n",
-		len(optimized.Warnings), len(basic.Warnings))
+	fmt.Printf("NOT serializable: %d warnings (optimized); %s engines and serial oracle agree\n",
+		len(optimized.Warnings), core.EngineNames())
 	for _, w := range optimized.Warnings {
 		fmt.Println(w)
 	}

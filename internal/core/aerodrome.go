@@ -1,0 +1,653 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/span"
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+// This file implements the AeroDrome engine: single-pass atomicity
+// checking with vector clocks and no happens-before graph, after Mathur
+// & Viswanathan, "Atomicity Checking in Linear Time using Vector Clocks"
+// (see PAPERS.md). Where Velodrome inserts graph edges and searches for
+// cycles, AeroDrome keeps one clock object per transaction and detects
+// the first violation as a clock comparison:
+//
+//   - Every operation of thread t ticks t's component of the running
+//     transaction's clock, so a transaction owns the tick interval
+//     [begin, now] of its thread.
+//   - The tables L (last release per lock), W (last write per variable)
+//     and R (last read per variable and thread) store *pointers* to
+//     transaction objects, not snapshots. A conflict joins the stored
+//     object's clock into the running transaction's clock in place.
+//   - A violation fires exactly when a join source has transitively
+//     observed a tick of the running transaction itself — the stored
+//     object is ordered both before (by the conflict) and after (by the
+//     observation) the transaction, a happens-before cycle.
+//
+// The one subtlety of the online setting is that a conflict can order a
+// transaction after another that is *still running*: later knowledge
+// acquired by the predecessor must keep flowing downstream. Objects
+// therefore carry subscriber lists — when an object's clock grows, the
+// growth is pushed (with the same violation check) to every object that
+// joined from it while it could still grow. A push chain corresponds
+// exactly to the graph paths the Velodrome engines walk, so AeroDrome
+// reports its first warning at the same operation: both fire at the end
+// of the minimal non-serializable prefix.
+//
+// AeroDrome is inherently first-violation: after a warning the clocks
+// no longer describe an acyclic order, so the checker stops (the
+// registry advertises ReportsAllViolations=false). Forensics are not
+// supported — there is no cycle to annotate.
+
+// aeroObj is one transaction's clock object. Unary (non-transactional)
+// operations get objects too, possibly merged into a shared container
+// (the Section 4.2 merge analog).
+type aeroObj struct {
+	vc    vc.Dense
+	owner trace.Tid
+	// begin is the owner's component at the transaction's first tick:
+	// any observation of a tick >= begin is an observation of this
+	// transaction (or, via program order, a successor — equally cyclic).
+	begin uint64
+	meta  *TxnMeta
+	// subs are objects that joined from this one while it could still
+	// grow and must be told about later growth.
+	subs   []*aeroObj
+	subSet map[*aeroObj]struct{} // dedupe once subs gets long
+	// outs counts joins taken from this object by other objects; the
+	// merge fast path requires 0 (the Reusable analog: extending an
+	// object someone is already ordered after would forge orderings).
+	outs int32
+	// active: the transaction is still open (its clock grows by ticks).
+	active bool
+	// chained: subscribed to a growable source at some point, so the
+	// clock may still grow after the transaction ends. Sticky.
+	chained bool
+}
+
+// mayGrow reports whether the object's clock can still change.
+func (o *aeroObj) mayGrow() bool { return o.active || o.chained }
+
+// aeroLockTable maps lock ids to objects (L).
+type aeroLockTable struct{ dense []*aeroObj }
+
+func (t *aeroLockTable) get(i int32) *aeroObj {
+	if int(i) < len(t.dense) {
+		return t.dense[i]
+	}
+	return nil
+}
+
+func (t *aeroLockTable) set(i int32, o *aeroObj) {
+	if int(i) >= len(t.dense) {
+		t.dense = append(t.dense, make([]*aeroObj, int(i)+1-len(t.dense))...)
+	}
+	t.dense[i] = o
+}
+
+// aeroVarTable maps variable ids to objects (W), with the same sparse
+// overflow for fork/join token variables as varTable.
+type aeroVarTable struct {
+	dense  []*aeroObj
+	sparse map[trace.Var]*aeroObj
+}
+
+func (t *aeroVarTable) get(x trace.Var) *aeroObj {
+	if x >= 0 && x < denseVarLimit {
+		if int(x) < len(t.dense) {
+			return t.dense[x]
+		}
+		return nil
+	}
+	return t.sparse[x]
+}
+
+func (t *aeroVarTable) set(x trace.Var, o *aeroObj) {
+	if x >= 0 && x < denseVarLimit {
+		if int(x) >= len(t.dense) {
+			t.dense = append(t.dense, make([]*aeroObj, int(x)+1-len(t.dense))...)
+		}
+		t.dense[x] = o
+		return
+	}
+	if t.sparse == nil {
+		t.sparse = map[trace.Var]*aeroObj{}
+	}
+	t.sparse[x] = o
+}
+
+// aeroReadTable is R: per variable, the last-read object of each
+// thread, with a version counter per dense row for the decision cache.
+type aeroReadTable struct {
+	dense  [][]*aeroObj
+	vers   []uint32
+	sparse map[trace.Var][]*aeroObj
+}
+
+func (t *aeroReadTable) ver(x trace.Var) uint32 {
+	if int(x) < len(t.vers) {
+		return t.vers[x]
+	}
+	return 0
+}
+
+func (t *aeroReadTable) row(x trace.Var) []*aeroObj {
+	if x >= 0 && x < denseVarLimit {
+		if int(x) < len(t.dense) {
+			return t.dense[x]
+		}
+		return nil
+	}
+	return t.sparse[x]
+}
+
+func (t *aeroReadTable) bump(x trace.Var) {
+	if int(x) >= len(t.vers) {
+		t.vers = append(t.vers, make([]uint32, int(x)+1-len(t.vers))...)
+	}
+	t.vers[x]++
+}
+
+func (t *aeroReadTable) set(x trace.Var, tid trace.Tid, o *aeroObj) {
+	var row []*aeroObj
+	if x >= 0 && x < denseVarLimit {
+		if int(x) >= len(t.dense) {
+			t.dense = append(t.dense, make([][]*aeroObj, int(x)+1-len(t.dense))...)
+		}
+		row = t.dense[x]
+	} else {
+		if t.sparse == nil {
+			t.sparse = map[trace.Var][]*aeroObj{}
+		}
+		row = t.sparse[x]
+	}
+	if int(tid) >= len(row) {
+		row = append(row, make([]*aeroObj, int(tid)+1-len(row))...)
+	}
+	row[tid] = o
+	if x >= 0 && x < denseVarLimit {
+		t.dense[x] = row
+		t.bump(x)
+	} else {
+		t.sparse[x] = row
+	}
+}
+
+// clear empties R(x, *): a write subsumes all prior reads — the writer
+// joined them (and subscribed to the growable ones), so later conflicts
+// reach them transitively through W(x).
+func (t *aeroReadTable) clear(x trace.Var) {
+	row := t.row(x)
+	if row == nil {
+		return
+	}
+	for i := range row {
+		row[i] = nil
+	}
+	if x >= 0 && x < denseVarLimit {
+		t.bump(x)
+	}
+}
+
+// aeroFC is the per-variable decision cache (the Section 5 filter
+// analog): pointer-identity compares prove a repeat access is a no-op —
+// the re-join adds nothing (subscriptions keep the running object
+// up to date with growable sources eagerly, with the violation check
+// performed at growth time), and the table stores are idempotent.
+type aeroFC struct {
+	rdTid, wrTid int32 // tid+1; 0 = no entry
+	rdW, rdCur   *aeroObj
+	wrW, wrCur   *aeroObj
+	wrVer        uint32
+}
+
+// aeroChecker is the AeroDrome engine behind the Checker interface.
+type aeroChecker struct {
+	common
+	c    [][]frame  // open atomic blocks per thread (as optChecker)
+	d    []int32    // open non-ignored blocks per thread
+	cur  []*aeroObj // running object per thread
+	l    aeroLockTable
+	w    aeroVarTable
+	r    aeroReadTable
+	fc   []aeroFC
+	work []*aeroObj // propagation worklist, reused across events
+	srcs []*aeroObj // join-source scratch, reused across events
+}
+
+func (c *aeroChecker) obj(t trace.Tid) *aeroObj {
+	if int(t) < len(c.cur) {
+		return c.cur[t]
+	}
+	return nil
+}
+
+func (c *aeroChecker) setObj(t trace.Tid, o *aeroObj) {
+	for int(t) >= len(c.cur) {
+		c.cur = append(c.cur, nil)
+	}
+	c.cur[t] = o
+}
+
+func (c *aeroChecker) stack(t trace.Tid) []frame {
+	if int(t) < len(c.c) {
+		return c.c[t]
+	}
+	return nil
+}
+
+func (c *aeroChecker) setStack(t trace.Tid, fs []frame) {
+	for int(t) >= len(c.c) {
+		c.c = append(c.c, nil)
+	}
+	c.c[t] = fs
+}
+
+func (c *aeroChecker) depth(t trace.Tid) int32 {
+	if int(t) < len(c.d) {
+		return c.d[t]
+	}
+	return 0
+}
+
+func (c *aeroChecker) addDepth(t trace.Tid, delta int32) {
+	for int(t) >= len(c.d) {
+		c.d = append(c.d, 0)
+	}
+	c.d[t] += delta
+}
+
+// Step implements Checker.
+func (c *aeroChecker) Step(op trace.Op) *Warning {
+	if c.met == nil && c.opts.Spans == nil {
+		return c.step(op)
+	}
+	start := time.Now()
+	filteredBefore := c.filtered
+	forensicBefore := c.opts.Spans.StageNs(span.StageForensics)
+	w := c.step(op)
+	d := time.Since(start)
+	if c.met != nil {
+		c.met.observe(op, w, d)
+	}
+	if c.opts.Spans != nil {
+		c.spanStep(d, filteredBefore, forensicBefore)
+	}
+	return w
+}
+
+// step is the uninstrumented Step body.
+func (c *aeroChecker) step(op trace.Op) *Warning {
+	if c.done {
+		return nil
+	}
+	var w *Warning
+	if op.Kind == trace.Fork || op.Kind == trace.Join {
+		for _, sub := range (trace.Trace{op}).Desugar() {
+			if ww := c.step1(sub); ww != nil && w == nil {
+				w = ww
+			}
+		}
+	} else {
+		w = c.step1(op)
+	}
+	c.idx++
+	return w
+}
+
+func (c *aeroChecker) step1(op trace.Op) *Warning {
+	t := op.Thread
+	inside := c.depth(t) > 0
+	switch op.Kind {
+	case trace.Begin:
+		stack := c.stack(t)
+		ignored := c.opts.Ignore[op.Label]
+		if !ignored {
+			c.addDepth(t, 1)
+		}
+		if inside || ignored {
+			// Nested blocks tick within the running transaction; exempted
+			// blocks push a marker frame but never start one.
+			var start uint64
+			if inside {
+				start = c.obj(t).vc.Tick(t)
+			}
+			c.setStack(t, append(stack, frame{op.Label, start, ignored}))
+			return nil
+		}
+		meta := &TxnMeta{Thread: t, Label: op.Label, Start: c.idx, End: -1}
+		o := c.newObj(t, meta)
+		o.active = true
+		c.setStack(t, append(stack, frame{op.Label, o.begin, false}))
+		return nil
+
+	case trace.End:
+		stack := c.stack(t)
+		n := len(stack) - 1
+		popped := stack[n]
+		c.setStack(t, stack[:n])
+		if !popped.ignored {
+			c.addDepth(t, -1)
+		}
+		if inside {
+			o := c.obj(t)
+			o.vc.Tick(t)
+			if !popped.ignored && checkedDepth(stack[:n]) == 0 {
+				o.active = false
+				if !o.chained {
+					// The clock is final — no active transaction upstream
+					// can ever grow it, so pending subscriptions can never
+					// fire. Dropping them unlinks the object for the GC.
+					o.subs, o.subSet = nil, nil
+				}
+			}
+		}
+		return nil
+	}
+
+	if !c.opts.NoFilter && c.filterAero(op) {
+		c.filterHit()
+		return nil
+	}
+	if inside {
+		return c.insideOp(op)
+	}
+	return c.outsideOp(op)
+}
+
+// newObj starts a fresh transaction object for t, ordered after the
+// thread's previous object by program order.
+func (c *aeroChecker) newObj(t trace.Tid, meta *TxnMeta) *aeroObj {
+	prev := c.obj(t)
+	o := &aeroObj{owner: t, meta: meta}
+	if prev != nil {
+		prev.vc.CopyInto(&o.vc)
+		prev.outs++
+		if prev.mayGrow() {
+			// Program-order chaining: predecessors that can still learn
+			// new happens-before facts must forward them here.
+			c.subscribe(prev, o)
+		}
+	}
+	o.begin = o.vc.Tick(t)
+	c.setObj(t, o)
+	return o
+}
+
+// subscribe registers sub for src's future clock growth.
+func (c *aeroChecker) subscribe(src, sub *aeroObj) {
+	if src == sub {
+		return
+	}
+	if src.subSet != nil {
+		if _, dup := src.subSet[sub]; dup {
+			return
+		}
+		src.subSet[sub] = struct{}{}
+	} else {
+		for _, r := range src.subs {
+			if r == sub {
+				return
+			}
+		}
+		if len(src.subs) >= 32 {
+			src.subSet = make(map[*aeroObj]struct{}, len(src.subs)+1)
+			for _, r := range src.subs {
+				src.subSet[r] = struct{}{}
+			}
+			src.subSet[sub] = struct{}{}
+		}
+	}
+	src.subs = append(src.subs, sub)
+	sub.chained = true
+}
+
+// joinFrom orders the stored object s before the running object d:
+// d's clock absorbs s's, and if s may still grow, d subscribes to the
+// growth. A violation fires when s has transitively observed a tick of
+// d's own transaction — the cycle d → … → s → d.
+func (c *aeroChecker) joinFrom(d, s *aeroObj, op trace.Op) *Warning {
+	if s == nil || s == d {
+		return nil
+	}
+	if s.vc.Get(d.owner) >= d.begin {
+		return c.violation(op, s)
+	}
+	s.outs++
+	grew := d.vc.Join(&s.vc)
+	if s.mayGrow() {
+		c.subscribe(s, d)
+	}
+	if grew {
+		return c.propagate(d, op)
+	}
+	return nil
+}
+
+// propagate pushes o's freshly grown clock through its subscriber DAG,
+// recursing only where a clock actually changed, and firing when the
+// growth proves a subscriber's transaction was observed by something
+// ordered before it (the cascade completes the same cycle the ordering
+// inserted at this event would close in the graph engines).
+func (c *aeroChecker) propagate(o *aeroObj, op trace.Op) *Warning {
+	work := append(c.work[:0], o)
+	for len(work) > 0 {
+		src := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, r := range src.subs {
+			if src.vc.Get(r.owner) >= r.begin {
+				c.work = work[:0]
+				return c.violation(op, src)
+			}
+			if r.vc.Join(&src.vc) {
+				work = append(work, r)
+			}
+		}
+	}
+	c.work = work[:0]
+	return nil
+}
+
+// insideOp handles one operation of a running transaction.
+func (c *aeroChecker) insideOp(op trace.Op) *Warning {
+	t := op.Thread
+	o := c.obj(t)
+	o.vc.Tick(t)
+	switch op.Kind {
+	case trace.Acquire:
+		if w := c.joinFrom(o, c.l.get(op.Target), op); w != nil {
+			return w
+		}
+	case trace.Release:
+		c.l.set(op.Target, o)
+	case trace.Read:
+		x := op.Var()
+		if w := c.joinFrom(o, c.w.get(x), op); w != nil {
+			return w
+		}
+		c.r.set(x, t, o)
+	case trace.Write:
+		x := op.Var()
+		if w := c.writeJoins(o, x, op); w != nil {
+			return w
+		}
+		c.w.set(x, o)
+		c.r.clear(x)
+	}
+	if !c.opts.NoFilter {
+		c.cacheAero(op)
+	}
+	return nil
+}
+
+// writeJoins orders a write after the last write and every last read.
+func (c *aeroChecker) writeJoins(o *aeroObj, x trace.Var, op trace.Op) *Warning {
+	if w := c.joinFrom(o, c.w.get(x), op); w != nil {
+		return w
+	}
+	for _, rs := range c.r.row(x) {
+		if rs == nil {
+			continue
+		}
+		if w := c.joinFrom(o, rs, op); w != nil {
+			return w
+		}
+	}
+	return nil
+}
+
+// outsideOp handles a non-transactional operation: its own unary
+// transaction, merged into the thread's current unary container when
+// that cannot forge orderings (Section 4.2's merge analog).
+func (c *aeroChecker) outsideOp(op trace.Op) *Warning {
+	t := op.Thread
+	if op.Kind == trace.Release && !c.opts.NoMerge {
+		// A release has no incoming conflict orderings, so it always
+		// merges into the thread's current object ([INS2 OUTSIDE REL]).
+		o := c.obj(t)
+		if o == nil {
+			o = c.newObj(t, &TxnMeta{Thread: t, Start: c.idx, Unary: true, End: c.idx})
+		} else {
+			o.vc.Tick(t)
+		}
+		c.l.set(op.Target, o)
+		return nil
+	}
+	srcs := c.srcs[:0]
+	switch op.Kind {
+	case trace.Acquire:
+		srcs = append(srcs, c.l.get(op.Target))
+	case trace.Read:
+		srcs = append(srcs, c.w.get(op.Var()))
+	case trace.Write:
+		x := op.Var()
+		srcs = append(srcs, c.w.get(x))
+		for _, rs := range c.r.row(x) {
+			if rs != nil {
+				srcs = append(srcs, rs)
+			}
+		}
+	}
+	o := c.unaryTarget(t, srcs)
+	var w *Warning
+	for _, s := range srcs {
+		if w = c.joinFrom(o, s, op); w != nil {
+			break
+		}
+	}
+	c.srcs = srcs[:0]
+	if w != nil {
+		return w
+	}
+	switch op.Kind {
+	case trace.Release:
+		c.l.set(op.Target, o) // NoMerge path
+	case trace.Read:
+		c.r.set(op.Var(), t, o)
+	case trace.Write:
+		c.w.set(op.Var(), o)
+		c.r.clear(op.Var())
+	}
+	if !c.opts.NoFilter {
+		c.cacheAero(op)
+	}
+	return nil
+}
+
+// unaryTarget returns the object hosting one non-transactional
+// operation: the thread's current unary container when extending it is
+// provably equivalent, a fresh unary transaction otherwise.
+func (c *aeroChecker) unaryTarget(t trace.Tid, srcs []*aeroObj) *aeroObj {
+	prev := c.obj(t)
+	if !c.opts.NoMerge && prev != nil && !prev.active &&
+		prev.meta != nil && prev.meta.Unary && prev.outs == 0 {
+		reuse := true
+		for _, s := range srcs {
+			if s == nil || s == prev {
+				continue
+			}
+			// Extending prev with an op ordered after s asserts s ≺ prev
+			// retroactively. Safe only when s is frozen, prev already
+			// knows everything s does, and s never observed prev itself.
+			if s.mayGrow() || s.vc.Get(t) >= prev.begin || !s.vc.LessEq(&prev.vc) {
+				reuse = false
+				break
+			}
+		}
+		if reuse {
+			prev.vc.Tick(t)
+			return prev
+		}
+	}
+	return c.newObj(t, &TxnMeta{Thread: t, Start: c.idx, Unary: true, End: c.idx})
+}
+
+// filterAero reports whether op is a provably redundant repeat access:
+// same thread, same running object, same stored conflict state as a
+// previously processed access. The re-join is a no-op (subscriptions
+// keep the running clock current against growable sources, checking at
+// growth time), and the table stores are pointer-idempotent.
+func (c *aeroChecker) filterAero(op trace.Op) bool {
+	if op.Kind != trace.Read && op.Kind != trace.Write {
+		return false
+	}
+	x := op.Var()
+	if x < 0 || x >= denseVarLimit || int(x) >= len(c.fc) {
+		return false
+	}
+	e := &c.fc[x]
+	t := op.Thread
+	cur := c.obj(t)
+	if cur == nil {
+		return false
+	}
+	if op.Kind == trace.Read {
+		return e.rdTid == int32(t)+1 && e.rdCur == cur && e.rdW == c.w.get(x)
+	}
+	return e.wrTid == int32(t)+1 && e.wrCur == cur && e.wrW == c.w.get(x) &&
+		e.wrVer == c.r.ver(x)
+}
+
+// cacheAero records the post-state of a processed access for filterAero.
+func (c *aeroChecker) cacheAero(op trace.Op) {
+	if op.Kind != trace.Read && op.Kind != trace.Write {
+		return
+	}
+	x := op.Var()
+	if x < 0 || x >= denseVarLimit {
+		return
+	}
+	if int(x) >= len(c.fc) {
+		c.fc = append(c.fc, make([]aeroFC, int(x)+1-len(c.fc))...)
+	}
+	e := &c.fc[x]
+	t := op.Thread
+	cur := c.obj(t)
+	if op.Kind == trace.Read {
+		e.rdTid, e.rdCur, e.rdW = int32(t)+1, cur, c.w.get(x)
+		return
+	}
+	e.wrTid, e.wrCur, e.wrW, e.wrVer = int32(t)+1, cur, c.w.get(x), c.r.ver(x)
+}
+
+// violation reports the first observed cycle and stops the checker:
+// past this point the clocks no longer describe an acyclic order.
+//
+// No blame is assigned, like the Basic engine. Section 4.3's blame
+// rests on the cycle being *increasing* — per-operation timestamps
+// monotone through every intermediate node — and the clock
+// representation erases exactly those per-edge times: a clock join
+// records what was observed, not at which of the holder's operations
+// the knowledge arrived or left. A completer on a non-increasing cycle
+// can be self-serializable, so claiming blame here would violate
+// invariant 5. Blame and forensics remain graph-engine capabilities
+// (EngineInfo.SupportsForensics); AeroDrome trades them for the
+// linear-time verdict.
+func (c *aeroChecker) violation(op trace.Op, s *aeroObj) *Warning {
+	_ = s
+	c.done = true
+	return c.record(&Warning{OpIndex: c.idx, Op: op})
+}

@@ -34,6 +34,12 @@ const (
 	// Basic is the initial analysis of Figure 2, kept for differential
 	// testing and for the "Without Merge" columns of Table 1.
 	Basic
+	// Aero is the AeroDrome engine (Mathur & Viswanathan): single-pass
+	// vector-clock checking with no happens-before graph. Linear-regime
+	// fast, but inherently first-violation: it stops at the first
+	// warning regardless of FirstOnly, and supports no forensics (see
+	// EngineInfo's capability flags).
+	Aero
 )
 
 // Options configure a Checker. The zero value is the paper's production
@@ -176,10 +182,12 @@ func (w *Warning) String() string {
 	} else {
 		fmt.Fprintf(&b, "warning: non-serializable trace, blame unassigned (op %d: %s)", w.OpIndex, w.Op)
 	}
-	for _, e := range w.Cycle.Edges {
-		from, _ := e.FromData.(*TxnMeta)
-		to, _ := e.ToData.(*TxnMeta)
-		fmt.Fprintf(&b, "\n  %s ⇒ %s via %s", from, to, e.Op)
+	if w.Cycle != nil { // the Aero engine reports no cycle structure
+		for _, e := range w.Cycle.Edges {
+			from, _ := e.FromData.(*TxnMeta)
+			to, _ := e.ToData.(*TxnMeta)
+			fmt.Fprintf(&b, "\n  %s ⇒ %s via %s", from, to, e.Op)
+		}
 	}
 	return b.String()
 }
@@ -216,11 +224,14 @@ func New(opts Options) Checker {
 		met = newCheckerMetrics(opts.Metrics)
 	}
 	var rec *forensic.Recorder
-	if opts.Forensics {
+	if opts.Forensics && InfoFor(opts.Engine).SupportsForensics {
 		rec = forensic.NewRecorder(opts.ForensicWindow)
 	}
-	if opts.Engine == Basic {
+	switch opts.Engine {
+	case Basic:
 		return &basicChecker{common: common{g: g, opts: opts, met: met, rec: rec}}
+	case Aero:
+		return &aeroChecker{common: common{g: g, opts: opts, met: met, rec: rec}}
 	}
 	return &optChecker{common: common{g: g, opts: opts, met: met, rec: rec}}
 }

@@ -21,6 +21,10 @@ var allConfigs = []Options{
 	{Engine: Basic},
 	{Engine: Basic, NoFilter: true},
 	{Engine: Basic, NoGC: true},
+	{Engine: Aero},
+	{Engine: Aero, NoFilter: true},
+	{Engine: Aero, NoMerge: true},
+	{Engine: Aero, NoMerge: true, NoFilter: true},
 }
 
 // TestDifferentialRandomTraces is the central soundness/completeness
@@ -64,6 +68,78 @@ func TestDifferentialSwapOracle(t *testing.T) {
 		if r.Serializable != want {
 			t.Fatalf("iter %d: velodrome %v != swap oracle %v\ntrace:\n%s", i, r.Serializable, want, tr)
 		}
+	}
+}
+
+// TestAeroFirstViolationParity pins the AeroDrome comparison contract:
+// on every random trace, the vector-clock engine agrees with both graph
+// engines on the verdict and reports its first (and only) warning at
+// the same operation as their earliest warning — all sound-and-complete
+// online checkers fire exactly at the end of the minimal
+// non-serializable prefix. Blame is deliberately never assigned: the
+// clock representation erases the per-operation edge times that make
+// the increasing-cycle test sound (see violation in aerodrome.go), so
+// the warning carries position only.
+func TestAeroFirstViolationParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(20200115))
+	violating := 0
+	for i := 0; i < 400; i++ {
+		tr := sema.RandomTrace(rng, sema.DefaultGenConfig())
+		opt := CheckTrace(tr, Options{FirstOnly: true})
+		aero := CheckTrace(tr, Options{Engine: Aero})
+		if aero.Serializable != opt.Serializable {
+			t.Fatalf("iter %d: aero serializable=%v, optimized=%v\ntrace:\n%s",
+				i, aero.Serializable, opt.Serializable, tr)
+		}
+		if opt.Serializable {
+			continue
+		}
+		violating++
+		if len(aero.Warnings) != 1 {
+			t.Fatalf("iter %d: aero reported %d warnings, want exactly 1", i, len(aero.Warnings))
+		}
+		aw, ow := aero.Warnings[0], opt.Warnings[0]
+		if aw.OpIndex != ow.OpIndex {
+			t.Fatalf("iter %d: aero first warning at op %d, optimized at op %d\ntrace:\n%s",
+				i, aw.OpIndex, ow.OpIndex, tr)
+		}
+		if aw.Blamed != nil || aw.Increasing || len(aw.Refuted) != 0 || aw.Cycle != nil {
+			t.Fatalf("iter %d: aero warning must carry position only, got %+v", i, aw)
+		}
+	}
+	if violating < 50 {
+		t.Fatalf("only %d violating traces; generator too tame", violating)
+	}
+}
+
+// TestAeroNeverBlames pins the no-blame contract on the small-trace
+// regime where TestBlameIsNotSelfSerializable exercises the graph
+// engines' invariant 5. A self-serializable completer on a
+// non-increasing cycle (e.g. a thread whose conflicting access
+// precedes its acquisition of the completer's clock) is reachable
+// here, and blaming it would be unsound — the clocks cannot tell the
+// two cases apart, so AeroDrome must stay silent on both.
+func TestAeroNeverBlames(t *testing.T) {
+	rng := rand.New(rand.NewSource(5678))
+	cfg := sema.GenConfig{Threads: 2, OpsPerThd: 5, Vars: 2, Locks: 1, PAtomic: 0.8, PLock: 0.2}
+	checked := 0
+	for i := 0; i < 500 && checked < 40; i++ {
+		tr := sema.RandomTrace(rng, cfg)
+		if len(tr) > 20 {
+			continue
+		}
+		r := CheckTrace(tr, Options{Engine: Aero})
+		if r.Serializable || len(r.Warnings) == 0 {
+			continue
+		}
+		w := r.Warnings[0]
+		if w.Blamed != nil || w.Increasing || len(w.Refuted) != 0 {
+			t.Fatalf("iter %d: aero assigned blame %+v\ntrace:\n%s", i, w, tr[:w.OpIndex+1])
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d violating traces exercised; generator too tame", checked)
 	}
 }
 

@@ -35,14 +35,15 @@ func warningKeys(ws []*Warning) []string {
 	return out
 }
 
-// assertFilterInvisible checks the full matrix {Basic, Optimized} ×
-// {filter on, off} on one trace: verdicts match the offline oracle, and
-// within each engine the filtered run reproduces the unfiltered run's
-// warnings exactly.
+// assertFilterInvisible checks the full matrix {Basic, Optimized,
+// Aero} × {filter on, off} on one trace: verdicts match the offline
+// oracle, and within each engine the filtered run reproduces the
+// unfiltered run's warnings exactly (for Aero that is the single
+// first-violation warning, position-only).
 func assertFilterInvisible(t *testing.T, tr trace.Trace, ctx string) {
 	t.Helper()
 	want, _ := serial.Check(tr)
-	for _, engine := range []Engine{Optimized, Basic} {
+	for _, engine := range []Engine{Optimized, Basic, Aero} {
 		off := CheckTrace(tr, Options{Engine: engine, NoFilter: true})
 		on := CheckTrace(tr, Options{Engine: engine})
 		if off.Filtered != 0 {

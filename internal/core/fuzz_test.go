@@ -80,5 +80,19 @@ func FuzzCheckerMatchesOracle(f *testing.F) {
 		if noMerge.Serializable != want {
 			t.Fatalf("no-merge=%v oracle=%v\n%s", noMerge.Serializable, want, tr)
 		}
+		aero := CheckTrace(tr, Options{Engine: Aero})
+		if aero.Serializable != want {
+			t.Fatalf("aero=%v oracle=%v\n%s", aero.Serializable, want, tr)
+		}
+		if !want {
+			if len(aero.Warnings) != 1 {
+				t.Fatalf("aero reported %d warnings, want 1\n%s", len(aero.Warnings), tr)
+			}
+			first := CheckTrace(tr, Options{FirstOnly: true})
+			if aero.Warnings[0].OpIndex != first.Warnings[0].OpIndex {
+				t.Fatalf("aero first warning at op %d, optimized at op %d\n%s",
+					aero.Warnings[0].OpIndex, first.Warnings[0].OpIndex, tr)
+			}
+		}
 	})
 }

@@ -28,8 +28,10 @@ var ErrEmptyStream = errors.New("core: empty trace: stream ended before the firs
 // It returns the result, the number of operations consumed, and the
 // first decode error (nil on clean EOF). Operations consumed before a
 // decode error are still reflected in the result. A stream that ends
-// before the first operation returns ErrEmptyStream: zero ops is a
-// malformed input, not a vacuously serializable trace.
+// before the first operation returns a nil result alongside
+// ErrEmptyStream: zero ops is a malformed input, not a vacuously
+// serializable trace, and handing back a partial Result there invited
+// callers to read Serializable=true off an error path.
 func CheckStream(d *trace.Decoder, opts Options) (*Result, int, error) {
 	c := New(opts)
 	sp := opts.Spans
@@ -56,7 +58,7 @@ func CheckStream(d *trace.Decoder, opts Options) (*Result, int, error) {
 		n++
 	}
 	if n == 0 {
-		return result(c), 0, ErrEmptyStream
+		return nil, 0, ErrEmptyStream
 	}
 	return result(c), n, nil
 }
@@ -66,5 +68,6 @@ func result(c Checker) *Result {
 		Serializable: len(c.Warnings()) == 0,
 		Warnings:     c.Warnings(),
 		Stats:        c.Stats(),
+		Filtered:     c.Filtered(),
 	}
 }

@@ -34,7 +34,7 @@ func TestCheckStreamMatchesCheckTrace(t *testing.T) {
 		},
 	}
 	for name, tr := range traces {
-		for _, eng := range []Engine{Optimized, Basic} {
+		for _, eng := range []Engine{Optimized, Basic, Aero} {
 			opts := Options{Engine: eng}
 			want := CheckTrace(tr, opts)
 
@@ -65,7 +65,10 @@ func TestCheckStreamMatchesCheckTrace(t *testing.T) {
 // TestCheckStreamEmpty checks the zero-op regression: a stream that
 // dies before the first operation (crashed producer, empty pipe) must
 // be a distinct malformed-input outcome, not a clean serializable
-// verdict.
+// verdict. The result must be nil — the old contract returned a
+// vacuous Serializable=true result alongside the error, and any caller
+// that checked the result before the error read a clean verdict off a
+// malformed input.
 func TestCheckStreamEmpty(t *testing.T) {
 	for name, in := range map[string]string{
 		"empty":        "",
@@ -79,8 +82,8 @@ func TestCheckStreamEmpty(t *testing.T) {
 		if n != 0 {
 			t.Errorf("%s: consumed %d ops, want 0", name, n)
 		}
-		if res == nil {
-			t.Errorf("%s: want a (vacuous) result alongside the error", name)
+		if res != nil {
+			t.Errorf("%s: result = %+v, want nil (no ops were checked)", name, res)
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/forensic"
+	"repro/internal/graph"
 )
 
 // Render returns the dot source for one warning's error graph.
@@ -42,7 +43,13 @@ func Render(w *core.Warning) string {
 		fmt.Fprintf(&b, "  %s [%s];\n", id, attrs)
 		return id
 	}
-	for i, e := range w.Cycle.Edges {
+	if w.Cycle == nil {
+		// Engines without graph structure (AeroDrome) report only the
+		// violating position; render it as a single annotated node.
+		fmt.Fprintf(&b, "  n0 [label=%q];\n",
+			fmt.Sprintf("violation at op %d: %s", w.OpIndex, w.Op.String()))
+	}
+	for i, e := range cycleEdges(w) {
 		from := name(e.FromData)
 		to := name(e.ToData)
 		style := ""
@@ -54,6 +61,13 @@ func Render(w *core.Warning) string {
 	_ = order
 	b.WriteString("}\n")
 	return b.String()
+}
+
+func cycleEdges(w *core.Warning) []graph.CycleEdge {
+	if w.Cycle == nil {
+		return nil
+	}
+	return w.Cycle.Edges
 }
 
 func metaKey(data any) string {

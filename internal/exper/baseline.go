@@ -32,9 +32,16 @@ type BaselineRow struct {
 	// Basic engine, same split.
 	BasicOn  BaselineCell `json:"basic_filter_on"`
 	BasicOff BaselineCell `json:"basic_filter_off"`
+	// AeroDrome vector-clock engine, same split.
+	AeroOn  BaselineCell `json:"aero_filter_on"`
+	AeroOff BaselineCell `json:"aero_filter_off"`
 	// Speedup is FilterOff.NsPerEvent / FilterOn.NsPerEvent for the
 	// optimized engine — the headline of the committed baseline.
 	Speedup float64 `json:"speedup"`
+	// AeroSpeedup is FilterOn.NsPerEvent / AeroOn.NsPerEvent: the
+	// linear-time engine against the production graph engine, both in
+	// their filter-on configuration — the O(n) headline.
+	AeroSpeedup float64 `json:"aero_speedup"`
 }
 
 // BaselineReport is the BENCH_core.json document: the committed
@@ -46,11 +53,11 @@ type BaselineReport struct {
 }
 
 // Baseline records each bench workload's event stream once and replays
-// it through {Basic, Optimized} × {filter on, off}, measuring ns/event,
-// steady-state allocations per event, and the filtered share. The suite
-// is the fifteen Table 1/2 reproductions plus the hot-loop redundancy
-// group (bench.Hot), whose loop-dominated traces are the regime
-// Section 5's filtering targets.
+// it through {Basic, Optimized, Aero} × {filter on, off}, measuring
+// ns/event, steady-state allocations per event, and the filtered share.
+// The suite is the fifteen Table 1/2 reproductions plus the hot-loop
+// redundancy group (bench.Hot), whose loop-dominated traces are the
+// regime Section 5's filtering targets.
 func Baseline(seed int64, scale int) *BaselineReport {
 	out := &BaselineReport{Seed: seed, Scale: scale}
 	for _, w := range append(bench.All(), bench.Hot()...) {
@@ -63,8 +70,13 @@ func Baseline(seed int64, scale int) *BaselineReport {
 		row.FilterOff = MeasureChecker(tr, core.Options{NoFilter: true})
 		row.BasicOn = MeasureChecker(tr, core.Options{Engine: core.Basic})
 		row.BasicOff = MeasureChecker(tr, core.Options{Engine: core.Basic, NoFilter: true})
+		row.AeroOn = MeasureChecker(tr, core.Options{Engine: core.Aero})
+		row.AeroOff = MeasureChecker(tr, core.Options{Engine: core.Aero, NoFilter: true})
 		if row.FilterOn.NsPerEvent > 0 {
 			row.Speedup = row.FilterOff.NsPerEvent / row.FilterOn.NsPerEvent
+		}
+		if row.AeroOn.NsPerEvent > 0 {
+			row.AeroSpeedup = row.FilterOn.NsPerEvent / row.AeroOn.NsPerEvent
 		}
 		out.Rows = append(out.Rows, row)
 	}

@@ -35,10 +35,13 @@ func warnKey(w *core.Warning) string {
 }
 
 // TestFilterMatrixOnBenchCorpus is the corpus half of the filter
-// soundness argument: on every workload trace, {Basic, Optimized} ×
-// {filter on, off} agree with the offline serial oracle on the verdict,
-// and each engine's filtered run reproduces its unfiltered warnings —
-// same operations, same increasing flags, same blame — exactly.
+// soundness argument: on every workload trace, {Basic, Optimized,
+// Aero} × {filter on, off} agree with the offline serial oracle on the
+// verdict, and each engine's filtered run reproduces its unfiltered
+// warnings — same operations, same increasing flags, same blame —
+// exactly. The Aero comparison runs under first-violation semantics
+// (one position-only warning); its cross-engine half is
+// TestAeroCorpusFirstViolationParity below.
 func TestFilterMatrixOnBenchCorpus(t *testing.T) {
 	scale := 4
 	if testing.Short() {
@@ -46,7 +49,7 @@ func TestFilterMatrixOnBenchCorpus(t *testing.T) {
 	}
 	for name, tr := range corpusTraces(scale) {
 		want, _ := serial.Check(tr)
-		for _, engine := range []core.Engine{core.Optimized, core.Basic} {
+		for _, engine := range []core.Engine{core.Optimized, core.Basic, core.Aero} {
 			off := core.CheckTrace(tr, core.Options{Engine: engine, NoFilter: true})
 			on := core.CheckTrace(tr, core.Options{Engine: engine})
 			if off.Filtered != 0 {
@@ -66,6 +69,38 @@ func TestFilterMatrixOnBenchCorpus(t *testing.T) {
 						name, engine, i, got, wantK)
 				}
 			}
+		}
+	}
+}
+
+// TestAeroCorpusFirstViolationParity is the acceptance check that the
+// vector-clock engine agrees with the graph engines across the whole
+// workload corpus under first-violation semantics: same verdict as the
+// serial oracle, and on non-serializable workloads, the single aero
+// warning lands at the same operation as the graph engines' earliest
+// warning (every sound-and-complete online checker fires exactly at
+// the end of the minimal non-serializable prefix).
+func TestAeroCorpusFirstViolationParity(t *testing.T) {
+	scale := 4
+	if testing.Short() {
+		scale = 2
+	}
+	for name, tr := range corpusTraces(scale) {
+		want, _ := serial.Check(tr)
+		opt := core.CheckTrace(tr, core.Options{FirstOnly: true})
+		aero := core.CheckTrace(tr, core.Options{Engine: core.Aero})
+		if opt.Serializable != want || aero.Serializable != want {
+			t.Fatalf("%s: serializable opt=%v aero=%v oracle=%v",
+				name, opt.Serializable, aero.Serializable, want)
+		}
+		if want {
+			continue
+		}
+		if len(aero.Warnings) != 1 {
+			t.Fatalf("%s: aero reported %d warnings, want exactly 1", name, len(aero.Warnings))
+		}
+		if a, o := aero.Warnings[0].OpIndex, opt.Warnings[0].OpIndex; a != o {
+			t.Fatalf("%s: aero first warning at op %d, graph engines at op %d", name, a, o)
 		}
 	}
 }
@@ -93,6 +128,16 @@ func TestFilterRegressionGuard(t *testing.T) {
 		"sor":      25,
 		"multiset": 35,
 	}
+	// AeroDrome's decision cache covers plain read/write redundancy only
+	// (no acquire/release fast path), so its floors sit below the graph
+	// engine's on lock-heavy loops; the committed aero_filter_on values
+	// are rmwloop 92.6, logbuffer 94.1, servermix 82.5, scanloop 73.8.
+	aeroFloors := map[string]float64{
+		"rmwloop":   85,
+		"logbuffer": 85,
+		"servermix": 75,
+		"scanloop":  65,
+	}
 	const maxAllocsPerEvent = 0.15 // committed hot-loop values are ~0.02
 	traces := corpusTraces(10)
 	for name, floor := range floors {
@@ -104,6 +149,17 @@ func TestFilterRegressionGuard(t *testing.T) {
 		pct := 100 * float64(res.Filtered) / float64(len(tr))
 		if pct < floor {
 			t.Errorf("%s: filtered %.1f%% of %d events, floor %.0f%%", name, pct, len(tr), floor)
+		}
+	}
+	for name, floor := range aeroFloors {
+		tr := traces[name]
+		if len(tr) == 0 {
+			t.Fatalf("%s: empty corpus trace", name)
+		}
+		res := core.CheckTrace(tr, core.Options{Engine: core.Aero})
+		pct := 100 * float64(res.Filtered) / float64(len(tr))
+		if pct < floor {
+			t.Errorf("%s (aero): filtered %.1f%% of %d events, floor %.0f%%", name, pct, len(tr), floor)
 		}
 	}
 	// Allocation guard on the flagship loop workload.

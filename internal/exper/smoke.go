@@ -1,0 +1,71 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/rr"
+	"repro/internal/serial"
+)
+
+// SmokeRow is one loop-regime workload's verdict matrix: the serial
+// oracle's answer next to every registered engine's, with Drift naming
+// the first disagreement found (empty when all agree).
+type SmokeRow struct {
+	Workload     string
+	Events       int
+	Serializable bool
+	// Verdicts maps registry engine name → that engine's verdict.
+	Verdicts map[string]bool
+	Drift    string
+}
+
+// Smoke replays the hot-loop redundancy family through every engine in
+// the registry and cross-checks verdicts against the offline serial
+// oracle — the cheap CI tripwire for engine drift on the regime the
+// linear-time engine targets. On a non-serializable trace it also
+// requires every engine's first warning to land at the same operation
+// (the end of the minimal non-serializable prefix), comparing each
+// engine under first-violation semantics.
+func Smoke(seed int64, scale int) []SmokeRow {
+	var out []SmokeRow
+	for _, w := range bench.Hot() {
+		rep := rr.Run(rr.Options{Seed: seed, Record: true}, func(t *rr.Thread) {
+			w.Body(t, bench.Params{Scale: scale})
+		})
+		tr := rep.Trace
+		want, _ := serial.Check(tr)
+		row := SmokeRow{
+			Workload:     w.Name,
+			Events:       len(tr),
+			Serializable: want,
+			Verdicts:     map[string]bool{},
+		}
+		firstAt := -1
+		var drift []string
+		for _, info := range core.Engines() {
+			res := core.CheckTrace(tr, core.Options{Engine: info.Engine, FirstOnly: true})
+			row.Verdicts[info.Name] = res.Serializable
+			if res.Serializable != want {
+				drift = append(drift, fmt.Sprintf("%s verdict %v, oracle %v",
+					info.Name, res.Serializable, want))
+				continue
+			}
+			if want || len(res.Warnings) == 0 {
+				continue
+			}
+			at := res.Warnings[0].OpIndex
+			if firstAt < 0 {
+				firstAt = at
+			} else if at != firstAt {
+				drift = append(drift, fmt.Sprintf("%s first warning at op %d, others at %d",
+					info.Name, at, firstAt))
+			}
+		}
+		row.Drift = strings.Join(drift, "; ")
+		out = append(out, row)
+	}
+	return out
+}

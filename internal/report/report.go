@@ -223,14 +223,49 @@ func Coverage(w io.Writer, c exper.CoverageCurve) {
 	}
 }
 
+// Smoke renders the engine-drift smoke matrix: one row per loop-regime
+// workload, one verdict column per registered engine, oracle first.
+func Smoke(w io.Writer, rows []exper.SmokeRow, engines []string) {
+	fmt.Fprintln(w, "Smoke: loop-regime verdicts, every registered engine vs the serial oracle")
+	fmt.Fprintln(w)
+	widths := []int{11, 8, 8}
+	header := []string{"Program", "Events", "oracle"}
+	for _, e := range engines {
+		header = append(header, e)
+		widths = append(widths, len(e))
+	}
+	header = append(header, "drift")
+	widths = append(widths, 5)
+	writeRow(w, widths, header...)
+	verdict := func(serializable bool) string {
+		if serializable {
+			return "ok"
+		}
+		return "VIOL"
+	}
+	for _, r := range rows {
+		cells := []string{r.Workload, fmt.Sprintf("%d", r.Events), verdict(r.Serializable)}
+		for _, e := range engines {
+			cells = append(cells, verdict(r.Verdicts[e]))
+		}
+		drift := "-"
+		if r.Drift != "" {
+			drift = r.Drift
+		}
+		cells = append(cells, drift)
+		writeRow(w, widths, cells...)
+	}
+}
+
 // Baseline renders the hot-path filter baseline (the human-readable
 // companion of BENCH_core.json).
 func Baseline(w io.Writer, rep *exper.BaselineReport) {
 	fmt.Fprintln(w, "Baseline: per-event analysis cost, redundant-event filter on vs off")
-	fmt.Fprintln(w, "(optimized engine; allocs = steady-state allocations per event)")
+	fmt.Fprintln(w, "(optimized engine; allocs = steady-state allocations per event;")
+	fmt.Fprintln(w, " aero = AeroDrome vector-clock engine, filter on, speedup vs optimized)")
 	fmt.Fprintln(w)
-	widths := []int{11, 8, 9, 9, 8, 9, 9, 10}
-	writeRow(w, widths, "Program", "Events", "on ns", "off ns", "speedup", "on alloc", "off alloc", "filtered%")
+	widths := []int{11, 8, 9, 9, 8, 9, 9, 10, 9, 8}
+	writeRow(w, widths, "Program", "Events", "on ns", "off ns", "speedup", "on alloc", "off alloc", "filtered%", "aero ns", "aero x")
 	for _, r := range rep.Rows {
 		writeRow(w, widths, r.Workload,
 			fmt.Sprintf("%d", r.Events),
@@ -239,6 +274,8 @@ func Baseline(w io.Writer, rep *exper.BaselineReport) {
 			fmt.Sprintf("%.2fx", r.Speedup),
 			fmt.Sprintf("%.3f", r.FilterOn.AllocsPerEvent),
 			fmt.Sprintf("%.3f", r.FilterOff.AllocsPerEvent),
-			fmt.Sprintf("%.1f", r.FilterOn.FilteredPct))
+			fmt.Sprintf("%.1f", r.FilterOn.FilteredPct),
+			fmt.Sprintf("%.1f", r.AeroOn.NsPerEvent),
+			fmt.Sprintf("%.2fx", r.AeroSpeedup))
 	}
 }

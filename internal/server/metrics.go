@@ -15,6 +15,8 @@ import (
 //
 //	velodromed_sessions_accepted_total   every accepted connection
 //	velodromed_sessions_shed_total       connections refused at the cap
+//	velodromed_sessions_rejected_total   connections refused before admission
+//	                                     (bad header, unknown engine)
 //	velodromed_sessions_active           currently running sessions
 //	velodromed_session_panics_total      sessions ended by a recovered panic
 //	velodromed_ops_total                 operations fed to engines
@@ -24,6 +26,7 @@ import (
 type serverMetrics struct {
 	accepted     *obs.Counter
 	shed         *obs.Counter
+	rejected     *obs.Counter
 	active       *obs.Gauge
 	panics       *obs.Counter
 	ops          *obs.Counter
@@ -37,7 +40,7 @@ type serverMetrics struct {
 func newServerMetrics(r *obs.Registry) *serverMetrics {
 	if r == nil {
 		return &serverMetrics{
-			accepted: &obs.Counter{}, shed: &obs.Counter{}, active: &obs.Gauge{},
+			accepted: &obs.Counter{}, shed: &obs.Counter{}, rejected: &obs.Counter{}, active: &obs.Gauge{},
 			panics: &obs.Counter{}, ops: &obs.Counter{},
 			verdictOK: &obs.Counter{}, verdictMal: &obs.Counter{}, verdictErr: &obs.Counter{},
 			serializable: &obs.Counter{}, duration: &obs.Histogram{},
@@ -46,6 +49,7 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 	return &serverMetrics{
 		accepted:     r.Counter("velodromed_sessions_accepted_total"),
 		shed:         r.Counter("velodromed_sessions_shed_total"),
+		rejected:     r.Counter("velodromed_sessions_rejected_total"),
 		active:       r.Gauge("velodromed_sessions_active"),
 		panics:       r.Counter("velodromed_session_panics_total"),
 		ops:          r.Counter("velodromed_ops_total"),

@@ -40,10 +40,13 @@ import (
 // production default applied by New.
 type Config struct {
 	// MaxSessions caps concurrently running sessions. Connections
-	// beyond the cap are shed immediately: they receive a StatusBusy
-	// verdict and are closed without reading a single op, so a loaded
-	// daemon degrades by refusing work, not by queueing unboundedly.
-	// Default 64.
+	// beyond the cap are shed right after their header line: they
+	// receive a StatusBusy verdict and are closed without reading a
+	// single op, so a loaded daemon degrades by refusing work, not by
+	// queueing unboundedly. (The header is read first so that sessions
+	// which could never run — unknown engine, garbage header — are
+	// rejected as malformed rather than reported busy, and never
+	// compete for a slot at all.) Default 64.
 	MaxSessions int
 	// IdleTimeout is the per-read deadline: the longest a session may
 	// go without delivering a byte before it is failed. This is what
@@ -220,28 +223,10 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		s.met.accepted.Inc()
 
-		// Load shedding: claim a slot without blocking. A full daemon
-		// answers immediately and cheaply — the client learns "busy"
-		// instead of hanging in an invisible queue.
-		select {
-		case s.slots <- struct{}{}:
-		default:
-			s.met.shed.Inc()
-			s.cfg.Logger.Warn("session shed",
-				"remote", conn.RemoteAddr().String(), "cap", s.cfg.MaxSessions)
-			// Answer off the accept loop so a slow shed client cannot
-			// stall admission of sessions that would find a free slot.
-			go func(conn net.Conn) {
-				conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-				trace.WriteVerdict(conn, &trace.SessionVerdict{
-					Status: trace.StatusBusy,
-					Error:  fmt.Sprintf("session limit reached (%d active)", s.cfg.MaxSessions),
-				})
-				conn.Close()
-			}(conn)
-			continue
-		}
-
+		// Admission — header validation, rejection, load shedding, the
+		// slot claim — happens on the connection's own goroutine, off
+		// the accept loop, so a client that is slow to send its header
+		// cannot stall admission of others.
 		s.mu.Lock()
 		s.conns[conn] = true
 		s.mu.Unlock()
@@ -251,7 +236,6 @@ func (s *Server) Serve(ln net.Listener) error {
 				s.mu.Lock()
 				delete(s.conns, conn)
 				s.mu.Unlock()
-				<-s.slots
 				s.sessions.Done()
 			}()
 			s.handle(conn)
@@ -319,10 +303,76 @@ func (d *deadlineReader) Read(p []byte) (int, error) {
 	return d.conn.Read(p)
 }
 
-// handle runs one complete session: header, op stream, verdict.
+// handle runs one complete session: admission (header, rejection, load
+// shedding, the slot claim), op stream, verdict.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	start := time.Now()
+
+	dr := &deadlineReader{conn: conn, idle: s.cfg.IdleTimeout}
+	if s.cfg.MaxSessionTime > 0 {
+		dr.absolute = start.Add(s.cfg.MaxSessionTime)
+	}
+	br := bufio.NewReader(dr)
+	var tr *span.Tracer
+	if !s.cfg.NoSpans {
+		tr = span.New()
+	}
+
+	// Header first. A session that could never run — garbage header,
+	// unknown engine — is rejected here, before a slot, an engine, or
+	// any session accounting exists: it gets a malformed verdict with a
+	// stable code, bumps only the rejected counter (and the malformed
+	// verdict counter, which has always covered bad headers), and
+	// leaves the shed/active metrics, the session-id sequence and the
+	// history ring untouched.
+	hdrStart := tr.Now()
+	hdr, err := trace.ReadSessionHeader(br)
+	hdrEnd := tr.Now()
+	var info core.EngineInfo
+	var code string
+	switch {
+	case err != nil:
+		code = trace.CodeBadHeader
+	case hdr.Engine == "":
+		info = core.InfoFor(s.cfg.DefaultEngine)
+	default:
+		var ok bool
+		if info, ok = core.EngineByName(hdr.Engine); !ok {
+			code = trace.CodeUnknownEngine
+			err = fmt.Errorf("unknown engine %q (want %s)", hdr.Engine, core.EngineNames())
+		}
+	}
+	if err != nil {
+		s.met.rejected.Inc()
+		v := &trace.SessionVerdict{Status: trace.StatusMalformed, Code: code, Error: err.Error()}
+		s.met.observeVerdict(v, time.Since(start))
+		s.cfg.Logger.Warn("session rejected",
+			"remote", conn.RemoteAddr().String(), "code", code, "error", err.Error())
+		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		trace.WriteVerdict(conn, v)
+		return
+	}
+
+	// Load shedding: claim a slot without blocking. A full daemon
+	// answers immediately and cheaply — the client learns "busy"
+	// instead of hanging in an invisible queue.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.met.shed.Inc()
+		s.cfg.Logger.Warn("session shed",
+			"remote", conn.RemoteAddr().String(), "cap", s.cfg.MaxSessions)
+		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		trace.WriteVerdict(conn, &trace.SessionVerdict{
+			Status: trace.StatusBusy,
+			Code:   trace.CodeBusy,
+			Error:  fmt.Sprintf("session limit reached (%d active)", s.cfg.MaxSessions),
+		})
+		return
+	}
+	defer func() { <-s.slots }()
+
 	s.met.active.Add(1)
 	defer s.met.active.Add(-1)
 
@@ -335,15 +385,7 @@ func (s *Server) handle(conn net.Conn) {
 	defer s.active.Delete(st.id)
 	logger := s.cfg.Logger.With("session", st.id, "remote", st.remote)
 
-	dr := &deadlineReader{conn: conn, idle: s.cfg.IdleTimeout}
-	if s.cfg.MaxSessionTime > 0 {
-		dr.absolute = start.Add(s.cfg.MaxSessionTime)
-	}
-	var tr *span.Tracer
-	if !s.cfg.NoSpans {
-		tr = span.New()
-	}
-	v := s.run(bufio.NewReader(dr), st, logger, tr)
+	v := s.run(br, hdr, info, st, logger, tr, hdrStart, hdrEnd)
 
 	elapsed := time.Since(start)
 	v.Session = st.id
@@ -413,11 +455,15 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// run decodes and checks one session's stream, converting every failure
-// mode — bad header, malformed ops, engine panic — into a verdict. It
-// never lets a panic escape: one poisoned session must not take down
-// the daemon.
-func (s *Server) run(br *bufio.Reader, st *sessionStats, logger *slog.Logger, tr *span.Tracer) (v *trace.SessionVerdict) {
+// run decodes and checks one admitted session's stream, converting
+// every failure mode — malformed ops, engine panic — into a verdict.
+// (Header failures never reach here: handle rejects them before
+// admission.) It never lets a panic escape: one poisoned session must
+// not take down the daemon. hdrStart/hdrEnd are the tracer timestamps
+// bracketing handle's header read, re-emitted here so the header stage
+// still appears on the session's span timeline.
+func (s *Server) run(br *bufio.Reader, hdr trace.SessionHeader, info core.EngineInfo,
+	st *sessionStats, logger *slog.Logger, tr *span.Tracer, hdrStart, hdrEnd int64) (v *trace.SessionVerdict) {
 	// ops and its drain are declared here so the recover path can unblock
 	// a decode goroutine stuck sending to a consumer that panicked away.
 	var ops chan trace.Op
@@ -446,36 +492,11 @@ func (s *Server) run(br *bufio.Reader, st *sessionStats, logger *slog.Logger, tr
 	root := sb.Start("session", 0)
 	sb.AttrStr(root, "session", st.id)
 
-	hdrStart := tr.Now()
-	hdr, err := trace.ReadSessionHeader(br)
-	if hid := sb.Emit("header", root, hdrStart, tr.Now()); hid != 0 {
-		sb.AddStage(span.StageHeader, tr.Now()-hdrStart)
+	if hid := sb.Emit("header", root, hdrStart, hdrEnd); hid != 0 {
+		sb.AddStage(span.StageHeader, hdrEnd-hdrStart)
 	}
-	if err != nil {
-		sb.End(root)
-		sb.Flush()
-		return &trace.SessionVerdict{Status: trace.StatusMalformed, Error: err.Error()}
-	}
-	opts := core.Options{Engine: s.cfg.DefaultEngine, MaxWarnings: s.cfg.MaxWarnings, Forensics: hdr.Forensics, Spans: sb}
-	engineName := "optimized"
-	switch hdr.Engine {
-	case "":
-		if s.cfg.DefaultEngine == core.Basic {
-			engineName = "basic"
-		}
-	case "optimized":
-		opts.Engine = core.Optimized
-	case "basic":
-		opts.Engine = core.Basic
-		engineName = "basic"
-	default:
-		sb.End(root)
-		sb.Flush()
-		return &trace.SessionVerdict{
-			Status: trace.StatusMalformed,
-			Error:  fmt.Sprintf("unknown engine %q (want optimized or basic)", hdr.Engine),
-		}
-	}
+	opts := core.Options{Engine: info.Engine, MaxWarnings: s.cfg.MaxWarnings, Forensics: hdr.Forensics, Spans: sb}
+	engineName := info.Name // canonical: "opt" in the header reports as "optimized"
 	st.engine.Store(&engineName)
 	st.forensics.Store(hdr.Forensics)
 	sb.AttrStr(root, "engine", engineName)
@@ -596,11 +617,13 @@ func (s *Server) run(br *bufio.Reader, st *sessionStats, logger *slog.Logger, tr
 	switch {
 	case derr != nil:
 		v.Status = trace.StatusMalformed
+		v.Code = trace.CodeDecodeError
 		v.Error = derr.Error()
 	case n == 0:
 		// The zero-op hole, closed at the daemon too: an empty stream
 		// is a crashed producer, not a serializable program.
 		v.Status = trace.StatusMalformed
+		v.Code = trace.CodeEmptyStream
 		v.Error = core.ErrEmptyStream.Error()
 	default:
 		v.Status = trace.StatusOK

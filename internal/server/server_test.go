@@ -259,6 +259,116 @@ func TestServerShedsLoad(t *testing.T) {
 	}
 }
 
+// TestServerRejectsUnknownEngineBeforeAdmission pins the admission
+// order: a session naming an engine the registry does not know is
+// rejected on its header — malformed verdict with a stable code, never
+// "busy" — even when the daemon is at its session cap, because the
+// rejection happens before the slot claim. It must not consume a
+// session slot or id, must not appear in the active map or the history
+// ring, and must move only the rejected counter (plus the malformed
+// verdict counter, which has always covered bad headers) — never shed.
+func TestServerRejectsUnknownEngineBeforeAdmission(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, addr, stop := startServer(t, Config{MaxSessions: 1, Metrics: reg})
+
+	// Pin the only slot with a stalled-but-admitted session.
+	slow, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := slow.Write(trace.SessionHeader{Name: "slow"}.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := slow.Write([]byte("rd(1,x0)\n")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().Gauges["velodromed_sessions_active"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow session never became active")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A full server still answers the unknown engine with malformed —
+	// the header is judged before the cap is consulted.
+	v, err := CheckReader(addr, trace.SessionHeader{Engine: "warpdrive"},
+		bytes.NewReader(encode(t, cleanTrace(), false)))
+	if err != nil {
+		t.Fatalf("rejected client: %v", err)
+	}
+	if v.Status != trace.StatusMalformed || v.Code != trace.CodeUnknownEngine {
+		t.Fatalf("verdict %+v, want malformed/%s", v, trace.CodeUnknownEngine)
+	}
+	if v.Session != "" {
+		t.Errorf("rejected session was assigned id %q, want none", v.Session)
+	}
+	if !strings.Contains(v.Error, "warpdrive") || !strings.Contains(v.Error, "aerodrome") {
+		t.Errorf("error %q should name the bad engine and list the known ones", v.Error)
+	}
+	if v.ExitCode() != 2 {
+		t.Errorf("rejection exit code = %d, want 2", v.ExitCode())
+	}
+
+	// A garbage first line is the same path with its own code.
+	raw, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write([]byte("GET / HTTP/1.1\n")); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	v2, err := trace.ReadVerdict(raw)
+	if err != nil {
+		t.Fatalf("bad-header client: %v", err)
+	}
+	raw.Close()
+	if v2.Status != trace.StatusMalformed || v2.Code != trace.CodeBadHeader {
+		t.Fatalf("verdict %+v, want malformed/%s", v2, trace.CodeBadHeader)
+	}
+
+	// Release the slot; the stalled session finishes untouched and the
+	// next valid session is admitted — rejections did not leak slots.
+	if _, err := slow.Write([]byte("wr(1,x0)\n")); err != nil {
+		t.Fatal(err)
+	}
+	slow.(*net.TCPConn).CloseWrite()
+	if v, err := trace.ReadVerdict(slow); err != nil || v.Status != trace.StatusOK {
+		t.Fatalf("slow session verdict %+v, err %v", v, err)
+	}
+	slow.Close()
+	v, err = CheckReader(addr, trace.SessionHeader{Engine: "aerodrome"},
+		bytes.NewReader(encode(t, cleanTrace(), false)))
+	if err != nil || v.Status != trace.StatusOK || !v.Serializable {
+		t.Fatalf("post-rejection session: %+v, err %v", v, err)
+	}
+	stop()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["velodromed_sessions_rejected_total"]; got != 2 {
+		t.Errorf("rejected = %d, want 2", got)
+	}
+	if got := snap.Counters["velodromed_sessions_shed_total"]; got != 0 {
+		t.Errorf("shed = %d, want 0 (rejections must not count as shed)", got)
+	}
+	if got := snap.Counters[`velodromed_verdicts_total{status="malformed"}`]; got != 2 {
+		t.Errorf("malformed verdicts = %d, want 2", got)
+	}
+	if got := snap.Gauges["velodromed_sessions_active"]; got != 0 {
+		t.Errorf("active sessions after drain = %d, want 0", got)
+	}
+	// Only the two real sessions reach the history ring.
+	if got := s.History().Len(); got != 2 {
+		t.Errorf("history holds %d records, want 2 (rejections must not be recorded)", got)
+	}
+	for _, rec := range s.History().Recent(10, 0) {
+		if rec.Status != trace.StatusOK {
+			t.Errorf("history record %+v, want only ok sessions", rec)
+		}
+	}
+}
+
 // TestServerGracefulDrain starts sessions that are mid-stream when
 // Shutdown begins and asserts they still receive real verdicts while
 // new connections are refused.
@@ -431,7 +541,7 @@ func TestVerdictFilterMetrics(t *testing.T) {
 	}
 	tr = append(tr, trace.Fin(1))
 
-	for _, engine := range []string{"optimized", "basic"} {
+	for _, engine := range []string{"optimized", "basic", "aerodrome"} {
 		v, err := CheckReader(addr, trace.SessionHeader{Engine: engine}, bytes.NewReader(encode(t, tr, false)))
 		if err != nil {
 			t.Fatal(err)

@@ -117,9 +117,34 @@ const (
 	StatusError = "error"
 )
 
+// Verdict codes: stable machine-readable refinements of the non-ok
+// statuses. Status says which broad outcome class the session hit;
+// Code says why, in a form clients and tests can branch on without
+// parsing the human-oriented Error string (whose wording may change).
+const (
+	// CodeBadHeader: the first line was not a parseable VELOSESS/1
+	// header; nothing past it was read.
+	CodeBadHeader = "bad-header"
+	// CodeUnknownEngine: the header named an engine the server's
+	// registry does not know. Rejected before a session slot or any
+	// engine state was allocated.
+	CodeUnknownEngine = "unknown-engine"
+	// CodeEmptyStream: the header was fine but the stream ended before
+	// the first operation (core.ErrEmptyStream at the daemon).
+	CodeEmptyStream = "empty-stream"
+	// CodeDecodeError: the op stream broke mid-way; Ops counts the
+	// prefix that was checked.
+	CodeDecodeError = "decode-error"
+	// CodeBusy: shed at the session cap (StatusBusy verdicts).
+	CodeBusy = "busy"
+)
+
 // SessionVerdict is the server's one-line JSON reply.
 type SessionVerdict struct {
 	Status string `json:"status"`
+	// Code refines non-ok statuses with a stable machine-readable
+	// reason (see the Code* constants). Empty on ok verdicts.
+	Code string `json:"code,omitempty"`
 	// Session is the server-assigned session id ("s17"), echoed so a
 	// client can correlate its verdict with the daemon's logs and the
 	// /debug/velo listing. Empty for connections shed before admission.

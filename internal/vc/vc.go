@@ -14,6 +14,11 @@ import (
 
 // Clock is a vector clock: a map from thread to logical time. The zero
 // value is the all-zeros clock.
+//
+// Representation invariant: a component is zero iff it is absent from the
+// map. Every operation maintains this canonical form, so explicit-zero
+// and absent components can never diverge under Copy, Join, LessEq,
+// Equal or String — Set(t, 0) removes the entry rather than storing 0.
 type Clock struct {
 	times map[trace.Tid]uint64
 }
@@ -29,14 +34,15 @@ func (c *Clock) Get(t trace.Tid) uint64 {
 	return c.times[t]
 }
 
-// Set assigns the component for thread t.
+// Set assigns the component for thread t. Setting zero removes the
+// entry, keeping the representation canonical (absent ≡ zero).
 func (c *Clock) Set(t trace.Tid, v uint64) {
+	if v == 0 {
+		delete(c.times, t) // delete on a nil map is a no-op
+		return
+	}
 	if c.times == nil {
 		c.times = map[trace.Tid]uint64{}
-	}
-	if v == 0 {
-		delete(c.times, t)
-		return
 	}
 	c.times[t] = v
 }
@@ -88,6 +94,13 @@ func (c *Clock) LessEq(other *Clock) bool {
 // Concurrent reports whether neither clock precedes the other.
 func (c *Clock) Concurrent(other *Clock) bool {
 	return !c.LessEq(other) && !other.LessEq(c)
+}
+
+// Equal reports whether the clocks agree on every component. Because
+// zeros are never stored, this is a map comparison with no special
+// casing for absent-versus-explicit-zero entries.
+func (c *Clock) Equal(other *Clock) bool {
+	return c.LessEq(other) && other.LessEq(c)
 }
 
 // Epoch is the compact (thread, time) pair used for last-access tracking;

@@ -1,6 +1,7 @@
 package vc
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -121,5 +122,172 @@ func TestSetZeroDeletes(t *testing.T) {
 	c.Set(1, 0)
 	if c.String() != "[]" {
 		t.Fatalf("zero component should be dropped: %s", c)
+	}
+	// Setting zero on a fresh clock must not materialize the component
+	// (or panic on the nil map).
+	d := New()
+	d.Set(2, 0)
+	if !d.Equal(New()) || d.String() != "[]" {
+		t.Fatalf("explicit zero diverged from absent: %s", d)
+	}
+}
+
+// clockOp is one random mutation applied identically to every clock
+// representation under test.
+type clockOp struct {
+	kind byte // 0 = Set, 1 = Tick, 2 = Join with an earlier snapshot
+	tid  trace.Tid
+	val  uint64
+}
+
+func randOps(rng *rand.Rand, n int) []clockOp {
+	ops := make([]clockOp, n)
+	for i := range ops {
+		ops[i] = clockOp{
+			kind: byte(rng.Intn(3)),
+			tid:  trace.Tid(rng.Intn(5)),
+			// Zero is generated often on purpose: explicit-zero Sets are
+			// the canonicality edge the satellite fix pins.
+			val: uint64(rng.Intn(4)),
+		}
+	}
+	return ops
+}
+
+// TestQuickClockDenseEquivalent drives Clock and Dense through the same
+// random operation sequences (including explicit zero Sets and joins
+// with stale snapshots) and requires identical observable behavior:
+// Get on every component, String, LessEq/Equal/Concurrent against every
+// intermediate snapshot.
+func TestQuickClockDenseEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, d := New(), &Dense{}
+		var cSnaps []*Clock
+		var dSnaps []*Dense
+		for _, op := range randOps(rng, 40) {
+			switch op.kind {
+			case 0:
+				c.Set(op.tid, op.val)
+				d.Set(op.tid, op.val)
+			case 1:
+				if c.Tick(op.tid) != d.Tick(op.tid) {
+					return false
+				}
+			case 2:
+				if len(cSnaps) > 0 {
+					i := rng.Intn(len(cSnaps))
+					c.Join(cSnaps[i])
+					d.Join(dSnaps[i])
+				}
+			}
+			for tid := trace.Tid(0); tid < 6; tid++ {
+				if c.Get(tid) != d.Get(tid) {
+					return false
+				}
+			}
+			if c.String() != d.String() {
+				return false
+			}
+			cSnaps = append(cSnaps, c.Copy())
+			dSnaps = append(dSnaps, d.Copy())
+		}
+		for i := range cSnaps {
+			for j := range cSnaps {
+				if cSnaps[i].LessEq(cSnaps[j]) != dSnaps[i].LessEq(dSnaps[j]) ||
+					cSnaps[i].Equal(cSnaps[j]) != dSnaps[i].Equal(dSnaps[j]) ||
+					cSnaps[i].Concurrent(cSnaps[j]) != dSnaps[i].Concurrent(dSnaps[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickZeroCanonical: a clock that had components explicitly set to
+// zero is indistinguishable from one where they were never set — under
+// String, LessEq both ways, Equal, and Join in both directions.
+func TestQuickZeroCanonical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		withZeros, without := New(), New()
+		dWith, dWithout := &Dense{}, &Dense{}
+		for i := 0; i < 10; i++ {
+			tid := trace.Tid(rng.Intn(4))
+			v := uint64(rng.Intn(3))
+			withZeros.Set(tid, v)
+			dWith.Set(tid, v)
+			if v != 0 {
+				without.Set(tid, v)
+				dWithout.Set(tid, v)
+			} else {
+				without.Set(tid, 7) // set then clear: forces the delete path
+				without.Set(tid, 0)
+				dWithout.Set(tid, 7)
+				dWithout.Set(tid, 0)
+			}
+		}
+		// The two construction orders end in states that only agree if
+		// trailing explicit zeros behave exactly like absent entries.
+		probe := New()
+		probe.Set(trace.Tid(rng.Intn(4)), uint64(rng.Intn(3)))
+		dProbe := &Dense{}
+		for tid := trace.Tid(0); tid < 4; tid++ {
+			dProbe.Set(tid, probe.Get(tid))
+		}
+		return withZeros.Equal(without) &&
+			withZeros.String() == without.String() &&
+			withZeros.LessEq(probe) == without.LessEq(probe) &&
+			probe.LessEq(withZeros) == probe.LessEq(without) &&
+			dWith.Equal(dWithout) &&
+			dWith.String() == dWithout.String() &&
+			dWith.LessEq(dProbe) == dWithout.LessEq(dProbe) &&
+			dProbe.LessEq(dWith) == dProbe.LessEq(dWithout)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDenseJoinReportsChange pins the Join change signal AeroDrome's
+// propagation fixpoint terminates on.
+func TestDenseJoinReportsChange(t *testing.T) {
+	a, b := &Dense{}, &Dense{}
+	b.Set(2, 5)
+	if !a.Join(b) {
+		t.Fatal("join that grows a component must report change")
+	}
+	if a.Join(b) {
+		t.Fatal("idempotent join must report no change")
+	}
+	if a.Join(a) {
+		t.Fatal("self-join must report no change")
+	}
+	b.Set(2, 3) // b now strictly below a on every component
+	if a.Join(b) {
+		t.Fatal("join from a dominated clock must report no change")
+	}
+}
+
+// TestDenseCopyIntoReuse: CopyInto must not leak stale components when
+// the destination shrinks and later regrows into old capacity.
+func TestDenseCopyIntoReuse(t *testing.T) {
+	var dst Dense
+	big := &Dense{}
+	big.Set(4, 9)
+	big.CopyInto(&dst)
+	small := &Dense{}
+	small.Set(0, 1)
+	small.CopyInto(&dst)
+	if dst.Get(4) != 0 {
+		t.Fatalf("stale component survived CopyInto: %s", &dst)
+	}
+	dst.Tick(4) // regrow into the old capacity
+	if dst.Get(4) != 1 {
+		t.Fatalf("regrown component = %d, want 1", dst.Get(4))
 	}
 }
