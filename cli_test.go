@@ -349,12 +349,26 @@ func TestCLIVelobenchObsOut(t *testing.T) {
 }
 
 func TestCLIVelodromeParallel(t *testing.T) {
-	out, code := runTool(t, "velodrome", "-workload", "raja", "-parallel")
+	out, code := runTool(t, "velodrome", "-workload", "raja", "-goroutines")
 	if code != 0 {
 		t.Fatalf("exit %d:\n%s", code, out)
 	}
 	if !strings.Contains(out, "velodrome: 0 warnings") {
 		t.Errorf("raja under real goroutines must stay clean:\n%s", out)
+	}
+}
+
+func TestCLIVelodromePipeline(t *testing.T) {
+	serial, code := runTool(t, "velodrome", "-workload", "elevator", "-stats")
+	if code != 0 {
+		t.Fatalf("serial exit %d:\n%s", code, serial)
+	}
+	par, code := runTool(t, "velodrome", "-workload", "elevator", "-stats", "-parallel", "4")
+	if code != 0 {
+		t.Fatalf("parallel exit %d:\n%s", code, par)
+	}
+	if par != serial {
+		t.Errorf("-parallel 4 output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, par)
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"repro/internal/dot"
 	"repro/internal/forensic"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/serial"
 	"repro/internal/server"
 	"repro/internal/span"
@@ -46,6 +47,7 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress warning details")
 	obsJSON := flag.Bool("obs-json", false, "emit the full obs snapshot (per-kind latencies, graph stats) as JSON on stderr")
 	noFilter := flag.Bool("nofilter", false, "disable the redundant-event fast path (Section 5 filtering)")
+	parallel := flag.Int("parallel", 1, "decode and filter with this many pipeline workers (local checking; >1 enables the staged pipeline)")
 	forensics := flag.Bool("forensics", false, "enable the event flight recorder (provenance reports on warnings)")
 	explain := flag.Bool("explain", false, "print a provenance report per warning (implies -forensics; works in -server mode too)")
 	inFlag := flag.String("in", "", "trace input: a file name or - for standard input (alternative to the positional argument)")
@@ -193,7 +195,12 @@ func main() {
 		os.Exit(code)
 	}
 	checkStart := tracer.Now()
-	res := core.CheckTrace(tr, opts)
+	var res *core.Result
+	if *parallel > 1 {
+		res = pipeline.CheckTrace(tr, opts, pipeline.Config{Workers: *parallel})
+	} else {
+		res = core.CheckTrace(tr, opts)
+	}
 	if sb != nil {
 		now := tracer.Now()
 		chk := sb.Emit("check", root, checkStart, now)

@@ -6,6 +6,8 @@
 //	velobench -table 2 -adversarial   ... with the adversarial scheduler
 //	velobench -replay              per-event analysis cost on recorded traces
 //	velobench -baseline            filter on/off hot-path baseline → BENCH_core.json
+//	velobench -pipeline            parallel-pipeline scaling sweep → BENCH_pipeline.json
+//	velobench -pipeline -smoke     verify pipeline identity + throughput vs the committed report
 //	velobench -smoke               every engine's verdicts on the loop regime; exit 1 on drift
 //	velobench -inject              the 30% → 70% defect-injection study
 //	velobench -policies            compare adversarial pause policies
@@ -48,6 +50,9 @@ func main() {
 	detail := flag.Bool("detail", false, "list flagged methods per benchmark (table 2)")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "with -replay: write per-event-kind latency quantiles to this file (empty to disable)")
 	baselineOut := flag.String("baseline-out", "BENCH_core.json", "with -baseline: write the filter baseline to this file (empty to disable)")
+	pipelineBench := flag.Bool("pipeline", false, "sweep the parallel pipeline over worker counts on synthetic loop-regime traces")
+	pipelineOut := flag.String("pipeline-out", "BENCH_pipeline.json", "with -pipeline: write the scaling report to this file (empty to disable); with -pipeline -smoke: the committed report to compare against")
+	pipelineEvents := flag.Int("pipeline-events", 10_000_000, "with -pipeline: events in the loop-regime synthetic trace")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event timeline with one span per experiment to this file")
 	var oflags obs.CLIFlags
 	oflags.Register(flag.CommandLine, obs.FlagMetrics|obs.FlagProfile)
@@ -181,7 +186,50 @@ func main() {
 		}
 		done()
 	}
-	if *smoke || *all {
+	if *pipelineBench {
+		done := mark("pipeline")
+		if *smoke {
+			// CI mode: compare a reduced re-measurement against the
+			// committed report. Verdict identity is unconditional;
+			// throughput only gates on a matching host.
+			f, err := os.Open(*pipelineOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "velobench:", err)
+				os.Exit(1)
+			}
+			committed, err := exper.ReadPipeline(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "velobench:", err)
+				os.Exit(1)
+			}
+			ok := exper.PipelineSmoke(committed, os.Stdout)
+			done()
+			if !ok {
+				os.Exit(1)
+			}
+			fmt.Printf("pipeline smoke passed against %s\n\n", *pipelineOut)
+		} else {
+			rep := exper.Pipeline(*pipelineEvents)
+			report.Pipeline(os.Stdout, rep)
+			if *pipelineOut != "" {
+				f, err := os.Create(*pipelineOut)
+				if err == nil {
+					err = rep.WriteJSON(f)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "velobench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote pipeline scaling report to %s\n\n", *pipelineOut)
+			}
+			done()
+		}
+	}
+	if (*smoke && !*pipelineBench) || *all {
 		done := mark("smoke")
 		rows := exper.Smoke(seedList[0], *scale*10)
 		var engineCols []string

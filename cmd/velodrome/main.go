@@ -27,6 +27,7 @@ import (
 	"repro/internal/dot"
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
+	"repro/internal/pipeline"
 	"repro/internal/rr"
 	"repro/internal/span"
 	"repro/internal/trace"
@@ -47,7 +48,8 @@ func main() {
 	noFilter := flag.Bool("nofilter", false, "disable the redundant-event fast path (Section 5 filtering)")
 	stats := flag.Bool("stats", false, "print happens-before graph statistics")
 	asJSON := flag.Bool("json", false, "emit velodrome warnings as JSON lines (with -stats: one obs snapshot object)")
-	parallel := flag.Bool("parallel", false, "run on real goroutines instead of the deterministic scheduler")
+	goroutines := flag.Bool("goroutines", false, "run on real goroutines instead of the deterministic scheduler")
+	parallel := flag.Int("parallel", 1, "with -backend velodrome: record the run, then check it through the staged pipeline with this many workers")
 	forensics := flag.Bool("forensics", false, "enable the event flight recorder (provenance reports on warnings)")
 	explain := flag.Bool("explain", false, "print a provenance report per warning (implies -forensics)")
 	traceOut := flag.String("trace-out", "", "with -backend velodrome: write a Chrome trace-event timeline of the run (check, filter, graph stages) to this file")
@@ -135,12 +137,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	copts := core.Options{Engine: einfo.Engine, NoMerge: *noMerge, NoFilter: *noFilter, Metrics: reg, Forensics: *forensics, Spans: sbuf}
 	var be rr.Backend
 	var velo *rr.Velodrome
+	pipelined := *parallel > 1 && *backend == "velodrome"
 	switch *backend {
 	case "velodrome":
-		velo = rr.NewVelodrome(core.Options{Engine: einfo.Engine, NoMerge: *noMerge, NoFilter: *noFilter, Metrics: reg, Forensics: *forensics, Spans: sbuf})
-		be = velo
+		if pipelined {
+			// Parallel checking: the scheduler records the trace against
+			// an empty back-end, and the staged pipeline checks it after
+			// the run (the captured checker backs the reporting below).
+			velo = &rr.Velodrome{}
+			be = &rr.Empty{}
+		} else {
+			velo = rr.NewVelodrome(copts)
+			be = velo
+		}
 	case "atomizer":
 		be = rr.NewAtomizer()
 	case "eraser":
@@ -156,7 +168,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := rr.Options{Seed: *seed, Backend: be, Record: *record != "", Parallel: *parallel, Metrics: reg}
+	opts := rr.Options{Seed: *seed, Backend: be, Record: *record != "" || pipelined, Parallel: *goroutines, Metrics: reg}
 	if *adversarial {
 		adv := rr.NewAtomizerAdvisor()
 		opts.Backend = rr.Multi{be, adv}
@@ -179,6 +191,16 @@ func main() {
 	rep := rr.Run(opts, func(t *rr.Thread) {
 		w.Body(t, bench.Params{Scale: *scale})
 	})
+	if pipelined {
+		pipeline.CheckTrace(rep.Trace, copts, pipeline.Config{
+			Workers: *parallel,
+			Tracer:  tracer,
+			OnChecker: func(c core.Checker) {
+				velo.Checker = c
+			},
+		})
+		be = velo
+	}
 	if sbuf != nil {
 		// rr.Run has returned, so every backend Step (and its AddStage
 		// bookkeeping) is sequenced before this point.

@@ -51,6 +51,7 @@ func run() int {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "on SIGINT/SIGTERM, let in-flight sessions finish this long before cutting them")
 	bufferOps := flag.Int("buffer-ops", 1024, "decoded ops buffered ahead of each session's engine (backpressure bound)")
 	engine := flag.String("engine", "optimized", "default analysis engine for sessions that name none: "+core.EngineNames())
+	parallel := flag.Int("parallel", 0, "check each session through the staged pipeline with this many shard workers (0 or 1 = serial)")
 	spanTrace := flag.Bool("span-trace", true, "trace each session's pipeline stages (decode/filter/graph/forensics); summaries land in verdicts, /api/sessions and /debug/velo")
 	traceDir := flag.String("trace-dir", "", "write each session's full span timeline as <dir>/<session>.trace.json (Chrome trace-event format)")
 	history := flag.Int("history", server.DefaultHistorySize, "completed sessions retained for /api/sessions and the /debug/velo dashboard")
@@ -77,6 +78,7 @@ func run() int {
 		NoSpans:        !*spanTrace,
 		TraceDir:       *traceDir,
 		HistorySize:    *history,
+		Parallel:       *parallel,
 	}
 	if *traceDir != "" {
 		if !*spanTrace {

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"repro/internal/trace"
+)
+
+// Synthetic trace generators for the parallel-pipeline benchmark. Unlike
+// the Table 1/2 workloads these do not run under the rr scheduler: they
+// emit traces directly, so event counts in the tens of millions are
+// cheap and exactly reproducible. Three families bracket the pipeline's
+// regimes:
+//
+//   - spin: the loop regime the redundancy filter (Section 5) and the
+//     pipeline's shard marking both target. Worker threads poll a shared
+//     flag in long transactions of identical reads, so nearly every
+//     access is a strictly-adjacent repeat and the shards mark almost
+//     the whole trace.
+//   - rmw: transactions alternate read and write on a thread-private
+//     variable. Adjacent accesses never share a kind, so the shards mark
+//     nothing — this family prices the pipeline's fixed overhead
+//     (batching, fan-out, re-sequencing) with no skip payoff at all.
+//   - mix: spin and rmw transactions interleaved round-robin, the
+//     in-between case.
+//
+// All three are violation-free by construction (reads of a flag written
+// before the fork; thread-private data), so measured time is pure
+// analysis cost with no warning-path work in the window.
+
+const (
+	synWorkers   = 4  // polling threads, Tids 2..5
+	synSpinReads = 64 // reads per spin transaction
+	synRMWPairs  = 32 // read+write pairs per rmw transaction
+	synFlag      = trace.Var(7)
+)
+
+// SyntheticSpin builds a violation-free loop-regime trace of roughly
+// `events` operations: a main thread publishes a flag, forks four
+// pollers, and the pollers take turns running whole spin transactions.
+func SyntheticSpin(events int) trace.Trace {
+	tr := make(trace.Trace, 0, events+4*synWorkers+8)
+	tr = synPrologue(tr)
+	for len(tr) < events {
+		for u := trace.Tid(2); u < 2+synWorkers; u++ {
+			tr = synSpinTxn(tr, u)
+		}
+	}
+	return synEpilogue(tr)
+}
+
+// SyntheticRMW builds a trace of roughly `events` operations in which
+// every transaction alternates read and write on a thread-private
+// variable: zero markable runs, so the pipeline can only lose here.
+func SyntheticRMW(events int) trace.Trace {
+	tr := make(trace.Trace, 0, events+4*synWorkers+8)
+	tr = synPrologue(tr)
+	for len(tr) < events {
+		for u := trace.Tid(2); u < 2+synWorkers; u++ {
+			tr = synRMWTxn(tr, u)
+		}
+	}
+	return synEpilogue(tr)
+}
+
+// SyntheticMix interleaves spin and rmw transactions round-robin.
+func SyntheticMix(events int) trace.Trace {
+	tr := make(trace.Trace, 0, events+4*synWorkers+8)
+	tr = synPrologue(tr)
+	for len(tr) < events {
+		for u := trace.Tid(2); u < 2+synWorkers; u++ {
+			tr = synSpinTxn(tr, u)
+			tr = synRMWTxn(tr, u)
+		}
+	}
+	return synEpilogue(tr)
+}
+
+func synPrologue(tr trace.Trace) trace.Trace {
+	tr = append(tr,
+		trace.Beg(1, "main.publish"),
+		trace.Wr(1, synFlag),
+		trace.Fin(1))
+	for u := trace.Tid(2); u < 2+synWorkers; u++ {
+		tr = append(tr, trace.ForkOp(1, u))
+	}
+	return tr
+}
+
+func synEpilogue(tr trace.Trace) trace.Trace {
+	for u := trace.Tid(2); u < 2+synWorkers; u++ {
+		tr = append(tr, trace.JoinOp(1, u))
+	}
+	return tr
+}
+
+func synSpinTxn(tr trace.Trace, u trace.Tid) trace.Trace {
+	tr = append(tr, trace.Beg(u, "spin.poll"))
+	for i := 0; i < synSpinReads; i++ {
+		tr = append(tr, trace.Rd(u, synFlag))
+	}
+	return append(tr, trace.Fin(u))
+}
+
+func synRMWTxn(tr trace.Trace, u trace.Tid) trace.Trace {
+	x := trace.Var(16 + int32(u)) // thread-private accumulator
+	tr = append(tr, trace.Beg(u, "rmw.update"))
+	for i := 0; i < synRMWPairs; i++ {
+		tr = append(tr, trace.Rd(u, x), trace.Wr(u, x))
+	}
+	return append(tr, trace.Fin(u))
+}

@@ -1,0 +1,38 @@
+package bench_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func TestSyntheticTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(int) trace.Trace
+	}{
+		{"spin", bench.SyntheticSpin},
+		{"rmw", bench.SyntheticRMW},
+		{"mix", bench.SyntheticMix},
+	}
+	for _, tc := range cases {
+		tr := tc.gen(10000)
+		if err := trace.Validate(tr); err != nil {
+			t.Fatalf("%s: invalid trace: %v", tc.name, err)
+		}
+		if len(tr) < 10000 {
+			t.Fatalf("%s: %d events, want >= 10000", tc.name, len(tr))
+		}
+		res := core.CheckTrace(tr, core.Options{})
+		if !res.Serializable {
+			t.Fatalf("%s: synthetic trace must be violation-free, got %d warnings",
+				tc.name, len(res.Warnings))
+		}
+		if tc.name == "spin" && float64(res.Filtered) < 0.9*float64(len(tr)) {
+			t.Fatalf("spin: filtered %d of %d, want the loop regime mostly filtered",
+				res.Filtered, len(tr))
+		}
+	}
+}

@@ -61,15 +61,20 @@ type aeroObj struct {
 	// merge fast path requires 0 (the Reusable analog: extending an
 	// object someone is already ordered after would forge orderings).
 	outs int32
+	// ups counts live subscriptions to still-growable sources: it is
+	// incremented when this object subscribes to a growable source and
+	// decremented when that source freezes. While positive, the clock
+	// may still grow after the transaction ends; when it reaches zero on
+	// an inactive object, the clock is final (see aeroChecker.freeze).
+	// This replaces a sticky "was ever chained" bit, which kept every
+	// subscriber list of a long join/fork chain alive for the whole run.
+	ups int32
 	// active: the transaction is still open (its clock grows by ticks).
 	active bool
-	// chained: subscribed to a growable source at some point, so the
-	// clock may still grow after the transaction ends. Sticky.
-	chained bool
 }
 
 // mayGrow reports whether the object's clock can still change.
-func (o *aeroObj) mayGrow() bool { return o.active || o.chained }
+func (o *aeroObj) mayGrow() bool { return o.active || o.ups > 0 }
 
 // aeroLockTable maps lock ids to objects (L).
 type aeroLockTable struct{ dense []*aeroObj }
@@ -213,9 +218,10 @@ type aeroChecker struct {
 	l    aeroLockTable
 	w    aeroVarTable
 	r    aeroReadTable
-	fc   []aeroFC
-	work []*aeroObj // propagation worklist, reused across events
-	srcs []*aeroObj // join-source scratch, reused across events
+	fc    []aeroFC
+	work  []*aeroObj // propagation worklist, reused across events
+	srcs  []*aeroObj // join-source scratch, reused across events
+	fwork []*aeroObj // freeze-cascade worklist, reused across events
 }
 
 func (c *aeroChecker) obj(t trace.Tid) *aeroObj {
@@ -279,6 +285,35 @@ func (c *aeroChecker) Step(op trace.Op) *Warning {
 	return w
 }
 
+// SkipFiltered implements Checker: it consumes op as a filter hit
+// decided by the pipeline's sharded prefilter, replaying filterAero's
+// hit path — filter accounting and index advance; the decision cache
+// holds pointers whose values a repeat hit leaves untouched, so no
+// store is needed.
+func (c *aeroChecker) SkipFiltered(op trace.Op) bool {
+	if c.done || c.opts.NoFilter {
+		return false
+	}
+	if c.met == nil && c.opts.Spans == nil {
+		c.filterHit()
+		c.idx++
+		return true
+	}
+	start := time.Now()
+	filteredBefore := c.filtered
+	forensicBefore := c.opts.Spans.StageNs(span.StageForensics)
+	c.filterHit()
+	c.idx++
+	d := time.Since(start)
+	if c.met != nil {
+		c.met.observe(op, nil, d)
+	}
+	if c.opts.Spans != nil {
+		c.spanStep(d, filteredBefore, forensicBefore)
+	}
+	return true
+}
+
 // step is the uninstrumented Step body.
 func (c *aeroChecker) step(op trace.Op) *Warning {
 	if c.done {
@@ -337,11 +372,12 @@ func (c *aeroChecker) step1(op trace.Op) *Warning {
 			o.vc.Tick(t)
 			if !popped.ignored && checkedDepth(stack[:n]) == 0 {
 				o.active = false
-				if !o.chained {
-					// The clock is final — no active transaction upstream
-					// can ever grow it, so pending subscriptions can never
-					// fire. Dropping them unlinks the object for the GC.
-					o.subs, o.subSet = nil, nil
+				if o.ups == 0 {
+					// The clock is final — no growable source can ever push
+					// into it, so pending subscriptions can never fire.
+					// Dropping them unlinks the object for the GC and
+					// releases the subscribers it was keeping growable.
+					c.freeze(o)
 				}
 			}
 		}
@@ -402,7 +438,34 @@ func (c *aeroChecker) subscribe(src, sub *aeroObj) {
 		}
 	}
 	src.subs = append(src.subs, sub)
-	sub.chained = true
+	sub.ups++
+	if c.met != nil {
+		c.met.aeroSubsPeak.SetMax(int64(len(src.subs)))
+	}
+}
+
+// freeze finalizes an object whose clock can no longer change (inactive
+// with no growable sources left): its pending subscriptions can never
+// fire, so the subscriber list is dropped, and each subscriber loses one
+// growable source — cascading, since that may finalize it in turn. This
+// is reference-counting GC on the subscription DAG, the clock-engine
+// analog of the graph engines' Section 4.1 collection, and it bounds
+// subscriber-list growth on join-dominated traces where the old sticky
+// "chained" bit kept the whole chain's lists alive.
+func (c *aeroChecker) freeze(o *aeroObj) {
+	work := append(c.fwork[:0], o)
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		subs := f.subs
+		f.subs, f.subSet = nil, nil
+		for _, r := range subs {
+			if r.ups--; r.ups == 0 && !r.active {
+				work = append(work, r)
+			}
+		}
+	}
+	c.fwork = work[:0]
 }
 
 // joinFrom orders the stored object s before the running object d:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"time"
 
 	"repro/internal/graph"
@@ -13,6 +14,17 @@ func stepOf[K comparable](m map[K]graph.Step, k K) graph.Step {
 		return s
 	}
 	return graph.None
+}
+
+// sortedTids returns m's keys in increasing order, for deterministic
+// edge-insertion sequences.
+func sortedTids(m map[trace.Tid]graph.Step) []trace.Tid {
+	ts := make([]trace.Tid, 0, len(m))
+	for t := range m {
+		ts = append(ts, t)
+	}
+	slices.Sort(ts)
+	return ts
 }
 
 // basicChecker is the initial analysis of Figure 2: one graph node per
@@ -75,6 +87,40 @@ func (c *basicChecker) Step(op trace.Op) *Warning {
 		c.spanStep(d, filteredBefore, forensicBefore)
 	}
 	return w
+}
+
+// SkipFiltered implements Checker: it consumes op as a filter hit
+// decided by the pipeline's sharded prefilter, replaying the basic
+// engine's filterInside hit path — flight-recorder note, filter
+// accounting, index advance — so state stays bit-identical to a serial
+// filter hit (the basic engine stores nothing on a hit).
+func (c *basicChecker) SkipFiltered(op trace.Op) bool {
+	c.init()
+	if c.done || c.opts.NoFilter {
+		return false
+	}
+	if c.met == nil && c.opts.Spans == nil {
+		c.skipFiltered(op)
+		return true
+	}
+	start := time.Now()
+	filteredBefore := c.filtered
+	forensicBefore := c.opts.Spans.StageNs(span.StageForensics)
+	c.skipFiltered(op)
+	d := time.Since(start)
+	if c.met != nil {
+		c.met.observe(op, nil, d)
+	}
+	if c.opts.Spans != nil {
+		c.spanStep(d, filteredBefore, forensicBefore)
+	}
+	return true
+}
+
+func (c *basicChecker) skipFiltered(op trace.Op) {
+	c.noteOp(op)
+	c.filterHit()
+	c.idx++
 }
 
 // step is the uninstrumented Step body.
@@ -196,7 +242,11 @@ func (c *basicChecker) action(op trace.Op) *Warning {
 	case trace.Write:
 		x := op.Var()
 		var cyc *graph.Cycle
-		for t2, rs := range c.r[x] {
+		// Iterate readers in tid order: map order would make the edge
+		// insertion sequence — and hence which cycle a violation reports —
+		// vary from run to run, which the differential suites forbid.
+		for _, t2 := range sortedTids(c.r[x]) {
+			rs := c.r[x][t2]
 			if c.g.Resolve(rs) == graph.None {
 				delete(c.r[x], t2)
 				continue

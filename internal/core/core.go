@@ -91,6 +91,14 @@ type Options struct {
 	// spans never read or write engine state, so verdicts, warning
 	// positions and blame are bit-identical with tracing on or off.
 	Spans *span.Buf
+	// Parallel is the requested worker count for the staged checking
+	// pipeline (internal/pipeline). The engines themselves ignore it —
+	// checking stays strictly sequential per checker — but drivers
+	// consult it to route a session through the pipeline: 0 or 1 means
+	// the plain serial path, N>1 asks for N filter-shard workers.
+	// Verdicts, warning positions, blame and filter counts are
+	// bit-identical at every value.
+	Parallel int
 	// Ignore names atomic blocks exempted from checking (the paper's
 	// atomicity specification, Section 5: the tool takes "a specification
 	// of which methods in that program should be atomic"). An ignored
@@ -208,6 +216,16 @@ type Checker interface {
 	Filtered() int64
 	// Graph exposes the underlying happens-before graph (for tools).
 	Graph() *graph.Graph
+	// SkipFiltered consumes op as a filter hit decided by an external
+	// prefilter (internal/pipeline's sharded mark stage) and returns
+	// true, leaving the engine in exactly the state Step would have left
+	// it had its own Section 5 filter fired — or returns false without
+	// touching any state, in which case the caller must fall back to
+	// Step. It returns false whenever the engine cannot prove the skip
+	// is state-identical (checking already done, filtering disabled).
+	// Callers must only offer operations the prefilter proved redundant;
+	// see internal/pipeline for the marking contract.
+	SkipFiltered(op trace.Op) bool
 }
 
 // New returns a Checker configured by opts.

@@ -133,7 +133,8 @@ func (c *optChecker) filterInside(op trace.Op) bool {
 	// trivially live, with no newer incoming edge and no newer frame.
 	// Then a live cross-thread predecessor is also redundant as long as
 	// its conflict edge into this transaction is already in H with the
-	// same tail (graph.LastEdgeMatches): the slow path would only
+	// same tail (graph.LastEdgeMatches, or the HasEdge scan when another
+	// thread's later edge clobbered the memo): the slow path would only
 	// ⊕-refresh the edge's head, and with no operation of this node in
 	// between, no comparison can land between the stale and fresh head.
 	immediate := anchor == lt
@@ -154,10 +155,12 @@ func (c *optChecker) filterInside(op trace.Op) bool {
 	}
 	if op.Kind == trace.Read {
 		wx := c.w.get(x)
-		return sameTxnOrGone(c.g, wx, lt) || (immediate && c.g.LastEdgeMatches(wx, lt))
+		return sameTxnOrGone(c.g, wx, lt) ||
+			(immediate && (c.g.LastEdgeMatches(wx, lt) || c.g.HasEdge(wx, lt)))
 	}
 	for _, rs := range c.r.row(x) {
-		if !sameTxnOrGone(c.g, rs, lt) && !(immediate && c.g.LastEdgeMatches(rs, lt)) {
+		if !sameTxnOrGone(c.g, rs, lt) &&
+			!(immediate && (c.g.LastEdgeMatches(rs, lt) || c.g.HasEdge(rs, lt))) {
 			return false
 		}
 	}
@@ -233,14 +236,14 @@ func (c *basicChecker) filterInside(op trace.Op) bool {
 			return false
 		}
 		wx := stepOf(c.w, x)
-		return sameTxnOrGone(c.g, wx, n) || c.g.LastEdgeMatches(wx, n)
+		return sameTxnOrGone(c.g, wx, n) || c.g.LastEdgeMatches(wx, n) || c.g.HasEdge(wx, n)
 	case trace.Write:
 		x := op.Var()
 		if stepOf(c.w, x) != n {
 			return false
 		}
 		for _, rs := range c.r[x] {
-			if !sameTxnOrGone(c.g, rs, n) && !c.g.LastEdgeMatches(rs, n) {
+			if !sameTxnOrGone(c.g, rs, n) && !c.g.LastEdgeMatches(rs, n) && !c.g.HasEdge(rs, n) {
 				return false
 			}
 		}

@@ -22,6 +22,10 @@ type checkerMetrics struct {
 	blamed   *obs.Counter      // warnings with blame assigned (Section 4.3)
 	refuted  *obs.Counter      // atomic-block labels refuted across warnings
 	filtered *obs.Counter      // ops discarded by the redundant-event fast path
+	// aeroSubsPeak tracks the longest subscriber list any AeroDrome
+	// clock object reached — the quantity the freeze cascade bounds on
+	// join-dominated traces. Stays 0 on the graph engines.
+	aeroSubsPeak *obs.Gauge
 }
 
 func newCheckerMetrics(r *obs.Registry) *checkerMetrics {
@@ -31,6 +35,7 @@ func newCheckerMetrics(r *obs.Registry) *checkerMetrics {
 		blamed:   r.Counter("velodrome_blame_assigned_total"),
 		refuted:  r.Counter("velodrome_blocks_refuted_total"),
 		filtered: r.Counter("core_events_filtered_total"),
+		aeroSubsPeak: r.Gauge("core_aero_subscribers_peak"),
 	}
 	for k := trace.Read; k <= trace.Join; k++ {
 		m.stepNs[k] = r.Histogram(fmt.Sprintf("velodrome_step_ns{kind=%q}", k))

@@ -91,6 +91,42 @@ func (c *optChecker) Step(op trace.Op) *Warning {
 	return w
 }
 
+// SkipFiltered implements Checker: it consumes op as a filter hit
+// decided by the pipeline's sharded prefilter. The body replays exactly
+// what step1 does on its filterInside path — flight-recorder note,
+// decision-cache store, filter accounting, index advance — so the
+// engine state is bit-identical to a serial filter hit. cacheStore is
+// idempotent when serial would instead have hit filterFast (the cached
+// words already equal what it stores).
+func (c *optChecker) SkipFiltered(op trace.Op) bool {
+	if c.done || c.opts.NoFilter {
+		return false
+	}
+	if c.met == nil && c.opts.Spans == nil {
+		c.skipFiltered(op)
+		return true
+	}
+	start := time.Now()
+	filteredBefore := c.filtered
+	forensicBefore := c.opts.Spans.StageNs(span.StageForensics)
+	c.skipFiltered(op)
+	d := time.Since(start)
+	if c.met != nil {
+		c.met.observe(op, nil, d)
+	}
+	if c.opts.Spans != nil {
+		c.spanStep(d, filteredBefore, forensicBefore)
+	}
+	return true
+}
+
+func (c *optChecker) skipFiltered(op trace.Op) {
+	c.noteOp(op)
+	c.cacheStore(op)
+	c.filterHit()
+	c.idx++
+}
+
 // step is the uninstrumented Step body.
 func (c *optChecker) step(op trace.Op) *Warning {
 	if c.done {

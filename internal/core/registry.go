@@ -26,6 +26,11 @@ type EngineInfo struct {
 	// SupportsGraph: Checker.Graph() exposes a meaningful
 	// happens-before graph (dot export, graph stats).
 	SupportsGraph bool
+	// SupportsPrefilter: SkipFiltered consumes externally prefiltered
+	// operations state-identically, so internal/pipeline may run its
+	// sharded mark stage ahead of this engine. Engines without it fall
+	// back to the plain serial loop inside the pipeline.
+	SupportsPrefilter bool
 }
 
 // engines is the registry, in display order. Optimized first: it is the
@@ -39,6 +44,7 @@ var engines = []EngineInfo{
 		ReportsAllViolations: true,
 		SupportsForensics:    true,
 		SupportsGraph:        true,
+		SupportsPrefilter:    true,
 	},
 	{
 		Engine:               Basic,
@@ -48,6 +54,7 @@ var engines = []EngineInfo{
 		ReportsAllViolations: true,
 		SupportsForensics:    true,
 		SupportsGraph:        true,
+		SupportsPrefilter:    true,
 	},
 	{
 		Engine:               Aero,
@@ -57,6 +64,7 @@ var engines = []EngineInfo{
 		ReportsAllViolations: false,
 		SupportsForensics:    false,
 		SupportsGraph:        false,
+		SupportsPrefilter:    true,
 	},
 }
 

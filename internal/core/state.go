@@ -48,6 +48,12 @@ func (t *stepTable) set(i int32, s graph.Step) {
 // fork/join tokens (≥ 1<<24) fall through to the sparse map.
 const denseVarLimit = 1 << 16
 
+// PrefilterVarLimit is the variable-id range covered by the engines'
+// per-variable decision caches. internal/pipeline's sharded mark stage
+// restricts itself to the same range so every mark it produces lands on
+// a cacheable variable.
+const PrefilterVarLimit = denseVarLimit
+
 // varTable maps variable ids to Steps with a sparse overflow.
 type varTable struct {
 	dense  []graph.Step

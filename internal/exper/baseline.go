@@ -47,7 +47,10 @@ type BaselineRow struct {
 // BaselineReport is the BENCH_core.json document: the committed
 // hot-path trajectory regression guards compare against.
 type BaselineReport struct {
-	Seed  int64         `json:"seed"`
+	Seed int64 `json:"seed"`
+	// Host records the machine the numbers were taken on; comparisons
+	// against the committed file are only meaningful on matching hosts.
+	Host  HostInfo      `json:"host"`
 	Scale int           `json:"scale"`
 	Rows  []BaselineRow `json:"rows"`
 }
@@ -59,7 +62,7 @@ type BaselineReport struct {
 // redundancy group (bench.Hot), whose loop-dominated traces are the
 // regime Section 5's filtering targets.
 func Baseline(seed int64, scale int) *BaselineReport {
-	out := &BaselineReport{Seed: seed, Scale: scale}
+	out := &BaselineReport{Seed: seed, Host: CollectHost(), Scale: scale}
 	for _, w := range append(bench.All(), bench.Hot()...) {
 		rep := rr.Run(rr.Options{Seed: seed, Record: true}, func(t *rr.Thread) {
 			w.Body(t, bench.Params{Scale: scale})

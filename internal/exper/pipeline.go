@@ -1,0 +1,290 @@
+package exper
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// HostInfo records the machine a pipeline benchmark ran on. Pipeline
+// speedups are meaningless without it: on a single-core host every
+// worker count collapses to time-sliced serial execution, so the
+// committed BENCH_pipeline.json must say what parallelism was actually
+// available when its numbers were taken, and the regression guards gate
+// their throughput assertions on it.
+type HostInfo struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+// CollectHost snapshots the current machine.
+func CollectHost() HostInfo {
+	return HostInfo{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+}
+
+// PipelineCell is one (family, worker count) measurement.
+type PipelineCell struct {
+	Workers      int     `json:"workers"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is serial ns/event over this cell's ns/event.
+	Speedup float64 `json:"speedup"`
+	// SkippedPct is the share of operations the engine stage skipped on
+	// honored shard marks — the pipeline's actual win, as opposed to
+	// redundancy the serial filter would have caught anyway.
+	SkippedPct float64 `json:"skipped_pct"`
+	// Identical records that this run's verdict, filtered count and
+	// rendered warnings matched the serial baseline bit for bit.
+	Identical bool `json:"identical"`
+}
+
+// PipelineRow is one synthetic family's entry in BENCH_pipeline.json.
+type PipelineRow struct {
+	Family             string         `json:"family"`
+	Events             int            `json:"events"`
+	FilteredPct        float64        `json:"filtered_pct"`
+	SerialNsPerEvent   float64        `json:"serial_ns_per_event"`
+	SerialEventsPerSec float64        `json:"serial_events_per_sec"`
+	Cells              []PipelineCell `json:"cells"`
+}
+
+// PipelineReport is the BENCH_pipeline.json document.
+type PipelineReport struct {
+	Host    HostInfo      `json:"host"`
+	Batch   int           `json:"batch"`
+	Workers []int         `json:"workers"`
+	Events  int           `json:"events"`
+	Rows    []PipelineRow `json:"rows"`
+}
+
+// PipelineWorkerSet is the worker-count sweep recorded in the report.
+var PipelineWorkerSet = []int{1, 2, 4, 8}
+
+// pipelineFamilies are the synthetic workloads; rmw and mix run at a
+// fraction of the spin event count — they exist to price overhead, and
+// the headline loop-regime measurement is spin at full scale.
+var pipelineFamilies = []struct {
+	name  string
+	gen   func(int) trace.Trace
+	scale int // divisor applied to the requested event count
+}{
+	{"spin", bench.SyntheticSpin, 1},
+	{"rmw", bench.SyntheticRMW, 4},
+	{"mix", bench.SyntheticMix, 4},
+}
+
+// Pipeline measures the staged pipeline against the serial checker over
+// the synthetic families, sweeping PipelineWorkerSet. Every measurement
+// streams the binary encoding through CheckStream — decode cost is in
+// the window on both sides, exactly as in production — and every
+// pipeline run is diffed against the serial result before its time is
+// believed.
+func Pipeline(events int) *PipelineReport {
+	out := &PipelineReport{
+		Host:    CollectHost(),
+		Batch:   pipeline.DefaultBatch,
+		Workers: append([]int(nil), PipelineWorkerSet...),
+		Events:  events,
+	}
+	for _, fam := range pipelineFamilies {
+		tr := fam.gen(events / fam.scale)
+		var buf bytes.Buffer
+		if err := trace.MarshalBinary(&buf, tr); err != nil {
+			panic(fmt.Sprintf("pipeline bench: marshal %s: %v", fam.name, err))
+		}
+		data := buf.Bytes()
+
+		serial, _, err := streamSerial(data)
+		if err != nil {
+			panic(fmt.Sprintf("pipeline bench: serial %s: %v", fam.name, err))
+		}
+		row := PipelineRow{
+			Family:      fam.name,
+			Events:      len(tr),
+			FilteredPct: 100 * float64(serial.Filtered) / float64(len(tr)),
+		}
+		row.SerialNsPerEvent = measureStream(data, len(tr), func() error {
+			_, _, err := streamSerial(data)
+			return err
+		})
+		row.SerialEventsPerSec = 1e9 / row.SerialNsPerEvent
+
+		for _, w := range out.Workers {
+			res, st, err := streamPipeline(data, w)
+			if err != nil {
+				panic(fmt.Sprintf("pipeline bench: %s workers=%d: %v", fam.name, w, err))
+			}
+			cell := PipelineCell{
+				Workers:    w,
+				SkippedPct: 100 * float64(st.Skipped) / float64(len(tr)),
+				Identical:  sameResult(serial, res),
+			}
+			cell.NsPerEvent = measureStream(data, len(tr), func() error {
+				_, _, err := streamPipeline(data, w)
+				return err
+			})
+			cell.EventsPerSec = 1e9 / cell.NsPerEvent
+			cell.Speedup = row.SerialNsPerEvent / cell.NsPerEvent
+			row.Cells = append(row.Cells, cell)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func streamSerial(data []byte) (*core.Result, int, error) {
+	return core.CheckStream(trace.NewDecoder(bytes.NewReader(data)), core.Options{})
+}
+
+func streamPipeline(data []byte, workers int) (*core.Result, pipeline.Stats, error) {
+	var st pipeline.Stats
+	res, _, err := pipeline.CheckStream(trace.NewDecoder(bytes.NewReader(data)),
+		core.Options{}, pipeline.Config{Workers: workers, Stats: &st})
+	return res, st, err
+}
+
+// sameResult is the identity predicate the benchmark enforces before
+// reporting any throughput: verdict, filtered count and every rendered
+// warning must match.
+func sameResult(a, b *core.Result) bool {
+	if a.Serializable != b.Serializable || a.Filtered != b.Filtered ||
+		a.Stats != b.Stats || len(a.Warnings) != len(b.Warnings) {
+		return false
+	}
+	for i := range a.Warnings {
+		if a.Warnings[i].String() != b.Warnings[i].String() {
+			return false
+		}
+	}
+	return true
+}
+
+// measureStream times run() over the encoded trace, min-of-rounds with a
+// GC before each timed window (same defense as MeasureChecker; traces
+// here are large enough that a single pass dominates timer granularity,
+// and the minimum over four rounds is what makes the smoke gate's 20%
+// tolerance hold on shared machines).
+func measureStream(data []byte, events int, run func() error) float64 {
+	const rounds = 4
+	best := 0.0
+	for round := 0; round < rounds; round++ {
+		runtime.GC()
+		start := time.Now()
+		if err := run(); err != nil {
+			panic(fmt.Sprintf("pipeline bench: timed run: %v", err))
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(events)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// WriteJSON writes the report as one indented JSON object.
+func (r *PipelineReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadPipeline parses a BENCH_pipeline.json document.
+func ReadPipeline(r io.Reader) (*PipelineReport, error) {
+	var rep PipelineReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// PipelineSmokeEvents is the event count the CI smoke re-measurement
+// runs at — large enough for steady-state ns/event, small enough for CI.
+const PipelineSmokeEvents = 2_000_000
+
+// PipelineSmoke re-runs the sweep at a reduced event count and compares
+// against the committed report. Verdict identity is unconditional: any
+// cell whose pipeline result drifted from serial fails, on any host.
+// Throughput is compared only when the current machine matches the
+// committed report's CPU count — ns/event taken on different parallelism
+// says nothing about regression — and fails on a >20% events/s drop in
+// any cell or the serial baseline.
+func PipelineSmoke(committed *PipelineReport, w io.Writer) bool {
+	now := Pipeline(PipelineSmokeEvents)
+	ok := true
+	for _, row := range now.Rows {
+		for _, cell := range row.Cells {
+			if !cell.Identical {
+				fmt.Fprintf(w, "FAIL %s workers=%d: pipeline verdict drifted from serial\n",
+					row.Family, cell.Workers)
+				ok = false
+			}
+		}
+	}
+	sameHost := committed.Host.NumCPU == now.Host.NumCPU
+	if !sameHost {
+		fmt.Fprintf(w, "note: host has %d CPUs, committed report taken on %d — skipping throughput comparison\n",
+			now.Host.NumCPU, committed.Host.NumCPU)
+		return ok
+	}
+	const tolerance = 0.8 // fail below 80% of committed events/s
+	for _, row := range now.Rows {
+		base := findPipelineRow(committed, row.Family)
+		if base == nil {
+			fmt.Fprintf(w, "FAIL %s: family missing from committed report\n", row.Family)
+			ok = false
+			continue
+		}
+		if row.SerialEventsPerSec < tolerance*base.SerialEventsPerSec {
+			fmt.Fprintf(w, "FAIL %s serial: %.0f ev/s vs committed %.0f (>20%% regression)\n",
+				row.Family, row.SerialEventsPerSec, base.SerialEventsPerSec)
+			ok = false
+		}
+		for _, cell := range row.Cells {
+			bc := findPipelineCell(base, cell.Workers)
+			if bc == nil {
+				continue
+			}
+			if cell.EventsPerSec < tolerance*bc.EventsPerSec {
+				fmt.Fprintf(w, "FAIL %s workers=%d: %.0f ev/s vs committed %.0f (>20%% regression)\n",
+					row.Family, cell.Workers, cell.EventsPerSec, bc.EventsPerSec)
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
+func findPipelineRow(r *PipelineReport, family string) *PipelineRow {
+	for i := range r.Rows {
+		if r.Rows[i].Family == family {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+func findPipelineCell(row *PipelineRow, workers int) *PipelineCell {
+	for i := range row.Cells {
+		if row.Cells[i].Workers == workers {
+			return &row.Cells[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package exper
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPipelineReportGuard is the regression guard on the committed
+// BENCH_pipeline.json: the sweep must cover every family and worker
+// count, record honest host metadata, and — unconditionally, whatever
+// machine took the numbers — show the pipeline bit-identical to the
+// serial checker in every cell. The scaling claim (≥2.5× at 8 workers on
+// the violation-free loop regime) is asserted only when the recorded
+// host actually had 8 CPUs to scale onto; numbers taken on a smaller
+// machine cannot exhibit parallel speedup and are not required to fake
+// one.
+func TestPipelineReportGuard(t *testing.T) {
+	f, err := os.Open("../../BENCH_pipeline.json")
+	if err != nil {
+		t.Fatalf("committed pipeline report missing: %v", err)
+	}
+	defer f.Close()
+	rep, err := ReadPipeline(f)
+	if err != nil {
+		t.Fatalf("BENCH_pipeline.json malformed: %v", err)
+	}
+
+	if rep.Host.NumCPU < 1 || rep.Host.GOMAXPROCS < 1 ||
+		rep.Host.GoVersion == "" || rep.Host.GOOS == "" || rep.Host.GOARCH == "" {
+		t.Fatalf("host metadata incomplete: %+v", rep.Host)
+	}
+	if rep.Batch < 1 || rep.Events < 1 {
+		t.Fatalf("bad sweep parameters: batch=%d events=%d", rep.Batch, rep.Events)
+	}
+
+	families := map[string]*PipelineRow{}
+	for i := range rep.Rows {
+		families[rep.Rows[i].Family] = &rep.Rows[i]
+	}
+	for _, fam := range []string{"spin", "rmw", "mix"} {
+		row := families[fam]
+		if row == nil {
+			t.Fatalf("family %q missing from report", fam)
+		}
+		if row.Events < 1 || row.SerialNsPerEvent <= 0 {
+			t.Errorf("%s: empty measurement: %+v", fam, row)
+		}
+		for _, w := range PipelineWorkerSet {
+			cell := findPipelineCell(row, w)
+			if cell == nil {
+				t.Errorf("%s: worker count %d missing", fam, w)
+				continue
+			}
+			if !cell.Identical {
+				t.Errorf("%s workers=%d: committed report records verdict drift", fam, w)
+			}
+			if cell.NsPerEvent <= 0 {
+				t.Errorf("%s workers=%d: empty measurement", fam, w)
+			}
+		}
+	}
+
+	// The headline: the loop regime must scale — on hardware that can.
+	if spin := families["spin"]; spin != nil && rep.Host.NumCPU >= 8 {
+		if spin.Events < 10_000_000 {
+			t.Errorf("spin: %d events, headline claim requires >= 10M", spin.Events)
+		}
+		if cell := findPipelineCell(spin, 8); cell != nil && cell.Speedup < 2.5 {
+			t.Errorf("spin workers=8: speedup %.2fx < 2.5x on a %d-CPU host",
+				cell.Speedup, rep.Host.NumCPU)
+		}
+	}
+}
+
+// TestPipelineLiveIdentity runs a small live sweep and checks that every
+// cell is measured and bit-identical — the same predicate the committed
+// report is generated under, exercised on this machine at test scale.
+func TestPipelineLiveIdentity(t *testing.T) {
+	rep := Pipeline(60_000)
+	if len(rep.Rows) != len(pipelineFamilies) {
+		t.Fatalf("%d rows, want %d", len(rep.Rows), len(pipelineFamilies))
+	}
+	for _, row := range rep.Rows {
+		if row.FilteredPct < 0 || row.SerialNsPerEvent <= 0 {
+			t.Errorf("%s: bad serial measurement: %+v", row.Family, row)
+		}
+		for _, cell := range row.Cells {
+			if !cell.Identical {
+				t.Errorf("%s workers=%d: pipeline result differs from serial",
+					row.Family, cell.Workers)
+			}
+		}
+		if row.Family == "spin" {
+			cell := findPipelineCell(&row, 8)
+			if cell == nil {
+				t.Error("spin: worker count 8 missing")
+			} else if cell.SkippedPct < 50 {
+				t.Errorf("spin workers=8: engine-stage skips %.1f%%, want the loop regime mostly skipped",
+					cell.SkippedPct)
+			}
+		}
+	}
+	if rep.Host != CollectHost() {
+		t.Errorf("report host %+v, want %+v", rep.Host, CollectHost())
+	}
+}

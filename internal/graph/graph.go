@@ -276,6 +276,28 @@ func (g *Graph) LastEdgeMatches(src, dst Step) bool {
 	return e.to == dst.ID() && e.tailTime == src.Time()
 }
 
+// HasEdge reports whether an edge from src's exact operation (same tail
+// timestamp) to dst's node is already in H, scanning src's full out-edge
+// list rather than only the memo slot. It is the slow-path complement of
+// LastEdgeMatches: the memo is clobbered whenever *any* later edge leaves
+// src's node, but the original edge stays in H, so re-inserting src ⇒ dst
+// would still be a pure head/op refresh — it can close no cycle and
+// change no tail. Out-degrees stay tiny under GC (a finished node with
+// edges is kept alive only by its subscribers), so the scan is cheap.
+func (g *Graph) HasEdge(src, dst Step) bool {
+	nd := g.live(src)
+	if nd == nil || dst == None {
+		return false
+	}
+	for i := range nd.out {
+		e := &nd.out[i]
+		if e.to == dst.ID() && e.tailTime == src.Time() {
+			return true
+		}
+	}
+	return false
+}
+
 // Finish marks the step's node as no longer executing ([INS2 EXIT]); if it
 // has no incoming edges it is collected immediately.
 func (g *Graph) Finish(s Step) {

@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// decodeOps turns fuzz bytes into a well-formed trace: each byte selects
+// an action for a small thread/var/lock universe, with begin/end and
+// acquire/release balanced by construction. Variable 0 is shared by all
+// threads and repeats are common, so fuzzed traces regularly contain
+// both markable runs and the warnings that break them.
+func decodeOps(data []byte) trace.Trace {
+	var tr trace.Trace
+	depth := map[trace.Tid]int{}
+	held := map[trace.Tid][]trace.Lock{}
+	lockBusy := map[trace.Lock]bool{}
+	for _, b := range data {
+		t := trace.Tid(b%3) + 1
+		kind := (b >> 2) % 6
+		obj := int32(b>>5) % 2
+		switch kind {
+		case 0:
+			tr = append(tr, trace.Rd(t, trace.Var(obj)))
+		case 1:
+			tr = append(tr, trace.Wr(t, trace.Var(obj)))
+		case 2:
+			m := trace.Lock(obj)
+			if !lockBusy[m] {
+				lockBusy[m] = true
+				held[t] = append(held[t], m)
+				tr = append(tr, trace.Acq(t, m))
+			}
+		case 3:
+			if hs := held[t]; len(hs) > 0 {
+				m := hs[len(hs)-1]
+				held[t] = hs[:len(hs)-1]
+				lockBusy[m] = false
+				tr = append(tr, trace.Rel(t, m))
+			}
+		case 4:
+			depth[t]++
+			tr = append(tr, trace.Beg(t, trace.Label("blk")))
+		case 5:
+			if depth[t] > 0 {
+				depth[t]--
+				tr = append(tr, trace.Fin(t))
+			}
+		}
+	}
+	return tr
+}
+
+// FuzzPipelineMatchesSerial varies the worker count, the batch size and
+// the trace together: the first two bytes pick the pipeline geometry
+// (1–8 workers, batch 1–32, so batch boundaries land everywhere,
+// including mid-run), the rest build a well-formed trace. Every
+// registered engine must produce bit-identical results to its serial
+// counterpart.
+func FuzzPipelineMatchesSerial(f *testing.F) {
+	f.Add([]byte{2, 4, 16, 0, 1, 17, 20, 1, 0, 21})
+	f.Add([]byte{8, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte("atomicity is a fundamental correctness property"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		workers := int(data[0]%8) + 1
+		batch := int(data[1]%32) + 1
+		data = data[2:]
+		if len(data) > 96 {
+			data = data[:96]
+		}
+		tr := decodeOps(data)
+		if err := trace.Validate(tr); err != nil {
+			t.Fatalf("decoder produced ill-formed trace: %v", err)
+		}
+		for _, info := range core.Engines() {
+			opts := core.Options{Engine: info.Engine}
+			want := core.CheckTrace(tr, opts)
+			got := CheckTrace(tr, opts, Config{Workers: workers, Batch: batch})
+			label := info.Name
+			if got.Serializable != want.Serializable {
+				t.Fatalf("%s/workers=%d/batch=%d: serializable=%v serial=%v\n%s",
+					label, workers, batch, got.Serializable, want.Serializable, tr)
+			}
+			if got.Filtered != want.Filtered {
+				t.Fatalf("%s/workers=%d/batch=%d: filtered=%d serial=%d\n%s",
+					label, workers, batch, got.Filtered, want.Filtered, tr)
+			}
+			if got.Stats != want.Stats {
+				t.Fatalf("%s/workers=%d/batch=%d: stats=%+v serial=%+v\n%s",
+					label, workers, batch, got.Stats, want.Stats, tr)
+			}
+			if len(got.Warnings) != len(want.Warnings) {
+				t.Fatalf("%s/workers=%d/batch=%d: %d warnings, serial %d\n%s",
+					label, workers, batch, len(got.Warnings), len(want.Warnings), tr)
+			}
+			for i := range want.Warnings {
+				if got.Warnings[i].String() != want.Warnings[i].String() {
+					t.Fatalf("%s/workers=%d/batch=%d: warning %d renders\n%s\nserial\n%s\n%s",
+						label, workers, batch, i, got.Warnings[i], want.Warnings[i], tr)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,458 @@
+// Package pipeline splits one session's atomicity check into staged
+// goroutines over bounded ring buffers:
+//
+//	decode ──batches──▶ shard workers (N) ──marks──▶ engine (caller)
+//
+// The decode stage keeps the existing zero-alloc decoder and hands off
+// fixed-size batches of operations. Every batch is then broadcast to N
+// shard workers; worker w owns the variables x with hash(x) == w and
+// scans the batch for accesses it can prove the engine's own Section 5
+// filter would discard, writing an anchor mark into the batch's mark
+// array (workers touch disjoint entries, so no locks). Because every
+// worker sees every event in trace order, synchronization and
+// transaction-boundary events (acquire/release/fork/join/begin/end) act
+// as ordered barriers inside each worker's scan: any such event on a
+// thread resets that thread's adjacency, exactly as it would invalidate
+// the serial filter's cached state. Marked survivors and everything
+// else are then re-sequenced — batches flow to the engine stage in
+// original trace order — and consumed by the single engine goroutine
+// (the caller's), which skips marked operations via Checker.SkipFiltered
+// and steps the rest. The engine stage stays serialized because the
+// happens-before graph and the clock engines are inherently sequential;
+// the parallel win is that <15% of a loop-regime trace ever reaches it.
+//
+// # The marking contract
+//
+// A worker marks an access op = (kind, t, x) at trace index i only when
+// all of the following hold, computed from its own in-order scan:
+//
+//  1. x is a dense variable (x < core.PrefilterVarLimit) owned by this
+//     worker;
+//  2. thread t is inside a checked (non-ignored) atomic block — the
+//     worker replicates the per-thread begin/end depth bookkeeping,
+//     including the atomicity specification's exemptions;
+//  3. the previous event of thread t and the previous access of
+//     variable x are the same event, with the same kind and thread
+//     (strict adjacency): between them nothing touched t (no operation
+//     of t, no fork/join involving t) and nothing touched x.
+//
+// Chains collapse: a run rd(t,x) rd(t,x) rd(t,x)… marks every repeat
+// and anchors all of them at the first (unmarked) access.
+//
+// A mark alone is not a licence to skip: adjacency says nothing about
+// the graph, and a processed anchor can leave the filter unsatisfied
+// forever (its ⊕-refreshed edges carry newer tails than the stored
+// predecessor steps, so the edge-presence test keeps failing on every
+// repeat). The engine stage therefore adds the one graph-side fact only
+// it can know: it records, per dense variable, the index of the last
+// access it fully Stepped and whether that Step was a filter hit, and
+// honors a mark only when that recorded index is at or past the mark's
+// anchor and the recorded Step was filtered. The anchor certifies that
+// every access of x from the anchor to the marked repeat is one
+// strictly-adjacent same-kind same-thread run, so an engine-Stepped
+// access at or past the anchor is a member of that run — and if the
+// engine's own filter discarded it, the skip is provably what serial
+// does: the filter's inputs — L(t), W(x), the R(x) row version, the
+// cached decision words — change only on events of t or accesses of x,
+// and the contract rules both out inside the run, so the decision cache
+// stored at that access still matches bit-for-bit and the serial engine
+// would discard the repeat through its own fast path. A run whose first
+// accesses the engine processes in full simply re-anchors at its first
+// filter hit and skips from there. Any other mark — last Step
+// unfiltered, warned, or predating the anchor — falls back to a full
+// Step, which re-runs the serial filter against identical state.
+// Steps and skips both run on the caller's goroutine against an
+// unmodified checker, so verdicts, warning positions, blame, filter
+// counts and the engine's observable state are bit-identical to the
+// serial path at every worker count — the differential and fuzz tests
+// in this package enforce exactly that.
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/span"
+	"repro/internal/trace"
+)
+
+// DefaultBatch is the number of operations per pipeline batch when
+// Config.Batch is zero.
+const DefaultBatch = 4096
+
+// Config tunes the pipeline. The zero value runs the serial path.
+type Config struct {
+	// Workers is the shard-worker count. 0 or 1 (or an engine without
+	// prefilter support, or Options.NoFilter/Forensics) selects the
+	// plain serial loop — same hooks, no extra goroutines.
+	Workers int
+	// Batch is the operations-per-batch granularity (DefaultBatch if 0).
+	Batch int
+	// Tracer, when non-nil, lets the decode and shard stages book their
+	// time into per-goroutine span buffers (span.StageDecode and
+	// span.StageShard). The engine stage books through Options.Spans as
+	// in the serial path.
+	Tracer *span.Tracer
+	// OnOp, when non-nil, observes every trace operation after the
+	// engine stage consumed it, with the warning it produced (nil for
+	// filtered/skipped operations). Runs on the caller's goroutine in
+	// trace order.
+	OnOp func(op trace.Op, w *core.Warning)
+	// OnChecker, when non-nil, receives the engine's checker right
+	// after construction (before any operation), so drivers can publish
+	// stats from it while the check runs and assemble verdicts after.
+	OnChecker func(c core.Checker)
+	// Stats, when non-nil, is filled after the run with pipeline-side
+	// accounting: operations consumed and how many of them the engine
+	// stage skipped on an honored worker mark. Skipped is always zero on
+	// the serial fallback paths.
+	Stats *Stats
+}
+
+// Stats is the pipeline's own accounting (engine verdict accounting
+// lives in core.Result). Skipped counts operations consumed through
+// Checker.SkipFiltered on an honored mark — the share of the trace the
+// engine never ran its own filter on.
+type Stats struct {
+	Ops     int64
+	Skipped int64
+}
+
+func (cfg *Config) batch() int {
+	if cfg.Batch <= 0 {
+		return DefaultBatch
+	}
+	return cfg.Batch
+}
+
+// marked reports whether the pipeline's mark stage applies: the engine
+// must accept prefiltered skips and the run must not need every
+// operation to reach it.
+func marked(opts core.Options, cfg Config) bool {
+	return cfg.Workers > 1 && !opts.NoFilter && !opts.Forensics &&
+		core.InfoFor(opts.Engine).SupportsPrefilter
+}
+
+// CheckStream checks operations pulled from a streaming decoder through
+// the staged pipeline, mirroring core.CheckStream's results exactly: it
+// returns the result, the number of operations consumed, and the first
+// decode error (nil on clean EOF); operations consumed before a decode
+// error are reflected in the result, and a stream that ends before the
+// first operation returns core.ErrEmptyStream. When cfg requests no
+// workers (or the configuration cannot be marked), it degrades to the
+// serial loop with the same hooks.
+func CheckStream(d *trace.Decoder, opts core.Options, cfg Config) (*core.Result, int, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = opts.Parallel
+	}
+	if !marked(opts, cfg) {
+		return serialStream(d, opts, cfg)
+	}
+	src := func(buf []trace.Op, sp *span.Buf) (int, error) {
+		n := 0
+		for n < len(buf) {
+			var op trace.Op
+			var err error
+			if sp == nil {
+				op, err = d.Next()
+			} else {
+				t0 := time.Now()
+				op, err = d.Next()
+				sp.AddStage(span.StageDecode, int64(time.Since(t0)))
+			}
+			if err != nil {
+				return n, err
+			}
+			buf[n] = op
+			n++
+		}
+		return n, nil
+	}
+	return run(src, opts, cfg)
+}
+
+// CheckTrace checks a materialized trace through the staged pipeline.
+// The result is bit-identical to core.CheckTrace at every worker count.
+func CheckTrace(tr trace.Trace, opts core.Options, cfg Config) *core.Result {
+	if cfg.Workers == 0 {
+		cfg.Workers = opts.Parallel
+	}
+	if !marked(opts, cfg) {
+		c := core.New(opts)
+		if cfg.OnChecker != nil {
+			cfg.OnChecker(c)
+		}
+		for _, op := range tr {
+			w := c.Step(op)
+			if cfg.OnOp != nil {
+				cfg.OnOp(op, w)
+			}
+		}
+		if cfg.Stats != nil {
+			cfg.Stats.Ops, cfg.Stats.Skipped = int64(len(tr)), 0
+		}
+		return resultOf(c)
+	}
+	off := 0
+	src := func(buf []trace.Op, _ *span.Buf) (int, error) {
+		n := copy(buf, tr[off:])
+		off += n
+		if n == 0 {
+			return 0, io.EOF
+		}
+		return n, nil
+	}
+	res, _, err := run(src, opts, cfg)
+	if err != nil && err != core.ErrEmptyStream {
+		// A slice source only ever returns io.EOF.
+		panic("pipeline: impossible trace-source error: " + err.Error())
+	}
+	if res == nil {
+		res = core.CheckTrace(nil, opts) // empty trace: empty result, like core.CheckTrace
+	}
+	return res
+}
+
+// serialStream is the no-worker path: core.CheckStream semantics plus
+// the pipeline hooks.
+func serialStream(d *trace.Decoder, opts core.Options, cfg Config) (*core.Result, int, error) {
+	c := core.New(opts)
+	if cfg.OnChecker != nil {
+		cfg.OnChecker(c)
+	}
+	sp := opts.Spans
+	n := 0
+	for {
+		var op trace.Op
+		var err error
+		if sp == nil {
+			op, err = d.Next()
+		} else {
+			t0 := time.Now()
+			op, err = d.Next()
+			sp.AddStage(span.StageDecode, int64(time.Since(t0)))
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if cfg.Stats != nil {
+				cfg.Stats.Ops, cfg.Stats.Skipped = int64(n), 0
+			}
+			return resultOf(c), n, err
+		}
+		w := c.Step(op)
+		n++
+		if cfg.OnOp != nil {
+			cfg.OnOp(op, w)
+		}
+	}
+	if cfg.Stats != nil {
+		cfg.Stats.Ops, cfg.Stats.Skipped = int64(n), 0
+	}
+	if n == 0 {
+		return nil, 0, core.ErrEmptyStream
+	}
+	return resultOf(c), n, nil
+}
+
+func resultOf(c core.Checker) *core.Result {
+	return &core.Result{
+		Serializable: len(c.Warnings()) == 0,
+		Warnings:     c.Warnings(),
+		Stats:        c.Stats(),
+		Filtered:     c.Filtered(),
+	}
+}
+
+// batch is one ring-buffer slot: a fixed-size run of operations, the
+// workers' mark array (anchor trace index per op, -1 unmarked), and the
+// barrier the engine stage waits on. Ownership cycles
+// producer → workers+engine → producer along the channels; the pending
+// counter plus the ready channel hand the marks to the engine only
+// after every worker finished the batch.
+type batch struct {
+	ops     []trace.Op
+	marks   []int64
+	base    int64 // trace index of ops[0]
+	err     error // decode error hit right after these ops (final batch only)
+	pending atomic.Int32
+	ready   chan struct{}
+}
+
+// anchorRec is the engine stage's per-variable run anchor: the trace
+// index of the last fully-Stepped access of the variable and whether
+// that Step was discarded by the engine's own filter.
+type anchorRec struct {
+	idx      int64
+	filtered bool
+}
+
+// source fills buf with the next operations, returning how many were
+// produced and io.EOF (or a decode error) once exhausted. sp is the
+// producer goroutine's span buffer (nil without a tracer).
+type source func(buf []trace.Op, sp *span.Buf) (int, error)
+
+// run drives the full pipeline: producer goroutine → cfg.Workers shard
+// workers → engine stage on the calling goroutine.
+func run(src source, opts core.Options, cfg Config) (*core.Result, int, error) {
+	nw := cfg.Workers
+	bsize := cfg.batch()
+	ring := nw + 4 // batches in flight: decode ahead without unbounded memory
+
+	free := make(chan *batch, ring)
+	out := make(chan *batch, ring)
+	ins := make([]chan *batch, nw)
+	for i := range ins {
+		ins[i] = make(chan *batch, ring)
+	}
+
+	// Producer: decode into recycled batches, broadcast to every worker,
+	// and queue for the engine in trace order.
+	go func() {
+		var pb *span.Buf
+		if cfg.Tracer != nil {
+			pb = cfg.Tracer.Buffer("pipeline-decode")
+			defer pb.Flush()
+		}
+		allocated := 0
+		var base int64
+		for {
+			var b *batch
+			if allocated < ring {
+				select {
+				case b = <-free:
+				default:
+					b = &batch{ops: make([]trace.Op, bsize), marks: make([]int64, bsize)}
+					allocated++
+				}
+			} else {
+				b = <-free
+			}
+			n, err := src(b.ops[:bsize], pb)
+			b.ops = b.ops[:n]
+			b.marks = b.marks[:n]
+			for i := range b.marks {
+				b.marks[i] = -1
+			}
+			b.base = base
+			base += int64(n)
+			b.err = nil
+			if err != nil && err != io.EOF {
+				b.err = err
+			}
+			b.pending.Store(int32(nw))
+			b.ready = make(chan struct{})
+			for _, in := range ins {
+				in <- b
+			}
+			out <- b
+			if err != nil {
+				break
+			}
+		}
+		for _, in := range ins {
+			close(in)
+		}
+		close(out)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var sb *span.Buf
+			if cfg.Tracer != nil {
+				sb = cfg.Tracer.Buffer(fmt.Sprintf("pipeline-shard-%d", w))
+				defer sb.Flush()
+			}
+			sh := newShard(w, nw, opts.Ignore)
+			for b := range ins[w] {
+				if sb == nil {
+					sh.scan(b)
+				} else {
+					t0 := time.Now()
+					sh.scan(b)
+					sb.AddStage(span.StageShard, int64(time.Since(t0)))
+				}
+				if b.pending.Add(-1) == 0 {
+					close(b.ready)
+				}
+			}
+		}(w)
+	}
+
+	// Engine stage, on the caller's goroutine so Options.Spans keeps its
+	// single-owner discipline.
+	c := core.New(opts)
+	if cfg.OnChecker != nil {
+		cfg.OnChecker(c)
+	}
+	// anchors[x] records, per dense variable, the trace index of the
+	// last access of x the engine fully Stepped and whether that Step
+	// was a filter hit. A worker mark with anchor a certifies that every
+	// access of x in (a, here] — and a itself — belongs to one strictly
+	// adjacent same-kind same-thread run; the recorded access therefore
+	// lies inside the run whenever its index is ≥ a, and if the engine's
+	// own filter discarded it, nothing the filter consults has changed
+	// since, so this repeat is a guaranteed serial filter hit (see the
+	// package comment). A run whose first accesses are processed
+	// re-anchors at its first filter hit and skips from there on; skips
+	// themselves leave the record untouched, so chains keep skipping.
+	anchors := make([]anchorRec, 0, 1024)
+	var n, nskip int64
+	var decodeErr error
+	for b := range out {
+		<-b.ready
+		for i := range b.ops {
+			op := b.ops[i]
+			var w *core.Warning
+			skipped := false
+			if a := b.marks[i]; a >= 0 && int(op.Target) < len(anchors) {
+				if r := anchors[op.Target]; r.idx >= a && r.filtered && c.SkipFiltered(op) {
+					skipped = true
+					nskip++
+				}
+			}
+			if !skipped {
+				before := c.Filtered()
+				w = c.Step(op)
+				if (op.Kind == trace.Read || op.Kind == trace.Write) &&
+					op.Target >= 0 && op.Target < core.PrefilterVarLimit {
+					for int(op.Target) >= len(anchors) {
+						anchors = append(anchors, anchorRec{idx: -1})
+					}
+					anchors[op.Target] = anchorRec{
+						idx:      b.base + int64(i),
+						filtered: c.Filtered() > before,
+					}
+				}
+			}
+			if cfg.OnOp != nil {
+				cfg.OnOp(op, w)
+			}
+		}
+		n += int64(len(b.ops))
+		if b.err != nil {
+			decodeErr = b.err
+		}
+		free <- b // cap == every batch ever allocated: never blocks
+	}
+	wg.Wait()
+
+	if cfg.Stats != nil {
+		cfg.Stats.Ops, cfg.Stats.Skipped = n, nskip
+	}
+	if decodeErr != nil {
+		return resultOf(c), int(n), decodeErr
+	}
+	if n == 0 {
+		return nil, 0, core.ErrEmptyStream
+	}
+	return resultOf(c), int(n), nil
+}

@@ -279,3 +279,31 @@ func Baseline(w io.Writer, rep *exper.BaselineReport) {
 			fmt.Sprintf("%.2fx", r.AeroSpeedup))
 	}
 }
+
+// Pipeline prints the parallel-pipeline scaling sweep from a
+// BENCH_pipeline.json report: one block per synthetic family, one row
+// per worker count, with the serial baseline above each block.
+func Pipeline(w io.Writer, rep *exper.PipelineReport) {
+	fmt.Fprintln(w, "Pipeline: decode → sharded filter → engine, vs the serial checker")
+	fmt.Fprintf(w, "(host: %d CPUs, GOMAXPROCS=%d, %s %s/%s; batch %d)\n",
+		rep.Host.NumCPU, rep.Host.GOMAXPROCS, rep.Host.GoVersion,
+		rep.Host.GOOS, rep.Host.GOARCH, rep.Batch)
+	fmt.Fprintln(w)
+	widths := []int{6, 9, 9, 12, 8, 9, 10}
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%s: %d events, %.1f%% filtered serially, serial %.1f ns/ev (%.2fM ev/s)\n",
+			r.Family, r.Events, r.FilteredPct,
+			r.SerialNsPerEvent, r.SerialEventsPerSec/1e6)
+		writeRow(w, widths, "", "workers", "ns/ev", "Mev/s", "speedup", "skipped%", "identical")
+		for _, c := range r.Cells {
+			writeRow(w, widths, "",
+				fmt.Sprintf("%d", c.Workers),
+				fmt.Sprintf("%.1f", c.NsPerEvent),
+				fmt.Sprintf("%.2f", c.EventsPerSec/1e6),
+				fmt.Sprintf("%.2fx", c.Speedup),
+				fmt.Sprintf("%.1f", c.SkippedPct),
+				fmt.Sprintf("%v", c.Identical))
+		}
+		fmt.Fprintln(w)
+	}
+}

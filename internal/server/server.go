@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/span"
 	"repro/internal/trace"
 )
@@ -87,6 +88,13 @@ type Config struct {
 	// HistorySize caps the completed-session history ring behind
 	// /api/sessions and the /debug/velo dashboard. Default 128.
 	HistorySize int
+	// Parallel, when >1, checks each session through the staged
+	// decode → sharded-filter → engine pipeline (internal/pipeline)
+	// with that many shard workers. Verdicts are bit-identical to the
+	// serial path; sessions whose configuration the pipeline cannot
+	// mark (forensics, filter-less engines) degrade to the serial loop
+	// automatically. Default 0 (serial).
+	Parallel int
 	// Logger, when non-nil, receives one structured record per
 	// noteworthy event (session end, shed, panic), each carrying the
 	// session id and remote address. Defaults to silent.
@@ -503,6 +511,10 @@ func (s *Server) run(br *bufio.Reader, hdr trace.SessionHeader, info core.Engine
 
 	dec := trace.NewDecoder(br)
 
+	if s.cfg.Parallel > 1 {
+		return s.runPipelined(dec, opts, engineName, st, sb, tr, root)
+	}
+
 	// Decode ahead of the engine through a bounded channel: a full
 	// channel blocks the decoder, which stops reading the transport,
 	// which backpressures the client. decodeErr is buffered so the
@@ -622,6 +634,105 @@ func (s *Server) run(br *bufio.Reader, hdr trace.SessionHeader, info core.Engine
 	case n == 0:
 		// The zero-op hole, closed at the daemon too: an empty stream
 		// is a crashed producer, not a serializable program.
+		v.Status = trace.StatusMalformed
+		v.Code = trace.CodeEmptyStream
+		v.Error = core.ErrEmptyStream.Error()
+	default:
+		v.Status = trace.StatusOK
+		v.Serializable = len(checker.Warnings()) == 0
+	}
+	if vid := sb.Emit("verdict", root, verdictStart, tr.Now()); vid != 0 {
+		sb.AddStage(span.StageVerdict, tr.Now()-verdictStart)
+		sb.AttrStr(vid, "status", v.Status)
+	}
+	sb.End(root)
+	sb.Flush()
+	return v
+}
+
+// runPipelined is run's engine loop routed through the staged pipeline:
+// the pipeline's decoder goroutine and shard workers replace the plain
+// decode-ahead channel, and the per-op hook keeps the session's live
+// stats, warning digests and span batches exactly as the serial loop
+// does. Decode errors, empty streams and verdict assembly all match the
+// serial path bit for bit.
+func (s *Server) runPipelined(dec *trace.Decoder, opts core.Options, engineName string,
+	st *sessionStats, sb *span.Buf, tr *span.Tracer, root span.SpanID) *trace.SessionVerdict {
+	var checker core.Checker
+	var n int64
+	batchStart := tr.Now()
+	var prevStages [span.NumStages]int64
+	emitBatch := func(batchOps int64) {
+		if sb == nil || batchOps == 0 {
+			return
+		}
+		now := tr.Now()
+		id := sb.Emit("check", root, batchStart, now)
+		sb.AttrInt(id, "ops", batchOps)
+		sb.EmitStages(id, batchStart, now, &prevStages,
+			span.StageFilter, span.StageGraph, span.StageForensics)
+		batchStart = now
+	}
+	_, consumed, derr := pipeline.CheckStream(dec, opts, pipeline.Config{
+		Workers: s.cfg.Parallel,
+		Tracer:  tr,
+		OnChecker: func(c core.Checker) {
+			checker = c
+		},
+		OnOp: func(op trace.Op, w *core.Warning) {
+			if s.cfg.stepHook != nil {
+				s.cfg.stepHook(op)
+			}
+			if w != nil {
+				st.noteWarning(w.String())
+			}
+			n++
+			s.met.ops.Inc()
+			st.ops.Store(n)
+			if n%statsEvery == 0 {
+				st.publishEngine(checker)
+				emitBatch(statsEvery)
+			}
+		},
+	})
+	n = int64(consumed)
+	st.publishEngine(checker)
+	emitBatch(n % statsEvery)
+	if derr == core.ErrEmptyStream {
+		derr = nil // the n == 0 case below reports it, as in the serial loop
+	}
+
+	verdictStart := tr.Now()
+	v := &trace.SessionVerdict{
+		Engine:   engineName,
+		Ops:      n,
+		Comments: dec.Comments,
+	}
+	if f, m := checker.Filtered(), checker.Stats().FilteredEdges; f > 0 || m > 0 {
+		v.Metrics = map[string]int64{
+			"core_events_filtered_total":  f,
+			"graph_edges_memo_hits_total": int64(m),
+		}
+	}
+	for _, w := range checker.Warnings() {
+		if len(v.Warnings) >= s.cfg.MaxWarnings {
+			break
+		}
+		v.Warnings = append(v.Warnings, w.String())
+		if rep := w.Forensics(); rep != nil {
+			line, merr := rep.MarshalJSONLine()
+			if merr != nil {
+				line = []byte("null") // keep Reports aligned with Warnings
+			}
+			v.Reports = append(v.Reports, json.RawMessage(line))
+		}
+	}
+	switch {
+	case derr != nil:
+		v.Status = trace.StatusMalformed
+		v.Code = trace.CodeDecodeError
+		v.Error = derr.Error()
+	case n == 0:
 		v.Status = trace.StatusMalformed
 		v.Code = trace.CodeEmptyStream
 		v.Error = core.ErrEmptyStream.Error()

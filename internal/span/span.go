@@ -40,6 +40,10 @@ const (
 	StageAccept Stage = iota
 	StageHeader
 	StageDecode
+	// StageShard is the pipeline's sharded mark stage (internal/
+	// pipeline): per-variable redundancy decisions made ahead of the
+	// engine by the filter-shard workers.
+	StageShard
 	StageFilter
 	StageGraph
 	StageForensics
@@ -48,7 +52,7 @@ const (
 )
 
 var stageNames = [NumStages]string{
-	"accept", "header", "decode", "filter", "graph", "forensics", "verdict",
+	"accept", "header", "decode", "shard", "filter", "graph", "forensics", "verdict",
 }
 
 // String returns the stage's lower-case name.
