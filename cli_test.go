@@ -36,7 +36,7 @@ func tools(t *testing.T) string {
 			return
 		}
 		toolDir = dir
-		for _, cmd := range []string{"velodrome", "velobench", "tracecheck", "veloinstr", "velodromed", "velovet"} {
+		for _, cmd := range []string{"velodrome", "velobench", "tracecheck", "veloinstr", "velodromed", "velovet", "veloload"} {
 			out, err := exec.Command("go", "build", "-o", filepath.Join(dir, cmd), "./cmd/"+cmd).CombinedOutput()
 			if err != nil {
 				buildErr = err
@@ -1039,6 +1039,238 @@ func TestCLIVelodromedSessionHistory(t *testing.T) {
 	}
 	if code, _ = get("/debug/velo?session=s999"); code != 404 {
 		t.Errorf("drill-down for unknown session: status %d, want 404", code)
+	}
+}
+
+// startVelodromedFull launches the daemon with the given extra flags and
+// returns the process plus its trace address and metrics base URL. The
+// caller owns shutdown (no drain func: crash tests signal it directly).
+func startVelodromedFull(t *testing.T, extraArgs ...string) (*exec.Cmd, string, string) {
+	t.Helper()
+	args := append([]string{"-listen", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(filepath.Join(tools(t), "velodromed"), args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(stderr)
+	var base, addr string
+	for base == "" || addr == "" {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading announces: %v", err)
+		}
+		if i := strings.Index(line, "url=http://"); i >= 0 {
+			base = strings.TrimSpace(line[i+len("url="):])
+			if j := strings.IndexByte(base, ' '); j >= 0 {
+				base = base[:j]
+			}
+		}
+		if strings.Contains(line, "msg=listening") {
+			if i := strings.Index(line, "addr="); i >= 0 {
+				addr = strings.TrimSpace(line[i+len("addr="):])
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
+			}
+		}
+	}
+	go io.Copy(io.Discard, br)
+	return cmd, addr, base
+}
+
+// apiSessions fetches and decodes /api/sessions from a daemon's metrics
+// endpoint.
+func apiSessions(t *testing.T, base string) (int64, []map[string]json.RawMessage) {
+	t.Helper()
+	resp, err := http.Get(base + "/api/sessions?limit=1000")
+	if err != nil {
+		t.Fatalf("GET /api/sessions: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("/api/sessions: status %d\n%s", resp.StatusCode, body)
+	}
+	var page struct {
+		Total    int64                        `json:"total"`
+		Sessions []map[string]json.RawMessage `json:"sessions"`
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatalf("/api/sessions did not decode: %v\n%s", err, body)
+	}
+	return page.Total, page.Sessions
+}
+
+// TestCLIVelodromedRestartDurability is the graceful half of the store's
+// restart contract: verdicts served before a SIGTERM must be served by
+// /api/sessions after a restart on the same store directory, and the
+// restarted daemon must not reissue session ids clients may still hold.
+func TestCLIVelodromedRestartDurability(t *testing.T) {
+	dir := t.TempDir()
+	cmd, addr, base := startVelodromedFull(t, "-store-dir", dir)
+
+	var preIDs []string
+	for i := 0; i < 3; i++ {
+		out, code := runTool(t, "tracecheck", "-server", addr, "testdata/setadd.txt")
+		if code != 1 {
+			t.Fatalf("session %d: exit %d:\n%s", i, code, out)
+		}
+		j := strings.Index(out, "session s")
+		if j < 0 {
+			t.Fatalf("no session id in verdict line:\n%s", out)
+		}
+		id := out[j+len("session "):]
+		if k := strings.IndexAny(id, " ,)"); k >= 0 {
+			id = id[:k]
+		}
+		preIDs = append(preIDs, id)
+	}
+	cmd.Process.Signal(syscall.SIGTERM)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("velodromed did not drain cleanly: %v", err)
+	}
+
+	cmd, addr, base = startVelodromedFull(t, "-store-dir", dir)
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("restarted velodromed did not drain cleanly: %v", err)
+		}
+	}()
+
+	total, recs := apiSessions(t, base)
+	if total != 3 || len(recs) != 3 {
+		t.Fatalf("after restart: total=%d retained=%d, want the 3 pre-restart sessions", total, len(recs))
+	}
+	served := map[string]bool{}
+	for _, rec := range recs {
+		var id, status string
+		json.Unmarshal(rec["session"], &id)
+		json.Unmarshal(rec["status"], &status)
+		if status != "ok" {
+			t.Errorf("recovered record %s has status %q", id, status)
+		}
+		served[id] = true
+	}
+	for _, id := range preIDs {
+		if !served[id] {
+			t.Errorf("pre-restart session %s missing after restart (have %v)", id, served)
+		}
+	}
+
+	// A new session must get a fresh id above everything recovered.
+	out, code := runTool(t, "tracecheck", "-server", addr, "testdata/flag_handoff.txt")
+	if code != 0 {
+		t.Fatalf("post-restart session: exit %d:\n%s", code, out)
+	}
+	total, recs = apiSessions(t, base)
+	if total != 4 {
+		t.Errorf("post-restart total=%d, want 4", total)
+	}
+	ids := map[string]int{}
+	for _, rec := range recs {
+		var id string
+		json.Unmarshal(rec["session"], &id)
+		ids[id]++
+	}
+	for id, n := range ids {
+		if n != 1 {
+			t.Errorf("session id %s served %d times: restart reissued a live id", id, n)
+		}
+	}
+}
+
+// TestCLIVelodromedCrashDurability is the unclean half: SIGKILL the
+// daemon mid-load and assert the restarted daemon serves every verdict a
+// client saw before the kill — the store fsyncs each record before the
+// verdict goes out — with at most in-flight sessions missing and nothing
+// corrupted.
+func TestCLIVelodromedCrashDurability(t *testing.T) {
+	dir := t.TempDir()
+	cmd, addr, _ := startVelodromedFull(t, "-store-dir", dir)
+
+	// Phase 1: sessions whose verdicts the client has seen. These MUST
+	// survive the kill.
+	for i := 0; i < 4; i++ {
+		if out, code := runTool(t, "tracecheck", "-server", addr, "testdata/setadd.txt"); code != 1 {
+			t.Fatalf("session %d: exit %d:\n%s", i, code, out)
+		}
+	}
+	// Phase 2: in-flight load at the moment of the kill. Outcomes don't
+	// matter — these are the tail the store may legitimately lose.
+	var inflight sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			exec.Command(filepath.Join(toolDir, "tracecheck"),
+				"-server", addr, "testdata/flag_handoff.txt").Run()
+		}()
+	}
+	cmd.Process.Kill()
+	cmd.Wait() // "signal: killed" — expected, nothing to assert
+	inflight.Wait()
+
+	cmd, addr, base := startVelodromedFull(t, "-store-dir", dir)
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("restarted velodromed did not drain cleanly: %v", err)
+		}
+	}()
+
+	total, recs := apiSessions(t, base)
+	if total < 4 {
+		t.Errorf("after crash: total=%d, want at least the 4 acknowledged sessions", total)
+	}
+	if total > 8 {
+		t.Errorf("after crash: total=%d, more records than sessions ever attempted", total)
+	}
+	ids := map[string]bool{}
+	for _, rec := range recs {
+		var id, status string
+		if err := json.Unmarshal(rec["session"], &id); err != nil || id == "" {
+			t.Fatalf("corrupted recovered record: %v", rec)
+		}
+		json.Unmarshal(rec["status"], &status)
+		if status != "ok" {
+			t.Errorf("recovered record %s has status %q", id, status)
+		}
+		if ids[id] {
+			t.Errorf("recovered record %s duplicated", id)
+		}
+		ids[id] = true
+	}
+
+	// The daemon still takes sessions on the recovered store.
+	if out, code := runTool(t, "tracecheck", "-server", addr, "testdata/setadd.txt"); code != 1 {
+		t.Fatalf("post-crash session: exit %d:\n%s", code, out)
+	}
+}
+
+// TestCLIVeloloadSmoke runs the load generator end to end at test scale:
+// a spawned daemon, the corpus replay, and the -smoke gate against the
+// committed BENCH_daemon.json (whose correctness gates are host
+// independent; throughput only compares on a CPU-count match).
+func TestCLIVeloloadSmoke(t *testing.T) {
+	out, code := runTool(t, "veloload", "-spawn",
+		"-sessions", "60", "-concurrency", "6", "-scale", "8", "-smoke")
+	if code != 0 {
+		t.Fatalf("veloload -smoke: exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "smoke ok") {
+		t.Errorf("missing smoke verdict:\n%s", out)
+	}
+	// Usage errors exit 2.
+	if _, code := runTool(t, "veloload"); code != 2 {
+		t.Errorf("no mode flag should exit 2, got %d", code)
+	}
+	if _, code := runTool(t, "veloload", "-spawn", "-addr", "127.0.0.1:1"); code != 2 {
+		t.Errorf("both mode flags should exit 2, got %d", code)
 	}
 }
 

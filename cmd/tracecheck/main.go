@@ -52,6 +52,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print a provenance report per warning (implies -forensics; works in -server mode too)")
 	inFlag := flag.String("in", "", "trace input: a file name or - for standard input (alternative to the positional argument)")
 	serverAddr := flag.String("server", "", "check via a velodromed daemon at this address (host:port or unix:/path) instead of locally")
+	apiKey := flag.String("key", "", "tenant API key sent in the session header (-server mode); absent = the daemon's default tenant")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event timeline of the local pipeline (decode, check, oracle, dot) to this file")
 	var oflags obs.CLIFlags
 	oflags.Register(flag.CommandLine, obs.FlagProfile)
@@ -96,7 +97,7 @@ func main() {
 		}
 		// Client mode: stream the raw bytes to the daemon and relay its
 		// verdict, mapping statuses onto the local exit convention.
-		hdr := trace.SessionHeader{Engine: einfo.Name, Forensics: *forensics}
+		hdr := trace.SessionHeader{Engine: einfo.Name, Forensics: *forensics, Key: *apiKey}
 		v, err := server.CheckReader(*serverAddr, hdr, in)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracecheck:", err)

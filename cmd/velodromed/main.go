@@ -14,10 +14,24 @@
 // drains gracefully: it stops accepting, lets in-flight sessions finish
 // up to -drain-timeout, and emits their final verdicts before exiting.
 //
+// With -store-dir the daemon persists each completed session's record
+// to an append-only segmented log and refills its history from it on
+// startup, so /api/sessions and /debug/velo survive restarts (retention
+// via -store-max-bytes / -store-max-age, fsync cadence via
+// -store-sync-every). With -keyfile sessions are partitioned into
+// tenants by the header's key= field: per-tenant session-rate and
+// concurrency quotas are enforced before the global -max-sessions slot
+// (verdict code "quota-exceeded"), and each tenant gets its own
+// velodromed_tenant_* metric family plus a ?tenant= dashboard filter.
+// Keyless sessions run under the built-in "default" tenant unchanged.
+//
 // Logs are structured (log/slog): text lines by default, JSON objects
 // under -log-json. With -metrics-addr set, /debug/velo on the metrics
 // mux lists the live sessions (id, engine, ops, graph size, filter hit
-// rate, last warning) as HTML or JSON.
+// rate, last warning) as HTML or JSON, and /api/sessions serves the
+// verdict history (?limit, ?before cursor, ?tenant, ?since/?until).
+// -heartbeat prints a periodic operations line (active sessions,
+// sessions/s, shed/quota/store counters) on stderr.
 //
 // Exit status: 0 after a clean drain, 1 if draining timed out and
 // sessions were cut, 2 on startup errors.
@@ -36,6 +50,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/obshttp"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -55,9 +70,14 @@ func run() int {
 	spanTrace := flag.Bool("span-trace", true, "trace each session's pipeline stages (decode/filter/graph/forensics); summaries land in verdicts, /api/sessions and /debug/velo")
 	traceDir := flag.String("trace-dir", "", "write each session's full span timeline as <dir>/<session>.trace.json (Chrome trace-event format)")
 	history := flag.Int("history", server.DefaultHistorySize, "completed sessions retained for /api/sessions and the /debug/velo dashboard")
+	storeDir := flag.String("store-dir", "", "persist session verdicts to an append-only log in this directory; /api/sessions survives restarts")
+	storeMaxBytes := flag.Int64("store-max-bytes", 64<<20, "drop the oldest store segments once the log exceeds this size")
+	storeMaxAge := flag.Duration("store-max-age", 0, "drop store segments whose newest record is older than this (0 = keep until the size bound)")
+	storeSyncEvery := flag.Int("store-sync-every", 1, "fsync the store after every N appended records (1 = every verdict durable before the ring)")
+	keyfile := flag.String("keyfile", "", "tenant keyfile: 'tenant <name> key=<k> rate=N burst=N concurrent=N' per line; sessions authenticate with the VELOSESS/1 key= field")
 	quiet := flag.Bool("q", false, "suppress per-session log lines")
 	var oflags obs.CLIFlags
-	oflags.Register(flag.CommandLine, obs.FlagMetrics)
+	oflags.Register(flag.CommandLine, obs.FlagMetrics|obs.FlagHeartbeat)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: velodromed [-listen addr] [-unix path] [flags]")
@@ -99,8 +119,41 @@ func run() int {
 	if !*quiet {
 		cfg.Logger = logger // nil stays silent for per-session records
 	}
+	if *keyfile != "" {
+		cfgs, err := server.LoadKeyfile(*keyfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "velodromed:", err)
+			return 2
+		}
+		if cfg.Tenants, err = server.NewTenants(cfgs); err != nil {
+			fmt.Fprintln(os.Stderr, "velodromed:", err)
+			return 2
+		}
+		logger.Info("tenants loaded", "keyfile", *keyfile, "tenants", len(cfgs))
+	}
 
 	s := server.New(cfg)
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{
+			MaxBytes:  *storeMaxBytes,
+			MaxAge:    *storeMaxAge,
+			SyncEvery: *storeSyncEvery,
+			Logger:    logger,
+		})
+		if err != nil {
+			logger.Error("opening session store failed", "dir", *storeDir, "error", err)
+			return 2
+		}
+		defer st.Close()
+		if err := s.BindStore(st); err != nil {
+			logger.Error("binding session store failed", "dir", *storeDir, "error", err)
+			return 2
+		}
+		stats := st.Stats()
+		logger.Info("session store open", "dir", *storeDir,
+			"recovered", stats.Recovered, "lastSeq", stats.LastSeq,
+			"tailTruncated", stats.TailTruncated)
+	}
 	if oflags.MetricsAddr != "" {
 		_, addr, err := obshttp.Serve(oflags.MetricsAddr, cfg.Metrics,
 			obshttp.Mount{Pattern: "/debug/velo", Handler: s.DebugHandler()},
@@ -111,6 +164,21 @@ func run() int {
 		}
 		logger.Info("serving metrics", "url", "http://"+addr.String(),
 			"endpoints", "/metrics /debug/pprof/ /debug/velo /api/sessions")
+	}
+
+	if oflags.Heartbeat > 0 {
+		// The heartbeat is the no-scrape view of service health: a bare
+		// terminal (or journald) shows load, rejections and store lag
+		// without anyone curling /metrics.
+		sessRate, opRate := obs.NewRate(time.Now()), obs.NewRate(time.Now())
+		stopHB := obs.StartHeartbeat(os.Stderr, oflags.Heartbeat, func() string {
+			h := s.Health()
+			now := time.Now()
+			return fmt.Sprintf("velodromed: active=%d sessions/s=%.1f ops/s=%.0f shed=%d quota-rejected=%d rejected=%d store-lag=%d store-errors=%d",
+				h.Active, sessRate.Per(h.Accepted, now), opRate.Per(h.Ops, now),
+				h.Shed, h.QuotaRejected, h.Rejected, h.StoreLag, h.StoreErrors)
+		})
+		defer stopHB()
 	}
 
 	// Catch signals before announcing any listener: a supervisor that

@@ -1,0 +1,219 @@
+// Command veloload is the load generator behind BENCH_daemon.json: it
+// replays the benchmark corpus (every Table 1 workload plus the
+// synthetic families) as concurrent sessions against a live velodromed
+// and reports the service's operating envelope — sessions/s, p50/p99
+// verdict latency, shed and quota-reject rates, store fsync overhead.
+//
+//	veloload -spawn -out BENCH_daemon.json     # self-contained: spawns a daemon
+//	veloload -addr 127.0.0.1:7764 -sessions 500 -concurrency 16
+//	veloload -spawn -smoke                     # CI gate vs committed BENCH_daemon.json
+//
+// With -spawn, veloload runs a daemon in-process with a durable store
+// and a three-tenant keyfile mix (default: unlimited; alpha: generous
+// quotas; beta: a deliberately tight session rate so quota rejection is
+// exercised, not just implemented). With -addr it drives an external
+// daemon and the tenant mix defaults to keyless sessions.
+//
+// Exit status: 0 on success, 1 on a failed -smoke comparison, 2 on
+// setup errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exper"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// spawnMix is the tenant mix -spawn installs and drives: the beta
+// tenant's rate is low enough that a few hundred sessions in a few
+// seconds must trip it, so the committed report proves quota enforcement
+// under load rather than assuming it.
+var spawnMix = []struct {
+	cfg    server.TenantConfig
+	weight int
+}{
+	{server.TenantConfig{Name: "default"}, 6},
+	{server.TenantConfig{Name: "alpha", Key: "load-alpha-key", RatePerSec: 1000, Burst: 1000, MaxConcurrent: 32}, 3},
+	{server.TenantConfig{Name: "beta", Key: "load-beta-key", RatePerSec: 2, Burst: 2}, 1},
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "", "drive an existing velodromed at this address (host:port or unix:/path)")
+	spawn := flag.Bool("spawn", false, "spawn an in-process daemon (with store and tenant mix) instead of -addr")
+	sessions := flag.Int("sessions", 400, "total sessions to run")
+	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
+	scale := flag.Int("scale", exper.DaemonCorpusScale, "benchmark workload scale for the replay corpus")
+	mix := flag.String("mix", "", "tenant mix as name:key:weight,... (default: spawn's built-in three tenants, or all-default against -addr)")
+	maxSessions := flag.Int("max-sessions", 64, "spawned daemon's concurrent session cap")
+	syncEvery := flag.Int("store-sync-every", 1, "spawned daemon's store fsync cadence")
+	storeDir := flag.String("store-dir", "", "spawned daemon's store directory (default: a temp dir, removed afterwards)")
+	out := flag.String("out", "", "write the report JSON here ('-' for stdout)")
+	smoke := flag.Bool("smoke", false, "compare the run against -committed and exit non-zero on regression")
+	committedPath := flag.String("committed", "BENCH_daemon.json", "committed report the -smoke gate compares against")
+	flag.Parse()
+	if flag.NArg() != 0 || (*addr == "") == !*spawn {
+		fmt.Fprintln(os.Stderr, "usage: veloload (-spawn | -addr host:port) [flags]")
+		return 2
+	}
+
+	tenants, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "veloload:", err)
+		return 2
+	}
+
+	var st *store.Store
+	if *spawn {
+		dir := *storeDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "veloload-store-")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "veloload:", err)
+				return 2
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		if st, err = store.Open(dir, store.Options{SyncEvery: *syncEvery}); err != nil {
+			fmt.Fprintln(os.Stderr, "veloload:", err)
+			return 2
+		}
+		defer st.Close()
+
+		var cfgs []server.TenantConfig
+		for _, m := range spawnMix {
+			cfgs = append(cfgs, m.cfg)
+		}
+		tens, err := server.NewTenants(cfgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "veloload:", err)
+			return 2
+		}
+		einfo, _ := core.EngineByName("optimized")
+		s := server.New(server.Config{
+			MaxSessions:   *maxSessions,
+			DefaultEngine: einfo.Engine,
+			Tenants:       tens,
+			Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+		})
+		if err := s.BindStore(st); err != nil {
+			fmt.Fprintln(os.Stderr, "veloload:", err)
+			return 2
+		}
+		ln, err := server.Listen("127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "veloload:", err)
+			return 2
+		}
+		go s.Serve(ln)
+		*addr = ln.Addr().String()
+		if tenants == nil {
+			for _, m := range spawnMix {
+				tenants = append(tenants, exper.DaemonTenant{Name: m.cfg.Name, Key: m.cfg.Key, Weight: m.weight})
+			}
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "veloload: building corpus (scale %d)\n", *scale)
+	corpus := exper.DaemonCorpus(*scale)
+	fmt.Fprintf(os.Stderr, "veloload: driving %d sessions x%d against %s\n", *sessions, *concurrency, *addr)
+	rep, err := exper.DaemonLoad(exper.DaemonLoadOptions{
+		Addr:        *addr,
+		Sessions:    *sessions,
+		Concurrency: *concurrency,
+		Tenants:     tenants,
+		Corpus:      corpus,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "veloload:", err)
+		return 2
+	}
+	if st != nil {
+		ss := st.Stats()
+		dss := &exper.DaemonStoreStats{
+			Appended: ss.Appended,
+			Fsyncs:   ss.Fsyncs,
+			FsyncNs:  ss.FsyncNs,
+			Lag:      int64(ss.Lag),
+		}
+		if ss.Fsyncs > 0 {
+			dss.FsyncUsMean = float64(ss.FsyncNs) / float64(ss.Fsyncs) / 1e3
+		}
+		rep.Store = dss
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"veloload: %.1f sessions/s, p50 %.1fms p99 %.1fms, shed %.1f%% quota %.1f%% err %.1f%%, %d non-serializable\n",
+		rep.SessionsPerSec, rep.P50Ms, rep.P99Ms,
+		100*rep.ShedRate, 100*rep.QuotaRejectRate, 100*rep.ErrorRate, rep.NotSerializable)
+
+	if *out != "" {
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "veloload:", err)
+				return 2
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.WriteJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, "veloload:", err)
+			return 2
+		}
+	}
+
+	if *smoke {
+		f, err := os.Open(*committedPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "veloload:", err)
+			return 2
+		}
+		committed, err := exper.ReadDaemon(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "veloload:", err)
+			return 2
+		}
+		if !exper.DaemonSmoke(committed, rep, os.Stderr) {
+			fmt.Fprintln(os.Stderr, "veloload: smoke FAILED")
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "veloload: smoke ok")
+	}
+	return 0
+}
+
+// parseMix reads a name:key:weight,... tenant mix ("" → nil).
+func parseMix(s string) ([]exper.DaemonTenant, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []exper.DaemonTenant
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad -mix entry %q (want name:key:weight)", part)
+		}
+		w, err := strconv.Atoi(fields[2])
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -mix weight %q", fields[2])
+		}
+		out = append(out, exper.DaemonTenant{Name: fields[0], Key: fields[1], Weight: w})
+	}
+	return out, nil
+}

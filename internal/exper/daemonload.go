@@ -1,0 +1,353 @@
+package exper
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/rr"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// Daemon load experiment: the measurement behind BENCH_daemon.json. Where
+// the pipeline benchmark prices one session's op throughput, this one
+// prices the *service*: many concurrent clients replaying the corpus and
+// the synthetic families against a live velodromed, with admission
+// (tenant quotas, load shedding) and the durable store in the measured
+// path. The committed report is the operating envelope the README's
+// runbook quotes — sessions/s, p50/p99 verdict latency, shed and
+// quota-reject rates, store fsync overhead.
+
+// DaemonTenant is one entry in the load mix: sessions carry Key and are
+// attributed to Name, in proportion to Weight.
+type DaemonTenant struct {
+	Name   string `json:"name"`
+	Key    string `json:"-"`
+	Weight int    `json:"weight"`
+}
+
+// DaemonLoadOptions configures one load run.
+type DaemonLoadOptions struct {
+	// Addr is the daemon address (host:port or unix:/path). Required.
+	Addr string
+	// Sessions is the total session count to drive. Default 200.
+	Sessions int
+	// Concurrency is how many client workers run sessions at once.
+	// Default 8.
+	Concurrency int
+	// Tenants is the tenant mix; nil drives everything through the
+	// keyless default tenant.
+	Tenants []DaemonTenant
+	// Corpus is the encoded traces replayed round-robin; nil builds
+	// DaemonCorpus(DaemonCorpusScale).
+	Corpus [][]byte
+}
+
+// DaemonTenantRow is one tenant's slice of the report.
+type DaemonTenantRow struct {
+	Tenant        string `json:"tenant"`
+	Weight        int    `json:"weight"`
+	Sessions      int    `json:"sessions"`
+	OK            int    `json:"ok"`
+	QuotaRejected int    `json:"quota_rejected"`
+	Shed          int    `json:"shed"`
+	Errors        int    `json:"errors"`
+}
+
+// DaemonStoreStats carries the daemon-side durable-store counters a run
+// observed (deltas over the run when scraped from /metrics, absolute
+// when read from an in-process store).
+type DaemonStoreStats struct {
+	Appended int64 `json:"appended"`
+	Fsyncs   int64 `json:"fsyncs"`
+	FsyncNs  int64 `json:"fsync_ns"`
+	// FsyncUsMean is FsyncNs/Fsyncs in microseconds — the per-verdict
+	// durability tax at SyncEvery=1.
+	FsyncUsMean float64 `json:"fsync_us_mean"`
+	Lag         int64   `json:"lag"`
+}
+
+// DaemonReport is the BENCH_daemon.json document.
+type DaemonReport struct {
+	Host        HostInfo `json:"host"`
+	Sessions    int      `json:"sessions"`
+	Concurrency int      `json:"concurrency"`
+	CorpusSize  int      `json:"corpus_size"`
+	// WallSeconds is the whole run, first dial to last verdict.
+	WallSeconds    float64 `json:"wall_seconds"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	OpsChecked     int64   `json:"ops_checked"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	// Verdict latency percentiles, milliseconds, over completed (non
+	// quota/shed) sessions: dial to verdict line.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// Rates are fractions of all attempted sessions.
+	ShedRate        float64 `json:"shed_rate"`
+	QuotaRejectRate float64 `json:"quota_reject_rate"`
+	ErrorRate       float64 `json:"error_rate"`
+	// Verdicts counts sessions by status; Codes by verdict code.
+	Verdicts map[string]int `json:"verdicts"`
+	Codes    map[string]int `json:"codes,omitempty"`
+	// NotSerializable counts ok-verdicts that found a violation — the
+	// corpus contains Velodrome's known-buggy workloads, so this must be
+	// non-zero: a load run that stops finding the planted bugs is a
+	// correctness regression, not a throughput one.
+	NotSerializable int               `json:"not_serializable"`
+	Tenants         []DaemonTenantRow `json:"tenants,omitempty"`
+	Store           *DaemonStoreStats `json:"store,omitempty"`
+}
+
+// DaemonCorpusScale is the workload scale the default corpus records at:
+// small enough that one session is milliseconds, large enough that the
+// engine (not the dial) dominates.
+const DaemonCorpusScale = 40
+
+// daemonSyntheticEvents sizes the synthetic traces in the default corpus.
+const daemonSyntheticEvents = 20_000
+
+// DaemonCorpus builds the replay corpus: every bench workload recorded
+// once at the given scale (Table 1's mix of serializable and buggy
+// programs) plus the three synthetic families, all in the binary wire
+// encoding. The same corpus feeds every run, so reports are comparable.
+func DaemonCorpus(scale int) [][]byte {
+	var out [][]byte
+	encode := func(tr trace.Trace) {
+		var buf bytes.Buffer
+		if err := trace.MarshalBinary(&buf, tr); err != nil {
+			panic(fmt.Sprintf("daemon corpus: marshal: %v", err))
+		}
+		out = append(out, buf.Bytes())
+	}
+	for _, w := range bench.All() {
+		w := w
+		rep := rr.Run(rr.Options{Seed: 1, Record: true}, func(t *rr.Thread) {
+			w.Body(t, bench.Params{Scale: scale})
+		})
+		encode(rep.Trace)
+	}
+	encode(bench.SyntheticSpin(daemonSyntheticEvents))
+	encode(bench.SyntheticRMW(daemonSyntheticEvents / 4))
+	encode(bench.SyntheticMix(daemonSyntheticEvents / 4))
+	return out
+}
+
+// DaemonLoad drives the configured load against a live daemon and
+// aggregates the result. The daemon is not managed here — cmd/veloload
+// either spawns one or is pointed at an existing instance.
+func DaemonLoad(opts DaemonLoadOptions) (*DaemonReport, error) {
+	if opts.Addr == "" {
+		return nil, fmt.Errorf("daemon load: no address")
+	}
+	if opts.Sessions <= 0 {
+		opts.Sessions = 200
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	corpus := opts.Corpus
+	if corpus == nil {
+		corpus = DaemonCorpus(DaemonCorpusScale)
+	}
+	tenants := opts.Tenants
+	if len(tenants) == 0 {
+		tenants = []DaemonTenant{{Name: server.DefaultTenant, Weight: 1}}
+	}
+	// Expand the weighted mix into a repeating schedule so tenant
+	// attribution is deterministic for a given session index.
+	var schedule []int
+	for ti, t := range tenants {
+		w := t.Weight
+		if w <= 0 {
+			w = 1
+		}
+		for i := 0; i < w; i++ {
+			schedule = append(schedule, ti)
+		}
+	}
+
+	type outcome struct {
+		tenant   int
+		status   string
+		code     string
+		ops      int64
+		nonSer   bool
+		err      bool
+		duration time.Duration
+	}
+	results := make([]outcome, opts.Sessions)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				ti := schedule[i%len(schedule)]
+				hdr := trace.SessionHeader{
+					Name: fmt.Sprintf("load-%d", i),
+					Key:  tenants[ti].Key,
+				}
+				t0 := time.Now()
+				v, err := server.CheckReader(opts.Addr, hdr, bytes.NewReader(corpus[i%len(corpus)]))
+				o := outcome{tenant: ti, duration: time.Since(t0)}
+				if err != nil {
+					o.err = true
+				} else {
+					o.status = v.Status
+					o.code = v.Code
+					o.ops = v.Ops
+					o.nonSer = v.Status == trace.StatusOK && !v.Serializable
+					if v.Status == trace.StatusError {
+						o.err = true
+					}
+				}
+				results[i] = o
+			}
+		}()
+	}
+	for i := 0; i < opts.Sessions; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &DaemonReport{
+		Host:        CollectHost(),
+		Sessions:    opts.Sessions,
+		Concurrency: opts.Concurrency,
+		CorpusSize:  len(corpus),
+		WallSeconds: wall.Seconds(),
+		Verdicts:    map[string]int{},
+		Codes:       map[string]int{},
+	}
+	rows := make([]DaemonTenantRow, len(tenants))
+	for i, t := range tenants {
+		rows[i] = DaemonTenantRow{Tenant: t.Name, Weight: t.Weight}
+	}
+	var latencies []float64
+	var errs, shed, quota int
+	for _, o := range results {
+		row := &rows[o.tenant]
+		row.Sessions++
+		switch {
+		case o.err:
+			errs++
+			row.Errors++
+			if o.status != "" {
+				rep.Verdicts[o.status]++
+			}
+		case o.code == trace.CodeQuotaExceeded:
+			quota++
+			row.QuotaRejected++
+			rep.Verdicts[o.status]++
+		case o.code == trace.CodeBusy:
+			shed++
+			row.Shed++
+			rep.Verdicts[o.status]++
+		default:
+			rep.Verdicts[o.status]++
+			rep.OpsChecked += o.ops
+			latencies = append(latencies, float64(o.duration.Nanoseconds())/1e6)
+			if o.status == trace.StatusOK {
+				row.OK++
+			}
+			if o.nonSer {
+				rep.NotSerializable++
+			}
+		}
+		if o.code != "" {
+			rep.Codes[o.code]++
+		}
+	}
+	n := float64(opts.Sessions)
+	rep.SessionsPerSec = n / wall.Seconds()
+	rep.OpsPerSec = float64(rep.OpsChecked) / wall.Seconds()
+	rep.ShedRate = float64(shed) / n
+	rep.QuotaRejectRate = float64(quota) / n
+	rep.ErrorRate = float64(errs) / n
+	rep.P50Ms = percentile(latencies, 0.50)
+	rep.P99Ms = percentile(latencies, 0.99)
+	if len(rep.Codes) == 0 {
+		rep.Codes = nil
+	}
+	rep.Tenants = rows
+	return rep, nil
+}
+
+// percentile returns the pth (0..1) percentile of values (nearest-rank,
+// 0 when empty).
+func percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// WriteJSON writes the report as one indented JSON object.
+func (r *DaemonReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadDaemon parses a BENCH_daemon.json document.
+func ReadDaemon(r io.Reader) (*DaemonReport, error) {
+	var rep DaemonReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// DaemonSmoke validates a fresh load run against the committed report.
+// Correctness gates are unconditional on any host: zero transport/error
+// verdicts, the planted bugs still found, quota enforcement still firing
+// when the mix includes a limited tenant. Throughput is compared only on
+// a CPU-count-matched host, with a wider tolerance than the pipeline
+// smoke (0.5×): daemon numbers include the network stack and scheduler,
+// which shared CI machines disturb far more than a tight single-process
+// loop.
+func DaemonSmoke(committed, now *DaemonReport, w io.Writer) bool {
+	ok := true
+	if now.ErrorRate > 0 {
+		fmt.Fprintf(w, "FAIL error rate %.3f: load run hit transport or internal-error verdicts\n", now.ErrorRate)
+		ok = false
+	}
+	if now.NotSerializable == 0 {
+		fmt.Fprintf(w, "FAIL not_serializable == 0: the corpus's planted bugs were not detected\n")
+		ok = false
+	}
+	if committed.QuotaRejectRate > 0 && now.QuotaRejectRate == 0 {
+		fmt.Fprintf(w, "FAIL quota_reject_rate == 0: committed mix expects tenant quotas to fire\n")
+		ok = false
+	}
+	if committed.Host.NumCPU != now.Host.NumCPU {
+		fmt.Fprintf(w, "note: host has %d CPUs, committed report taken on %d — skipping throughput comparison\n",
+			now.Host.NumCPU, committed.Host.NumCPU)
+		return ok
+	}
+	const tolerance = 0.5
+	if now.SessionsPerSec < tolerance*committed.SessionsPerSec {
+		fmt.Fprintf(w, "FAIL sessions/s %.1f vs committed %.1f (>50%% regression)\n",
+			now.SessionsPerSec, committed.SessionsPerSec)
+		ok = false
+	}
+	if committed.P99Ms > 0 && now.P99Ms > committed.P99Ms/tolerance {
+		fmt.Fprintf(w, "FAIL p99 %.1fms vs committed %.1fms (>2x regression)\n",
+			now.P99Ms, committed.P99Ms)
+		ok = false
+	}
+	return ok
+}

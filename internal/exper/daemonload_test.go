@@ -1,0 +1,179 @@
+package exper
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// TestDaemonReportGuard is the regression guard on the committed
+// BENCH_daemon.json, in the style of TestPipelineReportGuard.
+// Unconditional on any machine: the report must carry honest host
+// metadata, a real run (sessions, corpus, wall time), zero errors, the
+// corpus's planted bugs detected, quota enforcement observed firing, and
+// the durable store in the measured path (fsyncs happened, no lag left
+// behind). Throughput numbers are facts about the recording host and are
+// only sanity-checked, never compared across hosts here — cross-run
+// comparison is DaemonSmoke's job, gated on a CPU match.
+func TestDaemonReportGuard(t *testing.T) {
+	f, err := os.Open("../../BENCH_daemon.json")
+	if err != nil {
+		t.Fatalf("committed daemon report missing: %v", err)
+	}
+	defer f.Close()
+	rep, err := ReadDaemon(f)
+	if err != nil {
+		t.Fatalf("BENCH_daemon.json malformed: %v", err)
+	}
+
+	if rep.Host.NumCPU < 1 || rep.Host.GOMAXPROCS < 1 ||
+		rep.Host.GoVersion == "" || rep.Host.GOOS == "" || rep.Host.GOARCH == "" {
+		t.Fatalf("host metadata incomplete: %+v", rep.Host)
+	}
+	if rep.Sessions < 100 || rep.Concurrency < 2 || rep.CorpusSize < len(benchCorpusMin()) {
+		t.Errorf("run too small for a committed envelope: sessions=%d x%d corpus=%d",
+			rep.Sessions, rep.Concurrency, rep.CorpusSize)
+	}
+	if rep.WallSeconds <= 0 || rep.SessionsPerSec <= 0 || rep.OpsPerSec <= 0 {
+		t.Errorf("empty measurement: wall=%.2fs %.1f sessions/s %.0f ops/s",
+			rep.WallSeconds, rep.SessionsPerSec, rep.OpsPerSec)
+	}
+	if rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms {
+		t.Errorf("latency percentiles inconsistent: p50=%.2fms p99=%.2fms", rep.P50Ms, rep.P99Ms)
+	}
+
+	// Correctness gates, valid whatever hardware took the numbers.
+	if rep.ErrorRate != 0 {
+		t.Errorf("committed report records error_rate %.3f, want 0", rep.ErrorRate)
+	}
+	if rep.NotSerializable == 0 {
+		t.Error("not_serializable == 0: the corpus's planted bugs went undetected")
+	}
+	if rep.QuotaRejectRate <= 0 {
+		t.Error("quota_reject_rate == 0: the committed mix must exercise tenant quotas")
+	}
+	if rep.Codes["quota-exceeded"] == 0 {
+		t.Errorf("codes map missing quota-exceeded: %v", rep.Codes)
+	}
+
+	// The tenant mix that produced the quota rejects must be attributed.
+	var quotaRejected int
+	for _, row := range rep.Tenants {
+		if row.Sessions == 0 {
+			t.Errorf("tenant %s: scheduled but ran no sessions", row.Tenant)
+		}
+		quotaRejected += row.QuotaRejected
+	}
+	if len(rep.Tenants) < 2 {
+		t.Errorf("committed mix has %d tenants, want a multi-tenant run", len(rep.Tenants))
+	}
+	if quotaRejected == 0 {
+		t.Error("no tenant row attributes the quota rejects")
+	}
+
+	// The durable store was in the measured path and kept up.
+	st := rep.Store
+	if st == nil {
+		t.Fatal("report has no store block: the committed run must write through the durable store")
+	}
+	if st.Appended == 0 || st.Fsyncs == 0 || st.FsyncUsMean <= 0 {
+		t.Errorf("store not exercised: %+v", st)
+	}
+	if st.Lag != 0 {
+		t.Errorf("store lag %d at end of run, want fully synced", st.Lag)
+	}
+}
+
+// benchCorpusMin is the minimum corpus size a committed run must replay:
+// every Table 1 workload plus the three synthetic families.
+func benchCorpusMin() []int { return make([]int, 15+3) }
+
+// TestDaemonLoadLive runs the whole harness at test scale against an
+// in-process daemon: a tiny corpus, a quota-limited tenant, and the
+// durable store, asserting the same invariants the committed report is
+// generated under.
+func TestDaemonLoadLive(t *testing.T) {
+	tens, err := server.NewTenants([]server.TenantConfig{
+		{Name: "tight", Key: "tight-key", RatePerSec: 1, Burst: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	einfo, ok := core.EngineByName("optimized")
+	if !ok {
+		t.Fatal("optimized engine missing")
+	}
+	s := server.New(server.Config{
+		MaxSessions:   8,
+		DefaultEngine: einfo.Engine,
+		Tenants:       tens,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	rep, err := DaemonLoad(DaemonLoadOptions{
+		Addr:        ln.Addr().String(),
+		Sessions:    40,
+		Concurrency: 4,
+		Corpus:      DaemonCorpus(4),
+		Tenants: []DaemonTenant{
+			{Name: "default", Weight: 3},
+			{Name: "tight", Key: "tight-key", Weight: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 40 || rep.CorpusSize != 18 {
+		t.Errorf("report ran %d sessions over corpus %d, want 40 over 18", rep.Sessions, rep.CorpusSize)
+	}
+	if rep.ErrorRate != 0 {
+		t.Errorf("error rate %.3f: %+v", rep.ErrorRate, rep.Verdicts)
+	}
+	if rep.NotSerializable == 0 {
+		t.Error("planted bugs not detected at test scale")
+	}
+	if rep.QuotaRejectRate == 0 {
+		t.Error("tight tenant (1/s over a burst of concurrent sessions) never hit its quota")
+	}
+	if rep.OpsChecked == 0 || rep.P99Ms < rep.P50Ms {
+		t.Errorf("measurement inconsistent: ops=%d p50=%.2f p99=%.2f", rep.OpsChecked, rep.P50Ms, rep.P99Ms)
+	}
+	var attributed int
+	for _, row := range rep.Tenants {
+		attributed += row.Sessions
+		if row.Tenant == "tight" && row.QuotaRejected == 0 {
+			t.Errorf("quota rejects not attributed to the tight tenant: %+v", row)
+		}
+	}
+	if attributed != 40 {
+		t.Errorf("tenant rows attribute %d sessions, want all 40", attributed)
+	}
+	if rep.Host.NumCPU != runtime.NumCPU() {
+		t.Errorf("host block %+v not taken from this machine", rep.Host)
+	}
+
+	// The smoke gate accepts a run against itself.
+	if !DaemonSmoke(rep, rep, io.Discard) {
+		t.Error("DaemonSmoke(rep, rep) failed")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"html"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -26,6 +27,7 @@ import (
 type sessionStats struct {
 	id      string
 	remote  string
+	tenant  string
 	started time.Time
 
 	engine      atomic.Pointer[string] // nil until the header is parsed
@@ -65,6 +67,7 @@ func (st *sessionStats) noteWarning(s string) {
 // SessionInfo is one active session's row in the /debug/velo listing.
 type SessionInfo struct {
 	Session    string  `json:"session"`
+	Tenant     string  `json:"tenant,omitempty"`
 	Remote     string  `json:"remote"`
 	Engine     string  `json:"engine,omitempty"`
 	Forensics  bool    `json:"forensics,omitempty"`
@@ -82,23 +85,33 @@ type SessionInfo struct {
 
 // DebugState is the full /debug/velo document.
 type DebugState struct {
-	Active      int           `json:"active"`
-	MaxSessions int           `json:"maxSessions"`
-	Draining    bool          `json:"draining"`
-	Sessions    []SessionInfo `json:"sessions"`
+	Active      int  `json:"active"`
+	MaxSessions int  `json:"maxSessions"`
+	Draining    bool `json:"draining"`
+	// TenantFilter echoes the ?tenant= query when the view is scoped to
+	// one tenant.
+	TenantFilter string        `json:"tenantFilter,omitempty"`
+	Sessions     []SessionInfo `json:"sessions"`
 	// Recent is the completed-session history (newest first), the same
 	// records /api/sessions serves.
 	Recent []SessionRecord `json:"recent,omitempty"`
 }
 
 // DebugState snapshots the active sessions.
-func (s *Server) DebugState() DebugState {
-	st := DebugState{MaxSessions: s.cfg.MaxSessions}
+func (s *Server) DebugState() DebugState { return s.debugState("") }
+
+// debugState snapshots the active sessions, optionally scoped to one
+// tenant (the per-tenant dashboard view).
+func (s *Server) debugState(tenantFilter string) DebugState {
+	st := DebugState{MaxSessions: s.cfg.MaxSessions, TenantFilter: tenantFilter}
 	s.mu.Lock()
 	st.Draining = s.draining
 	s.mu.Unlock()
 	s.active.Range(func(_, v any) bool {
 		ss := v.(*sessionStats)
+		if tenantFilter != "" && ss.tenant != tenantFilter {
+			return true
+		}
 		info := SessionInfo{
 			Session:    ss.id,
 			Remote:     ss.remote,
@@ -109,6 +122,9 @@ func (s *Server) DebugState() DebugState {
 			GraphNodes: ss.nodes.Load(),
 			GraphEdges: ss.edges.Load(),
 			Warnings:   ss.warnings.Load(),
+		}
+		if ss.tenant != DefaultTenant {
+			info.Tenant = ss.tenant
 		}
 		if e := ss.engine.Load(); e != nil {
 			info.Engine = *e
@@ -124,7 +140,7 @@ func (s *Server) DebugState() DebugState {
 	})
 	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].Session < st.Sessions[j].Session })
 	st.Active = len(st.Sessions)
-	st.Recent = s.hist.Recent(debugRecent, 0)
+	st.Recent = s.hist.Query(debugRecent, 0, Filter{Tenant: tenantFilter})
 	return st
 }
 
@@ -141,7 +157,7 @@ const debugRecent = 20
 // the daemon's metrics mux as /debug/velo.
 func (s *Server) DebugHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		state := s.DebugState()
+		state := s.debugState(req.URL.Query().Get("tenant"))
 		if req.URL.Query().Get("format") == "json" ||
 			strings.Contains(req.Header.Get("Accept"), "application/json") {
 			w.Header().Set("Content-Type", "application/json")
@@ -161,18 +177,35 @@ func (s *Server) DebugHandler() http.Handler {
 		if state.Draining {
 			fmt.Fprint(w, " (draining)")
 		}
-		fmt.Fprint(w, ` — <a href="/debug/velo?format=json">JSON</a> · <a href="/api/sessions">/api/sessions</a></p>
-<h2>active</h2>
+		if state.TenantFilter != "" {
+			fmt.Fprintf(w, ` — tenant <b>%s</b> (<a href="/debug/velo">all</a>)`,
+				html.EscapeString(state.TenantFilter))
+		}
+		fmt.Fprint(w, ` — <a href="/debug/velo?format=json">JSON</a> · <a href="/api/sessions">/api/sessions</a></p>`+"\n")
+		if names := s.tenants.TenantNames(); len(names) > 1 {
+			fmt.Fprint(w, "<p>tenants:")
+			for _, name := range names {
+				fmt.Fprintf(w, ` <a href="/debug/velo?tenant=%s">%s</a>`,
+					url.QueryEscape(name), html.EscapeString(name))
+			}
+			fmt.Fprint(w, "</p>\n")
+		}
+		fmt.Fprint(w, `<h2>active</h2>
 <table border="1" cellpadding="4">
-<tr><th>session</th><th>remote</th><th>engine</th><th>age</th><th>ops</th><th>filter hit</th><th>nodes</th><th>edges</th><th>warnings</th><th>last warning</th></tr>
+<tr><th>session</th><th>tenant</th><th>remote</th><th>engine</th><th>age</th><th>ops</th><th>filter hit</th><th>nodes</th><th>edges</th><th>warnings</th><th>last warning</th></tr>
 `)
 		for _, info := range state.Sessions {
 			engine := info.Engine
 			if info.Forensics {
 				engine += " +forensics"
 			}
-			fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%.1fs</td><td>%d</td><td>%.1f%%</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td></tr>\n",
-				html.EscapeString(info.Session), html.EscapeString(info.Remote), html.EscapeString(engine),
+			tenant := info.Tenant
+			if tenant == "" {
+				tenant = DefaultTenant
+			}
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%.1fs</td><td>%d</td><td>%.1f%%</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td></tr>\n",
+				html.EscapeString(info.Session), html.EscapeString(tenant),
+				html.EscapeString(info.Remote), html.EscapeString(engine),
 				info.AgeSeconds, info.Ops, 100*info.FilterHitRate,
 				info.GraphNodes, info.GraphEdges, info.Warnings, html.EscapeString(info.LastWarning))
 		}
@@ -181,7 +214,7 @@ func (s *Server) DebugHandler() http.Handler {
 			fmt.Fprint(w, "<p>no completed sessions yet</p>\n")
 		} else {
 			fmt.Fprint(w, `<table border="1" cellpadding="4">
-<tr><th>session</th><th>engine</th><th>status</th><th>verdict</th><th>ops</th><th>duration</th><th>stages</th><th>warnings</th></tr>
+<tr><th>session</th><th>tenant</th><th>engine</th><th>status</th><th>verdict</th><th>ops</th><th>duration</th><th>stages</th><th>warnings</th></tr>
 `)
 			for _, rec := range state.Recent {
 				verdict := "—"
@@ -192,8 +225,9 @@ func (s *Server) DebugHandler() http.Handler {
 						verdict = "NOT serializable"
 					}
 				}
-				fmt.Fprintf(w, `<tr><td><a href="/debug/velo?session=%s">%s</a></td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%dms</td><td>%s</td><td>%d</td></tr>`+"\n",
-					html.EscapeString(rec.Session), html.EscapeString(rec.Session),
+				fmt.Fprintf(w, `<tr><td><a href="/debug/velo?session=%s">%s</a></td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%dms</td><td>%s</td><td>%d</td></tr>`+"\n",
+					url.QueryEscape(rec.Session), html.EscapeString(rec.Session),
+					html.EscapeString(rec.tenantName()),
 					html.EscapeString(rec.Engine), html.EscapeString(rec.Status), verdict,
 					rec.Ops, rec.DurationMs, stageBar(rec.Spans), len(rec.Warnings))
 			}
@@ -276,6 +310,7 @@ func (s *Server) writeSessionPage(w http.ResponseWriter, id string) {
 	fmt.Fprintf(w, `<h1>session %s</h1>
 <p><a href="/debug/velo">back</a> · <a href="/api/sessions/%s">JSON</a></p>
 <table border="1" cellpadding="4">
+<tr><th>tenant</th><td>%s</td></tr>
 <tr><th>engine</th><td>%s</td></tr>
 <tr><th>verdict</th><td>%s</td></tr>
 <tr><th>ops</th><td>%d (%d filtered)</td></tr>
@@ -283,7 +318,8 @@ func (s *Server) writeSessionPage(w http.ResponseWriter, id string) {
 <tr><th>started</th><td>%s</td></tr>
 <tr><th>duration</th><td>%dms</td></tr>
 `,
-		html.EscapeString(rec.Session), html.EscapeString(rec.Session),
+		html.EscapeString(rec.Session), url.QueryEscape(rec.Session),
+		html.EscapeString(rec.tenantName()),
 		html.EscapeString(rec.Engine), verdict,
 		rec.Ops, rec.Filtered, rec.GraphNodes, rec.GraphEdges,
 		rec.Started.Format(time.RFC3339), rec.DurationMs)

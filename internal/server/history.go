@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/span"
+	"repro/internal/store"
 )
 
 // SessionRecord is one completed session retained in the history ring:
@@ -16,7 +17,14 @@ import (
 // /api/sessions and the /debug/velo drill-down can answer "what happened
 // to session s17" after the connection is long gone.
 type SessionRecord struct {
-	Session      string    `json:"session"`
+	// Seq is the history-assigned monotonic sequence number, doubling as
+	// the durable store's record seq and the pagination cursor. Assigned
+	// by Add; 0 only on records that predate the field.
+	Seq     uint64 `json:"seq,omitempty"`
+	Session string `json:"session"`
+	// Tenant names the tenant the session ran under. Empty means the
+	// default tenant (matching the verdict's omitempty behaviour).
+	Tenant       string    `json:"tenant,omitempty"`
 	Remote       string    `json:"remote"`
 	Engine       string    `json:"engine,omitempty"`
 	Forensics    bool      `json:"forensics,omitempty"`
@@ -43,15 +51,32 @@ type SessionRecord struct {
 	Reports []json.RawMessage `json:"reports,omitempty"`
 }
 
+// tenantName normalizes the record's tenant for filtering and display.
+func (r *SessionRecord) tenantName() string {
+	if r.Tenant == "" {
+		return DefaultTenant
+	}
+	return r.Tenant
+}
+
 // History is a bounded ring of completed sessions, newest overwriting
 // oldest. Writers are session goroutines, readers are HTTP handlers; a
 // single mutex suffices — sessions complete at human rates, not op rates.
+//
+// With a store bound (BindStore) the ring becomes a write-through cache:
+// Add persists each record to the append-only log before returning, and
+// startup refills the ring from the log's tail, so /api/sessions and the
+// dashboard survive daemon restarts.
 type History struct {
 	mu    sync.Mutex
 	recs  []SessionRecord // ring storage, len == cap once full
 	size  int             // capacity
 	next  int             // ring write cursor
-	total int64           // sessions ever recorded
+	total int64           // sessions ever recorded (store seq high-water)
+	st    *store.Store    // optional durable backing, nil = memory only
+	// storeNote observes each write-through attempt (metrics hook); nil
+	// outside a server.
+	storeNote func(err error, stats store.Stats)
 }
 
 // NewHistory returns a ring retaining the last size sessions (a
@@ -67,30 +92,147 @@ func NewHistory(size int) *History {
 // is unset.
 const DefaultHistorySize = 128
 
-// Add records one completed session.
+// BindStore attaches a durable store: the ring refills from the log's
+// newest records and subsequent Adds write through. Call before serving
+// traffic; the store must outlive the History.
+func (h *History) BindStore(st *store.Store) error {
+	tail, err := st.Tail(h.size)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.st = st
+	h.recs = h.recs[:0]
+	h.next = 0
+	for _, sr := range tail {
+		var rec SessionRecord
+		if json.Unmarshal(sr.Payload, &rec) != nil {
+			// A record from a future (or ancient) schema: skip rather than
+			// refuse to start. CRC framing already rejected torn data.
+			continue
+		}
+		rec.Seq = sr.Seq
+		if len(h.recs) < h.size {
+			h.recs = append(h.recs, rec)
+		} else {
+			h.recs[h.next] = rec
+		}
+		h.next = (h.next + 1) % h.size
+	}
+	// Seq continues above everything the log ever held, including
+	// records retention has dropped.
+	h.total = int64(st.LastSeq())
+	return nil
+}
+
+// MaxSessionNum returns the largest numeric session id ("s17" → 17)
+// among retained records, so a restarted server can seed its id counter
+// above every id a client may still hold.
+func (h *History) MaxSessionNum() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var max uint64
+	for i := range h.recs {
+		if n := store.ParseSessionNum(h.recs[i].Session); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Add records one completed session, assigning its Seq and writing
+// through to the durable store when one is bound. A store append failure
+// keeps the record in memory (the ring is still updated) and is reported
+// through the storeNote hook — verdict delivery must not depend on disk.
 func (h *History) Add(rec SessionRecord) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.total++
+	rec.Seq = uint64(h.total)
+	if h.st != nil {
+		var err error
+		payload, merr := json.Marshal(rec)
+		if merr != nil {
+			err = merr
+		} else {
+			err = h.st.Append(store.Record{
+				Seq:     rec.Seq,
+				Time:    rec.Started.UnixNano(),
+				Tenant:  rec.tenantName(),
+				Session: rec.Session,
+				Payload: payload,
+			})
+		}
+		if h.storeNote != nil {
+			h.storeNote(err, h.st.Stats())
+		}
+	}
 	if len(h.recs) < h.size {
 		h.recs = append(h.recs, rec)
 	} else {
 		h.recs[h.next] = rec
 	}
 	h.next = (h.next + 1) % h.size
-	h.total++
 }
 
-// Recent returns up to limit records, newest first, skipping offset.
-func (h *History) Recent(limit, offset int) []SessionRecord {
+// Filter narrows a history query. The zero value matches everything.
+type Filter struct {
+	// Tenant restricts to one tenant ("default" matches records without
+	// an explicit tenant). Empty matches all.
+	Tenant string
+	// Since/Until bound Started (inclusive since, exclusive until). Zero
+	// values are unbounded.
+	Since, Until time.Time
+	// Before is an exclusive seq cursor: only records with Seq < Before
+	// match. 0 means "from the newest". The response envelope's next
+	// field hands back the cursor for the following page.
+	Before uint64
+}
+
+func (f Filter) match(rec *SessionRecord) bool {
+	if f.Tenant != "" && rec.tenantName() != f.Tenant {
+		return false
+	}
+	if f.Before != 0 && rec.Seq >= f.Before {
+		return false
+	}
+	if !f.Since.IsZero() && rec.Started.Before(f.Since) {
+		return false
+	}
+	if !f.Until.IsZero() && !rec.Started.Before(f.Until) {
+		return false
+	}
+	return true
+}
+
+// Query returns up to limit matching records, newest first, skipping the
+// first offset matches. Prefer the Filter.Before cursor over offset when
+// walking pages: offsets shift as new sessions complete, cursors do not.
+func (h *History) Query(limit, offset int, f Filter) []SessionRecord {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	n := len(h.recs)
 	out := make([]SessionRecord, 0, min(limit, n))
-	for i := 1 + offset; i <= n && len(out) < limit; i++ {
+	skipped := 0
+	for i := 1; i <= n && len(out) < limit; i++ {
 		// next-1 is the newest; walk backwards through the ring.
-		out = append(out, h.recs[((h.next-i)%n+n)%n])
+		rec := &h.recs[((h.next-i)%n+n)%n]
+		if !f.match(rec) {
+			continue
+		}
+		if skipped < offset {
+			skipped++
+			continue
+		}
+		out = append(out, *rec)
 	}
 	return out
+}
+
+// Recent returns up to limit records, newest first, skipping offset.
+func (h *History) Recent(limit, offset int) []SessionRecord {
+	return h.Query(limit, offset, Filter{})
 }
 
 // Get returns the retained record for a session id.
@@ -124,9 +266,12 @@ func (h *History) Total() int64 {
 type sessionList struct {
 	// Total counts sessions ever completed; Retained how many the ring
 	// still holds; Count how many this page carries.
-	Total    int64           `json:"total"`
-	Retained int             `json:"retained"`
-	Count    int             `json:"count"`
+	Total    int64 `json:"total"`
+	Retained int   `json:"retained"`
+	Count    int   `json:"count"`
+	// Next is the seq cursor for the following page (pass back as
+	// ?before=). Omitted when this page exhausts the retained history.
+	Next     uint64          `json:"next,omitempty"`
 	Sessions []SessionRecord `json:"sessions"`
 }
 
@@ -140,7 +285,10 @@ const (
 //
 //	/api/sessions            the retained sessions, newest first
 //	  ?limit=N               page size (default 50, max 1000)
-//	  ?offset=N              skip the newest N
+//	  ?offset=N              skip the newest N (shifts under load; prefer before)
+//	  ?before=SEQ            exclusive seq cursor from the envelope's next field
+//	  ?tenant=NAME           only that tenant's sessions
+//	  ?since=T&until=T       Started range, RFC3339 or unix seconds
 //	/api/sessions/{id}       one session's full record, 404 if evicted
 //
 // Mount it at "/api/sessions/" (the pattern the daemon uses); the
@@ -169,15 +317,35 @@ func (h *History) APIHandler() http.Handler {
 				httpError(w, http.StatusBadRequest, "offset must be >= 0")
 				return
 			}
-			recs := h.Recent(limit, offset)
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			enc.Encode(sessionList{
+			before, ok := queryInt(w, req, "before", 0)
+			if !ok {
+				return
+			}
+			if before < 0 {
+				httpError(w, http.StatusBadRequest, "before must be >= 0")
+				return
+			}
+			f := Filter{Tenant: req.URL.Query().Get("tenant"), Before: uint64(before)}
+			if f.Since, ok = queryTime(w, req, "since"); !ok {
+				return
+			}
+			if f.Until, ok = queryTime(w, req, "until"); !ok {
+				return
+			}
+			recs := h.Query(limit, offset, f)
+			list := sessionList{
 				Total:    h.Total(),
 				Retained: h.Len(),
 				Count:    len(recs),
 				Sessions: recs,
-			})
+			}
+			// A full page may have more behind it: hand back the cursor.
+			if len(recs) == limit {
+				list.Next = recs[len(recs)-1].Seq
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(list)
 			return
 		}
 		if strings.Contains(rest, "/") {
@@ -208,6 +376,23 @@ func queryInt(w http.ResponseWriter, req *http.Request, key string, def int) (in
 		return 0, false
 	}
 	return n, true
+}
+
+// queryTime parses an optional time query parameter: RFC3339 or unix
+// seconds. Zero time (and ok=true) when absent.
+func queryTime(w http.ResponseWriter, req *http.Request, key string) (time.Time, bool) {
+	raw := req.URL.Query().Get(key)
+	if raw == "" {
+		return time.Time{}, true
+	}
+	if secs, err := strconv.ParseInt(raw, 10, 64); err == nil {
+		return time.Unix(secs, 0), true
+	}
+	if t, err := time.Parse(time.RFC3339, raw); err == nil {
+		return t, true
+	}
+	httpError(w, http.StatusBadRequest, key+" must be RFC3339 or unix seconds")
+	return time.Time{}, false
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/span"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -138,6 +139,296 @@ func TestSessionsAPI(t *testing.T) {
 	}
 	if code, _ := get("/api/sessions/s9/extra"); code != 404 {
 		t.Errorf("nested path: status %d, want 404", code)
+	}
+}
+
+// TestHistoryCursorPagination pins why the envelope hands back a seq
+// cursor at all: an offset walk shifts when sessions complete between
+// pages (showing duplicates), a ?before= walk does not.
+func TestHistoryCursorPagination(t *testing.T) {
+	h := NewHistory(32)
+	for i := 0; i < 20; i++ {
+		h.Add(SessionRecord{Session: fmt.Sprintf("s%d", i)})
+	}
+	srv := httptest.NewServer(h.APIHandler())
+	defer srv.Close()
+
+	list := func(path string) sessionList {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var out sessionList
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// Walk the whole history by cursor, adding a new session after every
+	// page to shift what an offset walk would see.
+	seen := map[string]bool{}
+	var pages int
+	for cursor, more := uint64(0), true; more; pages++ {
+		path := "/api/sessions?limit=6"
+		if cursor != 0 {
+			path += fmt.Sprintf("&before=%d", cursor)
+		}
+		page := list(path)
+		for _, rec := range page.Sessions {
+			if seen[rec.Session] {
+				t.Fatalf("cursor walk served %s twice", rec.Session)
+			}
+			seen[rec.Session] = true
+		}
+		h.Add(SessionRecord{Session: fmt.Sprintf("late%d", pages)})
+		if page.Next == 0 {
+			more = false
+		} else {
+			cursor = page.Next
+		}
+		if pages > 20 {
+			t.Fatal("cursor walk did not terminate")
+		}
+	}
+	// Every session present before the walk started was served exactly
+	// once, despite the adds between pages.
+	for i := 0; i < 20; i++ {
+		if !seen[fmt.Sprintf("s%d", i)] {
+			t.Errorf("cursor walk missed s%d", i)
+		}
+	}
+
+	// The final page of an exact-multiple walk omits the cursor: ask for
+	// everything in one oversized page.
+	if page := list("/api/sessions?limit=1000"); page.Next != 0 {
+		t.Errorf("exhaustive page still carries next=%d", page.Next)
+	}
+	// Malformed and negative cursors are 400s.
+	for _, q := range []string{"?before=-1", "?before=abc"} {
+		resp, err := http.Get(srv.URL + "/api/sessions" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("GET %s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestHistoryFilters covers the tenant and time-range narrowing on both
+// the Query method and the HTTP surface.
+func TestHistoryFilters(t *testing.T) {
+	h := NewHistory(32)
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		rec := SessionRecord{
+			Session: fmt.Sprintf("s%d", i),
+			Started: base.Add(time.Duration(i) * time.Minute),
+		}
+		if i%3 == 0 {
+			rec.Tenant = "acme"
+		}
+		h.Add(rec)
+	}
+
+	if got := h.Query(100, 0, Filter{Tenant: "acme"}); len(got) != 4 {
+		t.Errorf("tenant=acme matched %d records, want 4", len(got))
+	}
+	// Records without an explicit tenant belong to "default".
+	if got := h.Query(100, 0, Filter{Tenant: DefaultTenant}); len(got) != 6 {
+		t.Errorf("tenant=default matched %d records, want 6", len(got))
+	}
+	// since inclusive, until exclusive: minutes [2,5) → s2,s3,s4.
+	got := h.Query(100, 0, Filter{Since: base.Add(2 * time.Minute), Until: base.Add(5 * time.Minute)})
+	if len(got) != 3 || got[0].Session != "s4" || got[2].Session != "s2" {
+		t.Errorf("time-range query = %+v", got)
+	}
+
+	srv := httptest.NewServer(h.APIHandler())
+	defer srv.Close()
+	check := func(query string, wantCount int) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/api/sessions" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var page sessionList
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		if page.Count != wantCount {
+			t.Errorf("GET %s: count %d, want %d", query, page.Count, wantCount)
+		}
+	}
+	check("?tenant=acme", 4)
+	check("?tenant=nobody", 0)
+	check(fmt.Sprintf("?since=%d&until=%d",
+		base.Add(2*time.Minute).Unix(), base.Add(5*time.Minute).Unix()), 3)
+	check("?since="+base.Add(8*time.Minute).Format(time.RFC3339), 2)
+	check("?tenant=acme&since="+base.Add(4*time.Minute).Format(time.RFC3339), 2)
+	// Bad time syntax is a 400.
+	resp, err := http.Get(srv.URL + "/api/sessions?since=yesterday")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("since=yesterday: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHistoryBindStore is the durability round trip at the History
+// layer: records written through one History come back in a second one
+// bound to the same store, with the total and session-id high-water
+// seeded so a restarted daemon neither repeats seqs nor reissues ids.
+func TestHistoryBindStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHistory(4)
+	if err := h.BindStore(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 7; i++ {
+		h.Add(SessionRecord{
+			Session: fmt.Sprintf("s%d", i),
+			Tenant:  "acme",
+			Started: time.Date(2026, 8, 1, 0, 0, i, 0, time.UTC),
+			Ops:     int64(i),
+		})
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	h2 := NewHistory(4)
+	if err := h2.BindStore(st2); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Len() != 4 || h2.Total() != 7 {
+		t.Fatalf("after rebind: len=%d total=%d, want 4 retained of 7", h2.Len(), h2.Total())
+	}
+	recent := h2.Recent(10, 0)
+	for i, want := range []string{"s7", "s6", "s5", "s4"} {
+		if recent[i].Session != want || recent[i].Tenant != "acme" {
+			t.Errorf("recovered[%d] = %+v, want %s/acme", i, recent[i], want)
+		}
+	}
+	if got := h2.MaxSessionNum(); got != 7 {
+		t.Errorf("MaxSessionNum = %d, want 7", got)
+	}
+	// New sessions continue the seq line above everything recovered.
+	h2.Add(SessionRecord{Session: "s8"})
+	if got := h2.Recent(1, 0)[0].Seq; got != 8 {
+		t.Errorf("post-recovery Add got seq %d, want 8", got)
+	}
+}
+
+// TestHistoryPaginationRace hammers a small ring from concurrent Adds
+// while readers walk ?before= cursor pages and drill into ids that may
+// be evicted mid-walk (404s are expected, inconsistencies are not). The
+// assertions that matter run under -race.
+func TestHistoryPaginationRace(t *testing.T) {
+	h := NewHistory(8)
+	srv := httptest.NewServer(h.APIHandler())
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				cursor := uint64(0)
+				for page := 0; page < 4; page++ {
+					path := "/api/sessions?limit=3"
+					if cursor != 0 {
+						path += fmt.Sprintf("&before=%d", cursor)
+					}
+					resp, err := http.Get(srv.URL + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var list sessionList
+					err = json.NewDecoder(resp.Body).Decode(&list)
+					resp.Body.Close()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					// Within a page the seqs are strictly descending and all
+					// below the cursor — wraparound must never interleave.
+					last := cursor
+					for _, rec := range list.Sessions {
+						if last != 0 && rec.Seq >= last {
+							t.Errorf("cursor %d page out of order: seq %d after %d", cursor, rec.Seq, last)
+							return
+						}
+						last = rec.Seq
+					}
+					// Drill into one id from the page: 200 or an eviction 404,
+					// nothing else.
+					if len(list.Sessions) > 0 {
+						id := list.Sessions[len(list.Sessions)-1].Session
+						resp, err := http.Get(srv.URL + "/api/sessions/" + id)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != 200 && resp.StatusCode != 404 {
+							t.Errorf("drill-down %s: status %d", id, resp.StatusCode)
+							return
+						}
+					}
+					if list.Next == 0 {
+						break
+					}
+					cursor = list.Next
+				}
+			}
+		}()
+	}
+
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 50; i++ {
+				h.Add(SessionRecord{Session: fmt.Sprintf("w%d-%d", w, i)})
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(done)
+	readers.Wait()
+
+	if h.Total() != 200 || h.Len() != 8 {
+		t.Errorf("total=%d len=%d, want 200/8", h.Total(), h.Len())
 	}
 }
 

@@ -16,17 +16,23 @@ import (
 //	velodromed_sessions_accepted_total   every accepted connection
 //	velodromed_sessions_shed_total       connections refused at the cap
 //	velodromed_sessions_rejected_total   connections refused before admission
-//	                                     (bad header, unknown engine)
+//	                                     (bad header, unknown engine, unknown key)
+//	velodromed_sessions_quota_rejected_total  sessions refused by a tenant quota
 //	velodromed_sessions_active           currently running sessions
 //	velodromed_session_panics_total      sessions ended by a recovered panic
 //	velodromed_ops_total                 operations fed to engines
 //	velodromed_verdicts_total{status=}   verdicts by status
 //	velodromed_serializable_total        ok-verdicts that were serializable
 //	velodromed_session_duration_ns       accept-to-verdict latency histogram
+//	velodromed_store_lag                 records appended but not yet fsynced
+//	velodromed_store_appended_total      records written to the durable store
+//	velodromed_store_errors_total        failed store appends (history still
+//	                                     holds the record in memory)
 type serverMetrics struct {
 	accepted     *obs.Counter
 	shed         *obs.Counter
 	rejected     *obs.Counter
+	quota        *obs.Counter
 	active       *obs.Gauge
 	panics       *obs.Counter
 	ops          *obs.Counter
@@ -35,21 +41,26 @@ type serverMetrics struct {
 	verdictErr   *obs.Counter
 	serializable *obs.Counter
 	duration     *obs.Histogram
+	storeLag     *obs.Gauge
+	storeWrites  *obs.Counter
+	storeErrors  *obs.Counter
 }
 
 func newServerMetrics(r *obs.Registry) *serverMetrics {
 	if r == nil {
 		return &serverMetrics{
-			accepted: &obs.Counter{}, shed: &obs.Counter{}, rejected: &obs.Counter{}, active: &obs.Gauge{},
-			panics: &obs.Counter{}, ops: &obs.Counter{},
+			accepted: &obs.Counter{}, shed: &obs.Counter{}, rejected: &obs.Counter{}, quota: &obs.Counter{},
+			active: &obs.Gauge{}, panics: &obs.Counter{}, ops: &obs.Counter{},
 			verdictOK: &obs.Counter{}, verdictMal: &obs.Counter{}, verdictErr: &obs.Counter{},
 			serializable: &obs.Counter{}, duration: &obs.Histogram{},
+			storeLag: &obs.Gauge{}, storeWrites: &obs.Counter{}, storeErrors: &obs.Counter{},
 		}
 	}
 	return &serverMetrics{
 		accepted:     r.Counter("velodromed_sessions_accepted_total"),
 		shed:         r.Counter("velodromed_sessions_shed_total"),
 		rejected:     r.Counter("velodromed_sessions_rejected_total"),
+		quota:        r.Counter("velodromed_sessions_quota_rejected_total"),
 		active:       r.Gauge("velodromed_sessions_active"),
 		panics:       r.Counter("velodromed_session_panics_total"),
 		ops:          r.Counter("velodromed_ops_total"),
@@ -58,6 +69,9 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 		verdictErr:   r.Counter(`velodromed_verdicts_total{status="error"}`),
 		serializable: r.Counter("velodromed_serializable_total"),
 		duration:     r.Histogram("velodromed_session_duration_ns"),
+		storeLag:     r.Gauge("velodromed_store_lag"),
+		storeWrites:  r.Counter("velodromed_store_appended_total"),
+		storeErrors:  r.Counter("velodromed_store_errors_total"),
 	}
 }
 

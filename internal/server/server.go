@@ -34,6 +34,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/span"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -88,6 +89,10 @@ type Config struct {
 	// HistorySize caps the completed-session history ring behind
 	// /api/sessions and the /debug/velo dashboard. Default 128.
 	HistorySize int
+	// Tenants is the tenant table (NewTenants over keyfile entries).
+	// Nil means a single unlimited default tenant, which keeps keyless
+	// legacy clients working exactly as before tenants existed.
+	Tenants *Tenants
 	// Parallel, when >1, checks each session through the staged
 	// decode → sharded-filter → engine pipeline (internal/pipeline)
 	// with that many shard workers. Verdicts are bit-identical to the
@@ -127,9 +132,10 @@ func (c *Config) applyDefaults() {
 // Server accepts and checks trace sessions. Construct with New, feed it
 // listeners via Serve, stop it with Shutdown.
 type Server struct {
-	cfg  Config
-	met  *serverMetrics
-	hist *History
+	cfg     Config
+	met     *serverMetrics
+	hist    *History
+	tenants *Tenants
 
 	slots chan struct{} // session-cap semaphore
 
@@ -147,10 +153,16 @@ type Server struct {
 // New returns a Server for cfg.
 func New(cfg Config) *Server {
 	cfg.applyDefaults()
+	tenants := cfg.Tenants
+	if tenants == nil {
+		tenants, _ = NewTenants(nil) // cannot fail: no entries to collide
+	}
+	tenants.bind(cfg.Metrics)
 	return &Server{
 		cfg:       cfg,
 		met:       newServerMetrics(cfg.Metrics),
 		hist:      NewHistory(cfg.HistorySize),
+		tenants:   tenants,
 		slots:     make(chan struct{}, cfg.MaxSessions),
 		listeners: map[net.Listener]bool{},
 		conns:     map[net.Conn]bool{},
@@ -160,6 +172,59 @@ func New(cfg Config) *Server {
 // History exposes the completed-session ring (mount History().APIHandler
 // at /api/sessions/ next to DebugHandler).
 func (s *Server) History() *History { return s.hist }
+
+// BindStore attaches a durable session store: the history ring refills
+// from the log so /api/sessions survives the restart, subsequent
+// sessions write through, and the session-id counter seeds above every
+// id a pre-restart client might still be holding. Call before Serve.
+func (s *Server) BindStore(st *store.Store) error {
+	if err := s.hist.BindStore(st); err != nil {
+		return err
+	}
+	s.hist.storeNote = func(err error, stats store.Stats) {
+		if err != nil {
+			s.met.storeErrors.Inc()
+			s.cfg.Logger.Warn("store append failed", "error", err)
+		} else {
+			s.met.storeWrites.Inc()
+		}
+		s.met.storeLag.Set(int64(stats.Lag))
+	}
+	seed := st.LastSeq()
+	if m := s.hist.MaxSessionNum(); m > seed {
+		seed = m
+	}
+	s.seq.Store(int64(seed))
+	return nil
+}
+
+// Health is a point-in-time operational snapshot, cheap enough for a
+// heartbeat line: live counts plus the shed/quota/store totals an
+// operator wants before reaching for /metrics.
+type Health struct {
+	Active        int64 // sessions running now
+	Accepted      int64 // connections accepted since start
+	Ops           int64 // operations checked since start
+	Shed          int64 // sessions refused at the daemon-wide cap
+	QuotaRejected int64 // sessions refused by a tenant quota
+	Rejected      int64 // connections refused before admission
+	StoreLag      int64 // records appended but not yet fsynced
+	StoreErrors   int64 // failed store appends
+}
+
+// Health returns the current operational snapshot.
+func (s *Server) Health() Health {
+	return Health{
+		Active:        s.met.active.Value(),
+		Accepted:      s.met.accepted.Value(),
+		Ops:           s.met.ops.Value(),
+		Shed:          s.met.shed.Value(),
+		QuotaRejected: s.met.quota.Value(),
+		Rejected:      s.met.rejected.Value(),
+		StoreLag:      s.met.storeLag.Value(),
+		StoreErrors:   s.met.storeErrors.Value(),
+	}
+}
 
 // ErrServerClosed is returned by Serve after Shutdown begins.
 var ErrServerClosed = errors.New("server: closed")
@@ -292,6 +357,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// tenantLabel renders a tenant for verdicts and records: empty for the
+// default tenant, so legacy keyless sessions see byte-identical output.
+func tenantLabel(t *tenant) string {
+	if t == nil || t.cfg.Name == DefaultTenant {
+		return ""
+	}
+	return t.cfg.Name
+}
+
 // deadlineReader arms a fresh read deadline before every Read, so the
 // session dies IdleTimeout after the client last produced a byte (and
 // no later than the absolute session deadline), wherever in the
@@ -351,6 +425,15 @@ func (s *Server) handle(conn net.Conn) {
 			err = fmt.Errorf("unknown engine %q (want %s)", hdr.Engine, core.EngineNames())
 		}
 	}
+	// Tenant resolution joins the pre-admission gate: an unknown key is
+	// rejected like a bad header, before any session state exists.
+	var ten *tenant
+	if err == nil {
+		if ten = s.tenants.lookup(hdr.Key); ten == nil {
+			code = trace.CodeUnknownKey
+			err = errors.New("unknown API key (not in the daemon's tenant keyfile)")
+		}
+	}
 	if err != nil {
 		s.met.rejected.Inc()
 		v := &trace.SessionVerdict{Status: trace.StatusMalformed, Code: code, Error: err.Error()}
@@ -362,6 +445,30 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
+	// Tenant quotas come before the daemon-wide slot claim, so an
+	// over-quota tenant is charged against its own budget and never
+	// competes for shared capacity. quota-exceeded is deliberately a
+	// different code than busy: busy means the daemon is full,
+	// quota-exceeded means this tenant is over its own limit while the
+	// daemon may be idle.
+	switch ten.admit(time.Now()) {
+	case admitOK:
+		defer ten.release()
+	default:
+		s.met.quota.Inc()
+		ten.quota.Inc()
+		s.cfg.Logger.Warn("session quota-rejected",
+			"remote", conn.RemoteAddr().String(), "tenant", ten.Name())
+		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		trace.WriteVerdict(conn, &trace.SessionVerdict{
+			Status: trace.StatusBusy,
+			Code:   trace.CodeQuotaExceeded,
+			Tenant: tenantLabel(ten),
+			Error:  fmt.Sprintf("tenant %s over its session quota", ten.Name()),
+		})
+		return
+	}
+
 	// Load shedding: claim a slot without blocking. A full daemon
 	// answers immediately and cheaply — the client learns "busy"
 	// instead of hanging in an invisible queue.
@@ -369,12 +476,14 @@ func (s *Server) handle(conn net.Conn) {
 	case s.slots <- struct{}{}:
 	default:
 		s.met.shed.Inc()
+		ten.shed.Inc()
 		s.cfg.Logger.Warn("session shed",
 			"remote", conn.RemoteAddr().String(), "cap", s.cfg.MaxSessions)
 		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 		trace.WriteVerdict(conn, &trace.SessionVerdict{
 			Status: trace.StatusBusy,
 			Code:   trace.CodeBusy,
+			Tenant: tenantLabel(ten),
 			Error:  fmt.Sprintf("session limit reached (%d active)", s.cfg.MaxSessions),
 		})
 		return
@@ -383,10 +492,12 @@ func (s *Server) handle(conn net.Conn) {
 
 	s.met.active.Add(1)
 	defer s.met.active.Add(-1)
+	ten.sessions.Inc()
 
 	st := &sessionStats{
 		id:      fmt.Sprintf("s%d", s.seq.Add(1)),
 		remote:  conn.RemoteAddr().String(),
+		tenant:  ten.Name(),
 		started: start,
 	}
 	s.active.Store(st.id, st)
@@ -397,7 +508,11 @@ func (s *Server) handle(conn net.Conn) {
 
 	elapsed := time.Since(start)
 	v.Session = st.id
+	v.Tenant = tenantLabel(ten)
 	v.DurationMs = elapsed.Milliseconds()
+	ten.ops.Add(v.Ops)
+	ten.warnings.Add(int64(len(v.Warnings)))
+	ten.duration.Observe(int64(elapsed))
 	// The engine and decoder have quiesced (run returned), so the span
 	// rollup is safe to read; it rides in the verdict's metrics block as
 	// span_<stage>_ns so clients see where their session's time went.
@@ -423,6 +538,7 @@ func (s *Server) handle(conn net.Conn) {
 
 	rec := SessionRecord{
 		Session:      st.id,
+		Tenant:       tenantLabel(ten),
 		Remote:       st.remote,
 		Forensics:    st.forensics.Load(),
 		Status:       v.Status,

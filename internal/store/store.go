@@ -1,0 +1,605 @@
+// Package store is the daemon's durable verdict log: an append-only
+// segmented record store that survives restarts and crashes, bounded by
+// size/age retention.
+//
+// velodromed's session history used to live in a memory ring that
+// evaporated with the process; a continuously-running checking service
+// needs its verdicts to outlive any one daemon. The store persists one
+// opaque JSON payload per completed session inside a checksummed frame,
+// rotates segments at a size bound, and recovers on startup by scanning
+// every segment and truncating a torn tail — the same posture the trace
+// decoder takes toward truncated streams: a crash may cost the in-flight
+// record, never a corrupted one.
+//
+// On-disk layout (one directory per store):
+//
+//	000000000000000001.vlog     segments, named by their first record's seq
+//	000000000000004821.vlog
+//
+// Each segment opens with the "VELOSTORE/1\n" magic line and then holds
+// frames of the form
+//
+//	u32le payload length | u32le IEEE CRC-32 of payload | payload
+//
+// where the payload is the JSON encoding of a Record. A frame whose
+// length field, CRC or payload bytes are cut — the only states a crash
+// mid-write can leave — fails validation and recovery truncates the
+// segment at the last intact frame. Writers are single-threaded through
+// the store's mutex; sessions complete at human rates, not op rates.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Magic is the first line of every segment file.
+const Magic = "VELOSTORE/1\n"
+
+// frameHeaderSize is the fixed prefix of one frame: u32 length, u32 CRC.
+const frameHeaderSize = 8
+
+// maxPayload bounds one record's encoded size; a length field beyond it
+// is treated as tail corruption, not an allocation request.
+const maxPayload = 16 << 20
+
+// Record is one durable entry: the envelope the store indexes on plus
+// the opaque payload the caller round-trips (velodromed stores a
+// server.SessionRecord; the store never looks inside).
+type Record struct {
+	// Seq is the caller-assigned, strictly increasing record number; it
+	// doubles as the pagination cursor of /api/sessions.
+	Seq uint64 `json:"seq"`
+	// Time is the record's timestamp in Unix nanoseconds (velodromed
+	// uses the session start), driving age-based retention and
+	// time-range queries.
+	Time int64 `json:"t"`
+	// Tenant and Session identify the record without decoding Payload.
+	Tenant  string `json:"tenant,omitempty"`
+	Session string `json:"session,omitempty"`
+	// Payload is the caller's JSON document, stored verbatim.
+	Payload json.RawMessage `json:"rec,omitempty"`
+}
+
+// Options tune a Store. The zero value is usable: every field has a
+// production default applied by Open.
+type Options struct {
+	// SegmentBytes rotates the live segment once it exceeds this size.
+	// Default 4 MiB.
+	SegmentBytes int64
+	// MaxBytes bounds the store's total size: once rotation would exceed
+	// it, whole segments are dropped oldest-first (the live segment is
+	// never dropped). Default 64 MiB.
+	MaxBytes int64
+	// MaxAge drops sealed segments whose newest record is older than
+	// this. 0 keeps records until MaxBytes evicts them.
+	MaxAge time.Duration
+	// SyncEvery fsyncs the live segment after this many appends; 1 (the
+	// default) syncs every record, so a SIGKILL can cost at most the
+	// record being written. Larger values trade durability lag (visible
+	// as Stats.Lag) for append throughput.
+	SyncEvery int
+	// Logger receives recovery notes (truncated tails, dropped
+	// segments). Defaults to silent.
+	Logger *slog.Logger
+}
+
+func (o *Options) applyDefaults() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 64 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 1
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+}
+
+// segment is one sealed or live file's index entry.
+type segment struct {
+	path     string
+	firstSeq uint64
+	lastSeq  uint64
+	bytes    int64
+	// newest is the largest record Time in the segment, for MaxAge.
+	newest int64
+	// records counts intact frames, so Tail can size its window.
+	records int
+}
+
+// Stats is a point-in-time snapshot of the store's accounting.
+type Stats struct {
+	// LastSeq is the highest record seq appended (or recovered).
+	LastSeq uint64
+	// SyncedSeq is the highest seq known to be fsynced; Lag is the
+	// records between them — what a power cut right now could lose.
+	SyncedSeq uint64
+	Lag       uint64
+	// Appended counts records appended by this process; Recovered the
+	// intact records found on disk at Open.
+	Appended  int64
+	Recovered int64
+	// TailTruncated reports that Open found and cut a torn tail.
+	TailTruncated bool
+	// Fsyncs and FsyncNs price durability: calls to fsync and the total
+	// wall-clock time spent inside them.
+	Fsyncs  int64
+	FsyncNs int64
+	// Segments and Bytes describe the on-disk footprint.
+	Segments int
+	Bytes    int64
+	// DroppedSegments counts whole segments removed by retention.
+	DroppedSegments int64
+}
+
+// Store is an open verdict log. All methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	segs      []segment // oldest first; last entry is the live segment
+	live      *os.File
+	lastSeq   uint64
+	syncedSeq uint64
+	unsynced  int // appends since the last fsync
+	st        Stats
+}
+
+// Open opens (or creates) the store in dir, recovering every intact
+// record and truncating any torn tail left by a crash.
+func Open(dir string, opts Options) (*Store, error) {
+	opts.applyDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts}
+
+	names, err := segmentNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		seg, truncated, err := recoverSegment(path)
+		if err != nil {
+			return nil, err
+		}
+		if truncated {
+			s.st.TailTruncated = true
+			opts.Logger.Warn("store: truncated torn tail", "segment", name, "kept_bytes", seg.bytes)
+			if i != len(names)-1 {
+				// A torn frame inside a sealed segment means a crash hit
+				// mid-rotation; everything after the tear in *later*
+				// segments is still intact and kept — only this file's
+				// tail is cut.
+				opts.Logger.Warn("store: tail tear in a sealed segment", "segment", name)
+			}
+		}
+		if seg.records == 0 && seg.bytes <= int64(len(Magic)) && i != len(names)-1 {
+			// An empty sealed segment (crash between create and first
+			// append) carries nothing; drop it.
+			os.Remove(path)
+			continue
+		}
+		s.segs = append(s.segs, *seg)
+		if seg.lastSeq > s.lastSeq {
+			s.lastSeq = seg.lastSeq
+		}
+		s.st.Recovered += int64(seg.records)
+	}
+	// Everything recovered is on disk by definition.
+	s.syncedSeq = s.lastSeq
+
+	if len(s.segs) == 0 {
+		if err := s.newSegmentLocked(s.lastSeq + 1); err != nil {
+			return nil, err
+		}
+	} else {
+		last := &s.segs[len(s.segs)-1]
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: reopening live segment: %w", err)
+		}
+		s.live = f
+	}
+	return s, nil
+}
+
+// segmentNames lists dir's segment files in seq order.
+func segmentNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".vlog") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// segmentPath names a segment by the first seq it will hold, zero-padded
+// so lexical order is seq order.
+func segmentPath(dir string, firstSeq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%018d.vlog", firstSeq))
+}
+
+// recoverSegment scans one segment, validating every frame, and
+// truncates the file at the last intact one. It returns the segment's
+// index entry and whether a tail was cut.
+func recoverSegment(path string) (*segment, bool, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	seg := &segment{path: path}
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != Magic {
+		// Not even a whole magic line: a crash during segment creation.
+		// Truncate to empty and rewrite the magic so the file is usable.
+		if err := f.Truncate(0); err != nil {
+			return nil, false, fmt.Errorf("store: resetting torn segment: %w", err)
+		}
+		if _, err := f.WriteAt([]byte(Magic), 0); err != nil {
+			return nil, false, fmt.Errorf("store: rewriting segment magic: %w", err)
+		}
+		seg.bytes = int64(len(Magic))
+		return seg, true, nil
+	}
+
+	good := int64(len(Magic))
+	br := newByteCounter(f)
+	truncated := false
+	for {
+		rec, err := readFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			truncated = true
+			break
+		}
+		seg.records++
+		seg.lastSeq = rec.Seq
+		if seg.firstSeq == 0 {
+			seg.firstSeq = rec.Seq
+		}
+		if rec.Time > seg.newest {
+			seg.newest = rec.Time
+		}
+		good = int64(len(Magic)) + br.n
+	}
+	if truncated {
+		if err := f.Truncate(good); err != nil {
+			return nil, false, fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+	}
+	seg.bytes = good
+	return seg, truncated, nil
+}
+
+// byteCounter tracks how many bytes of intact frames have been consumed.
+type byteCounter struct {
+	r io.Reader
+	n int64
+}
+
+func newByteCounter(r io.Reader) *byteCounter { return &byteCounter{r: r} }
+
+func (b *byteCounter) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.n += int64(n)
+	return n, err
+}
+
+// errCorrupt marks a frame that failed validation (recovery truncates
+// there; Scan reports it).
+var errCorrupt = errors.New("store: corrupt frame")
+
+// readFrame reads and validates one frame. io.EOF means a clean end at a
+// frame boundary; any other error means the tail is torn.
+func readFrame(r io.Reader) (*Record, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, errCorrupt // cut inside the header
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > maxPayload {
+		return nil, errCorrupt
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, errCorrupt // cut inside the payload
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, errCorrupt
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, errCorrupt
+	}
+	return &rec, nil
+}
+
+// newSegmentLocked creates and opens the next live segment; the previous
+// one (if any) is sealed first and retention runs. Caller holds s.mu.
+func (s *Store) newSegmentLocked(firstSeq uint64) error {
+	if s.live != nil {
+		if err := s.fsyncLocked(); err != nil {
+			return err
+		}
+		s.live.Close()
+		s.live = nil
+	}
+	path := segmentPath(s.dir, firstSeq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating segment: %w", err)
+	}
+	if _, err := f.Write([]byte(Magic)); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing segment magic: %w", err)
+	}
+	s.live = f
+	s.segs = append(s.segs, segment{path: path, bytes: int64(len(Magic))})
+	s.retainLocked()
+	return nil
+}
+
+// retainLocked drops sealed segments violating the size or age bound,
+// oldest first. The live segment is never dropped.
+func (s *Store) retainLocked() {
+	now := time.Now()
+	for len(s.segs) > 1 {
+		oldest := s.segs[0]
+		var total int64
+		for _, seg := range s.segs {
+			total += seg.bytes
+		}
+		drop := total > s.opts.MaxBytes
+		if !drop && s.opts.MaxAge > 0 && oldest.newest > 0 {
+			drop = now.Sub(time.Unix(0, oldest.newest)) > s.opts.MaxAge
+		}
+		if !drop {
+			return
+		}
+		if err := os.Remove(oldest.path); err != nil {
+			s.opts.Logger.Warn("store: dropping segment failed", "segment", oldest.path, "error", err)
+			return
+		}
+		s.opts.Logger.Info("store: dropped segment by retention",
+			"segment", filepath.Base(oldest.path), "records", oldest.records)
+		s.segs = s.segs[1:]
+		s.st.DroppedSegments++
+	}
+}
+
+// Append writes rec durably. rec.Seq must be strictly greater than every
+// previously appended seq — the caller (velodromed's history) owns the
+// sequence; the store only enforces monotonicity.
+func (s *Store) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding record: %w", err)
+	}
+	if len(payload) > maxPayload {
+		return fmt.Errorf("store: record %d exceeds %d bytes", rec.Seq, maxPayload)
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec.Seq <= s.lastSeq {
+		return fmt.Errorf("store: non-monotonic seq %d (last %d)", rec.Seq, s.lastSeq)
+	}
+	live := &s.segs[len(s.segs)-1]
+	if live.bytes > int64(len(Magic)) && live.bytes+int64(len(frame)) > s.opts.SegmentBytes {
+		if err := s.newSegmentLocked(rec.Seq); err != nil {
+			return err
+		}
+		live = &s.segs[len(s.segs)-1]
+	}
+	if _, err := s.live.Write(frame); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if live.firstSeq == 0 {
+		live.firstSeq = rec.Seq
+	}
+	live.lastSeq = rec.Seq
+	live.records++
+	live.bytes += int64(len(frame))
+	if rec.Time > live.newest {
+		live.newest = rec.Time
+	}
+	s.lastSeq = rec.Seq
+	s.st.Appended++
+	s.unsynced++
+	if s.unsynced >= s.opts.SyncEvery {
+		return s.fsyncLocked()
+	}
+	return nil
+}
+
+// fsyncLocked syncs the live segment and advances the durability mark.
+func (s *Store) fsyncLocked() error {
+	if s.live == nil || s.unsynced == 0 {
+		return nil
+	}
+	start := time.Now()
+	err := s.live.Sync()
+	s.st.Fsyncs++
+	s.st.FsyncNs += time.Since(start).Nanoseconds()
+	if err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	s.syncedSeq = s.lastSeq
+	s.unsynced = 0
+	return nil
+}
+
+// Sync forces an fsync of any unsynced appends.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fsyncLocked()
+}
+
+// Close syncs and closes the live segment. The store must not be used
+// afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.fsyncLocked()
+	if s.live != nil {
+		if cerr := s.live.Close(); err == nil {
+			err = cerr
+		}
+		s.live = nil
+	}
+	return err
+}
+
+// LastSeq returns the highest appended (or recovered) record seq.
+func (s *Store) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
+}
+
+// Stats snapshots the store's accounting.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.st
+	st.LastSeq = s.lastSeq
+	st.SyncedSeq = s.syncedSeq
+	st.Lag = s.lastSeq - s.syncedSeq
+	st.Segments = len(s.segs)
+	for _, seg := range s.segs {
+		st.Bytes += seg.bytes
+	}
+	return st
+}
+
+// Scan calls fn for every retained record, oldest first, stopping early
+// if fn returns false. It reads from disk, so concurrent appends during
+// a scan may or may not be observed; the segment list is snapshotted up
+// front. Live-segment frames are always intact (Append writes whole
+// frames under the lock before returning).
+func (s *Store) Scan(fn func(Record) bool) error {
+	s.mu.Lock()
+	paths := make([]string, len(s.segs))
+	for i, seg := range s.segs {
+		paths[i] = seg.path
+	}
+	// Make the live segment's appended frames visible to the scan.
+	if err := s.fsyncLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Unlock()
+
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // dropped by retention since the snapshot
+			}
+			return fmt.Errorf("store: %w", err)
+		}
+		magic := make([]byte, len(Magic))
+		if _, err := io.ReadFull(f, magic); err != nil || string(magic) != Magic {
+			f.Close()
+			continue
+		}
+		br := newByteCounter(f)
+		for {
+			rec, err := readFrame(br)
+			if err != nil {
+				break // clean EOF or a torn tail; either way this segment is done
+			}
+			if !fn(*rec) {
+				f.Close()
+				return nil
+			}
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// Tail returns the newest n records in oldest-first order (the order a
+// ring cache wants to replay them in).
+func (s *Store) Tail(n int) ([]Record, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	// A ring over the scan keeps memory at n records however large the
+	// store is.
+	ring := make([]Record, 0, n)
+	next := 0
+	total := 0
+	err := s.Scan(func(rec Record) bool {
+		if len(ring) < n {
+			ring = append(ring, rec)
+		} else {
+			ring[next] = rec
+		}
+		next = (next + 1) % n
+		total++
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if total <= n {
+		return ring, nil
+	}
+	out := make([]Record, 0, n)
+	out = append(out, ring[next:]...)
+	out = append(out, ring[:next]...)
+	return out, nil
+}
+
+// ParseSessionNum extracts the numeric part of a velodromed session id
+// ("s17" → 17). It lives here so history recovery and tests share one
+// parser; non-conforming ids return 0.
+func ParseSessionNum(id string) uint64 {
+	if len(id) < 2 || id[0] != 's' {
+		return 0
+	}
+	n, err := strconv.ParseUint(id[1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}

@@ -38,6 +38,11 @@ type SessionHeader struct {
 	// recorder enabled and attach a provenance report per warning to the
 	// verdict. Off by default: forensics costs per-op recording.
 	Forensics bool
+	// Key is the tenant API key (VELOSESS/1 "key=" extension). An absent
+	// key runs the session under the server's default tenant, so legacy
+	// clients are unaffected; a key the server's keyfile does not know is
+	// rejected before admission (CodeUnknownKey).
+	Key string
 }
 
 // Encode renders the header as its one-line wire form.
@@ -55,6 +60,10 @@ func (h SessionHeader) Encode() []byte {
 	if h.Forensics {
 		b.WriteString(" forensics=1")
 	}
+	if h.Key != "" {
+		b.WriteString(" key=")
+		b.WriteString(h.Key)
+	}
 	b.WriteByte('\n')
 	return []byte(b.String())
 }
@@ -62,7 +71,7 @@ func (h SessionHeader) Encode() []byte {
 // Validate checks the header's field syntax (the server additionally
 // checks that Engine names a known engine).
 func (h SessionHeader) Validate() error {
-	for _, f := range []struct{ key, v string }{{"engine", h.Engine}, {"name", h.Name}} {
+	for _, f := range []struct{ key, v string }{{"engine", h.Engine}, {"name", h.Name}, {"key", h.Key}} {
 		if strings.ContainsAny(f.v, " \t\r\n=") {
 			return fmt.Errorf("trace: session header %s=%q: spaces, '=' and control characters are not allowed", f.key, f.v)
 		}
@@ -95,6 +104,8 @@ func ReadSessionHeader(br *bufio.Reader) (SessionHeader, error) {
 			h.Name = val
 		case "forensics":
 			h.Forensics = val == "1" || val == "true"
+		case "key":
+			h.Key = val
 		}
 	}
 	return h, nil
@@ -137,6 +148,14 @@ const (
 	CodeDecodeError = "decode-error"
 	// CodeBusy: shed at the session cap (StatusBusy verdicts).
 	CodeBusy = "busy"
+	// CodeUnknownKey: the header carried an API key the server's tenant
+	// keyfile does not know. Rejected before admission, like bad-header.
+	CodeUnknownKey = "unknown-key"
+	// CodeQuotaExceeded: the tenant identified by the key is over its
+	// session-rate or concurrent-session quota. Distinct from CodeBusy:
+	// busy is the whole daemon at capacity, quota-exceeded is this
+	// tenant at its own limit while the daemon may be idle.
+	CodeQuotaExceeded = "quota-exceeded"
 )
 
 // SessionVerdict is the server's one-line JSON reply.
@@ -148,10 +167,14 @@ type SessionVerdict struct {
 	// Session is the server-assigned session id ("s17"), echoed so a
 	// client can correlate its verdict with the daemon's logs and the
 	// /debug/velo listing. Empty for connections shed before admission.
-	Session      string   `json:"session,omitempty"`
-	Engine       string   `json:"engine,omitempty"`
-	Serializable bool     `json:"serializable"`
-	Ops          int64    `json:"ops"`
+	Session string `json:"session,omitempty"`
+	// Tenant names the tenant the session ran under. Omitted for the
+	// default tenant, so legacy keyless sessions see byte-identical
+	// verdicts.
+	Tenant       string `json:"tenant,omitempty"`
+	Engine       string `json:"engine,omitempty"`
+	Serializable bool   `json:"serializable"`
+	Ops          int64  `json:"ops"`
 	// DurationMs is the server-side wall-clock time of the session in
 	// milliseconds, header to verdict.
 	DurationMs int64    `json:"durationMs"`
